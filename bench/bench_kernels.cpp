@@ -1,0 +1,139 @@
+// google-benchmark microbenchmarks for the Smith-Waterman kernels on
+// THIS machine: scalar Gotoh oracle vs the striped 8-bit and 16-bit
+// kernels at every compiled ISA level. The `GCUPS` counter is the
+// figure of merit (the paper reports ~2-3 GCUPS per SSE core with the
+// adapted Farrar kernel).
+
+#include <benchmark/benchmark.h>
+
+#include "align/striped.hpp"
+#include "align/sw_scalar.hpp"
+#include "db/generator.hpp"
+#include "util/rng.hpp"
+
+using namespace swh;
+
+namespace {
+
+const align::ScoreMatrix& blosum() {
+    static const align::ScoreMatrix m = align::ScoreMatrix::blosum62();
+    return m;
+}
+
+constexpr align::GapPenalty kGap{10, 2};
+
+std::vector<align::Code> fixed_subject() {
+    static const std::vector<align::Code> subject = [] {
+        Rng rng(404);
+        return db::random_protein(rng, 20'000, "subject").residues;
+    }();
+    return subject;
+}
+
+std::vector<align::Code> fixed_query(std::size_t len) {
+    Rng rng(405 + len);
+    return db::random_protein(rng, len, "query").residues;
+}
+
+void report_gcups(benchmark::State& state, std::size_t qlen,
+                  std::size_t dlen) {
+    const double cells = static_cast<double>(qlen) *
+                         static_cast<double>(dlen) *
+                         static_cast<double>(state.iterations());
+    state.counters["GCUPS"] = benchmark::Counter(
+        cells / 1e9, benchmark::Counter::kIsRate);
+}
+
+void BM_ScalarGotoh(benchmark::State& state) {
+    const auto q = fixed_query(static_cast<std::size_t>(state.range(0)));
+    const auto d = fixed_subject();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            align::sw_score_affine(q, d, blosum(), kGap));
+    }
+    report_gcups(state, q.size(), d.size());
+}
+BENCHMARK(BM_ScalarGotoh)->Arg(100)->Arg(500)->Arg(2000);
+
+template <simd::IsaLevel kIsa>
+void BM_StripedU8(benchmark::State& state) {
+    if (!simd::is_supported(kIsa)) {
+        state.SkipWithError("ISA not supported");
+        return;
+    }
+    const auto q = fixed_query(static_cast<std::size_t>(state.range(0)));
+    const auto d = fixed_subject();
+    const align::Profile8 p =
+        align::build_profile8(q, blosum(), align::lanes_u8(kIsa));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(align::sw_striped_u8(p, d, kGap, kIsa));
+    }
+    report_gcups(state, q.size(), d.size());
+}
+BENCHMARK(BM_StripedU8<simd::IsaLevel::Scalar>)->Arg(500);
+#if defined(__SSE2__)
+BENCHMARK(BM_StripedU8<simd::IsaLevel::SSE2>)->Arg(100)->Arg(500)->Arg(2000)->Arg(5000);
+#endif
+#if defined(__AVX2__)
+BENCHMARK(BM_StripedU8<simd::IsaLevel::AVX2>)->Arg(100)->Arg(500)->Arg(2000)->Arg(5000);
+#endif
+#if defined(__AVX512BW__)
+BENCHMARK(BM_StripedU8<simd::IsaLevel::AVX512>)->Arg(500)->Arg(2000)->Arg(5000);
+#endif
+
+template <simd::IsaLevel kIsa>
+void BM_StripedI16(benchmark::State& state) {
+    if (!simd::is_supported(kIsa)) {
+        state.SkipWithError("ISA not supported");
+        return;
+    }
+    const auto q = fixed_query(static_cast<std::size_t>(state.range(0)));
+    const auto d = fixed_subject();
+    const align::Profile16 p =
+        align::build_profile16(q, blosum(), align::lanes_i16(kIsa));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(align::sw_striped_i16(p, d, kGap, kIsa));
+    }
+    report_gcups(state, q.size(), d.size());
+}
+#if defined(__SSE2__)
+BENCHMARK(BM_StripedI16<simd::IsaLevel::SSE2>)->Arg(500)->Arg(2000);
+#endif
+#if defined(__AVX2__)
+BENCHMARK(BM_StripedI16<simd::IsaLevel::AVX2>)->Arg(500)->Arg(2000);
+#endif
+#if defined(__AVX512BW__)
+BENCHMARK(BM_StripedI16<simd::IsaLevel::AVX512>)->Arg(500)->Arg(2000);
+#endif
+
+// Full database-search path (StripedAligner with escalation) — what one
+// paper SSE-core slave runs per task.
+void BM_AlignerDatabaseScan(benchmark::State& state) {
+    const auto q = fixed_query(static_cast<std::size_t>(state.range(0)));
+    db::DatabaseSpec spec;
+    spec.name = "bench";
+    spec.num_sequences = 200;
+    spec.seed = 42;
+    const auto database = db::generate_database(spec);
+    std::uint64_t db_residues = 0;
+    for (const auto& s : database) db_residues += s.size();
+
+    const align::StripedAligner aligner(q, blosum(), kGap);
+    for (auto _ : state) {
+        align::Score best = 0;
+        for (const auto& s : database) {
+            best = std::max(best, aligner.score(s.residues));
+        }
+        benchmark::DoNotOptimize(best);
+    }
+    const double cells = static_cast<double>(q.size()) *
+                         static_cast<double>(db_residues) *
+                         static_cast<double>(state.iterations());
+    state.counters["GCUPS"] =
+        benchmark::Counter(cells / 1e9, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_AlignerDatabaseScan)->Arg(100)->Arg(500)->Arg(2000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,30 @@
+// Ablation: the PSS history window Omega (paper SS IV-A.2). A small
+// window adapts quickly when a PE's delivered rate changes; a large one
+// smooths noise but keeps allocating big packages to a PE that just
+// slowed down. Scenario: the Fig. 8 non-dedicated run with a heavier
+// (75%) load hit.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace swh;
+
+int main() {
+    const db::DatabasePreset& dog = db::preset_by_name("dog");
+    std::cout << "Omega ablation — Ensembl Dog on 4 SSE cores, core 0 "
+                 "loses 75% of its speed at t=60 s\n\n";
+    TextTable table({"Omega", "wallclock (s)", "GCUPS", "replicas"});
+    for (const std::size_t omega : {1u, 2u, 4u, 8u, 16u, 64u}) {
+        sim::SimConfig cfg = bench::paper_config(dog, 0, 4);
+        cfg.sched.omega = omega;
+        cfg.notify_period_s = 2.0;
+        cfg.load_events = {sim::LoadEvent{60.0, 0, 0.25}};
+        const sim::SimReport r = sim::simulate(cfg);
+        table.add_row({std::to_string(omega), format_double(r.makespan, 1),
+                       format_double(r.gcups, 2),
+                       std::to_string(r.replicas_issued)});
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,34 @@
+// Reproduces Table III: wallclock time and GCUPS for the 40-query
+// workload against the five Table II databases on 1/2/4/8 SSE cores.
+// Paper shape: near-linear speedup on every database; the single-core
+// SwissProt run takes ~7190 s.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace swh;
+
+int main() {
+    std::cout << "Table III — results for the SSE cores (time(s) / GCUPS)\n"
+              << "paper anchors: 1 SSE x SwissProt = 7190 s; near-linear "
+                 "speedups\n\n";
+    TextTable table({"Database", "1 SSE", "2 SSEs", "4 SSEs", "8 SSEs"});
+    for (const db::DatabasePreset& preset : db::table2_presets()) {
+        std::vector<std::string> row = {preset.name};
+        double t1 = 0.0;
+        for (const int cores : {1, 2, 4, 8}) {
+            const sim::SimConfig cfg = bench::paper_config(preset, 0, cores);
+            const sim::SimReport r = sim::simulate(cfg);
+            if (cores == 1) t1 = r.makespan;
+            row.push_back(bench::time_gcups_cell(r));
+            if (cores > 1) {
+                const double speedup = t1 / r.makespan;
+                row.back() += " (x" + format_double(speedup, 2) + ")";
+            }
+        }
+        table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,38 @@
+// Reproduces Table IV: 1/2/4 GPUs against the five databases.
+// Paper shape: near-linear GPU scaling, and roughly double the GCUPS on
+// UniProtKB/SwissProt compared to the four small databases (device
+// occupancy saturates only on the big database).
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace swh;
+
+int main() {
+    std::cout << "Table IV — results for the GPUs (time(s) / GCUPS)\n"
+              << "paper anchors: ~2x GCUPS on SwissProt vs the small "
+                 "databases; near-linear scaling\n\n";
+    TextTable table({"Database", "1 GPU", "2 GPUs", "4 GPUs"});
+    std::vector<double> gcups_4gpu;
+    for (const db::DatabasePreset& preset : db::table2_presets()) {
+        std::vector<std::string> row = {preset.name};
+        for (const int gpus : {1, 2, 4}) {
+            const sim::SimReport r =
+                sim::simulate(bench::paper_config(preset, gpus, 0));
+            row.push_back(bench::time_gcups_cell(r));
+            if (gpus == 4) gcups_4gpu.push_back(r.gcups);
+        }
+        table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+
+    const double small_mean =
+        (gcups_4gpu[0] + gcups_4gpu[1] + gcups_4gpu[2] + gcups_4gpu[3]) / 4;
+    std::cout << "\n4-GPU GCUPS, SwissProt vs small-database mean: "
+              << format_double(gcups_4gpu[4], 1) << " vs "
+              << format_double(small_mean, 1) << "  (ratio "
+              << format_double(gcups_4gpu[4] / small_mean, 2)
+              << ", paper: ~2)\n";
+    return 0;
+}

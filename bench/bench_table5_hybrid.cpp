@@ -1,0 +1,51 @@
+// Reproduces Table V: hybrid GPU + SSE configurations against the five
+// databases, with the paper's crossover analysis:
+//   * adding SSE cores to 1-2 GPUs always helps;
+//   * at 4 GPUs the hybrid only wins on the big database (SwissProt);
+//     on the small ones the GPUs redo most SSE work via the adjustment
+//     mechanism, so 4 GPUs alone are as good or slightly better;
+//   * headline: SwissProt drops from 7190 s (1 SSE, Table III) to
+//     ~112 s (4 GPUs + 4 SSEs).
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace swh;
+
+int main() {
+    std::cout << "Table V — results for the GPUs and SSEs "
+                 "(time(s) / GCUPS)\n\n";
+    const std::vector<std::pair<int, int>> configs = {
+        {1, 1}, {1, 2}, {1, 4}, {2, 4}, {4, 4}};
+    TextTable table({"Database", "1G+1S", "1G+2S", "1G+4S", "2G+4S",
+                     "4G+4S", "4G+0S (IV)"});
+    double swissprot_hybrid = 0.0;
+    for (const db::DatabasePreset& preset : db::table2_presets()) {
+        std::vector<std::string> row = {preset.name};
+        for (const auto& [gpus, sses] : configs) {
+            const sim::SimReport r =
+                sim::simulate(bench::paper_config(preset, gpus, sses));
+            row.push_back(bench::time_gcups_cell(r));
+            if (gpus == 4 && preset.name == "UniProtKB/SwissProt") {
+                swissprot_hybrid = r.makespan;
+            }
+        }
+        // Reference column: the 4-GPU-only Table IV figure, to expose
+        // the crossover.
+        const sim::SimReport gpu_only =
+            sim::simulate(bench::paper_config(preset, 4, 0));
+        row.push_back(bench::time_gcups_cell(gpu_only));
+        table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+
+    const double sse1 = sim::simulate(bench::paper_config(
+                                          db::preset_by_name("swissprot"),
+                                          0, 1))
+                            .makespan;
+    std::cout << "\nheadline: SwissProt " << format_double(sse1, 0)
+              << " s (1 SSE) -> " << format_double(swissprot_hybrid, 0)
+              << " s (4 GPUs + 4 SSEs); paper: 7190 s -> ~112 s\n";
+    return 0;
+}

@@ -1,0 +1,247 @@
+// swhybrid_search — command-line protein database search, the tool a
+// downstream user would actually run. Wires together the whole library:
+// indexed FASTA input, the hybrid master/slave runtime with selectable
+// allocation policy and workload adjustment, and Gumbel statistics for
+// E-values.
+//
+//   swhybrid_search queries.fa database.fa --slaves gpu:1,sse:2 --top 5
+//
+// Run with --generate-demo to create a small query/database pair first.
+
+#include <fstream>
+#include <iostream>
+#include <map>
+
+#include "align/evalue.hpp"
+#include "align/local_align.hpp"
+#include "db/database.hpp"
+#include "db/presets.hpp"
+#include "engines/cpu_engine.hpp"
+#include "engines/sim_gpu_engine.hpp"
+#include "io/fasta.hpp"
+#include "io/indexed.hpp"
+#include "runtime/hybrid_runtime.hpp"
+#include "util/args.hpp"
+#include "util/str.hpp"
+#include "util/table.hpp"
+
+using namespace swh;
+
+namespace {
+
+std::unique_ptr<core::AllocationPolicy> make_policy(const std::string& name) {
+    if (name == "ss") return core::make_self_scheduling();
+    if (name == "pss") return core::make_pss();
+    if (name == "fixed") return core::make_fixed();
+    if (name == "wfixed") {
+        return core::make_wfixed(
+            {{core::PeKind::Gpu, 16.0}, {core::PeKind::SseCore, 1.0}});
+    }
+    throw ContractError("unknown policy: " + name +
+                        " (expected ss|pss|fixed|wfixed)");
+}
+
+/// Parses "gpu:1,sse:2" into slave specs.
+std::vector<runtime::SlaveSpec> make_slaves(
+    const std::string& spec, const engines::EngineConfig& config) {
+    std::vector<runtime::SlaveSpec> slaves;
+    for (const std::string& part : split(spec, ',')) {
+        const std::vector<std::string> kv = split(part, ':');
+        SWH_REQUIRE(kv.size() == 2, "slave spec must look like kind:count");
+        const long long count = std::stoll(kv[1]);
+        SWH_REQUIRE(count >= 0 && count <= 64, "unreasonable slave count");
+        for (long long i = 0; i < count; ++i) {
+            const std::string label = kv[0] + std::to_string(i);
+            if (kv[0] == "gpu") {
+                slaves.push_back(runtime::SlaveSpec{
+                    label, std::make_unique<engines::SimGpuEngine>(
+                               config, engines::GpuDeviceModel{},
+                               /*pace=*/false)});
+            } else if (kv[0] == "sse") {
+                slaves.push_back(runtime::SlaveSpec{
+                    label, std::make_unique<engines::CpuEngine>(config)});
+            } else {
+                throw ContractError("unknown slave kind: " + kv[0]);
+            }
+        }
+    }
+    SWH_REQUIRE(!slaves.empty(), "no slaves configured");
+    return slaves;
+}
+
+void generate_demo(const std::string& query_path,
+                   const std::string& db_path) {
+    Rng rng(20130527);
+    db::DatabaseSpec spec;
+    spec.name = "demo_db";
+    spec.num_sequences = 500;
+    spec.seed = 1;
+    db::Database database = db::Database::generate(spec);
+
+    // Queries: some random, some mutated copies of database entries so
+    // the search has true positives.
+    std::vector<align::Sequence> queries;
+    for (int i = 0; i < 3; ++i) {
+        queries.push_back(
+            db::random_protein(rng, 150 + 100 * i, "random_" +
+                                                       std::to_string(i)));
+    }
+    for (int i = 0; i < 3; ++i) {
+        const align::Sequence& source = database[50 + 100 * i];
+        align::Sequence q = db::mutate(source, align::Alphabet::protein(),
+                                       db::MutationModel{0.1, 0.02, 0.02},
+                                       rng);
+        q.id = "homolog_of_" + source.id;
+        queries.push_back(std::move(q));
+    }
+    io::write_fasta_file(query_path, queries, align::Alphabet::protein());
+    io::write_fasta_file(db_path, database.sequences(),
+                         align::Alphabet::protein());
+    std::cout << "wrote " << queries.size() << " queries to " << query_path
+              << " and " << database.size() << " sequences to " << db_path
+              << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    ArgParser args("swhybrid_search",
+                   "Smith-Waterman protein database search on a hybrid "
+                   "(simulated-GPU + SSE) platform");
+    args.add_positional("queries", "FASTA file of query sequences",
+                        "queries.fa");
+    args.add_positional("database", "FASTA file of database sequences",
+                        "database.fa");
+    args.add_option("slaves", "platform spec, e.g. gpu:1,sse:2",
+                    "gpu:1,sse:1");
+    args.add_option("policy", "allocation policy: ss|pss|fixed|wfixed",
+                    "pss");
+    args.add_option("top", "hits to report per query", "5");
+    args.add_option("gap-open", "gap open penalty", "10");
+    args.add_option("gap-extend", "gap extension penalty", "2");
+    args.add_option("max-evalue", "suppress hits above this E-value",
+                    "10");
+    args.add_option("matrix", "NCBI-format matrix file, or 'blosum62'",
+                    "blosum62");
+    args.add_option("out", "also write hits as BLAST-style TSV here", "");
+    args.add_flag("align", "print the best hit's alignment per query");
+    args.add_flag("no-adjust", "disable the workload-adjustment mechanism");
+    args.add_flag("generate-demo", "write demo query/database files and exit");
+
+    try {
+        if (!args.parse(argc, argv)) return 0;
+
+        if (args.get_flag("generate-demo")) {
+            generate_demo(args.get("queries"), args.get("database"));
+            return 0;
+        }
+
+        const align::Alphabet& aa = align::Alphabet::protein();
+        const auto queries = io::read_fasta_file(args.get("queries"), aa);
+        SWH_REQUIRE(!queries.empty(), "query file has no sequences");
+        // The indexed reader both builds the sidecar (paper SS IV-B) and
+        // gives us residue totals without a second scan.
+        const io::IndexedFastaReader db_reader(args.get("database"), aa);
+        db::Database database(
+            args.get("database"),
+            db_reader.slice(0, db_reader.size()));
+        SWH_REQUIRE(database.size() > 0, "database has no sequences");
+
+        align::ScoreMatrix matrix = align::ScoreMatrix::blosum62();
+        if (args.get("matrix") != "blosum62") {
+            std::ifstream min(args.get("matrix"));
+            SWH_REQUIRE(static_cast<bool>(min),
+                        "cannot open matrix file");
+            matrix = align::ScoreMatrix::from_ncbi_stream(
+                aa, min, args.get("matrix"));
+        }
+        const align::GapPenalty gap{
+            static_cast<align::Score>(args.get_int("gap-open")),
+            static_cast<align::Score>(args.get_int("gap-extend"))};
+
+        engines::EngineConfig config;
+        config.matrix = &matrix;
+        config.gap = gap;
+        config.top_k = static_cast<std::size_t>(args.get_int("top"));
+        config.isa = simd::best_supported();
+
+        runtime::RuntimeOptions options;
+        options.top_k = config.top_k;
+        options.sched.workload_adjust = !args.get_flag("no-adjust");
+
+        std::cout << "searching " << queries.size() << " queries against "
+                  << database.size() << " sequences ("
+                  << with_thousands(
+                         static_cast<long long>(database.residues()))
+                  << " residues), policy " << args.get("policy")
+                  << ", slaves " << args.get("slaves") << ", ISA "
+                  << simd::to_string(config.isa) << "\n";
+
+        runtime::HybridRuntime rt(database, queries, options);
+        const runtime::RunReport report =
+            rt.run(make_slaves(args.get("slaves"), config),
+                   make_policy(args.get("policy")));
+
+        const align::GumbelParams stats = align::fit_gumbel(matrix, gap);
+        const double max_evalue = args.get_double("max-evalue");
+
+        std::ofstream tsv;
+        if (!args.get("out").empty()) {
+            tsv.open(args.get("out"));
+            SWH_REQUIRE(static_cast<bool>(tsv),
+                        "cannot open --out file for writing");
+            tsv << "query\tsubject\tscore\tbits\tevalue\n";
+        }
+
+        for (std::size_t q = 0; q < queries.size(); ++q) {
+            std::cout << "\nquery " << queries[q].id << " ("
+                      << queries[q].size() << " aa):\n";
+            TextTable table({"hit", "len", "score", "bits", "E-value"});
+            for (const core::Hit& h : report.hits[q]) {
+                const double e = stats.evalue(h.score, queries[q].size(),
+                                              database.residues());
+                if (e > max_evalue) continue;
+                char ebuf[32];
+                std::snprintf(ebuf, sizeof ebuf, "%.2g", e);
+                table.add_row({database[h.db_index].id,
+                               std::to_string(database[h.db_index].size()),
+                               std::to_string(h.score),
+                               format_double(stats.bit_score(h.score), 1),
+                               ebuf});
+                if (tsv.is_open()) {
+                    tsv << queries[q].id << '\t'
+                        << database[h.db_index].id << '\t' << h.score
+                        << '\t'
+                        << format_double(stats.bit_score(h.score), 1)
+                        << '\t' << ebuf << '\n';
+                }
+            }
+            if (table.rows() == 0) {
+                std::cout << "  (no hits below E = "
+                          << format_double(max_evalue, 2) << ")\n";
+            } else {
+                table.print(std::cout);
+            }
+            if (args.get_flag("align") && !report.hits[q].empty()) {
+                const core::Hit& best = report.hits[q][0];
+                const align::Alignment aln = align::sw_align_affine_lowmem(
+                    queries[q].residues, database[best.db_index].residues,
+                    matrix, gap);
+                std::cout << "best alignment (vs "
+                          << database[best.db_index].id << ", cigar "
+                          << aln.cigar() << "):\n"
+                          << align::format_alignment(
+                                 aln, aa, queries[q].residues,
+                                 database[best.db_index].residues);
+            }
+        }
+
+        std::cout << "\n" << format_double(report.wall_seconds, 2) << " s, "
+                  << format_double(report.gcups, 3) << " GCUPS, "
+                  << report.replicas_issued << " replicas issued\n";
+        return 0;
+    } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << '\n';
+        return 1;
+    }
+}

@@ -1,0 +1,128 @@
+// swhybrid_sim — command-line front end for the discrete-event
+// simulator: describe a platform, database, and scheduling config;
+// get makespan, GCUPS, per-PE stats, and optionally a Gantt chart.
+//
+//   swhybrid_sim --db swissprot --gpus 4 --sses 4 --policy pss
+//   swhybrid_sim --db dog --sses 4 --load 60:0:0.5 --gantt
+
+#include <iostream>
+
+#include "db/presets.hpp"
+#include "sim/simulator.hpp"
+#include "util/args.hpp"
+#include "util/str.hpp"
+#include "util/table.hpp"
+
+using namespace swh;
+
+namespace {
+
+std::function<std::unique_ptr<core::AllocationPolicy>()> policy_factory(
+    const std::string& name) {
+    if (name == "ss") return core::make_self_scheduling;
+    if (name == "pss") return core::make_pss;
+    if (name == "fixed") return core::make_fixed;
+    if (name == "wfixed") {
+        return [] {
+            return core::make_wfixed(
+                {{core::PeKind::Gpu, 16.0}, {core::PeKind::SseCore, 1.0}});
+        };
+    }
+    throw ContractError("unknown policy: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    ArgParser args("swhybrid_sim",
+                   "simulate the paper's hybrid platform on a database "
+                   "workload");
+    args.add_option("db", "Table II database preset (substring match)",
+                    "swissprot");
+    args.add_option("gpus", "number of GPU PEs", "4");
+    args.add_option("sses", "number of SSE-core PEs", "4");
+    args.add_option("policy", "ss|pss|fixed|wfixed", "pss");
+    args.add_option("queries", "number of query sequences", "40");
+    args.add_option("omega", "PSS history window", "8");
+    args.add_option("notify", "notification period (s)", "0.5");
+    args.add_option("latency", "assignment round-trip latency (s)", "0");
+    args.add_option(
+        "load", "inject local load: time:pe:factor (e.g. 60:0:0.5)", "");
+    args.add_option("leave", "PE leaves at time: time:pe", "");
+    args.add_flag("no-adjust", "disable the workload-adjustment mechanism");
+    args.add_flag("lpt", "dispatch largest tasks first");
+    args.add_flag("gantt", "render an ASCII Gantt chart");
+
+    try {
+        if (!args.parse(argc, argv)) return 0;
+
+        const db::DatabasePreset& preset =
+            db::preset_by_name(args.get("db"));
+        sim::SimConfig cfg;
+        cfg.sched.workload_adjust = !args.get_flag("no-adjust");
+        cfg.sched.omega = static_cast<std::size_t>(args.get_int("omega"));
+        if (args.get_flag("lpt")) {
+            cfg.sched.ready_order = core::ReadyOrder::LargestFirst;
+        }
+        cfg.policy = policy_factory(args.get("policy"));
+        cfg.notify_period_s = args.get_double("notify");
+        cfg.assign_latency_s = args.get_double("latency");
+        cfg.db_residues = preset.total_residues();
+        const auto queries = db::make_query_set(
+            static_cast<std::size_t>(args.get_int("queries")));
+        for (const auto& q : queries) cfg.query_lengths.push_back(q.size());
+        for (long long g = 0; g < args.get_int("gpus"); ++g) {
+            cfg.pes.push_back(
+                sim::gpu_pe("GPU" + std::to_string(g + 1)));
+        }
+        for (long long s = 0; s < args.get_int("sses"); ++s) {
+            cfg.pes.push_back(
+                sim::sse_core_pe("SSE" + std::to_string(s + 1)));
+        }
+        if (!args.get("load").empty()) {
+            const auto parts = split(args.get("load"), ':');
+            SWH_REQUIRE(parts.size() == 3, "--load wants time:pe:factor");
+            cfg.load_events.push_back(
+                sim::LoadEvent{std::stod(parts[0]),
+                               std::stoul(parts[1]), std::stod(parts[2])});
+        }
+        if (!args.get("leave").empty()) {
+            const auto parts = split(args.get("leave"), ':');
+            SWH_REQUIRE(parts.size() == 2, "--leave wants time:pe");
+            cfg.leave_events.push_back(
+                sim::LeaveEvent{std::stod(parts[0]),
+                                std::stoul(parts[1])});
+        }
+
+        const sim::SimReport r = sim::simulate(cfg);
+        std::cout << preset.name << ": "
+                  << with_thousands(
+                         static_cast<long long>(cfg.db_residues))
+                  << " residues, " << cfg.query_lengths.size()
+                  << " queries\nmakespan " << format_double(r.makespan, 1)
+                  << " s,  " << format_double(r.gcups, 2) << " GCUPS,  "
+                  << r.replicas_issued << " replicas, "
+                  << r.completions_discarded << " duplicates discarded\n\n";
+
+        TextTable table({"PE", "kind", "accepted", "discarded", "aborted",
+                         "busy (s)"});
+        for (const sim::PeReport& pe : r.pes) {
+            table.add_row({pe.label, core::to_string(pe.kind),
+                           std::to_string(pe.results_accepted),
+                           std::to_string(pe.results_discarded),
+                           std::to_string(pe.tasks_aborted),
+                           format_double(pe.busy_seconds, 1)});
+        }
+        table.print(std::cout);
+
+        if (args.get_flag("gantt")) {
+            std::cout << '\n'
+                      << sim::render_gantt(r, cfg.pes,
+                                           r.makespan / 80.0);
+        }
+        return 0;
+    } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << '\n';
+        return 1;
+    }
+}

@@ -1,0 +1,158 @@
+#include "align/alignment.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace swh::align {
+
+char to_char(AlignOp op) {
+    switch (op) {
+        case AlignOp::Match:
+            return 'M';
+        case AlignOp::Delete:
+            return 'D';
+        case AlignOp::Insert:
+            return 'I';
+    }
+    return '?';
+}
+
+std::string Alignment::cigar() const {
+    std::ostringstream os;
+    std::size_t i = 0;
+    while (i < ops.size()) {
+        std::size_t j = i;
+        while (j < ops.size() && ops[j] == ops[i]) ++j;
+        os << (j - i) << to_char(ops[i]);
+        i = j;
+    }
+    return os.str();
+}
+
+namespace {
+
+struct Consumed {
+    std::size_t s = 0;
+    std::size_t t = 0;
+};
+
+Consumed consumed_by(const std::vector<AlignOp>& ops) {
+    Consumed c;
+    for (AlignOp op : ops) {
+        if (op != AlignOp::Insert) ++c.s;
+        if (op != AlignOp::Delete) ++c.t;
+    }
+    return c;
+}
+
+void validate_extents(const Alignment& a, std::size_t s_size,
+                      std::size_t t_size) {
+    SWH_REQUIRE(a.s_begin <= a.s_end && a.s_end <= s_size,
+                "alignment s-range out of bounds");
+    SWH_REQUIRE(a.t_begin <= a.t_end && a.t_end <= t_size,
+                "alignment t-range out of bounds");
+    const Consumed c = consumed_by(a.ops);
+    SWH_REQUIRE(c.s == a.s_end - a.s_begin,
+                "alignment ops do not consume the stated s-range");
+    SWH_REQUIRE(c.t == a.t_end - a.t_begin,
+                "alignment ops do not consume the stated t-range");
+}
+
+}  // namespace
+
+Score score_alignment_affine(const Alignment& a, std::span<const Code> s,
+                             std::span<const Code> t,
+                             const ScoreMatrix& matrix, GapPenalty gap) {
+    validate_extents(a, s.size(), t.size());
+    Score score = 0;
+    std::size_t si = a.s_begin, tj = a.t_begin;
+    AlignOp prev = AlignOp::Match;
+    bool first = true;
+    for (AlignOp op : a.ops) {
+        switch (op) {
+            case AlignOp::Match:
+                score += matrix.at(s[si++], t[tj++]);
+                break;
+            case AlignOp::Delete:
+                score -= gap.extend;
+                if (first || prev != AlignOp::Delete) score -= gap.open;
+                ++si;
+                break;
+            case AlignOp::Insert:
+                score -= gap.extend;
+                if (first || prev != AlignOp::Insert) score -= gap.open;
+                ++tj;
+                break;
+        }
+        prev = op;
+        first = false;
+    }
+    return score;
+}
+
+Score score_alignment_linear(const Alignment& a, std::span<const Code> s,
+                             std::span<const Code> t,
+                             const ScoreMatrix& matrix, Score gap) {
+    validate_extents(a, s.size(), t.size());
+    Score score = 0;
+    std::size_t si = a.s_begin, tj = a.t_begin;
+    for (AlignOp op : a.ops) {
+        switch (op) {
+            case AlignOp::Match:
+                score += matrix.at(s[si++], t[tj++]);
+                break;
+            case AlignOp::Delete:
+                score -= gap;
+                ++si;
+                break;
+            case AlignOp::Insert:
+                score -= gap;
+                ++tj;
+                break;
+        }
+    }
+    return score;
+}
+
+std::string format_alignment(const Alignment& a, const Alphabet& alphabet,
+                             std::span<const Code> s, std::span<const Code> t,
+                             std::size_t line_width) {
+    validate_extents(a, s.size(), t.size());
+    SWH_REQUIRE(line_width > 0, "line width must be positive");
+    std::string top, mid, bot;
+    std::size_t si = a.s_begin, tj = a.t_begin;
+    for (AlignOp op : a.ops) {
+        switch (op) {
+            case AlignOp::Match: {
+                const Code cs = s[si++], ct = t[tj++];
+                top.push_back(alphabet.decode(cs));
+                mid.push_back(cs == ct ? '|' : ' ');
+                bot.push_back(alphabet.decode(ct));
+                break;
+            }
+            case AlignOp::Delete:
+                top.push_back(alphabet.decode(s[si++]));
+                mid.push_back(' ');
+                bot.push_back('-');
+                break;
+            case AlignOp::Insert:
+                top.push_back('-');
+                mid.push_back(' ');
+                bot.push_back(alphabet.decode(t[tj++]));
+                break;
+        }
+    }
+    std::ostringstream os;
+    for (std::size_t off = 0; off < top.size(); off += line_width) {
+        const std::size_t n = std::min(line_width, top.size() - off);
+        os << top.substr(off, n) << '\n'
+           << mid.substr(off, n) << '\n'
+           << bot.substr(off, n) << '\n';
+        if (off + n < top.size()) os << '\n';
+    }
+    return os.str();
+}
+
+}  // namespace swh::align

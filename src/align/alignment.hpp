@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "align/score_matrix.hpp"
+#include "align/sequence.hpp"
+
+namespace swh::align {
+
+/// One column of an alignment.
+enum class AlignOp : std::uint8_t {
+    Match,   ///< s[i] aligned to t[j] (match or mismatch)
+    Delete,  ///< s[i] aligned to a gap in t (vertical move)
+    Insert,  ///< gap in s aligned to t[j] (horizontal move)
+};
+
+char to_char(AlignOp op);  ///< 'M' / 'D' / 'I'
+
+/// A pairwise alignment between a region of s and a region of t.
+/// Regions are half-open: s[s_begin, s_end) aligns to t[t_begin, t_end).
+/// For global alignments the regions cover both sequences entirely.
+struct Alignment {
+    Score score = 0;
+    std::size_t s_begin = 0, s_end = 0;
+    std::size_t t_begin = 0, t_end = 0;
+    std::vector<AlignOp> ops;
+
+    std::size_t length() const { return ops.size(); }
+
+    /// Compact CIGAR-style run-length encoding, e.g. "12M1D4M".
+    std::string cigar() const;
+};
+
+/// Re-scores an alignment under the affine model; also validates that the
+/// ops consume exactly the [begin, end) ranges. Used by property tests to
+/// check traceback output against the DP score.
+Score score_alignment_affine(const Alignment& a, std::span<const Code> s,
+                             std::span<const Code> t,
+                             const ScoreMatrix& matrix, GapPenalty gap);
+
+/// Re-scores under the linear gap model (paper Eq. 1 / Fig. 1).
+Score score_alignment_linear(const Alignment& a, std::span<const Code> s,
+                             std::span<const Code> t,
+                             const ScoreMatrix& matrix, Score gap);
+
+/// Renders the three-line view the paper's Fig. 1 shows:
+///   A C T T G T C C
+///   | |   | | |   |
+///   A C - T G T C A
+/// Match columns get '|', mismatches ' ', gaps '-' in the gapped row.
+std::string format_alignment(const Alignment& a, const Alphabet& alphabet,
+                             std::span<const Code> s, std::span<const Code> t,
+                             std::size_t line_width = 60);
+
+}  // namespace swh::align

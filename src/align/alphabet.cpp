@@ -1,0 +1,85 @@
+#include "align/alphabet.hpp"
+
+#include <cctype>
+
+#include "util/error.hpp"
+
+namespace swh::align {
+
+Alphabet::Alphabet(std::string name, std::string symbols, char wildcard_char,
+                   std::string_view aliases)
+    : name_(std::move(name)), symbols_(std::move(symbols)) {
+    SWH_REQUIRE(!symbols_.empty() && symbols_.size() <= 32,
+                "alphabet must have 1..32 symbols");
+    const std::size_t wpos = symbols_.find(wildcard_char);
+    SWH_REQUIRE(wpos != std::string::npos,
+                "wildcard must be one of the alphabet symbols");
+    wildcard_ = static_cast<Code>(wpos);
+
+    enc_.fill(wildcard_);
+    known_.fill(false);
+    for (std::size_t i = 0; i < symbols_.size(); ++i) {
+        const char c = symbols_[i];
+        const auto up = static_cast<unsigned char>(std::toupper(c));
+        const auto lo = static_cast<unsigned char>(std::tolower(c));
+        enc_[up] = static_cast<Code>(i);
+        enc_[lo] = static_cast<Code>(i);
+        known_[up] = known_[lo] = true;
+    }
+    // Aliases come in "from->to" pairs flattened into a string: "UT" means
+    // 'U' encodes like 'T'.
+    SWH_REQUIRE(aliases.size() % 2 == 0, "aliases must be char pairs");
+    for (std::size_t i = 0; i + 1 < aliases.size(); i += 2) {
+        const auto from = static_cast<unsigned char>(aliases[i]);
+        const auto from_lo =
+            static_cast<unsigned char>(std::tolower(aliases[i]));
+        const auto to = static_cast<unsigned char>(aliases[i + 1]);
+        enc_[from] = enc_[to];
+        enc_[from_lo] = enc_[to];
+        known_[from] = known_[from_lo] = true;
+    }
+}
+
+const Alphabet& Alphabet::protein() {
+    static const Alphabet a("protein", "ARNDCQEGHILKMFPSTWYVBZX*", 'X',
+                            // J (Leu/Ile), U (selenocysteine), O
+                            // (pyrrolysine) are folded onto near symbols,
+                            // as BLAST does.
+                            "JLUCOK");
+    return a;
+}
+
+const Alphabet& Alphabet::dna() {
+    static const Alphabet a("dna", "ACGTN", 'N', "UT");
+    return a;
+}
+
+const Alphabet& Alphabet::rna() {
+    static const Alphabet a("rna", "ACGUN", 'N', "TU");
+    return a;
+}
+
+char Alphabet::decode(Code code) const {
+    SWH_REQUIRE(code < symbols_.size(), "code out of alphabet range");
+    return symbols_[code];
+}
+
+std::vector<Code> Alphabet::encode(std::string_view s) const {
+    std::vector<Code> out;
+    out.reserve(s.size());
+    for (char c : s) out.push_back(encode(c));
+    return out;
+}
+
+std::string Alphabet::decode(const std::vector<Code>& codes) const {
+    std::string out;
+    out.reserve(codes.size());
+    for (Code c : codes) out.push_back(decode(c));
+    return out;
+}
+
+bool Alphabet::contains(char c) const {
+    return known_[static_cast<unsigned char>(c)];
+}
+
+}  // namespace swh::align

@@ -1,0 +1,84 @@
+#include "align/banded.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace swh::align {
+
+namespace {
+constexpr Score kNegInf = std::numeric_limits<Score>::min() / 4;
+}
+
+std::size_t full_band_width(std::size_t s_len, std::size_t t_len) {
+    return s_len + t_len;
+}
+
+Score sw_score_banded(std::span<const Code> s, std::span<const Code> t,
+                      const ScoreMatrix& matrix, GapPenalty gap,
+                      std::ptrdiff_t diag_shift, std::size_t band_width) {
+    SWH_REQUIRE(gap.open >= 0 && gap.extend >= 0,
+                "gap penalties must be non-negative");
+    if (s.empty() || t.empty()) return 0;
+
+    const auto n = static_cast<std::ptrdiff_t>(t.size());
+    const auto w = static_cast<std::ptrdiff_t>(band_width);
+
+    // h_row[j] = H(i-1, j); f_col[j] = F(i-1, j); j is 1-based with slot
+    // 0 as the zero boundary column. Only cells inside the previous
+    // row's band [prev_lo, prev_hi] (plus column 0) are meaningful;
+    // everything else counts as unreachable (kNegInf). Alignments are
+    // thereby confined to the band; the local-alignment zero floor still
+    // lets them start anywhere inside it.
+    std::vector<Score> h_row(t.size() + 1, 0);  // row 0: all zeros, valid
+    std::vector<Score> f_col(t.size() + 1, kNegInf);
+    std::ptrdiff_t prev_lo = 0, prev_hi = n;
+
+    Score best = 0;
+    for (std::size_t i = 1; i <= s.size(); ++i) {
+        const std::ptrdiff_t centre =
+            static_cast<std::ptrdiff_t>(i) + diag_shift;
+        const std::ptrdiff_t lo = std::max<std::ptrdiff_t>(1, centre - w);
+        const std::ptrdiff_t hi = std::min<std::ptrdiff_t>(n, centre + w);
+        if (lo > hi) {  // band left the matrix on this row
+            prev_lo = 1;
+            prev_hi = 0;
+            continue;
+        }
+        const auto in_prev = [&](std::ptrdiff_t j) {
+            return j == 0 || (j >= prev_lo && j <= prev_hi);
+        };
+
+        Score e = kNegInf;  // E(i, j), horizontal gap within this row
+        Score h_diag = in_prev(lo - 1) ? h_row[static_cast<std::size_t>(
+                                             lo - 1)]
+                                       : kNegInf;
+        for (std::ptrdiff_t j = lo; j <= hi; ++j) {
+            const auto ju = static_cast<std::size_t>(j);
+            const Score h_left =
+                j > lo ? h_row[ju - 1] : (lo - 1 == 0 ? Score{0} : kNegInf);
+            e = std::max(e, h_left - gap.open) - gap.extend;
+
+            const Score h_up = in_prev(j) ? h_row[ju] : kNegInf;
+            const Score f_prev = in_prev(j) ? f_col[ju] : kNegInf;
+            const Score f = std::max(f_prev, h_up - gap.open) - gap.extend;
+            f_col[ju] = f;
+
+            const Score diag =
+                h_diag > kNegInf / 2
+                    ? h_diag + matrix.at(s[i - 1], t[ju - 1])
+                    : kNegInf;
+            const Score h = std::max({diag, e, f, Score{0}});
+            h_diag = h_up;  // H(i-1, j) is the diagonal for column j+1
+            h_row[ju] = h;
+            best = std::max(best, h);
+        }
+        prev_lo = lo;
+        prev_hi = hi;
+    }
+    return best;
+}
+
+}  // namespace swh::align

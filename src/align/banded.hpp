@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "align/score_matrix.hpp"
+
+namespace swh::align {
+
+/// Banded affine-gap Smith-Waterman score: only DP cells with
+/// j - i in [diag_shift - band_width, diag_shift + band_width] are
+/// computed (i over s, j over t, both 0-based residue indices). This is
+/// the classic seed-and-extend refinement: once a seed fixes the
+/// diagonal, a narrow band finds the local optimum in O(band * |s|)
+/// time. The result is a lower bound on the unbanded score, with
+/// equality whenever the optimal alignment stays inside the band.
+Score sw_score_banded(std::span<const Code> s, std::span<const Code> t,
+                      const ScoreMatrix& matrix, GapPenalty gap,
+                      std::ptrdiff_t diag_shift, std::size_t band_width);
+
+/// Band wide enough to make sw_score_banded exact for these lengths.
+std::size_t full_band_width(std::size_t s_len, std::size_t t_len);
+
+}  // namespace swh::align

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "align/score_matrix.hpp"
+
+namespace swh::align {
+
+/// Karlin-Altschul-style statistics for local alignment scores.
+///
+/// Local alignment scores of unrelated sequences follow an extreme-value
+/// (Gumbel) distribution: P(S >= x) ~ 1 - exp(-K m n e^(-lambda x)).
+/// For gapped alignments lambda and K have no closed form, so — as
+/// BLAST's authors did originally — we estimate them empirically by
+/// aligning random sequence pairs and fitting the Gumbel parameters by
+/// the method of moments. The fit is deterministic (seeded) per
+/// (matrix, gap) pair.
+struct GumbelParams {
+    double lambda = 0.0;
+    double k = 0.0;
+    /// Lengths of the random pairs used for the fit (scores scale with
+    /// log(mn), so the fit corrects for its own m*n).
+    std::size_t fit_m = 0;
+    std::size_t fit_n = 0;
+
+    /// Expected number of chance hits with score >= `score` when
+    /// searching a query of length m against a database of total length
+    /// n (the standard E-value; edge effects ignored).
+    double evalue(Score score, std::uint64_t m, std::uint64_t n) const;
+
+    /// Normalised bit score: (lambda*S - ln K) / ln 2.
+    double bit_score(Score score) const;
+
+    /// P-value for one pairwise comparison of lengths m x n.
+    double pvalue(Score score, std::uint64_t m, std::uint64_t n) const;
+};
+
+struct GumbelFitOptions {
+    std::size_t samples = 200;   ///< random pairs to align
+    std::size_t pair_len = 200;  ///< length of each random sequence
+    std::uint64_t seed = 0xEC0CULL;
+};
+
+/// Fits Gumbel parameters for the given scoring system by simulating
+/// null (random protein) alignments with the exact Gotoh kernel.
+/// Costs O(samples * pair_len^2) — a few tens of ms with the defaults.
+GumbelParams fit_gumbel(const ScoreMatrix& matrix, GapPenalty gap,
+                        const GumbelFitOptions& options = {});
+
+}  // namespace swh::align

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <span>
+
+#include "align/alignment.hpp"
+
+namespace swh::align {
+
+/// Memory-frugal local alignment for long sequence pairs.
+///
+/// Strategy (the standard locate-then-trace refinement): a forward O(n)-
+/// space Gotoh pass finds the best score and an end cell; a second pass on
+/// the *reversed* prefix rectangle finds a matching start cell; the full
+/// traceback then runs only on the [start..end] rectangle, which is the
+/// size of the alignment footprint rather than |s| x |t|. The result is an
+/// optimal local alignment (possibly a different co-optimal one than the
+/// full-matrix traceback would pick).
+///
+/// `max_rect_cells` caps the final rectangle; exceeding it throws
+/// ContractError rather than silently allocating gigabytes.
+Alignment sw_align_affine_lowmem(std::span<const Code> s,
+                                 std::span<const Code> t,
+                                 const ScoreMatrix& matrix, GapPenalty gap,
+                                 std::size_t max_rect_cells = std::size_t{1}
+                                                              << 28);
+
+}  // namespace swh::align

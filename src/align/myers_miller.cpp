@@ -1,0 +1,219 @@
+#include "align/myers_miller.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace swh::align {
+
+namespace {
+
+constexpr Score kNegInf = std::numeric_limits<Score>::min() / 4;
+
+// Score-maximisation port of Myers & Miller's `diff` routine. A gap of
+// length L costs open + L*extend. `tb` / `te` are the effective open
+// penalties for a vertical gap (gap in t, consuming s) touching the top
+// / bottom boundary of the current block: 0 when such a gap continues a
+// crossing gap chosen by the parent call, `gap.open` otherwise.
+class MyersMiller {
+public:
+    MyersMiller(std::span<const Code> s, std::span<const Code> t,
+                const ScoreMatrix& matrix, GapPenalty gap)
+        : s_(s), t_(t), matrix_(matrix), gap_(gap) {
+        cc_.resize(t.size() + 1);
+        dd_.resize(t.size() + 1);
+        rr_.resize(t.size() + 1);
+        ss_.resize(t.size() + 1);
+    }
+
+    std::vector<AlignOp> run() {
+        ops_.reserve(s_.size() + t_.size());
+        diff(0, s_.size(), 0, t_.size(), gap_.open, gap_.open);
+        return std::move(ops_);
+    }
+
+private:
+    void emit(AlignOp op, std::size_t count = 1) {
+        ops_.insert(ops_.end(), count, op);
+    }
+
+    Score gap_cost(std::size_t len) const {
+        return len == 0 ? 0
+                        : gap_.open +
+                              gap_.extend * static_cast<Score>(len);
+    }
+
+    // Aligns s[s0, s0+m) with t[t0, t0+n), appending ops.
+    void diff(std::size_t s0, std::size_t m, std::size_t t0, std::size_t n,
+              Score tb, Score te) {
+        if (m == 0) {
+            if (n > 0) emit(AlignOp::Insert, n);
+            return;
+        }
+        if (n == 0) {
+            emit(AlignOp::Delete, m);
+            return;
+        }
+        if (m == 1) {
+            diff_single_row(s0, t0, n, tb, te);
+            return;
+        }
+
+        const std::size_t mid = m / 2;
+
+        // Forward pass: cc_[j] = best score of s[s0, s0+mid) x t[t0,
+        // t0+j); dd_[j] = same but ending in a vertical gap (open paid).
+        cc_[0] = 0;
+        for (std::size_t j = 1; j <= n; ++j) {
+            cc_[j] = -gap_cost(j);
+            dd_[j] = cc_[j] - gap_.open;  // extending from here re-pays open
+        }
+        dd_[0] = kNegInf;
+        Score t_col = -tb;  // vertical gap down column 0 opens with tb
+        for (std::size_t i = 1; i <= mid; ++i) {
+            Score diag = cc_[0];
+            t_col -= gap_.extend;
+            Score c = t_col;
+            cc_[0] = c;
+            dd_[0] = c;  // the column-0 alignment ends in a vertical gap
+            Score e = kNegInf;  // horizontal state
+            for (std::size_t j = 1; j <= n; ++j) {
+                e = std::max(e, c - gap_.open) - gap_.extend;
+                const Score d =
+                    std::max(dd_[j], cc_[j] - gap_.open) - gap_.extend;
+                const Score sub =
+                    diag + matrix_.at(s_[s0 + i - 1], t_[t0 + j - 1]);
+                const Score best = std::max({d, e, sub});
+                diag = cc_[j];
+                cc_[j] = best;
+                dd_[j] = d;
+                c = best;
+            }
+        }
+
+        // Reverse pass over the lower block s[s0+mid, s0+m) x t, with
+        // boundary te at the bottom.
+        rr_[n] = 0;
+        for (std::size_t j = 1; j <= n; ++j) {
+            rr_[n - j] = -gap_cost(j);
+            ss_[n - j] = rr_[n - j] - gap_.open;
+        }
+        ss_[n] = kNegInf;
+        t_col = -te;
+        for (std::size_t i = 1; i <= m - mid; ++i) {
+            Score diag = rr_[n];
+            t_col -= gap_.extend;
+            Score c = t_col;
+            rr_[n] = c;
+            ss_[n] = c;
+            Score e = kNegInf;
+            for (std::size_t j = 1; j <= n; ++j) {
+                const std::size_t col = n - j;
+                e = std::max(e, c - gap_.open) - gap_.extend;
+                const Score d =
+                    std::max(ss_[col], rr_[col] - gap_.open) - gap_.extend;
+                const Score sub = diag + matrix_.at(s_[s0 + m - i],
+                                                    t_[t0 + col]);
+                const Score best = std::max({d, e, sub});
+                diag = rr_[col];
+                rr_[col] = best;
+                ss_[col] = d;
+                c = best;
+            }
+        }
+
+        // Choose the crossing column and whether the split goes through
+        // a match boundary (type 1) or a vertical gap spanning rows
+        // mid-1 / mid (type 2, which saves one gap-open).
+        Score best = kNegInf;
+        std::size_t best_j = 0;
+        bool type2 = false;
+        for (std::size_t j = 0; j <= n; ++j) {
+            const Score t1 = cc_[j] + rr_[j];
+            const Score t2 = dd_[j] + ss_[j] + gap_.open;
+            if (t1 >= best) {
+                best = t1;
+                best_j = j;
+                type2 = false;
+            }
+            if (t2 > best) {
+                best = t2;
+                best_j = j;
+                type2 = true;
+            }
+        }
+
+        if (!type2) {
+            diff(s0, mid, t0, best_j, tb, gap_.open);
+            diff(s0 + mid, m - mid, t0 + best_j, n - best_j, gap_.open,
+                 te);
+        } else {
+            // The crossing vertical gap covers rows mid-1 and mid (s
+            // residues s0+mid-1 and s0+mid).
+            diff(s0, mid - 1, t0, best_j, tb, 0);
+            emit(AlignOp::Delete, 2);
+            diff(s0 + mid + 1, m - mid - 1, t0 + best_j, n - best_j, 0,
+                 te);
+        }
+    }
+
+    // Base case m == 1: either the single residue is deleted (the gap
+    // may merge across the cheaper boundary) or it matches some t[j].
+    void diff_single_row(std::size_t s0, std::size_t t0, std::size_t n,
+                         Score tb, Score te) {
+        const Code a = s_[s0];
+        Score best = -(std::min(tb, te) + gap_.extend) -
+                     gap_cost(n);  // delete a, insert all of t
+        std::size_t best_j = 0;    // 0 = deletion option
+        for (std::size_t j = 1; j <= n; ++j) {
+            const Score v = -gap_cost(j - 1) + matrix_.at(a, t_[t0 + j - 1]) -
+                            gap_cost(n - j);
+            if (v > best) {
+                best = v;
+                best_j = j;
+            }
+        }
+        if (best_j == 0) {
+            // Put the delete adjacent to the cheaper boundary so run-
+            // merging in the final op list realises the discount.
+            if (tb <= te) {
+                emit(AlignOp::Delete);
+                emit(AlignOp::Insert, n);
+            } else {
+                emit(AlignOp::Insert, n);
+                emit(AlignOp::Delete);
+            }
+        } else {
+            emit(AlignOp::Insert, best_j - 1);
+            emit(AlignOp::Match);
+            emit(AlignOp::Insert, n - best_j);
+        }
+    }
+
+    std::span<const Code> s_;
+    std::span<const Code> t_;
+    const ScoreMatrix& matrix_;
+    GapPenalty gap_;
+    std::vector<Score> cc_, dd_, rr_, ss_;
+    std::vector<AlignOp> ops_;
+};
+
+}  // namespace
+
+Alignment nw_align_affine_linear(std::span<const Code> s,
+                                 std::span<const Code> t,
+                                 const ScoreMatrix& matrix, GapPenalty gap) {
+    SWH_REQUIRE(gap.open >= 0 && gap.extend >= 0,
+                "gap penalties must be non-negative");
+    Alignment out;
+    out.s_end = s.size();
+    out.t_end = t.size();
+    MyersMiller mm(s, t, matrix, gap);
+    out.ops = mm.run();
+    out.score = score_alignment_affine(out, s, t, matrix, gap);
+    return out;
+}
+
+}  // namespace swh::align

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <span>
+
+#include "align/alignment.hpp"
+
+namespace swh::align {
+
+/// Global affine-gap alignment in O(min(|s|, |t|)) space and O(|s||t|)
+/// time — the Myers-Miller (1988) divide-and-conquer refinement of
+/// Hirschberg's algorithm, adapted to affine gaps via boundary gap-open
+/// bookkeeping. Produces the same score as nw_align_affine (which needs
+/// a quadratic direction matrix) but scales to chromosome-length
+/// sequences; the related work the paper builds on ([4], CUDAlign) uses
+/// the same technique on GPUs.
+Alignment nw_align_affine_linear(std::span<const Code> s,
+                                 std::span<const Code> t,
+                                 const ScoreMatrix& matrix, GapPenalty gap);
+
+}  // namespace swh::align

@@ -1,0 +1,176 @@
+#include "align/overlap.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace swh::align {
+
+namespace {
+
+constexpr Score kNegInf = std::numeric_limits<Score>::min() / 4;
+
+// Shared DP for both entry points. Boundary conditions:
+//   H(i, 0) = 0            (skipping a's prefix is free)
+//   H(0, j) = -gap_cost(j) (b's prefix is inside the overlap)
+// answer  = max over j of H(m, j)  (skipping b's suffix is free),
+// including j = 0 (the empty overlap, score 0).
+struct OverlapDp {
+    std::size_t cols = 0;
+    std::vector<Score> h, e, f;
+    std::vector<std::uint8_t> dir;  // same bit layout as traceback.cpp
+};
+
+constexpr std::uint8_t kHStop = 0;  // boundary: start of overlap in a
+constexpr std::uint8_t kHDiag = 1;
+constexpr std::uint8_t kHFromE = 2;
+constexpr std::uint8_t kHFromF = 3;
+constexpr std::uint8_t kEExt = 1u << 2;
+constexpr std::uint8_t kFExt = 1u << 3;
+
+OverlapDp fill(std::span<const Code> a, std::span<const Code> b,
+               const ScoreMatrix& matrix, GapPenalty gap) {
+    SWH_REQUIRE(gap.open >= 0 && gap.extend >= 0,
+                "gap penalties must be non-negative");
+    const std::size_t m = a.size(), n = b.size();
+    OverlapDp dp;
+    dp.cols = n + 1;
+    dp.h.assign((m + 1) * dp.cols, 0);
+    dp.e.assign((m + 1) * dp.cols, kNegInf);
+    dp.f.assign((m + 1) * dp.cols, kNegInf);
+    dp.dir.assign((m + 1) * dp.cols, kHStop);
+
+    for (std::size_t j = 1; j <= n; ++j) {
+        dp.h[j] = -gap.cost(static_cast<Score>(j));
+        dp.e[j] = dp.h[j];
+        dp.dir[j] = kHFromE | (j > 1 ? kEExt : 0);
+    }
+    // Column 0 stays 0 with kHStop: overlaps may begin at any a offset.
+
+    for (std::size_t i = 1; i <= m; ++i) {
+        for (std::size_t j = 1; j <= n; ++j) {
+            const std::size_t idx = i * dp.cols + j;
+            std::uint8_t d = 0;
+
+            const Score e_ext = dp.e[idx - 1] - gap.extend;
+            const Score e_open = dp.h[idx - 1] - gap.open - gap.extend;
+            if (e_ext >= e_open) d |= kEExt;
+            dp.e[idx] = std::max(e_ext, e_open);
+
+            const Score f_ext = dp.f[idx - dp.cols] - gap.extend;
+            const Score f_open = dp.h[idx - dp.cols] - gap.open - gap.extend;
+            if (f_ext >= f_open) d |= kFExt;
+            dp.f[idx] = std::max(f_ext, f_open);
+
+            const Score diag = dp.h[idx - dp.cols - 1] +
+                               matrix.at(a[i - 1], b[j - 1]);
+            Score best = diag;
+            std::uint8_t src = kHDiag;
+            if (dp.e[idx] > best) {
+                best = dp.e[idx];
+                src = kHFromE;
+            }
+            if (dp.f[idx] > best) {
+                best = dp.f[idx];
+                src = kHFromF;
+            }
+            dp.h[idx] = best;
+            dp.dir[idx] = d | src;
+        }
+    }
+    return dp;
+}
+
+Overlap best_end(const OverlapDp& dp, std::size_t m, std::size_t n) {
+    Overlap out;  // the empty overlap: score 0, b_end 0
+    for (std::size_t j = 1; j <= n; ++j) {
+        const Score s = dp.h[m * dp.cols + j];
+        if (s > out.score) {
+            out.score = s;
+            out.b_end = j;
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+Overlap overlap_align(std::span<const Code> a, std::span<const Code> b,
+                      const ScoreMatrix& matrix, GapPenalty gap) {
+    if (a.empty() || b.empty()) return Overlap{};
+    const OverlapDp dp = fill(a, b, matrix, gap);
+    Overlap out = best_end(dp, a.size(), b.size());
+    if (out.b_end == 0) return out;
+
+    // Walk back to find where the overlap begins in a.
+    std::size_t i = a.size(), j = out.b_end;
+    enum class St { H, E, F } st = St::H;
+    while (j > 0) {
+        const std::uint8_t d = dp.dir[i * dp.cols + j];
+        if (st == St::H) {
+            const std::uint8_t src = d & 0x3;
+            SWH_REQUIRE(src != kHStop || j == 0,
+                        "overlap traceback left b before j=0");
+            if (src == kHDiag) {
+                --i;
+                --j;
+            } else if (src == kHFromE) {
+                st = St::E;
+            } else {
+                st = St::F;
+            }
+        } else if (st == St::E) {
+            --j;
+            if ((d & kEExt) == 0) st = St::H;
+        } else {
+            --i;
+            if ((d & kFExt) == 0) st = St::H;
+        }
+    }
+    out.a_begin = i;
+    return out;
+}
+
+OverlapAlignment overlap_align_ops(std::span<const Code> a,
+                                   std::span<const Code> b,
+                                   const ScoreMatrix& matrix,
+                                   GapPenalty gap) {
+    OverlapAlignment out;
+    if (a.empty() || b.empty()) return out;
+    const OverlapDp dp = fill(a, b, matrix, gap);
+    out.overlap = best_end(dp, a.size(), b.size());
+    if (out.overlap.b_end == 0) return out;
+
+    std::size_t i = a.size(), j = out.overlap.b_end;
+    enum class St { H, E, F } st = St::H;
+    while (j > 0) {
+        const std::uint8_t d = dp.dir[i * dp.cols + j];
+        if (st == St::H) {
+            const std::uint8_t src = d & 0x3;
+            if (src == kHDiag) {
+                out.ops.push_back(AlignOp::Match);
+                --i;
+                --j;
+            } else if (src == kHFromE) {
+                st = St::E;
+            } else {
+                st = St::F;
+            }
+        } else if (st == St::E) {
+            out.ops.push_back(AlignOp::Insert);
+            --j;
+            if ((d & kEExt) == 0) st = St::H;
+        } else {
+            out.ops.push_back(AlignOp::Delete);
+            --i;
+            if ((d & kFExt) == 0) st = St::H;
+        }
+    }
+    out.overlap.a_begin = i;
+    std::reverse(out.ops.begin(), out.ops.end());
+    return out;
+}
+
+}  // namespace swh::align

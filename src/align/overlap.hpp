@@ -1,0 +1,41 @@
+#pragma once
+
+#include <span>
+
+#include "align/alignment.hpp"
+
+namespace swh::align {
+
+/// Result of a suffix-prefix (dovetail) overlap alignment: a suffix of
+/// `a` aligned against a prefix of `b`.
+struct Overlap {
+    Score score = 0;
+    std::size_t a_begin = 0;  ///< overlap starts at a[a_begin..)
+    std::size_t b_end = 0;    ///< ...and covers b[0, b_end)
+
+    std::size_t a_len(std::size_t a_size) const { return a_size - a_begin; }
+};
+
+/// Semi-global overlap alignment (the assembly primitive): leading
+/// residues of `a` and trailing residues of `b` are free; the aligned
+/// region must reach a's end and start at b's beginning. Gaps inside the
+/// overlap are affine. Returns the best-scoring overlap; score can be
+/// <= 0 when the sequences do not dovetail (b_end == 0 means "no
+/// overlap beats the empty one").
+Overlap overlap_align(std::span<const Code> a, std::span<const Code> b,
+                      const ScoreMatrix& matrix, GapPenalty gap);
+
+/// Overlap plus the explicit column ops of the overlapped region
+/// (Delete = residue of a, Insert = residue of b), for consensus
+/// building.
+struct OverlapAlignment {
+    Overlap overlap;
+    std::vector<AlignOp> ops;
+};
+
+OverlapAlignment overlap_align_ops(std::span<const Code> a,
+                                   std::span<const Code> b,
+                                   const ScoreMatrix& matrix,
+                                   GapPenalty gap);
+
+}  // namespace swh::align

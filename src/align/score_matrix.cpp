@@ -1,0 +1,198 @@
+#include "align/score_matrix.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <limits>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/str.hpp"
+
+namespace swh::align {
+
+ScoreMatrix::ScoreMatrix(const Alphabet& alphabet, std::string name)
+    : alphabet_(&alphabet),
+      name_(std::move(name)),
+      k_(alphabet.size()),
+      data_(k_ * k_, 0) {}
+
+void ScoreMatrix::set(Code a, Code b, Score v) {
+    SWH_REQUIRE(a < k_ && b < k_, "matrix index out of alphabet range");
+    SWH_REQUIRE(v >= std::numeric_limits<std::int8_t>::min() &&
+                    v <= std::numeric_limits<std::int8_t>::max(),
+                "matrix entries must fit int8 for the 8-bit kernel");
+    data_[static_cast<std::size_t>(a) * k_ + b] = v;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+}
+
+void ScoreMatrix::recompute_extrema() {
+    min_ = max_ = data_.empty() ? 0 : data_[0];
+    for (Score v : data_) {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+}
+
+bool ScoreMatrix::is_symmetric() const {
+    for (std::size_t a = 0; a < k_; ++a)
+        for (std::size_t b = a + 1; b < k_; ++b)
+            if (data_[a * k_ + b] != data_[b * k_ + a]) return false;
+    return true;
+}
+
+ScoreMatrix ScoreMatrix::match_mismatch(const Alphabet& alphabet, Score match,
+                                        Score mismatch, Score wildcard_score) {
+    ScoreMatrix m(alphabet, "match_mismatch");
+    const Code wc = alphabet.wildcard();
+    for (Code a = 0; a < alphabet.size(); ++a) {
+        for (Code b = 0; b < alphabet.size(); ++b) {
+            Score v = (a == b) ? match : mismatch;
+            if (a == wc || b == wc) v = wildcard_score;
+            m.set(a, b, v);
+        }
+    }
+    return m;
+}
+
+ScoreMatrix ScoreMatrix::from_ncbi_stream(const Alphabet& alphabet,
+                                          std::istream& in,
+                                          std::string name) {
+    ScoreMatrix m(alphabet, std::move(name));
+    std::vector<Code> cols;
+    std::string line;
+    bool have_header = false;
+    while (std::getline(in, line)) {
+        const std::string_view t = trim(line);
+        if (t.empty() || t.front() == '#') continue;
+        const std::vector<std::string> fields = split_ws(t);
+        if (!have_header) {
+            for (const std::string& f : fields) {
+                SWH_REQUIRE(f.size() == 1, "matrix header entries are chars");
+                SWH_REQUIRE(alphabet.contains(f[0]),
+                            "matrix header symbol not in alphabet");
+                cols.push_back(alphabet.encode(f[0]));
+            }
+            have_header = true;
+            continue;
+        }
+        SWH_REQUIRE(fields.size() == cols.size() + 1,
+                    "matrix row has wrong field count");
+        SWH_REQUIRE(fields[0].size() == 1, "matrix row label must be a char");
+        SWH_REQUIRE(alphabet.contains(fields[0][0]),
+                    "matrix row symbol not in alphabet");
+        const Code row = alphabet.encode(fields[0][0]);
+        for (std::size_t c = 0; c < cols.size(); ++c) {
+            try {
+                m.set(row, cols[c], std::stoi(fields[c + 1]));
+            } catch (const std::invalid_argument&) {
+                throw ParseError("non-numeric matrix entry: " + fields[c + 1]);
+            }
+        }
+    }
+    SWH_REQUIRE(have_header, "matrix stream had no header line");
+    m.recompute_extrema();
+    return m;
+}
+
+std::string ScoreMatrix::to_ncbi_string() const {
+    std::ostringstream os;
+    os << "# " << name_ << '\n' << " ";
+    for (std::size_t b = 0; b < k_; ++b) {
+        os << "  " << alphabet_->decode(static_cast<Code>(b));
+    }
+    os << '\n';
+    for (std::size_t a = 0; a < k_; ++a) {
+        os << alphabet_->decode(static_cast<Code>(a));
+        for (std::size_t b = 0; b < k_; ++b) {
+            const Score v = data_[a * k_ + b];
+            os << (v < 0 || v > 9 ? " " : "  ") << v;
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+ScoreMatrix ScoreMatrix::blosum62() {
+    // NCBI BLOSUM62, 24x24, row/column order ARNDCQEGHILKMFPSTWYVBZX*.
+    static constexpr std::int8_t kRows[24][24] = {
+        // A
+        {4, -1, -2, -2, 0, -1, -1, 0, -2, -1, -1, -1, -1, -2, -1, 1, 0, -3,
+         -2, 0, -2, -1, 0, -4},
+        // R
+        {-1, 5, 0, -2, -3, 1, 0, -2, 0, -3, -2, 2, -1, -3, -2, -1, -1, -3,
+         -2, -3, -1, 0, -1, -4},
+        // N
+        {-2, 0, 6, 1, -3, 0, 0, 0, 1, -3, -3, 0, -2, -3, -2, 1, 0, -4, -2,
+         -3, 3, 0, -1, -4},
+        // D
+        {-2, -2, 1, 6, -3, 0, 2, -1, -1, -3, -4, -1, -3, -3, -1, 0, -1, -4,
+         -3, -3, 4, 1, -1, -4},
+        // C
+        {0, -3, -3, -3, 9, -3, -4, -3, -3, -1, -1, -3, -1, -2, -3, -1, -1,
+         -2, -2, -1, -3, -3, -2, -4},
+        // Q
+        {-1, 1, 0, 0, -3, 5, 2, -2, 0, -3, -2, 1, 0, -3, -1, 0, -1, -2, -1,
+         -2, 0, 3, -1, -4},
+        // E
+        {-1, 0, 0, 2, -4, 2, 5, -2, 0, -3, -3, 1, -2, -3, -1, 0, -1, -3, -2,
+         -2, 1, 4, -1, -4},
+        // G
+        {0, -2, 0, -1, -3, -2, -2, 6, -2, -4, -4, -2, -3, -3, -2, 0, -2, -2,
+         -3, -3, -1, -2, -1, -4},
+        // H
+        {-2, 0, 1, -1, -3, 0, 0, -2, 8, -3, -3, -1, -2, -1, -2, -1, -2, -2,
+         2, -3, 0, 0, -1, -4},
+        // I
+        {-1, -3, -3, -3, -1, -3, -3, -4, -3, 4, 2, -3, 1, 0, -3, -2, -1, -3,
+         -1, 3, -3, -3, -1, -4},
+        // L
+        {-1, -2, -3, -4, -1, -2, -3, -4, -3, 2, 4, -2, 2, 0, -3, -2, -1, -2,
+         -1, 1, -4, -3, -1, -4},
+        // K
+        {-1, 2, 0, -1, -3, 1, 1, -2, -1, -3, -2, 5, -1, -3, -1, 0, -1, -3,
+         -2, -2, 0, 1, -1, -4},
+        // M
+        {-1, -1, -2, -3, -1, 0, -2, -3, -2, 1, 2, -1, 5, 0, -2, -1, -1, -1,
+         -1, 1, -3, -1, -1, -4},
+        // F
+        {-2, -3, -3, -3, -2, -3, -3, -3, -1, 0, 0, -3, 0, 6, -4, -2, -2, 1,
+         3, -1, -3, -3, -1, -4},
+        // P
+        {-1, -2, -2, -1, -3, -1, -1, -2, -2, -3, -3, -1, -2, -4, 7, -1, -1,
+         -4, -3, -2, -2, -1, -2, -4},
+        // S
+        {1, -1, 1, 0, -1, 0, 0, 0, -1, -2, -2, 0, -1, -2, -1, 4, 1, -3, -2,
+         -2, 0, 0, 0, -4},
+        // T
+        {0, -1, 0, -1, -1, -1, -1, -2, -2, -1, -1, -1, -1, -2, -1, 1, 5, -2,
+         -2, 0, -1, -1, 0, -4},
+        // W
+        {-3, -3, -4, -4, -2, -2, -3, -2, -2, -3, -2, -3, -1, 1, -4, -3, -2,
+         11, 2, -3, -4, -3, -2, -4},
+        // Y
+        {-2, -2, -2, -3, -2, -1, -2, -3, 2, -1, -1, -2, -1, 3, -3, -2, -2, 2,
+         7, -1, -3, -2, -1, -4},
+        // V
+        {0, -3, -3, -3, -1, -2, -2, -3, -3, 3, 1, -2, 1, -1, -2, -2, 0, -3,
+         -1, 4, -3, -2, -1, -4},
+        // B
+        {-2, -1, 3, 4, -3, 0, 1, -1, 0, -3, -4, 0, -3, -3, -2, 0, -1, -4, -3,
+         -3, 4, 1, -1, -4},
+        // Z
+        {-1, 0, 0, 1, -3, 3, 4, -2, 0, -3, -3, 1, -1, -3, -1, 0, -1, -3, -2,
+         -2, 1, 4, -1, -4},
+        // X
+        {0, -1, -1, -1, -2, -1, -1, -1, -1, -1, -1, -1, -1, -1, -2, 0, 0, -2,
+         -1, -1, -1, -1, -1, -4},
+        // *
+        {-4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4,
+         -4, -4, -4, -4, -4, -4, 1},
+    };
+    ScoreMatrix m(Alphabet::protein(), "BLOSUM62");
+    for (Code a = 0; a < 24; ++a)
+        for (Code b = 0; b < 24; ++b) m.set(a, b, kRows[a][b]);
+    return m;
+}
+
+}  // namespace swh::align

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "align/alphabet.hpp"
+
+namespace swh::align {
+
+/// Alignment score type. 32 bits: the widest the fallback kernels need.
+using Score = std::int32_t;
+
+/// Affine gap model (Gotoh): a gap of length L >= 1 costs
+/// open + L * extend, i.e. the first gap residue costs open + extend and
+/// each further residue costs extend. Both values are non-negative
+/// penalties (they are *subtracted* from the score).
+struct GapPenalty {
+    Score open = 10;
+    Score extend = 2;
+
+    Score cost(Score length) const { return open + extend * length; }
+};
+
+/// Substitution matrix over an Alphabet. Values fit int8 (every common
+/// matrix does), which is what the 8-bit striped kernel requires.
+class ScoreMatrix {
+public:
+    ScoreMatrix(const Alphabet& alphabet, std::string name);
+
+    /// BLOSUM62 over the 24-letter protein alphabet (NCBI values).
+    static ScoreMatrix blosum62();
+
+    /// Simple match/mismatch matrix over any alphabet; the wildcard
+    /// scores `wildcard_score` against everything (including itself).
+    static ScoreMatrix match_mismatch(const Alphabet& alphabet, Score match,
+                                      Score mismatch,
+                                      Score wildcard_score = 0);
+
+    /// Parses an NCBI-format matrix file (column header line + one row
+    /// per symbol). Symbols must all belong to `alphabet`; alphabet
+    /// symbols missing from the file keep score 0.
+    static ScoreMatrix from_ncbi_stream(const Alphabet& alphabet,
+                                        std::istream& in, std::string name);
+
+    /// Renders in the same NCBI format (round-trips through
+    /// from_ncbi_stream).
+    std::string to_ncbi_string() const;
+
+    const Alphabet& alphabet() const { return *alphabet_; }
+    const std::string& name() const { return name_; }
+
+    Score at(Code a, Code b) const {
+        return data_[static_cast<std::size_t>(a) * k_ + b];
+    }
+
+    void set(Code a, Code b, Score v);
+
+    /// Score for two residue characters (encoded via the alphabet).
+    Score score(char a, char b) const {
+        return at(alphabet_->encode(a), alphabet_->encode(b));
+    }
+
+    Score min_score() const { return min_; }
+    Score max_score() const { return max_; }
+
+    /// Bias that makes every entry non-negative: -min_score() (>= 0).
+    /// Used by the unsigned 8-bit striped kernel.
+    Score bias() const { return min_ < 0 ? -min_ : 0; }
+
+    bool is_symmetric() const;
+
+private:
+    const Alphabet* alphabet_;
+    std::string name_;
+    std::size_t k_;
+    std::vector<Score> data_;
+    Score min_ = 0;
+    Score max_ = 0;
+
+    void recompute_extrema();
+};
+
+}  // namespace swh::align

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "align/alphabet.hpp"
+
+namespace swh::align {
+
+/// A biological sequence, residues stored as alphabet codes.
+struct Sequence {
+    std::string id;           ///< accession / name (first token of header)
+    std::string description;  ///< rest of the FASTA header, may be empty
+    std::vector<Code> residues;
+
+    std::size_t size() const { return residues.size(); }
+    bool empty() const { return residues.empty(); }
+
+    static Sequence from_string(const Alphabet& alphabet, std::string id,
+                                std::string_view letters) {
+        return Sequence{std::move(id), {}, alphabet.encode(letters)};
+    }
+};
+
+/// Total residues across a set of sequences.
+inline std::uint64_t total_residues(const std::vector<Sequence>& seqs) {
+    std::uint64_t total = 0;
+    for (const Sequence& s : seqs) total += s.size();
+    return total;
+}
+
+/// DP-matrix cell count for one query x database comparison — the unit
+/// behind the paper's GCUPS (billions of cell updates per second).
+inline std::uint64_t cell_count(std::size_t query_len,
+                                std::uint64_t db_residues) {
+    return static_cast<std::uint64_t>(query_len) * db_residues;
+}
+
+inline double gcups(std::uint64_t cells, double seconds) {
+    return seconds > 0.0 ? static_cast<double>(cells) / seconds / 1e9 : 0.0;
+}
+
+}  // namespace swh::align

@@ -1,0 +1,198 @@
+#include "align/striped.hpp"
+
+#include <algorithm>
+
+#include "align/striped_kernels.hpp"
+#include "align/sw_scalar.hpp"
+#include "simd/simd.hpp"
+#include "util/error.hpp"
+
+namespace swh::align {
+
+namespace {
+
+template <typename Cell>
+StripedProfile<Cell> build_profile(std::span<const Code> query,
+                                   const ScoreMatrix& matrix, int lanes,
+                                   Score bias) {
+    SWH_REQUIRE(lanes > 0, "lane count must be positive");
+    StripedProfile<Cell> p;
+    p.query_len = query.size();
+    p.lanes = lanes;
+    p.bias = bias;
+    p.symbols = matrix.alphabet().size();
+    p.seg_len = query.empty()
+                    ? 1
+                    : (query.size() + static_cast<std::size_t>(lanes) - 1) /
+                          static_cast<std::size_t>(lanes);
+    p.data.assign(p.symbols * p.seg_len * static_cast<std::size_t>(lanes),
+                  Cell{0});
+    for (Code a = 0; a < p.symbols; ++a) {
+        Cell* row = p.data.data() +
+                    static_cast<std::size_t>(a) * p.seg_len *
+                        static_cast<std::size_t>(lanes);
+        for (std::size_t i = 0; i < p.seg_len; ++i) {
+            for (int l = 0; l < lanes; ++l) {
+                const std::size_t pos =
+                    static_cast<std::size_t>(l) * p.seg_len + i;
+                // Padding slots keep 0: with the bias it decays in the
+                // 8-bit kernel; in the 16-bit kernel padded lanes only
+                // carry stale (already-counted) values upward.
+                if (pos < query.size()) {
+                    const Score v = matrix.at(query[pos], a) + bias;
+                    p.max_entry = std::max(p.max_entry, v);
+                    row[i * static_cast<std::size_t>(lanes) +
+                        static_cast<std::size_t>(l)] = static_cast<Cell>(v);
+                }
+            }
+        }
+    }
+    return p;
+}
+
+}  // namespace
+
+Profile8 build_profile8(std::span<const Code> query, const ScoreMatrix& matrix,
+                        int lanes) {
+    const Score bias = matrix.bias();
+    SWH_REQUIRE(matrix.max_score() + bias <= 255,
+                "matrix range too wide for the 8-bit profile");
+    return build_profile<std::uint8_t>(query, matrix, lanes, bias);
+}
+
+Profile16 build_profile16(std::span<const Code> query,
+                          const ScoreMatrix& matrix, int lanes) {
+    return build_profile<std::int16_t>(query, matrix, lanes, 0);
+}
+
+int lanes_u8(simd::IsaLevel isa) {
+    switch (isa) {
+        case simd::IsaLevel::Scalar:
+            return simd::U8x16s::kLanes;
+#if defined(__SSE2__)
+        case simd::IsaLevel::SSE2:
+            return simd::U8x16::kLanes;
+#endif
+#if defined(__AVX2__)
+        case simd::IsaLevel::AVX2:
+            return simd::U8x32::kLanes;
+#endif
+#if defined(__AVX512BW__)
+        case simd::IsaLevel::AVX512:
+            return simd::U8x64::kLanes;
+#endif
+        default:
+            break;
+    }
+    SWH_REQUIRE(false, "ISA level not compiled in");
+    return 0;
+}
+
+int lanes_i16(simd::IsaLevel isa) {
+    switch (isa) {
+        case simd::IsaLevel::Scalar:
+            return simd::I16x8s::kLanes;
+#if defined(__SSE2__)
+        case simd::IsaLevel::SSE2:
+            return simd::I16x8::kLanes;
+#endif
+#if defined(__AVX2__)
+        case simd::IsaLevel::AVX2:
+            return simd::I16x16::kLanes;
+#endif
+#if defined(__AVX512BW__)
+        case simd::IsaLevel::AVX512:
+            return simd::I16x32::kLanes;
+#endif
+        default:
+            break;
+    }
+    SWH_REQUIRE(false, "ISA level not compiled in");
+    return 0;
+}
+
+StripedResult sw_striped_u8(const Profile8& profile, std::span<const Code> db,
+                            GapPenalty gap, simd::IsaLevel isa) {
+    switch (isa) {
+        case simd::IsaLevel::Scalar:
+            return detail::striped_u8<simd::U8x16s>(profile, db, gap);
+#if defined(__SSE2__)
+        case simd::IsaLevel::SSE2:
+            return detail::striped_u8<simd::U8x16>(profile, db, gap);
+#endif
+#if defined(__AVX2__)
+        case simd::IsaLevel::AVX2:
+            return detail::striped_u8<simd::U8x32>(profile, db, gap);
+#endif
+#if defined(__AVX512BW__)
+        case simd::IsaLevel::AVX512:
+            return detail::striped_u8<simd::U8x64>(profile, db, gap);
+#endif
+        default:
+            break;
+    }
+    SWH_REQUIRE(false, "ISA level not compiled in");
+    return {};
+}
+
+StripedResult sw_striped_i16(const Profile16& profile,
+                             std::span<const Code> db, GapPenalty gap,
+                             simd::IsaLevel isa) {
+    const Score matrix_max = profile.max_entry;
+    switch (isa) {
+        case simd::IsaLevel::Scalar:
+            return detail::striped_i16<simd::I16x8s>(profile, db, gap,
+                                                     matrix_max);
+#if defined(__SSE2__)
+        case simd::IsaLevel::SSE2:
+            return detail::striped_i16<simd::I16x8>(profile, db, gap,
+                                                    matrix_max);
+#endif
+#if defined(__AVX2__)
+        case simd::IsaLevel::AVX2:
+            return detail::striped_i16<simd::I16x16>(profile, db, gap,
+                                                     matrix_max);
+#endif
+#if defined(__AVX512BW__)
+        case simd::IsaLevel::AVX512:
+            return detail::striped_i16<simd::I16x32>(profile, db, gap,
+                                                     matrix_max);
+#endif
+        default:
+            break;
+    }
+    SWH_REQUIRE(false, "ISA level not compiled in");
+    return {};
+}
+
+StripedAligner::StripedAligner(std::vector<Code> query,
+                               const ScoreMatrix& matrix, GapPenalty gap,
+                               simd::IsaLevel isa)
+    : query_(std::move(query)), matrix_(&matrix), gap_(gap), isa_(isa) {
+    SWH_REQUIRE(simd::is_supported(isa), "requested ISA not supported");
+    profile8_ = build_profile8(query_, matrix, lanes_u8(isa));
+    profile16_ = build_profile16(query_, matrix, lanes_i16(isa));
+}
+
+Score StripedAligner::score(std::span<const Code> db) const {
+    const StripedResult r8 = sw_striped_u8(profile8_, db, gap_, isa_);
+    if (!r8.overflow) {
+        runs8_.fetch_add(1, std::memory_order_relaxed);
+        return r8.score;
+    }
+    const StripedResult r16 = sw_striped_i16(profile16_, db, gap_, isa_);
+    if (!r16.overflow) {
+        runs16_.fetch_add(1, std::memory_order_relaxed);
+        return r16.score;
+    }
+    runs32_.fetch_add(1, std::memory_order_relaxed);
+    return sw_score_affine(query_, db, *matrix_, gap_);
+}
+
+StripedAligner::Stats StripedAligner::stats() const {
+    return Stats{runs8_.load(std::memory_order_relaxed),
+                 runs16_.load(std::memory_order_relaxed),
+                 runs32_.load(std::memory_order_relaxed)};
+}
+
+}  // namespace swh::align

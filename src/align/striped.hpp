@@ -1,0 +1,102 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "align/score_matrix.hpp"
+#include "align/sequence.hpp"
+#include "simd/arch.hpp"
+
+namespace swh::align {
+
+/// Striped query profile (Farrar 2007). For a query of length m split
+/// into L lanes of segments of length seg = ceil(m/L), entry
+/// (symbol a, segment i, lane l) holds the substitution score of a
+/// against query residue q[l*seg + i] — plus `bias` in the 8-bit profile
+/// so every stored value is non-negative. Out-of-range (padding) slots
+/// store 0, which decays harmlessly in the kernel.
+template <typename Cell>
+struct StripedProfile {
+    std::size_t query_len = 0;
+    std::size_t seg_len = 0;  ///< vectors per column
+    int lanes = 0;
+    Score bias = 0;  ///< 0 for the signed 16-bit profile
+    Score max_entry = 0;  ///< largest stored value; bounds one add step
+    std::size_t symbols = 0;
+    std::vector<Cell> data;  ///< [symbol][segment][lane], vectors contiguous
+
+    const Cell* row(Code symbol) const {
+        return data.data() +
+               static_cast<std::size_t>(symbol) * seg_len *
+                   static_cast<std::size_t>(lanes);
+    }
+};
+
+using Profile8 = StripedProfile<std::uint8_t>;
+using Profile16 = StripedProfile<std::int16_t>;
+
+Profile8 build_profile8(std::span<const Code> query, const ScoreMatrix& matrix,
+                        int lanes);
+Profile16 build_profile16(std::span<const Code> query,
+                          const ScoreMatrix& matrix, int lanes);
+
+/// Result of one striped scan. `overflow` means the arithmetic may have
+/// saturated and the caller must escalate to a wider kernel.
+struct StripedResult {
+    Score score = 0;
+    bool overflow = false;
+};
+
+/// 8-bit unsigned saturated kernel (max representable score 255, the
+/// paper's 8-bit bound). `isa` must be supported (see simd::is_supported).
+StripedResult sw_striped_u8(const Profile8& profile, std::span<const Code> db,
+                            GapPenalty gap, simd::IsaLevel isa);
+
+/// 16-bit signed saturated kernel (max score 32767, the paper's 16-bit
+/// bound).
+StripedResult sw_striped_i16(const Profile16& profile,
+                             std::span<const Code> db, GapPenalty gap,
+                             simd::IsaLevel isa);
+
+/// Number of lanes each kernel uses at a given ISA level (profile layout
+/// depends on it).
+int lanes_u8(simd::IsaLevel isa);
+int lanes_i16(simd::IsaLevel isa);
+
+/// Query-vs-many-databases scorer with automatic 8 -> 16 -> 32-bit
+/// escalation, mirroring how SSE database-search tools (and the paper's
+/// adapted Farrar code) handle score overflow. Thread-safe for concurrent
+/// score() calls after construction.
+class StripedAligner {
+public:
+    StripedAligner(std::vector<Code> query, const ScoreMatrix& matrix,
+                   GapPenalty gap,
+                   simd::IsaLevel isa = simd::best_supported());
+
+    /// Exact local alignment score of the query against one db sequence.
+    Score score(std::span<const Code> db) const;
+
+    std::span<const Code> query() const { return query_; }
+    simd::IsaLevel isa() const { return isa_; }
+
+    struct Stats {
+        std::uint64_t runs8 = 0;    ///< sequences settled by the u8 kernel
+        std::uint64_t runs16 = 0;   ///< escalations to i16
+        std::uint64_t runs32 = 0;   ///< escalations to scalar int32
+    };
+    /// Cumulative escalation counters (approximate under concurrency).
+    Stats stats() const;
+
+private:
+    std::vector<Code> query_;
+    const ScoreMatrix* matrix_;
+    GapPenalty gap_;
+    simd::IsaLevel isa_;
+    Profile8 profile8_;
+    Profile16 profile16_;
+    mutable std::atomic<std::uint64_t> runs8_{0}, runs16_{0}, runs32_{0};
+};
+
+}  // namespace swh::align

@@ -1,0 +1,143 @@
+#pragma once
+
+// Templated bodies of the striped Smith-Waterman kernels (Farrar 2007,
+// with the exactness fix of also refreshing E during the lazy-F loop).
+// Instantiated per SIMD backend in striped.cpp; exposed in a header so
+// tests can pin a specific backend.
+
+#include <span>
+#include <vector>
+
+#include "align/striped.hpp"
+#include "util/error.hpp"
+
+namespace swh::align::detail {
+
+/// 8-bit unsigned kernel. V must model the vector interface documented
+/// in simd/vec_scalar.hpp with lane_type uint8_t.
+template <class V>
+StripedResult striped_u8(const Profile8& p, std::span<const Code> db,
+                         GapPenalty gap) {
+    SWH_REQUIRE(p.lanes == V::kLanes, "profile built for a different width");
+    StripedResult r;
+    if (p.query_len == 0 || db.empty()) return r;
+
+    const std::size_t seg = p.seg_len;
+    const auto open_ext =
+        static_cast<std::uint8_t>(std::min<Score>(gap.open + gap.extend, 255));
+    const auto ext =
+        static_cast<std::uint8_t>(std::min<Score>(gap.extend, 255));
+    const V vGapOE = V::splat(open_ext);
+    const V vGapE = V::splat(ext);
+    const V vBias = V::splat(static_cast<std::uint8_t>(p.bias));
+
+    std::vector<V> h_load(seg, V::zero());
+    std::vector<V> h_store(seg, V::zero());
+    std::vector<V> e(seg, V::zero());
+    V vMax = V::zero();
+
+    for (const Code c : db) {
+        SWH_REQUIRE(c < p.symbols, "db residue outside profile alphabet");
+        const std::uint8_t* prof = p.row(c);
+        V vF = V::zero();
+        // H(i-1) of the last segment, rotated: lane l receives the value
+        // of lane l-1, and a 0 boundary enters lane 0.
+        V vH = h_load[seg - 1].shl_lane();
+        for (std::size_t i = 0; i < seg; ++i) {
+            vH = subs(adds(vH, V::load(prof + i * V::kLanes)), vBias);
+            vH = vmax(vH, e[i]);
+            vH = vmax(vH, vF);
+            vMax = vmax(vMax, vH);
+            h_store[i] = vH;
+            const V vHgap = subs(vH, vGapOE);
+            e[i] = vmax(subs(e[i], vGapE), vHgap);
+            vF = vmax(subs(vF, vGapE), vHgap);
+            vH = h_load[i];
+        }
+        // Lazy-F: propagate vertical gaps that cross segment boundaries.
+        vF = vF.shl_lane();
+        std::size_t j = 0;
+        while (any_gt(vF, subs(h_store[j], vGapOE))) {
+            h_store[j] = vmax(h_store[j], vF);
+            // Keep E exact w.r.t. the corrected H (Farrar's original
+            // kernel skips this; it can underestimate E after an F fix).
+            e[j] = vmax(e[j], subs(h_store[j], vGapOE));
+            vF = subs(vF, vGapE);
+            if (++j >= seg) {
+                j = 0;
+                vF = vF.shl_lane();
+            }
+        }
+        std::swap(h_load, h_store);
+    }
+
+    const std::uint8_t m = vMax.hmax();
+    r.score = m;
+    // Saturation is possible once H + (matrix value + bias) can clip 255.
+    r.overflow = static_cast<Score>(m) + p.bias >= 255;
+    return r;
+}
+
+/// 16-bit signed kernel with an explicit zero clamp (signed lanes do not
+/// get it for free from saturation like the unsigned kernel does).
+template <class V>
+StripedResult striped_i16(const Profile16& p, std::span<const Code> db,
+                          GapPenalty gap, Score matrix_max) {
+    SWH_REQUIRE(p.lanes == V::kLanes, "profile built for a different width");
+    StripedResult r;
+    if (p.query_len == 0 || db.empty()) return r;
+
+    const std::size_t seg = p.seg_len;
+    const V vGapOE = V::splat(static_cast<std::int16_t>(
+        std::min<Score>(gap.open + gap.extend, 32767)));
+    const V vGapE =
+        V::splat(static_cast<std::int16_t>(std::min<Score>(gap.extend, 32767)));
+    const V vZero = V::zero();
+
+    std::vector<V> h_load(seg, V::zero());
+    std::vector<V> h_store(seg, V::zero());
+    std::vector<V> e(seg, V::zero());
+    V vMax = V::zero();
+
+    for (const Code c : db) {
+        SWH_REQUIRE(c < p.symbols, "db residue outside profile alphabet");
+        const std::int16_t* prof = p.row(c);
+        V vF = V::zero();
+        V vH = h_load[seg - 1].shl_lane();
+        for (std::size_t i = 0; i < seg; ++i) {
+            vH = adds(vH, V::load(prof + i * V::kLanes));
+            vH = vmax(vH, e[i]);
+            vH = vmax(vH, vF);
+            vH = vmax(vH, vZero);  // local-alignment clamp
+            vMax = vmax(vMax, vH);
+            h_store[i] = vH;
+            const V vHgap = subs(vH, vGapOE);
+            e[i] = vmax(subs(e[i], vGapE), vHgap);
+            vF = vmax(subs(vF, vGapE), vHgap);
+            vH = h_load[i];
+        }
+        vF = vF.shl_lane();
+        std::size_t j = 0;
+        // Unlike the unsigned kernel, signed lanes do not bottom out at 0,
+        // so compare against max(H - gapOE, 0): a non-positive F can never
+        // raise a (non-negative) local-alignment H and must not keep the
+        // loop alive.
+        while (any_gt(vF, vmax(subs(h_store[j], vGapOE), vZero))) {
+            h_store[j] = vmax(h_store[j], vF);
+            e[j] = vmax(e[j], subs(h_store[j], vGapOE));
+            vF = subs(vF, vGapE);
+            if (++j >= seg) {
+                j = 0;
+                vF = vF.shl_lane();
+            }
+        }
+        std::swap(h_load, h_store);
+    }
+
+    const std::int16_t m = vMax.hmax();
+    r.score = m;
+    r.overflow = static_cast<Score>(m) + matrix_max >= 32767;
+    return r;
+}
+
+}  // namespace swh::align::detail

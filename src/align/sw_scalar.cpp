@@ -1,0 +1,105 @@
+#include "align/sw_scalar.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace swh::align {
+
+DpMatrix sw_matrix_linear(std::span<const Code> s, std::span<const Code> t,
+                          const ScoreMatrix& matrix, Score gap) {
+    SWH_REQUIRE(gap >= 0, "gap penalty must be non-negative");
+    DpMatrix dp;
+    dp.rows = s.size() + 1;
+    dp.cols = t.size() + 1;
+    dp.h.assign(dp.rows * dp.cols, 0);
+    for (std::size_t i = 1; i <= s.size(); ++i) {
+        for (std::size_t j = 1; j <= t.size(); ++j) {
+            const Score diag =
+                dp.at(i - 1, j - 1) + matrix.at(s[i - 1], t[j - 1]);
+            const Score up = dp.at(i - 1, j) - gap;
+            const Score left = dp.at(i, j - 1) - gap;
+            dp.at(i, j) = std::max({diag, up, left, Score{0}});
+        }
+    }
+    return dp;
+}
+
+Score sw_score_linear(std::span<const Code> s, std::span<const Code> t,
+                      const ScoreMatrix& matrix, Score gap) {
+    SWH_REQUIRE(gap >= 0, "gap penalty must be non-negative");
+    std::vector<Score> row(t.size() + 1, 0);
+    Score best = 0;
+    for (std::size_t i = 1; i <= s.size(); ++i) {
+        Score diag = row[0];  // H(i-1, j-1)
+        for (std::size_t j = 1; j <= t.size(); ++j) {
+            const Score h = std::max(
+                {diag + matrix.at(s[i - 1], t[j - 1]), row[j] - gap,
+                 row[j - 1] - gap, Score{0}});
+            diag = row[j];
+            row[j] = h;
+            best = std::max(best, h);
+        }
+    }
+    return best;
+}
+
+namespace {
+
+// Shared core for sw_score_affine / sw_end_affine.
+//
+// Gotoh recurrences (H over s[1..i], t[1..j]):
+//   E(i,j) = max(E(i,j-1), H(i,j-1) - open) - extend   (gap in s, same row)
+//   F(i,j) = max(F(i-1,j), H(i-1,j) - open) - extend   (gap in t, same col)
+//   H(i,j) = max(H(i-1,j-1) + sub(s_i,t_j), E(i,j), F(i,j), 0)
+// E is a running scalar along the row; F needs one slot per column.
+// Boundary E(i,0) = F(0,j) = "no open gap"; initialising those to 0 is
+// safe because the bogus chains they seed stay strictly negative and H is
+// clamped at 0 (see tests/align/gotoh_boundary_test).
+template <bool TrackEnd>
+LocalEnd gotoh_core(std::span<const Code> s, std::span<const Code> t,
+                    const ScoreMatrix& matrix, GapPenalty gap) {
+    SWH_REQUIRE(gap.open >= 0 && gap.extend >= 0,
+                "gap penalties must be non-negative");
+    LocalEnd best;
+    std::vector<Score> h_row(t.size() + 1, 0);  // H(i-1,*) rolling to H(i,*)
+    std::vector<Score> f_col(t.size() + 1, 0);  // F(i-1,*) rolling to F(i,*)
+    for (std::size_t i = 1; i <= s.size(); ++i) {
+        Score h_diag = h_row[0];  // H(i-1, j-1)
+        Score e = 0;              // E(i, j) running along the row
+        for (std::size_t j = 1; j <= t.size(); ++j) {
+            // h_row[j-1] already holds H(i, j-1); h_row[j] still H(i-1, j).
+            e = std::max(e, h_row[j - 1] - gap.open) - gap.extend;
+            f_col[j] = std::max(f_col[j], h_row[j] - gap.open) - gap.extend;
+            const Score h = std::max(
+                {h_diag + matrix.at(s[i - 1], t[j - 1]), e, f_col[j],
+                 Score{0}});
+            h_diag = h_row[j];
+            h_row[j] = h;
+            if constexpr (TrackEnd) {
+                if (h > best.score) {
+                    best.score = h;
+                    best.s_end = i - 1;
+                    best.t_end = j - 1;
+                }
+            } else {
+                best.score = std::max(best.score, h);
+            }
+        }
+    }
+    return best;
+}
+
+}  // namespace
+
+Score sw_score_affine(std::span<const Code> s, std::span<const Code> t,
+                      const ScoreMatrix& matrix, GapPenalty gap) {
+    return gotoh_core<false>(s, t, matrix, gap).score;
+}
+
+LocalEnd sw_end_affine(std::span<const Code> s, std::span<const Code> t,
+                       const ScoreMatrix& matrix, GapPenalty gap) {
+    return gotoh_core<true>(s, t, matrix, gap);
+}
+
+}  // namespace swh::align

@@ -1,0 +1,308 @@
+#include "align/traceback.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace swh::align {
+
+namespace {
+
+// Large negative sentinel that survives a few additions without wrapping.
+constexpr Score kNegInf = std::numeric_limits<Score>::min() / 4;
+
+// Direction-byte layout shared by the affine aligners:
+//   bits 0..1: H source — 0 stop/boundary, 1 diagonal, 2 E (insert),
+//              3 F (delete)
+//   bit 2:     E(i,j) extends E(i,j-1) (otherwise opens from H(i,j-1))
+//   bit 3:     F(i,j) extends F(i-1,j) (otherwise opens from H(i-1,j))
+constexpr std::uint8_t kHStop = 0;
+constexpr std::uint8_t kHDiag = 1;
+constexpr std::uint8_t kHFromE = 2;
+constexpr std::uint8_t kHFromF = 3;
+constexpr std::uint8_t kEExt = 1u << 2;
+constexpr std::uint8_t kFExt = 1u << 3;
+
+struct AffineDp {
+    std::size_t cols = 0;  // |t| + 1
+    std::vector<Score> h, e, f;
+    std::vector<std::uint8_t> dir;
+
+    Score& H(std::size_t i, std::size_t j) { return h[i * cols + j]; }
+    Score& E(std::size_t i, std::size_t j) { return e[i * cols + j]; }
+    Score& F(std::size_t i, std::size_t j) { return f[i * cols + j]; }
+    std::uint8_t& D(std::size_t i, std::size_t j) { return dir[i * cols + j]; }
+};
+
+// Fills the affine DP tables. `global` selects NW boundaries and drops
+// the zero clamp.
+AffineDp fill_affine(std::span<const Code> s, std::span<const Code> t,
+                     const ScoreMatrix& matrix, GapPenalty gap, bool global) {
+    SWH_REQUIRE(gap.open >= 0 && gap.extend >= 0,
+                "gap penalties must be non-negative");
+    AffineDp dp;
+    const std::size_t m = s.size(), n = t.size();
+    dp.cols = n + 1;
+    const std::size_t cells = (m + 1) * (n + 1);
+    dp.h.assign(cells, 0);
+    dp.e.assign(cells, kNegInf);
+    dp.f.assign(cells, kNegInf);
+    dp.dir.assign(cells, kHStop);
+
+    if (global) {
+        for (std::size_t j = 1; j <= n; ++j) {
+            dp.H(0, j) = -gap.cost(static_cast<Score>(j));
+            dp.E(0, j) = dp.H(0, j);
+            dp.D(0, j) = kHFromE | (j > 1 ? kEExt : 0);
+        }
+        for (std::size_t i = 1; i <= m; ++i) {
+            dp.H(i, 0) = -gap.cost(static_cast<Score>(i));
+            dp.F(i, 0) = dp.H(i, 0);
+            dp.D(i, 0) = kHFromF | (i > 1 ? kFExt : 0);
+        }
+    }
+
+    for (std::size_t i = 1; i <= m; ++i) {
+        for (std::size_t j = 1; j <= n; ++j) {
+            std::uint8_t d = 0;
+
+            const Score e_ext = dp.E(i, j - 1) - gap.extend;
+            const Score e_open = dp.H(i, j - 1) - gap.open - gap.extend;
+            if (e_ext >= e_open) d |= kEExt;
+            dp.E(i, j) = std::max(e_ext, e_open);
+
+            const Score f_ext = dp.F(i - 1, j) - gap.extend;
+            const Score f_open = dp.H(i - 1, j) - gap.open - gap.extend;
+            if (f_ext >= f_open) d |= kFExt;
+            dp.F(i, j) = std::max(f_ext, f_open);
+
+            const Score diag =
+                dp.H(i - 1, j - 1) + matrix.at(s[i - 1], t[j - 1]);
+            Score best = diag;
+            std::uint8_t src = kHDiag;
+            if (dp.E(i, j) > best) {
+                best = dp.E(i, j);
+                src = kHFromE;
+            }
+            if (dp.F(i, j) > best) {
+                best = dp.F(i, j);
+                src = kHFromF;
+            }
+            if (!global && best <= 0) {
+                best = 0;
+                src = kHStop;
+            }
+            dp.H(i, j) = best;
+            dp.D(i, j) = d | src;
+        }
+    }
+    return dp;
+}
+
+// Walks the direction matrix back from (i, j) in the H state, emitting
+// ops in reverse. Stops at a kHStop cell (local) or at (0,0) (global).
+Alignment trace_affine(AffineDp& dp, std::size_t i, std::size_t j,
+                       Score score) {
+    Alignment out;
+    out.score = score;
+    out.s_end = i;
+    out.t_end = j;
+    enum class St { H, E, F } st = St::H;
+    while (i > 0 || j > 0) {
+        const std::uint8_t d = dp.D(i, j);
+        if (st == St::H) {
+            const std::uint8_t src = d & 0x3;
+            if (src == kHStop) break;
+            if (src == kHDiag) {
+                out.ops.push_back(AlignOp::Match);
+                --i;
+                --j;
+            } else if (src == kHFromE) {
+                st = St::E;
+            } else {
+                st = St::F;
+            }
+        } else if (st == St::E) {
+            out.ops.push_back(AlignOp::Insert);
+            const bool ext = (d & kEExt) != 0;
+            --j;
+            if (!ext) st = St::H;
+        } else {  // St::F
+            out.ops.push_back(AlignOp::Delete);
+            const bool ext = (d & kFExt) != 0;
+            --i;
+            if (!ext) st = St::H;
+        }
+    }
+    out.s_begin = i;
+    out.t_begin = j;
+    std::reverse(out.ops.begin(), out.ops.end());
+    return out;
+}
+
+}  // namespace
+
+Alignment sw_align_linear(std::span<const Code> s, std::span<const Code> t,
+                          const ScoreMatrix& matrix, Score gap) {
+    SWH_REQUIRE(gap >= 0, "gap penalty must be non-negative");
+    const std::size_t m = s.size(), n = t.size();
+    const std::size_t cols = n + 1;
+    std::vector<Score> h((m + 1) * cols, 0);
+    // 0 stop, 1 diag, 2 left (insert), 3 up (delete)
+    std::vector<std::uint8_t> dir((m + 1) * cols, 0);
+
+    Score best = 0;
+    std::size_t bi = 0, bj = 0;
+    for (std::size_t i = 1; i <= m; ++i) {
+        for (std::size_t j = 1; j <= n; ++j) {
+            const Score diag =
+                h[(i - 1) * cols + j - 1] + matrix.at(s[i - 1], t[j - 1]);
+            const Score up = h[(i - 1) * cols + j] - gap;
+            const Score left = h[i * cols + j - 1] - gap;
+            Score v = diag;
+            std::uint8_t d = 1;
+            if (left > v) {
+                v = left;
+                d = 2;
+            }
+            if (up > v) {
+                v = up;
+                d = 3;
+            }
+            if (v <= 0) {
+                v = 0;
+                d = 0;
+            }
+            h[i * cols + j] = v;
+            dir[i * cols + j] = d;
+            if (v > best) {
+                best = v;
+                bi = i;
+                bj = j;
+            }
+        }
+    }
+
+    Alignment out;
+    out.score = best;
+    out.s_end = bi;
+    out.t_end = bj;
+    std::size_t i = bi, j = bj;
+    while (dir[i * cols + j] != 0) {
+        switch (dir[i * cols + j]) {
+            case 1:
+                out.ops.push_back(AlignOp::Match);
+                --i;
+                --j;
+                break;
+            case 2:
+                out.ops.push_back(AlignOp::Insert);
+                --j;
+                break;
+            default:
+                out.ops.push_back(AlignOp::Delete);
+                --i;
+                break;
+        }
+    }
+    out.s_begin = i;
+    out.t_begin = j;
+    std::reverse(out.ops.begin(), out.ops.end());
+    return out;
+}
+
+Alignment sw_align_affine(std::span<const Code> s, std::span<const Code> t,
+                          const ScoreMatrix& matrix, GapPenalty gap) {
+    AffineDp dp = fill_affine(s, t, matrix, gap, /*global=*/false);
+    Score best = 0;
+    std::size_t bi = 0, bj = 0;
+    for (std::size_t i = 1; i <= s.size(); ++i) {
+        for (std::size_t j = 1; j <= t.size(); ++j) {
+            if (dp.H(i, j) > best) {
+                best = dp.H(i, j);
+                bi = i;
+                bj = j;
+            }
+        }
+    }
+    if (best == 0) return Alignment{};  // empty alignment
+    return trace_affine(dp, bi, bj, best);
+}
+
+Alignment nw_align_linear(std::span<const Code> s, std::span<const Code> t,
+                          const ScoreMatrix& matrix, Score gap) {
+    SWH_REQUIRE(gap >= 0, "gap penalty must be non-negative");
+    const std::size_t m = s.size(), n = t.size();
+    const std::size_t cols = n + 1;
+    std::vector<Score> h((m + 1) * cols, 0);
+    std::vector<std::uint8_t> dir((m + 1) * cols, 0);  // 1 diag 2 left 3 up
+    for (std::size_t j = 1; j <= n; ++j) {
+        h[j] = -gap * static_cast<Score>(j);
+        dir[j] = 2;
+    }
+    for (std::size_t i = 1; i <= m; ++i) {
+        h[i * cols] = -gap * static_cast<Score>(i);
+        dir[i * cols] = 3;
+    }
+    for (std::size_t i = 1; i <= m; ++i) {
+        for (std::size_t j = 1; j <= n; ++j) {
+            const Score diag =
+                h[(i - 1) * cols + j - 1] + matrix.at(s[i - 1], t[j - 1]);
+            const Score up = h[(i - 1) * cols + j] - gap;
+            const Score left = h[i * cols + j - 1] - gap;
+            Score v = diag;
+            std::uint8_t d = 1;
+            if (left > v) {
+                v = left;
+                d = 2;
+            }
+            if (up > v) {
+                v = up;
+                d = 3;
+            }
+            h[i * cols + j] = v;
+            dir[i * cols + j] = d;
+        }
+    }
+
+    Alignment out;
+    out.score = h[m * cols + n];
+    out.s_end = m;
+    out.t_end = n;
+    std::size_t i = m, j = n;
+    while (i > 0 || j > 0) {
+        switch (dir[i * cols + j]) {
+            case 1:
+                out.ops.push_back(AlignOp::Match);
+                --i;
+                --j;
+                break;
+            case 2:
+                out.ops.push_back(AlignOp::Insert);
+                --j;
+                break;
+            default:
+                out.ops.push_back(AlignOp::Delete);
+                --i;
+                break;
+        }
+    }
+    std::reverse(out.ops.begin(), out.ops.end());
+    return out;
+}
+
+Alignment nw_align_affine(std::span<const Code> s, std::span<const Code> t,
+                          const ScoreMatrix& matrix, GapPenalty gap) {
+    AffineDp dp = fill_affine(s, t, matrix, gap, /*global=*/true);
+    const std::size_t m = s.size(), n = t.size();
+    Alignment out = trace_affine(dp, m, n, dp.H(m, n));
+    // A global alignment must consume both sequences fully; trace_affine
+    // stops at (0,0) because no kHStop cells exist on the NW paths.
+    SWH_REQUIRE(out.s_begin == 0 && out.t_begin == 0,
+                "global traceback did not reach the origin");
+    return out;
+}
+
+}  // namespace swh::align

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <span>
+
+#include "align/alignment.hpp"
+#include "align/score_matrix.hpp"
+
+namespace swh::align {
+
+/// Quadratic-space aligners with full traceback — the paper's "phase 2"
+/// (SS II-A.2). Memory is O(|s| * |t|) bytes for the direction matrix, so
+/// these are meant for moderate sequence pairs; sw_align_affine_lowmem
+/// (local_align.hpp) handles long pairs by shrinking the rectangle first.
+
+/// Local alignment, linear gap model (Eq. 1). The traceback starts at the
+/// highest H cell (ties: smallest i, then j) and follows arrows until a
+/// zero cell, exactly as the paper describes under Fig. 2.
+Alignment sw_align_linear(std::span<const Code> s, std::span<const Code> t,
+                          const ScoreMatrix& matrix, Score gap);
+
+/// Local alignment, affine gaps (Gotoh H/E/F matrices).
+Alignment sw_align_affine(std::span<const Code> s, std::span<const Code> t,
+                          const ScoreMatrix& matrix, GapPenalty gap);
+
+/// Global (Needleman-Wunsch) alignment, linear gap model — used by the
+/// paper's Fig. 1 example (ma=+1, mi=-1, g=-2).
+Alignment nw_align_linear(std::span<const Code> s, std::span<const Code> t,
+                          const ScoreMatrix& matrix, Score gap);
+
+/// Global alignment with affine gaps.
+Alignment nw_align_affine(std::span<const Code> s, std::span<const Code> t,
+                          const ScoreMatrix& matrix, GapPenalty gap);
+
+}  // namespace swh::align

@@ -1,0 +1,172 @@
+#include "assembly/assembler.hpp"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <numeric>
+#include <thread>
+
+#include "align/alphabet.hpp"
+#include "util/error.hpp"
+
+namespace swh::assembly {
+
+using align::Code;
+using align::Score;
+
+std::size_t AssemblyResult::n50() const {
+    std::size_t total = 0;
+    for (const Contig& c : contigs) total += c.consensus.size();
+    if (total == 0) return 0;
+    std::size_t acc = 0;
+    for (const Contig& c : contigs) {  // contigs are longest-first
+        acc += c.consensus.size();
+        if (2 * acc >= total) return c.consensus.size();
+    }
+    return contigs.back().consensus.size();
+}
+
+std::vector<OverlapEdge> find_overlaps(
+    const std::vector<align::Sequence>& reads,
+    const AssemblyOptions& options) {
+    SWH_REQUIRE(options.threads >= 1, "need at least one thread");
+    SWH_REQUIRE(options.min_overlap > 0, "min_overlap must be positive");
+    const align::ScoreMatrix matrix = align::ScoreMatrix::match_mismatch(
+        align::Alphabet::dna(), options.match, options.mismatch, 0);
+
+    const std::size_t n = reads.size();
+    std::vector<std::vector<OverlapEdge>> per_thread(options.threads);
+    std::atomic<std::size_t> next{0};
+
+    auto worker = [&](unsigned wid) {
+        while (true) {
+            const std::size_t a = next.fetch_add(1);
+            if (a >= n) break;
+            for (std::size_t b = 0; b < n; ++b) {
+                if (a == b) continue;
+                const align::Overlap ov = align::overlap_align(
+                    reads[a].residues, reads[b].residues, matrix,
+                    options.gap);
+                if (ov.b_end >= options.min_overlap &&
+                    ov.score >= options.min_score) {
+                    per_thread[wid].push_back(OverlapEdge{a, b, ov});
+                }
+            }
+        }
+    };
+    std::vector<std::thread> pool;
+    for (unsigned w = 1; w < options.threads; ++w)
+        pool.emplace_back(worker, w);
+    worker(0);
+    for (std::thread& t : pool) t.join();
+
+    std::vector<OverlapEdge> edges;
+    for (auto& part : per_thread) {
+        edges.insert(edges.end(), part.begin(), part.end());
+    }
+    // Best-first; deterministic tie-break by read ids.
+    std::sort(edges.begin(), edges.end(),
+              [](const OverlapEdge& x, const OverlapEdge& y) {
+                  if (x.overlap.score != y.overlap.score)
+                      return x.overlap.score > y.overlap.score;
+                  if (x.a != y.a) return x.a < y.a;
+                  return x.b < y.b;
+              });
+    return edges;
+}
+
+namespace {
+
+/// Union-find for cycle prevention during greedy chaining.
+class UnionFind {
+public:
+    explicit UnionFind(std::size_t n) : parent_(n) {
+        std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+    }
+    std::size_t find(std::size_t x) {
+        while (parent_[x] != x) {
+            parent_[x] = parent_[parent_[x]];
+            x = parent_[x];
+        }
+        return x;
+    }
+    void merge(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+private:
+    std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+AssemblyResult assemble(const std::vector<align::Sequence>& reads,
+                        const AssemblyOptions& options) {
+    SWH_REQUIRE(!reads.empty(), "no reads to assemble");
+    AssemblyResult result;
+    const std::vector<OverlapEdge> edges = find_overlaps(reads, options);
+    result.overlap_candidates = edges.size();
+
+    // Greedy chaining: each read gets at most one successor and one
+    // predecessor; an edge inside one chain would close a cycle.
+    constexpr std::size_t kNone = ~std::size_t{0};
+    const std::size_t n = reads.size();
+    std::vector<std::size_t> next(n, kNone), prev(n, kNone);
+    std::vector<align::Overlap> next_overlap(n);
+    UnionFind uf(n);
+    for (const OverlapEdge& e : edges) {
+        if (next[e.a] != kNone || prev[e.b] != kNone) continue;
+        if (uf.find(e.a) == uf.find(e.b)) continue;  // would cycle
+        next[e.a] = e.b;
+        next_overlap[e.a] = e.overlap;
+        prev[e.b] = e.a;
+        uf.merge(e.a, e.b);
+        ++result.overlaps_used;
+    }
+
+    // Layout + pileup consensus per chain.
+    for (std::size_t start = 0; start < n; ++start) {
+        if (prev[start] != kNone) continue;  // interior of a chain
+        Contig contig;
+        std::size_t offset = 0;
+        for (std::size_t r = start; r != kNone; r = next[r]) {
+            contig.read_ids.push_back(r);
+            contig.offsets.push_back(offset);
+            if (next[r] != kNone) {
+                // The successor starts where the dovetail begins in r.
+                offset += next_overlap[r].a_begin;
+            }
+        }
+        std::size_t length = 0;
+        for (std::size_t k = 0; k < contig.read_ids.size(); ++k) {
+            length = std::max(length, contig.offsets[k] +
+                                          reads[contig.read_ids[k]].size());
+        }
+        // Majority vote per column (substitution errors only; reads have
+        // no indels, so offsets are exact).
+        std::vector<std::array<std::uint32_t, 5>> votes(
+            length, std::array<std::uint32_t, 5>{});
+        for (std::size_t k = 0; k < contig.read_ids.size(); ++k) {
+            const align::Sequence& read = reads[contig.read_ids[k]];
+            for (std::size_t p = 0; p < read.size(); ++p) {
+                const Code c = read.residues[p];
+                votes[contig.offsets[k] + p][std::min<Code>(c, 4)]++;
+            }
+        }
+        contig.consensus.resize(length);
+        for (std::size_t col = 0; col < length; ++col) {
+            std::size_t best = 0;
+            for (std::size_t c = 1; c < 5; ++c) {
+                if (votes[col][c] > votes[col][best]) best = c;
+            }
+            contig.consensus[col] = static_cast<Code>(best);
+        }
+        result.contigs.push_back(std::move(contig));
+    }
+
+    std::sort(result.contigs.begin(), result.contigs.end(),
+              [](const Contig& a, const Contig& b) {
+                  return a.consensus.size() > b.consensus.size();
+              });
+    return result;
+}
+
+}  // namespace swh::assembly

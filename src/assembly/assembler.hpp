@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "align/overlap.hpp"
+#include "align/score_matrix.hpp"
+#include "align/sequence.hpp"
+
+namespace swh::assembly {
+
+/// Greedy overlap-layout-consensus assembler configuration.
+struct AssemblyOptions {
+    align::Score match = 5;
+    align::Score mismatch = -4;
+    /// Near-prohibitive: the read model is substitution-only, and a
+    /// single indel-shifted overlap corrupts every downstream offset in
+    /// the layout. Gapped consensus would be needed to relax this.
+    align::GapPenalty gap{100, 10};
+    std::size_t min_overlap = 20; ///< bases of dovetail required
+    /// Minimum overlap score; the default demands ~85% identity over
+    /// min_overlap matched bases.
+    align::Score min_score = 75;
+    unsigned threads = 1;  ///< worker threads for the O(n^2) overlap stage
+};
+
+/// One read-vs-read dovetail candidate (suffix of read a, prefix of b).
+struct OverlapEdge {
+    std::size_t a = 0;
+    std::size_t b = 0;
+    align::Overlap overlap;
+};
+
+struct Contig {
+    std::vector<align::Code> consensus;
+    std::vector<std::size_t> read_ids;   ///< layout order
+    std::vector<std::size_t> offsets;    ///< read start in contig coords
+};
+
+struct AssemblyResult {
+    std::vector<Contig> contigs;  ///< longest first
+    std::size_t overlap_candidates = 0;  ///< edges above threshold
+    std::size_t overlaps_used = 0;       ///< edges in the final layout
+
+    /// Length of the longest contig (0 when empty).
+    std::size_t largest_contig() const {
+        return contigs.empty() ? 0 : contigs.front().consensus.size();
+    }
+    /// Standard N50 statistic over contig lengths.
+    std::size_t n50() const;
+};
+
+/// Computes all dovetail overlaps (a != b) with at least `min_overlap`
+/// aligned prefix bases of b and score >= min_score.
+std::vector<OverlapEdge> find_overlaps(
+    const std::vector<align::Sequence>& reads,
+    const AssemblyOptions& options);
+
+/// Greedy OLC: pick overlap edges best-first, chain reads (one
+/// successor / one predecessor, no cycles), then call a per-column
+/// majority consensus over the pileup. Handles substitution errors;
+/// indel errors would need gapped consensus (documented limitation).
+AssemblyResult assemble(const std::vector<align::Sequence>& reads,
+                        const AssemblyOptions& options = {});
+
+}  // namespace swh::assembly

@@ -1,0 +1,65 @@
+#include "assembly/read_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "db/generator.hpp"
+#include "util/error.hpp"
+
+namespace swh::assembly {
+
+align::Sequence random_reference(std::size_t length, std::uint64_t seed) {
+    Rng rng(seed);
+    return db::random_dna(rng, length, "reference");
+}
+
+std::vector<SimulatedRead> simulate_reads(const align::Sequence& reference,
+                                          const ReadSimSpec& spec) {
+    SWH_REQUIRE(spec.read_len >= 10, "reads too short to assemble");
+    SWH_REQUIRE(reference.size() >= spec.read_len,
+                "reference shorter than one read");
+    SWH_REQUIRE(spec.coverage > 0.0, "coverage must be positive");
+    SWH_REQUIRE(spec.error_rate >= 0.0 && spec.error_rate < 0.5,
+                "error rate out of range");
+
+    const auto count = static_cast<std::size_t>(std::ceil(
+        spec.coverage * static_cast<double>(reference.size()) /
+        static_cast<double>(spec.read_len)));
+    // Phred score of the per-base error rate (capped for error-free).
+    const int phred =
+        spec.error_rate > 0.0
+            ? std::min(93, static_cast<int>(std::lround(
+                               -10.0 * std::log10(spec.error_rate))))
+            : 60;
+
+    Rng rng(spec.seed);
+    std::vector<SimulatedRead> reads;
+    reads.reserve(count);
+    const std::size_t max_start = reference.size() - spec.read_len;
+    for (std::size_t r = 0; r < count; ++r) {
+        const std::size_t start = rng.below(max_start + 1);
+        SimulatedRead read;
+        read.true_position = start;
+        read.record.seq.id = "read_" + std::to_string(r);
+        read.record.seq.residues.assign(
+            reference.residues.begin() +
+                static_cast<std::ptrdiff_t>(start),
+            reference.residues.begin() +
+                static_cast<std::ptrdiff_t>(start + spec.read_len));
+        for (align::Code& base : read.record.seq.residues) {
+            if (spec.error_rate > 0.0 && rng.uniform() < spec.error_rate) {
+                align::Code repl = base;
+                while (repl == base) {
+                    repl = static_cast<align::Code>(rng.below(4));
+                }
+                base = repl;
+            }
+        }
+        read.record.quality.assign(spec.read_len,
+                                   static_cast<std::uint8_t>(phred));
+        reads.push_back(std::move(read));
+    }
+    return reads;
+}
+
+}  // namespace swh::assembly

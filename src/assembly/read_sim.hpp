@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "align/sequence.hpp"
+#include "io/fastq.hpp"
+#include "util/rng.hpp"
+
+namespace swh::assembly {
+
+/// Shotgun-sequencing simulator parameters. Reads are sampled uniformly
+/// from the forward strand (single-stranded model — a documented
+/// simplification; real assemblers also handle reverse complements).
+struct ReadSimSpec {
+    double coverage = 10.0;       ///< mean bases sampled per reference base
+    std::size_t read_len = 100;
+    double error_rate = 0.0;      ///< per-base substitution probability
+    std::uint64_t seed = 1;
+};
+
+struct SimulatedRead {
+    io::FastqRecord record;
+    std::size_t true_position = 0;  ///< origin in the reference
+};
+
+/// Samples reads from `reference` (a DNA sequence). Quality scores are
+/// derived from the error rate (constant Phred). Read count is
+/// ceil(coverage * |ref| / read_len); every position is coverable
+/// because starts are uniform over [0, |ref| - read_len].
+std::vector<SimulatedRead> simulate_reads(const align::Sequence& reference,
+                                          const ReadSimSpec& spec);
+
+/// Generates a random DNA reference of the given length.
+align::Sequence random_reference(std::size_t length, std::uint64_t seed);
+
+}  // namespace swh::assembly

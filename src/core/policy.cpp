@@ -1,0 +1,148 @@
+#include "core/policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace swh::core {
+
+namespace {
+
+class SelfScheduling final : public AllocationPolicy {
+public:
+    std::string_view name() const override { return "SS"; }
+
+    std::size_t batch_size(const SlaveView&, std::span<const SlaveView>,
+                           std::size_t ready_remaining,
+                           std::size_t) override {
+        return ready_remaining > 0 ? 1 : 0;
+    }
+};
+
+class ChunkedSelfScheduling final : public AllocationPolicy {
+public:
+    explicit ChunkedSelfScheduling(std::size_t chunk) : chunk_(chunk) {
+        SWH_REQUIRE(chunk > 0, "chunk size must be positive");
+    }
+
+    std::string_view name() const override { return "ChunkedSS"; }
+
+    std::size_t batch_size(const SlaveView&, std::span<const SlaveView>,
+                           std::size_t ready_remaining,
+                           std::size_t) override {
+        return std::min(chunk_, ready_remaining);
+    }
+
+private:
+    std::size_t chunk_;
+};
+
+class Pss final : public AllocationPolicy {
+public:
+    std::string_view name() const override { return "PSS"; }
+
+    std::size_t batch_size(const SlaveView& requester,
+                           std::span<const SlaveView> all,
+                           std::size_t ready_remaining,
+                           std::size_t) override {
+        if (ready_remaining == 0) return 0;
+        // First-allocation round: no observed speed yet -> one task.
+        if (!requester.has_rate || requester.rate <= 0.0) return 1;
+        double min_rate = std::numeric_limits<double>::infinity();
+        for (const SlaveView& s : all) {
+            if (s.has_rate && s.rate > 0.0) min_rate = std::min(min_rate, s.rate);
+        }
+        // Phi(p_i, P) = requester rate / slowest observed rate.
+        const double phi = requester.rate / min_rate;
+        const auto batch = static_cast<std::size_t>(
+            std::max<long long>(1, std::llround(phi)));
+        return std::min(batch, ready_remaining);
+    }
+};
+
+class Fixed final : public AllocationPolicy {
+public:
+    std::string_view name() const override { return "Fixed"; }
+
+    std::size_t batch_size(const SlaveView& requester,
+                           std::span<const SlaveView> all,
+                           std::size_t ready_remaining,
+                           std::size_t total_tasks) override {
+        if (served_.count(requester.id) != 0) return 0;
+        served_.insert(requester.id);
+        const std::size_t p = std::max<std::size_t>(1, all.size());
+        // Even split with the remainder spread over the first requesters.
+        std::size_t share = total_tasks / p;
+        if (served_.size() <= total_tasks % p) ++share;
+        return std::min(share, ready_remaining);
+    }
+
+private:
+    std::set<PeId> served_;
+};
+
+class WFixed final : public AllocationPolicy {
+public:
+    explicit WFixed(std::map<PeKind, double> power)
+        : power_(std::move(power)) {
+        for (const auto& [kind, w] : power_) {
+            SWH_REQUIRE(w > 0.0, "declared power must be positive");
+        }
+    }
+
+    std::string_view name() const override { return "WFixed"; }
+
+    std::size_t batch_size(const SlaveView& requester,
+                           std::span<const SlaveView> all,
+                           std::size_t ready_remaining,
+                           std::size_t total_tasks) override {
+        if (served_.count(requester.id) != 0) return 0;
+        served_.insert(requester.id);
+        double total_w = 0.0;
+        for (const SlaveView& s : all) total_w += weight(s.kind);
+        SWH_REQUIRE(total_w > 0.0, "no declared power for any slave");
+        const double share = static_cast<double>(total_tasks) *
+                             weight(requester.kind) / total_w;
+        auto batch =
+            static_cast<std::size_t>(std::max<long long>(0, std::llround(share)));
+        // The last slave to be served mops up rounding leftovers.
+        if (served_.size() == all.size()) batch = ready_remaining;
+        return std::min(std::max<std::size_t>(batch, 1), ready_remaining);
+    }
+
+private:
+    double weight(PeKind kind) const {
+        const auto it = power_.find(kind);
+        return it != power_.end() ? it->second : 1.0;
+    }
+
+    std::map<PeKind, double> power_;
+    std::set<PeId> served_;
+};
+
+}  // namespace
+
+std::unique_ptr<AllocationPolicy> make_self_scheduling() {
+    return std::make_unique<SelfScheduling>();
+}
+
+std::unique_ptr<AllocationPolicy> make_chunked_self_scheduling(
+    std::size_t chunk) {
+    return std::make_unique<ChunkedSelfScheduling>(chunk);
+}
+
+std::unique_ptr<AllocationPolicy> make_pss() { return std::make_unique<Pss>(); }
+
+std::unique_ptr<AllocationPolicy> make_fixed() {
+    return std::make_unique<Fixed>();
+}
+
+std::unique_ptr<AllocationPolicy> make_wfixed(
+    std::map<PeKind, double> declared_power) {
+    return std::make_unique<WFixed>(std::move(declared_power));
+}
+
+}  // namespace swh::core

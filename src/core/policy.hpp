@@ -1,0 +1,65 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <span>
+#include <string_view>
+
+#include "core/types.hpp"
+
+namespace swh::core {
+
+/// What a policy may inspect about each registered slave when sizing a
+/// work package.
+struct SlaveView {
+    PeId id = 0;
+    PeKind kind = PeKind::SseCore;
+    double rate = 0.0;       ///< recency-weighted cells/s; 0 if unknown
+    bool has_rate = false;
+    std::size_t queued = 0;  ///< tasks currently assigned and unfinished
+};
+
+/// Task-allocation policy: how many tasks to hand a requesting slave.
+/// Policies may be stateful (Fixed/WFixed serve each PE once). The
+/// scheduler clamps the answer to the number of ready tasks.
+class AllocationPolicy {
+public:
+    virtual ~AllocationPolicy() = default;
+
+    virtual std::string_view name() const = 0;
+
+    /// `total_tasks` is the size of the whole task pool (static);
+    /// `ready_remaining` the tasks still in the Ready state.
+    virtual std::size_t batch_size(const SlaveView& requester,
+                                   std::span<const SlaveView> all,
+                                   std::size_t ready_remaining,
+                                   std::size_t total_tasks) = 0;
+};
+
+/// Self-Scheduling (SS): one task per request. Maximum idle time bounded
+/// by one task on the slowest slave, at the cost of one master round-trip
+/// per task (paper SS IV-A.1).
+std::unique_ptr<AllocationPolicy> make_self_scheduling();
+
+/// SS with a fixed chunk size > 1 (Rognes-style chunked self-scheduling,
+/// related-work baseline).
+std::unique_ptr<AllocationPolicy> make_chunked_self_scheduling(
+    std::size_t chunk);
+
+/// PSS (paper SS IV-A.2): package size = SS allocation x Phi(p_i, P),
+/// where Phi is the requester's recency-weighted rate divided by the
+/// slowest observed rate, rounded, at least 1. A slave with no history
+/// yet gets 1 task (the paper's "first allocation" round).
+std::unique_ptr<AllocationPolicy> make_pss();
+
+/// Fixed (Singh & Aruni baseline): the pool is split evenly across the
+/// slaves present at the first request; later requests get nothing.
+std::unique_ptr<AllocationPolicy> make_fixed();
+
+/// WFixed (Meng & Chaudhary baseline): like Fixed but proportional to a
+/// declared static power per PE kind (from a configuration file in the
+/// original; a map here).
+std::unique_ptr<AllocationPolicy> make_wfixed(
+    std::map<PeKind, double> declared_power);
+
+}  // namespace swh::core

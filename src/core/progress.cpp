@@ -1,0 +1,13 @@
+#include "core/progress.hpp"
+
+#include "util/stats.hpp"
+
+namespace swh::core {
+
+double ProgressHistory::rate() const {
+    if (window_.empty()) return 0.0;
+    const std::vector<double> xs = window_.to_vector();
+    return recency_weighted_mean(xs);
+}
+
+}  // namespace swh::core

@@ -1,0 +1,56 @@
+#include "core/results.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace swh::core {
+
+ResultMerger::ResultMerger(std::size_t num_queries, std::size_t top_k)
+    : top_k_(top_k), per_query_(num_queries) {
+    SWH_REQUIRE(top_k > 0, "top_k must be positive");
+}
+
+void ResultMerger::add(const TaskResult& result) {
+    SWH_REQUIRE(result.query_index < per_query_.size(),
+                "result for unknown query");
+    std::vector<Hit>& hits = per_query_[result.query_index];
+    hits.insert(hits.end(), result.hits.begin(), result.hits.end());
+    std::sort(hits.begin(), hits.end(), [](const Hit& a, const Hit& b) {
+        if (a.score != b.score) return a.score > b.score;
+        return a.db_index < b.db_index;
+    });
+    if (hits.size() > top_k_) hits.resize(top_k_);
+    total_cells_ += result.cells;
+    ++results_merged_;
+}
+
+const std::vector<Hit>& ResultMerger::hits_for(std::size_t query_index) const {
+    SWH_REQUIRE(query_index < per_query_.size(), "query index out of range");
+    return per_query_[query_index];
+}
+
+std::vector<Task> make_tasks(const std::vector<align::Sequence>& queries,
+                             std::uint64_t db_residues) {
+    std::vector<std::size_t> lengths;
+    lengths.reserve(queries.size());
+    for (const align::Sequence& q : queries) lengths.push_back(q.size());
+    return make_tasks_from_lengths(lengths, db_residues);
+}
+
+std::vector<Task> make_tasks_from_lengths(
+    const std::vector<std::size_t>& query_lengths,
+    std::uint64_t db_residues) {
+    std::vector<Task> tasks;
+    tasks.reserve(query_lengths.size());
+    for (std::size_t i = 0; i < query_lengths.size(); ++i) {
+        Task t;
+        t.id = static_cast<TaskId>(i);
+        t.query_index = static_cast<std::uint32_t>(i);
+        t.cells = align::cell_count(query_lengths[i], db_residues);
+        tasks.push_back(t);
+    }
+    return tasks;
+}
+
+}  // namespace swh::core

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "align/score_matrix.hpp"
+#include "align/sequence.hpp"
+#include "core/types.hpp"
+
+namespace swh::core {
+
+/// One query-vs-database-sequence score produced by a slave.
+struct Hit {
+    std::uint32_t db_index = 0;
+    align::Score score = 0;
+
+    friend bool operator==(const Hit&, const Hit&) = default;
+};
+
+/// Payload of a completed task: the best hits of one query against the
+/// whole database.
+struct TaskResult {
+    TaskId task = 0;
+    std::uint32_t query_index = 0;
+    std::uint64_t cells = 0;       ///< DP cells the slave actually updated
+    std::vector<Hit> hits;         ///< descending score
+};
+
+/// Master-side result merging ("merge results" box in the paper's Fig.
+/// 4): keeps the top-k hits per query. Replica duplicates never reach
+/// here — the scheduler only accepts the first completion of a task.
+class ResultMerger {
+public:
+    ResultMerger(std::size_t num_queries, std::size_t top_k);
+
+    void add(const TaskResult& result);
+
+    /// Hits for one query, best first.
+    const std::vector<Hit>& hits_for(std::size_t query_index) const;
+
+    std::uint64_t total_cells() const { return total_cells_; }
+    std::size_t results_merged() const { return results_merged_; }
+
+private:
+    std::size_t top_k_;
+    std::vector<std::vector<Hit>> per_query_;
+    std::uint64_t total_cells_ = 0;
+    std::size_t results_merged_ = 0;
+};
+
+/// Builds the task pool for a query set against a database of
+/// `db_residues` total residues: task i = query i vs the whole database,
+/// cells = |query_i| x db_residues (paper SS IV).
+std::vector<Task> make_tasks(const std::vector<align::Sequence>& queries,
+                             std::uint64_t db_residues);
+
+/// Same, from query lengths only (for the simulator, which never touches
+/// residue data).
+std::vector<Task> make_tasks_from_lengths(
+    const std::vector<std::size_t>& query_lengths, std::uint64_t db_residues);
+
+}  // namespace swh::core

@@ -1,0 +1,219 @@
+#include "core/scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace swh::core {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+SchedulerCore::SchedulerCore(std::vector<Task> tasks,
+                             std::unique_ptr<AllocationPolicy> policy,
+                             SchedulerOptions options)
+    : table_(std::move(tasks), options.ready_order),
+      policy_(std::move(policy)),
+      options_(options) {
+    SWH_REQUIRE(policy_ != nullptr, "scheduler needs a policy");
+    SWH_REQUIRE(options_.omega > 0, "omega must be positive");
+}
+
+SchedulerCore::Slave& SchedulerCore::slave(PeId pe) {
+    const auto it = slaves_.find(pe);
+    SWH_REQUIRE(it != slaves_.end(), "unknown slave PE");
+    return it->second;
+}
+
+const SchedulerCore::Slave& SchedulerCore::slave(PeId pe) const {
+    const auto it = slaves_.find(pe);
+    SWH_REQUIRE(it != slaves_.end(), "unknown slave PE");
+    return it->second;
+}
+
+void SchedulerCore::register_slave(PeId pe, PeKind kind) {
+    SWH_REQUIRE(slaves_.find(pe) == slaves_.end(),
+                "slave already registered");
+    slaves_.emplace(pe,
+                    Slave{kind, ProgressHistory(options_.omega), {}, 0.0});
+}
+
+void SchedulerCore::deregister_slave(PeId pe, double now) {
+    Slave& s = slave(pe);
+    for (const TaskId t : s.queue) {
+        table_.release(t, pe);
+    }
+    (void)now;
+    slaves_.erase(pe);
+}
+
+bool SchedulerCore::is_registered(PeId pe) const {
+    return slaves_.find(pe) != slaves_.end();
+}
+
+std::vector<SlaveView> SchedulerCore::views() const {
+    std::vector<SlaveView> out;
+    out.reserve(slaves_.size());
+    for (const auto& [id, s] : slaves_) {
+        out.push_back(SlaveView{id, s.kind, s.history.rate(),
+                                s.history.has_history(), s.queue.size()});
+    }
+    return out;
+}
+
+double SchedulerCore::effective_rate(const Slave& s) const {
+    if (s.history.has_history() && s.history.rate() > 0.0)
+        return s.history.rate();
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (const auto& [id, other] : slaves_) {
+        if (other.history.has_history() && other.history.rate() > 0.0) {
+            sum += other.history.rate();
+            ++n;
+        }
+    }
+    return n > 0 ? sum / static_cast<double>(n) : 1.0;
+}
+
+double SchedulerCore::estimated_completion(PeId q, TaskId t,
+                                           double now) const {
+    const Slave& s = slave(q);
+    const double rate = effective_rate(s);
+    if (rate <= 0.0) return kInf;
+    double work = 0.0;  // cells still to process before t finishes on q
+    bool found = false;
+    for (std::size_t i = 0; i < s.queue.size(); ++i) {
+        const TaskId id = s.queue[i];
+        double cells = static_cast<double>(table_.task(id).cells);
+        if (i == 0) {
+            // The front task has been running since front_started.
+            const double done = (now - s.front_started) * rate;
+            cells = std::max(0.0, cells - done);
+        }
+        work += cells;
+        if (id == t) {
+            found = true;
+            break;
+        }
+    }
+    if (!found) return kInf;
+    return now + work / rate;
+}
+
+std::optional<TaskId> SchedulerCore::pick_replica(PeId pe,
+                                                  double now) const {
+    // Among tasks still executing elsewhere that this PE has not already
+    // been given, take the one expected to finish last — the task most
+    // likely to stall the application tail (paper SS IV-A.3).
+    std::optional<TaskId> best;
+    double best_ect = -kInf;
+    for (const TaskId t : table_.executing_tasks()) {
+        if (table_.is_executor(t, pe)) continue;
+        double ect = kInf;
+        for (const PeId q : table_.executors(t)) {
+            ect = std::min(ect, estimated_completion(q, t, now));
+        }
+        if (options_.replicate_only_if_faster) {
+            const Slave& me = slave(pe);
+            const double my_rate = effective_rate(me);
+            const double my_ect =
+                my_rate > 0.0
+                    ? now + static_cast<double>(table_.task(t).cells) / my_rate
+                    : kInf;
+            if (my_ect >= ect) continue;
+        }
+        if (ect > best_ect) {
+            best_ect = ect;
+            best = t;
+        }
+    }
+    return best;
+}
+
+std::vector<TaskId> SchedulerCore::on_work_request(PeId pe, double now) {
+    Slave& s = slave(pe);
+    std::vector<TaskId> assigned;
+
+    const std::vector<SlaveView> all = views();
+    const SlaveView* me = nullptr;
+    for (const SlaveView& v : all) {
+        if (v.id == pe) me = &v;
+    }
+    SWH_REQUIRE(me != nullptr, "requester missing from views");
+
+    std::size_t batch = policy_->batch_size(
+        *me, all, table_.ready_count(), table_.total());
+    // Safety valve: static-split policies (Fixed/WFixed) allocate nothing
+    // on a second request, but tasks can return to Ready when a node
+    // leaves. A starved request must not orphan them.
+    if (batch == 0 && table_.ready_count() > 0) batch = 1;
+    for (std::size_t i = 0; i < batch; ++i) {
+        const std::optional<TaskId> t = table_.acquire_ready(pe);
+        if (!t) break;
+        assigned.push_back(*t);
+    }
+
+    // Workload adjustment: no ready task was available for this request,
+    // so hand out a task that is still executing on a (slower) PE.
+    if (assigned.empty() && options_.workload_adjust &&
+        table_.ready_count() == 0 && !table_.all_finished()) {
+        if (const std::optional<TaskId> t = pick_replica(pe, now)) {
+            table_.add_replica(*t, pe);
+            assigned.push_back(*t);
+            ++replicas_issued_;
+        }
+    }
+
+    if (!assigned.empty()) {
+        if (s.queue.empty()) s.front_started = now;
+        for (const TaskId t : assigned) s.queue.push_back(t);
+    }
+    return assigned;
+}
+
+void SchedulerCore::on_progress(PeId pe, double now,
+                                double cells_per_second) {
+    (void)now;
+    slave(pe).history.record(cells_per_second);
+}
+
+void SchedulerCore::remove_from_queue(PeId pe, TaskId task, double now) {
+    Slave& s = slave(pe);
+    const auto it = std::find(s.queue.begin(), s.queue.end(), task);
+    if (it == s.queue.end()) return;
+    const bool was_front = it == s.queue.begin();
+    s.queue.erase(it);
+    if (was_front) s.front_started = now;
+}
+
+SchedulerCore::CompletionResult SchedulerCore::on_task_complete(
+    PeId pe, TaskId task, double now) {
+    CompletionResult result;
+    result.accepted = table_.complete(task, pe);
+    if (!result.accepted) ++completions_discarded_;
+    remove_from_queue(pe, task, now);
+
+    if (result.accepted && options_.cancel_losers) {
+        // Copy: release() mutates the executor list we iterate.
+        const std::vector<PeId> losers = table_.executors(task);
+        for (const PeId loser : losers) {
+            table_.release(task, loser);
+            remove_from_queue(loser, task, now);
+            result.cancelled.push_back(loser);
+        }
+    }
+    return result;
+}
+
+double SchedulerCore::rate_estimate(PeId pe) const {
+    return slave(pe).history.rate();
+}
+
+std::vector<TaskId> SchedulerCore::queue_of(PeId pe) const {
+    const Slave& s = slave(pe);
+    return {s.queue.begin(), s.queue.end()};
+}
+
+}  // namespace swh::core

@@ -1,0 +1,142 @@
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "core/progress.hpp"
+#include "core/task_table.hpp"
+#include "core/types.hpp"
+
+namespace swh::core {
+
+/// Scheduler configuration (paper SS IV-A).
+struct SchedulerOptions {
+    /// The workload-adjustment mechanism: when a slave asks for work and
+    /// no ready task exists, re-assign a task still executing elsewhere.
+    bool workload_adjust = true;
+
+    /// Extension (after Ino et al. [15]): when a replica wins, tell the
+    /// remaining executors to abandon the task. Off = paper behaviour
+    /// (losers finish and their results are discarded).
+    bool cancel_losers = false;
+
+    /// Extension ablation: only replicate a task if the idle PE's
+    /// estimated completion beats the current owner's estimate. Off =
+    /// paper behaviour (idle PEs always get an executing task).
+    bool replicate_only_if_faster = false;
+
+    /// Progress-history window Omega (paper SS IV-A.2).
+    std::size_t omega = 8;
+
+    /// Ready-queue order. The paper hands tasks out in query-file order
+    /// (FifoById); LargestFirst is the classic LPT heuristic ablation —
+    /// it shrinks the straggler tail the adjustment mechanism exists
+    /// to absorb.
+    ReadyOrder ready_order = ReadyOrder::FifoById;
+};
+
+/// The master's decision logic, as a pure event-driven state machine.
+///
+/// Every behaviour of the paper's master lives here: first-allocation
+/// rounds, policy-sized packages, the ready/executing/finished task
+/// table, and the workload-adjustment replication. The class has no
+/// threads, clocks, or I/O — callers (the threaded runtime and the
+/// discrete-event simulator) deliver events with an explicit timestamp
+/// `now` (seconds on the caller's clock, only used for remaining-work
+/// estimates). This is what lets the simulated experiments exercise the
+/// same scheduler that runs for real.
+///
+/// Not thread-safe; the threaded runtime serialises event delivery.
+class SchedulerCore {
+public:
+    SchedulerCore(std::vector<Task> tasks,
+                  std::unique_ptr<AllocationPolicy> policy,
+                  SchedulerOptions options);
+
+    // ---- Slave membership -------------------------------------------
+
+    void register_slave(PeId pe, PeKind kind);
+
+    /// Node leave (future-work extension): tasks the PE held alone go
+    /// back to Ready; replicas elsewhere keep running.
+    void deregister_slave(PeId pe, double now);
+
+    bool is_registered(PeId pe) const;
+
+    // ---- Events -------------------------------------------------------
+
+    /// A slave asks for work. Returns the assigned task ids, in the order
+    /// the slave should execute them. Empty result: nothing to assign
+    /// right now (the driver should retry after the next completion, or
+    /// stop if all_done()).
+    std::vector<TaskId> on_work_request(PeId pe, double now);
+
+    /// Periodic progress notification: observed processing speed in
+    /// cells/second since the previous notification.
+    void on_progress(PeId pe, double now, double cells_per_second);
+
+    struct CompletionResult {
+        bool accepted = false;  ///< first finisher; results are kept
+        /// Executors told to abandon the task (only when cancel_losers).
+        std::vector<PeId> cancelled;
+    };
+
+    CompletionResult on_task_complete(PeId pe, TaskId task, double now);
+
+    // ---- Introspection ------------------------------------------------
+
+    bool all_done() const { return table_.all_finished(); }
+    const TaskTable& tasks() const { return table_; }
+    const AllocationPolicy& policy() const { return *policy_; }
+    const SchedulerOptions& options() const { return options_; }
+
+    /// Current recency-weighted rate estimate for a slave (0 = unknown).
+    double rate_estimate(PeId pe) const;
+
+    /// Tasks currently assigned to a slave, execution order.
+    std::vector<TaskId> queue_of(PeId pe) const;
+
+    std::size_t replicas_issued() const { return replicas_issued_; }
+    std::size_t completions_discarded() const {
+        return completions_discarded_;
+    }
+
+private:
+    struct Slave {
+        PeKind kind;
+        ProgressHistory history;
+        std::deque<TaskId> queue;    ///< front = running now
+        double front_started = 0.0;  ///< when the front task began
+    };
+
+    Slave& slave(PeId pe);
+    const Slave& slave(PeId pe) const;
+
+    std::vector<SlaveView> views() const;
+
+    /// Fallback rate when a slave has no history: mean of known rates,
+    /// else 1 (only relative magnitudes matter for the estimates).
+    double effective_rate(const Slave& s) const;
+
+    /// Estimated completion time of task `t` on slave `q` given queue
+    /// position; +inf if it cannot be estimated.
+    double estimated_completion(PeId q, TaskId t, double now) const;
+
+    /// Picks the executing task worth replicating onto `pe`, if any.
+    std::optional<TaskId> pick_replica(PeId pe, double now) const;
+
+    void remove_from_queue(PeId pe, TaskId task, double now);
+
+    TaskTable table_;
+    std::unique_ptr<AllocationPolicy> policy_;
+    SchedulerOptions options_;
+    std::map<PeId, Slave> slaves_;
+    std::size_t replicas_issued_ = 0;
+    std::size_t completions_discarded_ = 0;
+};
+
+}  // namespace swh::core

@@ -1,0 +1,115 @@
+#include "core/task_table.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/error.hpp"
+
+namespace swh::core {
+
+TaskTable::TaskTable(std::vector<Task> tasks, ReadyOrder order) {
+    entries_.reserve(tasks.size());
+    ready_queue_.reserve(tasks.size());
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        SWH_REQUIRE(tasks[i].id == i, "task ids must be dense 0..N-1");
+        entries_.push_back(Entry{tasks[i], TaskState::Ready, {}, kInvalidPe});
+        ready_queue_.push_back(tasks[i].id);
+    }
+    if (order == ReadyOrder::LargestFirst) {
+        std::sort(ready_queue_.begin(), ready_queue_.end(),
+                  [this](TaskId a, TaskId b) {
+                      if (entries_[a].task.cells != entries_[b].task.cells)
+                          return entries_[a].task.cells >
+                                 entries_[b].task.cells;
+                      return a < b;
+                  });
+    }
+    ready_count_ = entries_.size();
+}
+
+TaskTable::Entry& TaskTable::entry(TaskId id) {
+    SWH_REQUIRE(id < entries_.size(), "task id out of range");
+    return entries_[id];
+}
+
+const TaskTable::Entry& TaskTable::entry(TaskId id) const {
+    SWH_REQUIRE(id < entries_.size(), "task id out of range");
+    return entries_[id];
+}
+
+const Task& TaskTable::task(TaskId id) const { return entry(id).task; }
+
+TaskState TaskTable::state(TaskId id) const { return entry(id).state; }
+
+const std::vector<PeId>& TaskTable::executors(TaskId id) const {
+    return entry(id).executors;
+}
+
+PeId TaskTable::winner(TaskId id) const { return entry(id).winner; }
+
+std::optional<TaskId> TaskTable::acquire_ready(PeId pe) {
+    while (!ready_queue_.empty()) {
+        const TaskId id = ready_queue_.front();
+        ready_queue_.erase(ready_queue_.begin());
+        Entry& e = entry(id);
+        if (e.state != TaskState::Ready) continue;  // stale queue entry
+        e.state = TaskState::Executing;
+        e.executors.push_back(pe);
+        --ready_count_;
+        ++executing_count_;
+        return id;
+    }
+    return std::nullopt;
+}
+
+void TaskTable::add_replica(TaskId id, PeId pe) {
+    Entry& e = entry(id);
+    SWH_REQUIRE(e.state == TaskState::Executing,
+                "can only replicate an executing task");
+    SWH_REQUIRE(!is_executor(id, pe), "PE already executes this task");
+    e.executors.push_back(pe);
+}
+
+bool TaskTable::is_executor(TaskId id, PeId pe) const {
+    const auto& ex = entry(id).executors;
+    return std::find(ex.begin(), ex.end(), pe) != ex.end();
+}
+
+bool TaskTable::complete(TaskId id, PeId pe) {
+    Entry& e = entry(id);
+    SWH_REQUIRE(is_executor(id, pe), "completion from a non-executor PE");
+    std::erase(e.executors, pe);
+    if (e.state == TaskState::Finished) {
+        return false;  // a faster replica already won
+    }
+    SWH_REQUIRE(e.state == TaskState::Executing,
+                "completion of a non-executing task");
+    e.state = TaskState::Finished;
+    e.winner = pe;
+    --executing_count_;
+    ++finished_count_;
+    return true;
+}
+
+void TaskTable::release(TaskId id, PeId pe) {
+    Entry& e = entry(id);
+    SWH_REQUIRE(is_executor(id, pe), "release from a non-executor PE");
+    std::erase(e.executors, pe);
+    if (e.state == TaskState::Executing && e.executors.empty()) {
+        e.state = TaskState::Ready;
+        --executing_count_;
+        ++ready_count_;
+        ready_queue_.insert(ready_queue_.begin(), id);
+    }
+}
+
+std::vector<TaskId> TaskTable::executing_tasks() const {
+    std::vector<TaskId> out;
+    out.reserve(executing_count_);
+    for (const Entry& e : entries_) {
+        if (e.state == TaskState::Executing) out.push_back(e.task.id);
+    }
+    return out;
+}
+
+}  // namespace swh::core

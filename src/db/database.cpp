@@ -1,0 +1,10 @@
+#include "db/database.hpp"
+
+namespace swh::db {
+
+Database::Database(std::string name, std::vector<align::Sequence> sequences)
+    : name_(std::move(name)), sequences_(std::move(sequences)) {
+    residues_ = align::total_residues(sequences_);
+}
+
+}  // namespace swh::db

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "align/sequence.hpp"
+#include "db/generator.hpp"
+
+namespace swh::db {
+
+/// An in-memory sequence database plus cached residue total.
+class Database {
+public:
+    Database() = default;
+
+    Database(std::string name, std::vector<align::Sequence> sequences);
+
+    static Database generate(const DatabaseSpec& spec) {
+        return Database(spec.name, generate_database(spec));
+    }
+
+    const std::string& name() const { return name_; }
+    const std::vector<align::Sequence>& sequences() const {
+        return sequences_;
+    }
+    std::size_t size() const { return sequences_.size(); }
+    std::uint64_t residues() const { return residues_; }
+
+    const align::Sequence& operator[](std::size_t i) const {
+        return sequences_[i];
+    }
+
+private:
+    std::string name_;
+    std::vector<align::Sequence> sequences_;
+    std::uint64_t residues_ = 0;
+};
+
+}  // namespace swh::db

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "align/sequence.hpp"
+#include "util/rng.hpp"
+
+namespace swh::db {
+
+/// Length model for synthetic sequences: log-normal (the empirical shape
+/// of protein-length distributions) clamped to [min_len, max_len].
+struct LengthModel {
+    std::size_t min_len = 40;
+    std::size_t max_len = 5000;
+    double log_mean = 5.7;   ///< exp(5.7) ~ 300 residues
+    double log_stdev = 0.55;
+
+    std::size_t sample(Rng& rng) const;
+
+    /// Analytic-ish mean of the clamped distribution, via fixed-seed
+    /// sampling; used by presets to estimate database residue totals.
+    double approx_mean() const;
+};
+
+/// Specification of one synthetic database.
+struct DatabaseSpec {
+    std::string name;
+    std::size_t num_sequences = 0;
+    LengthModel length;
+    std::uint64_t seed = 1;
+};
+
+/// Generates `spec.num_sequences` protein sequences with Robinson-Robinson
+/// residue frequencies. Sequence i is generated from an independent
+/// per-sequence stream, so the content of record i does not depend on how
+/// many records precede it.
+std::vector<align::Sequence> generate_database(const DatabaseSpec& spec);
+
+/// Generates one random protein sequence of exactly `len` residues.
+align::Sequence random_protein(Rng& rng, std::size_t len,
+                               std::string id = "seq");
+
+/// Generates one random DNA sequence of exactly `len` bases.
+align::Sequence random_dna(Rng& rng, std::size_t len, std::string id = "seq");
+
+/// Mutation settings for deriving homologous sequences (used by tests and
+/// the homology-search example to plant true positives).
+struct MutationModel {
+    double substitution_rate = 0.05;
+    double insertion_rate = 0.01;
+    double deletion_rate = 0.01;
+};
+
+/// Applies point substitutions and short indels to a copy of `seq`.
+align::Sequence mutate(const align::Sequence& seq,
+                       const align::Alphabet& alphabet,
+                       const MutationModel& model, Rng& rng);
+
+}  // namespace swh::db

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "db/generator.hpp"
+
+namespace swh::db {
+
+/// One of the paper's five genomic databases (Table II). `scale` shrinks
+/// the sequence count for experiments that run real kernels on this
+/// machine; the calibrated simulation uses scale = 1 and only needs the
+/// residue totals.
+struct DatabasePreset {
+    std::string name;
+    std::size_t num_sequences = 0;   ///< at scale 1.0 (Table II value)
+    double mean_length = 0.0;        ///< assumed mean residues/sequence
+
+    /// Total residues at scale 1 — the quantity that fixes per-task cell
+    /// counts in the simulation.
+    std::uint64_t total_residues() const {
+        return static_cast<std::uint64_t>(
+            static_cast<double>(num_sequences) * mean_length);
+    }
+
+    /// Concrete generator spec at a given scale (fraction of sequences).
+    DatabaseSpec spec(double scale = 1.0, std::uint64_t seed = 1) const;
+};
+
+/// Table II presets, in paper order: Ensembl Dog, Ensembl Rat, RefSeq
+/// Human, RefSeq Mouse, UniProtKB/SwissProt.
+const std::vector<DatabasePreset>& table2_presets();
+
+/// Lookup by (case-insensitive) name; throws if unknown.
+const DatabasePreset& preset_by_name(const std::string& name);
+
+/// The paper's query workload: `n` protein queries with lengths linearly
+/// spaced from min_len to max_len ("equally distributed sizes, ranging
+/// from 100 to approximately 5,000 amino acids").
+std::vector<align::Sequence> make_query_set(std::size_t n = 40,
+                                            std::size_t min_len = 100,
+                                            std::size_t max_len = 5000,
+                                            std::uint64_t seed = 42);
+
+}  // namespace swh::db

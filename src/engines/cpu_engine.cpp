@@ -1,0 +1,139 @@
+#include "engines/cpu_engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "align/striped.hpp"
+#include "util/error.hpp"
+
+namespace swh::engines {
+
+namespace {
+
+/// Bounded top-k collector; keeps at most 2k entries between trims.
+class TopK {
+public:
+    explicit TopK(std::size_t k) : k_(k) {}
+
+    void add(std::uint32_t db_index, align::Score score) {
+        hits_.push_back(core::Hit{db_index, score});
+        if (hits_.size() >= 2 * k_ + 16) trim();
+    }
+
+    void merge(TopK&& other) {
+        hits_.insert(hits_.end(), other.hits_.begin(), other.hits_.end());
+        trim();
+    }
+
+    std::vector<core::Hit> take() {
+        trim();
+        return std::move(hits_);
+    }
+
+private:
+    void trim() {
+        std::sort(hits_.begin(), hits_.end(),
+                  [](const core::Hit& a, const core::Hit& b) {
+                      if (a.score != b.score) return a.score > b.score;
+                      return a.db_index < b.db_index;
+                  });
+        if (hits_.size() > k_) hits_.resize(k_);
+    }
+
+    std::size_t k_;
+    std::vector<core::Hit> hits_;
+};
+
+}  // namespace
+
+CpuEngine::CpuEngine(EngineConfig config, unsigned threads)
+    : config_(config), threads_(threads) {
+    SWH_REQUIRE(config_.matrix != nullptr, "engine needs a score matrix");
+    SWH_REQUIRE(threads_ >= 1, "engine needs at least one thread");
+    SWH_REQUIRE(simd::is_supported(config_.isa),
+                "requested ISA not supported on this machine");
+}
+
+core::TaskResult CpuEngine::execute(const align::Sequence& query,
+                                    std::uint32_t query_index,
+                                    core::TaskId task,
+                                    const db::Database& database,
+                                    ExecutionObserver* observer) {
+    const align::StripedAligner aligner(query.residues, *config_.matrix,
+                                        config_.gap, config_.isa);
+    const std::size_t n = database.size();
+    const std::uint64_t qlen = query.size();
+
+    core::TaskResult result;
+    result.task = task;
+    result.query_index = query_index;
+
+    // Shared work queue: workers grab database sequences by atomic index.
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::uint64_t> pending_cells{0};
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> cells_done{0};
+
+    std::vector<TopK> collectors(threads_, TopK(config_.top_k));
+
+    auto worker = [&](unsigned wid) {
+        std::uint64_t local_pending = 0;
+        while (true) {
+            if (stop.load(std::memory_order_relaxed)) break;
+            const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n) break;
+            const align::Sequence& subject = database[i];
+            const align::Score score = aligner.score(subject.residues);
+            collectors[wid].add(static_cast<std::uint32_t>(i), score);
+            const std::uint64_t cells = qlen * subject.size();
+            cells_done.fetch_add(cells, std::memory_order_relaxed);
+            local_pending += cells;
+
+            if (wid == 0) {
+                // Only the calling thread talks to the observer (its
+                // on_cells need not be thread-safe); cancelled() is
+                // polled from all workers and must be.
+                const std::uint64_t others =
+                    pending_cells.exchange(0, std::memory_order_relaxed);
+                local_pending += others;
+                if (local_pending >= config_.progress_grain) {
+                    if (observer != nullptr) observer->on_cells(local_pending);
+                    local_pending = 0;
+                }
+            } else if (local_pending >= config_.progress_grain) {
+                pending_cells.fetch_add(local_pending,
+                                        std::memory_order_relaxed);
+                local_pending = 0;
+            }
+            if (observer != nullptr && observer->cancelled()) {
+                stop.store(true, std::memory_order_relaxed);
+                break;
+            }
+        }
+        if (wid != 0 && local_pending > 0) {
+            pending_cells.fetch_add(local_pending, std::memory_order_relaxed);
+        } else if (wid == 0 && local_pending > 0) {
+            if (observer != nullptr) observer->on_cells(local_pending);
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(threads_ - 1);
+    for (unsigned w = 1; w < threads_; ++w) pool.emplace_back(worker, w);
+    worker(0);
+    for (std::thread& t : pool) t.join();
+
+    // Flush progress produced by workers after thread 0 finished.
+    const std::uint64_t tail = pending_cells.exchange(0);
+    if (tail > 0 && observer != nullptr) observer->on_cells(tail);
+
+    TopK merged(config_.top_k);
+    for (TopK& c : collectors) merged.merge(std::move(c));
+    result.hits = merged.take();
+    result.cells = cells_done.load();
+    return result;
+}
+
+}  // namespace swh::engines

@@ -1,0 +1,32 @@
+#pragma once
+
+#include "engines/engine.hpp"
+
+namespace swh::engines {
+
+/// The paper's "adapted Farrar" SSE slave (SS IV-C): scans the database
+/// with the striped Smith-Waterman kernel, escalating 8 -> 16 -> 32 bits
+/// on score overflow. `threads` > 1 splits the database across internal
+/// worker threads (a whole multicore presented as one PE); the paper's
+/// setup registers each core as its own single-threaded slave.
+class CpuEngine final : public ComputeEngine {
+public:
+    CpuEngine(EngineConfig config, unsigned threads = 1);
+
+    std::string_view name() const override { return "cpu-striped"; }
+    core::PeKind kind() const override { return core::PeKind::SseCore; }
+
+    core::TaskResult execute(const align::Sequence& query,
+                             std::uint32_t query_index, core::TaskId task,
+                             const db::Database& database,
+                             ExecutionObserver* observer) override;
+
+    const EngineConfig& config() const { return config_; }
+    unsigned threads() const { return threads_; }
+
+private:
+    EngineConfig config_;
+    unsigned threads_;
+};
+
+}  // namespace swh::engines

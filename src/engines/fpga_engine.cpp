@@ -1,0 +1,93 @@
+#include "engines/fpga_engine.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "align/striped.hpp"
+#include "util/error.hpp"
+
+namespace swh::engines {
+
+FpgaSimEngine::FpgaSimEngine(EngineConfig config, Limits limits)
+    : config_(config), limits_(limits) {
+    SWH_REQUIRE(config_.matrix != nullptr, "engine needs a score matrix");
+    SWH_REQUIRE(limits_.max_query_len > limits_.segment_overlap,
+                "overlap must be smaller than the query segment");
+    SWH_REQUIRE(limits_.max_subject_len > 0, "subject limit must be positive");
+    SWH_REQUIRE(simd::is_supported(config_.isa),
+                "requested ISA not supported on this machine");
+}
+
+core::TaskResult FpgaSimEngine::execute(const align::Sequence& query,
+                                        std::uint32_t query_index,
+                                        core::TaskId task,
+                                        const db::Database& database,
+                                        ExecutionObserver* observer) {
+    // Build one aligner per query segment. A query within the limit is a
+    // single segment; a long one is chopped with overlap (paper SS III on
+    // [13]: "long query sequences are segmented (with overlap)").
+    std::vector<std::unique_ptr<align::StripedAligner>> segments;
+    const std::size_t qlen = query.size();
+    if (qlen <= limits_.max_query_len) {
+        segments.push_back(std::make_unique<align::StripedAligner>(
+            query.residues, *config_.matrix, config_.gap, config_.isa));
+    } else {
+        segmented_queries_.fetch_add(1, std::memory_order_relaxed);
+        const std::size_t stride =
+            limits_.max_query_len - limits_.segment_overlap;
+        for (std::size_t begin = 0; begin < qlen; begin += stride) {
+            const std::size_t len =
+                std::min(limits_.max_query_len, qlen - begin);
+            segments.push_back(std::make_unique<align::StripedAligner>(
+                std::vector<align::Code>(
+                    query.residues.begin() +
+                        static_cast<std::ptrdiff_t>(begin),
+                    query.residues.begin() +
+                        static_cast<std::ptrdiff_t>(begin + len)),
+                *config_.matrix, config_.gap, config_.isa));
+            if (begin + len >= qlen) break;
+        }
+    }
+
+    core::TaskResult result;
+    result.task = task;
+    result.query_index = query_index;
+
+    std::vector<core::Hit> hits;
+    std::uint64_t pending = 0;
+    for (std::size_t i = 0; i < database.size(); ++i) {
+        if (observer != nullptr && observer->cancelled()) break;
+        const align::Sequence& subject = database[i];
+        if (subject.size() > limits_.max_subject_len) {
+            // Does not fit the array: host CPU runs the full comparison
+            // (exact same kernel here — identical scores, different
+            // provenance).
+            host_delegations_.fetch_add(1, std::memory_order_relaxed);
+        }
+        align::Score best = 0;
+        for (const auto& seg : segments) {
+            best = std::max(best, seg->score(subject.residues));
+        }
+        hits.push_back(core::Hit{static_cast<std::uint32_t>(i), best});
+        std::sort(hits.begin(), hits.end(),
+                  [](const core::Hit& a, const core::Hit& b) {
+                      if (a.score != b.score) return a.score > b.score;
+                      return a.db_index < b.db_index;
+                  });
+        if (hits.size() > config_.top_k) hits.resize(config_.top_k);
+
+        const std::uint64_t cells =
+            static_cast<std::uint64_t>(qlen) * subject.size();
+        result.cells += cells;
+        pending += cells;
+        if (pending >= config_.progress_grain) {
+            if (observer != nullptr) observer->on_cells(pending);
+            pending = 0;
+        }
+    }
+    if (pending > 0 && observer != nullptr) observer->on_cells(pending);
+    result.hits = std::move(hits);
+    return result;
+}
+
+}  // namespace swh::engines

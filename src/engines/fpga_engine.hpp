@@ -1,0 +1,50 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "engines/engine.hpp"
+
+namespace swh::engines {
+
+/// Simulated FPGA accelerator PE — the paper's future-work extension,
+/// with the sequence-length restrictions of the Meng & Chaudhary CPU/FPGA
+/// platform the paper cites:
+///
+///  * database sequences longer than `max_subject_len` do not fit the
+///    systolic array and are delegated to the host CPU path (same exact
+///    kernel here, tracked in `host_delegations`);
+///  * queries longer than `max_query_len` are segmented into overlapping
+///    chunks scored independently, the hit score being the max over
+///    chunks — which can *underestimate* alignments spanning a segment
+///    boundary beyond the overlap (the sensitivity loss the paper
+///    mentions; quantified in tests/engines/fpga_engine_test).
+class FpgaSimEngine final : public ComputeEngine {
+public:
+    struct Limits {
+        std::size_t max_query_len = 1024;
+        std::size_t max_subject_len = 4096;
+        std::size_t segment_overlap = 128;
+    };
+
+    FpgaSimEngine(EngineConfig config, Limits limits);
+
+    std::string_view name() const override { return "sim-fpga"; }
+    core::PeKind kind() const override { return core::PeKind::Fpga; }
+
+    core::TaskResult execute(const align::Sequence& query,
+                             std::uint32_t query_index, core::TaskId task,
+                             const db::Database& database,
+                             ExecutionObserver* observer) override;
+
+    std::uint64_t host_delegations() const { return host_delegations_; }
+    std::uint64_t segmented_queries() const { return segmented_queries_; }
+
+private:
+    EngineConfig config_;
+    Limits limits_;
+    std::atomic<std::uint64_t> host_delegations_{0};
+    std::atomic<std::uint64_t> segmented_queries_{0};
+};
+
+}  // namespace swh::engines

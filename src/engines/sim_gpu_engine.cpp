@@ -1,0 +1,31 @@
+#include "engines/sim_gpu_engine.hpp"
+
+#include "engines/throttled_engine.hpp"
+
+namespace swh::engines {
+
+SimGpuEngine::SimGpuEngine(EngineConfig config, GpuDeviceModel model,
+                           bool pace, unsigned compute_threads)
+    : model_(model) {
+    auto compute = std::make_unique<CpuEngine>(config, compute_threads);
+    if (pace) {
+        impl_ = std::make_unique<ThrottledEngine>(
+            std::move(compute),
+            [m = model_](const db::Database& database) {
+                return m.effective_gcups(database.residues());
+            },
+            model_.task_overhead_s, "sim-gpu-paced");
+    } else {
+        impl_ = std::move(compute);
+    }
+}
+
+core::TaskResult SimGpuEngine::execute(const align::Sequence& query,
+                                       std::uint32_t query_index,
+                                       core::TaskId task,
+                                       const db::Database& database,
+                                       ExecutionObserver* observer) {
+    return impl_->execute(query, query_index, task, database, observer);
+}
+
+}  // namespace swh::engines

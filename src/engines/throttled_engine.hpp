@@ -1,0 +1,46 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "engines/engine.hpp"
+
+namespace swh::engines {
+
+/// Paces an inner engine to a target throughput, so a set of engines on
+/// one machine exhibits a chosen speed *ratio* regardless of actual
+/// hardware. This is how the threaded runtime reproduces the paper's
+/// GPU-vs-SSE heterogeneity on a host with neither 4 GPUs nor 8 cores:
+/// the computation (and its scores) is real; only the wall-clock rate is
+/// capped. Pacing happens incrementally inside the run, so the progress
+/// notifications the master sees also reflect the target rate.
+class ThrottledEngine final : public ComputeEngine {
+public:
+    /// `target_gcups(db)` gives the cap for a database (letting a model
+    /// like GpuDeviceModel make small databases slower); `overhead_s` is
+    /// added once per task before any cells complete.
+    ThrottledEngine(std::unique_ptr<ComputeEngine> inner,
+                    std::function<double(const db::Database&)> target_gcups,
+                    double overhead_s = 0.0,
+                    std::string name = "throttled");
+
+    /// Convenience: flat rate.
+    ThrottledEngine(std::unique_ptr<ComputeEngine> inner, double gcups,
+                    double overhead_s = 0.0, std::string name = "throttled");
+
+    std::string_view name() const override { return name_; }
+    core::PeKind kind() const override { return inner_->kind(); }
+
+    core::TaskResult execute(const align::Sequence& query,
+                             std::uint32_t query_index, core::TaskId task,
+                             const db::Database& database,
+                             ExecutionObserver* observer) override;
+
+private:
+    std::unique_ptr<ComputeEngine> inner_;
+    std::function<double(const db::Database&)> target_gcups_;
+    double overhead_s_;
+    std::string name_;
+};
+
+}  // namespace swh::engines

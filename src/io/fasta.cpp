@@ -1,0 +1,81 @@
+#include "io/fasta.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "util/error.hpp"
+#include "util/str.hpp"
+
+namespace swh::io {
+
+using align::Alphabet;
+using align::Sequence;
+
+std::vector<Sequence> read_fasta(std::istream& in, const Alphabet& alphabet) {
+    std::vector<Sequence> out;
+    Sequence* current = nullptr;
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        const std::string_view t = trim(line);
+        if (t.empty()) continue;
+        if (t.front() == '>') {
+            const std::string_view header = trim(t.substr(1));
+            SWH_REQUIRE(!header.empty(), "FASTA header with no id");
+            Sequence seq;
+            const std::size_t sp = header.find_first_of(" \t");
+            if (sp == std::string_view::npos) {
+                seq.id = std::string(header);
+            } else {
+                seq.id = std::string(header.substr(0, sp));
+                seq.description = std::string(trim(header.substr(sp + 1)));
+            }
+            out.push_back(std::move(seq));
+            current = &out.back();
+        } else {
+            if (current == nullptr) {
+                throw ParseError("FASTA line " + std::to_string(line_no) +
+                                 ": sequence data before any header");
+            }
+            for (const char c : t) {
+                current->residues.push_back(alphabet.encode(c));
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<Sequence> read_fasta_file(const std::string& path,
+                                      const Alphabet& alphabet) {
+    std::ifstream in(path);
+    if (!in) throw IoError("cannot open FASTA file: " + path);
+    return read_fasta(in, alphabet);
+}
+
+void write_fasta(std::ostream& out, const std::vector<Sequence>& seqs,
+                 const Alphabet& alphabet, std::size_t width) {
+    SWH_REQUIRE(width > 0, "fold width must be positive");
+    for (const Sequence& seq : seqs) {
+        out << '>' << seq.id;
+        if (!seq.description.empty()) out << ' ' << seq.description;
+        out << '\n';
+        const std::string letters = alphabet.decode(seq.residues);
+        for (std::size_t off = 0; off < letters.size(); off += width) {
+            out << letters.substr(off, width) << '\n';
+        }
+        if (letters.empty()) out << '\n';
+    }
+}
+
+void write_fasta_file(const std::string& path,
+                      const std::vector<Sequence>& seqs,
+                      const Alphabet& alphabet, std::size_t width) {
+    std::ofstream out(path);
+    if (!out) throw IoError("cannot open file for writing: " + path);
+    write_fasta(out, seqs, alphabet, width);
+    if (!out) throw IoError("error while writing: " + path);
+}
+
+}  // namespace swh::io

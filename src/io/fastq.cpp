@@ -1,0 +1,97 @@
+#include "io/fastq.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "util/error.hpp"
+#include "util/str.hpp"
+
+namespace swh::io {
+
+namespace {
+constexpr int kPhredBase = 33;
+constexpr int kPhredMax = 93;
+}  // namespace
+
+std::vector<FastqRecord> read_fastq(std::istream& in,
+                                    const align::Alphabet& alphabet) {
+    std::vector<FastqRecord> out;
+    std::string header, bases, plus, quals;
+    std::size_t line_no = 0;
+    while (std::getline(in, header)) {
+        ++line_no;
+        if (trim(header).empty()) continue;
+        SWH_REQUIRE(!header.empty() && header[0] == '@',
+                    "FASTQ record must start with '@'");
+        const bool ok = static_cast<bool>(std::getline(in, bases)) &&
+                        static_cast<bool>(std::getline(in, plus)) &&
+                        static_cast<bool>(std::getline(in, quals));
+        if (!ok) {
+            throw ParseError("truncated FASTQ record at line " +
+                             std::to_string(line_no));
+        }
+        line_no += 3;
+        SWH_REQUIRE(!plus.empty() && plus[0] == '+',
+                    "FASTQ separator line must start with '+'");
+        const std::string_view base_view = trim(bases);
+        const std::string_view qual_view = trim(quals);
+        if (base_view.size() != qual_view.size()) {
+            throw ParseError("quality/sequence length mismatch in FASTQ "
+                             "record ending at line " +
+                             std::to_string(line_no));
+        }
+        FastqRecord rec;
+        const std::string_view id_line = trim(header).substr(1);
+        const std::size_t sp = id_line.find_first_of(" \t");
+        rec.seq.id = std::string(id_line.substr(0, sp));
+        if (sp != std::string_view::npos) {
+            rec.seq.description = std::string(trim(id_line.substr(sp + 1)));
+        }
+        rec.seq.residues = alphabet.encode(base_view);
+        rec.quality.reserve(qual_view.size());
+        for (const char c : qual_view) {
+            const int q = static_cast<unsigned char>(c) - kPhredBase;
+            if (q < 0 || q > kPhredMax) {
+                throw ParseError("quality character out of Phred+33 range");
+            }
+            rec.quality.push_back(static_cast<std::uint8_t>(q));
+        }
+        out.push_back(std::move(rec));
+    }
+    return out;
+}
+
+std::vector<FastqRecord> read_fastq_file(const std::string& path,
+                                         const align::Alphabet& alphabet) {
+    std::ifstream in(path);
+    if (!in) throw IoError("cannot open FASTQ file: " + path);
+    return read_fastq(in, alphabet);
+}
+
+void write_fastq(std::ostream& out, const std::vector<FastqRecord>& records,
+                 const align::Alphabet& alphabet) {
+    for (const FastqRecord& rec : records) {
+        SWH_REQUIRE(rec.quality.size() == rec.seq.size(),
+                    "quality/sequence length mismatch");
+        out << '@' << rec.seq.id;
+        if (!rec.seq.description.empty()) out << ' ' << rec.seq.description;
+        out << '\n' << alphabet.decode(rec.seq.residues) << "\n+\n";
+        for (const std::uint8_t q : rec.quality) {
+            SWH_REQUIRE(q <= kPhredMax, "Phred score out of range");
+            out << static_cast<char>(q + kPhredBase);
+        }
+        out << '\n';
+    }
+}
+
+void write_fastq_file(const std::string& path,
+                      const std::vector<FastqRecord>& records,
+                      const align::Alphabet& alphabet) {
+    std::ofstream out(path);
+    if (!out) throw IoError("cannot open file for writing: " + path);
+    write_fastq(out, records, alphabet);
+    if (!out) throw IoError("error while writing: " + path);
+}
+
+}  // namespace swh::io

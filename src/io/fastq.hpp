@@ -1,0 +1,34 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "align/sequence.hpp"
+
+namespace swh::io {
+
+/// A sequencing read: a sequence plus per-residue Phred quality scores.
+struct FastqRecord {
+    align::Sequence seq;
+    std::vector<std::uint8_t> quality;  ///< Phred scores (0..93)
+};
+
+/// Reads four-line FASTQ records ('@id', bases, '+', qualities with
+/// Phred+33 encoding). Multi-line sequences are not supported (they are
+/// extinct in practice); a record whose quality length mismatches its
+/// sequence throws ParseError.
+std::vector<FastqRecord> read_fastq(std::istream& in,
+                                    const align::Alphabet& alphabet);
+
+std::vector<FastqRecord> read_fastq_file(const std::string& path,
+                                         const align::Alphabet& alphabet);
+
+void write_fastq(std::ostream& out, const std::vector<FastqRecord>& records,
+                 const align::Alphabet& alphabet);
+
+void write_fastq_file(const std::string& path,
+                      const std::vector<FastqRecord>& records,
+                      const align::Alphabet& alphabet);
+
+}  // namespace swh::io

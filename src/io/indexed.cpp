@@ -1,0 +1,175 @@
+#include "io/indexed.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "io/fasta.hpp"
+#include "util/error.hpp"
+
+namespace swh::io {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'W', 'H', 'I', 'D', 'X', '1', '\n'};
+
+void write_u64(std::ostream& out, std::uint64_t v) {
+    unsigned char buf[8];
+    for (int i = 0; i < 8; ++i) buf[i] = static_cast<unsigned char>(v >> (8 * i));
+    out.write(reinterpret_cast<const char*>(buf), 8);
+}
+
+std::uint64_t read_u64(std::istream& in) {
+    unsigned char buf[8];
+    in.read(reinterpret_cast<char*>(buf), 8);
+    if (!in) throw ParseError("truncated index stream");
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{buf[i]} << (8 * i);
+    return v;
+}
+
+}  // namespace
+
+SequenceIndex build_index(std::istream& fasta) {
+    SequenceIndex idx;
+    std::string line;
+    std::uint64_t offset = 0;
+    std::uint64_t current_len = 0;
+    bool in_record = false;
+    auto close_record = [&] {
+        if (!in_record) return;
+        idx.lengths.push_back(current_len);
+        idx.max_sequence_length =
+            std::max(idx.max_sequence_length, current_len);
+        idx.total_residues += current_len;
+    };
+    while (std::getline(fasta, line)) {
+        // +1 for the newline getline consumed. A final line without a
+        // trailing newline over-counts by one byte, but only *after* the
+        // last record's offset, so seeks stay correct.
+        const std::uint64_t line_bytes = line.size() + 1;
+        if (!line.empty() && line.front() == '>') {
+            close_record();
+            idx.offsets.push_back(offset);
+            ++idx.sequence_count;
+            current_len = 0;
+            in_record = true;
+        } else if (in_record) {
+            for (const char c : line) {
+                if (!std::isspace(static_cast<unsigned char>(c)))
+                    ++current_len;
+            }
+        }
+        offset += line_bytes;
+    }
+    close_record();
+    return idx;
+}
+
+SequenceIndex build_index_file(const std::string& fasta_path) {
+    std::ifstream in(fasta_path, std::ios::binary);
+    if (!in) throw IoError("cannot open FASTA file: " + fasta_path);
+    return build_index(in);
+}
+
+void save_index(const SequenceIndex& index, std::ostream& out) {
+    SWH_REQUIRE(index.offsets.size() == index.sequence_count &&
+                    index.lengths.size() == index.sequence_count,
+                "index vectors inconsistent with sequence_count");
+    out.write(kMagic, sizeof kMagic);
+    write_u64(out, index.sequence_count);
+    write_u64(out, index.max_sequence_length);
+    write_u64(out, index.total_residues);
+    for (const std::uint64_t v : index.offsets) write_u64(out, v);
+    for (const std::uint64_t v : index.lengths) write_u64(out, v);
+}
+
+void save_index_file(const SequenceIndex& index, const std::string& path) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw IoError("cannot open index for writing: " + path);
+    save_index(index, out);
+    if (!out) throw IoError("error writing index: " + path);
+}
+
+SequenceIndex load_index(std::istream& in) {
+    char magic[sizeof kMagic];
+    in.read(magic, sizeof magic);
+    if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0)
+        throw ParseError("not a SWHIDX1 index stream");
+    SequenceIndex idx;
+    idx.sequence_count = read_u64(in);
+    idx.max_sequence_length = read_u64(in);
+    idx.total_residues = read_u64(in);
+    idx.offsets.resize(idx.sequence_count);
+    idx.lengths.resize(idx.sequence_count);
+    for (auto& v : idx.offsets) v = read_u64(in);
+    for (auto& v : idx.lengths) v = read_u64(in);
+    return idx;
+}
+
+SequenceIndex load_index_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw IoError("cannot open index file: " + path);
+    return load_index(in);
+}
+
+std::string index_path_for(const std::string& fasta_path) {
+    return fasta_path + ".swhidx";
+}
+
+IndexedFastaReader::IndexedFastaReader(std::string fasta_path,
+                                       const align::Alphabet& alphabet)
+    : path_(std::move(fasta_path)), alphabet_(&alphabet) {
+    const std::string idx_path = index_path_for(path_);
+    bool loaded = false;
+    if (std::ifstream probe(idx_path, std::ios::binary); probe) {
+        try {
+            index_ = load_index(probe);
+            loaded = true;
+        } catch (const ParseError&) {
+            // Corrupt/stale sidecar: rebuild below.
+        }
+    }
+    if (!loaded) {
+        index_ = build_index_file(path_);
+        try {
+            save_index_file(index_, idx_path);
+        } catch (const IoError&) {
+            // Read-only location: index stays in memory only.
+        }
+    }
+}
+
+align::Sequence IndexedFastaReader::get(std::size_t i) const {
+    SWH_REQUIRE(i < index_.sequence_count, "sequence index out of range");
+    std::ifstream in(path_, std::ios::binary);
+    if (!in) throw IoError("cannot open FASTA file: " + path_);
+    in.seekg(static_cast<std::streamoff>(index_.offsets[i]));
+    // Read from the record's header up to (not including) the next one.
+    std::ostringstream record;
+    std::string line;
+    bool first = true;
+    while (std::getline(in, line)) {
+        if (!first && !line.empty() && line.front() == '>') break;
+        record << line << '\n';
+        first = false;
+    }
+    std::istringstream record_in(record.str());
+    std::vector<align::Sequence> seqs = read_fasta(record_in, *alphabet_);
+    SWH_REQUIRE(seqs.size() == 1, "index pointed at a malformed record");
+    return std::move(seqs.front());
+}
+
+std::vector<align::Sequence> IndexedFastaReader::slice(
+    std::size_t begin, std::size_t count) const {
+    SWH_REQUIRE(begin + count <= index_.sequence_count,
+                "slice out of range");
+    std::vector<align::Sequence> out;
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) out.push_back(get(begin + i));
+    return out;
+}
+
+}  // namespace swh::io

@@ -1,0 +1,125 @@
+#include "msa/distance.hpp"
+
+#include <algorithm>
+
+#include "align/striped.hpp"
+#include "db/database.hpp"
+#include "engines/cpu_engine.hpp"
+#include "runtime/hybrid_runtime.hpp"
+#include "util/error.hpp"
+
+namespace swh::msa {
+
+DistanceMatrix::DistanceMatrix(std::size_t n) : n_(n) {
+    SWH_REQUIRE(n >= 1, "distance matrix needs at least one element");
+    data_.assign(n * (n - 1) / 2, 0.0);
+}
+
+namespace {
+
+std::size_t tri_index(std::size_t n, std::size_t i, std::size_t j) {
+    SWH_REQUIRE(i != j, "no self-distance slot");
+    if (i > j) std::swap(i, j);
+    // Offset of row i's strict upper triangle, then column offset.
+    return i * n - i * (i + 1) / 2 + (j - i - 1);
+}
+
+double normalised_distance(align::Score pair_score, align::Score self_a,
+                           align::Score self_b) {
+    const double denom = static_cast<double>(std::min(self_a, self_b));
+    if (denom <= 0.0) return 1.0;
+    const double sim = static_cast<double>(pair_score) / denom;
+    return std::clamp(1.0 - sim, 0.0, 1.0);
+}
+
+}  // namespace
+
+double DistanceMatrix::at(std::size_t i, std::size_t j) const {
+    SWH_REQUIRE(i < n_ && j < n_, "index out of range");
+    if (i == j) return 0.0;
+    return data_[tri_index(n_, i, j)];
+}
+
+void DistanceMatrix::set(std::size_t i, std::size_t j, double d) {
+    SWH_REQUIRE(i < n_ && j < n_, "index out of range");
+    SWH_REQUIRE(d >= 0.0, "distances are non-negative");
+    data_[tri_index(n_, i, j)] = d;
+}
+
+DistanceMatrix compute_distances(const std::vector<align::Sequence>& seqs,
+                                 const align::ScoreMatrix& matrix,
+                                 const DistanceOptions& options) {
+    SWH_REQUIRE(!seqs.empty(), "no sequences");
+    const std::size_t n = seqs.size();
+    DistanceMatrix out(n);
+
+    std::vector<align::Score> self(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        align::Score s = 0;
+        for (const align::Code c : seqs[i].residues) s += matrix.at(c, c);
+        self[i] = s;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        const align::StripedAligner aligner(seqs[i].residues, matrix,
+                                            options.gap, options.isa);
+        for (std::size_t j = i + 1; j < n; ++j) {
+            const align::Score s = aligner.score(seqs[j].residues);
+            out.set(i, j, normalised_distance(s, self[i], self[j]));
+        }
+    }
+    return out;
+}
+
+DistanceMatrix compute_distances_distributed(
+    const std::vector<align::Sequence>& seqs,
+    const align::ScoreMatrix& matrix, const DistanceOptions& options,
+    std::size_t slave_sses) {
+    SWH_REQUIRE(!seqs.empty(), "no sequences");
+    SWH_REQUIRE(slave_sses >= 1, "need at least one slave");
+    const std::size_t n = seqs.size();
+
+    // Reuse the paper's architecture unchanged: the sequence set is both
+    // the query file and the database; task i = sequence i vs everything.
+    // top_k = n keeps every score (we need the full matrix, including
+    // the self-score for normalisation).
+    db::Database database("msa_pairs", seqs);
+    engines::EngineConfig config;
+    config.matrix = &matrix;
+    config.gap = options.gap;
+    config.top_k = n;
+    config.isa = options.isa;
+
+    runtime::RuntimeOptions rt_options;
+    rt_options.top_k = n;
+    std::vector<runtime::SlaveSpec> slaves;
+    for (std::size_t i = 0; i < slave_sses; ++i) {
+        slaves.push_back(runtime::SlaveSpec{
+            "sse" + std::to_string(i),
+            std::make_unique<engines::CpuEngine>(config)});
+    }
+    runtime::HybridRuntime rt(database, seqs, rt_options);
+    const runtime::RunReport report =
+        rt.run(std::move(slaves), core::make_pss());
+
+    // Scores include i-vs-i (the self score) because the "database"
+    // contains the query itself.
+    std::vector<std::vector<align::Score>> score(
+        n, std::vector<align::Score>(n, 0));
+    for (std::size_t q = 0; q < n; ++q) {
+        SWH_REQUIRE(report.hits[q].size() == n,
+                    "distance run must score every pair");
+        for (const core::Hit& h : report.hits[q]) {
+            score[q][h.db_index] = h.score;
+        }
+    }
+    DistanceMatrix out(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+            out.set(i, j, normalised_distance(score[i][j], score[i][i],
+                                              score[j][j]));
+        }
+    }
+    return out;
+}
+
+}  // namespace swh::msa

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "align/score_matrix.hpp"
+#include "align/sequence.hpp"
+#include "core/policy.hpp"
+#include "simd/arch.hpp"
+
+namespace swh::msa {
+
+/// Symmetric pairwise distance matrix over n sequences.
+class DistanceMatrix {
+public:
+    explicit DistanceMatrix(std::size_t n);
+
+    std::size_t size() const { return n_; }
+
+    double at(std::size_t i, std::size_t j) const;
+    void set(std::size_t i, std::size_t j, double d);
+
+private:
+    std::size_t n_;
+    std::vector<double> data_;  ///< strict upper triangle, row-major
+};
+
+struct DistanceOptions {
+    align::GapPenalty gap{10, 2};
+    simd::IsaLevel isa = simd::best_supported();
+};
+
+/// Pairwise SW-score distances: d(a,b) = 1 - S(a,b)/min(S(a,a), S(b,b)),
+/// clamped to [0, 1]. Identical sequences get 0; unrelated ones ~1.
+/// Computed serially with the striped kernel.
+DistanceMatrix compute_distances(const std::vector<align::Sequence>& seqs,
+                                 const align::ScoreMatrix& matrix,
+                                 const DistanceOptions& options = {});
+
+/// Same distances, but computed through the paper's hybrid master/slave
+/// runtime: each task is "one sequence vs the whole set" — the very
+/// coarse-grained decomposition reused verbatim for the paper's MSA
+/// future-work item. `slave_sses` single-threaded SSE slaves are used.
+DistanceMatrix compute_distances_distributed(
+    const std::vector<align::Sequence>& seqs,
+    const align::ScoreMatrix& matrix, const DistanceOptions& options = {},
+    std::size_t slave_sses = 2);
+
+}  // namespace swh::msa

@@ -1,0 +1,96 @@
+#include "msa/guide_tree.hpp"
+
+#include <limits>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace swh::msa {
+
+std::string GuideTree::newick(const std::vector<std::string>& ids) const {
+    SWH_REQUIRE(!nodes.empty(), "empty tree");
+    std::ostringstream os;
+    const auto emit = [&](auto&& self, int i) -> void {
+        const Node& node = nodes[static_cast<std::size_t>(i)];
+        if (node.left < 0) {
+            if (ids.empty()) {
+                os << "seq" << node.leaf;
+            } else {
+                os << ids.at(node.leaf);
+            }
+            return;
+        }
+        os << '(';
+        self(self, node.left);
+        os << ',';
+        self(self, node.right);
+        os << ')';
+    };
+    emit(emit, root());
+    os << ';';
+    return os.str();
+}
+
+GuideTree upgma(const DistanceMatrix& distances) {
+    const std::size_t n = distances.size();
+    GuideTree tree;
+    tree.nodes.reserve(2 * n - 1);
+
+    // Active clusters: node index + member count; dist holds current
+    // cluster-to-cluster average distances (dense, simple O(n^3) — guide
+    // trees are built over at most a few thousand sequences).
+    struct Cluster {
+        int node;
+        std::size_t count;
+        bool alive = true;
+    };
+    std::vector<Cluster> clusters;
+    std::vector<std::vector<double>> dist(n, std::vector<double>(n, 0.0));
+    for (std::size_t i = 0; i < n; ++i) {
+        tree.nodes.push_back(GuideTree::Node{-1, -1, 0.0, i});
+        clusters.push_back(Cluster{static_cast<int>(i), 1});
+        for (std::size_t j = 0; j < n; ++j) dist[i][j] = distances.at(i, j);
+    }
+
+    std::size_t alive = n;
+    while (alive > 1) {
+        // Find the closest pair of live clusters.
+        double best = std::numeric_limits<double>::infinity();
+        std::size_t bi = 0, bj = 0;
+        for (std::size_t i = 0; i < clusters.size(); ++i) {
+            if (!clusters[i].alive) continue;
+            for (std::size_t j = i + 1; j < clusters.size(); ++j) {
+                if (!clusters[j].alive) continue;
+                if (dist[i][j] < best) {
+                    best = dist[i][j];
+                    bi = i;
+                    bj = j;
+                }
+            }
+        }
+        // Merge bj into a new cluster row appended at index "new slot":
+        // reuse bi's row for the merged cluster to keep the matrix
+        // square without reallocation.
+        const std::size_t ci = clusters[bi].count;
+        const std::size_t cj = clusters[bj].count;
+        tree.nodes.push_back(GuideTree::Node{clusters[bi].node,
+                                             clusters[bj].node, best / 2.0,
+                                             0});
+        for (std::size_t k = 0; k < clusters.size(); ++k) {
+            if (!clusters[k].alive || k == bi || k == bj) continue;
+            // Average linkage: weighted by member counts.
+            const double d =
+                (dist[bi][k] * static_cast<double>(ci) +
+                 dist[bj][k] * static_cast<double>(cj)) /
+                static_cast<double>(ci + cj);
+            dist[bi][k] = dist[k][bi] = d;
+        }
+        clusters[bi].node = static_cast<int>(tree.nodes.size()) - 1;
+        clusters[bi].count = ci + cj;
+        clusters[bj].alive = false;
+        --alive;
+    }
+    return tree;
+}
+
+}  // namespace swh::msa

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "msa/distance.hpp"
+
+namespace swh::msa {
+
+/// Binary guide tree for progressive alignment. Leaves 0..n-1 map to the
+/// input sequences; internal nodes are appended in merge order, so the
+/// last node is the root.
+struct GuideTree {
+    struct Node {
+        int left = -1;    ///< child node index, -1 for leaves
+        int right = -1;
+        double height = 0.0;  ///< UPGMA merge height (half the distance)
+        std::size_t leaf = 0;  ///< sequence index (leaves only)
+    };
+
+    std::vector<Node> nodes;
+
+    std::size_t leaf_count() const { return (nodes.size() + 1) / 2; }
+    int root() const { return static_cast<int>(nodes.size()) - 1; }
+    bool is_leaf(int i) const { return nodes[static_cast<std::size_t>(i)].left < 0; }
+
+    /// Newick rendering (ids by leaf index if `ids` is empty).
+    std::string newick(const std::vector<std::string>& ids = {}) const;
+};
+
+/// UPGMA (average-linkage hierarchical clustering) over the distance
+/// matrix — the classic guide-tree construction of progressive aligners.
+GuideTree upgma(const DistanceMatrix& distances);
+
+}  // namespace swh::msa

@@ -1,0 +1,226 @@
+#include "msa/msa.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace swh::msa {
+
+using align::AlignOp;
+using align::Code;
+using align::Score;
+
+Msa Msa::from_sequence(const align::Sequence& seq) {
+    Msa out;
+    out.ids.push_back(seq.id);
+    out.rows.push_back(seq.residues);
+    return out;
+}
+
+std::string Msa::row_string(std::size_t r, const align::Alphabet& a) const {
+    SWH_REQUIRE(r < rows.size(), "row out of range");
+    std::string out;
+    out.reserve(rows[r].size());
+    for (const Code c : rows[r]) {
+        out.push_back(c == kGapCode ? '-' : a.decode(c));
+    }
+    return out;
+}
+
+std::vector<Code> Msa::ungapped(std::size_t r) const {
+    SWH_REQUIRE(r < rows.size(), "row out of range");
+    std::vector<Code> out;
+    for (const Code c : rows[r]) {
+        if (c != kGapCode) out.push_back(c);
+    }
+    return out;
+}
+
+void Msa::validate() const {
+    SWH_REQUIRE(ids.size() == rows.size(), "ids/rows size mismatch");
+    for (const auto& row : rows) {
+        SWH_REQUIRE(row.size() == columns(), "ragged MSA rows");
+    }
+}
+
+Score sum_of_pairs(const Msa& msa, const align::ScoreMatrix& matrix,
+                   Score gap_penalty) {
+    msa.validate();
+    Score total = 0;
+    for (std::size_t col = 0; col < msa.columns(); ++col) {
+        for (std::size_t r1 = 0; r1 < msa.size(); ++r1) {
+            for (std::size_t r2 = r1 + 1; r2 < msa.size(); ++r2) {
+                const Code a = msa.rows[r1][col];
+                const Code b = msa.rows[r2][col];
+                if (a == kGapCode && b == kGapCode) continue;
+                if (a == kGapCode || b == kGapCode) {
+                    total -= gap_penalty;
+                } else {
+                    total += matrix.at(a, b);
+                }
+            }
+        }
+    }
+    return total;
+}
+
+Profile::Profile(const Msa& msa, const align::ScoreMatrix& matrix)
+    : cols_(msa.columns()),
+      symbols_(matrix.alphabet().size()),
+      matrix_(&matrix) {
+    msa.validate();
+    SWH_REQUIRE(msa.size() > 0, "profile of an empty MSA");
+    freq_.assign(cols_ * symbols_, 0.0);
+    const double inv = 1.0 / static_cast<double>(msa.size());
+    for (const auto& row : msa.rows) {
+        for (std::size_t col = 0; col < cols_; ++col) {
+            const Code c = row[col];
+            if (c == kGapCode) continue;
+            SWH_REQUIRE(c < symbols_, "residue outside matrix alphabet");
+            freq_[col * symbols_ + c] += inv;
+        }
+    }
+}
+
+double Profile::column_score(std::size_t i, const Profile& other,
+                             std::size_t j) const {
+    SWH_REQUIRE(matrix_ == other.matrix_ && symbols_ == other.symbols_,
+                "profiles built with different matrices");
+    SWH_REQUIRE(i < cols_ && j < other.cols_, "column out of range");
+    const double* fa = freq_.data() + i * symbols_;
+    const double* fb = other.freq_.data() + j * symbols_;
+    double score = 0.0;
+    for (std::size_t a = 0; a < symbols_; ++a) {
+        if (fa[a] == 0.0) continue;
+        double inner = 0.0;
+        for (std::size_t b = 0; b < symbols_; ++b) {
+            if (fb[b] == 0.0) continue;
+            inner += fb[b] * matrix_->at(static_cast<Code>(a),
+                                         static_cast<Code>(b));
+        }
+        score += fa[a] * inner;
+    }
+    return score;
+}
+
+align::Alignment align_profiles(const Profile& a, const Profile& b,
+                                align::GapPenalty gap) {
+    SWH_REQUIRE(gap.open >= 0 && gap.extend >= 0,
+                "gap penalties must be non-negative");
+    const std::size_t m = a.columns(), n = b.columns();
+    constexpr double kNegInf = -1e18;
+    const double open_ext = gap.open + gap.extend;
+
+    // Quadratic-space affine NW over profile columns with double scores.
+    const std::size_t cols = n + 1;
+    std::vector<double> h((m + 1) * cols, kNegInf);
+    std::vector<double> e((m + 1) * cols, kNegInf);
+    std::vector<double> f((m + 1) * cols, kNegInf);
+    std::vector<std::uint8_t> dir((m + 1) * cols, 0);
+    // dir bits as in align/traceback.cpp: 0..1 H source, 2 E-ext, 3 F-ext
+    h[0] = 0.0;
+    for (std::size_t j = 1; j <= n; ++j) {
+        e[j] = -(open_ext + gap.extend * static_cast<double>(j - 1));
+        h[j] = e[j];
+        dir[j] = 2 | (j > 1 ? (1u << 2) : 0);
+    }
+    for (std::size_t i = 1; i <= m; ++i) {
+        f[i * cols] = -(open_ext + gap.extend * static_cast<double>(i - 1));
+        h[i * cols] = f[i * cols];
+        dir[i * cols] = 3 | (i > 1 ? (1u << 3) : 0);
+    }
+    for (std::size_t i = 1; i <= m; ++i) {
+        for (std::size_t j = 1; j <= n; ++j) {
+            std::uint8_t d = 0;
+            const double e_ext = e[i * cols + j - 1] - gap.extend;
+            const double e_open = h[i * cols + j - 1] - open_ext;
+            if (e_ext >= e_open) d |= (1u << 2);
+            e[i * cols + j] = std::max(e_ext, e_open);
+
+            const double f_ext = f[(i - 1) * cols + j] - gap.extend;
+            const double f_open = h[(i - 1) * cols + j] - open_ext;
+            if (f_ext >= f_open) d |= (1u << 3);
+            f[i * cols + j] = std::max(f_ext, f_open);
+
+            const double diag = h[(i - 1) * cols + j - 1] +
+                                a.column_score(i - 1, b, j - 1);
+            double best = diag;
+            std::uint8_t src = 1;
+            if (e[i * cols + j] > best) {
+                best = e[i * cols + j];
+                src = 2;
+            }
+            if (f[i * cols + j] > best) {
+                best = f[i * cols + j];
+                src = 3;
+            }
+            h[i * cols + j] = best;
+            dir[i * cols + j] = d | src;
+        }
+    }
+
+    align::Alignment out;
+    out.score = static_cast<Score>(std::llround(h[m * cols + n]));
+    out.s_end = m;
+    out.t_end = n;
+    std::size_t i = m, j = n;
+    enum class St { H, E, F } st = St::H;
+    while (i > 0 || j > 0) {
+        const std::uint8_t d = dir[i * cols + j];
+        if (st == St::H) {
+            const std::uint8_t src = d & 0x3;
+            SWH_REQUIRE(src != 0, "profile traceback hit a dead cell");
+            if (src == 1) {
+                out.ops.push_back(AlignOp::Match);
+                --i;
+                --j;
+            } else if (src == 2) {
+                st = St::E;
+            } else {
+                st = St::F;
+            }
+        } else if (st == St::E) {
+            out.ops.push_back(AlignOp::Insert);
+            const bool ext = (d & (1u << 2)) != 0;
+            --j;
+            if (!ext) st = St::H;
+        } else {
+            out.ops.push_back(AlignOp::Delete);
+            const bool ext = (d & (1u << 3)) != 0;
+            --i;
+            if (!ext) st = St::H;
+        }
+    }
+    std::reverse(out.ops.begin(), out.ops.end());
+    return out;
+}
+
+Msa merge_msas(const Msa& a, const Msa& b, const align::Alignment& ops) {
+    a.validate();
+    b.validate();
+    Msa out;
+    out.ids = a.ids;
+    out.ids.insert(out.ids.end(), b.ids.begin(), b.ids.end());
+    out.rows.assign(a.size() + b.size(), {});
+    std::size_t ai = 0, bj = 0;
+    for (const AlignOp op : ops.ops) {
+        for (std::size_t r = 0; r < a.size(); ++r) {
+            out.rows[r].push_back(op == AlignOp::Insert ? kGapCode
+                                                        : a.rows[r][ai]);
+        }
+        for (std::size_t r = 0; r < b.size(); ++r) {
+            out.rows[a.size() + r].push_back(
+                op == AlignOp::Delete ? kGapCode : b.rows[r][bj]);
+        }
+        if (op != AlignOp::Insert) ++ai;
+        if (op != AlignOp::Delete) ++bj;
+    }
+    SWH_REQUIRE(ai == a.columns() && bj == b.columns(),
+                "alignment ops do not cover both MSAs");
+    out.validate();
+    return out;
+}
+
+}  // namespace swh::msa

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "align/alignment.hpp"
+#include "align/score_matrix.hpp"
+#include "align/sequence.hpp"
+
+namespace swh::msa {
+
+/// Gap marker inside MSA rows (never a valid alphabet code).
+constexpr align::Code kGapCode = 0xFF;
+
+/// A multiple sequence alignment: equal-length gapped rows.
+struct Msa {
+    std::vector<std::string> ids;
+    std::vector<std::vector<align::Code>> rows;
+
+    std::size_t size() const { return rows.size(); }
+    std::size_t columns() const { return rows.empty() ? 0 : rows[0].size(); }
+
+    /// Starts a single-sequence alignment.
+    static Msa from_sequence(const align::Sequence& seq);
+
+    /// Row as a printable string ('-' for gaps).
+    std::string row_string(std::size_t r, const align::Alphabet& a) const;
+
+    /// Ungapped residues of one row (must equal the input sequence).
+    std::vector<align::Code> ungapped(std::size_t r) const;
+
+    /// Checks the invariants (equal lengths, ids match rows).
+    void validate() const;
+};
+
+/// Sum-of-pairs score: substitution score for every residue pair in a
+/// column, minus `gap_penalty` for every residue-gap pair (gap-gap pairs
+/// are free). The standard MSA quality measure.
+align::Score sum_of_pairs(const Msa& msa, const align::ScoreMatrix& matrix,
+                          align::Score gap_penalty);
+
+/// Column-frequency profile of an MSA, used for profile-profile
+/// alignment. freq(col, code) is the fraction of rows with that residue;
+/// gap fraction is the remainder.
+class Profile {
+public:
+    Profile(const Msa& msa, const align::ScoreMatrix& matrix);
+
+    std::size_t columns() const { return cols_; }
+
+    /// Expected substitution score of aligning column i of this profile
+    /// against column j of `other` (gap slots contribute 0).
+    double column_score(std::size_t i, const Profile& other,
+                        std::size_t j) const;
+
+private:
+    std::size_t cols_;
+    std::size_t symbols_;
+    const align::ScoreMatrix* matrix_;
+    std::vector<double> freq_;  ///< [col * symbols + code]
+};
+
+/// Global profile-profile alignment with affine gaps (the progressive-
+/// alignment inner step). Returns ops over MSA columns.
+align::Alignment align_profiles(const Profile& a, const Profile& b,
+                                align::GapPenalty gap);
+
+/// Merges two MSAs given the column alignment produced by
+/// align_profiles: Delete = column of `a` against new gaps in `b`'s
+/// rows, Insert = vice versa.
+Msa merge_msas(const Msa& a, const Msa& b, const align::Alignment& ops);
+
+}  // namespace swh::msa

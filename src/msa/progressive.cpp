@@ -1,0 +1,49 @@
+#include "msa/progressive.hpp"
+
+#include "util/error.hpp"
+
+namespace swh::msa {
+
+Msa progressive_align_with_tree(const std::vector<align::Sequence>& seqs,
+                                const GuideTree& tree,
+                                const align::ScoreMatrix& matrix,
+                                align::GapPenalty gap) {
+    SWH_REQUIRE(tree.leaf_count() == seqs.size(),
+                "tree does not match the sequence set");
+    const auto build = [&](auto&& self, int node_idx) -> Msa {
+        const GuideTree::Node& node =
+            tree.nodes[static_cast<std::size_t>(node_idx)];
+        if (node.left < 0) {
+            return Msa::from_sequence(seqs[node.leaf]);
+        }
+        const Msa left = self(self, node.left);
+        const Msa right = self(self, node.right);
+        const Profile pa(left, matrix);
+        const Profile pb(right, matrix);
+        const align::Alignment ops = align_profiles(pa, pb, gap);
+        return merge_msas(left, right, ops);
+    };
+    Msa out = build(build, tree.root());
+    out.validate();
+    return out;
+}
+
+Msa progressive_align(const std::vector<align::Sequence>& seqs,
+                      const align::ScoreMatrix& matrix,
+                      const ProgressiveOptions& options) {
+    SWH_REQUIRE(!seqs.empty(), "no sequences to align");
+    if (seqs.size() == 1) return Msa::from_sequence(seqs[0]);
+
+    DistanceOptions d_opts;
+    d_opts.gap = options.gap;
+    d_opts.isa = options.isa;
+    const DistanceMatrix distances =
+        options.distributed_distances
+            ? compute_distances_distributed(seqs, matrix, d_opts,
+                                            options.slave_sses)
+            : compute_distances(seqs, matrix, d_opts);
+    const GuideTree tree = upgma(distances);
+    return progressive_align_with_tree(seqs, tree, matrix, options.gap);
+}
+
+}  // namespace swh::msa

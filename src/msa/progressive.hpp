@@ -1,0 +1,37 @@
+#pragma once
+
+#include <vector>
+
+#include "msa/guide_tree.hpp"
+#include "msa/msa.hpp"
+
+namespace swh::msa {
+
+struct ProgressiveOptions {
+    align::GapPenalty gap{10, 2};
+    simd::IsaLevel isa = simd::best_supported();
+    /// Distribute the distance-matrix stage over the hybrid runtime
+    /// (the paper's future-work demonstration) instead of computing it
+    /// serially.
+    bool distributed_distances = false;
+    std::size_t slave_sses = 2;
+};
+
+/// Progressive multiple sequence alignment: pairwise SW distances →
+/// UPGMA guide tree → profile-profile merges in tree order. This is the
+/// paper's "adapt our architecture to run other Bioinformatics
+/// applications, such as Multiple Sequence Alignment" future-work item:
+/// the distance stage reuses the task-distribution architecture
+/// unchanged.
+Msa progressive_align(const std::vector<align::Sequence>& seqs,
+                      const align::ScoreMatrix& matrix,
+                      const ProgressiveOptions& options = {});
+
+/// The same, with a precomputed guide tree (exposed for testing and for
+/// callers that want to reuse distances).
+Msa progressive_align_with_tree(const std::vector<align::Sequence>& seqs,
+                                const GuideTree& tree,
+                                const align::ScoreMatrix& matrix,
+                                align::GapPenalty gap);
+
+}  // namespace swh::msa

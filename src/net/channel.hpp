@@ -1,0 +1,97 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace swh::net {
+
+/// Blocking MPSC message queue — the "network" between master and slaves
+/// in the threaded runtime. An optional fixed delivery delay emulates
+/// link latency (a message becomes visible to recv only delay seconds
+/// after send), which the paper's Gigabit-Ethernet setup would add.
+template <typename T>
+class Channel {
+public:
+    explicit Channel(double delivery_delay_s = 0.0)
+        : delay_(std::chrono::duration_cast<Clock::duration>(
+              std::chrono::duration<double>(delivery_delay_s))) {
+        SWH_REQUIRE(delivery_delay_s >= 0.0, "delay must be non-negative");
+    }
+
+    Channel(const Channel&) = delete;
+    Channel& operator=(const Channel&) = delete;
+
+    void send(T msg) {
+        {
+            const std::lock_guard lock(mu_);
+            SWH_REQUIRE(!closed_, "send on closed channel");
+            queue_.push_back(
+                Entry{Clock::now() + delay_, std::move(msg)});
+        }
+        cv_.notify_all();
+    }
+
+    /// Blocks until a message is deliverable or the channel is closed and
+    /// drained (then nullopt).
+    std::optional<T> recv() {
+        std::unique_lock lock(mu_);
+        while (true) {
+            if (!queue_.empty()) {
+                const auto ready = queue_.front().ready;
+                if (ready <= Clock::now()) break;
+                cv_.wait_until(lock, ready);
+                continue;
+            }
+            if (closed_) return std::nullopt;
+            cv_.wait(lock);
+        }
+        T msg = std::move(queue_.front().payload);
+        queue_.pop_front();
+        return msg;
+    }
+
+    /// Non-blocking: a deliverable message or nullopt.
+    std::optional<T> try_recv() {
+        const std::lock_guard lock(mu_);
+        if (queue_.empty() || queue_.front().ready > Clock::now())
+            return std::nullopt;
+        T msg = std::move(queue_.front().payload);
+        queue_.pop_front();
+        return msg;
+    }
+
+    /// After close, sends throw and recv drains then returns nullopt.
+    void close() {
+        {
+            const std::lock_guard lock(mu_);
+            closed_ = true;
+        }
+        cv_.notify_all();
+    }
+
+    std::size_t size() const {
+        const std::lock_guard lock(mu_);
+        return queue_.size();
+    }
+
+private:
+    using Clock = std::chrono::steady_clock;
+    struct Entry {
+        Clock::time_point ready;
+        T payload;
+    };
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<Entry> queue_;
+    Clock::duration delay_{};
+    bool closed_ = false;
+};
+
+}  // namespace swh::net

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <variant>
+#include <vector>
+
+#include "core/results.hpp"
+#include "core/types.hpp"
+
+namespace swh::net {
+
+// ---- Slave -> master ----------------------------------------------------
+
+struct MsgRegister {
+    core::PeId pe;
+    core::PeKind kind;
+};
+
+struct MsgWorkRequest {
+    core::PeId pe;
+};
+
+/// Periodic progress notification (paper SS IV-A.2): the observed
+/// processing speed since the previous notification.
+struct MsgProgress {
+    core::PeId pe;
+    double cells_per_second;
+};
+
+struct MsgTaskDone {
+    core::PeId pe;
+    core::TaskId task;
+    core::TaskResult result;
+};
+
+/// Node-leave announcement (future-work extension).
+struct MsgDeregister {
+    core::PeId pe;
+};
+
+using MasterMsg = std::variant<MsgRegister, MsgWorkRequest, MsgProgress,
+                               MsgTaskDone, MsgDeregister>;
+
+// ---- Master -> slave ----------------------------------------------------
+
+struct MsgAssign {
+    std::vector<core::Task> tasks;  ///< execution order, with metadata
+};
+
+/// Nothing to hand out right now; the master will push an Assign (or a
+/// Shutdown) when the situation changes. The slave must block, not poll.
+struct MsgNoWorkYet {};
+
+/// Abandon a replica another PE already finished (cancel_losers mode).
+struct MsgCancel {
+    core::TaskId task;
+};
+
+/// All tasks finished; the slave should exit.
+struct MsgShutdown {};
+
+using SlaveMsg = std::variant<MsgAssign, MsgNoWorkYet, MsgCancel, MsgShutdown>;
+
+}  // namespace swh::net

@@ -1,0 +1,307 @@
+#include "runtime/hybrid_runtime.hpp"
+
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <utility>
+
+#include "net/channel.hpp"
+#include "net/messages.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace swh::runtime {
+
+using core::PeId;
+using core::TaskId;
+
+namespace {
+
+/// Slave-side execution observer: converts engine cell counts into
+/// periodic MsgProgress notifications and services MsgCancel messages
+/// that arrive while the slave is busy computing.
+class SlaveObserver final : public engines::ExecutionObserver {
+public:
+    SlaveObserver(PeId pe, TaskId current, double notify_period_s,
+                  net::Channel<net::MasterMsg>& to_master,
+                  net::Channel<net::SlaveMsg>& inbox,
+                  std::set<TaskId>& cancelled_queue)
+        : pe_(pe),
+          current_(current),
+          period_(notify_period_s),
+          to_master_(to_master),
+          inbox_(inbox),
+          cancelled_queue_(cancelled_queue) {}
+
+    void on_cells(std::uint64_t cells_delta) override {
+        cells_ += cells_delta;
+        const double elapsed = since_notify_.seconds();
+        if (elapsed >= period_ && cells_ > 0) {
+            to_master_.send(net::MsgProgress{
+                pe_, static_cast<double>(cells_) / elapsed});
+            cells_ = 0;
+            since_notify_.reset();
+        }
+    }
+
+    bool cancelled() const override {
+        // Engines may poll from several worker threads.
+        const std::lock_guard lock(mu_);
+        while (auto msg = inbox_.try_recv()) {
+            const auto* cancel = std::get_if<net::MsgCancel>(&*msg);
+            SWH_REQUIRE(cancel != nullptr,
+                        "only cancellations may arrive mid-execution");
+            if (cancel->task == current_) {
+                cancelled_current_ = true;
+            } else {
+                cancelled_queue_.insert(cancel->task);
+            }
+        }
+        return cancelled_current_;
+    }
+
+    bool cancelled_current() const {
+        const std::lock_guard lock(mu_);
+        return cancelled_current_;
+    }
+
+    /// Rate over the whole task, for a final notification on completion.
+    void send_final_rate() {
+        const double elapsed = since_notify_.seconds();
+        if (cells_ > 0 && elapsed > 0.0) {
+            to_master_.send(net::MsgProgress{
+                pe_, static_cast<double>(cells_) / elapsed});
+        }
+    }
+
+private:
+    PeId pe_;
+    TaskId current_;
+    double period_;
+    net::Channel<net::MasterMsg>& to_master_;
+    net::Channel<net::SlaveMsg>& inbox_;
+    std::set<TaskId>& cancelled_queue_;
+    mutable std::mutex mu_;
+    mutable bool cancelled_current_ = false;
+    std::uint64_t cells_ = 0;
+    Timer since_notify_;
+};
+
+struct SlaveShared {
+    net::Channel<net::SlaveMsg> inbox;
+    SlaveReport report;
+
+    explicit SlaveShared(double delay) : inbox(delay) {}
+};
+
+}  // namespace
+
+HybridRuntime::HybridRuntime(const db::Database& database,
+                             std::vector<align::Sequence> queries,
+                             RuntimeOptions options)
+    : database_(&database),
+      queries_(std::move(queries)),
+      options_(options) {
+    SWH_REQUIRE(!queries_.empty(), "query set must be non-empty");
+    SWH_REQUIRE(options_.notify_period_s > 0.0,
+                "notify period must be positive");
+}
+
+RunReport HybridRuntime::run(std::vector<SlaveSpec> slaves,
+                             std::unique_ptr<core::AllocationPolicy> policy) {
+    SWH_REQUIRE(!slaves.empty(), "need at least one slave");
+    const std::size_t n = slaves.size();
+
+    core::SchedulerCore sched(
+        core::make_tasks(queries_, database_->residues()), std::move(policy),
+        options_.sched);
+    core::ResultMerger merger(queries_.size(), options_.top_k);
+
+    net::Channel<net::MasterMsg> master_inbox(options_.channel_delay_s);
+    std::vector<std::unique_ptr<SlaveShared>> shared;
+    shared.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        shared.push_back(
+            std::make_unique<SlaveShared>(options_.channel_delay_s));
+        shared.back()->report.label = slaves[i].label;
+        shared.back()->report.kind = slaves[i].engine->kind();
+    }
+
+    Timer clock;
+
+    // ---- Slave threads --------------------------------------------------
+    auto slave_main = [&](PeId pe) {
+        SlaveSpec& spec = slaves[pe];
+        SlaveShared& sh = *shared[pe];
+        if (spec.join_delay_s > 0.0) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(spec.join_delay_s));
+        }
+        master_inbox.send(net::MsgRegister{pe, spec.engine->kind()});
+
+        std::vector<core::Task> batch;
+        std::set<TaskId> cancelled_queue;
+        std::size_t completions = 0;
+        while (true) {
+            if (batch.empty()) {
+                master_inbox.send(net::MsgWorkRequest{pe});
+                bool got_batch = false;
+                while (!got_batch) {
+                    std::optional<net::SlaveMsg> msg = sh.inbox.recv();
+                    if (!msg) return;  // channel closed: defensive exit
+                    if (const auto* assign =
+                            std::get_if<net::MsgAssign>(&*msg)) {
+                        batch = assign->tasks;
+                        got_batch = true;
+                    } else if (std::holds_alternative<net::MsgShutdown>(
+                                   *msg)) {
+                        return;
+                    } else if (const auto* cancel =
+                                   std::get_if<net::MsgCancel>(&*msg)) {
+                        // Cancellation for a task we already finished or
+                        // never started; nothing to do.
+                        (void)cancel;
+                    }
+                    // MsgNoWorkYet: keep blocking; the master will push.
+                }
+            }
+
+            const core::Task task_meta = batch.front();
+            const TaskId t = task_meta.id;
+            batch.erase(batch.begin());
+            if (cancelled_queue.erase(t) > 0) {
+                ++sh.report.tasks_cancelled;
+                continue;  // master already released it
+            }
+            const align::Sequence& query = queries_[task_meta.query_index];
+
+            SlaveObserver obs(pe, t, options_.notify_period_s, master_inbox,
+                              sh.inbox, cancelled_queue);
+            core::TaskResult result = spec.engine->execute(
+                query, task_meta.query_index, t, *database_, &obs);
+            sh.report.cells_computed += result.cells;
+
+            if (obs.cancelled_current()) {
+                ++sh.report.tasks_cancelled;
+            } else {
+                obs.send_final_rate();
+                master_inbox.send(net::MsgTaskDone{pe, t, std::move(result)});
+                ++completions;
+            }
+
+            if (spec.leave_after_tasks > 0 &&
+                completions >= spec.leave_after_tasks) {
+                // Abandon whatever is still queued and leave the platform.
+                sh.report.left_early = true;
+                master_inbox.send(net::MsgDeregister{pe});
+                return;
+            }
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(n);
+    for (PeId pe = 0; pe < n; ++pe) threads.emplace_back(slave_main, pe);
+
+    // ---- Master (this thread) -------------------------------------------
+    RunReport report;
+    report.slaves.resize(n);
+    std::set<PeId> waiting;  ///< starved slaves owed an Assign/Shutdown
+    std::set<std::pair<PeId, TaskId>> cancelled_inflight;
+    std::size_t finished_slaves = 0;
+    // Completions that raced a cancellation message; the scheduler never
+    // sees them but they are discarded results all the same.
+    std::size_t raced_discards = 0;
+
+    auto serve = [&](PeId pe) {
+        if (!sched.is_registered(pe)) return;  // raced with deregister
+        const std::vector<TaskId> assigned =
+            sched.on_work_request(pe, clock.seconds());
+        if (!assigned.empty()) {
+            std::vector<core::Task> with_meta;
+            with_meta.reserve(assigned.size());
+            for (const TaskId t : assigned)
+                with_meta.push_back(sched.tasks().task(t));
+            shared[pe]->inbox.send(net::MsgAssign{std::move(with_meta)});
+        } else if (sched.all_done()) {
+            shared[pe]->inbox.send(net::MsgShutdown{});
+            ++finished_slaves;
+        } else {
+            shared[pe]->inbox.send(net::MsgNoWorkYet{});
+            waiting.insert(pe);
+        }
+    };
+
+    auto retry_waiting = [&] {
+        const std::set<PeId> snapshot = std::exchange(waiting, {});
+        for (const PeId pe : snapshot) serve(pe);
+    };
+
+    while (finished_slaves < n) {
+        std::optional<net::MasterMsg> msg = master_inbox.recv();
+        SWH_REQUIRE(msg.has_value(), "master inbox closed prematurely");
+        const double now = clock.seconds();
+
+        if (const auto* reg = std::get_if<net::MsgRegister>(&*msg)) {
+            sched.register_slave(reg->pe, reg->kind);
+        } else if (const auto* req = std::get_if<net::MsgWorkRequest>(&*msg)) {
+            serve(req->pe);
+        } else if (const auto* prog = std::get_if<net::MsgProgress>(&*msg)) {
+            if (sched.is_registered(prog->pe)) {
+                sched.on_progress(prog->pe, now, prog->cells_per_second);
+            }
+        } else if (auto* done = std::get_if<net::MsgTaskDone>(&*msg)) {
+            report.computed_cells += done->result.cells;
+            const auto key = std::make_pair(done->pe, done->task);
+            if (cancelled_inflight.erase(key) > 0) {
+                // The slave finished before our cancellation reached it;
+                // the scheduler already released the replica.
+                ++report.slaves[done->pe].results_discarded;
+                ++raced_discards;
+            } else {
+                const core::SchedulerCore::CompletionResult cr =
+                    sched.on_task_complete(done->pe, done->task, now);
+                if (cr.accepted) {
+                    report.accepted_cells += done->result.cells;
+                    ++report.slaves[done->pe].results_accepted;
+                    merger.add(done->result);
+                } else {
+                    ++report.slaves[done->pe].results_discarded;
+                }
+                for (const PeId loser : cr.cancelled) {
+                    shared[loser]->inbox.send(net::MsgCancel{done->task});
+                    cancelled_inflight.insert({loser, done->task});
+                }
+            }
+            retry_waiting();
+        } else if (const auto* dereg =
+                       std::get_if<net::MsgDeregister>(&*msg)) {
+            sched.deregister_slave(dereg->pe, now);
+            ++finished_slaves;
+            retry_waiting();  // its tasks may be Ready again
+        }
+    }
+
+    for (std::thread& t : threads) t.join();
+
+    report.wall_seconds = clock.seconds();
+    report.gcups =
+        align::gcups(report.accepted_cells, report.wall_seconds);
+    report.replicas_issued = sched.replicas_issued();
+    report.completions_discarded =
+        sched.completions_discarded() + raced_discards;
+    for (std::size_t i = 0; i < n; ++i) {
+        SlaveReport merged = shared[i]->report;
+        merged.results_accepted = report.slaves[i].results_accepted;
+        merged.results_discarded = report.slaves[i].results_discarded;
+        report.slaves[i] = std::move(merged);
+    }
+    report.hits.reserve(queries_.size());
+    for (std::size_t q = 0; q < queries_.size(); ++q) {
+        report.hits.push_back(merger.hits_for(q));
+    }
+    return report;
+}
+
+}  // namespace swh::runtime

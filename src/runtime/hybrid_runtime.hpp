@@ -1,0 +1,80 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "core/results.hpp"
+#include "core/scheduler.hpp"
+#include "db/database.hpp"
+#include "engines/engine.hpp"
+
+namespace swh::runtime {
+
+/// One slave PE of the hybrid platform: an engine plus optional dynamic-
+/// membership behaviour (the paper's future-work join/leave extension).
+struct SlaveSpec {
+    std::string label;
+    std::unique_ptr<engines::ComputeEngine> engine;
+    /// Seconds after run start before this slave registers (late join).
+    double join_delay_s = 0.0;
+    /// After this many accepted+discarded completions the slave
+    /// deregisters, abandoning any queued tasks (0 = stays to the end).
+    std::size_t leave_after_tasks = 0;
+};
+
+struct RuntimeOptions {
+    core::SchedulerOptions sched;
+    /// Progress-notification cadence the slaves aim for.
+    double notify_period_s = 0.2;
+    std::size_t top_k = 10;
+    /// Simulated link latency applied to every message.
+    double channel_delay_s = 0.0;
+};
+
+struct SlaveReport {
+    std::string label;
+    core::PeKind kind = core::PeKind::SseCore;
+    std::size_t results_accepted = 0;
+    std::size_t results_discarded = 0;  ///< lost replica races
+    std::size_t tasks_cancelled = 0;    ///< abandoned mid-run
+    std::uint64_t cells_computed = 0;
+    bool left_early = false;
+};
+
+struct RunReport {
+    double wall_seconds = 0.0;
+    std::uint64_t accepted_cells = 0;  ///< counted once per task
+    std::uint64_t computed_cells = 0;  ///< includes replica duplicates
+    double gcups = 0.0;                ///< accepted_cells / wall
+    std::size_t replicas_issued = 0;
+    std::size_t completions_discarded = 0;
+    std::vector<SlaveReport> slaves;
+    /// Top-k hits per query (index-aligned with the query set).
+    std::vector<std::vector<core::Hit>> hits;
+};
+
+/// The threaded master/slave execution environment (paper Fig. 4): the
+/// calling thread runs the master (sequence acquisition, task allocation,
+/// result merging); each SlaveSpec becomes a slave thread that registers,
+/// requests work, executes tasks on its engine, and streams progress
+/// notifications. All master decisions are delegated to SchedulerCore —
+/// the same logic the discrete-event simulator drives.
+class HybridRuntime {
+public:
+    HybridRuntime(const db::Database& database,
+                  std::vector<align::Sequence> queries,
+                  RuntimeOptions options);
+
+    /// Blocks until every task is finished and every slave has exited.
+    RunReport run(std::vector<SlaveSpec> slaves,
+                  std::unique_ptr<core::AllocationPolicy> policy);
+
+private:
+    const db::Database* database_;
+    std::vector<align::Sequence> queries_;
+    RuntimeOptions options_;
+};
+
+}  // namespace swh::runtime

@@ -1,0 +1,439 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <queue>
+#include <set>
+#include <sstream>
+
+#include "core/results.hpp"
+#include "util/error.hpp"
+#include "util/str.hpp"
+
+namespace swh::sim {
+
+namespace {
+
+enum class EventKind : std::uint8_t {
+    TaskFinish,
+    Notify,
+    Load,
+    Leave,
+    Join,
+    StartWork,  ///< delayed assignment arrival (assign_latency_s)
+};
+
+struct Event {
+    double time = 0.0;
+    std::uint64_t seq = 0;  ///< insertion order; breaks time ties
+    EventKind kind = EventKind::TaskFinish;
+    std::size_t pe = 0;
+    std::uint64_t gen = 0;      ///< TaskFinish validity generation
+    double factor = 1.0;        ///< Load
+    std::size_t join_idx = 0;   ///< Join
+};
+
+struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+        if (a.time != b.time) return a.time > b.time;
+        return a.seq > b.seq;
+    }
+};
+
+struct PeState {
+    PeModelSpec spec;
+    bool registered = false;
+    bool left = false;
+    double load_factor = 1.0;
+
+    std::deque<core::TaskId> queue;  ///< assigned, not yet started
+    bool busy = false;
+    core::TaskId current = 0;
+    double overhead_remaining = 0.0;
+    double cells_remaining = 0.0;
+    double current_start = 0.0;
+    double last_advance = 0.0;
+    std::uint64_t gen = 0;  ///< bumped whenever the finish time changes
+
+    double cells_since_notify = 0.0;
+    double last_notify = 0.0;
+    bool notify_scheduled = false;
+    bool starved = false;
+
+    PeReport report;
+};
+
+class Simulation {
+public:
+    explicit Simulation(const SimConfig& config)
+        : config_(config),
+          sched_(core::make_tasks_from_lengths(config.query_lengths,
+                                               config.db_residues),
+                 config.policy(), config.sched) {
+        SWH_REQUIRE(config_.db_residues > 0, "db_residues must be positive");
+        SWH_REQUIRE(!config_.query_lengths.empty(), "no queries");
+        SWH_REQUIRE(!config_.pes.empty() || !config_.join_events.empty(),
+                    "platform has no PEs");
+        SWH_REQUIRE(config_.notify_period_s > 0.0,
+                    "notify period must be positive");
+    }
+
+    SimReport run();
+
+private:
+    double speed(const PeState& pe) const {
+        return pe.spec.effective_gcups(config_.db_residues) * 1e9 *
+               pe.load_factor;
+    }
+
+    void push(Event e) {
+        e.seq = next_seq_++;
+        heap_.push(e);
+    }
+
+    /// Applies elapsed virtual time to a PE's running task.
+    void advance(std::size_t i, double now) {
+        PeState& pe = pes_[i];
+        double dt = now - pe.last_advance;
+        pe.last_advance = now;
+        if (!pe.busy || dt <= 0.0) return;
+        pe.report.busy_seconds += dt;
+        const double o = std::min(pe.overhead_remaining, dt);
+        pe.overhead_remaining -= o;
+        dt -= o;
+        const double done = dt * speed(pe);
+        const double counted = std::min(done, pe.cells_remaining);
+        pe.cells_remaining -= counted;
+        pe.report.cells += static_cast<std::uint64_t>(counted);
+        computed_cells_ += static_cast<std::uint64_t>(counted);
+        pe.cells_since_notify += counted;
+    }
+
+    void schedule_finish(std::size_t i, double now) {
+        PeState& pe = pes_[i];
+        SWH_REQUIRE(pe.busy, "scheduling finish on an idle PE");
+        const double s = speed(pe);
+        SWH_REQUIRE(s > 0.0, "PE speed must be positive");
+        const double when =
+            now + pe.overhead_remaining + pe.cells_remaining / s;
+        ++pe.gen;
+        push(Event{when, 0, EventKind::TaskFinish, i, pe.gen, 1.0, 0});
+    }
+
+    void ensure_notify(std::size_t i, double now) {
+        PeState& pe = pes_[i];
+        if (pe.notify_scheduled) return;
+        pe.notify_scheduled = true;
+        pe.last_notify = now;
+        pe.cells_since_notify = 0.0;
+        push(Event{now + config_.notify_period_s, 0, EventKind::Notify, i, 0,
+                   1.0, 0});
+    }
+
+    void start_next(std::size_t i, double now) {
+        PeState& pe = pes_[i];
+        if (pe.queue.empty()) {
+            pe.busy = false;
+            return;
+        }
+        pe.current = pe.queue.front();
+        pe.queue.pop_front();
+        pe.busy = true;
+        pe.overhead_remaining = pe.spec.task_overhead_s;
+        pe.cells_remaining =
+            static_cast<double>(sched_.tasks().task(pe.current).cells);
+        pe.current_start = now;
+        pe.last_advance = now;
+        schedule_finish(i, now);
+        ensure_notify(i, now);
+    }
+
+    void request_work(std::size_t i, double now) {
+        PeState& pe = pes_[i];
+        if (pe.left || !pe.registered || pe.busy) return;
+        const std::vector<core::TaskId> assigned =
+            sched_.on_work_request(static_cast<core::PeId>(i), now);
+        if (assigned.empty()) {
+            if (!sched_.all_done()) pe.starved = true;
+            return;
+        }
+        pe.starved = false;
+        for (const core::TaskId t : assigned) pe.queue.push_back(t);
+        if (config_.assign_latency_s > 0.0) {
+            // The reply is in flight; the PE idles until it lands.
+            push(Event{now + config_.assign_latency_s, 0,
+                       EventKind::StartWork, i, 0, 1.0, 0});
+        } else {
+            start_next(i, now);
+        }
+    }
+
+    void retry_starved(double now) {
+        for (std::size_t i = 0; i < pes_.size(); ++i) {
+            if (pes_[i].starved && !pes_[i].left && !pes_[i].busy) {
+                pes_[i].starved = false;
+                request_work(i, now);
+            }
+        }
+    }
+
+    /// Aborts the PE's current task (cancelled replica or node leave).
+    /// The scheduler-side release is the caller's responsibility.
+    void abort_current(std::size_t i, double now) {
+        PeState& pe = pes_[i];
+        if (!pe.busy) return;
+        advance(i, now);
+        spans_.push_back(TaskSpan{pe.current, i, pe.current_start, now, false,
+                                  true});
+        ++pe.report.tasks_aborted;
+        pe.busy = false;
+        ++pe.gen;  // invalidate the scheduled finish
+    }
+
+    void handle_finish(const Event& ev) {
+        PeState& pe = pes_[ev.pe];
+        if (!pe.busy || ev.gen != pe.gen) return;  // stale
+        const double now = ev.time;
+        advance(ev.pe, now);
+        pe.cells_remaining = 0.0;
+        const core::TaskId done = pe.current;
+
+        const core::SchedulerCore::CompletionResult cr =
+            sched_.on_task_complete(static_cast<core::PeId>(ev.pe), done,
+                                    now);
+        spans_.push_back(
+            TaskSpan{done, ev.pe, pe.current_start, now, cr.accepted, false});
+        if (cr.accepted) {
+            accepted_cells_ += sched_.tasks().task(done).cells;
+            ++pe.report.results_accepted;
+            if (sched_.all_done()) makespan_ = now;
+        } else {
+            ++pe.report.results_discarded;
+        }
+        pe.busy = false;
+
+        for (const core::PeId loser : cr.cancelled) {
+            PeState& lp = pes_[loser];
+            std::erase(lp.queue, done);
+            if (lp.busy && lp.current == done) {
+                abort_current(loser, now);
+                if (!lp.queue.empty()) {
+                    start_next(loser, now);
+                } else {
+                    request_work(loser, now);
+                }
+            }
+        }
+
+        if (!pe.queue.empty()) {
+            start_next(ev.pe, now);
+        } else {
+            request_work(ev.pe, now);
+        }
+        retry_starved(now);
+    }
+
+    void handle_notify(const Event& ev) {
+        PeState& pe = pes_[ev.pe];
+        pe.notify_scheduled = false;
+        if (pe.left) return;
+        const double now = ev.time;
+        advance(ev.pe, now);
+        if (!pe.busy) return;  // went idle; next start re-arms notify
+        const double elapsed = now - pe.last_notify;
+        if (elapsed > 0.0) {
+            const double rate = pe.cells_since_notify / elapsed;
+            sched_.on_progress(static_cast<core::PeId>(ev.pe), now, rate);
+            rates_.push_back(RateSample{ev.pe, now, rate / 1e9});
+        }
+        pe.cells_since_notify = 0.0;
+        pe.last_notify = now;
+        pe.notify_scheduled = true;
+        push(Event{now + config_.notify_period_s, 0, EventKind::Notify,
+                   ev.pe, 0, 1.0, 0});
+    }
+
+    void handle_load(const Event& ev) {
+        PeState& pe = pes_[ev.pe];
+        advance(ev.pe, ev.time);
+        pe.load_factor = ev.factor;
+        SWH_REQUIRE(pe.load_factor > 0.0,
+                    "load factor must stay positive (use Leave to stop a PE)");
+        if (pe.busy) schedule_finish(ev.pe, ev.time);
+    }
+
+    void handle_leave(const Event& ev) {
+        PeState& pe = pes_[ev.pe];
+        if (pe.left || !pe.registered) return;
+        const double now = ev.time;
+        sched_.deregister_slave(static_cast<core::PeId>(ev.pe), now);
+        abort_current(ev.pe, now);
+        pe.queue.clear();
+        pe.left = true;
+        pe.starved = false;
+        retry_starved(now);
+    }
+
+    void handle_join(const Event& ev) {
+        const std::size_t i = pes_.size();
+        pes_.push_back(PeState{});
+        pes_.back().spec = config_.join_events[ev.join_idx].pe;
+        pes_.back().report.label = pes_.back().spec.label;
+        pes_.back().report.kind = pes_.back().spec.kind;
+        pes_.back().registered = true;
+        pes_.back().last_advance = ev.time;
+        sched_.register_slave(static_cast<core::PeId>(i),
+                              pes_.back().spec.kind);
+        request_work(i, ev.time);
+    }
+
+    const SimConfig& config_;
+    core::SchedulerCore sched_;
+    std::priority_queue<Event, std::vector<Event>, EventLater> heap_;
+    std::uint64_t next_seq_ = 0;
+    std::vector<PeState> pes_;
+    std::vector<TaskSpan> spans_;
+    std::vector<RateSample> rates_;
+    std::uint64_t accepted_cells_ = 0;
+    std::uint64_t computed_cells_ = 0;
+    double makespan_ = 0.0;
+};
+
+SimReport Simulation::run() {
+    // Static platform members register at t = 0.
+    pes_.reserve(config_.pes.size() + config_.join_events.size());
+    for (const PeModelSpec& spec : config_.pes) {
+        pes_.push_back(PeState{});
+        pes_.back().spec = spec;
+        pes_.back().report.label = spec.label;
+        pes_.back().report.kind = spec.kind;
+        pes_.back().registered = true;
+        sched_.register_slave(static_cast<core::PeId>(pes_.size() - 1),
+                              spec.kind);
+    }
+    for (const LoadEvent& e : config_.load_events) {
+        SWH_REQUIRE(e.pe_index < config_.pes.size(),
+                    "load event targets unknown PE");
+        push(Event{e.time, 0, EventKind::Load, e.pe_index, 0,
+                   e.speed_factor, 0});
+    }
+    for (const LeaveEvent& e : config_.leave_events) {
+        SWH_REQUIRE(e.pe_index < config_.pes.size(),
+                    "leave event targets unknown PE");
+        push(Event{e.time, 0, EventKind::Leave, e.pe_index, 0, 1.0, 0});
+    }
+    for (std::size_t j = 0; j < config_.join_events.size(); ++j) {
+        push(Event{config_.join_events[j].time, 0, EventKind::Join, 0, 0,
+                   1.0, j});
+    }
+    // First-allocation round, in PE order.
+    for (std::size_t i = 0; i < pes_.size(); ++i) request_work(i, 0.0);
+
+    double last_time = 0.0;
+    while (!heap_.empty()) {
+        const Event ev = heap_.top();
+        heap_.pop();
+        SWH_REQUIRE(ev.time <= config_.max_time,
+                    "simulation exceeded max_time (misconfigured scenario?)");
+        last_time = std::max(last_time, ev.time);
+        switch (ev.kind) {
+            case EventKind::TaskFinish:
+                handle_finish(ev);
+                break;
+            case EventKind::Notify:
+                handle_notify(ev);
+                break;
+            case EventKind::Load:
+                handle_load(ev);
+                break;
+            case EventKind::Leave:
+                handle_leave(ev);
+                break;
+            case EventKind::Join:
+                handle_join(ev);
+                break;
+            case EventKind::StartWork: {
+                PeState& pe = pes_[ev.pe];
+                if (!pe.left && !pe.busy) {
+                    pe.last_advance = ev.time;
+                    start_next(ev.pe, ev.time);
+                    // Every queued task may have been cancelled while
+                    // the assignment was in flight; ask again.
+                    if (!pe.busy) request_work(ev.pe, ev.time);
+                }
+                break;
+            }
+        }
+    }
+    SWH_REQUIRE(sched_.all_done(),
+                "simulation drained its events with unfinished tasks");
+
+    SimReport report;
+    report.makespan = makespan_;
+    report.all_idle_time = 0.0;
+    for (const TaskSpan& s : spans_) {
+        report.all_idle_time = std::max(report.all_idle_time, s.end);
+    }
+    report.accepted_cells = accepted_cells_;
+    report.computed_cells = computed_cells_;
+    report.gcups = makespan_ > 0.0
+                       ? static_cast<double>(accepted_cells_) / makespan_ /
+                             1e9
+                       : 0.0;
+    report.replicas_issued = sched_.replicas_issued();
+    report.completions_discarded = sched_.completions_discarded();
+    for (const PeState& pe : pes_) report.pes.push_back(pe.report);
+    report.spans = std::move(spans_);
+    report.rates = std::move(rates_);
+    (void)last_time;
+    return report;
+}
+
+}  // namespace
+
+SimReport simulate(const SimConfig& config) {
+    Simulation sim(config);
+    return sim.run();
+}
+
+std::string render_gantt(const SimReport& report,
+                         const std::vector<PeModelSpec>& pes,
+                         double time_step) {
+    SWH_REQUIRE(time_step > 0.0, "time step must be positive");
+    double horizon = 0.0;
+    for (const TaskSpan& s : report.spans) horizon = std::max(horizon, s.end);
+    const auto cols =
+        static_cast<std::size_t>(std::ceil(horizon / time_step));
+    std::size_t label_w = 0;
+    for (const PeModelSpec& pe : pes) label_w = std::max(label_w,
+                                                         pe.label.size());
+
+    auto task_char = [](core::TaskId t) {
+        static const char* glyphs =
+            "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+        return glyphs[t % 62];
+    };
+
+    std::ostringstream os;
+    for (std::size_t p = 0; p < pes.size(); ++p) {
+        std::string row(cols, '.');
+        for (const TaskSpan& s : report.spans) {
+            if (s.pe != p) continue;
+            auto c0 = static_cast<std::size_t>(s.start / time_step);
+            auto c1 = static_cast<std::size_t>(std::ceil(s.end / time_step));
+            c1 = std::min(c1, cols);
+            for (std::size_t c = c0; c < c1; ++c) {
+                row[c] = s.aborted ? 'x' : task_char(s.task);
+            }
+        }
+        os << pes[p].label << std::string(label_w - pes[p].label.size(), ' ')
+           << " |" << row << "|\n";
+    }
+    os << std::string(label_w, ' ') << "  0" << std::string(cols - 1, ' ')
+       << swh::format_double(horizon, 1) << "s  (one column = "
+       << swh::format_double(time_step, 2) << "s)\n";
+    return os.str();
+}
+
+}  // namespace swh::sim

@@ -1,0 +1,55 @@
+#include "simd/arch.hpp"
+
+namespace swh::simd {
+
+bool is_supported(IsaLevel level) {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_cpu_init();
+#endif
+    switch (level) {
+        case IsaLevel::Scalar:
+            return true;
+        case IsaLevel::SSE2:
+#if defined(__SSE2__)
+            return __builtin_cpu_supports("sse2");
+#else
+            return false;
+#endif
+        case IsaLevel::AVX2:
+#if defined(__AVX2__)
+            return __builtin_cpu_supports("avx2");
+#else
+            return false;
+#endif
+        case IsaLevel::AVX512:
+#if defined(__AVX512BW__)
+            return __builtin_cpu_supports("avx512bw");
+#else
+            return false;
+#endif
+    }
+    return false;
+}
+
+IsaLevel best_supported() {
+    if (is_supported(IsaLevel::AVX512)) return IsaLevel::AVX512;
+    if (is_supported(IsaLevel::AVX2)) return IsaLevel::AVX2;
+    if (is_supported(IsaLevel::SSE2)) return IsaLevel::SSE2;
+    return IsaLevel::Scalar;
+}
+
+const char* to_string(IsaLevel level) {
+    switch (level) {
+        case IsaLevel::Scalar:
+            return "scalar";
+        case IsaLevel::SSE2:
+            return "sse2";
+        case IsaLevel::AVX2:
+            return "avx2";
+        case IsaLevel::AVX512:
+            return "avx512";
+    }
+    return "?";
+}
+
+}  // namespace swh::simd

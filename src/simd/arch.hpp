@@ -1,0 +1,18 @@
+#pragma once
+
+namespace swh::simd {
+
+/// Instruction-set levels usable by the striped kernels. `Scalar` is a
+/// lane-faithful emulation of the vector code (same algorithm, plain
+/// loops) used as a portability fallback and as a test reference.
+enum class IsaLevel { Scalar, SSE2, AVX2, AVX512 };
+
+/// Best level compiled in AND supported by the running CPU.
+IsaLevel best_supported();
+
+/// True if `level` can execute on this build + CPU.
+bool is_supported(IsaLevel level);
+
+const char* to_string(IsaLevel level);
+
+}  // namespace swh::simd

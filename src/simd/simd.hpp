@@ -1,0 +1,15 @@
+#pragma once
+
+/// Umbrella header for the SIMD abstraction used by the striped kernels.
+
+#include "simd/arch.hpp"      // IWYU pragma: export
+#include "simd/vec_scalar.hpp"  // IWYU pragma: export
+#if defined(__SSE2__)
+#include "simd/vec_sse2.hpp"  // IWYU pragma: export
+#endif
+#if defined(__AVX2__)
+#include "simd/vec_avx2.hpp"  // IWYU pragma: export
+#endif
+#if defined(__AVX512BW__)
+#include "simd/vec_avx512.hpp"  // IWYU pragma: export
+#endif

@@ -1,0 +1,125 @@
+#pragma once
+
+#if defined(__AVX512BW__)
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+namespace swh::simd {
+
+namespace detail512 {
+
+/// Shifts a 512-bit register left by `Bytes` (< 16) across 128-bit lane
+/// boundaries: VPALIGNR is per-lane, so feed it each lane's predecessor
+/// (with zeros entering lane 0).
+template <int Bytes>
+inline __m512i shl_512(__m512i v) {
+    // prev = [0, lane0, lane1, lane2]: shuffle lanes down by one, zeroing
+    // lane 0 via the mask (16 dwords; lane 0 = dwords 0..3).
+    const __m512i prev = _mm512_maskz_shuffle_i32x4(
+        0xFFF0, v, v, _MM_SHUFFLE(2, 1, 0, 0));
+    return _mm512_alignr_epi8(v, prev, 16 - Bytes);
+}
+
+}  // namespace detail512
+
+/// 64 unsigned 8-bit lanes (AVX-512BW). Interface contract as in
+/// vec_scalar.hpp.
+struct U8x64 {
+    using lane_type = std::uint8_t;
+    static constexpr int kLanes = 64;
+
+    __m512i v;
+
+    static U8x64 zero() { return {_mm512_setzero_si512()}; }
+
+    static U8x64 splat(std::uint8_t x) {
+        return {_mm512_set1_epi8(static_cast<char>(x))};
+    }
+
+    static U8x64 load(const std::uint8_t* p) {
+        return {_mm512_loadu_si512(p)};
+    }
+
+    void store(std::uint8_t* p) const { _mm512_storeu_si512(p, v); }
+
+    friend U8x64 adds(U8x64 a, U8x64 b) {
+        return {_mm512_adds_epu8(a.v, b.v)};
+    }
+    friend U8x64 subs(U8x64 a, U8x64 b) {
+        return {_mm512_subs_epu8(a.v, b.v)};
+    }
+    friend U8x64 vmax(U8x64 a, U8x64 b) {
+        return {_mm512_max_epu8(a.v, b.v)};
+    }
+
+    U8x64 shl_lane() const { return {detail512::shl_512<1>(v)}; }
+
+    friend bool any_gt(U8x64 a, U8x64 b) {
+        return _mm512_cmpgt_epu8_mask(a.v, b.v) != 0;
+    }
+
+    std::uint8_t hmax() const {
+        const __m256i lo = _mm512_castsi512_si256(v);
+        const __m256i hi = _mm512_extracti64x4_epi64(v, 1);
+        __m256i m256 = _mm256_max_epu8(lo, hi);
+        __m128i m = _mm_max_epu8(_mm256_castsi256_si128(m256),
+                                 _mm256_extracti128_si256(m256, 1));
+        m = _mm_max_epu8(m, _mm_srli_si128(m, 8));
+        m = _mm_max_epu8(m, _mm_srli_si128(m, 4));
+        m = _mm_max_epu8(m, _mm_srli_si128(m, 2));
+        m = _mm_max_epu8(m, _mm_srli_si128(m, 1));
+        return static_cast<std::uint8_t>(_mm_cvtsi128_si32(m) & 0xFF);
+    }
+};
+
+/// 32 signed 16-bit lanes (AVX-512BW).
+struct I16x32 {
+    using lane_type = std::int16_t;
+    static constexpr int kLanes = 32;
+
+    __m512i v;
+
+    static I16x32 zero() { return {_mm512_setzero_si512()}; }
+
+    static I16x32 splat(std::int16_t x) { return {_mm512_set1_epi16(x)}; }
+
+    static I16x32 load(const std::int16_t* p) {
+        return {_mm512_loadu_si512(p)};
+    }
+
+    void store(std::int16_t* p) const { _mm512_storeu_si512(p, v); }
+
+    friend I16x32 adds(I16x32 a, I16x32 b) {
+        return {_mm512_adds_epi16(a.v, b.v)};
+    }
+    friend I16x32 subs(I16x32 a, I16x32 b) {
+        return {_mm512_subs_epi16(a.v, b.v)};
+    }
+    friend I16x32 vmax(I16x32 a, I16x32 b) {
+        return {_mm512_max_epi16(a.v, b.v)};
+    }
+
+    I16x32 shl_lane() const { return {detail512::shl_512<2>(v)}; }
+
+    friend bool any_gt(I16x32 a, I16x32 b) {
+        return _mm512_cmpgt_epi16_mask(a.v, b.v) != 0;
+    }
+
+    std::int16_t hmax() const {
+        const __m256i lo = _mm512_castsi512_si256(v);
+        const __m256i hi = _mm512_extracti64x4_epi64(v, 1);
+        __m256i m256 = _mm256_max_epi16(lo, hi);
+        __m128i m = _mm_max_epi16(_mm256_castsi256_si128(m256),
+                                  _mm256_extracti128_si256(m256, 1));
+        m = _mm_max_epi16(m, _mm_srli_si128(m, 8));
+        m = _mm_max_epi16(m, _mm_srli_si128(m, 4));
+        m = _mm_max_epi16(m, _mm_srli_si128(m, 2));
+        return static_cast<std::int16_t>(_mm_cvtsi128_si32(m) & 0xFFFF);
+    }
+};
+
+}  // namespace swh::simd
+
+#endif  // __AVX512BW__

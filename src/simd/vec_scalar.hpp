@@ -1,0 +1,161 @@
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+
+namespace swh::simd {
+
+// Lane-faithful scalar emulations of the vector operations the striped
+// Smith-Waterman kernels need. These run the *same algorithm* as the
+// intrinsic-backed types (including the striped data layout), so they
+// double as a reference implementation in tests and as the fallback on
+// non-x86 targets.
+//
+// Shared vector interface (see also vec_sse2.hpp / vec_avx2.hpp):
+//   lane_type, kLanes
+//   zero(), splat(x), load(p), store(p)
+//   adds(a,b)   -- saturating add
+//   subs(a,b)   -- saturating subtract
+//   vmax(a,b)   -- lane-wise max
+//   a.shl_lane() -- shift lanes toward higher index, 0 enters at lane 0
+//                   (the striped "previous row" rotation)
+//   any_gt(a,b) -- true if a > b in any lane
+//   a.hmax()    -- horizontal max
+
+template <int N>
+struct U8xN {
+    using lane_type = std::uint8_t;
+    static constexpr int kLanes = N;
+
+    std::array<std::uint8_t, N> lane{};
+
+    static U8xN zero() { return {}; }
+
+    static U8xN splat(std::uint8_t x) {
+        U8xN v;
+        v.lane.fill(x);
+        return v;
+    }
+
+    static U8xN load(const std::uint8_t* p) {
+        U8xN v;
+        std::copy_n(p, N, v.lane.begin());
+        return v;
+    }
+
+    void store(std::uint8_t* p) const { std::copy_n(lane.begin(), N, p); }
+
+    friend U8xN adds(U8xN a, U8xN b) {
+        U8xN r;
+        for (int i = 0; i < N; ++i) {
+            const int s = int(a.lane[i]) + int(b.lane[i]);
+            r.lane[i] = static_cast<std::uint8_t>(std::min(s, 255));
+        }
+        return r;
+    }
+
+    friend U8xN subs(U8xN a, U8xN b) {
+        U8xN r;
+        for (int i = 0; i < N; ++i) {
+            const int s = int(a.lane[i]) - int(b.lane[i]);
+            r.lane[i] = static_cast<std::uint8_t>(std::max(s, 0));
+        }
+        return r;
+    }
+
+    friend U8xN vmax(U8xN a, U8xN b) {
+        U8xN r;
+        for (int i = 0; i < N; ++i) r.lane[i] = std::max(a.lane[i], b.lane[i]);
+        return r;
+    }
+
+    U8xN shl_lane() const {
+        U8xN r;
+        r.lane[0] = 0;
+        for (int i = 1; i < N; ++i) r.lane[i] = lane[i - 1];
+        return r;
+    }
+
+    friend bool any_gt(U8xN a, U8xN b) {
+        for (int i = 0; i < N; ++i)
+            if (a.lane[i] > b.lane[i]) return true;
+        return false;
+    }
+
+    std::uint8_t hmax() const {
+        return *std::max_element(lane.begin(), lane.end());
+    }
+};
+
+template <int N>
+struct I16xN {
+    using lane_type = std::int16_t;
+    static constexpr int kLanes = N;
+
+    std::array<std::int16_t, N> lane{};
+
+    static I16xN zero() { return {}; }
+
+    static I16xN splat(std::int16_t x) {
+        I16xN v;
+        v.lane.fill(x);
+        return v;
+    }
+
+    static I16xN load(const std::int16_t* p) {
+        I16xN v;
+        std::copy_n(p, N, v.lane.begin());
+        return v;
+    }
+
+    void store(std::int16_t* p) const { std::copy_n(lane.begin(), N, p); }
+
+    friend I16xN adds(I16xN a, I16xN b) {
+        I16xN r;
+        for (int i = 0; i < N; ++i) {
+            const int s = int(a.lane[i]) + int(b.lane[i]);
+            r.lane[i] = static_cast<std::int16_t>(std::clamp(s, -32768, 32767));
+        }
+        return r;
+    }
+
+    friend I16xN subs(I16xN a, I16xN b) {
+        I16xN r;
+        for (int i = 0; i < N; ++i) {
+            const int s = int(a.lane[i]) - int(b.lane[i]);
+            r.lane[i] = static_cast<std::int16_t>(std::clamp(s, -32768, 32767));
+        }
+        return r;
+    }
+
+    friend I16xN vmax(I16xN a, I16xN b) {
+        I16xN r;
+        for (int i = 0; i < N; ++i) r.lane[i] = std::max(a.lane[i], b.lane[i]);
+        return r;
+    }
+
+    I16xN shl_lane() const {
+        I16xN r;
+        r.lane[0] = 0;
+        for (int i = 1; i < N; ++i) r.lane[i] = lane[i - 1];
+        return r;
+    }
+
+    friend bool any_gt(I16xN a, I16xN b) {
+        for (int i = 0; i < N; ++i)
+            if (a.lane[i] > b.lane[i]) return true;
+        return false;
+    }
+
+    std::int16_t hmax() const {
+        return *std::max_element(lane.begin(), lane.end());
+    }
+};
+
+// Default widths match SSE2 so the scalar backend produces identical
+// striped layouts (and thus bit-identical intermediate states).
+using U8x16s = U8xN<16>;
+using I16x8s = I16xN<8>;
+
+}  // namespace swh::simd

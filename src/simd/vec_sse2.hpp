@@ -1,0 +1,94 @@
+#pragma once
+
+#if defined(__SSE2__)
+
+#include <emmintrin.h>
+
+#include <cstdint>
+
+namespace swh::simd {
+
+/// 16 unsigned 8-bit lanes (SSE2). See vec_scalar.hpp for the interface
+/// contract shared by all backends.
+struct U8x16 {
+    using lane_type = std::uint8_t;
+    static constexpr int kLanes = 16;
+
+    __m128i v;
+
+    static U8x16 zero() { return {_mm_setzero_si128()}; }
+
+    static U8x16 splat(std::uint8_t x) {
+        return {_mm_set1_epi8(static_cast<char>(x))};
+    }
+
+    static U8x16 load(const std::uint8_t* p) {
+        return {_mm_loadu_si128(reinterpret_cast<const __m128i*>(p))};
+    }
+
+    void store(std::uint8_t* p) const {
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(p), v);
+    }
+
+    friend U8x16 adds(U8x16 a, U8x16 b) { return {_mm_adds_epu8(a.v, b.v)}; }
+    friend U8x16 subs(U8x16 a, U8x16 b) { return {_mm_subs_epu8(a.v, b.v)}; }
+    friend U8x16 vmax(U8x16 a, U8x16 b) { return {_mm_max_epu8(a.v, b.v)}; }
+
+    U8x16 shl_lane() const { return {_mm_slli_si128(v, 1)}; }
+
+    friend bool any_gt(U8x16 a, U8x16 b) {
+        // Unsigned "a > b" == saturating a-b is nonzero in some lane.
+        const __m128i diff = _mm_subs_epu8(a.v, b.v);
+        const __m128i eq0 = _mm_cmpeq_epi8(diff, _mm_setzero_si128());
+        return _mm_movemask_epi8(eq0) != 0xFFFF;
+    }
+
+    std::uint8_t hmax() const {
+        __m128i m = _mm_max_epu8(v, _mm_srli_si128(v, 8));
+        m = _mm_max_epu8(m, _mm_srli_si128(m, 4));
+        m = _mm_max_epu8(m, _mm_srli_si128(m, 2));
+        m = _mm_max_epu8(m, _mm_srli_si128(m, 1));
+        return static_cast<std::uint8_t>(_mm_cvtsi128_si32(m) & 0xFF);
+    }
+};
+
+/// 8 signed 16-bit lanes (SSE2).
+struct I16x8 {
+    using lane_type = std::int16_t;
+    static constexpr int kLanes = 8;
+
+    __m128i v;
+
+    static I16x8 zero() { return {_mm_setzero_si128()}; }
+
+    static I16x8 splat(std::int16_t x) { return {_mm_set1_epi16(x)}; }
+
+    static I16x8 load(const std::int16_t* p) {
+        return {_mm_loadu_si128(reinterpret_cast<const __m128i*>(p))};
+    }
+
+    void store(std::int16_t* p) const {
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(p), v);
+    }
+
+    friend I16x8 adds(I16x8 a, I16x8 b) { return {_mm_adds_epi16(a.v, b.v)}; }
+    friend I16x8 subs(I16x8 a, I16x8 b) { return {_mm_subs_epi16(a.v, b.v)}; }
+    friend I16x8 vmax(I16x8 a, I16x8 b) { return {_mm_max_epi16(a.v, b.v)}; }
+
+    I16x8 shl_lane() const { return {_mm_slli_si128(v, 2)}; }
+
+    friend bool any_gt(I16x8 a, I16x8 b) {
+        return _mm_movemask_epi8(_mm_cmpgt_epi16(a.v, b.v)) != 0;
+    }
+
+    std::int16_t hmax() const {
+        __m128i m = _mm_max_epi16(v, _mm_srli_si128(v, 8));
+        m = _mm_max_epi16(m, _mm_srli_si128(m, 4));
+        m = _mm_max_epi16(m, _mm_srli_si128(m, 2));
+        return static_cast<std::int16_t>(_mm_cvtsi128_si32(m) & 0xFFFF);
+    }
+};
+
+}  // namespace swh::simd
+
+#endif  // __SSE2__

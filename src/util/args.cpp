@@ -1,0 +1,143 @@
+#include "util/args.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/str.hpp"
+
+namespace swh {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void ArgParser::add_option(const std::string& name, const std::string& help,
+                           std::string fallback) {
+    SWH_REQUIRE(options_.find(name) == options_.end(), "duplicate option");
+    options_[name] = Option{help, std::move(fallback), false, false};
+}
+
+void ArgParser::add_flag(const std::string& name, const std::string& help) {
+    SWH_REQUIRE(options_.find(name) == options_.end(), "duplicate flag");
+    options_[name] = Option{help, "false", true, false};
+}
+
+void ArgParser::add_positional(const std::string& name,
+                               const std::string& help,
+                               std::optional<std::string> fallback) {
+    positionals_.push_back(Positional{name, help, std::move(fallback)});
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+    std::size_t next_positional = 0;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::fputs(help().c_str(), stdout);
+            return false;
+        }
+        if (starts_with(arg, "--")) {
+            std::string name = arg.substr(2);
+            std::string value;
+            bool has_value = false;
+            if (const std::size_t eq = name.find('='); eq != std::string::npos) {
+                value = name.substr(eq + 1);
+                name = name.substr(0, eq);
+                has_value = true;
+            }
+            const auto it = options_.find(name);
+            SWH_REQUIRE(it != options_.end(),
+                        ("unknown option --" + name).c_str());
+            Option& opt = it->second;
+            if (opt.is_flag) {
+                SWH_REQUIRE(!has_value, "flags do not take values");
+                opt.value = "true";
+            } else if (has_value) {
+                opt.value = std::move(value);
+            } else {
+                SWH_REQUIRE(i + 1 < argc, "option missing its value");
+                opt.value = argv[++i];
+            }
+            opt.seen = true;
+        } else {
+            SWH_REQUIRE(next_positional < positionals_.size(),
+                        "unexpected positional argument");
+            positionals_[next_positional++].value = std::move(arg);
+        }
+    }
+    for (const Positional& p : positionals_) {
+        SWH_REQUIRE(p.value.has_value(),
+                    ("missing required argument: " + p.name).c_str());
+    }
+    return true;
+}
+
+const std::string& ArgParser::get(const std::string& name) const {
+    if (const auto it = options_.find(name); it != options_.end()) {
+        return it->second.value;
+    }
+    for (const Positional& p : positionals_) {
+        if (p.name == name) {
+            SWH_REQUIRE(p.value.has_value(), "positional not set");
+            return *p.value;
+        }
+    }
+    SWH_REQUIRE(false, ("unknown argument name: " + name).c_str());
+    static const std::string empty;
+    return empty;
+}
+
+long long ArgParser::get_int(const std::string& name) const {
+    const std::string& v = get(name);
+    try {
+        std::size_t pos = 0;
+        const long long out = std::stoll(v, &pos);
+        SWH_REQUIRE(pos == v.size(), "trailing junk in integer argument");
+        return out;
+    } catch (const std::invalid_argument&) {
+        throw ContractError("argument " + name + " is not an integer: " + v);
+    } catch (const std::out_of_range&) {
+        throw ContractError("argument " + name + " out of range: " + v);
+    }
+}
+
+double ArgParser::get_double(const std::string& name) const {
+    const std::string& v = get(name);
+    try {
+        std::size_t pos = 0;
+        const double out = std::stod(v, &pos);
+        SWH_REQUIRE(pos == v.size(), "trailing junk in numeric argument");
+        return out;
+    } catch (const std::invalid_argument&) {
+        throw ContractError("argument " + name + " is not a number: " + v);
+    }
+}
+
+bool ArgParser::get_flag(const std::string& name) const {
+    return get(name) == "true";
+}
+
+std::string ArgParser::help() const {
+    std::ostringstream os;
+    os << program_ << " — " << description_ << "\n\nusage: " << program_;
+    for (const Positional& p : positionals_) {
+        os << (p.value ? " [" + p.name + "]" : " <" + p.name + ">");
+    }
+    os << " [options]\n\narguments:\n";
+    for (const Positional& p : positionals_) {
+        os << "  " << p.name << "  " << p.help;
+        if (p.value) os << " (default: " << *p.value << ")";
+        os << '\n';
+    }
+    os << "\noptions:\n";
+    for (const auto& [name, opt] : options_) {
+        os << "  --" << name;
+        if (!opt.is_flag) os << " <value>";
+        os << "  " << opt.help;
+        if (!opt.is_flag) os << " (default: " << opt.value << ")";
+        os << '\n';
+    }
+    return os.str();
+}
+
+}  // namespace swh

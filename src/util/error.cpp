@@ -1,0 +1,15 @@
+#include "util/error.hpp"
+
+#include <sstream>
+
+namespace swh::detail {
+
+void throw_contract_error(const char* expr, const char* msg,
+                          std::source_location loc) {
+    std::ostringstream os;
+    os << loc.file_name() << ':' << loc.line() << " in " << loc.function_name()
+       << ": requirement `" << expr << "` failed: " << msg;
+    throw ContractError(os.str());
+}
+
+}  // namespace swh::detail

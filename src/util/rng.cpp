@@ -1,0 +1,114 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace swh {
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+}
+
+/// splitmix64: used only to expand the seed into the xoshiro state.
+constexpr std::uint64_t splitmix64(std::uint64_t& x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& s : s_) s = splitmix64(x);
+    // All-zero state is the one invalid xoshiro state; splitmix64 cannot
+    // produce four zero outputs in a row, but keep the guard explicit.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+    SWH_REQUIRE(bound > 0, "bound must be positive");
+    // Lemire's nearly-divisionless method.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+        const std::uint64_t threshold = -bound % bound;
+        while (lo < threshold) {
+            x = next();
+            m = static_cast<__uint128_t>(x) * bound;
+            lo = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) {
+    SWH_REQUIRE(lo <= hi, "range requires lo <= hi");
+    const auto span =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+    return lo + static_cast<std::int64_t>(below(span));
+}
+
+double Rng::uniform() {
+    // 53 high bits -> double in [0,1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+    return lo + (hi - lo) * uniform();
+}
+
+double Rng::normal() {
+    // Box-Muller; discard the second variate to keep the stream simple.
+    double u1 = uniform();
+    while (u1 <= 0.0) u1 = uniform();
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * std::numbers::pi * u2);
+}
+
+std::size_t Rng::weighted_index(const double* weights, std::size_t n) {
+    SWH_REQUIRE(n > 0, "weighted_index needs at least one weight");
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        SWH_REQUIRE(weights[i] >= 0.0, "weights must be non-negative");
+        total += weights[i];
+    }
+    SWH_REQUIRE(total > 0.0, "weights must not all be zero");
+    double r = uniform() * total;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+        if (r < weights[i]) return i;
+        r -= weights[i];
+    }
+    return n - 1;
+}
+
+Rng Rng::split() {
+    Rng child;
+    // Seed the child from two successive outputs so sibling splits differ.
+    std::uint64_t mix = next();
+    mix ^= rotl(next(), 23);
+    child.reseed(mix);
+    return child;
+}
+
+}  // namespace swh

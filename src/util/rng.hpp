@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace swh {
+
+/// xoshiro256** 1.0 (Blackman & Vigna, public domain reference
+/// implementation). Deterministic across platforms, unlike
+/// std::default_random_engine, which matters because every synthetic
+/// database and simulated schedule must be reproducible from a seed.
+class Rng {
+public:
+    using result_type = std::uint64_t;
+
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+    void reseed(std::uint64_t seed);
+
+    std::uint64_t next();
+
+    std::uint64_t operator()() { return next(); }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() {
+        return std::numeric_limits<std::uint64_t>::max();
+    }
+
+    /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+    std::uint64_t below(std::uint64_t bound);
+
+    /// Uniform integer in [lo, hi] inclusive.
+    std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+    /// Uniform double in [0, 1).
+    double uniform();
+
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi);
+
+    /// Standard normal via Box–Muller (no state beyond the stream).
+    double normal();
+
+    double normal(double mean, double stdev) { return mean + stdev * normal(); }
+
+    /// Samples an index in [0, n) with probability proportional to
+    /// weights[i]. Weights need not be normalised.
+    std::size_t weighted_index(const double* weights, std::size_t n);
+
+    /// Splits off an independently seeded child stream. Used to give each
+    /// generated sequence its own stream so databases are stable under
+    /// reordering of generation calls.
+    Rng split();
+
+private:
+    std::uint64_t s_[4];
+};
+
+}  // namespace swh

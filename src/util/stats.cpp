@@ -1,0 +1,83 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace swh {
+
+void RunningStats::add(double x) {
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+    if (n_ < 2) return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stdev() const { return std::sqrt(variance()); }
+
+double mean(std::span<const double> xs) {
+    if (xs.empty()) return 0.0;
+    double sum = 0.0;
+    for (double x : xs) sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double weighted_mean(std::span<const double> xs, std::span<const double> ws) {
+    SWH_REQUIRE(xs.size() == ws.size(), "values/weights size mismatch");
+    SWH_REQUIRE(!xs.empty(), "weighted_mean of empty sample");
+    double num = 0.0, den = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        SWH_REQUIRE(ws[i] >= 0.0, "weights must be non-negative");
+        num += xs[i] * ws[i];
+        den += ws[i];
+    }
+    SWH_REQUIRE(den > 0.0, "weight total must be positive");
+    return num / den;
+}
+
+double recency_weighted_mean(std::span<const double> xs) {
+    SWH_REQUIRE(!xs.empty(), "recency_weighted_mean of empty sample");
+    double num = 0.0, den = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double w = static_cast<double>(i + 1);  // oldest=1 .. newest=n
+        num += xs[i] * w;
+        den += w;
+    }
+    return num / den;
+}
+
+double percentile(std::vector<double> xs, double p) {
+    SWH_REQUIRE(!xs.empty(), "percentile of empty sample");
+    SWH_REQUIRE(p >= 0.0 && p <= 100.0, "percentile p out of [0,100]");
+    std::sort(xs.begin(), xs.end());
+    if (xs.size() == 1) return xs.front();
+    const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return xs[lo] + (xs[hi] - xs[lo]) * frac;
+}
+
+double geomean(std::span<const double> xs) {
+    SWH_REQUIRE(!xs.empty(), "geomean of empty sample");
+    double log_sum = 0.0;
+    for (double x : xs) {
+        SWH_REQUIRE(x > 0.0, "geomean requires positive samples");
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+}  // namespace swh

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace swh {
+
+/// Welford running mean/variance accumulator.
+class RunningStats {
+public:
+    void add(double x);
+
+    std::size_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double variance() const;  ///< sample variance (n-1 denominator)
+    double stdev() const;
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/// Arithmetic mean; 0 for an empty span.
+double mean(std::span<const double> xs);
+
+/// Weighted mean of xs with the given weights. Requires equal sizes and a
+/// positive weight total.
+double weighted_mean(std::span<const double> xs, std::span<const double> ws);
+
+/// Mean where the newest sample (last element) carries the largest weight,
+/// decaying linearly to 1 for the oldest: weights n, n-1, ..., 1 from
+/// newest to oldest. This is the "weighted mean of the last Omega
+/// notifications" used by the PSS policy (paper SS IV-A.2): small Omega =>
+/// only recent history matters.
+double recency_weighted_mean(std::span<const double> xs);
+
+/// Linear interpolation percentile (p in [0,100]) of an unsorted sample.
+double percentile(std::vector<double> xs, double p);
+
+/// Geometric mean of strictly positive samples.
+double geomean(std::span<const double> xs);
+
+}  // namespace swh

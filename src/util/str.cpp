@@ -1,0 +1,92 @@
+#include "util/str.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace swh {
+
+std::vector<std::string> split(std::string_view s, char delim) {
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t pos = s.find(delim, start);
+        if (pos == std::string_view::npos) {
+            out.emplace_back(s.substr(start));
+            return out;
+        }
+        out.emplace_back(s.substr(start, pos - start));
+        start = pos + 1;
+    }
+}
+
+std::vector<std::string> split_ws(std::string_view s) {
+    std::vector<std::string> out;
+    std::size_t i = 0;
+    while (i < s.size()) {
+        while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i])))
+            ++i;
+        std::size_t start = i;
+        while (i < s.size() && !std::isspace(static_cast<unsigned char>(s[i])))
+            ++i;
+        if (i > start) out.emplace_back(s.substr(start, i - start));
+    }
+    return out;
+}
+
+std::string_view trim(std::string_view s) {
+    std::size_t b = 0;
+    while (b < s.size() && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+    std::size_t e = s.size();
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+    return s.substr(b, e - b);
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+    return s.substr(0, prefix.size()) == prefix;
+}
+
+std::string to_upper(std::string_view s) {
+    std::string out(s);
+    for (char& c : out)
+        c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    return out;
+}
+
+std::string with_thousands(long long value) {
+    const bool neg = value < 0;
+    std::string digits = std::to_string(neg ? -value : value);
+    std::string out;
+    out.reserve(digits.size() + digits.size() / 3 + 1);
+    int count = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (count && count % 3 == 0) out.push_back(',');
+        out.push_back(*it);
+        ++count;
+    }
+    if (neg) out.push_back('-');
+    return {out.rbegin(), out.rend()};
+}
+
+std::string format_double(double value, int decimals) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+    return buf;
+}
+
+std::string format_duration(double seconds) {
+    if (seconds < 60.0) return format_double(seconds, 2) + "s";
+    const auto total = static_cast<long long>(std::llround(seconds));
+    const long long h = total / 3600;
+    const long long m = (total % 3600) / 60;
+    const long long s = total % 60;
+    char buf[64];
+    if (h > 0) {
+        std::snprintf(buf, sizeof buf, "%lldh%02lldm%02llds", h, m, s);
+    } else {
+        std::snprintf(buf, sizeof buf, "%lldm%02llds", m, s);
+    }
+    return buf;
+}
+
+}  // namespace swh

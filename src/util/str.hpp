@@ -1,0 +1,30 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace swh {
+
+/// Splits on a single delimiter; adjacent delimiters yield empty fields.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Splits on runs of ASCII whitespace; never yields empty fields.
+std::vector<std::string> split_ws(std::string_view s);
+
+std::string_view trim(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+
+std::string to_upper(std::string_view s);
+
+/// "1234567" -> "1,234,567" for human-readable bench output.
+std::string with_thousands(long long value);
+
+/// Fixed-point formatting without iostream ceremony.
+std::string format_double(double value, int decimals);
+
+/// Renders seconds as "1h02m03s" / "2m03s" / "4.21s" for reports.
+std::string format_duration(double seconds);
+
+}  // namespace swh

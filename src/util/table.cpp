@@ -1,0 +1,88 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace swh {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+    SWH_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+    SWH_REQUIRE(cells.size() == header_.size(),
+                "row width must match header width");
+    rows_.push_back({std::move(cells), pending_rule_});
+    pending_rule_ = false;
+}
+
+void TextTable::add_rule() { pending_rule_ = true; }
+
+std::string TextTable::render() const {
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const Row& row : rows_)
+        for (std::size_t c = 0; c < row.cells.size(); ++c)
+            widths[c] = std::max(widths[c], row.cells[c].size());
+
+    std::ostringstream os;
+    auto hline = [&] {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            os << '+' << std::string(widths[c] + 2, '-');
+        }
+        os << "+\n";
+    };
+    auto emit = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << "| ";
+            const std::size_t pad = widths[c] - cells[c].size();
+            if (c == 0) {
+                os << cells[c] << std::string(pad, ' ');
+            } else {
+                os << std::string(pad, ' ') << cells[c];
+            }
+            os << ' ';
+        }
+        os << "|\n";
+    };
+
+    hline();
+    emit(header_);
+    hline();
+    for (const Row& row : rows_) {
+        if (row.rule_before) hline();
+        emit(row.cells);
+    }
+    hline();
+    return os.str();
+}
+
+void TextTable::print(std::ostream& os) const { os << render(); }
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+    bool first = true;
+    for (const std::string& cell : cells) {
+        if (!first) os_ << ',';
+        first = false;
+        const bool needs_quote =
+            cell.find_first_of(",\"\n") != std::string::npos;
+        if (needs_quote) {
+            os_ << '"';
+            for (char ch : cell) {
+                if (ch == '"') os_ << '"';
+                os_ << ch;
+            }
+            os_ << '"';
+        } else {
+            os_ << cell;
+        }
+    }
+    os_ << '\n';
+}
+
+}  // namespace swh

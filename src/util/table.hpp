@@ -1,0 +1,47 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace swh {
+
+/// Plain-text table renderer used by the benchmark harness to print the
+/// paper's tables. Columns are right-aligned except the first.
+class TextTable {
+public:
+    explicit TextTable(std::vector<std::string> header);
+
+    void add_row(std::vector<std::string> cells);
+
+    /// Inserts a horizontal rule before the next row.
+    void add_rule();
+
+    std::string render() const;
+
+    void print(std::ostream& os) const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+private:
+    struct Row {
+        std::vector<std::string> cells;
+        bool rule_before = false;
+    };
+    std::vector<std::string> header_;
+    std::vector<Row> rows_;
+    bool pending_rule_ = false;
+};
+
+/// Minimal CSV writer (RFC-4180 quoting) so bench output can feed plots.
+class CsvWriter {
+public:
+    explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+    void row(const std::vector<std::string>& cells);
+
+private:
+    std::ostream& os_;
+};
+
+}  // namespace swh

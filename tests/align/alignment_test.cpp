@@ -1,0 +1,105 @@
+#include "align/alignment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace swh::align {
+namespace {
+
+Alignment simple_alignment() {
+    Alignment a;
+    a.score = 4;
+    a.s_begin = 0;
+    a.s_end = 9;
+    a.t_begin = 0;
+    a.t_end = 8;
+    // ACTTGTCCG vs A-TTGTCAG (the paper's Fig. 1 shape).
+    a.ops = {AlignOp::Match,  AlignOp::Delete, AlignOp::Match,
+             AlignOp::Match,  AlignOp::Match,  AlignOp::Match,
+             AlignOp::Match,  AlignOp::Match,  AlignOp::Match};
+    return a;
+}
+
+TEST(Alignment, Cigar) {
+    const Alignment a = simple_alignment();
+    EXPECT_EQ(a.cigar(), "1M1D7M");
+}
+
+TEST(Alignment, CigarEmpty) { EXPECT_EQ(Alignment{}.cigar(), ""); }
+
+TEST(ScoreAlignment, LinearMatchesPaperFigure1) {
+    const Alphabet& d = Alphabet::dna();
+    const ScoreMatrix m = ScoreMatrix::match_mismatch(d, 1, -1, 0);
+    const auto s = d.encode("ACTTGTCCG");
+    const auto t = d.encode("ATTGTCAG");
+    const Alignment a = simple_alignment();
+    // 7 matches, 1 mismatch (C vs A), 1 gap: 7 - 1 - 2 = 4.
+    EXPECT_EQ(score_alignment_linear(a, s, t, m, 2), 4);
+}
+
+TEST(ScoreAlignment, AffineChargesOpenOncePerRun) {
+    const Alphabet& d = Alphabet::dna();
+    const ScoreMatrix m = ScoreMatrix::match_mismatch(d, 1, -1, 0);
+    const auto s = d.encode("AATTAA");
+    const auto t = d.encode("AAAA");
+    Alignment a;
+    a.s_end = 6;
+    a.t_end = 4;
+    a.ops = {AlignOp::Match, AlignOp::Match, AlignOp::Delete,
+             AlignOp::Delete, AlignOp::Match, AlignOp::Match};
+    // 4 matches - (open + 2*ext) with open=3, ext=1 -> 4 - 5 = -1.
+    EXPECT_EQ(score_alignment_affine(a, s, t, m, {3, 1}), -1);
+}
+
+TEST(ScoreAlignment, LeadingGapChargesOpen) {
+    const Alphabet& d = Alphabet::dna();
+    const ScoreMatrix m = ScoreMatrix::match_mismatch(d, 1, -1, 0);
+    const auto s = d.encode("A");
+    const auto t = d.encode("CA");
+    Alignment a;
+    a.s_end = 1;
+    a.t_end = 2;
+    a.ops = {AlignOp::Insert, AlignOp::Match};
+    EXPECT_EQ(score_alignment_affine(a, s, t, m, {3, 1}), 1 - 4);
+}
+
+TEST(ScoreAlignment, ValidatesConsumedRanges) {
+    const Alphabet& d = Alphabet::dna();
+    const ScoreMatrix m = ScoreMatrix::match_mismatch(d, 1, -1, 0);
+    const auto s = d.encode("AC");
+    const auto t = d.encode("AC");
+    Alignment a;
+    a.s_end = 2;
+    a.t_end = 2;
+    a.ops = {AlignOp::Match};  // consumes 1, range says 2
+    EXPECT_THROW(score_alignment_affine(a, s, t, m, {3, 1}), ContractError);
+}
+
+TEST(FormatAlignment, ThreeLineView) {
+    const Alphabet& d = Alphabet::dna();
+    const auto s = d.encode("ACTTGTCCG");
+    const auto t = d.encode("ATTGTCAG");
+    const std::string view =
+        format_alignment(simple_alignment(), d, s, t, 60);
+    EXPECT_EQ(view,
+              "ACTTGTCCG\n"
+              "| ||||| |\n"
+              "A-TTGTCAG\n");
+}
+
+TEST(FormatAlignment, WrapsLongAlignments) {
+    const Alphabet& d = Alphabet::dna();
+    const auto s = d.encode("ACGTACGT");
+    Alignment a;
+    a.s_end = 8;
+    a.t_end = 8;
+    a.ops.assign(8, AlignOp::Match);
+    const std::string view = format_alignment(a, d, s, s, 4);
+    // Two blocks of three lines separated by a blank line.
+    EXPECT_EQ(view,
+              "ACGT\n||||\nACGT\n\nACGT\n||||\nACGT\n");
+}
+
+}  // namespace
+}  // namespace swh::align

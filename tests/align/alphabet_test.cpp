@@ -1,0 +1,65 @@
+#include "align/alphabet.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace swh::align {
+namespace {
+
+TEST(Alphabet, ProteinBasics) {
+    const Alphabet& p = Alphabet::protein();
+    EXPECT_EQ(p.size(), 24u);
+    EXPECT_EQ(p.symbols(), "ARNDCQEGHILKMFPSTWYVBZX*");
+    EXPECT_EQ(p.encode('A'), 0);
+    EXPECT_EQ(p.encode('a'), 0);
+    EXPECT_EQ(p.encode('R'), 1);
+    EXPECT_EQ(p.decode(0), 'A');
+    EXPECT_EQ(p.decode(p.wildcard()), 'X');
+}
+
+TEST(Alphabet, UnknownMapsToWildcard) {
+    const Alphabet& p = Alphabet::protein();
+    EXPECT_EQ(p.encode('7'), p.wildcard());
+    EXPECT_EQ(p.encode(' '), p.wildcard());
+    EXPECT_FALSE(p.contains('7'));
+}
+
+TEST(Alphabet, ProteinAliases) {
+    const Alphabet& p = Alphabet::protein();
+    EXPECT_EQ(p.encode('J'), p.encode('L'));  // Leu/Ile ambiguity
+    EXPECT_EQ(p.encode('U'), p.encode('C'));  // selenocysteine
+    EXPECT_EQ(p.encode('O'), p.encode('K'));  // pyrrolysine
+    EXPECT_TRUE(p.contains('J'));
+}
+
+TEST(Alphabet, DnaAcceptsUracil) {
+    const Alphabet& d = Alphabet::dna();
+    EXPECT_EQ(d.encode('U'), d.encode('T'));
+    EXPECT_EQ(d.encode('u'), d.encode('T'));
+    EXPECT_EQ(d.encode('N'), d.wildcard());
+}
+
+TEST(Alphabet, RnaAcceptsThymine) {
+    const Alphabet& r = Alphabet::rna();
+    EXPECT_EQ(r.encode('T'), r.encode('U'));
+}
+
+TEST(Alphabet, RoundTrip) {
+    const Alphabet& p = Alphabet::protein();
+    const std::string s = "MKVLAW";
+    EXPECT_EQ(p.decode(p.encode(s)), s);
+}
+
+TEST(Alphabet, EncodeStringHandlesCase) {
+    const Alphabet& d = Alphabet::dna();
+    const auto codes = d.encode("acgt");
+    EXPECT_EQ(d.decode(codes), "ACGT");
+}
+
+TEST(Alphabet, DecodeRejectsOutOfRange) {
+    EXPECT_THROW(Alphabet::dna().decode(200), ContractError);
+}
+
+}  // namespace
+}  // namespace swh::align

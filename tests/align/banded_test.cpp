@@ -1,0 +1,108 @@
+#include "align/banded.hpp"
+
+#include <gtest/gtest.h>
+
+#include "align/sw_scalar.hpp"
+#include "db/generator.hpp"
+#include "util/rng.hpp"
+
+namespace swh::align {
+namespace {
+
+const ScoreMatrix& blosum() {
+    static const ScoreMatrix m = ScoreMatrix::blosum62();
+    return m;
+}
+
+TEST(Banded, FullBandMatchesOracle) {
+    Rng rng(51);
+    for (int iter = 0; iter < 30; ++iter) {
+        const auto a = db::random_protein(rng, 1 + rng.below(80)).residues;
+        const auto b = db::random_protein(rng, 1 + rng.below(80)).residues;
+        const Score full = sw_score_affine(a, b, blosum(), {10, 2});
+        const Score banded = sw_score_banded(
+            a, b, blosum(), {10, 2}, 0,
+            full_band_width(a.size(), b.size()));
+        EXPECT_EQ(banded, full) << "iter " << iter;
+    }
+}
+
+TEST(Banded, NeverExceedsUnbanded) {
+    Rng rng(53);
+    for (int iter = 0; iter < 30; ++iter) {
+        const auto a = db::random_protein(rng, 40).residues;
+        const auto b = db::random_protein(rng, 40).residues;
+        const Score full = sw_score_affine(a, b, blosum(), {10, 2});
+        for (const std::size_t w : {0u, 2u, 5u, 10u}) {
+            EXPECT_LE(sw_score_banded(a, b, blosum(), {10, 2}, 0, w), full)
+                << "iter " << iter << " width " << w;
+        }
+    }
+}
+
+TEST(Banded, MonotoneInWidth) {
+    Rng rng(55);
+    const auto a = db::random_protein(rng, 60).residues;
+    const auto b = db::random_protein(rng, 60).residues;
+    Score prev = 0;
+    for (const std::size_t w : {0u, 1u, 2u, 4u, 8u, 16u, 32u, 120u}) {
+        const Score s = sw_score_banded(a, b, blosum(), {10, 2}, 0, w);
+        EXPECT_GE(s, prev) << "width " << w;
+        prev = s;
+    }
+    EXPECT_EQ(prev, sw_score_affine(a, b, blosum(), {10, 2}));
+}
+
+TEST(Banded, FindsOnDiagonalHomology) {
+    // Identical sequences: the optimum sits on the main diagonal, so
+    // even width 0 recovers the full self-score.
+    Rng rng(57);
+    const auto a = db::random_protein(rng, 100).residues;
+    Score self = 0;
+    for (const Code c : a) self += blosum().at(c, c);
+    EXPECT_EQ(sw_score_banded(a, a, blosum(), {10, 2}, 0, 0), self);
+}
+
+TEST(Banded, DiagShiftRelocatesTheBand) {
+    // Plant the query at offset 50 in the subject: the optimum lives on
+    // diagonal j - i = 50.
+    Rng rng(59);
+    const auto q = db::random_protein(rng, 40).residues;
+    auto subj = db::random_protein(rng, 50).residues;
+    subj.insert(subj.end(), q.begin(), q.end());
+    Score self = 0;
+    for (const Code c : q) self += blosum().at(c, c);
+    // Band around the wrong diagonal misses it...
+    EXPECT_LT(sw_score_banded(q, subj, blosum(), {10, 2}, 0, 5), self);
+    // ...around the right one nails it.
+    EXPECT_EQ(sw_score_banded(q, subj, blosum(), {10, 2}, 50, 5), self);
+}
+
+TEST(Banded, BandOffMatrixGivesZero) {
+    Rng rng(61);
+    const auto a = db::random_protein(rng, 20).residues;
+    const auto b = db::random_protein(rng, 20).residues;
+    EXPECT_EQ(sw_score_banded(a, b, blosum(), {10, 2}, 1000, 2), 0);
+}
+
+TEST(Banded, EmptyInputs) {
+    const std::vector<Code> empty;
+    const auto a = Alphabet::protein().encode("MKV");
+    EXPECT_EQ(sw_score_banded(empty, a, blosum(), {10, 2}, 0, 5), 0);
+    EXPECT_EQ(sw_score_banded(a, empty, blosum(), {10, 2}, 0, 5), 0);
+}
+
+TEST(Banded, GappedOptimumWithinBand) {
+    // Subject = query with a small insertion; a band of width >= the
+    // indel size recovers the full gapped score.
+    Rng rng(63);
+    const auto q = db::random_protein(rng, 60).residues;
+    auto subj = q;
+    const auto ins = db::random_protein(rng, 3).residues;
+    subj.insert(subj.begin() + 30, ins.begin(), ins.end());
+    const Score full = sw_score_affine(q, subj, blosum(), {10, 2});
+    EXPECT_EQ(sw_score_banded(q, subj, blosum(), {10, 2}, 0, 4), full);
+}
+
+}  // namespace
+}  // namespace swh::align

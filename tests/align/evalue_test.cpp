@@ -1,0 +1,126 @@
+#include "align/evalue.hpp"
+
+#include <gtest/gtest.h>
+
+#include "align/sw_scalar.hpp"
+#include "db/generator.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace swh::align {
+namespace {
+
+const GumbelParams& params() {
+    static const GumbelParams p =
+        fit_gumbel(ScoreMatrix::blosum62(), {10, 2});
+    return p;
+}
+
+TEST(Gumbel, FitProducesSaneParameters) {
+    const GumbelParams& p = params();
+    // Gapped BLOSUM62 lambda is typically 0.2-0.35; K is 0.01-0.2.
+    EXPECT_GT(p.lambda, 0.1);
+    EXPECT_LT(p.lambda, 0.6);
+    EXPECT_GT(p.k, 1e-4);
+    EXPECT_LT(p.k, 2.0);
+}
+
+TEST(Gumbel, FitIsDeterministic) {
+    const GumbelParams a = fit_gumbel(ScoreMatrix::blosum62(), {10, 2});
+    const GumbelParams b = fit_gumbel(ScoreMatrix::blosum62(), {10, 2});
+    EXPECT_DOUBLE_EQ(a.lambda, b.lambda);
+    EXPECT_DOUBLE_EQ(a.k, b.k);
+}
+
+TEST(Gumbel, EvalueMonotoneInScore) {
+    const GumbelParams& p = params();
+    double prev = 1e300;
+    for (Score s = 20; s <= 200; s += 20) {
+        const double e = p.evalue(s, 300, 100'000);
+        EXPECT_LT(e, prev);
+        prev = e;
+    }
+}
+
+TEST(Gumbel, EvalueScalesWithSearchSpace) {
+    const GumbelParams& p = params();
+    const double small = p.evalue(80, 300, 1'000);
+    const double big = p.evalue(80, 300, 1'000'000);
+    EXPECT_NEAR(big / small, 1000.0, 1e-6);
+}
+
+TEST(Gumbel, BitScoreMonotone) {
+    const GumbelParams& p = params();
+    EXPECT_LT(p.bit_score(50), p.bit_score(100));
+}
+
+TEST(Gumbel, PvalueInUnitInterval) {
+    const GumbelParams& p = params();
+    for (Score s = 10; s <= 400; s += 30) {
+        const double pv = p.pvalue(s, 200, 200);
+        EXPECT_GE(pv, 0.0);
+        EXPECT_LE(pv, 1.0);
+    }
+}
+
+TEST(Gumbel, NullScoresAreInsignificant) {
+    // Random pair scores should mostly land at E >> 1 for a database-
+    // sized search space.
+    Rng rng(91);
+    const ScoreMatrix m = ScoreMatrix::blosum62();
+    const GumbelParams& p = params();
+    int significant = 0;
+    for (int i = 0; i < 30; ++i) {
+        const auto a = db::random_protein(rng, 200).residues;
+        const auto b = db::random_protein(rng, 200).residues;
+        const Score s = sw_score_affine(a, b, m, {10, 2});
+        if (p.evalue(s, 200, 10'000'000) < 0.01) ++significant;
+    }
+    EXPECT_LE(significant, 1);
+}
+
+TEST(Gumbel, HomologsAreSignificant) {
+    Rng rng(93);
+    const ScoreMatrix m = ScoreMatrix::blosum62();
+    const GumbelParams& p = params();
+    const auto a = db::random_protein(rng, 200);
+    const auto hom = db::mutate(a, Alphabet::protein(),
+                                db::MutationModel{0.15, 0.02, 0.02}, rng);
+    const Score s =
+        sw_score_affine(a.residues, hom.residues, m, {10, 2});
+    EXPECT_LT(p.evalue(s, 200, 10'000'000), 1e-6);
+}
+
+TEST(Gumbel, CalibrationSelfConsistent) {
+    // By construction of the fit, P(S >= median of fit sample) should
+    // be roughly 0.5 at the fit's own m x n. Check the fitted CDF puts
+    // a fresh null sample's scores in a plausible band.
+    Rng rng(97);
+    const ScoreMatrix m = ScoreMatrix::blosum62();
+    const GumbelParams& p = params();
+    int above_median = 0;
+    const int n = 60;
+    for (int i = 0; i < n; ++i) {
+        const auto a = db::random_protein(rng, p.fit_m).residues;
+        const auto b = db::random_protein(rng, p.fit_n).residues;
+        const Score s = sw_score_affine(a, b, m, {10, 2});
+        if (p.pvalue(s, p.fit_m, p.fit_n) < 0.5) ++above_median;
+    }
+    // Binomial(60, 0.5): 3-sigma band is about 30 +- 12.
+    EXPECT_GT(above_median, 15);
+    EXPECT_LT(above_median, 45);
+}
+
+TEST(Gumbel, RejectsBadOptions) {
+    GumbelFitOptions opt;
+    opt.samples = 3;
+    EXPECT_THROW(fit_gumbel(ScoreMatrix::blosum62(), {10, 2}, opt),
+                 ContractError);
+    EXPECT_THROW(
+        fit_gumbel(ScoreMatrix::match_mismatch(Alphabet::dna(), 1, -1, 0),
+                   {10, 2}),
+        ContractError);
+}
+
+}  // namespace
+}  // namespace swh::align

@@ -1,0 +1,87 @@
+#include "align/local_align.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+#include "align/sw_scalar.hpp"
+#include "align/traceback.hpp"
+#include "db/generator.hpp"
+#include "util/rng.hpp"
+
+namespace swh::align {
+namespace {
+
+TEST(SwLowMem, AgreesWithFullTracebackScore) {
+    Rng rng(29);
+    const ScoreMatrix m = ScoreMatrix::blosum62();
+    for (int iter = 0; iter < 25; ++iter) {
+        const auto a = db::random_protein(rng, 10 + rng.below(120)).residues;
+        const auto b = db::random_protein(rng, 10 + rng.below(120)).residues;
+        const Alignment full = sw_align_affine(a, b, m, {10, 2});
+        const Alignment low = sw_align_affine_lowmem(a, b, m, {10, 2});
+        EXPECT_EQ(low.score, full.score) << "iter " << iter;
+        if (!low.ops.empty()) {
+            EXPECT_EQ(score_alignment_affine(low, a, b, m, {10, 2}),
+                      low.score)
+                << "iter " << iter;
+        }
+    }
+}
+
+TEST(SwLowMem, FindsPlantedHomology) {
+    Rng rng(31);
+    const ScoreMatrix m = ScoreMatrix::blosum62();
+    const auto query = db::random_protein(rng, 60).residues;
+    auto subject = db::random_protein(rng, 300).residues;
+    subject.insert(subject.begin() + 150, query.begin(), query.end());
+    const Alignment a = sw_align_affine_lowmem(query, subject, m, {10, 2});
+    Score self = 0;
+    for (const Code c : query) self += m.at(c, c);
+    EXPECT_EQ(a.score, self);
+    // The reported region must cover the planted copy.
+    EXPECT_LE(a.t_begin, 150u);
+    EXPECT_GE(a.t_end, 150u + query.size());
+}
+
+TEST(SwLowMem, EmptyResultOnNoSimilarity) {
+    const Alphabet& d = Alphabet::dna();
+    const ScoreMatrix m = ScoreMatrix::match_mismatch(d, 1, -1, 0);
+    const auto s = d.encode("AAAA");
+    const auto t = d.encode("CCCC");
+    const Alignment a = sw_align_affine_lowmem(s, t, m, {3, 1});
+    EXPECT_EQ(a.score, 0);
+    EXPECT_TRUE(a.ops.empty());
+}
+
+TEST(SwLowMem, RespectsRectangleCap) {
+    Rng rng(37);
+    const ScoreMatrix m = ScoreMatrix::blosum62();
+    const auto a = db::random_protein(rng, 400).residues;
+    // Aligning a to itself has a 400x400 footprint; cap below that.
+    EXPECT_THROW(sw_align_affine_lowmem(a, a, m, {10, 2}, 100 * 100),
+                 ContractError);
+}
+
+TEST(SwLowMem, FootprintRectangleIsSmall) {
+    // The alignment footprint (not the full |s| x |t| product) bounds the
+    // quadratic stage: a short planted motif inside two long random
+    // sequences must pass even with a tight cap.
+    Rng rng(41);
+    const ScoreMatrix m = ScoreMatrix::blosum62();
+    const auto motif = db::random_protein(rng, 30).residues;
+    auto s = db::random_protein(rng, 1500).residues;
+    auto t = db::random_protein(rng, 1500).residues;
+    s.insert(s.begin() + 700, motif.begin(), motif.end());
+    t.insert(t.begin() + 200, motif.begin(), motif.end());
+    // 1500x1500 = 2.25M cells would overflow a 40k cap, but the motif
+    // rectangle (~30x30 plus noise) must not. Give some slack: random
+    // flanks can extend the optimum slightly.
+    const Alignment a = sw_align_affine_lowmem(s, t, m, {10, 2}, 400 * 400);
+    Score self = 0;
+    for (const Code c : motif) self += m.at(c, c);
+    EXPECT_GE(a.score, self);
+}
+
+}  // namespace
+}  // namespace swh::align

@@ -1,0 +1,113 @@
+#include "align/overlap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "db/generator.hpp"
+#include "util/rng.hpp"
+
+namespace swh::align {
+namespace {
+
+const ScoreMatrix& dna5() {
+    static const ScoreMatrix m =
+        ScoreMatrix::match_mismatch(Alphabet::dna(), 5, -4, 0);
+    return m;
+}
+
+std::vector<Code> dna(const char* s) { return Alphabet::dna().encode(s); }
+
+TEST(Overlap, PerfectDovetail) {
+    // a = XXXX|COMMON, b = COMMON|YYYY with a 6-base overlap.
+    const auto a = dna("TTTTACGACG");
+    const auto b = dna("ACGACGCCCC");
+    const Overlap ov = overlap_align(a, b, dna5(), {8, 6});
+    EXPECT_EQ(ov.score, 6 * 5);
+    EXPECT_EQ(ov.a_begin, 4u);
+    EXPECT_EQ(ov.b_end, 6u);
+}
+
+TEST(Overlap, NoOverlapScoresZero) {
+    const auto a = dna("AAAAAAAA");
+    const auto b = dna("CCCCCCCC");
+    const Overlap ov = overlap_align(a, b, dna5(), {8, 6});
+    EXPECT_EQ(ov.score, 0);
+    EXPECT_EQ(ov.b_end, 0u);
+}
+
+TEST(Overlap, ContainedPrefixCountsFully) {
+    // b is entirely a suffix of a: overlap covers all of b.
+    const auto a = dna("GGGGACGT");
+    const auto b = dna("ACGT");
+    const Overlap ov = overlap_align(a, b, dna5(), {8, 6});
+    EXPECT_EQ(ov.score, 4 * 5);
+    EXPECT_EQ(ov.a_begin, 4u);
+    EXPECT_EQ(ov.b_end, 4u);
+}
+
+TEST(Overlap, ToleratesOneMismatch) {
+    // 8-base overlap with one substitution: 7*5 - 4 = 31.
+    const auto a = dna("TTTTACGTACGA");
+    const auto b = dna("ACGTACGG" "CCCC");
+    const Overlap ov = overlap_align(a, b, dna5(), {8, 6});
+    // The last overlap base mismatches (A vs G): either include it
+    // (7*5-4=31) or stop before it — but stopping breaks the dovetail
+    // (overlap must reach a's end), so a gap or mismatch is forced.
+    EXPECT_EQ(ov.b_end, 8u);
+    EXPECT_EQ(ov.score, 7 * 5 - 4);
+}
+
+TEST(Overlap, AsymmetricDirectionality) {
+    // a's suffix matches b's prefix but not vice versa.
+    const auto a = dna("TTTTACGACG");
+    const auto b = dna("ACGACGCCCC");
+    const Overlap forward = overlap_align(a, b, dna5(), {8, 6});
+    const Overlap backward = overlap_align(b, a, dna5(), {8, 6});
+    EXPECT_GT(forward.score, backward.score);
+}
+
+TEST(Overlap, EmptyInputs) {
+    const std::vector<Code> empty;
+    const auto a = dna("ACGT");
+    EXPECT_EQ(overlap_align(empty, a, dna5(), {8, 6}).score, 0);
+    EXPECT_EQ(overlap_align(a, empty, dna5(), {8, 6}).score, 0);
+}
+
+TEST(Overlap, OpsCoverTheOverlapRegion) {
+    Rng rng(401);
+    for (int iter = 0; iter < 20; ++iter) {
+        const auto shared = db::random_dna(rng, 30).residues;
+        auto a = db::random_dna(rng, 40).residues;
+        a.insert(a.end(), shared.begin(), shared.end());
+        auto b = shared;
+        const auto tail = db::random_dna(rng, 40).residues;
+        b.insert(b.end(), tail.begin(), tail.end());
+        const OverlapAlignment oa =
+            overlap_align_ops(a, b, dna5(), {8, 6});
+        ASSERT_GT(oa.overlap.b_end, 0u) << "iter " << iter;
+        // Ops must consume exactly a[a_begin..end) and b[0..b_end).
+        std::size_t consumed_a = 0, consumed_b = 0;
+        for (const AlignOp op : oa.ops) {
+            if (op != AlignOp::Insert) ++consumed_a;
+            if (op != AlignOp::Delete) ++consumed_b;
+        }
+        EXPECT_EQ(consumed_a, a.size() - oa.overlap.a_begin);
+        EXPECT_EQ(consumed_b, oa.overlap.b_end);
+    }
+}
+
+TEST(Overlap, RandomPairsScoreBoundedByPerfect) {
+    Rng rng(403);
+    for (int iter = 0; iter < 20; ++iter) {
+        const auto a = db::random_dna(rng, 50 + rng.below(50)).residues;
+        const auto b = db::random_dna(rng, 50 + rng.below(50)).residues;
+        const Overlap ov = overlap_align(a, b, dna5(), {8, 6});
+        EXPECT_GE(ov.score, 0);
+        EXPECT_LE(ov.score,
+                  5 * static_cast<Score>(std::min(a.size(), b.size())));
+        EXPECT_LE(ov.a_begin, a.size());
+        EXPECT_LE(ov.b_end, b.size());
+    }
+}
+
+}  // namespace
+}  // namespace swh::align

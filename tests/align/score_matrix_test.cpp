@@ -1,0 +1,111 @@
+#include "align/score_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace swh::align {
+namespace {
+
+TEST(Blosum62, KnownValues) {
+    const ScoreMatrix m = ScoreMatrix::blosum62();
+    EXPECT_EQ(m.score('A', 'A'), 4);
+    EXPECT_EQ(m.score('W', 'W'), 11);
+    EXPECT_EQ(m.score('W', 'A'), -3);
+    EXPECT_EQ(m.score('E', 'D'), 2);
+    EXPECT_EQ(m.score('C', 'C'), 9);
+    EXPECT_EQ(m.score('A', 'R'), -1);
+    EXPECT_EQ(m.score('*', '*'), 1);
+    EXPECT_EQ(m.score('X', 'X'), -1);
+}
+
+TEST(Blosum62, IsSymmetric) {
+    EXPECT_TRUE(ScoreMatrix::blosum62().is_symmetric());
+}
+
+TEST(Blosum62, Extrema) {
+    const ScoreMatrix m = ScoreMatrix::blosum62();
+    EXPECT_EQ(m.max_score(), 11);  // W/W
+    EXPECT_EQ(m.min_score(), -4);
+    EXPECT_EQ(m.bias(), 4);
+}
+
+TEST(MatchMismatch, Values) {
+    const ScoreMatrix m =
+        ScoreMatrix::match_mismatch(Alphabet::dna(), 1, -1, 0);
+    EXPECT_EQ(m.score('A', 'A'), 1);
+    EXPECT_EQ(m.score('A', 'C'), -1);
+    EXPECT_EQ(m.score('A', 'N'), 0);
+    EXPECT_EQ(m.score('N', 'N'), 0);
+    EXPECT_TRUE(m.is_symmetric());
+}
+
+TEST(ScoreMatrix, SetRejectsNonInt8) {
+    ScoreMatrix m(Alphabet::dna(), "t");
+    EXPECT_THROW(m.set(0, 0, 200), ContractError);
+    EXPECT_THROW(m.set(0, 0, -200), ContractError);
+}
+
+TEST(ScoreMatrix, NcbiStreamRoundTrip) {
+    // Serialise a small matrix by hand and parse it back.
+    std::istringstream in(
+        "# comment line\n"
+        "   A  C  G  T  N\n"
+        "A  2 -1 -1 -1  0\n"
+        "C -1  2 -1 -1  0\n"
+        "G -1 -1  2 -1  0\n"
+        "T -1 -1 -1  2  0\n"
+        "N  0  0  0  0  0\n");
+    const ScoreMatrix m =
+        ScoreMatrix::from_ncbi_stream(Alphabet::dna(), in, "dna2");
+    EXPECT_EQ(m.score('A', 'A'), 2);
+    EXPECT_EQ(m.score('G', 'T'), -1);
+    EXPECT_EQ(m.score('N', 'A'), 0);
+    EXPECT_TRUE(m.is_symmetric());
+}
+
+TEST(ScoreMatrix, NcbiStringRoundTripsBlosum62) {
+    const ScoreMatrix original = ScoreMatrix::blosum62();
+    std::istringstream in(original.to_ncbi_string());
+    const ScoreMatrix back =
+        ScoreMatrix::from_ncbi_stream(Alphabet::protein(), in, "back");
+    for (Code a = 0; a < 24; ++a) {
+        for (Code b = 0; b < 24; ++b) {
+            ASSERT_EQ(back.at(a, b), original.at(a, b))
+                << int(a) << "," << int(b);
+        }
+    }
+    EXPECT_EQ(back.min_score(), original.min_score());
+    EXPECT_EQ(back.max_score(), original.max_score());
+}
+
+TEST(ScoreMatrix, NcbiStreamRejectsBadRow) {
+    std::istringstream in(
+        "A C\n"
+        "A 1\n");  // missing one column
+    EXPECT_THROW(
+        ScoreMatrix::from_ncbi_stream(Alphabet::dna(), in, "bad"),
+        ContractError);
+}
+
+TEST(ScoreMatrix, NcbiStreamRejectsEmpty) {
+    std::istringstream in("# nothing\n");
+    EXPECT_THROW(
+        ScoreMatrix::from_ncbi_stream(Alphabet::dna(), in, "empty"),
+        ContractError);
+}
+
+TEST(ScoreMatrix, NcbiStreamRejectsNonNumeric) {
+    std::istringstream in(
+        "A C\n"
+        "A 1 x\n"
+        "C x 1\n");
+    EXPECT_THROW(
+        ScoreMatrix::from_ncbi_stream(Alphabet::dna(), in, "nn"),
+        ParseError);
+}
+
+}  // namespace
+}  // namespace swh::align

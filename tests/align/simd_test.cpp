@@ -1,0 +1,131 @@
+#include "simd/simd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+
+#include "util/rng.hpp"
+
+namespace swh::simd {
+namespace {
+
+// Compares an intrinsic-backed vector type V against the scalar
+// emulation E (same lane count) on random inputs for every operation the
+// kernels use.
+template <class V, class E>
+void check_backend_agreement(std::uint64_t seed) {
+    static_assert(V::kLanes == E::kLanes);
+    using Lane = typename V::lane_type;
+    Rng rng(seed);
+    for (int iter = 0; iter < 200; ++iter) {
+        std::array<Lane, V::kLanes> a{}, b{};
+        for (int i = 0; i < V::kLanes; ++i) {
+            a[i] = static_cast<Lane>(rng.next());
+            b[i] = static_cast<Lane>(rng.next());
+        }
+        const V va = V::load(a.data()), vb = V::load(b.data());
+        const E ea = E::load(a.data()), eb = E::load(b.data());
+
+        auto expect_same = [&](V got, E want, const char* op) {
+            std::array<Lane, V::kLanes> g{}, w{};
+            got.store(g.data());
+            want.store(w.data());
+            EXPECT_EQ(g, w) << op << " iter " << iter;
+        };
+        expect_same(adds(va, vb), adds(ea, eb), "adds");
+        expect_same(subs(va, vb), subs(ea, eb), "subs");
+        expect_same(vmax(va, vb), vmax(ea, eb), "vmax");
+        expect_same(va.shl_lane(), ea.shl_lane(), "shl_lane");
+        EXPECT_EQ(any_gt(va, vb), any_gt(ea, eb)) << "any_gt iter " << iter;
+        EXPECT_EQ(va.hmax(), ea.hmax()) << "hmax iter " << iter;
+    }
+}
+
+#if defined(__SSE2__)
+TEST(SimdBackends, Sse2U8MatchesScalar) {
+    if (!is_supported(IsaLevel::SSE2)) GTEST_SKIP();
+    check_backend_agreement<U8x16, U8xN<16>>(1);
+}
+
+TEST(SimdBackends, Sse2I16MatchesScalar) {
+    if (!is_supported(IsaLevel::SSE2)) GTEST_SKIP();
+    check_backend_agreement<I16x8, I16xN<8>>(2);
+}
+#endif
+
+#if defined(__AVX2__)
+TEST(SimdBackends, Avx2U8MatchesScalar) {
+    if (!is_supported(IsaLevel::AVX2)) GTEST_SKIP();
+    check_backend_agreement<U8x32, U8xN<32>>(3);
+}
+
+TEST(SimdBackends, Avx2I16MatchesScalar) {
+    if (!is_supported(IsaLevel::AVX2)) GTEST_SKIP();
+    check_backend_agreement<I16x16, I16xN<16>>(4);
+}
+#endif
+
+#if defined(__AVX512BW__)
+TEST(SimdBackends, Avx512U8MatchesScalar) {
+    if (!is_supported(IsaLevel::AVX512)) GTEST_SKIP();
+    check_backend_agreement<U8x64, U8xN<64>>(5);
+}
+
+TEST(SimdBackends, Avx512I16MatchesScalar) {
+    if (!is_supported(IsaLevel::AVX512)) GTEST_SKIP();
+    check_backend_agreement<I16x32, I16xN<32>>(6);
+}
+#endif
+
+TEST(SimdScalar, ShlLaneInsertsZero) {
+    U8xN<4> v;
+    v.lane = {1, 2, 3, 4};
+    const auto s = v.shl_lane();
+    EXPECT_EQ(s.lane, (std::array<std::uint8_t, 4>{0, 1, 2, 3}));
+}
+
+TEST(SimdScalar, SaturatingOps) {
+    U8xN<2> a, b;
+    a.lane = {250, 3};
+    b.lane = {10, 5};
+    EXPECT_EQ(adds(a, b).lane, (std::array<std::uint8_t, 2>{255, 8}));
+    EXPECT_EQ(subs(a, b).lane, (std::array<std::uint8_t, 2>{240, 0}));
+
+    I16xN<2> c, d;
+    c.lane = {32000, -32000};
+    d.lane = {1000, 1000};
+    EXPECT_EQ(adds(c, d).lane, (std::array<std::int16_t, 2>{32767, -31000}));
+    EXPECT_EQ(subs(c, d).lane, (std::array<std::int16_t, 2>{31000, -32768}));
+}
+
+TEST(SimdScalar, AnyGtEdgeCases) {
+    U8xN<2> a, b;
+    a.lane = {5, 5};
+    b.lane = {5, 5};
+    EXPECT_FALSE(any_gt(a, b));
+    a.lane = {5, 6};
+    EXPECT_TRUE(any_gt(a, b));
+
+    I16xN<2> c, d;
+    c.lane = {-1, 0};
+    d.lane = {0, 0};
+    EXPECT_FALSE(any_gt(c, d));
+    c.lane = {1, -5};
+    EXPECT_TRUE(any_gt(c, d));
+}
+
+TEST(SimdArch, BestSupportedIsSupported) {
+    EXPECT_TRUE(is_supported(best_supported()));
+    EXPECT_TRUE(is_supported(IsaLevel::Scalar));
+}
+
+TEST(SimdArch, ToStringNames) {
+    EXPECT_STREQ(to_string(IsaLevel::Scalar), "scalar");
+    EXPECT_STREQ(to_string(IsaLevel::SSE2), "sse2");
+    EXPECT_STREQ(to_string(IsaLevel::AVX2), "avx2");
+    EXPECT_STREQ(to_string(IsaLevel::AVX512), "avx512");
+}
+
+}  // namespace
+}  // namespace swh::simd

@@ -1,0 +1,232 @@
+#include "align/striped.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+#include <vector>
+
+#include "align/sw_scalar.hpp"
+#include "db/generator.hpp"
+#include "util/rng.hpp"
+
+namespace swh::align {
+namespace {
+
+std::vector<simd::IsaLevel> supported_levels() {
+    std::vector<simd::IsaLevel> out = {simd::IsaLevel::Scalar};
+    if (simd::is_supported(simd::IsaLevel::SSE2))
+        out.push_back(simd::IsaLevel::SSE2);
+    if (simd::is_supported(simd::IsaLevel::AVX2))
+        out.push_back(simd::IsaLevel::AVX2);
+    if (simd::is_supported(simd::IsaLevel::AVX512))
+        out.push_back(simd::IsaLevel::AVX512);
+    return out;
+}
+
+class StripedIsaTest : public ::testing::TestWithParam<simd::IsaLevel> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllIsas, StripedIsaTest, ::testing::ValuesIn(supported_levels()),
+    [](const ::testing::TestParamInfo<simd::IsaLevel>& info) {
+        return simd::to_string(info.param);
+    });
+
+TEST_P(StripedIsaTest, U8MatchesOracleOnRandomPairs) {
+    const simd::IsaLevel isa = GetParam();
+    Rng rng(101);
+    const ScoreMatrix m = ScoreMatrix::blosum62();
+    const GapPenalty gap{10, 2};
+    for (int iter = 0; iter < 60; ++iter) {
+        const auto q =
+            db::random_protein(rng, 1 + rng.below(90)).residues;
+        const auto d =
+            db::random_protein(rng, 1 + rng.below(200)).residues;
+        const Profile8 p = build_profile8(q, m, lanes_u8(isa));
+        const StripedResult r = sw_striped_u8(p, d, gap, isa);
+        ASSERT_FALSE(r.overflow) << "random short pairs should not saturate";
+        EXPECT_EQ(r.score, sw_score_affine(q, d, m, gap)) << "iter " << iter;
+    }
+}
+
+TEST_P(StripedIsaTest, I16MatchesOracleOnRandomPairs) {
+    const simd::IsaLevel isa = GetParam();
+    Rng rng(103);
+    const ScoreMatrix m = ScoreMatrix::blosum62();
+    const GapPenalty gap{10, 2};
+    for (int iter = 0; iter < 60; ++iter) {
+        const auto q =
+            db::random_protein(rng, 1 + rng.below(150)).residues;
+        const auto d =
+            db::random_protein(rng, 1 + rng.below(300)).residues;
+        const Profile16 p = build_profile16(q, m, lanes_i16(isa));
+        const StripedResult r = sw_striped_i16(p, d, gap, isa);
+        ASSERT_FALSE(r.overflow);
+        EXPECT_EQ(r.score, sw_score_affine(q, d, m, gap)) << "iter " << iter;
+    }
+}
+
+TEST_P(StripedIsaTest, U8DetectsOverflowOnSelfAlignment) {
+    // A 60-residue tryptophan run self-aligns at 60*11 = 660 > 255.
+    const simd::IsaLevel isa = GetParam();
+    const ScoreMatrix m = ScoreMatrix::blosum62();
+    const std::vector<Code> w(60, Alphabet::protein().encode('W'));
+    const Profile8 p = build_profile8(w, m, lanes_u8(isa));
+    const StripedResult r = sw_striped_u8(p, w, {10, 2}, isa);
+    EXPECT_TRUE(r.overflow);
+}
+
+TEST_P(StripedIsaTest, I16HandlesScoresBeyond255) {
+    const simd::IsaLevel isa = GetParam();
+    const ScoreMatrix m = ScoreMatrix::blosum62();
+    const std::vector<Code> w(60, Alphabet::protein().encode('W'));
+    const Profile16 p = build_profile16(w, m, lanes_i16(isa));
+    const StripedResult r = sw_striped_i16(p, w, {10, 2}, isa);
+    ASSERT_FALSE(r.overflow);
+    EXPECT_EQ(r.score, 660);
+}
+
+TEST_P(StripedIsaTest, HandlesGapHeavyOptimum) {
+    // Force an optimum that needs F-loop propagation across segments: a
+    // long query vs a subject that matches its two ends only.
+    const simd::IsaLevel isa = GetParam();
+    Rng rng(107);
+    const ScoreMatrix m = ScoreMatrix::blosum62();
+    const GapPenalty gap{2, 1};  // cheap gaps encourage long deletions
+    for (int iter = 0; iter < 25; ++iter) {
+        const auto head = db::random_protein(rng, 25).residues;
+        const auto tail = db::random_protein(rng, 25).residues;
+        std::vector<Code> q = head;
+        const auto middle =
+            db::random_protein(rng, 30 + rng.below(60)).residues;
+        q.insert(q.end(), middle.begin(), middle.end());
+        q.insert(q.end(), tail.begin(), tail.end());
+        std::vector<Code> d = head;
+        d.insert(d.end(), tail.begin(), tail.end());
+        const Profile16 p = build_profile16(q, m, lanes_i16(isa));
+        const StripedResult r = sw_striped_i16(p, d, gap, isa);
+        ASSERT_FALSE(r.overflow);
+        EXPECT_EQ(r.score, sw_score_affine(q, d, m, gap)) << "iter " << iter;
+    }
+}
+
+TEST_P(StripedIsaTest, ZeroGapExtensionTerminates) {
+    const simd::IsaLevel isa = GetParam();
+    Rng rng(109);
+    const ScoreMatrix m = ScoreMatrix::blosum62();
+    const GapPenalty gap{4, 0};
+    for (int iter = 0; iter < 10; ++iter) {
+        const auto q = db::random_protein(rng, 40).residues;
+        const auto d = db::random_protein(rng, 80).residues;
+        const Profile16 p = build_profile16(q, m, lanes_i16(isa));
+        const StripedResult r = sw_striped_i16(p, d, gap, isa);
+        EXPECT_EQ(r.score, sw_score_affine(q, d, m, gap)) << "iter " << iter;
+    }
+}
+
+TEST_P(StripedIsaTest, QueryShorterThanOneVector) {
+    const simd::IsaLevel isa = GetParam();
+    const ScoreMatrix m = ScoreMatrix::blosum62();
+    const auto q = Alphabet::protein().encode("MK");
+    const auto d = Alphabet::protein().encode("AMKA");
+    const Profile8 p = build_profile8(q, m, lanes_u8(isa));
+    const StripedResult r = sw_striped_u8(p, d, {10, 2}, isa);
+    EXPECT_EQ(r.score, sw_score_affine(q, d, m, {10, 2}));
+}
+
+TEST_P(StripedIsaTest, EmptyInputsScoreZero) {
+    const simd::IsaLevel isa = GetParam();
+    const ScoreMatrix m = ScoreMatrix::blosum62();
+    const std::vector<Code> empty;
+    const auto q = Alphabet::protein().encode("MKV");
+    const Profile8 pe = build_profile8(empty, m, lanes_u8(isa));
+    EXPECT_EQ(sw_striped_u8(pe, q, {10, 2}, isa).score, 0);
+    const Profile8 pq = build_profile8(q, m, lanes_u8(isa));
+    EXPECT_EQ(sw_striped_u8(pq, empty, {10, 2}, isa).score, 0);
+}
+
+TEST_P(StripedIsaTest, AlignerEscalatesAndMatchesOracle) {
+    const simd::IsaLevel isa = GetParam();
+    Rng rng(113);
+    const ScoreMatrix m = ScoreMatrix::blosum62();
+    const GapPenalty gap{10, 2};
+
+    // Mix benign subjects with one that overflows 8 bits.
+    const auto q = db::random_protein(rng, 120).residues;
+    std::vector<std::vector<Code>> subjects;
+    for (int i = 0; i < 10; ++i) {
+        subjects.push_back(db::random_protein(rng, 150).residues);
+    }
+    std::vector<Code> strong = q;  // exact copy: self-score ~ 120*5 > 255
+    subjects.push_back(strong);
+
+    const StripedAligner aligner(q, m, gap, isa);
+    for (const auto& d : subjects) {
+        EXPECT_EQ(aligner.score(d), sw_score_affine(q, d, m, gap));
+    }
+    const StripedAligner::Stats st = aligner.stats();
+    EXPECT_GE(st.runs8, 10u);
+    EXPECT_GE(st.runs16, 1u);  // the exact copy escalated
+}
+
+TEST(StripedAllIsas, AgreeWithEachOther) {
+    Rng rng(127);
+    const ScoreMatrix m = ScoreMatrix::blosum62();
+    const GapPenalty gap{10, 2};
+    const auto levels = supported_levels();
+    for (int iter = 0; iter < 20; ++iter) {
+        const auto q = db::random_protein(rng, 5 + rng.below(100)).residues;
+        const auto d = db::random_protein(rng, 5 + rng.below(200)).residues;
+        std::vector<Score> scores;
+        for (const simd::IsaLevel isa : levels) {
+            const StripedAligner aligner(q, m, gap, isa);
+            scores.push_back(aligner.score(d));
+        }
+        for (std::size_t i = 1; i < scores.size(); ++i) {
+            EXPECT_EQ(scores[i], scores[0])
+                << "iter " << iter << " isa " << simd::to_string(levels[i]);
+        }
+    }
+}
+
+TEST(StripedProfile, LayoutMatchesDefinition) {
+    // Check the striped layout directly: entry (a, i, l) must equal
+    // matrix(query[l*seg+i], a) + bias.
+    const ScoreMatrix m = ScoreMatrix::blosum62();
+    const auto q = Alphabet::protein().encode("MKVLAWHEQNDRST");
+    const int lanes = 4;  // deliberately small to exercise padding
+    const Profile8 p = build_profile8(q, m, lanes);
+    EXPECT_EQ(p.seg_len, (q.size() + 3) / 4);
+    for (Code a = 0; a < 24; ++a) {
+        const std::uint8_t* row = p.row(a);
+        for (std::size_t i = 0; i < p.seg_len; ++i) {
+            for (int l = 0; l < lanes; ++l) {
+                const std::size_t pos = static_cast<std::size_t>(l) *
+                                            p.seg_len + i;
+                const int expected =
+                    pos < q.size() ? m.at(q[pos], a) + p.bias : 0;
+                EXPECT_EQ(row[i * lanes + l], expected);
+            }
+        }
+    }
+}
+
+TEST(StripedProfile, ExtremeMatrixStillFits8Bit) {
+    // int8-constrained entries always fit the biased 8-bit profile:
+    // max + bias <= 127 + 128 = 255. Check the widest possible matrix.
+    ScoreMatrix m(Alphabet::dna(), "wide");
+    for (Code a = 0; a < 5; ++a)
+        for (Code b = 0; b < 5; ++b) m.set(a, b, a == b ? 127 : -128);
+    const auto q = Alphabet::dna().encode("ACGT");
+    const Profile8 p = build_profile8(q, m, 16);
+    EXPECT_EQ(p.bias, 128);
+    EXPECT_EQ(p.max_entry, 255);
+    // The kernel must immediately flag overflow risk on such a matrix.
+    const auto d = Alphabet::dna().encode("ACGT");
+    const StripedResult r =
+        sw_striped_u8(p, d, {2, 1}, simd::IsaLevel::Scalar);
+    EXPECT_TRUE(r.overflow);
+}
+
+}  // namespace
+}  // namespace swh::align

@@ -1,0 +1,166 @@
+#include "align/sw_scalar.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+#include "db/generator.hpp"
+#include "util/rng.hpp"
+
+namespace swh::align {
+namespace {
+
+const ScoreMatrix& dna_matrix() {
+    static const ScoreMatrix m =
+        ScoreMatrix::match_mismatch(Alphabet::dna(), 1, -1, 0);
+    return m;
+}
+
+std::vector<Code> dna(const char* s) { return Alphabet::dna().encode(s); }
+std::vector<Code> prot(const char* s) {
+    return Alphabet::protein().encode(s);
+}
+
+// The paper's Fig. 2: SW similarity matrix between GCTGACCT (rows) and
+// GAAGCTA (columns) with ma=+1, mi=-1, g=-2; optimal local score is 3
+// (the common prefix run G-C-T).
+TEST(SwLinear, PaperFigure2Score) {
+    const auto s = dna("GCTGACCT");
+    const auto t = dna("GAAGCTA");
+    EXPECT_EQ(sw_score_linear(s, t, dna_matrix(), 2), 3);
+}
+
+TEST(SwLinear, MatrixMatchesLowMemScore) {
+    const auto s = dna("GCTGACCT");
+    const auto t = dna("GAAGCTA");
+    const DpMatrix dp = sw_matrix_linear(s, t, dna_matrix(), 2);
+    EXPECT_EQ(dp.rows, s.size() + 1);
+    EXPECT_EQ(dp.cols, t.size() + 1);
+    Score best = 0;
+    for (const Score v : dp.h) best = std::max(best, v);
+    EXPECT_EQ(best, 3);
+    // Boundary row/column must stay zero.
+    for (std::size_t j = 0; j < dp.cols; ++j) EXPECT_EQ(dp.at(0, j), 0);
+    for (std::size_t i = 0; i < dp.rows; ++i) EXPECT_EQ(dp.at(i, 0), 0);
+}
+
+TEST(SwLinear, EmptySequences) {
+    const auto s = dna("ACGT");
+    const std::vector<Code> empty;
+    EXPECT_EQ(sw_score_linear(s, empty, dna_matrix(), 2), 0);
+    EXPECT_EQ(sw_score_linear(empty, s, dna_matrix(), 2), 0);
+    EXPECT_EQ(sw_score_linear(empty, empty, dna_matrix(), 2), 0);
+}
+
+TEST(SwLinear, IdenticalSequences) {
+    const auto s = dna("ACGTACGT");
+    EXPECT_EQ(sw_score_linear(s, s, dna_matrix(), 2), 8);
+}
+
+TEST(SwLinear, NoSimilarity) {
+    const auto s = dna("AAAA");
+    const auto t = dna("CCCC");
+    EXPECT_EQ(sw_score_linear(s, t, dna_matrix(), 2), 0);
+}
+
+TEST(SwAffine, IdenticalProteins) {
+    const ScoreMatrix m = ScoreMatrix::blosum62();
+    const auto s = prot("MKVLAWHEQ");
+    Score self = 0;
+    for (const Code c : s) self += m.at(c, c);
+    EXPECT_EQ(sw_score_affine(s, s, m, {10, 2}), self);
+}
+
+TEST(SwAffine, LocalScoreNeverNegative) {
+    const ScoreMatrix m = ScoreMatrix::blosum62();
+    const auto s = prot("WWWW");
+    const auto t = prot("PPPP");
+    EXPECT_EQ(sw_score_affine(s, t, m, {10, 2}), 0);
+}
+
+TEST(SwAffine, GapCheaperThanDoubleMismatch) {
+    // ACGTT vs ACTT: best is ACGTT / AC-TT with one gap:
+    // 4 matches - (open+ext) = 4 - 3 = 1 ... vs alignment without gap
+    // ACGT/ACTT = 3 - 1 = 2. With gap open 0 the gapped one wins.
+    const auto s = dna("ACGTT");
+    const auto t = dna("ACTT");
+    EXPECT_EQ(sw_score_affine(s, t, dna_matrix(), {0, 1}), 3);  // 4 - 1
+    EXPECT_EQ(sw_score_affine(s, t, dna_matrix(), {5, 1}), 2);  // ungapped
+}
+
+TEST(SwAffine, GapVersusMismatchTradeoff) {
+    // s = AAAACCAAAA vs t = AAAAAAAA. Candidate optima: skip the CC with
+    // one 2-gap (8 matches - open - 2*ext), or align an 8-window with two
+    // mismatches (6 - 2 = 4).
+    const auto s = dna("AAAACCAAAA");
+    const auto t = dna("AAAAAAAA");
+    // Cheap open: the single long gap wins: 8 - (1 + 2) = 5.
+    EXPECT_EQ(sw_score_affine(s, t, dna_matrix(), {1, 1}), 5);
+    // Expensive open: gaps are hopeless; mismatch alignment wins with 4.
+    EXPECT_EQ(sw_score_affine(s, t, dna_matrix(), {10, 1}), 4);
+}
+
+TEST(SwAffine, MatchesLinearWhenOpenIsZero) {
+    // affine(open=0, ext=g) == linear(g) for all inputs.
+    Rng rng(321);
+    const ScoreMatrix m = ScoreMatrix::blosum62();
+    for (int iter = 0; iter < 40; ++iter) {
+        const auto a =
+            db::random_protein(rng, 1 + rng.below(60)).residues;
+        const auto b =
+            db::random_protein(rng, 1 + rng.below(60)).residues;
+        const Score g = static_cast<Score>(1 + rng.below(4));
+        EXPECT_EQ(sw_score_affine(a, b, m, {0, g}),
+                  sw_score_linear(a, b, m, g))
+            << "iter " << iter;
+    }
+}
+
+TEST(SwAffine, SymmetricArguments) {
+    // SW score is symmetric for a symmetric matrix.
+    Rng rng(99);
+    const ScoreMatrix m = ScoreMatrix::blosum62();
+    for (int iter = 0; iter < 20; ++iter) {
+        const auto a = db::random_protein(rng, 1 + rng.below(80)).residues;
+        const auto b = db::random_protein(rng, 1 + rng.below(80)).residues;
+        EXPECT_EQ(sw_score_affine(a, b, m, {10, 2}),
+                  sw_score_affine(b, a, m, {10, 2}));
+    }
+}
+
+TEST(SwAffine, MonotoneInGapPenalty) {
+    Rng rng(7);
+    const ScoreMatrix m = ScoreMatrix::blosum62();
+    for (int iter = 0; iter < 20; ++iter) {
+        const auto a = db::random_protein(rng, 30).residues;
+        const auto b = db::random_protein(rng, 30).residues;
+        const Score cheap = sw_score_affine(a, b, m, {2, 1});
+        const Score dear = sw_score_affine(a, b, m, {12, 3});
+        EXPECT_GE(cheap, dear);
+    }
+}
+
+TEST(SwEnd, ReportsEndOfBestAlignment) {
+    // Plant an exact copy of the query inside a random subject.
+    Rng rng(5);
+    const ScoreMatrix m = ScoreMatrix::blosum62();
+    const auto query = db::random_protein(rng, 25).residues;
+    auto subject = db::random_protein(rng, 40).residues;
+    subject.insert(subject.begin() + 10, query.begin(), query.end());
+    const LocalEnd end = sw_end_affine(query, subject, m, {10, 2});
+    Score self = 0;
+    for (const Code c : query) self += m.at(c, c);
+    EXPECT_EQ(end.score, self);
+    EXPECT_EQ(end.s_end, query.size() - 1);
+    EXPECT_EQ(end.t_end, 10 + query.size() - 1);
+}
+
+TEST(SwAffine, RejectsNegativePenalties) {
+    const auto s = dna("ACGT");
+    EXPECT_THROW(sw_score_affine(s, s, dna_matrix(), {-1, 2}),
+                 ContractError);
+    EXPECT_THROW(sw_score_linear(s, s, dna_matrix(), -2), ContractError);
+}
+
+}  // namespace
+}  // namespace swh::align

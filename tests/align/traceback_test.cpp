@@ -1,0 +1,134 @@
+#include "align/traceback.hpp"
+
+#include <gtest/gtest.h>
+
+#include "align/sw_scalar.hpp"
+#include "db/generator.hpp"
+#include "util/rng.hpp"
+
+namespace swh::align {
+namespace {
+
+const ScoreMatrix& dna_matrix() {
+    static const ScoreMatrix m =
+        ScoreMatrix::match_mismatch(Alphabet::dna(), 1, -1, 0);
+    return m;
+}
+
+std::vector<Code> dna(const char* s) { return Alphabet::dna().encode(s); }
+
+// Paper Fig. 1: global alignment of ACTTGTCCG vs ATTGTCAG with ma=+1,
+// mi=-1, g=-2 scores 4.
+TEST(NwLinear, PaperFigure1) {
+    const auto s = dna("ACTTGTCCG");
+    const auto t = dna("ATTGTCAG");
+    const Alignment a = nw_align_linear(s, t, dna_matrix(), 2);
+    EXPECT_EQ(a.score, 4);
+    EXPECT_EQ(a.s_begin, 0u);
+    EXPECT_EQ(a.s_end, s.size());
+    EXPECT_EQ(a.t_begin, 0u);
+    EXPECT_EQ(a.t_end, t.size());
+    EXPECT_EQ(score_alignment_linear(a, s, t, dna_matrix(), 2), 4);
+}
+
+// Paper Fig. 2: local alignment of GCTGACCT vs GAAGCTA scores 3, the
+// shared GCT run.
+TEST(SwLinearTraceback, PaperFigure2) {
+    const auto s = dna("GCTGACCT");
+    const auto t = dna("GAAGCTA");
+    const Alignment a = sw_align_linear(s, t, dna_matrix(), 2);
+    EXPECT_EQ(a.score, 3);
+    EXPECT_EQ(a.cigar(), "3M");
+    EXPECT_EQ(a.s_begin, 0u);
+    EXPECT_EQ(a.s_end, 3u);
+    EXPECT_EQ(a.t_begin, 3u);
+    EXPECT_EQ(a.t_end, 6u);
+}
+
+TEST(SwLinearTraceback, EmptyWhenNothingAligns) {
+    const auto s = dna("AAAA");
+    const auto t = dna("CCCC");
+    const Alignment a = sw_align_linear(s, t, dna_matrix(), 2);
+    EXPECT_EQ(a.score, 0);
+    EXPECT_TRUE(a.ops.empty());
+}
+
+TEST(SwAffineTraceback, ScoreMatchesScoreOnlyKernel) {
+    Rng rng(11);
+    const ScoreMatrix m = ScoreMatrix::blosum62();
+    for (int iter = 0; iter < 30; ++iter) {
+        const auto a = db::random_protein(rng, 1 + rng.below(70)).residues;
+        const auto b = db::random_protein(rng, 1 + rng.below(70)).residues;
+        const GapPenalty gap{static_cast<Score>(rng.below(12)),
+                             static_cast<Score>(1 + rng.below(3))};
+        const Alignment al = sw_align_affine(a, b, m, gap);
+        EXPECT_EQ(al.score, sw_score_affine(a, b, m, gap)) << "iter " << iter;
+        if (!al.ops.empty()) {
+            // The reported ops must re-score to the DP score.
+            EXPECT_EQ(score_alignment_affine(al, a, b, m, gap), al.score)
+                << "iter " << iter;
+        }
+    }
+}
+
+TEST(SwAffineTraceback, LocalAlignmentStartsAndEndsOnMatches) {
+    // A maximal local alignment never starts or ends with a gap op.
+    Rng rng(13);
+    const ScoreMatrix m = ScoreMatrix::blosum62();
+    for (int iter = 0; iter < 30; ++iter) {
+        const auto a = db::random_protein(rng, 20 + rng.below(40)).residues;
+        const auto b = db::random_protein(rng, 20 + rng.below(40)).residues;
+        const Alignment al = sw_align_affine(a, b, m, {10, 2});
+        if (al.ops.empty()) continue;
+        EXPECT_EQ(al.ops.front(), AlignOp::Match);
+        EXPECT_EQ(al.ops.back(), AlignOp::Match);
+    }
+}
+
+TEST(NwAffineTraceback, ConsumesBothSequences) {
+    Rng rng(17);
+    const ScoreMatrix m = ScoreMatrix::blosum62();
+    for (int iter = 0; iter < 30; ++iter) {
+        const auto a = db::random_protein(rng, 1 + rng.below(50)).residues;
+        const auto b = db::random_protein(rng, 1 + rng.below(50)).residues;
+        const GapPenalty gap{static_cast<Score>(rng.below(12)),
+                             static_cast<Score>(1 + rng.below(3))};
+        const Alignment al = nw_align_affine(a, b, m, gap);
+        EXPECT_EQ(al.s_end, a.size());
+        EXPECT_EQ(al.t_end, b.size());
+        EXPECT_EQ(score_alignment_affine(al, a, b, m, gap), al.score)
+            << "iter " << iter;
+    }
+}
+
+TEST(NwAffineTraceback, GlobalScoreUpperBoundedByLocal) {
+    Rng rng(19);
+    const ScoreMatrix m = ScoreMatrix::blosum62();
+    for (int iter = 0; iter < 20; ++iter) {
+        const auto a = db::random_protein(rng, 1 + rng.below(50)).residues;
+        const auto b = db::random_protein(rng, 1 + rng.below(50)).residues;
+        EXPECT_LE(nw_align_affine(a, b, m, {10, 2}).score,
+                  sw_score_affine(a, b, m, {10, 2}));
+    }
+}
+
+TEST(NwAffineTraceback, AllGapsWhenOneSideEmpty) {
+    const auto s = dna("ACGT");
+    const std::vector<Code> empty;
+    const Alignment a = nw_align_affine(s, empty, dna_matrix(), {3, 1});
+    EXPECT_EQ(a.cigar(), "4D");
+    EXPECT_EQ(a.score, -(3 + 4 * 1));
+    const Alignment b = nw_align_affine(empty, s, dna_matrix(), {3, 1});
+    EXPECT_EQ(b.cigar(), "4I");
+}
+
+TEST(NwLinear, PrefersDiagonalOnTies) {
+    // Identical sequences must come back as pure matches.
+    const auto s = dna("ACGTACGT");
+    const Alignment a = nw_align_linear(s, s, dna_matrix(), 2);
+    EXPECT_EQ(a.cigar(), "8M");
+    EXPECT_EQ(a.score, 8);
+}
+
+}  // namespace
+}  // namespace swh::align

@@ -1,0 +1,196 @@
+#include "assembly/assembler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "assembly/read_sim.hpp"
+#include "util/error.hpp"
+
+namespace swh::assembly {
+namespace {
+
+using align::Alphabet;
+using align::Sequence;
+
+std::vector<Sequence> reads_of(const std::vector<SimulatedRead>& sim) {
+    std::vector<Sequence> out;
+    out.reserve(sim.size());
+    for (const SimulatedRead& r : sim) out.push_back(r.record.seq);
+    return out;
+}
+
+/// Identity fraction between contig and reference via simple best-shift
+/// matching (reads are indel-free so a plain sweep suffices).
+double best_identity(const std::vector<align::Code>& contig,
+                     const Sequence& reference) {
+    double best = 0.0;
+    const auto& ref = reference.residues;
+    for (std::size_t shift = 0;
+         shift + contig.size() <= ref.size() || shift == 0; ++shift) {
+        if (shift + contig.size() > ref.size()) break;
+        std::size_t same = 0;
+        for (std::size_t i = 0; i < contig.size(); ++i) {
+            if (contig[i] == ref[shift + i]) ++same;
+        }
+        best = std::max(best,
+                        static_cast<double>(same) /
+                            static_cast<double>(contig.size()));
+    }
+    return best;
+}
+
+TEST(ReadSim, CoverageAndLengths) {
+    const Sequence ref = random_reference(1'000, 11);
+    ReadSimSpec spec;
+    spec.coverage = 8.0;
+    spec.read_len = 100;
+    const auto reads = simulate_reads(ref, spec);
+    EXPECT_EQ(reads.size(), 80u);
+    for (const SimulatedRead& r : reads) {
+        EXPECT_EQ(r.record.seq.size(), 100u);
+        EXPECT_LE(r.true_position + 100, ref.size());
+        // Error-free reads must match the reference exactly.
+        for (std::size_t i = 0; i < 100; ++i) {
+            EXPECT_EQ(r.record.seq.residues[i],
+                      ref.residues[r.true_position + i]);
+        }
+    }
+}
+
+TEST(ReadSim, ErrorRateApproximatelyRespected) {
+    const Sequence ref = random_reference(2'000, 13);
+    ReadSimSpec spec;
+    spec.coverage = 5.0;
+    spec.read_len = 100;
+    spec.error_rate = 0.05;
+    const auto reads = simulate_reads(ref, spec);
+    std::size_t diffs = 0, total = 0;
+    for (const SimulatedRead& r : reads) {
+        for (std::size_t i = 0; i < r.record.seq.size(); ++i) {
+            total++;
+            if (r.record.seq.residues[i] !=
+                ref.residues[r.true_position + i]) {
+                ++diffs;
+            }
+        }
+    }
+    EXPECT_NEAR(static_cast<double>(diffs) / static_cast<double>(total),
+                0.05, 0.01);
+}
+
+TEST(ReadSim, RejectsBadSpecs) {
+    const Sequence ref = random_reference(100, 1);
+    ReadSimSpec spec;
+    spec.read_len = 5;
+    EXPECT_THROW(simulate_reads(ref, spec), ContractError);
+    spec.read_len = 200;
+    EXPECT_THROW(simulate_reads(ref, spec), ContractError);
+}
+
+TEST(Assembler, PerfectReadsReconstructReference) {
+    const Sequence ref = random_reference(800, 17);
+    ReadSimSpec spec;
+    spec.coverage = 12.0;
+    spec.read_len = 80;
+    spec.seed = 18;
+    const auto reads = reads_of(simulate_reads(ref, spec));
+
+    AssemblyOptions options;
+    options.threads = 2;
+    const AssemblyResult result = assemble(reads, options);
+
+    ASSERT_FALSE(result.contigs.empty());
+    // Dense error-free coverage should give one dominant contig close to
+    // the reference length, matching it (almost) exactly.
+    const Contig& big = result.contigs.front();
+    EXPECT_GT(big.consensus.size(), ref.size() * 9 / 10);
+    EXPECT_LE(big.consensus.size(), ref.size());
+    EXPECT_GT(best_identity(big.consensus, ref), 0.999);
+    EXPECT_GT(result.overlaps_used, reads.size() / 2);
+}
+
+TEST(Assembler, NoisyReadsStillAssemble) {
+    const Sequence ref = random_reference(600, 19);
+    ReadSimSpec spec;
+    spec.coverage = 15.0;
+    spec.read_len = 80;
+    spec.error_rate = 0.02;
+    spec.seed = 20;
+    const auto reads = reads_of(simulate_reads(ref, spec));
+
+    AssemblyOptions options;
+    options.min_score = 60;  // tolerate a few mismatches per overlap
+    const AssemblyResult result = assemble(reads, options);
+
+    ASSERT_FALSE(result.contigs.empty());
+    const Contig& big = result.contigs.front();
+    EXPECT_GT(big.consensus.size(), ref.size() / 2);
+    // Majority consensus must push identity well above the raw read
+    // error rate.
+    EXPECT_GT(best_identity(big.consensus, ref), 0.99);
+}
+
+TEST(Assembler, DisjointFragmentsStaySeparate) {
+    // Reads from two unrelated references must never merge.
+    const Sequence ref_a = random_reference(300, 23);
+    const Sequence ref_b = random_reference(300, 29);
+    ReadSimSpec spec;
+    spec.coverage = 8.0;
+    spec.read_len = 60;
+    auto reads = reads_of(simulate_reads(ref_a, spec));
+    spec.seed = 31;
+    const auto more = reads_of(simulate_reads(ref_b, spec));
+    reads.insert(reads.end(), more.begin(), more.end());
+
+    const AssemblyResult result = assemble(reads);
+    ASSERT_GE(result.contigs.size(), 2u);
+    const double id_a = best_identity(result.contigs[0].consensus, ref_a);
+    const double id_b = best_identity(result.contigs[0].consensus, ref_b);
+    // The largest contig belongs cleanly to exactly one reference.
+    EXPECT_GT(std::max(id_a, id_b), 0.99);
+    EXPECT_LT(std::min(id_a, id_b), 0.8);
+}
+
+TEST(Assembler, SingleReadIsItsOwnContig) {
+    const Sequence ref = random_reference(100, 37);
+    std::vector<Sequence> reads = {
+        Sequence{"only", "", ref.residues}};
+    const AssemblyResult result = assemble(reads);
+    ASSERT_EQ(result.contigs.size(), 1u);
+    EXPECT_EQ(result.contigs[0].consensus, ref.residues);
+    EXPECT_EQ(result.overlaps_used, 0u);
+}
+
+TEST(Assembler, N50Statistic) {
+    AssemblyResult r;
+    for (const std::size_t len : {500u, 300u, 200u}) {
+        Contig c;
+        c.consensus.resize(len);
+        r.contigs.push_back(std::move(c));
+    }
+    // total 1000; cumulative 500 >= 500 at the first contig.
+    EXPECT_EQ(r.n50(), 500u);
+    EXPECT_EQ(r.largest_contig(), 500u);
+    EXPECT_EQ(AssemblyResult{}.n50(), 0u);
+}
+
+TEST(Assembler, ThreadedOverlapStageMatchesSerial) {
+    const Sequence ref = random_reference(400, 41);
+    ReadSimSpec spec;
+    spec.coverage = 6.0;
+    spec.read_len = 60;
+    const auto reads = reads_of(simulate_reads(ref, spec));
+    AssemblyOptions serial;
+    AssemblyOptions threaded;
+    threaded.threads = 4;
+    const auto e1 = find_overlaps(reads, serial);
+    const auto e2 = find_overlaps(reads, threaded);
+    ASSERT_EQ(e1.size(), e2.size());
+    for (std::size_t i = 0; i < e1.size(); ++i) {
+        EXPECT_EQ(e1[i].a, e2[i].a);
+        EXPECT_EQ(e1[i].b, e2[i].b);
+        EXPECT_EQ(e1[i].overlap.score, e2[i].overlap.score);
+    }
+}
+
+}  // namespace
+}  // namespace swh::assembly

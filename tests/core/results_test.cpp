@@ -1,0 +1,72 @@
+#include "core/results.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace swh::core {
+namespace {
+
+TEST(ResultMerger, KeepsTopKDescending) {
+    ResultMerger merger(1, 3);
+    TaskResult r;
+    r.query_index = 0;
+    r.cells = 100;
+    r.hits = {{0, 10}, {1, 50}, {2, 30}, {3, 40}, {4, 20}};
+    merger.add(r);
+    const auto& hits = merger.hits_for(0);
+    ASSERT_EQ(hits.size(), 3u);
+    EXPECT_EQ(hits[0], (Hit{1, 50}));
+    EXPECT_EQ(hits[1], (Hit{3, 40}));
+    EXPECT_EQ(hits[2], (Hit{2, 30}));
+    EXPECT_EQ(merger.total_cells(), 100u);
+    EXPECT_EQ(merger.results_merged(), 1u);
+}
+
+TEST(ResultMerger, MergesAcrossResults) {
+    ResultMerger merger(2, 2);
+    TaskResult a;
+    a.query_index = 0;
+    a.hits = {{0, 5}};
+    TaskResult b;
+    b.query_index = 0;
+    b.hits = {{1, 9}, {2, 1}};
+    merger.add(a);
+    merger.add(b);
+    const auto& hits = merger.hits_for(0);
+    ASSERT_EQ(hits.size(), 2u);
+    EXPECT_EQ(hits[0].score, 9);
+    EXPECT_EQ(hits[1].score, 5);
+    EXPECT_TRUE(merger.hits_for(1).empty());
+}
+
+TEST(ResultMerger, TiesBreakByDbIndex) {
+    ResultMerger merger(1, 2);
+    TaskResult r;
+    r.query_index = 0;
+    r.hits = {{7, 5}, {2, 5}, {9, 5}};
+    merger.add(r);
+    const auto& hits = merger.hits_for(0);
+    EXPECT_EQ(hits[0].db_index, 2u);
+    EXPECT_EQ(hits[1].db_index, 7u);
+}
+
+TEST(ResultMerger, RejectsUnknownQuery) {
+    ResultMerger merger(1, 2);
+    TaskResult r;
+    r.query_index = 5;
+    EXPECT_THROW(merger.add(r), ContractError);
+    EXPECT_THROW(merger.hits_for(2), ContractError);
+}
+
+TEST(MakeTasks, CellsAreQueryTimesDb) {
+    const auto tasks = make_tasks_from_lengths({100, 250}, 1'000'000);
+    ASSERT_EQ(tasks.size(), 2u);
+    EXPECT_EQ(tasks[0].id, 0u);
+    EXPECT_EQ(tasks[0].query_index, 0u);
+    EXPECT_EQ(tasks[0].cells, 100u * 1'000'000u);
+    EXPECT_EQ(tasks[1].cells, 250u * 1'000'000u);
+}
+
+}  // namespace
+}  // namespace swh::core

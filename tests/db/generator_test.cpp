@@ -1,0 +1,134 @@
+#include "db/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "align/sw_scalar.hpp"
+#include "db/database.hpp"
+
+namespace swh::db {
+namespace {
+
+using align::Alphabet;
+
+TEST(LengthModel, SamplesWithinBounds) {
+    LengthModel lm;
+    lm.min_len = 50;
+    lm.max_len = 500;
+    Rng rng(1);
+    for (int i = 0; i < 2000; ++i) {
+        const std::size_t len = lm.sample(rng);
+        EXPECT_GE(len, 50u);
+        EXPECT_LE(len, 500u);
+    }
+}
+
+TEST(LengthModel, ApproxMeanTracksLogMean) {
+    LengthModel lm;
+    lm.log_mean = std::log(300.0);
+    lm.log_stdev = 0.3;
+    lm.min_len = 10;
+    lm.max_len = 5000;
+    // Lognormal mean = exp(mu + sigma^2/2) ~ 313.8.
+    EXPECT_NEAR(lm.approx_mean(), 314.0, 20.0);
+}
+
+TEST(RandomProtein, UsesOnlyRealAminoAcids) {
+    Rng rng(2);
+    const auto seq = random_protein(rng, 5000);
+    ASSERT_EQ(seq.size(), 5000u);
+    for (const align::Code c : seq.residues) EXPECT_LT(c, 20);
+}
+
+TEST(RandomProtein, FrequenciesRoughlyRobinson) {
+    Rng rng(3);
+    std::map<align::Code, int> counts;
+    const auto seq = random_protein(rng, 100'000);
+    for (const align::Code c : seq.residues) ++counts[c];
+    // Leucine (code for 'L') should be the most common residue (~9%).
+    const align::Code leu = Alphabet::protein().encode('L');
+    EXPECT_NEAR(counts[leu] / 100'000.0, 0.090, 0.01);
+    // Tryptophan the rarest (~1.3%).
+    const align::Code trp = Alphabet::protein().encode('W');
+    EXPECT_NEAR(counts[trp] / 100'000.0, 0.013, 0.005);
+}
+
+TEST(GenerateDatabase, DeterministicForSeed) {
+    DatabaseSpec spec;
+    spec.name = "t";
+    spec.num_sequences = 50;
+    spec.seed = 77;
+    const auto a = generate_database(spec);
+    const auto b = generate_database(spec);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].residues, b[i].residues);
+    }
+}
+
+TEST(GenerateDatabase, PrefixStableUnderCount) {
+    // Record i must not depend on how many records follow it.
+    DatabaseSpec small, large;
+    small.name = large.name = "t";
+    small.seed = large.seed = 5;
+    small.num_sequences = 10;
+    large.num_sequences = 30;
+    const auto a = generate_database(small);
+    const auto b = generate_database(large);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].residues, b[i].residues) << i;
+    }
+}
+
+TEST(Database, CachesResidueTotal) {
+    DatabaseSpec spec;
+    spec.name = "t";
+    spec.num_sequences = 20;
+    spec.seed = 9;
+    const Database database = Database::generate(spec);
+    EXPECT_EQ(database.size(), 20u);
+    std::uint64_t total = 0;
+    for (const auto& s : database.sequences()) total += s.size();
+    EXPECT_EQ(database.residues(), total);
+    EXPECT_GT(total, 0u);
+}
+
+TEST(Mutate, ZeroRatesIsIdentity) {
+    Rng rng(11);
+    const auto seq = random_protein(rng, 200);
+    const auto out =
+        mutate(seq, Alphabet::protein(), MutationModel{0, 0, 0}, rng);
+    EXPECT_EQ(out.residues, seq.residues);
+}
+
+TEST(Mutate, SubstitutionsChangeResidues) {
+    Rng rng(13);
+    const auto seq = random_protein(rng, 1000);
+    const auto out = mutate(seq, Alphabet::protein(),
+                            MutationModel{0.2, 0.0, 0.0}, rng);
+    ASSERT_EQ(out.size(), seq.size());
+    std::size_t diff = 0;
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        if (out.residues[i] != seq.residues[i]) ++diff;
+    }
+    EXPECT_NEAR(static_cast<double>(diff) / 1000.0, 0.2, 0.05);
+}
+
+TEST(Mutate, HomologScoresHigherThanRandom) {
+    Rng rng(17);
+    const align::ScoreMatrix m = align::ScoreMatrix::blosum62();
+    const auto seq = random_protein(rng, 300);
+    const auto homolog = mutate(seq, Alphabet::protein(),
+                                MutationModel{0.1, 0.02, 0.02}, rng);
+    const auto unrelated = random_protein(rng, 300);
+    const align::Score hom_score =
+        align::sw_score_affine(seq.residues, homolog.residues, m, {10, 2});
+    const align::Score rnd_score = align::sw_score_affine(
+        seq.residues, unrelated.residues, m, {10, 2});
+    EXPECT_GT(hom_score, 4 * rnd_score);
+}
+
+}  // namespace
+}  // namespace swh::db

@@ -1,0 +1,81 @@
+#include "db/presets.hpp"
+
+#include <gtest/gtest.h>
+
+#include "db/database.hpp"
+#include "util/error.hpp"
+
+namespace swh::db {
+namespace {
+
+TEST(Presets, TableTwoRoster) {
+    const auto& presets = table2_presets();
+    ASSERT_EQ(presets.size(), 5u);
+    EXPECT_EQ(presets[0].name, "Ensembl Dog");
+    EXPECT_EQ(presets[0].num_sequences, 25'160u);
+    EXPECT_EQ(presets[1].num_sequences, 32'971u);
+    EXPECT_EQ(presets[2].num_sequences, 34'705u);
+    EXPECT_EQ(presets[3].num_sequences, 29'437u);
+    EXPECT_EQ(presets[4].name, "UniProtKB/SwissProt");
+    EXPECT_EQ(presets[4].num_sequences, 537'505u);
+}
+
+TEST(Presets, SwissProtIsLargestByFar) {
+    const auto& presets = table2_presets();
+    const std::uint64_t swiss = presets[4].total_residues();
+    for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_GT(swiss, 8 * presets[i].total_residues());
+    }
+}
+
+TEST(Presets, LookupByName) {
+    EXPECT_EQ(preset_by_name("swissprot").num_sequences, 537'505u);
+    EXPECT_EQ(preset_by_name("Ensembl Dog").num_sequences, 25'160u);
+    EXPECT_EQ(preset_by_name("rat").num_sequences, 32'971u);
+    EXPECT_THROW(preset_by_name("zebrafish"), ContractError);
+}
+
+TEST(Presets, ScaledSpecShrinksSequenceCount) {
+    const DatabasePreset& dog = table2_presets()[0];
+    const DatabaseSpec spec = dog.spec(0.01, 1);
+    EXPECT_EQ(spec.num_sequences, 251u);
+    EXPECT_THROW(dog.spec(0.0), ContractError);
+    EXPECT_THROW(dog.spec(1.5), ContractError);
+}
+
+TEST(Presets, GeneratedScaledDbTracksMeanLength) {
+    const DatabasePreset& dog = table2_presets()[0];
+    const Database database = Database::generate(dog.spec(0.02, 3));
+    const double mean = static_cast<double>(database.residues()) /
+                        static_cast<double>(database.size());
+    EXPECT_NEAR(mean, dog.mean_length, dog.mean_length * 0.25);
+}
+
+TEST(QuerySet, PaperWorkloadShape) {
+    const auto queries = make_query_set();
+    ASSERT_EQ(queries.size(), 40u);
+    EXPECT_EQ(queries.front().size(), 100u);
+    EXPECT_EQ(queries.back().size(), 5000u);
+    // Linearly spaced: deltas all within rounding of each other.
+    for (std::size_t i = 1; i < queries.size(); ++i) {
+        const auto delta = queries[i].size() - queries[i - 1].size();
+        EXPECT_NEAR(static_cast<double>(delta), 4900.0 / 39.0, 1.0) << i;
+    }
+}
+
+TEST(QuerySet, SingleQueryGetsMinLength) {
+    const auto queries = make_query_set(1, 100, 5000, 1);
+    ASSERT_EQ(queries.size(), 1u);
+    EXPECT_EQ(queries[0].size(), 100u);
+}
+
+TEST(QuerySet, Deterministic) {
+    const auto a = make_query_set(5, 100, 500, 7);
+    const auto b = make_query_set(5, 100, 500, 7);
+    for (std::size_t i = 0; i < 5; ++i) {
+        EXPECT_EQ(a[i].residues, b[i].residues);
+    }
+}
+
+}  // namespace
+}  // namespace swh::db

@@ -1,0 +1,135 @@
+#include "engines/fpga_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+#include "align/sw_scalar.hpp"
+#include "db/database.hpp"
+
+namespace swh::engines {
+namespace {
+
+const align::ScoreMatrix& blosum() {
+    static const align::ScoreMatrix m = align::ScoreMatrix::blosum62();
+    return m;
+}
+
+EngineConfig config() {
+    EngineConfig c;
+    c.matrix = &blosum();
+    c.gap = {10, 2};
+    c.top_k = 5;
+    c.isa = simd::best_supported();
+    return c;
+}
+
+db::Database small_db(std::size_t n = 20, std::uint64_t seed = 21) {
+    db::DatabaseSpec spec;
+    spec.name = "fpga_test";
+    spec.num_sequences = n;
+    spec.length.min_len = 30;
+    spec.length.max_len = 120;
+    spec.seed = seed;
+    return db::Database::generate(spec);
+}
+
+TEST(FpgaEngine, ShortQueryExactScores) {
+    FpgaSimEngine engine(config(), {});
+    const db::Database database = small_db();
+    Rng rng(22);
+    const align::Sequence q = db::random_protein(rng, 100, "q");
+    const auto r = engine.execute(q, 0, 0, database, nullptr);
+    EXPECT_EQ(engine.segmented_queries(), 0u);
+    for (const core::Hit& h : r.hits) {
+        EXPECT_EQ(h.score,
+                  align::sw_score_affine(q.residues,
+                                         database[h.db_index].residues,
+                                         blosum(), {10, 2}));
+    }
+}
+
+TEST(FpgaEngine, LongQueryIsSegmented) {
+    FpgaSimEngine::Limits limits;
+    limits.max_query_len = 64;
+    limits.segment_overlap = 16;
+    FpgaSimEngine engine(config(), limits);
+    const db::Database database = small_db(10, 23);
+    Rng rng(24);
+    const align::Sequence q = db::random_protein(rng, 200, "q");
+    const auto r = engine.execute(q, 0, 0, database, nullptr);
+    EXPECT_EQ(engine.segmented_queries(), 1u);
+    // Segment scores can only *underestimate* the full-query score.
+    for (const core::Hit& h : r.hits) {
+        EXPECT_LE(h.score,
+                  align::sw_score_affine(q.residues,
+                                         database[h.db_index].residues,
+                                         blosum(), {10, 2}));
+    }
+}
+
+TEST(FpgaEngine, SegmentationFindsAlignmentWithinOneSegment) {
+    // A homologous region shorter than a segment is scored exactly even
+    // when the query is chopped.
+    FpgaSimEngine::Limits limits;
+    limits.max_query_len = 64;
+    limits.segment_overlap = 16;
+    FpgaSimEngine engine(config(), limits);
+    Rng rng(25);
+    const align::Sequence q = db::random_protein(rng, 200, "q");
+    // Subject = exact copy of query residues [80, 110): inside segment 2.
+    std::vector<align::Code> motif(q.residues.begin() + 80,
+                                   q.residues.begin() + 110);
+    db::Database database(
+        "planted",
+        {align::Sequence{"hit", "", motif}});
+    const auto r = engine.execute(q, 0, 0, database, nullptr);
+    align::Score self = 0;
+    for (const align::Code c : motif) self += blosum().at(c, c);
+    ASSERT_EQ(r.hits.size(), 1u);
+    EXPECT_EQ(r.hits[0].score, self);
+}
+
+TEST(FpgaEngine, SensitivityLossWhenAlignmentSpansSegments) {
+    // A motif longer than segment+overlap cannot be recovered in full —
+    // the documented sensitivity reduction (paper SS III on [13]).
+    FpgaSimEngine::Limits limits;
+    limits.max_query_len = 40;
+    limits.segment_overlap = 8;
+    FpgaSimEngine engine(config(), limits);
+    Rng rng(26);
+    const align::Sequence q = db::random_protein(rng, 120, "q");
+    db::Database database("copy", {align::Sequence{"s", "", q.residues}});
+    const auto r = engine.execute(q, 0, 0, database, nullptr);
+    const align::Score full = align::sw_score_affine(
+        q.residues, q.residues, blosum(), {10, 2});
+    ASSERT_EQ(r.hits.size(), 1u);
+    EXPECT_LT(r.hits[0].score, full);
+    EXPECT_GT(r.hits[0].score, 0);
+}
+
+TEST(FpgaEngine, LongSubjectsDelegatedToHost) {
+    FpgaSimEngine::Limits limits;
+    limits.max_subject_len = 50;
+    FpgaSimEngine engine(config(), limits);
+    const db::Database database = small_db(20, 27);  // lengths 30..120
+    Rng rng(28);
+    const align::Sequence q = db::random_protein(rng, 40, "q");
+    engine.execute(q, 0, 0, database, nullptr);
+    std::uint64_t longer = 0;
+    for (const auto& s : database.sequences()) {
+        if (s.size() > 50) ++longer;
+    }
+    EXPECT_EQ(engine.host_delegations(), longer);
+    EXPECT_GT(longer, 0u);
+}
+
+TEST(FpgaEngine, RejectsBadLimits) {
+    FpgaSimEngine::Limits limits;
+    limits.max_query_len = 10;
+    limits.segment_overlap = 10;
+    EXPECT_THROW(FpgaSimEngine(config(), limits), ContractError);
+}
+
+}  // namespace
+}  // namespace swh::engines

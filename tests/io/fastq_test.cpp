@@ -1,0 +1,84 @@
+#include "io/fastq.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace swh::io {
+namespace {
+
+using align::Alphabet;
+
+TEST(Fastq, ParsesRecords) {
+    std::istringstream in(
+        "@read1 first\n"
+        "ACGT\n"
+        "+\n"
+        "IIII\n"
+        "@read2\n"
+        "GG\n"
+        "+read2\n"
+        "!~\n");
+    const auto recs = read_fastq(in, Alphabet::dna());
+    ASSERT_EQ(recs.size(), 2u);
+    EXPECT_EQ(recs[0].seq.id, "read1");
+    EXPECT_EQ(recs[0].seq.description, "first");
+    EXPECT_EQ(Alphabet::dna().decode(recs[0].seq.residues), "ACGT");
+    EXPECT_EQ(recs[0].quality, (std::vector<std::uint8_t>{40, 40, 40, 40}));
+    EXPECT_EQ(recs[1].quality, (std::vector<std::uint8_t>{0, 93}));
+}
+
+TEST(Fastq, RejectsTruncatedRecord) {
+    std::istringstream in("@read1\nACGT\n+\n");
+    EXPECT_THROW(read_fastq(in, Alphabet::dna()), ParseError);
+}
+
+TEST(Fastq, RejectsLengthMismatch) {
+    std::istringstream in("@r\nACGT\n+\nIII\n");
+    EXPECT_THROW(read_fastq(in, Alphabet::dna()), ParseError);
+}
+
+TEST(Fastq, RejectsBadHeader) {
+    std::istringstream in(">r\nACGT\n+\nIIII\n");
+    EXPECT_THROW(read_fastq(in, Alphabet::dna()), ContractError);
+}
+
+TEST(Fastq, RejectsBadSeparator) {
+    std::istringstream in("@r\nACGT\n-\nIIII\n");
+    EXPECT_THROW(read_fastq(in, Alphabet::dna()), ContractError);
+}
+
+TEST(Fastq, RoundTrip) {
+    std::vector<FastqRecord> recs(1);
+    recs[0].seq = align::Sequence::from_string(Alphabet::dna(), "x",
+                                               "ACGTN");
+    recs[0].seq.description = "demo read";
+    recs[0].quality = {0, 10, 20, 40, 93};
+    std::ostringstream out;
+    write_fastq(out, recs, Alphabet::dna());
+    std::istringstream in(out.str());
+    const auto back = read_fastq(in, Alphabet::dna());
+    ASSERT_EQ(back.size(), 1u);
+    EXPECT_EQ(back[0].seq.id, "x");
+    EXPECT_EQ(back[0].seq.description, "demo read");
+    EXPECT_EQ(back[0].seq.residues, recs[0].seq.residues);
+    EXPECT_EQ(back[0].quality, recs[0].quality);
+}
+
+TEST(Fastq, WriteRejectsMismatchedQuality) {
+    std::vector<FastqRecord> recs(1);
+    recs[0].seq = align::Sequence::from_string(Alphabet::dna(), "x", "AC");
+    recs[0].quality = {40};
+    std::ostringstream out;
+    EXPECT_THROW(write_fastq(out, recs, Alphabet::dna()), ContractError);
+}
+
+TEST(Fastq, EmptyStream) {
+    std::istringstream in("");
+    EXPECT_TRUE(read_fastq(in, Alphabet::dna()).empty());
+}
+
+}  // namespace
+}  // namespace swh::io

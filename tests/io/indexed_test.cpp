@@ -1,0 +1,174 @@
+#include "io/indexed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "io/fasta.hpp"
+#include "util/error.hpp"
+
+namespace swh::io {
+namespace {
+
+using align::Alphabet;
+
+const char* kFasta =
+    ">alpha first\n"
+    "MKVL\n"
+    "AWHE\n"
+    ">beta\n"
+    "GG\n"
+    ">gamma long one\n"
+    "MKVLAWHEQNDRST\n";
+
+class TempDir : public ::testing::Test {
+protected:
+    void SetUp() override {
+        dir_ = std::filesystem::temp_directory_path() /
+               ("swh_idx_test_" + std::to_string(::getpid()) + "_" +
+                ::testing::UnitTest::GetInstance()
+                    ->current_test_info()
+                    ->name());
+        std::filesystem::create_directories(dir_);
+    }
+    void TearDown() override { std::filesystem::remove_all(dir_); }
+
+    std::string write_fasta_file(const std::string& name,
+                                 const std::string& content) {
+        const std::string path = (dir_ / name).string();
+        std::ofstream out(path);
+        out << content;
+        return path;
+    }
+
+    std::filesystem::path dir_;
+};
+
+TEST(BuildIndex, CountsAndOffsets) {
+    std::istringstream in(kFasta);
+    const SequenceIndex idx = build_index(in);
+    EXPECT_EQ(idx.sequence_count, 3u);
+    EXPECT_EQ(idx.max_sequence_length, 14u);
+    EXPECT_EQ(idx.total_residues, 8u + 2u + 14u);
+    ASSERT_EQ(idx.offsets.size(), 3u);
+    EXPECT_EQ(idx.offsets[0], 0u);
+    // ">alpha first\n" (13) + "MKVL\n" (5) + "AWHE\n" (5) = 23.
+    EXPECT_EQ(idx.offsets[1], 23u);
+    EXPECT_EQ(idx.lengths, (std::vector<std::uint64_t>{8, 2, 14}));
+}
+
+TEST(BuildIndex, EmptyStream) {
+    std::istringstream in("");
+    const SequenceIndex idx = build_index(in);
+    EXPECT_TRUE(idx.empty());
+    EXPECT_EQ(idx.max_sequence_length, 0u);
+}
+
+TEST(IndexSerde, RoundTrip) {
+    std::istringstream in(kFasta);
+    const SequenceIndex idx = build_index(in);
+    std::stringstream buf;
+    save_index(idx, buf);
+    const SequenceIndex back = load_index(buf);
+    EXPECT_EQ(back.sequence_count, idx.sequence_count);
+    EXPECT_EQ(back.max_sequence_length, idx.max_sequence_length);
+    EXPECT_EQ(back.total_residues, idx.total_residues);
+    EXPECT_EQ(back.offsets, idx.offsets);
+    EXPECT_EQ(back.lengths, idx.lengths);
+}
+
+TEST(IndexSerde, RejectsBadMagic) {
+    std::istringstream in("NOTANIDX0000000000000000");
+    EXPECT_THROW(load_index(in), ParseError);
+}
+
+TEST(IndexSerde, RejectsTruncated) {
+    std::istringstream in(kFasta);
+    const SequenceIndex idx = build_index(in);
+    std::stringstream buf;
+    save_index(idx, buf);
+    std::string bytes = buf.str();
+    bytes.resize(bytes.size() / 2);
+    std::istringstream cut(bytes);
+    EXPECT_THROW(load_index(cut), ParseError);
+}
+
+TEST_F(TempDir, IndexedReaderRandomAccess) {
+    const std::string path = write_fasta_file("db.fa", kFasta);
+    const IndexedFastaReader reader(path, Alphabet::protein());
+    EXPECT_EQ(reader.size(), 3u);
+
+    const align::Sequence beta = reader.get(1);
+    EXPECT_EQ(beta.id, "beta");
+    EXPECT_EQ(Alphabet::protein().decode(beta.residues), "GG");
+
+    const align::Sequence gamma = reader.get(2);
+    EXPECT_EQ(gamma.id, "gamma");
+    EXPECT_EQ(gamma.description, "long one");
+    EXPECT_EQ(gamma.size(), 14u);
+
+    const align::Sequence alpha = reader.get(0);
+    EXPECT_EQ(alpha.id, "alpha");
+    EXPECT_EQ(Alphabet::protein().decode(alpha.residues), "MKVLAWHE");
+
+    EXPECT_THROW(reader.get(3), ContractError);
+}
+
+TEST_F(TempDir, IndexedReaderWritesSidecar) {
+    const std::string path = write_fasta_file("db.fa", kFasta);
+    {
+        const IndexedFastaReader reader(path, Alphabet::protein());
+        (void)reader;
+    }
+    EXPECT_TRUE(std::filesystem::exists(index_path_for(path)));
+    // Second open loads the sidecar (and must agree).
+    const IndexedFastaReader reader(path, Alphabet::protein());
+    EXPECT_EQ(reader.size(), 3u);
+    EXPECT_EQ(reader.get(1).id, "beta");
+}
+
+TEST_F(TempDir, IndexedReaderRebuildsCorruptSidecar) {
+    const std::string path = write_fasta_file("db.fa", kFasta);
+    {
+        std::ofstream bad(index_path_for(path));
+        bad << "garbage";
+    }
+    const IndexedFastaReader reader(path, Alphabet::protein());
+    EXPECT_EQ(reader.size(), 3u);
+}
+
+TEST_F(TempDir, SliceReadsContiguousRecords) {
+    const std::string path = write_fasta_file("db.fa", kFasta);
+    const IndexedFastaReader reader(path, Alphabet::protein());
+    const auto seqs = reader.slice(1, 2);
+    ASSERT_EQ(seqs.size(), 2u);
+    EXPECT_EQ(seqs[0].id, "beta");
+    EXPECT_EQ(seqs[1].id, "gamma");
+    EXPECT_THROW(reader.slice(2, 2), ContractError);
+}
+
+TEST_F(TempDir, MatchesSequentialParser) {
+    const std::string path = write_fasta_file("db.fa", kFasta);
+    const auto sequential = read_fasta_file(path, Alphabet::protein());
+    const IndexedFastaReader reader(path, Alphabet::protein());
+    ASSERT_EQ(reader.size(), sequential.size());
+    for (std::size_t i = 0; i < sequential.size(); ++i) {
+        EXPECT_EQ(reader.get(i).id, sequential[i].id);
+        EXPECT_EQ(reader.get(i).residues, sequential[i].residues);
+    }
+}
+
+TEST_F(TempDir, NoTrailingNewline) {
+    const std::string path =
+        write_fasta_file("db.fa", ">a\nMK\n>b\nVL");  // no final \n
+    const IndexedFastaReader reader(path, Alphabet::protein());
+    EXPECT_EQ(reader.size(), 2u);
+    EXPECT_EQ(Alphabet::protein().decode(reader.get(1).residues), "VL");
+    EXPECT_EQ(reader.index().total_residues, 4u);
+}
+
+}  // namespace
+}  // namespace swh::io

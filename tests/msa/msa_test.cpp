@@ -1,0 +1,125 @@
+#include "msa/msa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "align/traceback.hpp"
+#include "db/generator.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace swh::msa {
+namespace {
+
+using align::Alphabet;
+using align::Sequence;
+
+const align::ScoreMatrix& blosum() {
+    static const align::ScoreMatrix m = align::ScoreMatrix::blosum62();
+    return m;
+}
+
+Sequence prot(const char* id, const char* letters) {
+    return Sequence::from_string(Alphabet::protein(), id, letters);
+}
+
+TEST(Msa, FromSequence) {
+    const Msa m = Msa::from_sequence(prot("a", "MKV"));
+    EXPECT_EQ(m.size(), 1u);
+    EXPECT_EQ(m.columns(), 3u);
+    EXPECT_EQ(m.row_string(0, Alphabet::protein()), "MKV");
+}
+
+TEST(Msa, ValidateCatchesRaggedRows) {
+    Msa m = Msa::from_sequence(prot("a", "MKV"));
+    m.ids.push_back("b");
+    m.rows.push_back(Alphabet::protein().encode("MK"));
+    EXPECT_THROW(m.validate(), ContractError);
+}
+
+TEST(Msa, UngappedStripsGaps) {
+    Msa m = Msa::from_sequence(prot("a", "MKV"));
+    m.rows[0].insert(m.rows[0].begin() + 1, kGapCode);
+    EXPECT_EQ(Alphabet::protein().decode(m.ungapped(0)), "MKV");
+}
+
+TEST(SumOfPairs, TwoIdenticalRows) {
+    const Sequence a = prot("a", "MKV");
+    Msa m = Msa::from_sequence(a);
+    m.ids.push_back("b");
+    m.rows.push_back(m.rows[0]);
+    align::Score self = 0;
+    for (const align::Code c : m.rows[0]) self += blosum().at(c, c);
+    EXPECT_EQ(sum_of_pairs(m, blosum(), 4), self);
+}
+
+TEST(SumOfPairs, GapPairsAndColumns) {
+    // Rows: M K V / M - V : one residue-gap pair, two matches.
+    Msa m = Msa::from_sequence(prot("a", "MKV"));
+    m.ids.push_back("b");
+    m.rows.push_back({m.rows[0][0], kGapCode, m.rows[0][2]});
+    const align::Score expected = blosum().score('M', 'M') +
+                                  blosum().score('V', 'V') - 4;
+    EXPECT_EQ(sum_of_pairs(m, blosum(), 4), expected);
+}
+
+TEST(Profile, SingleSequenceColumnScores) {
+    const Msa a = Msa::from_sequence(prot("a", "MK"));
+    const Msa b = Msa::from_sequence(prot("b", "MW"));
+    const Profile pa(a, blosum());
+    const Profile pb(b, blosum());
+    EXPECT_DOUBLE_EQ(pa.column_score(0, pb, 0), blosum().score('M', 'M'));
+    EXPECT_DOUBLE_EQ(pa.column_score(1, pb, 1), blosum().score('K', 'W'));
+}
+
+TEST(Profile, FrequenciesAverage) {
+    // Column of M and V, half each, against a single-M profile:
+    // 0.5*M/M + 0.5*V/M.
+    Msa m = Msa::from_sequence(prot("a", "M"));
+    m.ids.push_back("b");
+    m.rows.push_back(Alphabet::protein().encode("V"));
+    const Profile p(m, blosum());
+    const Profile q(Msa::from_sequence(prot("c", "M")), blosum());
+    const double expected = 0.5 * blosum().score('M', 'M') +
+                            0.5 * blosum().score('V', 'M');
+    EXPECT_DOUBLE_EQ(p.column_score(0, q, 0), expected);
+}
+
+TEST(AlignProfiles, IdenticalSequencesGiveAllMatches) {
+    const Msa a = Msa::from_sequence(prot("a", "MKVLAWHE"));
+    const Profile pa(a, blosum());
+    const align::Alignment ops = align_profiles(pa, pa, {10, 2});
+    EXPECT_EQ(ops.cigar(), "8M");
+}
+
+TEST(AlignProfiles, AgreesWithPairwiseNwForSingletons) {
+    // Profile-profile alignment of two single-sequence MSAs is exactly
+    // pairwise global alignment.
+    Rng rng(201);
+    for (int iter = 0; iter < 15; ++iter) {
+        const auto a = db::random_protein(rng, 10 + rng.below(40));
+        const auto b = db::random_protein(rng, 10 + rng.below(40));
+        const Profile pa(Msa::from_sequence(a), blosum());
+        const Profile pb(Msa::from_sequence(b), blosum());
+        const align::Alignment prof = align_profiles(pa, pb, {10, 2});
+        const align::Alignment pair = align::nw_align_affine(
+            a.residues, b.residues, blosum(), {10, 2});
+        EXPECT_EQ(prof.score, pair.score) << "iter " << iter;
+    }
+}
+
+TEST(MergeMsas, InsertsGapColumns) {
+    const Msa a = Msa::from_sequence(prot("a", "MKV"));
+    const Msa b = Msa::from_sequence(prot("b", "MV"));
+    const Profile pa(a, blosum());
+    const Profile pb(b, blosum());
+    const align::Alignment ops = align_profiles(pa, pb, {4, 1});
+    const Msa merged = merge_msas(a, b, ops);
+    EXPECT_EQ(merged.size(), 2u);
+    EXPECT_EQ(merged.columns(), 3u);
+    // Original residues survive un-reordered.
+    EXPECT_EQ(Alphabet::protein().decode(merged.ungapped(0)), "MKV");
+    EXPECT_EQ(Alphabet::protein().decode(merged.ungapped(1)), "MV");
+}
+
+}  // namespace
+}  // namespace swh::msa

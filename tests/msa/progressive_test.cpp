@@ -1,0 +1,188 @@
+#include "msa/progressive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "db/generator.hpp"
+#include "msa/distance.hpp"
+#include "msa/guide_tree.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace swh::msa {
+namespace {
+
+using align::Alphabet;
+using align::Sequence;
+
+const align::ScoreMatrix& blosum() {
+    static const align::ScoreMatrix m = align::ScoreMatrix::blosum62();
+    return m;
+}
+
+/// A family of related sequences: one ancestor plus mutated copies.
+std::vector<Sequence> family(std::size_t members, std::size_t len,
+                             std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<Sequence> seqs;
+    const Sequence ancestor = db::random_protein(rng, len, "ancestor");
+    seqs.push_back(ancestor);
+    for (std::size_t i = 1; i < members; ++i) {
+        Sequence s = db::mutate(ancestor, Alphabet::protein(),
+                                db::MutationModel{0.08, 0.01, 0.01}, rng);
+        s.id = "member_" + std::to_string(i);
+        seqs.push_back(std::move(s));
+    }
+    return seqs;
+}
+
+TEST(Distance, IdenticalSequencesAtZero) {
+    Rng rng(301);
+    const Sequence a = db::random_protein(rng, 80, "a");
+    const std::vector<Sequence> seqs = {a, a};
+    const DistanceMatrix d = compute_distances(seqs, blosum());
+    EXPECT_DOUBLE_EQ(d.at(0, 1), 0.0);
+    EXPECT_DOUBLE_EQ(d.at(0, 0), 0.0);
+}
+
+TEST(Distance, RelatedCloserThanUnrelated) {
+    Rng rng(303);
+    const Sequence a = db::random_protein(rng, 120, "a");
+    Sequence close = db::mutate(a, Alphabet::protein(),
+                                db::MutationModel{0.05, 0.01, 0.01}, rng);
+    const Sequence far = db::random_protein(rng, 120, "far");
+    const std::vector<Sequence> seqs = {a, std::move(close), far};
+    const DistanceMatrix d = compute_distances(seqs, blosum());
+    EXPECT_LT(d.at(0, 1), 0.3);
+    EXPECT_GT(d.at(0, 2), 0.7);
+    EXPECT_LT(d.at(0, 1), d.at(0, 2));
+}
+
+TEST(Distance, SymmetricAccessors) {
+    DistanceMatrix d(3);
+    d.set(0, 2, 0.5);
+    EXPECT_DOUBLE_EQ(d.at(2, 0), 0.5);
+    d.set(2, 1, 0.25);
+    EXPECT_DOUBLE_EQ(d.at(1, 2), 0.25);
+    EXPECT_THROW(d.at(0, 3), ContractError);
+}
+
+TEST(Distance, DistributedMatchesSerial) {
+    const std::vector<Sequence> seqs = family(6, 60, 307);
+    const DistanceMatrix serial = compute_distances(seqs, blosum());
+    const DistanceMatrix dist =
+        compute_distances_distributed(seqs, blosum(), {}, 2);
+    for (std::size_t i = 0; i < seqs.size(); ++i) {
+        for (std::size_t j = 0; j < seqs.size(); ++j) {
+            EXPECT_NEAR(dist.at(i, j), serial.at(i, j), 1e-12)
+                << i << "," << j;
+        }
+    }
+}
+
+TEST(Upgma, JoinsClosestPairFirst) {
+    DistanceMatrix d(3);
+    d.set(0, 1, 0.1);
+    d.set(0, 2, 0.8);
+    d.set(1, 2, 0.9);
+    const GuideTree tree = upgma(d);
+    ASSERT_EQ(tree.nodes.size(), 5u);
+    // First internal node (index 3) merges leaves 0 and 1.
+    const auto& first = tree.nodes[3];
+    EXPECT_TRUE((first.left == 0 && first.right == 1) ||
+                (first.left == 1 && first.right == 0));
+    EXPECT_DOUBLE_EQ(first.height, 0.05);
+    EXPECT_EQ(tree.root(), 4);
+}
+
+TEST(Upgma, NewickContainsAllIds) {
+    DistanceMatrix d(3);
+    d.set(0, 1, 0.2);
+    d.set(0, 2, 0.6);
+    d.set(1, 2, 0.6);
+    const GuideTree tree = upgma(d);
+    const std::string nwk = tree.newick({"alpha", "beta", "gamma"});
+    EXPECT_NE(nwk.find("alpha"), std::string::npos);
+    EXPECT_NE(nwk.find("beta"), std::string::npos);
+    EXPECT_NE(nwk.find("gamma"), std::string::npos);
+    EXPECT_EQ(nwk.find("(alpha,beta)"), 1u);  // closest pair joined first
+}
+
+TEST(Upgma, SingleLeaf) {
+    const GuideTree tree = upgma(DistanceMatrix(1));
+    EXPECT_EQ(tree.nodes.size(), 1u);
+    EXPECT_EQ(tree.root(), 0);
+}
+
+TEST(Progressive, PreservesSequences) {
+    const std::vector<Sequence> seqs = family(5, 70, 311);
+    const Msa msa = progressive_align(seqs, blosum());
+    ASSERT_EQ(msa.size(), seqs.size());
+    // Every input sequence appears ungapped in some row (rows may be
+    // reordered by the tree).
+    for (const Sequence& s : seqs) {
+        bool found = false;
+        for (std::size_t r = 0; r < msa.size(); ++r) {
+            if (msa.ids[r] == s.id) {
+                EXPECT_EQ(msa.ungapped(r), s.residues);
+                found = true;
+            }
+        }
+        EXPECT_TRUE(found) << s.id;
+    }
+}
+
+TEST(Progressive, IdenticalSequencesNeedNoGaps) {
+    Rng rng(313);
+    const Sequence a = db::random_protein(rng, 50, "a");
+    std::vector<Sequence> seqs;
+    for (int i = 0; i < 4; ++i) {
+        Sequence s = a;
+        s.id = "copy_" + std::to_string(i);
+        seqs.push_back(std::move(s));
+    }
+    const Msa msa = progressive_align(seqs, blosum());
+    EXPECT_EQ(msa.columns(), 50u);
+}
+
+TEST(Progressive, FamilyAlignsBetterThanShuffledColumns) {
+    const std::vector<Sequence> seqs = family(6, 80, 317);
+    const Msa msa = progressive_align(seqs, blosum());
+    const align::Score sp = sum_of_pairs(msa, blosum(), 4);
+
+    // Baseline: stack the raw sequences left-aligned with no attempt at
+    // alignment (pad with gaps on the right).
+    Msa naive;
+    std::size_t width = 0;
+    for (const Sequence& s : seqs) width = std::max(width, s.size());
+    for (const Sequence& s : seqs) {
+        naive.ids.push_back(s.id);
+        auto row = s.residues;
+        row.resize(width, kGapCode);
+        naive.rows.push_back(std::move(row));
+    }
+    const align::Score naive_sp = sum_of_pairs(naive, blosum(), 4);
+    EXPECT_GT(sp, naive_sp);
+}
+
+TEST(Progressive, DistributedDistanceStageEndToEnd) {
+    const std::vector<Sequence> seqs = family(5, 60, 319);
+    ProgressiveOptions options;
+    options.distributed_distances = true;
+    options.slave_sses = 2;
+    const Msa msa = progressive_align(seqs, blosum(), options);
+    EXPECT_EQ(msa.size(), 5u);
+    for (std::size_t r = 0; r < msa.size(); ++r) {
+        EXPECT_FALSE(msa.ungapped(r).empty());
+    }
+}
+
+TEST(Progressive, SingleSequence) {
+    Rng rng(321);
+    const std::vector<Sequence> seqs = {db::random_protein(rng, 30, "s")};
+    const Msa msa = progressive_align(seqs, blosum());
+    EXPECT_EQ(msa.size(), 1u);
+    EXPECT_EQ(msa.columns(), 30u);
+}
+
+}  // namespace
+}  // namespace swh::msa

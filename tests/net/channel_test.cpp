@@ -1,0 +1,83 @@
+#include "net/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+#include <string>
+#include <thread>
+
+#include "util/timer.hpp"
+
+namespace swh::net {
+namespace {
+
+TEST(Channel, SendRecvInOrder) {
+    Channel<int> ch;
+    ch.send(1);
+    ch.send(2);
+    EXPECT_EQ(ch.recv().value(), 1);
+    EXPECT_EQ(ch.recv().value(), 2);
+}
+
+TEST(Channel, TryRecvEmpty) {
+    Channel<int> ch;
+    EXPECT_FALSE(ch.try_recv().has_value());
+    ch.send(3);
+    EXPECT_EQ(ch.try_recv().value(), 3);
+}
+
+TEST(Channel, CloseDrainsThenNullopt) {
+    Channel<int> ch;
+    ch.send(1);
+    ch.close();
+    EXPECT_EQ(ch.recv().value(), 1);
+    EXPECT_FALSE(ch.recv().has_value());
+    EXPECT_THROW(ch.send(2), swh::ContractError);
+}
+
+TEST(Channel, BlockingRecvWakesOnSend) {
+    Channel<std::string> ch;
+    std::thread producer([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(30));
+        ch.send("hello");
+    });
+    const auto msg = ch.recv();
+    producer.join();
+    EXPECT_EQ(msg.value(), "hello");
+}
+
+TEST(Channel, ManyProducersOneConsumer) {
+    Channel<int> ch;
+    constexpr int kPerProducer = 200;
+    std::vector<std::thread> producers;
+    for (int p = 0; p < 4; ++p) {
+        producers.emplace_back([&ch, p] {
+            for (int i = 0; i < kPerProducer; ++i) ch.send(p);
+        });
+    }
+    int received = 0;
+    int counts[4] = {0, 0, 0, 0};
+    while (received < 4 * kPerProducer) {
+        ++counts[ch.recv().value()];
+        ++received;
+    }
+    for (std::thread& t : producers) t.join();
+    for (const int c : counts) EXPECT_EQ(c, kPerProducer);
+}
+
+TEST(Channel, DeliveryDelayHoldsMessages) {
+    Channel<int> ch(0.05);
+    ch.send(42);
+    EXPECT_FALSE(ch.try_recv().has_value());  // not deliverable yet
+    Timer t;
+    EXPECT_EQ(ch.recv().value(), 42);
+    EXPECT_GE(t.seconds(), 0.035);  // waited for the latency window
+}
+
+TEST(Channel, RejectsNegativeDelay) {
+    EXPECT_THROW(Channel<int>(-1.0), swh::ContractError);
+}
+
+}  // namespace
+}  // namespace swh::net

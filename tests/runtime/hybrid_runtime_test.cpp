@@ -1,0 +1,219 @@
+#include "runtime/hybrid_runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include "align/sw_scalar.hpp"
+#include "db/database.hpp"
+#include "db/presets.hpp"
+#include "engines/cpu_engine.hpp"
+#include "engines/sim_gpu_engine.hpp"
+#include "engines/throttled_engine.hpp"
+
+namespace swh::runtime {
+namespace {
+
+const align::ScoreMatrix& blosum() {
+    static const align::ScoreMatrix m = align::ScoreMatrix::blosum62();
+    return m;
+}
+
+engines::EngineConfig engine_config() {
+    engines::EngineConfig c;
+    c.matrix = &blosum();
+    c.gap = {10, 2};
+    c.top_k = 3;
+    c.isa = simd::best_supported();
+    c.progress_grain = 100'000;
+    return c;
+}
+
+db::Database test_db(std::size_t n = 30, std::uint64_t seed = 31) {
+    db::DatabaseSpec spec;
+    spec.name = "rt";
+    spec.num_sequences = n;
+    spec.length.min_len = 20;
+    spec.length.max_len = 80;
+    spec.seed = seed;
+    return db::Database::generate(spec);
+}
+
+std::vector<align::Sequence> test_queries(std::size_t n = 8) {
+    return db::make_query_set(n, 30, 90, 33);
+}
+
+std::unique_ptr<engines::ComputeEngine> cpu_engine() {
+    return std::make_unique<engines::CpuEngine>(engine_config());
+}
+
+RuntimeOptions fast_options() {
+    RuntimeOptions o;
+    o.notify_period_s = 0.01;
+    o.top_k = 3;
+    return o;
+}
+
+// Reference: serially computed top-k hits per query.
+std::vector<std::vector<core::Hit>> reference_hits(
+    const db::Database& database, const std::vector<align::Sequence>& queries,
+    std::size_t k) {
+    std::vector<std::vector<core::Hit>> out;
+    for (const auto& q : queries) {
+        std::vector<core::Hit> hits;
+        for (std::size_t i = 0; i < database.size(); ++i) {
+            hits.push_back(core::Hit{
+                static_cast<std::uint32_t>(i),
+                align::sw_score_affine(q.residues, database[i].residues,
+                                       blosum(), {10, 2})});
+        }
+        std::sort(hits.begin(), hits.end(),
+                  [](const core::Hit& a, const core::Hit& b) {
+                      if (a.score != b.score) return a.score > b.score;
+                      return a.db_index < b.db_index;
+                  });
+        hits.resize(std::min(hits.size(), k));
+        out.push_back(std::move(hits));
+    }
+    return out;
+}
+
+TEST(HybridRuntime, SingleSlaveMatchesSerialReference) {
+    const db::Database database = test_db();
+    const auto queries = test_queries();
+    HybridRuntime rt(database, queries, fast_options());
+    std::vector<SlaveSpec> slaves;
+    slaves.push_back(SlaveSpec{"sse0", cpu_engine()});
+    const RunReport report = rt.run(std::move(slaves), core::make_pss());
+
+    EXPECT_EQ(report.hits, reference_hits(database, queries, 3));
+    EXPECT_EQ(report.accepted_cells, report.computed_cells);
+    EXPECT_EQ(report.slaves[0].results_accepted, queries.size());
+    EXPECT_GT(report.gcups, 0.0);
+}
+
+TEST(HybridRuntime, HeterogeneousSlavesProduceSameHits) {
+    const db::Database database = test_db(40, 35);
+    const auto queries = test_queries(10);
+    HybridRuntime rt(database, queries, fast_options());
+    std::vector<SlaveSpec> slaves;
+    slaves.push_back(SlaveSpec{
+        "gpu0", std::make_unique<engines::SimGpuEngine>(
+                    engine_config(), engines::GpuDeviceModel{}, false)});
+    slaves.push_back(SlaveSpec{"sse0", cpu_engine()});
+    slaves.push_back(SlaveSpec{"sse1", cpu_engine()});
+    const RunReport report = rt.run(std::move(slaves), core::make_pss());
+
+    EXPECT_EQ(report.hits, reference_hits(database, queries, 3));
+    std::size_t total_accepted = 0;
+    for (const SlaveReport& s : report.slaves) {
+        total_accepted += s.results_accepted;
+    }
+    EXPECT_EQ(total_accepted, queries.size());
+}
+
+TEST(HybridRuntime, WorkloadAdjustmentRacesToTheFastPe) {
+    // One deliberately slow slave and one fast one: the fast one must be
+    // able to steal (replicate) the slow slave's straggler task, and the
+    // duplicate completion must be discarded, not double-merged.
+    const db::Database database = test_db(20, 37);
+    const auto queries = test_queries(4);
+    RuntimeOptions options = fast_options();
+    options.sched.workload_adjust = true;
+    HybridRuntime rt(database, queries, options);
+
+    std::vector<SlaveSpec> slaves;
+    // Slow: ~20x slower than the plain engine.
+    const std::uint64_t db_res = database.residues();
+    const double slow_gcups =
+        static_cast<double>(queries[0].size()) * db_res / 0.4 / 1e9;
+    slaves.push_back(SlaveSpec{
+        "slow", std::make_unique<engines::ThrottledEngine>(cpu_engine(),
+                                                           slow_gcups)});
+    slaves.push_back(SlaveSpec{"fast", cpu_engine()});
+    const RunReport report = rt.run(std::move(slaves), core::make_pss());
+
+    EXPECT_EQ(report.hits, reference_hits(database, queries, 3));
+    // Duplicates may or may not occur depending on timing; when they do,
+    // computed > accepted and the discard counters agree.
+    EXPECT_GE(report.computed_cells, report.accepted_cells);
+    std::size_t discarded = 0;
+    for (const SlaveReport& s : report.slaves) {
+        discarded += s.results_discarded;
+    }
+    EXPECT_EQ(discarded, report.completions_discarded);
+}
+
+TEST(HybridRuntime, CancelLosersStopsReplicas) {
+    const db::Database database = test_db(20, 39);
+    const auto queries = test_queries(4);
+    RuntimeOptions options = fast_options();
+    options.sched.workload_adjust = true;
+    options.sched.cancel_losers = true;
+    HybridRuntime rt(database, queries, options);
+
+    std::vector<SlaveSpec> slaves;
+    const double slow_gcups = static_cast<double>(queries[0].size()) *
+                              database.residues() / 0.5 / 1e9;
+    slaves.push_back(SlaveSpec{
+        "slow", std::make_unique<engines::ThrottledEngine>(cpu_engine(),
+                                                           slow_gcups)});
+    slaves.push_back(SlaveSpec{"fast", cpu_engine()});
+    const RunReport report = rt.run(std::move(slaves), core::make_pss());
+    EXPECT_EQ(report.hits, reference_hits(database, queries, 3));
+}
+
+TEST(HybridRuntime, SelfSchedulingPolicyCompletesEverything) {
+    const db::Database database = test_db(25, 41);
+    const auto queries = test_queries(6);
+    HybridRuntime rt(database, queries, fast_options());
+    std::vector<SlaveSpec> slaves;
+    slaves.push_back(SlaveSpec{"a", cpu_engine()});
+    slaves.push_back(SlaveSpec{"b", cpu_engine()});
+    const RunReport report =
+        rt.run(std::move(slaves), core::make_self_scheduling());
+    EXPECT_EQ(report.hits, reference_hits(database, queries, 3));
+}
+
+TEST(HybridRuntime, LateJoinerContributes) {
+    const db::Database database = test_db(25, 43);
+    const auto queries = test_queries(8);
+    HybridRuntime rt(database, queries, fast_options());
+    std::vector<SlaveSpec> slaves;
+    slaves.push_back(SlaveSpec{"early", cpu_engine()});
+    SlaveSpec late{"late", cpu_engine()};
+    late.join_delay_s = 0.05;
+    slaves.push_back(std::move(late));
+    const RunReport report = rt.run(std::move(slaves), core::make_pss());
+    EXPECT_EQ(report.hits, reference_hits(database, queries, 3));
+}
+
+TEST(HybridRuntime, EarlyLeaverTasksAreRescued) {
+    const db::Database database = test_db(25, 45);
+    const auto queries = test_queries(8);
+    RuntimeOptions options = fast_options();
+    HybridRuntime rt(database, queries, options);
+    std::vector<SlaveSpec> slaves;
+    SlaveSpec leaver{"leaver", cpu_engine()};
+    leaver.leave_after_tasks = 1;
+    slaves.push_back(std::move(leaver));
+    slaves.push_back(SlaveSpec{"stayer", cpu_engine()});
+    const RunReport report = rt.run(std::move(slaves), core::make_pss());
+    EXPECT_EQ(report.hits, reference_hits(database, queries, 3));
+    EXPECT_TRUE(report.slaves[0].left_early);
+    EXPECT_GE(report.slaves[1].results_accepted, 7u);
+}
+
+TEST(HybridRuntime, ChannelLatencyDoesNotBreakProtocol) {
+    const db::Database database = test_db(15, 47);
+    const auto queries = test_queries(4);
+    RuntimeOptions options = fast_options();
+    options.channel_delay_s = 0.005;
+    HybridRuntime rt(database, queries, options);
+    std::vector<SlaveSpec> slaves;
+    slaves.push_back(SlaveSpec{"a", cpu_engine()});
+    slaves.push_back(SlaveSpec{"b", cpu_engine()});
+    const RunReport report = rt.run(std::move(slaves), core::make_pss());
+    EXPECT_EQ(report.hits, reference_hits(database, queries, 3));
+}
+
+}  // namespace
+}  // namespace swh::runtime

@@ -1,0 +1,14 @@
+#include "swhybrid.hpp"
+#include <gtest/gtest.h>
+namespace swh {
+namespace {
+// Smoke test: the umbrella header compiles and exposes the main types.
+TEST(Umbrella, ExposesPublicApi) {
+    const align::ScoreMatrix m = align::ScoreMatrix::blosum62();
+    EXPECT_EQ(m.score('A', 'A'), 4);
+    EXPECT_TRUE(simd::is_supported(simd::IsaLevel::Scalar));
+    EXPECT_EQ(core::make_pss()->name(), "PSS");
+    EXPECT_EQ(db::table2_presets().size(), 5u);
+}
+}  // namespace
+}  // namespace swh

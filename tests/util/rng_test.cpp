@@ -1,0 +1,124 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace swh {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next()) ++equal;
+    }
+    EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, BelowStaysInRange) {
+    Rng rng(7);
+    for (int i = 0; i < 10'000; ++i) {
+        EXPECT_LT(rng.below(13), 13u);
+    }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+    Rng rng(7);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowRejectsZero) {
+    Rng rng(7);
+    EXPECT_THROW(rng.below(0), ContractError);
+}
+
+TEST(Rng, BelowCoversAllValues) {
+    Rng rng(99);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) seen.insert(rng.below(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, RangeInclusive) {
+    Rng rng(11);
+    bool hit_lo = false, hit_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const std::int64_t v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        hit_lo |= (v == -3);
+        hit_hi |= (v == 3);
+    }
+    EXPECT_TRUE(hit_lo);
+    EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+    Rng rng(5);
+    double sum = 0.0;
+    for (int i = 0; i < 10'000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+    Rng rng(17);
+    double sum = 0.0, sq = 0.0;
+    const int n = 20'000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.05);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+    Rng rng(23);
+    const double w[3] = {1.0, 0.0, 3.0};
+    int counts[3] = {0, 0, 0};
+    for (int i = 0; i < 20'000; ++i) ++counts[rng.weighted_index(w, 3)];
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
+}
+
+TEST(Rng, WeightedIndexRejectsAllZero) {
+    Rng rng(1);
+    const double w[2] = {0.0, 0.0};
+    EXPECT_THROW(rng.weighted_index(w, 2), ContractError);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+    Rng parent(42);
+    Rng c1 = parent.split();
+    Rng c2 = parent.split();
+    int equal = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (c1.next() == c2.next()) ++equal;
+    }
+    EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+    Rng p1(42), p2(42);
+    Rng c1 = p1.split();
+    Rng c2 = p2.split();
+    for (int i = 0; i < 32; ++i) EXPECT_EQ(c1.next(), c2.next());
+}
+
+}  // namespace
+}  // namespace swh

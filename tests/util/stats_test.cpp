@@ -1,0 +1,85 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace swh {
+namespace {
+
+TEST(RunningStats, Empty) {
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownSample) {
+    RunningStats s;
+    for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Mean, Basic) {
+    const std::vector<double> xs = {1.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(mean(xs), 2.0);
+    EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(WeightedMean, Basic) {
+    const std::vector<double> xs = {1.0, 3.0};
+    const std::vector<double> ws = {1.0, 3.0};
+    EXPECT_DOUBLE_EQ(weighted_mean(xs, ws), 2.5);
+}
+
+TEST(WeightedMean, RejectsMismatch) {
+    const std::vector<double> xs = {1.0};
+    const std::vector<double> ws = {1.0, 2.0};
+    EXPECT_THROW(weighted_mean(xs, ws), ContractError);
+}
+
+TEST(WeightedMean, RejectsZeroTotal) {
+    const std::vector<double> xs = {1.0};
+    const std::vector<double> ws = {0.0};
+    EXPECT_THROW(weighted_mean(xs, ws), ContractError);
+}
+
+TEST(RecencyWeightedMean, NewestDominates) {
+    // weights 1,2,3 for 0,0,6 -> 18/6 = 3
+    const std::vector<double> xs = {0.0, 0.0, 6.0};
+    EXPECT_DOUBLE_EQ(recency_weighted_mean(xs), 3.0);
+}
+
+TEST(RecencyWeightedMean, SingleSample) {
+    const std::vector<double> xs = {4.2};
+    EXPECT_DOUBLE_EQ(recency_weighted_mean(xs), 4.2);
+}
+
+TEST(RecencyWeightedMean, ConstantSeries) {
+    const std::vector<double> xs = {5.0, 5.0, 5.0, 5.0};
+    EXPECT_DOUBLE_EQ(recency_weighted_mean(xs), 5.0);
+}
+
+TEST(Percentile, Interpolates) {
+    std::vector<double> xs = {10.0, 20.0, 30.0, 40.0};
+    EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 100), 40.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 50), 25.0);
+}
+
+TEST(Geomean, Basic) {
+    const std::vector<double> xs = {1.0, 4.0};
+    EXPECT_NEAR(geomean(xs), 2.0, 1e-12);
+}
+
+TEST(Geomean, RejectsNonPositive) {
+    const std::vector<double> xs = {1.0, 0.0};
+    EXPECT_THROW(geomean(xs), ContractError);
+}
+
+}  // namespace
+}  // namespace swh

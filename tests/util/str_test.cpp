@@ -1,0 +1,56 @@
+#include "util/str.hpp"
+
+#include <gtest/gtest.h>
+
+namespace swh {
+namespace {
+
+TEST(Split, Basic) {
+    EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+    EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+    EXPECT_EQ(split("x", ','), (std::vector<std::string>{"x"}));
+}
+
+TEST(SplitWs, SkipsRuns) {
+    EXPECT_EQ(split_ws("  a\t b \n c "),
+              (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_TRUE(split_ws("   ").empty());
+}
+
+TEST(Trim, Basic) {
+    EXPECT_EQ(trim("  hi  "), "hi");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim(" \t\n "), "");
+    EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(StartsWith, Basic) {
+    EXPECT_TRUE(starts_with("hello", "he"));
+    EXPECT_TRUE(starts_with("hello", ""));
+    EXPECT_FALSE(starts_with("he", "hello"));
+}
+
+TEST(ToUpper, Basic) { EXPECT_EQ(to_upper("AcGt"), "ACGT"); }
+
+TEST(WithThousands, Basic) {
+    EXPECT_EQ(with_thousands(0), "0");
+    EXPECT_EQ(with_thousands(999), "999");
+    EXPECT_EQ(with_thousands(1000), "1,000");
+    EXPECT_EQ(with_thousands(1234567), "1,234,567");
+    EXPECT_EQ(with_thousands(-1234), "-1,234");
+}
+
+TEST(FormatDouble, Basic) {
+    EXPECT_EQ(format_double(3.14159, 2), "3.14");
+    EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+TEST(FormatDuration, Ranges) {
+    EXPECT_EQ(format_duration(4.214), "4.21s");
+    EXPECT_EQ(format_duration(123), "2m03s");
+    EXPECT_EQ(format_duration(3723), "1h02m03s");
+}
+
+}  // namespace
+}  // namespace swh

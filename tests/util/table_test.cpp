@@ -1,0 +1,49 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace swh {
+namespace {
+
+TEST(TextTable, RendersAlignedCells) {
+    TextTable t({"name", "value"});
+    t.add_row({"alpha", "1"});
+    t.add_row({"b", "22"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("| alpha |     1 |"), std::string::npos);
+    EXPECT_NE(out.find("| b     |    22 |"), std::string::npos);
+}
+
+TEST(TextTable, RuleInsertsSeparator) {
+    TextTable t({"c"});
+    t.add_row({"1"});
+    t.add_rule();
+    t.add_row({"2"});
+    const std::string out = t.render();
+    // header rule + top + bottom + the explicit one = 4 horizontal lines
+    std::size_t rules = 0, pos = 0;
+    while ((pos = out.find("+--", pos)) != std::string::npos) {
+        ++rules;
+        pos += 3;
+    }
+    EXPECT_EQ(rules, 4u);
+}
+
+TEST(TextTable, RejectsWrongWidth) {
+    TextTable t({"a", "b"});
+    EXPECT_THROW(t.add_row({"only-one"}), ContractError);
+}
+
+TEST(CsvWriter, QuotesSpecialCells) {
+    std::ostringstream os;
+    CsvWriter csv(os);
+    csv.row({"plain", "with,comma", "with\"quote"});
+    EXPECT_EQ(os.str(), "plain,\"with,comma\",\"with\"\"quote\"\n");
+}
+
+}  // namespace
+}  // namespace swh
