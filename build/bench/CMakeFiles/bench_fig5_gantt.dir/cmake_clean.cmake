@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_gantt.dir/bench_fig5_gantt.cpp.o"
+  "CMakeFiles/bench_fig5_gantt.dir/bench_fig5_gantt.cpp.o.d"
+  "bench_fig5_gantt"
+  "bench_fig5_gantt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_gantt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

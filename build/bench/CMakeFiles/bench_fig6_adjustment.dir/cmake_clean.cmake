@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_adjustment.dir/bench_fig6_adjustment.cpp.o"
+  "CMakeFiles/bench_fig6_adjustment.dir/bench_fig6_adjustment.cpp.o.d"
+  "bench_fig6_adjustment"
+  "bench_fig6_adjustment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_adjustment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

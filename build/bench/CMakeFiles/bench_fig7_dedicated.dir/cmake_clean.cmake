@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_dedicated.dir/bench_fig7_dedicated.cpp.o"
+  "CMakeFiles/bench_fig7_dedicated.dir/bench_fig7_dedicated.cpp.o.d"
+  "bench_fig7_dedicated"
+  "bench_fig7_dedicated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_dedicated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

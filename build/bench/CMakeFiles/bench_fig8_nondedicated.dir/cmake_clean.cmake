@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_nondedicated.dir/bench_fig8_nondedicated.cpp.o"
+  "CMakeFiles/bench_fig8_nondedicated.dir/bench_fig8_nondedicated.cpp.o.d"
+  "bench_fig8_nondedicated"
+  "bench_fig8_nondedicated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_nondedicated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

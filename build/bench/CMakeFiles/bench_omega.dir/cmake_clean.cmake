@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_omega.dir/bench_omega.cpp.o"
+  "CMakeFiles/bench_omega.dir/bench_omega.cpp.o.d"
+  "bench_omega"
+  "bench_omega.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_omega.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

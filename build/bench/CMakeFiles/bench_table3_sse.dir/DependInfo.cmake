@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table3_sse.cpp" "bench/CMakeFiles/bench_table3_sse.dir/bench_table3_sse.cpp.o" "gcc" "bench/CMakeFiles/bench_table3_sse.dir/bench_table3_sse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/swh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/msa/CMakeFiles/swh_msa.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/swh_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/engines/CMakeFiles/swh_engines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/swh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/assembly/CMakeFiles/swh_assembly.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/swh_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/swh_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/swh_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/simd/CMakeFiles/swh_simd.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/swh_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

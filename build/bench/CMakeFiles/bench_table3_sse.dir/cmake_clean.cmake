@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_sse.dir/bench_table3_sse.cpp.o"
+  "CMakeFiles/bench_table3_sse.dir/bench_table3_sse.cpp.o.d"
+  "bench_table3_sse"
+  "bench_table3_sse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_sse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_gpu.dir/bench_table4_gpu.cpp.o"
+  "CMakeFiles/bench_table4_gpu.dir/bench_table4_gpu.cpp.o.d"
+  "bench_table4_gpu"
+  "bench_table4_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

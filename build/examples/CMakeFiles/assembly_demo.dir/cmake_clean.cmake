@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assembly_demo.dir/assembly_demo.cpp.o"
+  "CMakeFiles/assembly_demo.dir/assembly_demo.cpp.o.d"
+  "assembly_demo"
+  "assembly_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assembly_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indexed_files.dir/indexed_files.cpp.o"
+  "CMakeFiles/indexed_files.dir/indexed_files.cpp.o.d"
+  "indexed_files"
+  "indexed_files.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indexed_files.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swhybrid_search.dir/swhybrid_search.cpp.o"
+  "CMakeFiles/swhybrid_search.dir/swhybrid_search.cpp.o.d"
+  "swhybrid_search"
+  "swhybrid_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swhybrid_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

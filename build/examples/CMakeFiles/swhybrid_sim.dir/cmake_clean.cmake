@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swhybrid_sim.dir/swhybrid_sim.cpp.o"
+  "CMakeFiles/swhybrid_sim.dir/swhybrid_sim.cpp.o.d"
+  "swhybrid_sim"
+  "swhybrid_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swhybrid_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

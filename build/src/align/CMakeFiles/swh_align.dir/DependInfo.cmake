@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/align/alignment.cpp" "src/align/CMakeFiles/swh_align.dir/alignment.cpp.o" "gcc" "src/align/CMakeFiles/swh_align.dir/alignment.cpp.o.d"
+  "/root/repo/src/align/alphabet.cpp" "src/align/CMakeFiles/swh_align.dir/alphabet.cpp.o" "gcc" "src/align/CMakeFiles/swh_align.dir/alphabet.cpp.o.d"
+  "/root/repo/src/align/banded.cpp" "src/align/CMakeFiles/swh_align.dir/banded.cpp.o" "gcc" "src/align/CMakeFiles/swh_align.dir/banded.cpp.o.d"
+  "/root/repo/src/align/evalue.cpp" "src/align/CMakeFiles/swh_align.dir/evalue.cpp.o" "gcc" "src/align/CMakeFiles/swh_align.dir/evalue.cpp.o.d"
+  "/root/repo/src/align/local_align.cpp" "src/align/CMakeFiles/swh_align.dir/local_align.cpp.o" "gcc" "src/align/CMakeFiles/swh_align.dir/local_align.cpp.o.d"
+  "/root/repo/src/align/myers_miller.cpp" "src/align/CMakeFiles/swh_align.dir/myers_miller.cpp.o" "gcc" "src/align/CMakeFiles/swh_align.dir/myers_miller.cpp.o.d"
+  "/root/repo/src/align/overlap.cpp" "src/align/CMakeFiles/swh_align.dir/overlap.cpp.o" "gcc" "src/align/CMakeFiles/swh_align.dir/overlap.cpp.o.d"
+  "/root/repo/src/align/score_matrix.cpp" "src/align/CMakeFiles/swh_align.dir/score_matrix.cpp.o" "gcc" "src/align/CMakeFiles/swh_align.dir/score_matrix.cpp.o.d"
+  "/root/repo/src/align/striped.cpp" "src/align/CMakeFiles/swh_align.dir/striped.cpp.o" "gcc" "src/align/CMakeFiles/swh_align.dir/striped.cpp.o.d"
+  "/root/repo/src/align/sw_scalar.cpp" "src/align/CMakeFiles/swh_align.dir/sw_scalar.cpp.o" "gcc" "src/align/CMakeFiles/swh_align.dir/sw_scalar.cpp.o.d"
+  "/root/repo/src/align/traceback.cpp" "src/align/CMakeFiles/swh_align.dir/traceback.cpp.o" "gcc" "src/align/CMakeFiles/swh_align.dir/traceback.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/swh_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/simd/CMakeFiles/swh_simd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

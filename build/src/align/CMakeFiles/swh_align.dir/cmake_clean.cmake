@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swh_align.dir/alignment.cpp.o"
+  "CMakeFiles/swh_align.dir/alignment.cpp.o.d"
+  "CMakeFiles/swh_align.dir/alphabet.cpp.o"
+  "CMakeFiles/swh_align.dir/alphabet.cpp.o.d"
+  "CMakeFiles/swh_align.dir/banded.cpp.o"
+  "CMakeFiles/swh_align.dir/banded.cpp.o.d"
+  "CMakeFiles/swh_align.dir/evalue.cpp.o"
+  "CMakeFiles/swh_align.dir/evalue.cpp.o.d"
+  "CMakeFiles/swh_align.dir/local_align.cpp.o"
+  "CMakeFiles/swh_align.dir/local_align.cpp.o.d"
+  "CMakeFiles/swh_align.dir/myers_miller.cpp.o"
+  "CMakeFiles/swh_align.dir/myers_miller.cpp.o.d"
+  "CMakeFiles/swh_align.dir/overlap.cpp.o"
+  "CMakeFiles/swh_align.dir/overlap.cpp.o.d"
+  "CMakeFiles/swh_align.dir/score_matrix.cpp.o"
+  "CMakeFiles/swh_align.dir/score_matrix.cpp.o.d"
+  "CMakeFiles/swh_align.dir/striped.cpp.o"
+  "CMakeFiles/swh_align.dir/striped.cpp.o.d"
+  "CMakeFiles/swh_align.dir/sw_scalar.cpp.o"
+  "CMakeFiles/swh_align.dir/sw_scalar.cpp.o.d"
+  "CMakeFiles/swh_align.dir/traceback.cpp.o"
+  "CMakeFiles/swh_align.dir/traceback.cpp.o.d"
+  "libswh_align.a"
+  "libswh_align.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swh_align.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

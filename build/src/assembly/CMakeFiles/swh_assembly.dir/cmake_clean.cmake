@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swh_assembly.dir/assembler.cpp.o"
+  "CMakeFiles/swh_assembly.dir/assembler.cpp.o.d"
+  "CMakeFiles/swh_assembly.dir/read_sim.cpp.o"
+  "CMakeFiles/swh_assembly.dir/read_sim.cpp.o.d"
+  "libswh_assembly.a"
+  "libswh_assembly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swh_assembly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

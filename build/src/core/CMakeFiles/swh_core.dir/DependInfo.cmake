@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/policy.cpp" "src/core/CMakeFiles/swh_core.dir/policy.cpp.o" "gcc" "src/core/CMakeFiles/swh_core.dir/policy.cpp.o.d"
+  "/root/repo/src/core/progress.cpp" "src/core/CMakeFiles/swh_core.dir/progress.cpp.o" "gcc" "src/core/CMakeFiles/swh_core.dir/progress.cpp.o.d"
+  "/root/repo/src/core/results.cpp" "src/core/CMakeFiles/swh_core.dir/results.cpp.o" "gcc" "src/core/CMakeFiles/swh_core.dir/results.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/core/CMakeFiles/swh_core.dir/scheduler.cpp.o" "gcc" "src/core/CMakeFiles/swh_core.dir/scheduler.cpp.o.d"
+  "/root/repo/src/core/task_table.cpp" "src/core/CMakeFiles/swh_core.dir/task_table.cpp.o" "gcc" "src/core/CMakeFiles/swh_core.dir/task_table.cpp.o.d"
+  "/root/repo/src/core/types.cpp" "src/core/CMakeFiles/swh_core.dir/types.cpp.o" "gcc" "src/core/CMakeFiles/swh_core.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/swh_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/swh_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/simd/CMakeFiles/swh_simd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swh_core.dir/policy.cpp.o"
+  "CMakeFiles/swh_core.dir/policy.cpp.o.d"
+  "CMakeFiles/swh_core.dir/progress.cpp.o"
+  "CMakeFiles/swh_core.dir/progress.cpp.o.d"
+  "CMakeFiles/swh_core.dir/results.cpp.o"
+  "CMakeFiles/swh_core.dir/results.cpp.o.d"
+  "CMakeFiles/swh_core.dir/scheduler.cpp.o"
+  "CMakeFiles/swh_core.dir/scheduler.cpp.o.d"
+  "CMakeFiles/swh_core.dir/task_table.cpp.o"
+  "CMakeFiles/swh_core.dir/task_table.cpp.o.d"
+  "CMakeFiles/swh_core.dir/types.cpp.o"
+  "CMakeFiles/swh_core.dir/types.cpp.o.d"
+  "libswh_core.a"
+  "libswh_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swh_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

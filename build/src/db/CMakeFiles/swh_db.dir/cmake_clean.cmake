@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swh_db.dir/database.cpp.o"
+  "CMakeFiles/swh_db.dir/database.cpp.o.d"
+  "CMakeFiles/swh_db.dir/generator.cpp.o"
+  "CMakeFiles/swh_db.dir/generator.cpp.o.d"
+  "CMakeFiles/swh_db.dir/presets.cpp.o"
+  "CMakeFiles/swh_db.dir/presets.cpp.o.d"
+  "libswh_db.a"
+  "libswh_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swh_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swh_engines.dir/cpu_engine.cpp.o"
+  "CMakeFiles/swh_engines.dir/cpu_engine.cpp.o.d"
+  "CMakeFiles/swh_engines.dir/fpga_engine.cpp.o"
+  "CMakeFiles/swh_engines.dir/fpga_engine.cpp.o.d"
+  "CMakeFiles/swh_engines.dir/sim_gpu_engine.cpp.o"
+  "CMakeFiles/swh_engines.dir/sim_gpu_engine.cpp.o.d"
+  "CMakeFiles/swh_engines.dir/throttled_engine.cpp.o"
+  "CMakeFiles/swh_engines.dir/throttled_engine.cpp.o.d"
+  "libswh_engines.a"
+  "libswh_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swh_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swh_io.dir/fasta.cpp.o"
+  "CMakeFiles/swh_io.dir/fasta.cpp.o.d"
+  "CMakeFiles/swh_io.dir/fastq.cpp.o"
+  "CMakeFiles/swh_io.dir/fastq.cpp.o.d"
+  "CMakeFiles/swh_io.dir/indexed.cpp.o"
+  "CMakeFiles/swh_io.dir/indexed.cpp.o.d"
+  "libswh_io.a"
+  "libswh_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swh_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

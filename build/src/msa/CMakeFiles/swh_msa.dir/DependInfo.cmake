@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/msa/distance.cpp" "src/msa/CMakeFiles/swh_msa.dir/distance.cpp.o" "gcc" "src/msa/CMakeFiles/swh_msa.dir/distance.cpp.o.d"
+  "/root/repo/src/msa/guide_tree.cpp" "src/msa/CMakeFiles/swh_msa.dir/guide_tree.cpp.o" "gcc" "src/msa/CMakeFiles/swh_msa.dir/guide_tree.cpp.o.d"
+  "/root/repo/src/msa/msa.cpp" "src/msa/CMakeFiles/swh_msa.dir/msa.cpp.o" "gcc" "src/msa/CMakeFiles/swh_msa.dir/msa.cpp.o.d"
+  "/root/repo/src/msa/progressive.cpp" "src/msa/CMakeFiles/swh_msa.dir/progressive.cpp.o" "gcc" "src/msa/CMakeFiles/swh_msa.dir/progressive.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/swh_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/swh_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/swh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/swh_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/swh_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/engines/CMakeFiles/swh_engines.dir/DependInfo.cmake"
+  "/root/repo/build/src/simd/CMakeFiles/swh_simd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swh_msa.dir/distance.cpp.o"
+  "CMakeFiles/swh_msa.dir/distance.cpp.o.d"
+  "CMakeFiles/swh_msa.dir/guide_tree.cpp.o"
+  "CMakeFiles/swh_msa.dir/guide_tree.cpp.o.d"
+  "CMakeFiles/swh_msa.dir/msa.cpp.o"
+  "CMakeFiles/swh_msa.dir/msa.cpp.o.d"
+  "CMakeFiles/swh_msa.dir/progressive.cpp.o"
+  "CMakeFiles/swh_msa.dir/progressive.cpp.o.d"
+  "libswh_msa.a"
+  "libswh_msa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swh_msa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

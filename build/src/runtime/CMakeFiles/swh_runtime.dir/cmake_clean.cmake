@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swh_runtime.dir/hybrid_runtime.cpp.o"
+  "CMakeFiles/swh_runtime.dir/hybrid_runtime.cpp.o.d"
+  "libswh_runtime.a"
+  "libswh_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swh_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

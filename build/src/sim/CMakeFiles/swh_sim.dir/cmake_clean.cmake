@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swh_sim.dir/platform.cpp.o"
+  "CMakeFiles/swh_sim.dir/platform.cpp.o.d"
+  "CMakeFiles/swh_sim.dir/simulator.cpp.o"
+  "CMakeFiles/swh_sim.dir/simulator.cpp.o.d"
+  "libswh_sim.a"
+  "libswh_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swh_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+src/simd/CMakeFiles/swh_simd.dir/arch.cpp.o: /root/repo/src/simd/arch.cpp \
+ /usr/include/stdc-predef.h /root/repo/src/simd/arch.hpp

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swh_simd.dir/arch.cpp.o"
+  "CMakeFiles/swh_simd.dir/arch.cpp.o.d"
+  "libswh_simd.a"
+  "libswh_simd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swh_simd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

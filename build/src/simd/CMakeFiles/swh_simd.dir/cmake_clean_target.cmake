@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libswh_simd.a"
+)

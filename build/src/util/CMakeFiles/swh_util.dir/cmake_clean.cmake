@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swh_util.dir/args.cpp.o"
+  "CMakeFiles/swh_util.dir/args.cpp.o.d"
+  "CMakeFiles/swh_util.dir/error.cpp.o"
+  "CMakeFiles/swh_util.dir/error.cpp.o.d"
+  "CMakeFiles/swh_util.dir/rng.cpp.o"
+  "CMakeFiles/swh_util.dir/rng.cpp.o.d"
+  "CMakeFiles/swh_util.dir/stats.cpp.o"
+  "CMakeFiles/swh_util.dir/stats.cpp.o.d"
+  "CMakeFiles/swh_util.dir/str.cpp.o"
+  "CMakeFiles/swh_util.dir/str.cpp.o.d"
+  "CMakeFiles/swh_util.dir/table.cpp.o"
+  "CMakeFiles/swh_util.dir/table.cpp.o.d"
+  "libswh_util.a"
+  "libswh_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swh_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/align/aligner_family_test.cpp" "tests/CMakeFiles/align_test.dir/align/aligner_family_test.cpp.o" "gcc" "tests/CMakeFiles/align_test.dir/align/aligner_family_test.cpp.o.d"
+  "/root/repo/tests/align/alignment_test.cpp" "tests/CMakeFiles/align_test.dir/align/alignment_test.cpp.o" "gcc" "tests/CMakeFiles/align_test.dir/align/alignment_test.cpp.o.d"
+  "/root/repo/tests/align/alphabet_test.cpp" "tests/CMakeFiles/align_test.dir/align/alphabet_test.cpp.o" "gcc" "tests/CMakeFiles/align_test.dir/align/alphabet_test.cpp.o.d"
+  "/root/repo/tests/align/banded_test.cpp" "tests/CMakeFiles/align_test.dir/align/banded_test.cpp.o" "gcc" "tests/CMakeFiles/align_test.dir/align/banded_test.cpp.o.d"
+  "/root/repo/tests/align/evalue_test.cpp" "tests/CMakeFiles/align_test.dir/align/evalue_test.cpp.o" "gcc" "tests/CMakeFiles/align_test.dir/align/evalue_test.cpp.o.d"
+  "/root/repo/tests/align/local_align_test.cpp" "tests/CMakeFiles/align_test.dir/align/local_align_test.cpp.o" "gcc" "tests/CMakeFiles/align_test.dir/align/local_align_test.cpp.o.d"
+  "/root/repo/tests/align/myers_miller_test.cpp" "tests/CMakeFiles/align_test.dir/align/myers_miller_test.cpp.o" "gcc" "tests/CMakeFiles/align_test.dir/align/myers_miller_test.cpp.o.d"
+  "/root/repo/tests/align/overlap_test.cpp" "tests/CMakeFiles/align_test.dir/align/overlap_test.cpp.o" "gcc" "tests/CMakeFiles/align_test.dir/align/overlap_test.cpp.o.d"
+  "/root/repo/tests/align/score_matrix_test.cpp" "tests/CMakeFiles/align_test.dir/align/score_matrix_test.cpp.o" "gcc" "tests/CMakeFiles/align_test.dir/align/score_matrix_test.cpp.o.d"
+  "/root/repo/tests/align/simd_test.cpp" "tests/CMakeFiles/align_test.dir/align/simd_test.cpp.o" "gcc" "tests/CMakeFiles/align_test.dir/align/simd_test.cpp.o.d"
+  "/root/repo/tests/align/striped_sweep_test.cpp" "tests/CMakeFiles/align_test.dir/align/striped_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/align_test.dir/align/striped_sweep_test.cpp.o.d"
+  "/root/repo/tests/align/striped_test.cpp" "tests/CMakeFiles/align_test.dir/align/striped_test.cpp.o" "gcc" "tests/CMakeFiles/align_test.dir/align/striped_test.cpp.o.d"
+  "/root/repo/tests/align/sw_scalar_test.cpp" "tests/CMakeFiles/align_test.dir/align/sw_scalar_test.cpp.o" "gcc" "tests/CMakeFiles/align_test.dir/align/sw_scalar_test.cpp.o.d"
+  "/root/repo/tests/align/traceback_test.cpp" "tests/CMakeFiles/align_test.dir/align/traceback_test.cpp.o" "gcc" "tests/CMakeFiles/align_test.dir/align/traceback_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/swh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/msa/CMakeFiles/swh_msa.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/swh_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/engines/CMakeFiles/swh_engines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/swh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/assembly/CMakeFiles/swh_assembly.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/swh_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/swh_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/swh_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/simd/CMakeFiles/swh_simd.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/swh_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/align_test.dir/align/aligner_family_test.cpp.o"
+  "CMakeFiles/align_test.dir/align/aligner_family_test.cpp.o.d"
+  "CMakeFiles/align_test.dir/align/alignment_test.cpp.o"
+  "CMakeFiles/align_test.dir/align/alignment_test.cpp.o.d"
+  "CMakeFiles/align_test.dir/align/alphabet_test.cpp.o"
+  "CMakeFiles/align_test.dir/align/alphabet_test.cpp.o.d"
+  "CMakeFiles/align_test.dir/align/banded_test.cpp.o"
+  "CMakeFiles/align_test.dir/align/banded_test.cpp.o.d"
+  "CMakeFiles/align_test.dir/align/evalue_test.cpp.o"
+  "CMakeFiles/align_test.dir/align/evalue_test.cpp.o.d"
+  "CMakeFiles/align_test.dir/align/local_align_test.cpp.o"
+  "CMakeFiles/align_test.dir/align/local_align_test.cpp.o.d"
+  "CMakeFiles/align_test.dir/align/myers_miller_test.cpp.o"
+  "CMakeFiles/align_test.dir/align/myers_miller_test.cpp.o.d"
+  "CMakeFiles/align_test.dir/align/overlap_test.cpp.o"
+  "CMakeFiles/align_test.dir/align/overlap_test.cpp.o.d"
+  "CMakeFiles/align_test.dir/align/score_matrix_test.cpp.o"
+  "CMakeFiles/align_test.dir/align/score_matrix_test.cpp.o.d"
+  "CMakeFiles/align_test.dir/align/simd_test.cpp.o"
+  "CMakeFiles/align_test.dir/align/simd_test.cpp.o.d"
+  "CMakeFiles/align_test.dir/align/striped_sweep_test.cpp.o"
+  "CMakeFiles/align_test.dir/align/striped_sweep_test.cpp.o.d"
+  "CMakeFiles/align_test.dir/align/striped_test.cpp.o"
+  "CMakeFiles/align_test.dir/align/striped_test.cpp.o.d"
+  "CMakeFiles/align_test.dir/align/sw_scalar_test.cpp.o"
+  "CMakeFiles/align_test.dir/align/sw_scalar_test.cpp.o.d"
+  "CMakeFiles/align_test.dir/align/traceback_test.cpp.o"
+  "CMakeFiles/align_test.dir/align/traceback_test.cpp.o.d"
+  "align_test"
+  "align_test.pdb"
+  "align_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/align_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/policy_test.cpp" "tests/CMakeFiles/core_test.dir/core/policy_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/policy_test.cpp.o.d"
+  "/root/repo/tests/core/progress_test.cpp" "tests/CMakeFiles/core_test.dir/core/progress_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/progress_test.cpp.o.d"
+  "/root/repo/tests/core/ready_order_test.cpp" "tests/CMakeFiles/core_test.dir/core/ready_order_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/ready_order_test.cpp.o.d"
+  "/root/repo/tests/core/results_test.cpp" "tests/CMakeFiles/core_test.dir/core/results_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/results_test.cpp.o.d"
+  "/root/repo/tests/core/scheduler_fuzz_test.cpp" "tests/CMakeFiles/core_test.dir/core/scheduler_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/scheduler_fuzz_test.cpp.o.d"
+  "/root/repo/tests/core/scheduler_test.cpp" "tests/CMakeFiles/core_test.dir/core/scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/scheduler_test.cpp.o.d"
+  "/root/repo/tests/core/task_table_test.cpp" "tests/CMakeFiles/core_test.dir/core/task_table_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/task_table_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/swh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/msa/CMakeFiles/swh_msa.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/swh_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/engines/CMakeFiles/swh_engines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/swh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/assembly/CMakeFiles/swh_assembly.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/swh_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/swh_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/swh_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/simd/CMakeFiles/swh_simd.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/swh_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

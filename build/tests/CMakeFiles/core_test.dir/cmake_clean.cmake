@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/policy_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/policy_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/progress_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/progress_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/ready_order_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/ready_order_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/results_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/results_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/scheduler_fuzz_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/scheduler_fuzz_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/scheduler_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/scheduler_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/task_table_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/task_table_test.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

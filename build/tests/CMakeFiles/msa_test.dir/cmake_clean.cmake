@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msa_test.dir/msa/msa_test.cpp.o"
+  "CMakeFiles/msa_test.dir/msa/msa_test.cpp.o.d"
+  "CMakeFiles/msa_test.dir/msa/progressive_test.cpp.o"
+  "CMakeFiles/msa_test.dir/msa/progressive_test.cpp.o.d"
+  "msa_test"
+  "msa_test.pdb"
+  "msa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
