@@ -1,0 +1,392 @@
+// Whole-database scan throughput: packed two-pass pipeline
+// (db::PackedDatabase + align::DatabaseScanner) vs the seed
+// per-sequence StripedAligner path (per-call scratch allocation,
+// per-residue alphabet checks, pointer-chased std::vector<Sequence>
+// layout, inline 8->16->32 escalation). Emits machine-readable
+// BENCH_scan.json for the perf trajectory alongside a human table.
+//
+// Usage: bench_scan [--reps N] [--db-seqs N] [--out PATH]
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "align/db_scan.hpp"
+#include "align/striped.hpp"
+#include "align/sw_scalar.hpp"
+#include "db/database.hpp"
+#include "db/packed.hpp"
+#include "simd/simd.hpp"
+#include "util/args.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/str.hpp"
+#include "util/timer.hpp"
+
+using namespace swh;
+
+// The seed kernels, copied verbatim from the growth-seed commit so the
+// baseline stays pinned while the shared kernels evolve: three
+// std::vector<V> buffers heap-allocated per call, a per-residue alphabet
+// check, and no restrict qualification.
+namespace seedk {
+
+using align::Code;
+using align::GapPenalty;
+using align::Profile16;
+using align::Profile8;
+using align::Score;
+using align::StripedResult;
+
+template <class V>
+StripedResult striped_u8(const Profile8& p, std::span<const Code> db,
+                         GapPenalty gap) {
+    SWH_REQUIRE(p.lanes == V::kLanes, "profile built for a different width");
+    StripedResult r;
+    if (p.query_len == 0 || db.empty()) return r;
+
+    const std::size_t seg = p.seg_len;
+    const auto open_ext =
+        static_cast<std::uint8_t>(std::min<Score>(gap.open + gap.extend, 255));
+    const auto ext =
+        static_cast<std::uint8_t>(std::min<Score>(gap.extend, 255));
+    const V vGapOE = V::splat(open_ext);
+    const V vGapE = V::splat(ext);
+    const V vBias = V::splat(static_cast<std::uint8_t>(p.bias));
+
+    std::vector<V> h_load(seg, V::zero());
+    std::vector<V> h_store(seg, V::zero());
+    std::vector<V> e(seg, V::zero());
+    V vMax = V::zero();
+
+    for (const Code c : db) {
+        SWH_REQUIRE(c < p.symbols, "db residue outside profile alphabet");
+        const std::uint8_t* prof = p.row(c);
+        V vF = V::zero();
+        V vH = h_load[seg - 1].shl_lane();
+        for (std::size_t i = 0; i < seg; ++i) {
+            vH = subs(adds(vH, V::load(prof + i * V::kLanes)), vBias);
+            vH = vmax(vH, e[i]);
+            vH = vmax(vH, vF);
+            vMax = vmax(vMax, vH);
+            h_store[i] = vH;
+            const V vHgap = subs(vH, vGapOE);
+            e[i] = vmax(subs(e[i], vGapE), vHgap);
+            vF = vmax(subs(vF, vGapE), vHgap);
+            vH = h_load[i];
+        }
+        vF = vF.shl_lane();
+        std::size_t j = 0;
+        while (any_gt(vF, subs(h_store[j], vGapOE))) {
+            h_store[j] = vmax(h_store[j], vF);
+            e[j] = vmax(e[j], subs(h_store[j], vGapOE));
+            vF = subs(vF, vGapE);
+            if (++j >= seg) {
+                j = 0;
+                vF = vF.shl_lane();
+            }
+        }
+        std::swap(h_load, h_store);
+    }
+
+    const std::uint8_t m = vMax.hmax();
+    r.score = m;
+    r.overflow = static_cast<Score>(m) + p.bias >= 255;
+    return r;
+}
+
+template <class V>
+StripedResult striped_i16(const Profile16& p, std::span<const Code> db,
+                          GapPenalty gap, Score matrix_max) {
+    SWH_REQUIRE(p.lanes == V::kLanes, "profile built for a different width");
+    StripedResult r;
+    if (p.query_len == 0 || db.empty()) return r;
+
+    const std::size_t seg = p.seg_len;
+    const V vGapOE = V::splat(static_cast<std::int16_t>(
+        std::min<Score>(gap.open + gap.extend, 32767)));
+    const V vGapE =
+        V::splat(static_cast<std::int16_t>(std::min<Score>(gap.extend, 32767)));
+    const V vZero = V::zero();
+
+    std::vector<V> h_load(seg, V::zero());
+    std::vector<V> h_store(seg, V::zero());
+    std::vector<V> e(seg, V::zero());
+    V vMax = V::zero();
+
+    for (const Code c : db) {
+        SWH_REQUIRE(c < p.symbols, "db residue outside profile alphabet");
+        const std::int16_t* prof = p.row(c);
+        V vF = V::zero();
+        V vH = h_load[seg - 1].shl_lane();
+        for (std::size_t i = 0; i < seg; ++i) {
+            vH = adds(vH, V::load(prof + i * V::kLanes));
+            vH = vmax(vH, e[i]);
+            vH = vmax(vH, vF);
+            vH = vmax(vH, vZero);
+            vMax = vmax(vMax, vH);
+            h_store[i] = vH;
+            const V vHgap = subs(vH, vGapOE);
+            e[i] = vmax(subs(e[i], vGapE), vHgap);
+            vF = vmax(subs(vF, vGapE), vHgap);
+            vH = h_load[i];
+        }
+        vF = vF.shl_lane();
+        std::size_t j = 0;
+        while (any_gt(vF, vmax(subs(h_store[j], vGapOE), vZero))) {
+            h_store[j] = vmax(h_store[j], vF);
+            e[j] = vmax(e[j], subs(h_store[j], vGapOE));
+            vF = subs(vF, vGapE);
+            if (++j >= seg) {
+                j = 0;
+                vF = vF.shl_lane();
+            }
+        }
+        std::swap(h_load, h_store);
+    }
+
+    const std::int16_t m = vMax.hmax();
+    r.score = m;
+    r.overflow = static_cast<Score>(m) + matrix_max >= 32767;
+    return r;
+}
+
+StripedResult sw_u8(const Profile8& p, std::span<const Code> db,
+                    GapPenalty gap, simd::IsaLevel isa) {
+    switch (isa) {
+        case simd::IsaLevel::Scalar:
+            return striped_u8<simd::U8x16s>(p, db, gap);
+#if defined(__SSE2__)
+        case simd::IsaLevel::SSE2:
+            return striped_u8<simd::U8x16>(p, db, gap);
+#endif
+#if defined(__AVX2__)
+        case simd::IsaLevel::AVX2:
+            return striped_u8<simd::U8x32>(p, db, gap);
+#endif
+#if defined(__AVX512BW__)
+        case simd::IsaLevel::AVX512:
+            return striped_u8<simd::U8x64>(p, db, gap);
+#endif
+        default:
+            break;
+    }
+    SWH_REQUIRE(false, "ISA level not compiled in");
+    return {};
+}
+
+StripedResult sw_i16(const Profile16& p, std::span<const Code> db,
+                     GapPenalty gap, simd::IsaLevel isa) {
+    switch (isa) {
+        case simd::IsaLevel::Scalar:
+            return striped_i16<simd::I16x8s>(p, db, gap, p.max_entry);
+#if defined(__SSE2__)
+        case simd::IsaLevel::SSE2:
+            return striped_i16<simd::I16x8>(p, db, gap, p.max_entry);
+#endif
+#if defined(__AVX2__)
+        case simd::IsaLevel::AVX2:
+            return striped_i16<simd::I16x16>(p, db, gap, p.max_entry);
+#endif
+#if defined(__AVX512BW__)
+        case simd::IsaLevel::AVX512:
+            return striped_i16<simd::I16x32>(p, db, gap, p.max_entry);
+#endif
+        default:
+            break;
+    }
+    SWH_REQUIRE(false, "ISA level not compiled in");
+    return {};
+}
+
+}  // namespace seedk
+
+namespace {
+
+constexpr align::GapPenalty kGap{10, 2};
+
+/// The seed scan loop, reproduced faithfully: per-sequence calls into the
+/// pinned seed kernels over the pointer-chased std::vector<Sequence>
+/// layout, escalating inline exactly like the seed StripedAligner::score.
+align::Score seed_scan(const align::Profile8& p8, const align::Profile16& p16,
+                       std::span<const align::Code> query,
+                       const align::ScoreMatrix& matrix,
+                       const db::Database& database, simd::IsaLevel isa) {
+    align::Score best = 0;
+    for (const align::Sequence& s : database.sequences()) {
+        const align::StripedResult r8 = seedk::sw_u8(p8, s.residues, kGap, isa);
+        if (!r8.overflow) {
+            best = std::max(best, r8.score);
+            continue;
+        }
+        const align::StripedResult r16 =
+            seedk::sw_i16(p16, s.residues, kGap, isa);
+        if (!r16.overflow) {
+            best = std::max(best, r16.score);
+            continue;
+        }
+        best = std::max(best,
+                        align::sw_score_affine(query, s.residues, matrix, kGap));
+    }
+    return best;
+}
+
+/// The packed pipeline: single worker, chunked claiming, two-pass
+/// deferred escalation, warm per-worker scratch.
+align::Score packed_scan(const align::StripedAligner& aligner,
+                         const db::PackedDatabase& packed,
+                         align::ScanScratch& scratch) {
+    align::DatabaseScanner scanner(aligner, packed.view());
+    align::Score best = 0;
+    scanner.run_worker(scratch,
+                       [&](std::uint32_t, std::uint32_t, align::Score s) {
+                           best = std::max(best, s);
+                           return true;
+                       });
+    return best;
+}
+
+struct Row {
+    std::size_t qlen = 0;
+    double seed_gcups = 0.0;
+    double packed_gcups = 0.0;
+    double speedup = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    ArgParser args("bench_scan",
+                   "packed two-pass scan vs seed per-sequence scan GCUPS");
+    args.add_option("reps", "timing repetitions (best-of)", "5");
+    args.add_option("db-seqs", "synthetic database sequence count", "1500");
+    args.add_option("qlens", "comma-separated query lengths",
+                    "100,500,2000");
+    args.add_option("out", "output JSON path", "BENCH_scan.json");
+    if (!args.parse(argc, argv)) return 0;
+    const int reps = static_cast<int>(args.get_int("reps"));
+    const std::size_t db_seqs =
+        static_cast<std::size_t>(args.get_int("db-seqs"));
+    std::vector<std::size_t> qlens;
+    for (const std::string& tok : split(args.get("qlens"), ',')) {
+        if (tok.empty() ||
+            tok.find_first_not_of("0123456789") != std::string::npos) {
+            std::cerr << "error: --qlens expects comma-separated positive "
+                         "integers, got '"
+                      << tok << "'\n";
+            return 1;
+        }
+        const std::size_t v = static_cast<std::size_t>(std::stoul(tok));
+        if (v == 0) {
+            std::cerr << "error: --qlens lengths must be positive\n";
+            return 1;
+        }
+        qlens.push_back(v);
+    }
+    if (qlens.empty()) {
+        std::cerr << "error: --qlens must name at least one length\n";
+        return 1;
+    }
+    const std::string out_path = args.get("out");
+
+    const align::ScoreMatrix matrix = align::ScoreMatrix::blosum62();
+    const simd::IsaLevel isa = simd::best_supported();
+
+    db::DatabaseSpec spec;
+    spec.name = "bench-scan";
+    spec.num_sequences = db_seqs;
+    spec.seed = 404;
+    const db::Database database = db::Database::generate(spec);
+    const db::PackedDatabase& packed = database.packed();
+    const std::uint64_t db_residues = database.residues();
+
+    std::cout << "bench_scan: isa=" << simd::to_string(isa)
+              << " db_seqs=" << database.size()
+              << " db_residues=" << db_residues << " reps=" << reps << "\n\n";
+    std::cout << "qlen   seed GCUPS   packed GCUPS   speedup\n";
+
+    std::vector<Row> rows;
+    for (const std::size_t qlen : qlens) {
+        Rng rng(405 + qlen);
+        const align::Sequence q = db::random_protein(rng, qlen, "query");
+        const align::StripedAligner aligner(q.residues, matrix, kGap, isa);
+        const align::Profile8 p8 =
+            align::build_profile8(q.residues, matrix, align::lanes_u8(isa));
+        const align::Profile16 p16 =
+            align::build_profile16(q.residues, matrix, align::lanes_i16(isa));
+        const double cells =
+            static_cast<double>(qlen) * static_cast<double>(db_residues);
+
+        align::ScanScratch scratch;
+        // Warm-up both paths (page in the db, grow the scratch).
+        align::Score seed_best =
+            seed_scan(p8, p16, q.residues, matrix, database, isa);
+        align::Score packed_best = packed_scan(aligner, packed, scratch);
+        if (seed_best != packed_best) {
+            std::cerr << "FATAL: score mismatch (seed=" << seed_best
+                      << " packed=" << packed_best << ")\n";
+            return 1;
+        }
+
+        double seed_best_s = 1e30;
+        double packed_best_s = 1e30;
+        for (int r = 0; r < reps; ++r) {
+            Timer t;
+            seed_best = seed_scan(p8, p16, q.residues, matrix, database, isa);
+            seed_best_s = std::min(seed_best_s, t.seconds());
+            t.reset();
+            packed_best = packed_scan(aligner, packed, scratch);
+            packed_best_s = std::min(packed_best_s, t.seconds());
+        }
+
+        Row row;
+        row.qlen = qlen;
+        row.seed_gcups = cells / seed_best_s / 1e9;
+        row.packed_gcups = cells / packed_best_s / 1e9;
+        row.speedup = row.packed_gcups / row.seed_gcups;
+        rows.push_back(row);
+        std::cout << format_double(static_cast<double>(qlen), 0) << "    "
+                  << format_double(row.seed_gcups, 3) << "        "
+                  << format_double(row.packed_gcups, 3) << "          "
+                  << format_double(row.speedup, 3) << "\n";
+    }
+
+    double best_speedup = 0.0;
+    double geomean = 1.0;
+    for (const Row& r : rows) {
+        best_speedup = std::max(best_speedup, r.speedup);
+        geomean *= r.speedup;
+    }
+    geomean = rows.empty() ? 0.0
+                           : std::pow(geomean, 1.0 / static_cast<double>(
+                                                         rows.size()));
+
+    std::ofstream out(out_path);
+    out << "{\n"
+        << "  \"bench\": \"scan\",\n"
+        << "  \"isa\": \"" << simd::to_string(isa) << "\",\n"
+        << "  \"db_sequences\": " << database.size() << ",\n"
+        << "  \"db_residues\": " << db_residues << ",\n"
+        << "  \"reps\": " << reps << ",\n"
+        << "  \"configs\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row& r = rows[i];
+        out << "    {\"query_len\": " << r.qlen
+            << ", \"seed_gcups\": " << format_double(r.seed_gcups, 4)
+            << ", \"packed_gcups\": " << format_double(r.packed_gcups, 4)
+            << ", \"speedup\": " << format_double(r.speedup, 4) << "}"
+            << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n"
+        << "  \"speedup_geomean\": " << format_double(geomean, 4) << ",\n"
+        << "  \"speedup_best\": " << format_double(best_speedup, 4) << "\n"
+        << "}\n";
+    std::cout << "\nspeedup geomean=" << format_double(geomean, 3)
+              << " best=" << format_double(best_speedup, 3) << " -> "
+              << out_path << "\n";
+    return 0;
+}

@@ -1,0 +1,21 @@
+#include "align/db_scan.hpp"
+
+#include "util/error.hpp"
+
+namespace swh::align {
+
+DatabaseScanner::DatabaseScanner(const StripedAligner& aligner,
+                                 PackedSubjects subjects, std::size_t chunk)
+    : aligner_(&aligner), subjects_(subjects), chunk_(chunk) {
+    SWH_REQUIRE(chunk_ >= 1, "scan chunk must be at least 1");
+    SWH_REQUIRE(subjects_.count == 0 || subjects_.arena != nullptr,
+                "packed view has subjects but no arena");
+    // The one-time validation that lets every kernel call below run
+    // with the per-residue alphabet check compiled out.
+    SWH_REQUIRE(subjects_.count == 0 ||
+                    static_cast<std::size_t>(subjects_.max_code) <
+                        aligner.matrix().alphabet().size(),
+                "packed residues outside the aligner's alphabet");
+}
+
+}  // namespace swh::align

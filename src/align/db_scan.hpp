@@ -1,0 +1,118 @@
+#pragma once
+
+// Two-pass batched database scan over a packed subject arena.
+//
+// Pass 1 runs every subject through the 8-bit kernel and defers the
+// (rare) overflowed ones; pass 2 settles the deferred batch with the
+// i16 kernel / scalar int32 fallback. Compared with the seed's inline
+// 8 -> 16 -> 32 escalation per subject, this keeps the u8 profile and
+// scratch hot in cache during the bulk of the scan and touches the wide
+// profile only once, at the end of a worker's claim.
+//
+// The scanner consumes a non-owning PackedSubjects view so swh_align
+// stays independent of swh_db (which produces the view, see
+// db::PackedDatabase).
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "align/striped.hpp"
+
+namespace swh::align {
+
+/// Non-owning view of a packed subject set: one contiguous residue
+/// arena plus per-subject offsets/lengths and a scan permutation.
+/// Residues are validated at pack time; `max_code` carries the proof,
+/// which DatabaseScanner checks once against the query profile so the
+/// kernels can skip the per-residue alphabet check.
+struct PackedSubjects {
+    const Code* arena = nullptr;
+    const std::uint64_t* offsets = nullptr;  ///< start of subject i
+    const std::uint32_t* lengths = nullptr;
+    /// Scan permutation (length-sorted, longest first). Null = identity.
+    const std::uint32_t* order = nullptr;
+    std::size_t count = 0;
+    std::size_t max_length = 0;
+    Code max_code = 0;  ///< largest residue code present in the arena
+
+    std::span<const Code> subject(std::size_t i) const {
+        return {arena + offsets[i], lengths[i]};
+    }
+};
+
+/// Thread-safe scan orchestrator: workers claim chunks of subjects from
+/// a shared cursor (one atomic op per ~chunk subjects instead of one
+/// per subject) and run the two-pass scan. One instance per
+/// (aligner, database) scan; call run_worker from each worker thread
+/// with a thread-private ScanScratch.
+class DatabaseScanner {
+public:
+    static constexpr std::size_t kDefaultChunk = 64;
+
+    /// Validates once that every packed residue fits the aligner's
+    /// profile alphabet (throws ContractError otherwise) — the per-
+    /// subject kernel calls then run with the check compiled out.
+    DatabaseScanner(const StripedAligner& aligner, PackedSubjects subjects,
+                    std::size_t chunk = kDefaultChunk);
+
+    /// Claims chunks until the database is exhausted or `emit` asks to
+    /// stop. `emit(db_index, length, score) -> bool` is called exactly
+    /// once per settled subject — in scan order for pass-1 subjects,
+    /// then for this worker's deferred overflow batch; `db_index` is
+    /// always the ORIGINAL database index regardless of scan order.
+    /// Returns false iff an emit call returned false (scan cancelled).
+    template <class EmitFn>
+    bool run_worker(ScanScratch& scratch, EmitFn&& emit) {
+        std::vector<std::uint32_t> overflow;
+        std::uint64_t settled8 = 0;
+        bool keep = true;
+        const std::size_t n = subjects_.count;
+        while (keep) {
+            const std::size_t begin =
+                next_.fetch_add(chunk_, std::memory_order_relaxed);
+            if (begin >= n) break;
+            const std::size_t end = std::min(begin + chunk_, n);
+            for (std::size_t slot = begin; slot < end && keep; ++slot) {
+                const std::uint32_t idx =
+                    subjects_.order != nullptr
+                        ? subjects_.order[slot]
+                        : static_cast<std::uint32_t>(slot);
+                const std::span<const Code> subject = subjects_.subject(idx);
+                const StripedResult r =
+                    aligner_->score_u8(subject, scratch, /*trusted=*/true);
+                if (!r.overflow) {
+                    ++settled8;
+                    keep = emit(idx, subjects_.lengths[idx], r.score);
+                } else {
+                    overflow.push_back(idx);
+                }
+            }
+        }
+        // Pass 2: settle the deferred overflow batch with wide kernels.
+        for (const std::uint32_t idx : overflow) {
+            if (!keep) break;
+            const Score s = aligner_->rescore_wide(subjects_.subject(idx),
+                                                   scratch, /*trusted=*/true);
+            keep = emit(idx, subjects_.lengths[idx], s);
+        }
+        aligner_->credit_runs8(settled8);
+        return keep;
+    }
+
+    /// Rewinds the shared cursor for another scan of the same subjects.
+    void reset() { next_.store(0, std::memory_order_relaxed); }
+
+    std::size_t chunk() const { return chunk_; }
+    std::size_t count() const { return subjects_.count; }
+    const StripedAligner& aligner() const { return *aligner_; }
+
+private:
+    const StripedAligner* aligner_;
+    PackedSubjects subjects_;
+    std::size_t chunk_;
+    std::atomic<std::size_t> next_{0};
+};
+
+}  // namespace swh::align

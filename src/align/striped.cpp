@@ -1,6 +1,7 @@
 #include "align/striped.hpp"
 
 #include <algorithm>
+#include <new>
 
 #include "align/striped_kernels.hpp"
 #include "align/sw_scalar.hpp"
@@ -10,6 +11,12 @@
 namespace swh::align {
 
 namespace {
+
+constexpr std::size_t kScratchAlign = 64;
+
+constexpr std::size_t round_up(std::size_t n) {
+    return (n + kScratchAlign - 1) & ~(kScratchAlign - 1);
+}
 
 template <typename Cell>
 StripedProfile<Cell> build_profile(std::span<const Code> query,
@@ -25,10 +32,17 @@ StripedProfile<Cell> build_profile(std::span<const Code> query,
                     ? 1
                     : (query.size() + static_cast<std::size_t>(lanes) - 1) /
                           static_cast<std::size_t>(lanes);
-    p.data.assign(p.symbols * p.seg_len * static_cast<std::size_t>(lanes),
-                  Cell{0});
+    // Over-allocate by one cache line and slide the base up so every
+    // profile row load in the kernels is naturally aligned (row strides
+    // are whole vectors, and the scan reloads rows seg times per column).
+    const std::size_t cells =
+        p.symbols * p.seg_len * static_cast<std::size_t>(lanes);
+    p.data.assign(cells + kScratchAlign / sizeof(Cell), Cell{0});
+    const auto addr = reinterpret_cast<std::uintptr_t>(p.data.data());
+    p.align_pad =
+        ((kScratchAlign - addr % kScratchAlign) % kScratchAlign) / sizeof(Cell);
     for (Code a = 0; a < p.symbols; ++a) {
-        Cell* row = p.data.data() +
+        Cell* row = p.data.data() + p.align_pad +
                     static_cast<std::size_t>(a) * p.seg_len *
                         static_cast<std::size_t>(lanes);
         for (std::size_t i = 0; i < p.seg_len; ++i) {
@@ -50,7 +64,53 @@ StripedProfile<Cell> build_profile(std::span<const Code> query,
     return p;
 }
 
+template <class V>
+StripedResult run_u8(const Profile8& p, std::span<const Code> db,
+                     GapPenalty gap, ScanScratch& scratch, bool trusted) {
+    return trusted ? detail::striped_u8_auto<V, false>(p, db, gap, scratch)
+                   : detail::striped_u8_auto<V, true>(p, db, gap, scratch);
+}
+
+template <class V>
+StripedResult run_i16(const Profile16& p, std::span<const Code> db,
+                      GapPenalty gap, Score matrix_max, ScanScratch& scratch,
+                      bool trusted) {
+    return trusted ? detail::striped_i16_auto<V, false>(p, db, gap, matrix_max,
+                                                        scratch)
+                   : detail::striped_i16_auto<V, true>(p, db, gap, matrix_max,
+                                                       scratch);
+}
+
 }  // namespace
+
+void ScanScratch::Free::operator()(std::byte* p) const {
+    ::operator delete[](p, std::align_val_t{kScratchAlign});
+}
+
+void ScanScratch::ensure(std::size_t bytes) {
+    if (bytes <= cap_) return;
+    // Grow geometrically so a length-mixed scan settles after few resizes.
+    const std::size_t cap = std::max(bytes, cap_ * 2);
+    buf_.reset(static_cast<std::byte*>(
+        ::operator new[](cap, std::align_val_t{kScratchAlign})));
+    cap_ = cap;
+}
+
+ScanScratch::KernelBuffers ScanScratch::kernel_buffers(
+    std::size_t bytes_per_buffer) {
+    const std::size_t stride = round_up(bytes_per_buffer);
+    ensure(3 * stride);
+    std::byte* base = buf_.get();
+    return {base, base + stride, base + 2 * stride};
+}
+
+ScanScratch::ScoreRows ScanScratch::score_rows(std::size_t cells_per_row) {
+    const std::size_t stride = round_up(cells_per_row * sizeof(Score));
+    ensure(2 * stride);
+    std::byte* base = buf_.get();
+    return {reinterpret_cast<Score*>(base),
+            reinterpret_cast<Score*>(base + stride)};
+}
 
 Profile8 build_profile8(std::span<const Code> query, const ScoreMatrix& matrix,
                         int lanes) {
@@ -112,21 +172,59 @@ int lanes_i16(simd::IsaLevel isa) {
 }
 
 StripedResult sw_striped_u8(const Profile8& profile, std::span<const Code> db,
-                            GapPenalty gap, simd::IsaLevel isa) {
+                            GapPenalty gap, simd::IsaLevel isa,
+                            ScanScratch& scratch, bool trusted) {
     switch (isa) {
         case simd::IsaLevel::Scalar:
-            return detail::striped_u8<simd::U8x16s>(profile, db, gap);
+            return run_u8<simd::U8x16s>(profile, db, gap, scratch, trusted);
 #if defined(__SSE2__)
         case simd::IsaLevel::SSE2:
-            return detail::striped_u8<simd::U8x16>(profile, db, gap);
+            return run_u8<simd::U8x16>(profile, db, gap, scratch, trusted);
 #endif
 #if defined(__AVX2__)
         case simd::IsaLevel::AVX2:
-            return detail::striped_u8<simd::U8x32>(profile, db, gap);
+            return run_u8<simd::U8x32>(profile, db, gap, scratch, trusted);
 #endif
 #if defined(__AVX512BW__)
         case simd::IsaLevel::AVX512:
-            return detail::striped_u8<simd::U8x64>(profile, db, gap);
+            return run_u8<simd::U8x64>(profile, db, gap, scratch, trusted);
+#endif
+        default:
+            break;
+    }
+    SWH_REQUIRE(false, "ISA level not compiled in");
+    return {};
+}
+
+StripedResult sw_striped_u8(const Profile8& profile, std::span<const Code> db,
+                            GapPenalty gap, simd::IsaLevel isa) {
+    ScanScratch scratch;
+    return sw_striped_u8(profile, db, gap, isa, scratch, /*trusted=*/false);
+}
+
+StripedResult sw_striped_i16(const Profile16& profile,
+                             std::span<const Code> db, GapPenalty gap,
+                             simd::IsaLevel isa, ScanScratch& scratch,
+                             bool trusted) {
+    const Score matrix_max = profile.max_entry;
+    switch (isa) {
+        case simd::IsaLevel::Scalar:
+            return run_i16<simd::I16x8s>(profile, db, gap, matrix_max, scratch,
+                                         trusted);
+#if defined(__SSE2__)
+        case simd::IsaLevel::SSE2:
+            return run_i16<simd::I16x8>(profile, db, gap, matrix_max, scratch,
+                                        trusted);
+#endif
+#if defined(__AVX2__)
+        case simd::IsaLevel::AVX2:
+            return run_i16<simd::I16x16>(profile, db, gap, matrix_max, scratch,
+                                         trusted);
+#endif
+#if defined(__AVX512BW__)
+        case simd::IsaLevel::AVX512:
+            return run_i16<simd::I16x32>(profile, db, gap, matrix_max, scratch,
+                                         trusted);
 #endif
         default:
             break;
@@ -138,31 +236,8 @@ StripedResult sw_striped_u8(const Profile8& profile, std::span<const Code> db,
 StripedResult sw_striped_i16(const Profile16& profile,
                              std::span<const Code> db, GapPenalty gap,
                              simd::IsaLevel isa) {
-    const Score matrix_max = profile.max_entry;
-    switch (isa) {
-        case simd::IsaLevel::Scalar:
-            return detail::striped_i16<simd::I16x8s>(profile, db, gap,
-                                                     matrix_max);
-#if defined(__SSE2__)
-        case simd::IsaLevel::SSE2:
-            return detail::striped_i16<simd::I16x8>(profile, db, gap,
-                                                    matrix_max);
-#endif
-#if defined(__AVX2__)
-        case simd::IsaLevel::AVX2:
-            return detail::striped_i16<simd::I16x16>(profile, db, gap,
-                                                     matrix_max);
-#endif
-#if defined(__AVX512BW__)
-        case simd::IsaLevel::AVX512:
-            return detail::striped_i16<simd::I16x32>(profile, db, gap,
-                                                     matrix_max);
-#endif
-        default:
-            break;
-    }
-    SWH_REQUIRE(false, "ISA level not compiled in");
-    return {};
+    ScanScratch scratch;
+    return sw_striped_i16(profile, db, gap, isa, scratch, /*trusted=*/false);
 }
 
 StripedAligner::StripedAligner(std::vector<Code> query,
@@ -174,19 +249,38 @@ StripedAligner::StripedAligner(std::vector<Code> query,
     profile16_ = build_profile16(query_, matrix, lanes_i16(isa));
 }
 
-Score StripedAligner::score(std::span<const Code> db) const {
-    const StripedResult r8 = sw_striped_u8(profile8_, db, gap_, isa_);
-    if (!r8.overflow) {
-        runs8_.fetch_add(1, std::memory_order_relaxed);
-        return r8.score;
-    }
-    const StripedResult r16 = sw_striped_i16(profile16_, db, gap_, isa_);
+StripedResult StripedAligner::score_u8(std::span<const Code> db,
+                                       ScanScratch& scratch,
+                                       bool trusted) const {
+    return sw_striped_u8(profile8_, db, gap_, isa_, scratch, trusted);
+}
+
+Score StripedAligner::rescore_wide(std::span<const Code> db,
+                                   ScanScratch& scratch, bool trusted) const {
+    const StripedResult r16 =
+        sw_striped_i16(profile16_, db, gap_, isa_, scratch, trusted);
     if (!r16.overflow) {
         runs16_.fetch_add(1, std::memory_order_relaxed);
         return r16.score;
     }
     runs32_.fetch_add(1, std::memory_order_relaxed);
-    return sw_score_affine(query_, db, *matrix_, gap_);
+    const ScanScratch::ScoreRows rows = scratch.score_rows(db.size() + 1);
+    return sw_score_affine_rows(query_, db, *matrix_, gap_, rows.h, rows.f);
+}
+
+Score StripedAligner::score(std::span<const Code> db,
+                            ScanScratch& scratch) const {
+    const StripedResult r8 = score_u8(db, scratch);
+    if (!r8.overflow) {
+        runs8_.fetch_add(1, std::memory_order_relaxed);
+        return r8.score;
+    }
+    return rescore_wide(db, scratch);
+}
+
+Score StripedAligner::score(std::span<const Code> db) const {
+    thread_local ScanScratch scratch;
+    return score(db, scratch);
 }
 
 StripedAligner::Stats StripedAligner::stats() const {

@@ -1,7 +1,9 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -10,6 +12,45 @@
 #include "simd/arch.hpp"
 
 namespace swh::align {
+
+/// Reusable, 64-byte-aligned scratch memory for the striped kernels and
+/// the scalar int32 rescore fallback. One instance per worker thread;
+/// the kernels carve their H/E buffers out of it, so repeated score()
+/// calls perform zero heap allocations once the scratch has grown to the
+/// largest segment in the workload. Not thread-safe — never share one
+/// instance between concurrently scoring threads.
+class ScanScratch {
+public:
+    /// Three kernel buffers (H-load, H-store, E), each `bytes_per_buffer`
+    /// long and 64-byte aligned. Contents are unspecified; the kernel
+    /// zeroes what it needs.
+    struct KernelBuffers {
+        void* h_load;
+        void* h_store;
+        void* e;
+    };
+    KernelBuffers kernel_buffers(std::size_t bytes_per_buffer);
+
+    /// Two int32 rolling rows (H and F) of `cells_per_row` entries each,
+    /// for the scalar Gotoh rescore. Aliases the kernel buffers — the
+    /// two uses never overlap within one subject.
+    struct ScoreRows {
+        Score* h;
+        Score* f;
+    };
+    ScoreRows score_rows(std::size_t cells_per_row);
+
+    std::size_t capacity() const { return cap_; }
+
+private:
+    void ensure(std::size_t bytes);
+
+    struct Free {
+        void operator()(std::byte* p) const;
+    };
+    std::unique_ptr<std::byte[], Free> buf_;
+    std::size_t cap_ = 0;
+};
 
 /// Striped query profile (Farrar 2007). For a query of length m split
 /// into L lanes of segments of length seg = ceil(m/L), entry
@@ -25,10 +66,15 @@ struct StripedProfile {
     Score bias = 0;  ///< 0 for the signed 16-bit profile
     Score max_entry = 0;  ///< largest stored value; bounds one add step
     std::size_t symbols = 0;
-    std::vector<Cell> data;  ///< [symbol][segment][lane], vectors contiguous
+    /// [symbol][segment][lane], vectors contiguous. Over-allocated so
+    /// the first row starts 64-byte aligned (see align_pad): with the
+    /// real lane widths every row is then naturally aligned for its
+    /// vector size, so profile loads never split cache lines.
+    std::vector<Cell> data;
+    std::size_t align_pad = 0;  ///< Cells from data.data() to the base
 
     const Cell* row(Code symbol) const {
-        return data.data() +
+        return data.data() + align_pad +
                static_cast<std::size_t>(symbol) * seg_len *
                    static_cast<std::size_t>(lanes);
     }
@@ -51,14 +97,29 @@ struct StripedResult {
 
 /// 8-bit unsigned saturated kernel (max representable score 255, the
 /// paper's 8-bit bound). `isa` must be supported (see simd::is_supported).
+/// This convenience overload allocates its own scratch per call; hot
+/// scan loops should pass a reused ScanScratch instead.
 StripedResult sw_striped_u8(const Profile8& profile, std::span<const Code> db,
                             GapPenalty gap, simd::IsaLevel isa);
+
+/// Allocation-free variant: H/E buffers come from `scratch`. With
+/// `trusted = true` the per-residue alphabet check is skipped — only
+/// pass pre-validated residues (e.g. a db::PackedDatabase arena).
+StripedResult sw_striped_u8(const Profile8& profile, std::span<const Code> db,
+                            GapPenalty gap, simd::IsaLevel isa,
+                            ScanScratch& scratch, bool trusted = false);
 
 /// 16-bit signed saturated kernel (max score 32767, the paper's 16-bit
 /// bound).
 StripedResult sw_striped_i16(const Profile16& profile,
                              std::span<const Code> db, GapPenalty gap,
                              simd::IsaLevel isa);
+
+/// Allocation-free variant; see sw_striped_u8.
+StripedResult sw_striped_i16(const Profile16& profile,
+                             std::span<const Code> db, GapPenalty gap,
+                             simd::IsaLevel isa, ScanScratch& scratch,
+                             bool trusted = false);
 
 /// Number of lanes each kernel uses at a given ISA level (profile layout
 /// depends on it).
@@ -76,9 +137,35 @@ public:
                    simd::IsaLevel isa = simd::best_supported());
 
     /// Exact local alignment score of the query against one db sequence.
+    /// Uses a thread-local ScanScratch, so steady-state calls are
+    /// allocation-free on every escalation path.
     Score score(std::span<const Code> db) const;
 
+    /// Same, with an explicit scratch (for callers that manage their own
+    /// per-worker scratch, e.g. DatabaseScanner).
+    Score score(std::span<const Code> db, ScanScratch& scratch) const;
+
+    /// Pass-1 primitive of the batched two-pass scan: runs only the u8
+    /// kernel. On `overflow` the caller must settle the subject later
+    /// via rescore_wide(). Does NOT touch the escalation counters —
+    /// batch-credit settled subjects with credit_runs8().
+    StripedResult score_u8(std::span<const Code> db, ScanScratch& scratch,
+                           bool trusted = false) const;
+
+    /// Pass-2: i16 kernel, then the exact scalar int32 fallback, both
+    /// routed through `scratch`. Bumps runs16/runs32 exactly once.
+    Score rescore_wide(std::span<const Code> db, ScanScratch& scratch,
+                       bool trusted = false) const;
+
+    /// Credits `n` subjects settled by pass-1 score_u8() calls: one
+    /// atomic op per flushed batch instead of one per subject.
+    void credit_runs8(std::uint64_t n) const {
+        if (n > 0) runs8_.fetch_add(n, std::memory_order_relaxed);
+    }
+
     std::span<const Code> query() const { return query_; }
+    const ScoreMatrix& matrix() const { return *matrix_; }
+    GapPenalty gap() const { return gap_; }
     simd::IsaLevel isa() const { return isa_; }
 
     struct Stats {
@@ -86,7 +173,8 @@ public:
         std::uint64_t runs16 = 0;   ///< escalations to i16
         std::uint64_t runs32 = 0;   ///< escalations to scalar int32
     };
-    /// Cumulative escalation counters (approximate under concurrency).
+    /// Cumulative escalation counters. Exact: every settled subject is
+    /// counted exactly once, on whichever path settled it.
     Stats stats() const;
 
 private:

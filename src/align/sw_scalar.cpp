@@ -58,12 +58,13 @@ namespace {
 // clamped at 0 (see tests/align/gotoh_boundary_test).
 template <bool TrackEnd>
 LocalEnd gotoh_core(std::span<const Code> s, std::span<const Code> t,
-                    const ScoreMatrix& matrix, GapPenalty gap) {
+                    const ScoreMatrix& matrix, GapPenalty gap, Score* h_row,
+                    Score* f_col) {
     SWH_REQUIRE(gap.open >= 0 && gap.extend >= 0,
                 "gap penalties must be non-negative");
     LocalEnd best;
-    std::vector<Score> h_row(t.size() + 1, 0);  // H(i-1,*) rolling to H(i,*)
-    std::vector<Score> f_col(t.size() + 1, 0);  // F(i-1,*) rolling to F(i,*)
+    std::fill_n(h_row, t.size() + 1, Score{0});  // H(i-1,*) rolling to H(i,*)
+    std::fill_n(f_col, t.size() + 1, Score{0});  // F(i-1,*) rolling to F(i,*)
     for (std::size_t i = 1; i <= s.size(); ++i) {
         Score h_diag = h_row[0];  // H(i-1, j-1)
         Score e = 0;              // E(i, j) running along the row
@@ -94,12 +95,21 @@ LocalEnd gotoh_core(std::span<const Code> s, std::span<const Code> t,
 
 Score sw_score_affine(std::span<const Code> s, std::span<const Code> t,
                       const ScoreMatrix& matrix, GapPenalty gap) {
-    return gotoh_core<false>(s, t, matrix, gap).score;
+    std::vector<Score> h_row(t.size() + 1), f_col(t.size() + 1);
+    return gotoh_core<false>(s, t, matrix, gap, h_row.data(), f_col.data())
+        .score;
+}
+
+Score sw_score_affine_rows(std::span<const Code> s, std::span<const Code> t,
+                           const ScoreMatrix& matrix, GapPenalty gap,
+                           Score* h_row, Score* f_col) {
+    return gotoh_core<false>(s, t, matrix, gap, h_row, f_col).score;
 }
 
 LocalEnd sw_end_affine(std::span<const Code> s, std::span<const Code> t,
                        const ScoreMatrix& matrix, GapPenalty gap) {
-    return gotoh_core<true>(s, t, matrix, gap);
+    std::vector<Score> h_row(t.size() + 1), f_col(t.size() + 1);
+    return gotoh_core<true>(s, t, matrix, gap, h_row.data(), f_col.data());
 }
 
 }  // namespace swh::align

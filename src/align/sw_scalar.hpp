@@ -43,6 +43,13 @@ struct LocalEnd {
 Score sw_score_affine(std::span<const Code> s, std::span<const Code> t,
                       const ScoreMatrix& matrix, GapPenalty gap);
 
+/// Same, but with caller-provided rolling rows (each at least
+/// t.size() + 1 cells; contents are overwritten). Lets batched rescans
+/// (align::ScanScratch) run the int32 fallback without heap allocation.
+Score sw_score_affine_rows(std::span<const Code> s, std::span<const Code> t,
+                           const ScoreMatrix& matrix, GapPenalty gap,
+                           Score* h_row, Score* f_col);
+
 /// Same, but also reports where the best alignment ends. Ties break
 /// toward the smallest (s_end, t_end) in lexicographic order, matching
 /// the traceback implementation.

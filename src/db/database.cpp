@@ -7,4 +7,11 @@ Database::Database(std::string name, std::vector<align::Sequence> sequences)
     residues_ = align::total_residues(sequences_);
 }
 
+const PackedDatabase& Database::packed() const {
+    PackedCache& cache = *packed_cache_;
+    std::call_once(cache.once,
+                   [&] { cache.packed = PackedDatabase::pack(sequences_); });
+    return cache.packed;
+}
+
 }  // namespace swh::db

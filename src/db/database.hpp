@@ -1,15 +1,19 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "align/sequence.hpp"
 #include "db/generator.hpp"
+#include "db/packed.hpp"
 
 namespace swh::db {
 
-/// An in-memory sequence database plus cached residue total.
+/// An in-memory sequence database plus cached residue total and a
+/// lazily built packed scan representation shared by all engines.
 class Database {
 public:
     Database() = default;
@@ -31,10 +35,22 @@ public:
         return sequences_[i];
     }
 
+    /// The packed arena over sequences(), built on first use (thread-
+    /// safe) and cached for the database's lifetime. Copies of a
+    /// Database share the cache — sequences are immutable after
+    /// construction, so the packed form is too.
+    const PackedDatabase& packed() const;
+
 private:
+    struct PackedCache {
+        std::once_flag once;
+        PackedDatabase packed;
+    };
+
     std::string name_;
     std::vector<align::Sequence> sequences_;
     std::uint64_t residues_ = 0;
+    std::shared_ptr<PackedCache> packed_cache_ = std::make_shared<PackedCache>();
 };
 
 }  // namespace swh::db

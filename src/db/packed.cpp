@@ -1,0 +1,94 @@
+#include "db/packed.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <new>
+
+#include "util/error.hpp"
+
+namespace swh::db {
+
+namespace {
+constexpr std::size_t kArenaAlign = 64;
+}
+
+void PackedDatabase::ArenaFree::operator()(align::Code* p) const {
+    ::operator delete[](p, std::align_val_t{kArenaAlign});
+}
+
+PackedDatabase PackedDatabase::pack(
+    const std::vector<align::Sequence>& sequences) {
+    SWH_REQUIRE(sequences.size() <= std::numeric_limits<std::uint32_t>::max(),
+                "database too large for 32-bit subject indices");
+    PackedDatabase p;
+    const std::size_t n = sequences.size();
+    p.offsets_.reserve(n);
+    p.lengths_.reserve(n);
+
+    std::uint64_t total = 0;
+    for (const align::Sequence& s : sequences) {
+        SWH_REQUIRE(s.size() <= std::numeric_limits<std::uint32_t>::max(),
+                    "sequence too long for the packed layout");
+        total += s.size();
+    }
+    if (total > 0) {
+        p.arena_.reset(static_cast<align::Code*>(
+            ::operator new[](total, std::align_val_t{kArenaAlign})));
+    }
+
+    for (const align::Sequence& s : sequences) {
+        p.lengths_.push_back(static_cast<std::uint32_t>(s.size()));
+        p.max_length_ = std::max(p.max_length_, s.size());
+    }
+
+    p.order_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        p.order_[i] = static_cast<std::uint32_t>(i);
+    }
+    // Longest-first with a stable index tie-break: deterministic, keeps
+    // similar lengths adjacent, and front-loads the long tail so chunked
+    // claiming balances well.
+    std::sort(p.order_.begin(), p.order_.end(),
+              [&p](std::uint32_t a, std::uint32_t b) {
+                  if (p.lengths_[a] != p.lengths_[b]) {
+                      return p.lengths_[a] > p.lengths_[b];
+                  }
+                  return a < b;
+              });
+
+    // Lay the arena out in scan order: pass 1 walks order_[0..n) and so
+    // streams the arena front to back with no strided jumps. offsets_
+    // stays indexed by the original database index.
+    p.offsets_.assign(n, 0);
+    std::uint64_t at = 0;
+    align::Code max_code = 0;
+    for (const std::uint32_t idx : p.order_) {
+        const align::Sequence& s = sequences[idx];
+        p.offsets_[idx] = at;
+        if (!s.residues.empty()) {
+            std::memcpy(p.arena_.get() + at, s.residues.data(), s.size());
+            for (const align::Code c : s.residues) {
+                max_code = std::max(max_code, c);
+            }
+            at += s.size();
+        }
+    }
+    p.residues_ = total;
+    p.max_code_ = max_code;
+    return p;
+}
+
+align::PackedSubjects PackedDatabase::view() const {
+    align::PackedSubjects v;
+    v.arena = arena_.get();
+    v.offsets = offsets_.data();
+    v.lengths = lengths_.data();
+    v.order = order_.data();
+    v.count = lengths_.size();
+    v.max_length = max_length_;
+    v.max_code = max_code_;
+    return v;
+}
+
+}  // namespace swh::db

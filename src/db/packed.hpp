@@ -1,0 +1,65 @@
+#pragma once
+
+// Packed scan representation of a sequence database: one contiguous,
+// 64-byte-aligned residue arena with per-subject offsets/lengths, plus a
+// length-sorted scan permutation. This is the layout the striped-kernel
+// hot path scans (cf. SWIPE/SWAPHI-style packed device buffers): a scan
+// walks the arena sequentially instead of pointer-chasing one
+// heap-allocated std::vector per sequence, and residues are validated
+// against the alphabet ONCE here instead of per kernel inner loop.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "align/db_scan.hpp"
+#include "align/sequence.hpp"
+
+namespace swh::db {
+
+class PackedDatabase {
+public:
+    PackedDatabase() = default;
+
+    /// Copies every residue into the arena, recording per-subject
+    /// offsets/lengths, the largest residue code seen (the pack-time
+    /// validation artefact consumed by align::DatabaseScanner), and the
+    /// scan permutation: subjects ordered longest-first (ties by
+    /// original index), so chunked workers process similar lengths with
+    /// similarly sized scratch and the long tail is claimed early.
+    static PackedDatabase pack(const std::vector<align::Sequence>& sequences);
+
+    std::size_t size() const { return lengths_.size(); }
+    std::uint64_t residues() const { return residues_; }
+    std::size_t max_length() const { return max_length_; }
+    align::Code max_code() const { return max_code_; }
+
+    /// Residues of subject i (original database index).
+    std::span<const align::Code> subject(std::size_t i) const {
+        return {arena_.get() + offsets_[i], lengths_[i]};
+    }
+    std::uint32_t length(std::size_t i) const { return lengths_[i]; }
+
+    /// The length-sorted scan permutation (original indices).
+    std::span<const std::uint32_t> scan_order() const { return order_; }
+
+    /// Non-owning view for align::DatabaseScanner. Valid as long as
+    /// this PackedDatabase is alive.
+    align::PackedSubjects view() const;
+
+private:
+    struct ArenaFree {
+        void operator()(align::Code* p) const;
+    };
+
+    std::unique_ptr<align::Code[], ArenaFree> arena_;
+    std::vector<std::uint64_t> offsets_;
+    std::vector<std::uint32_t> lengths_;
+    std::vector<std::uint32_t> order_;
+    std::uint64_t residues_ = 0;
+    std::size_t max_length_ = 0;
+    align::Code max_code_ = 0;
+};
+
+}  // namespace swh::db

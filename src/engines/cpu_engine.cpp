@@ -5,7 +5,9 @@
 #include <thread>
 #include <vector>
 
+#include "align/db_scan.hpp"
 #include "align/striped.hpp"
+#include "db/packed.hpp"
 #include "util/error.hpp"
 
 namespace swh::engines {
@@ -13,6 +15,8 @@ namespace swh::engines {
 namespace {
 
 /// Bounded top-k collector; keeps at most 2k entries between trims.
+/// Entries stay unsorted between trims — trim() only partitions with
+/// nth_element (O(n)), and take() pays the O(k log k) sort once.
 class TopK {
 public:
     explicit TopK(std::size_t k) : k_(k) {}
@@ -29,17 +33,28 @@ public:
 
     std::vector<core::Hit> take() {
         trim();
+        std::sort(hits_.begin(), hits_.end(), better);
         return std::move(hits_);
     }
 
 private:
+    static bool better(const core::Hit& a, const core::Hit& b) {
+        if (a.score != b.score) return a.score > b.score;
+        return a.db_index < b.db_index;
+    }
+
     void trim() {
-        std::sort(hits_.begin(), hits_.end(),
-                  [](const core::Hit& a, const core::Hit& b) {
-                      if (a.score != b.score) return a.score > b.score;
-                      return a.db_index < b.db_index;
-                  });
-        if (hits_.size() > k_) hits_.resize(k_);
+        if (hits_.size() <= k_) return;
+        if (k_ == 0) {
+            hits_.clear();
+            return;
+        }
+        // `better` is a strict total order (index tie-break), so the
+        // surviving k elements are exactly the ones a full sort keeps.
+        std::nth_element(hits_.begin(),
+                         hits_.begin() + static_cast<std::ptrdiff_t>(k_ - 1),
+                         hits_.end(), better);
+        hits_.resize(k_);
     }
 
     std::size_t k_;
@@ -52,6 +67,7 @@ CpuEngine::CpuEngine(EngineConfig config, unsigned threads)
     : config_(config), threads_(threads) {
     SWH_REQUIRE(config_.matrix != nullptr, "engine needs a score matrix");
     SWH_REQUIRE(threads_ >= 1, "engine needs at least one thread");
+    SWH_REQUIRE(config_.scan_chunk >= 1, "scan chunk must be at least 1");
     SWH_REQUIRE(simd::is_supported(config_.isa),
                 "requested ISA not supported on this machine");
 }
@@ -63,55 +79,60 @@ core::TaskResult CpuEngine::execute(const align::Sequence& query,
                                     ExecutionObserver* observer) {
     const align::StripedAligner aligner(query.residues, *config_.matrix,
                                         config_.gap, config_.isa);
-    const std::size_t n = database.size();
+    // Packed arena: built once per database (cached inside it), scanned
+    // by every task against that database.
+    const db::PackedDatabase& packed = database.packed();
+    align::DatabaseScanner scanner(aligner, packed.view(), config_.scan_chunk);
     const std::uint64_t qlen = query.size();
 
     core::TaskResult result;
     result.task = task;
     result.query_index = query_index;
 
-    // Shared work queue: workers grab database sequences by atomic index.
-    std::atomic<std::size_t> next{0};
     std::atomic<std::uint64_t> pending_cells{0};
     std::atomic<bool> stop{false};
     std::atomic<std::uint64_t> cells_done{0};
 
     std::vector<TopK> collectors(threads_, TopK(config_.top_k));
 
+    // Workers pull chunks of subjects from the scanner's shared cursor
+    // (config_.scan_chunk per atomic op) and run the two-pass scan.
     auto worker = [&](unsigned wid) {
+        align::ScanScratch scratch;
         std::uint64_t local_pending = 0;
-        while (true) {
-            if (stop.load(std::memory_order_relaxed)) break;
-            const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= n) break;
-            const align::Sequence& subject = database[i];
-            const align::Score score = aligner.score(subject.residues);
-            collectors[wid].add(static_cast<std::uint32_t>(i), score);
-            const std::uint64_t cells = qlen * subject.size();
-            cells_done.fetch_add(cells, std::memory_order_relaxed);
-            local_pending += cells;
+        scanner.run_worker(
+            scratch,
+            [&](std::uint32_t idx, std::uint32_t len, align::Score score) {
+                if (stop.load(std::memory_order_relaxed)) return false;
+                collectors[wid].add(idx, score);
+                const std::uint64_t cells = qlen * len;
+                cells_done.fetch_add(cells, std::memory_order_relaxed);
+                local_pending += cells;
 
-            if (wid == 0) {
-                // Only the calling thread talks to the observer (its
-                // on_cells need not be thread-safe); cancelled() is
-                // polled from all workers and must be.
-                const std::uint64_t others =
-                    pending_cells.exchange(0, std::memory_order_relaxed);
-                local_pending += others;
-                if (local_pending >= config_.progress_grain) {
-                    if (observer != nullptr) observer->on_cells(local_pending);
+                if (wid == 0) {
+                    // Only the calling thread talks to the observer (its
+                    // on_cells need not be thread-safe); cancelled() is
+                    // polled from all workers and must be.
+                    const std::uint64_t others =
+                        pending_cells.exchange(0, std::memory_order_relaxed);
+                    local_pending += others;
+                    if (local_pending >= config_.progress_grain) {
+                        if (observer != nullptr) {
+                            observer->on_cells(local_pending);
+                        }
+                        local_pending = 0;
+                    }
+                } else if (local_pending >= config_.progress_grain) {
+                    pending_cells.fetch_add(local_pending,
+                                            std::memory_order_relaxed);
                     local_pending = 0;
                 }
-            } else if (local_pending >= config_.progress_grain) {
-                pending_cells.fetch_add(local_pending,
-                                        std::memory_order_relaxed);
-                local_pending = 0;
-            }
-            if (observer != nullptr && observer->cancelled()) {
-                stop.store(true, std::memory_order_relaxed);
-                break;
-            }
-        }
+                if (observer != nullptr && observer->cancelled()) {
+                    stop.store(true, std::memory_order_relaxed);
+                    return false;
+                }
+                return true;
+            });
         if (wid != 0 && local_pending > 0) {
             pending_cells.fetch_add(local_pending, std::memory_order_relaxed);
         } else if (wid == 0 && local_pending > 0) {

@@ -4,11 +4,14 @@
 
 namespace swh::engines {
 
-/// The paper's "adapted Farrar" SSE slave (SS IV-C): scans the database
-/// with the striped Smith-Waterman kernel, escalating 8 -> 16 -> 32 bits
-/// on score overflow. `threads` > 1 splits the database across internal
-/// worker threads (a whole multicore presented as one PE); the paper's
-/// setup registers each core as its own single-threaded slave.
+/// The paper's "adapted Farrar" SSE slave (SS IV-C): scans the packed
+/// database arena (db::PackedDatabase) with the striped Smith-Waterman
+/// kernel through align::DatabaseScanner — pass 1 settles everything
+/// the 8-bit kernel can, pass 2 rescores the deferred overflow batch at
+/// 16/32 bits. `threads` > 1 splits the database across internal worker
+/// threads claiming `EngineConfig::scan_chunk` subjects per atomic op
+/// (a whole multicore presented as one PE); the paper's setup registers
+/// each core as its own single-threaded slave.
 class CpuEngine final : public ComputeEngine {
 public:
     CpuEngine(EngineConfig config, unsigned threads = 1);

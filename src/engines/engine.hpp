@@ -36,6 +36,9 @@ struct EngineConfig {
     /// Progress granularity: observer notified roughly every this many
     /// cells (engines round to whole database sequences).
     std::uint64_t progress_grain = 50'000'000;
+    /// Subjects a worker claims per atomic op when scanning the packed
+    /// database (align::DatabaseScanner chunked work claiming).
+    std::size_t scan_chunk = 64;
 };
 
 /// A processing element's compute backend: runs one task (query vs whole

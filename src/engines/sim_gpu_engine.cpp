@@ -7,6 +7,9 @@ namespace swh::engines {
 SimGpuEngine::SimGpuEngine(EngineConfig config, GpuDeviceModel model,
                            bool pace, unsigned compute_threads)
     : model_(model) {
+    // Real-score path: the CpuEngine underneath runs the packed two-pass
+    // database scan (align::DatabaseScanner), so the simulated GPU's
+    // scores come from the same arena-backed pipeline as the SSE slaves.
     auto compute = std::make_unique<CpuEngine>(config, compute_threads);
     if (pace) {
         impl_ = std::make_unique<ThrottledEngine>(

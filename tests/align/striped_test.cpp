@@ -6,8 +6,10 @@
 
 #include <vector>
 
+#include "align/striped_kernels.hpp"
 #include "align/sw_scalar.hpp"
 #include "db/generator.hpp"
+#include "simd/simd.hpp"
 #include "util/rng.hpp"
 
 namespace swh::align {
@@ -63,6 +65,60 @@ TEST_P(StripedIsaTest, I16MatchesOracleOnRandomPairs) {
         const StripedResult r = sw_striped_i16(p, d, gap, isa);
         ASSERT_FALSE(r.overflow);
         EXPECT_EQ(r.score, sw_score_affine(q, d, m, gap)) << "iter " << iter;
+    }
+}
+
+// The always-generic scratch kernel, bypassing the register-blocked
+// dispatch that sw_striped_u8 applies for small segment counts.
+StripedResult generic_u8(const Profile8& p, std::span<const Code> db,
+                         GapPenalty gap, simd::IsaLevel isa) {
+    ScanScratch scratch;
+    switch (isa) {
+        case simd::IsaLevel::Scalar:
+            return detail::striped_u8<simd::U8x16s>(p, db, gap, scratch);
+#if defined(__SSE2__)
+        case simd::IsaLevel::SSE2:
+            return detail::striped_u8<simd::U8x16>(p, db, gap, scratch);
+#endif
+#if defined(__AVX2__)
+        case simd::IsaLevel::AVX2:
+            return detail::striped_u8<simd::U8x32>(p, db, gap, scratch);
+#endif
+#if defined(__AVX512BW__)
+        case simd::IsaLevel::AVX512:
+            return detail::striped_u8<simd::U8x64>(p, db, gap, scratch);
+#endif
+        default:
+            SWH_REQUIRE(false, "ISA level not compiled in");
+            return {};
+    }
+}
+
+TEST_P(StripedIsaTest, RegisterBlockedU8MatchesGenericKernel) {
+    // Query lengths spanning segment counts 1..10 at every lane width:
+    // both the register-blocked instantiations (seg <= 8) and the
+    // generic fallback must produce identical scores and overflow flags.
+    const simd::IsaLevel isa = GetParam();
+    Rng rng(111);
+    const ScoreMatrix m = ScoreMatrix::blosum62();
+    const GapPenalty gap{10, 2};
+    const int lanes = lanes_u8(isa);
+    for (int seg = 1; seg <= 10; ++seg) {
+        const std::size_t qlen =
+            static_cast<std::size_t>(seg * lanes) - rng.below(lanes);
+        const auto q = db::random_protein(rng, qlen).residues;
+        const Profile8 p = build_profile8(q, m, lanes);
+        ASSERT_EQ(p.seg_len, static_cast<std::size_t>(seg));
+        for (int iter = 0; iter < 8; ++iter) {
+            const auto d =
+                db::random_protein(rng, 1 + rng.below(300)).residues;
+            const StripedResult auto_r = sw_striped_u8(p, d, gap, isa);
+            const StripedResult gen_r = generic_u8(p, d, gap, isa);
+            EXPECT_EQ(auto_r.score, gen_r.score)
+                << "seg " << seg << " iter " << iter;
+            EXPECT_EQ(auto_r.overflow, gen_r.overflow)
+                << "seg " << seg << " iter " << iter;
+        }
     }
 }
 

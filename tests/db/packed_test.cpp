@@ -1,0 +1,130 @@
+#include "db/packed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "db/database.hpp"
+#include "util/error.hpp"
+
+namespace swh::db {
+namespace {
+
+db::Database make_db(std::size_t n = 30, std::uint64_t seed = 3) {
+    DatabaseSpec spec;
+    spec.name = "packed-test";
+    spec.num_sequences = n;
+    spec.length.min_len = 10;
+    spec.length.max_len = 300;
+    spec.seed = seed;
+    return Database::generate(spec);
+}
+
+TEST(PackedDatabase, ArenaMatchesSequences) {
+    const Database database = make_db();
+    const PackedDatabase packed = PackedDatabase::pack(database.sequences());
+    ASSERT_EQ(packed.size(), database.size());
+    EXPECT_EQ(packed.residues(), database.residues());
+    std::size_t max_len = 0;
+    for (std::size_t i = 0; i < database.size(); ++i) {
+        const auto& seq = database[i].residues;
+        const auto sub = packed.subject(i);
+        ASSERT_EQ(sub.size(), seq.size());
+        EXPECT_TRUE(std::equal(sub.begin(), sub.end(), seq.begin()));
+        max_len = std::max(max_len, seq.size());
+    }
+    EXPECT_EQ(packed.max_length(), max_len);
+}
+
+TEST(PackedDatabase, ArenaIs64ByteAligned) {
+    const Database database = make_db(5);
+    const PackedDatabase packed = PackedDatabase::pack(database.sequences());
+    // The arena is laid out in scan order, so the first scanned subject
+    // sits at the (64-byte-aligned) arena base.
+    const auto* base = packed.subject(packed.scan_order()[0]).data();
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(base) % 64, 0u);
+}
+
+TEST(PackedDatabase, ArenaIsContiguousInScanOrder) {
+    const Database database = make_db(40, 11);
+    const PackedDatabase packed = PackedDatabase::pack(database.sequences());
+    const auto order = packed.scan_order();
+    const align::Code* expect =
+        packed.size() ? packed.subject(order[0]).data() : nullptr;
+    for (const std::uint32_t idx : order) {
+        const auto sub = packed.subject(idx);
+        EXPECT_EQ(sub.data(), expect) << "gap in scan-order arena layout";
+        expect = sub.data() + sub.size();
+    }
+}
+
+TEST(PackedDatabase, ScanOrderIsLengthSortedPermutation) {
+    const Database database = make_db(50, 9);
+    const PackedDatabase packed = PackedDatabase::pack(database.sequences());
+    const auto order = packed.scan_order();
+    ASSERT_EQ(order.size(), packed.size());
+    std::vector<bool> seen(packed.size(), false);
+    for (std::size_t slot = 0; slot < order.size(); ++slot) {
+        ASSERT_LT(order[slot], packed.size());
+        EXPECT_FALSE(seen[order[slot]]) << "duplicate index in scan order";
+        seen[order[slot]] = true;
+        if (slot > 0) {
+            const std::uint32_t prev = order[slot - 1];
+            const std::uint32_t cur = order[slot];
+            // Longest first; equal lengths keep original index order.
+            EXPECT_TRUE(packed.length(prev) > packed.length(cur) ||
+                        (packed.length(prev) == packed.length(cur) &&
+                         prev < cur));
+        }
+    }
+}
+
+TEST(PackedDatabase, MaxCodeReflectsArenaContents) {
+    const Database database = make_db(20, 11);
+    const PackedDatabase packed = PackedDatabase::pack(database.sequences());
+    align::Code expected = 0;
+    for (const auto& s : database.sequences()) {
+        for (const align::Code c : s.residues) expected = std::max(expected, c);
+    }
+    EXPECT_EQ(packed.max_code(), expected);
+    // Generated proteins use the 20 standard residues of the 24-letter
+    // protein alphabet.
+    EXPECT_LT(packed.max_code(), align::Alphabet::protein().size());
+}
+
+TEST(PackedDatabase, EmptyDatabase) {
+    const PackedDatabase packed = PackedDatabase::pack({});
+    EXPECT_EQ(packed.size(), 0u);
+    EXPECT_EQ(packed.residues(), 0u);
+    const align::PackedSubjects v = packed.view();
+    EXPECT_EQ(v.count, 0u);
+}
+
+TEST(PackedDatabase, DatabaseCachesPackedForm) {
+    const Database database = make_db(10, 13);
+    const PackedDatabase* first = &database.packed();
+    EXPECT_EQ(first, &database.packed());
+    // Copies share the cache (sequences are immutable).
+    const Database copy = database;  // NOLINT(performance-unnecessary-copy)
+    EXPECT_EQ(first, &copy.packed());
+}
+
+TEST(PackedDatabase, ConcurrentPackedAccessIsSafe) {
+    const Database database = make_db(40, 17);
+    std::vector<const PackedDatabase*> seen(8, nullptr);
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < seen.size(); ++t) {
+        threads.emplace_back([&database, &seen, t] {
+            seen[t] = &database.packed();
+        });
+    }
+    for (auto& th : threads) th.join();
+    for (const PackedDatabase* p : seen) EXPECT_EQ(p, seen[0]);
+    EXPECT_EQ(seen[0]->residues(), database.residues());
+}
+
+}  // namespace
+}  // namespace swh::db
