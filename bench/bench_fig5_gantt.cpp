@@ -5,6 +5,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "util/args.hpp"
 
 using namespace swh;
 
@@ -37,7 +38,15 @@ sim::SimConfig figure5(bool adjust) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    ArgParser args("bench_fig5_gantt",
+                   "Reproduces the paper's Fig. 5 worked example");
+    args.add_option("trace",
+                    "also write the WITH-adjustment run as Chrome "
+                    "trace-event JSON (open at ui.perfetto.dev)",
+                    "");
+    if (!args.parse(argc, argv)) return 0;
+
     for (const bool adjust : {true, false}) {
         const sim::SimConfig cfg = figure5(adjust);
         const sim::SimReport r = sim::simulate(cfg);
@@ -46,6 +55,11 @@ int main() {
                   << format_double(r.makespan, 0) << " s (paper: "
                   << (adjust ? 14 : 18) << " s)\n"
                   << sim::render_gantt(r, cfg.pes, 0.5) << '\n';
+        if (adjust && !args.get("trace").empty()) {
+            bench::write_chrome_trace(bench::sim_trace(r, cfg.pes),
+                                      args.get("trace"));
+            std::cout << "trace written to " << args.get("trace") << '\n';
+        }
     }
     return 0;
 }

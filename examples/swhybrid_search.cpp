@@ -8,9 +8,11 @@
 //
 // Run with --generate-demo to create a small query/database pair first.
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
 
 #include "align/evalue.hpp"
 #include "align/local_align.hpp"
@@ -20,6 +22,8 @@
 #include "engines/sim_gpu_engine.hpp"
 #include "io/fasta.hpp"
 #include "io/indexed.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/hybrid_runtime.hpp"
 #include "util/args.hpp"
 #include "util/str.hpp"
@@ -127,6 +131,14 @@ int main(int argc, char** argv) {
     args.add_flag("align", "print the best hit's alignment per query");
     args.add_flag("no-adjust", "disable the workload-adjustment mechanism");
     args.add_flag("generate-demo", "write demo query/database files and exit");
+    args.add_option("trace",
+                    "record the run and write Chrome trace-event JSON here "
+                    "(open at ui.perfetto.dev)",
+                    "");
+    args.add_option("metrics",
+                    "write run metrics (counters/histograms) as JSON here",
+                    "");
+    args.add_flag("gantt", "print an ASCII Gantt chart of the run");
 
     try {
         if (!args.parse(argc, argv)) return 0;
@@ -168,6 +180,18 @@ int main(int argc, char** argv) {
         runtime::RuntimeOptions options;
         options.top_k = config.top_k;
         options.sched.workload_adjust = !args.get_flag("no-adjust");
+
+        // Observability: a recorder when any trace output was asked for,
+        // a registry when --metrics names a file.
+        const bool want_trace =
+            !args.get("trace").empty() || args.get_flag("gantt");
+        const bool want_metrics = !args.get("metrics").empty();
+        std::optional<obs::TraceRecorder> recorder;
+        obs::MetricsRegistry registry;
+        if (want_trace) recorder.emplace();
+        options.trace = want_trace ? &*recorder : nullptr;
+        options.metrics = want_metrics ? &registry : nullptr;
+        if (want_metrics) config.metrics = &registry;
 
         std::cout << "searching " << queries.size() << " queries against "
                   << database.size() << " sequences ("
@@ -239,6 +263,41 @@ int main(int argc, char** argv) {
         std::cout << "\n" << format_double(report.wall_seconds, 2) << " s, "
                   << format_double(report.gcups, 3) << " GCUPS, "
                   << report.replicas_issued << " replicas issued\n";
+
+        if (want_trace) {
+            const obs::Trace trace = recorder->drain();
+            if (!args.get("trace").empty()) {
+                std::ofstream tf(args.get("trace"));
+                SWH_REQUIRE(static_cast<bool>(tf),
+                            "cannot open --trace file for writing");
+                obs::export_chrome_json(trace, tf);
+                std::cout << "trace (" << trace.total_events()
+                          << " events) written to " << args.get("trace")
+                          << " — open it at ui.perfetto.dev\n";
+            }
+            if (args.get_flag("gantt")) {
+                const double step =
+                    std::max(report.wall_seconds / 60.0, 1e-6);
+                std::cout << "\n" << obs::render_trace_gantt(trace, step);
+            }
+        }
+        if (want_metrics) {
+            std::ofstream mf(args.get("metrics"));
+            SWH_REQUIRE(static_cast<bool>(mf),
+                        "cannot open --metrics file for writing");
+            mf << report.metrics.to_json() << '\n';
+            for (const runtime::KindCells& kc : report.cells_by_kind()) {
+                std::cout << core::to_string(kc.kind) << ": "
+                          << with_thousands(static_cast<long long>(
+                                 kc.cells_accepted))
+                          << " cells accepted, "
+                          << with_thousands(static_cast<long long>(
+                                 kc.cells_discarded))
+                          << " discarded\n";
+            }
+            std::cout << "metrics written to " << args.get("metrics")
+                      << '\n';
+        }
         return 0;
     } catch (const std::exception& e) {
         std::cerr << "error: " << e.what() << '\n';

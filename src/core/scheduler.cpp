@@ -38,6 +38,7 @@ void SchedulerCore::register_slave(PeId pe, PeKind kind) {
                 "slave already registered");
     slaves_.emplace(pe,
                     Slave{kind, ProgressHistory(options_.omega), {}, 0.0});
+    if (observer_ != nullptr) observer_->on_slave_registered(pe, kind);
 }
 
 void SchedulerCore::deregister_slave(PeId pe, double now) {
@@ -45,8 +46,8 @@ void SchedulerCore::deregister_slave(PeId pe, double now) {
     for (const TaskId t : s.queue) {
         table_.release(t, pe);
     }
-    (void)now;
     slaves_.erase(pe);
+    if (observer_ != nullptr) observer_->on_slave_deregistered(pe, now);
 }
 
 bool SchedulerCore::is_registered(PeId pe) const {
@@ -157,26 +158,42 @@ std::vector<TaskId> SchedulerCore::on_work_request(PeId pe, double now) {
 
     // Workload adjustment: no ready task was available for this request,
     // so hand out a task that is still executing on a (slower) PE.
+    bool replica = false;
     if (assigned.empty() && options_.workload_adjust &&
         table_.ready_count() == 0 && !table_.all_finished()) {
         if (const std::optional<TaskId> t = pick_replica(pe, now)) {
             table_.add_replica(*t, pe);
             assigned.push_back(*t);
             ++replicas_issued_;
+            replica = true;
         }
     }
 
     if (!assigned.empty()) {
         if (s.queue.empty()) s.front_started = now;
         for (const TaskId t : assigned) s.queue.push_back(t);
+        if (observer_ != nullptr) {
+            observer_->on_package_sized(pe, assigned.size(), replica, now);
+            for (const TaskId t : assigned) {
+                if (replica) {
+                    observer_->on_replica_issued(pe, t, now);
+                } else {
+                    observer_->on_task_assigned(pe, t, now);
+                }
+            }
+        }
     }
     return assigned;
 }
 
 void SchedulerCore::on_progress(PeId pe, double now,
                                 double cells_per_second) {
-    (void)now;
-    slave(pe).history.record(cells_per_second);
+    Slave& s = slave(pe);
+    const double prior = s.history.rate();
+    s.history.record(cells_per_second);
+    if (observer_ != nullptr) {
+        observer_->on_progress(pe, now, cells_per_second, prior);
+    }
 }
 
 void SchedulerCore::remove_from_queue(PeId pe, TaskId task, double now) {
@@ -194,6 +211,9 @@ SchedulerCore::CompletionResult SchedulerCore::on_task_complete(
     result.accepted = table_.complete(task, pe);
     if (!result.accepted) ++completions_discarded_;
     remove_from_queue(pe, task, now);
+    if (observer_ != nullptr) {
+        observer_->on_task_completed(pe, task, result.accepted, now);
+    }
 
     if (result.accepted && options_.cancel_losers) {
         // Copy: release() mutates the executor list we iterate.
@@ -202,6 +222,9 @@ SchedulerCore::CompletionResult SchedulerCore::on_task_complete(
             table_.release(task, loser);
             remove_from_queue(loser, task, now);
             result.cancelled.push_back(loser);
+            if (observer_ != nullptr) {
+                observer_->on_task_cancelled(loser, task, now);
+            }
         }
     }
     return result;

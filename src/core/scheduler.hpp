@@ -8,6 +8,7 @@
 
 #include "core/policy.hpp"
 #include "core/progress.hpp"
+#include "core/sched_observer.hpp"
 #include "core/task_table.hpp"
 #include "core/types.hpp"
 
@@ -56,6 +57,11 @@ public:
     SchedulerCore(std::vector<Task> tasks,
                   std::unique_ptr<AllocationPolicy> policy,
                   SchedulerOptions options);
+
+    /// Attaches a decision observer (nullptr detaches). Non-owning; the
+    /// observer must outlive the scheduler or be detached first. Events
+    /// are reported synchronously on the thread delivering them.
+    void set_observer(SchedObserver* observer) { observer_ = observer; }
 
     // ---- Slave membership -------------------------------------------
 
@@ -134,6 +140,7 @@ private:
     TaskTable table_;
     std::unique_ptr<AllocationPolicy> policy_;
     SchedulerOptions options_;
+    SchedObserver* observer_ = nullptr;
     std::map<PeId, Slave> slaves_;
     std::size_t replicas_issued_ = 0;
     std::size_t completions_discarded_ = 0;

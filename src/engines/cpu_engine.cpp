@@ -8,6 +8,8 @@
 #include "align/db_scan.hpp"
 #include "align/striped.hpp"
 #include "db/packed.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace swh::engines {
@@ -77,6 +79,10 @@ core::TaskResult CpuEngine::execute(const align::Sequence& query,
                                     core::TaskId task,
                                     const db::Database& database,
                                     ExecutionObserver* observer) {
+    obs::TraceLane* lane =
+        observer != nullptr ? observer->trace_lane() : nullptr;
+    if (lane != nullptr) lane->span_begin("kernel:cpu-striped", task);
+
     const align::StripedAligner aligner(query.residues, *config_.matrix,
                                         config_.gap, config_.isa);
     // Packed arena: built once per database (cached inside it), scanned
@@ -154,6 +160,19 @@ core::TaskResult CpuEngine::execute(const align::Sequence& query,
     for (TopK& c : collectors) merged.merge(std::move(c));
     result.hits = merged.take();
     result.cells = cells_done.load();
+
+    if (config_.metrics != nullptr) {
+        // The aligner is per-task, so its counters are exactly this
+        // task's escalation profile.
+        const align::StripedAligner::Stats st = aligner.stats();
+        config_.metrics->counter("engine.cpu.runs8").add(st.runs8);
+        config_.metrics->counter("engine.cpu.runs16").add(st.runs16);
+        config_.metrics->counter("engine.cpu.runs32").add(st.runs32);
+    }
+    if (lane != nullptr) {
+        lane->span_end("kernel:cpu-striped", task,
+                       stop.load(std::memory_order_relaxed) ? 1.0 : 0.0);
+    }
     return result;
 }
 

@@ -10,6 +10,11 @@
 #include "db/database.hpp"
 #include "simd/arch.hpp"
 
+namespace swh::obs {
+class TraceLane;
+class MetricsRegistry;
+}  // namespace swh::obs
+
 namespace swh::engines {
 
 /// Observer a slave passes into an engine run: receives cell-count
@@ -25,6 +30,13 @@ public:
 
     /// Engines poll this between database sequences.
     virtual bool cancelled() const { return false; }
+
+    /// Trace lane of the slave thread driving this execution, so the
+    /// engine can emit kernel spans onto the same timeline row as the
+    /// slave's task spans. Null (the default) = tracing off. Only the
+    /// thread that called execute() may emit on it; wrapper observers
+    /// (e.g. ThrottledEngine's pacing) must forward it downstream.
+    virtual obs::TraceLane* trace_lane() const { return nullptr; }
 };
 
 /// Shared configuration for all compute engines.
@@ -39,6 +51,9 @@ struct EngineConfig {
     /// Subjects a worker claims per atomic op when scanning the packed
     /// database (align::DatabaseScanner chunked work claiming).
     std::size_t scan_chunk = 64;
+    /// Optional metrics sink (engines fold in per-task counters like the
+    /// 8->16->32-bit escalation counts). Non-owning; null = off.
+    obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// A processing element's compute backend: runs one task (query vs whole

@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "align/striped.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace swh::engines {
@@ -23,6 +25,10 @@ core::TaskResult FpgaSimEngine::execute(const align::Sequence& query,
                                         core::TaskId task,
                                         const db::Database& database,
                                         ExecutionObserver* observer) {
+    obs::TraceLane* lane =
+        observer != nullptr ? observer->trace_lane() : nullptr;
+    if (lane != nullptr) lane->span_begin("kernel:fpga-systolic", task);
+
     // Build one aligner per query segment. A query within the limit is a
     // single segment; a long one is chopped with overlap (paper SS III on
     // [13]: "long query sequences are segmented (with overlap)").
@@ -55,14 +61,20 @@ core::TaskResult FpgaSimEngine::execute(const align::Sequence& query,
 
     std::vector<core::Hit> hits;
     std::uint64_t pending = 0;
+    std::uint64_t host_delegated = 0;
+    bool was_cancelled = false;
     for (std::size_t i = 0; i < database.size(); ++i) {
-        if (observer != nullptr && observer->cancelled()) break;
+        if (observer != nullptr && observer->cancelled()) {
+            was_cancelled = true;
+            break;
+        }
         const align::Sequence& subject = database[i];
         if (subject.size() > limits_.max_subject_len) {
             // Does not fit the array: host CPU runs the full comparison
             // (exact same kernel here — identical scores, different
             // provenance).
             host_delegations_.fetch_add(1, std::memory_order_relaxed);
+            ++host_delegated;
         }
         align::Score best = 0;
         for (const auto& seg : segments) {
@@ -87,6 +99,20 @@ core::TaskResult FpgaSimEngine::execute(const align::Sequence& query,
     }
     if (pending > 0 && observer != nullptr) observer->on_cells(pending);
     result.hits = std::move(hits);
+
+    if (config_.metrics != nullptr) {
+        if (segments.size() > 1) {
+            config_.metrics->counter("engine.fpga.segmented_queries").add();
+        }
+        if (host_delegated > 0) {
+            config_.metrics->counter("engine.fpga.host_delegations")
+                .add(host_delegated);
+        }
+    }
+    if (lane != nullptr) {
+        lane->span_end("kernel:fpga-systolic", task,
+                       was_cancelled ? 1.0 : 0.0);
+    }
     return result;
 }
 

@@ -30,6 +30,10 @@ public:
         return downstream_ != nullptr && downstream_->cancelled();
     }
 
+    obs::TraceLane* trace_lane() const override {
+        return downstream_ != nullptr ? downstream_->trace_lane() : nullptr;
+    }
+
     /// Final pace so the total task duration matches the model even if
     /// the inner engine reported progress coarsely.
     void finish() { pace(); }

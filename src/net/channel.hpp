@@ -11,6 +11,17 @@
 
 namespace swh::net {
 
+/// Observation hook for a Channel's traffic (see obs::ChannelTracer).
+/// Callbacks run WITH THE CHANNEL MUTEX HELD — the serialisation is
+/// what makes a per-channel trace lane safe — so they must be quick and
+/// must never call back into the channel.
+class ChannelObserver {
+public:
+    virtual ~ChannelObserver() = default;
+    virtual void on_send(std::size_t depth_after) { (void)depth_after; }
+    virtual void on_recv(std::size_t depth_after) { (void)depth_after; }
+};
+
 /// Blocking MPSC message queue — the "network" between master and slaves
 /// in the threaded runtime. An optional fixed delivery delay emulates
 /// link latency (a message becomes visible to recv only delay seconds
@@ -27,14 +38,24 @@ public:
     Channel(const Channel&) = delete;
     Channel& operator=(const Channel&) = delete;
 
+    /// Attaches a traffic observer (nullptr detaches). Non-owning; the
+    /// observer must outlive the channel's traffic.
+    void set_observer(ChannelObserver* observer) {
+        const std::lock_guard lock(mu_);
+        observer_ = observer;
+    }
+
     void send(T msg) {
         {
             const std::lock_guard lock(mu_);
             SWH_REQUIRE(!closed_, "send on closed channel");
             queue_.push_back(
                 Entry{Clock::now() + delay_, std::move(msg)});
+            if (observer_ != nullptr) observer_->on_send(queue_.size());
         }
-        cv_.notify_all();
+        // Single consumer per channel (MPSC): waking one waiter is
+        // enough and avoids a thundering notify_all per message.
+        cv_.notify_one();
     }
 
     /// Blocks until a message is deliverable or the channel is closed and
@@ -53,6 +74,7 @@ public:
         }
         T msg = std::move(queue_.front().payload);
         queue_.pop_front();
+        if (observer_ != nullptr) observer_->on_recv(queue_.size());
         return msg;
     }
 
@@ -63,10 +85,13 @@ public:
             return std::nullopt;
         T msg = std::move(queue_.front().payload);
         queue_.pop_front();
+        if (observer_ != nullptr) observer_->on_recv(queue_.size());
         return msg;
     }
 
     /// After close, sends throw and recv drains then returns nullopt.
+    /// notify_all here on purpose: close is a broadcast-shaped event
+    /// (any stray waiter must observe it), unlike per-message sends.
     void close() {
         {
             const std::lock_guard lock(mu_);
@@ -91,6 +116,7 @@ private:
     std::condition_variable cv_;
     std::deque<Entry> queue_;
     Clock::duration delay_{};
+    ChannelObserver* observer_ = nullptr;
     bool closed_ = false;
 };
 

@@ -1,0 +1,53 @@
+#include "obs/gantt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/str.hpp"
+
+namespace swh::obs {
+
+std::string render_gantt(std::span<const GanttSpan> spans,
+                         std::span<const std::string> row_labels,
+                         double time_step) {
+    SWH_REQUIRE(time_step > 0.0, "time step must be positive");
+    double horizon = 0.0;
+    for (const GanttSpan& s : spans) horizon = std::max(horizon, s.end);
+    const auto cols = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::ceil(horizon / time_step)));
+    std::size_t label_w = 0;
+    for (const std::string& label : row_labels) {
+        label_w = std::max(label_w, label.size());
+    }
+
+    auto glyph_char = [](std::uint64_t g) {
+        static const char* glyphs =
+            "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+        return glyphs[g % 62];
+    };
+
+    std::ostringstream os;
+    for (std::size_t p = 0; p < row_labels.size(); ++p) {
+        std::string row(cols, '.');
+        for (const GanttSpan& s : spans) {
+            if (s.row != p) continue;
+            auto c0 = static_cast<std::size_t>(s.start / time_step);
+            auto c1 = static_cast<std::size_t>(std::ceil(s.end / time_step));
+            c1 = std::min(c1, cols);
+            for (std::size_t c = c0; c < c1; ++c) {
+                row[c] = s.aborted ? 'x' : glyph_char(s.glyph);
+            }
+        }
+        os << row_labels[p]
+           << std::string(label_w - row_labels[p].size(), ' ') << " |" << row
+           << "|\n";
+    }
+    os << std::string(label_w, ' ') << "  0" << std::string(cols - 1, ' ')
+       << swh::format_double(horizon, 1) << "s  (one column = "
+       << swh::format_double(time_step, 2) << "s)\n";
+    return os.str();
+}
+
+}  // namespace swh::obs

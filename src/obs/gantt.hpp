@@ -1,0 +1,32 @@
+#pragma once
+
+// Shared ASCII Gantt renderer (paper Fig. 5). Both execution modes
+// produce the same chart through this one function: the discrete-event
+// simulator converts its sim::TaskSpan list, the threaded runtime
+// converts TraceRecorder span events (obs::render_trace_gantt) — so a
+// real run and its simulated counterpart are visually comparable.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace swh::obs {
+
+/// One rendered bar: `glyph` selects the character (task id), `row` the
+/// chart line. Aborted spans render as 'x'.
+struct GanttSpan {
+    std::size_t row = 0;
+    std::uint64_t glyph = 0;
+    double start = 0.0;
+    double end = 0.0;
+    bool aborted = false;
+};
+
+/// Renders one row per label; `time_step` is the width of one character
+/// cell in seconds.
+std::string render_gantt(std::span<const GanttSpan> spans,
+                         std::span<const std::string> row_labels,
+                         double time_step);
+
+}  // namespace swh::obs

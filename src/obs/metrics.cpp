@@ -1,0 +1,196 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace swh::obs {
+
+namespace {
+
+int bucket_index(double v) {
+    if (!(v > 0.0)) return 0;  // 0, negatives, NaN -> lowest bucket
+    const int e = std::ilogb(v);  // floor(log2(v)) for finite v > 0
+    return std::clamp(e - Histogram::kMinExp, 0, Histogram::kBuckets - 1);
+}
+
+double bucket_low(int i) { return std::ldexp(1.0, i + Histogram::kMinExp); }
+
+/// Percentile estimate: walk the cumulative bucket counts to the target
+/// rank, interpolate linearly inside the bucket, clamp to the exact
+/// observed [min, max].
+double estimate_percentile(const std::array<std::uint64_t,
+                                            Histogram::kBuckets>& buckets,
+                           std::uint64_t count, double p, double min,
+                           double max) {
+    if (count == 0) return 0.0;
+    const double target = p / 100.0 * static_cast<double>(count);
+    std::uint64_t seen = 0;
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+        if (buckets[i] == 0) continue;
+        const auto next = seen + buckets[i];
+        if (static_cast<double>(next) >= target) {
+            const double frac =
+                (target - static_cast<double>(seen)) /
+                static_cast<double>(buckets[i]);
+            const double lo = bucket_low(i);
+            const double est = lo + frac * lo;  // hi = 2*lo
+            return std::clamp(est, min, max);
+        }
+        seen = next;
+    }
+    return max;
+}
+
+}  // namespace
+
+void Histogram::record(double v) {
+    const std::lock_guard lock(mu_);
+    stats_.add(v);
+    ++buckets_[static_cast<std::size_t>(bucket_index(v))];
+}
+
+std::uint64_t Histogram::count() const {
+    const std::lock_guard lock(mu_);
+    return stats_.count();
+}
+
+HistogramSummary Histogram::summary(std::string name) const {
+    const std::lock_guard lock(mu_);
+    HistogramSummary s;
+    s.name = std::move(name);
+    s.count = stats_.count();
+    s.min = stats_.min();
+    s.max = stats_.max();
+    s.mean = stats_.mean();
+    s.stdev = stats_.stdev();
+    s.p50 = estimate_percentile(buckets_, s.count, 50.0, s.min, s.max);
+    s.p90 = estimate_percentile(buckets_, s.count, 90.0, s.min, s.max);
+    s.p99 = estimate_percentile(buckets_, s.count, 99.0, s.min, s.max);
+    for (int i = 0; i < kBuckets; ++i) {
+        if (buckets_[static_cast<std::size_t>(i)] > 0) {
+            s.buckets.push_back(HistogramSummary::Bucket{
+                i + kMinExp, buckets_[static_cast<std::size_t>(i)]});
+        }
+    }
+    return s;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+    const std::lock_guard lock(mu_);
+    return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+    const std::lock_guard lock(mu_);
+    return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+    const std::lock_guard lock(mu_);
+    return histograms_[name];
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+    const std::lock_guard lock(mu_);
+    MetricsSnapshot out;
+    out.counters.reserve(counters_.size());
+    for (const auto& [name, c] : counters_) {
+        out.counters.emplace_back(name, c.value());
+    }
+    out.gauges.reserve(gauges_.size());
+    for (const auto& [name, g] : gauges_) {
+        out.gauges.emplace_back(name, g.value());
+    }
+    out.histograms.reserve(histograms_.size());
+    for (const auto& [name, h] : histograms_) {
+        out.histograms.push_back(h.summary(name));
+    }
+    return out;
+}
+
+std::uint64_t MetricsSnapshot::counter(const std::string& name) const {
+    for (const auto& [n, v] : counters) {
+        if (n == name) return v;
+    }
+    return 0;
+}
+
+const HistogramSummary* MetricsSnapshot::histogram(
+    const std::string& name) const {
+    for (const HistogramSummary& h : histograms) {
+        if (h.name == name) return &h;
+    }
+    return nullptr;
+}
+
+namespace {
+
+void json_string(std::ostringstream& os, const std::string& s) {
+    os << '"';
+    for (const char c : s) {
+        if (c == '"' || c == '\\') os << '\\';
+        os << c;
+    }
+    os << '"';
+}
+
+void json_number(std::ostringstream& os, double v) {
+    if (!std::isfinite(v)) {
+        os << "null";
+        return;
+    }
+    // Shortest round-trippable-ish form without trailing-zero noise.
+    std::ostringstream tmp;
+    tmp.precision(12);
+    tmp << v;
+    os << tmp.str();
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_json() const {
+    std::ostringstream os;
+    os << "{\n  \"counters\": {";
+    for (std::size_t i = 0; i < counters.size(); ++i) {
+        os << (i == 0 ? "\n    " : ",\n    ");
+        json_string(os, counters[i].first);
+        os << ": " << counters[i].second;
+    }
+    os << "\n  },\n  \"gauges\": {";
+    for (std::size_t i = 0; i < gauges.size(); ++i) {
+        os << (i == 0 ? "\n    " : ",\n    ");
+        json_string(os, gauges[i].first);
+        os << ": ";
+        json_number(os, gauges[i].second);
+    }
+    os << "\n  },\n  \"histograms\": {";
+    for (std::size_t i = 0; i < histograms.size(); ++i) {
+        const HistogramSummary& h = histograms[i];
+        os << (i == 0 ? "\n    " : ",\n    ");
+        json_string(os, h.name);
+        os << ": {\"count\": " << h.count;
+        for (const auto& [key, v] :
+             {std::pair<const char*, double>{"min", h.min},
+              {"max", h.max},
+              {"mean", h.mean},
+              {"stdev", h.stdev},
+              {"p50", h.p50},
+              {"p90", h.p90},
+              {"p99", h.p99}}) {
+            os << ", \"" << key << "\": ";
+            json_number(os, v);
+        }
+        os << ", \"buckets\": [";
+        for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+            if (b > 0) os << ", ";
+            os << '[' << h.buckets[b].exp2 << ", " << h.buckets[b].count
+               << ']';
+        }
+        os << "]}";
+    }
+    os << "\n  }\n}\n";
+    return os.str();
+}
+
+}  // namespace swh::obs

@@ -1,0 +1,125 @@
+#pragma once
+
+// Run-level metrics registry: named counters, gauges, and log2-bucket
+// histograms, built for concurrent recording from master + slave +
+// engine-worker threads. Creation (name lookup) takes the registry
+// mutex — resolve metric handles once, outside hot loops; recording is
+// an atomic op (counter/gauge) or a short critical section (histogram).
+// snapshot() produces a plain MetricsSnapshot that RunReport carries
+// and that serialises to JSON.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace swh::obs {
+
+class Counter {
+public:
+    void add(std::uint64_t n = 1) {
+        v_.fetch_add(n, std::memory_order_relaxed);
+    }
+    std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+private:
+    std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins sampled value (queue depth, configuration knobs).
+class Gauge {
+public:
+    void set(double v) { v_.store(v, std::memory_order_relaxed); }
+    double value() const { return v_.load(std::memory_order_relaxed); }
+
+private:
+    std::atomic<double> v_{0.0};
+};
+
+/// Exported summary of one histogram. Exact count/min/max/mean/stdev
+/// (Welford, util/stats RunningStats); percentiles are estimates
+/// interpolated inside the containing power-of-two bucket.
+struct HistogramSummary {
+    std::string name;
+    std::uint64_t count = 0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    double stdev = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+    struct Bucket {
+        int exp2 = 0;  ///< bucket covers [2^exp2, 2^(exp2+1))
+        std::uint64_t count = 0;
+    };
+    std::vector<Bucket> buckets;  ///< non-empty buckets, ascending exp2
+};
+
+/// Log2-bucket histogram of non-negative samples. Bucket i covers
+/// [2^(i+kMinExp), 2^(i+1+kMinExp)); values at or below 2^kMinExp land
+/// in bucket 0, values at or above 2^kMaxExp in the last. The exponent
+/// range spans nanoseconds-as-seconds up to multi-billion cell counts.
+class Histogram {
+public:
+    static constexpr int kMinExp = -32;
+    static constexpr int kBuckets = 64;
+
+    void record(double v);
+
+    HistogramSummary summary(std::string name) const;
+    std::uint64_t count() const;
+
+private:
+    mutable std::mutex mu_;
+    RunningStats stats_;
+    std::array<std::uint64_t, kBuckets> buckets_{};
+};
+
+/// Point-in-time copy of a whole registry; safe to keep after the
+/// registry is gone (RunReport embeds one).
+struct MetricsSnapshot {
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<HistogramSummary> histograms;
+
+    bool empty() const {
+        return counters.empty() && gauges.empty() && histograms.empty();
+    }
+
+    /// Counter value by exact name; 0 if absent.
+    std::uint64_t counter(const std::string& name) const;
+    /// Histogram summary by exact name; nullptr if absent.
+    const HistogramSummary* histogram(const std::string& name) const;
+
+    std::string to_json() const;
+};
+
+class MetricsRegistry {
+public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry&) = delete;
+    MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+    /// Get-or-create; the returned reference is stable for the
+    /// registry's lifetime (node-based storage).
+    Counter& counter(const std::string& name);
+    Gauge& gauge(const std::string& name);
+    Histogram& histogram(const std::string& name);
+
+    MetricsSnapshot snapshot() const;
+
+private:
+    mutable std::mutex mu_;
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Gauge> gauges_;
+    std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace swh::obs

@@ -1,0 +1,204 @@
+#pragma once
+
+// Structured run tracing for the threaded runtime (and, via handcrafted
+// Trace objects, the simulator). Each participating thread owns a
+// TraceLane — a fixed-capacity ring of typed events stamped on a
+// steady clock shared by the whole recorder — so capture is lock-free,
+// allocation-free in steady state, and near-free when disabled (one
+// relaxed atomic load per emit). After the run quiesces, drain() turns
+// the rings into a plain Trace that the exporters (Chrome trace-event
+// JSON for Perfetto, CSV, ASCII Gantt) consume.
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "util/ring_buffer.hpp"
+
+namespace swh::obs {
+
+/// Full task-lifecycle + transport + span taxonomy (DESIGN.md
+/// "Observability"). Scheduler-decision kinds mirror core::SchedObserver.
+enum class EventKind : std::uint8_t {
+    SlaveRegistered,     ///< pe, value = PeKind
+    SlaveDeregistered,   ///< pe
+    PackageSized,        ///< pe, value = tasks in the package
+    TaskAssigned,        ///< pe, task
+    ReplicaIssued,       ///< pe, task (workload-adjustment re-assignment)
+    Progress,            ///< pe, value = realised cells/s
+    RateError,           ///< pe, value = |estimate-realised|/realised
+    CompletedAccepted,   ///< pe, task (first finisher)
+    CompletedDiscarded,  ///< pe, task (lost replica race)
+    TaskCancelled,       ///< pe, task (cancel_losers abandon order)
+    ChannelSend,         ///< value = queue depth after the send
+    ChannelRecv,         ///< value = queue depth after the recv
+    SpanBegin,           ///< name, task — task/kernel span opens
+    SpanEnd,             ///< name, task, value = outcome (0 ok, 1 aborted)
+};
+
+const char* to_string(EventKind kind);
+
+/// Sentinel for events not tied to a task.
+constexpr core::TaskId kNoTask = ~core::TaskId{0};
+
+/// One captured event. POD on purpose: emitting must never allocate.
+/// `name` must point at static-storage strings (string literals).
+struct TraceEvent {
+    double t = 0.0;  ///< seconds since the recorder epoch
+    EventKind kind = EventKind::Progress;
+    core::PeId pe = core::kInvalidPe;
+    core::TaskId task = kNoTask;
+    double value = 0.0;
+    const char* name = nullptr;
+};
+
+class TraceRecorder;
+
+/// One thread's capture stream. Obtain via TraceRecorder::lane(); the
+/// reference stays valid for the recorder's lifetime. NOT thread-safe:
+/// a lane belongs to exactly one thread (or to one lock, e.g. a
+/// channel's mutex — see ChannelTracer), which is what guarantees the
+/// per-lane event order the tests assert.
+class TraceLane {
+public:
+    /// Records an event stamped now. When the recorder is disabled this
+    /// is a single relaxed load + branch; when full, the ring drops the
+    /// OLDEST event (dropped() counts them) so recent history survives.
+    inline void emit(EventKind kind, core::PeId pe = core::kInvalidPe,
+                     core::TaskId task = kNoTask, double value = 0.0,
+                     const char* name = nullptr);
+
+    void span_begin(const char* name, core::TaskId task = kNoTask,
+                    core::PeId pe = core::kInvalidPe) {
+        emit(EventKind::SpanBegin, pe, task, 0.0, name);
+    }
+
+    /// `outcome` 0 = completed, 1 = aborted/cancelled (renders as 'x'
+    /// in the Gantt).
+    void span_end(const char* name, core::TaskId task = kNoTask,
+                  double outcome = 0.0,
+                  core::PeId pe = core::kInvalidPe) {
+        emit(EventKind::SpanEnd, pe, task, outcome, name);
+    }
+
+    const std::string& label() const { return label_; }
+    std::uint64_t dropped() const { return dropped_; }
+    std::size_t size() const { return ring_.size(); }
+
+private:
+    friend class TraceRecorder;
+    TraceLane(TraceRecorder* recorder, std::string label,
+              std::size_t capacity)
+        : recorder_(recorder), label_(std::move(label)), ring_(capacity) {}
+
+    TraceRecorder* recorder_;
+    std::string label_;
+    RingBuffer<TraceEvent> ring_;
+    std::uint64_t dropped_ = 0;
+};
+
+/// Drained, exporter-ready form of one lane.
+struct TraceLaneData {
+    std::string label;
+    std::vector<TraceEvent> events;  ///< chronological (emission order)
+    std::uint64_t dropped = 0;
+};
+
+/// A complete captured run: one entry per lane, in registration order.
+/// Plain data — the simulator/bench harness build these by hand from
+/// virtual-time spans so both execution modes share the exporters.
+struct Trace {
+    std::vector<TraceLaneData> lanes;
+
+    std::size_t total_events() const {
+        std::size_t n = 0;
+        for (const TraceLaneData& l : lanes) n += l.events.size();
+        return n;
+    }
+};
+
+/// Owns the lanes and the shared clock. Lane registration takes a lock;
+/// emission does not. Typical lifecycle: construct, hand lanes out,
+/// reset_epoch() at run start, run, drain() after every emitting thread
+/// has quiesced (drain is NOT synchronised against concurrent emits).
+class TraceRecorder {
+public:
+    static constexpr std::size_t kDefaultLaneCapacity = 1 << 14;
+
+    explicit TraceRecorder(std::size_t lane_capacity = kDefaultLaneCapacity,
+                           bool enabled = true)
+        : enabled_(enabled),
+          lane_capacity_(lane_capacity),
+          epoch_(Clock::now()) {}
+
+    TraceRecorder(const TraceRecorder&) = delete;
+    TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+    bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+    void set_enabled(bool on) {
+        enabled_.store(on, std::memory_order_relaxed);
+    }
+
+    /// Seconds since the epoch on the shared steady clock.
+    double now_s() const {
+        return std::chrono::duration<double>(Clock::now() - epoch_).count();
+    }
+
+    /// Re-zeroes the timeline (e.g. at HybridRuntime::run entry) so
+    /// trace timestamps are comparable with the run's own clock.
+    void reset_epoch() { epoch_ = Clock::now(); }
+
+    /// Registers a new capture stream (always a new lane, even for a
+    /// repeated label). Thread-safe; the returned reference is stable.
+    TraceLane& lane(std::string label) {
+        const std::lock_guard lock(mu_);
+        lanes_.push_back(std::unique_ptr<TraceLane>(
+            new TraceLane(this, std::move(label), lane_capacity_)));
+        return *lanes_.back();
+    }
+
+    /// Copies every lane's ring into a flat Trace. Call only after the
+    /// emitting threads have joined/quiesced.
+    Trace drain() const;
+
+private:
+    using Clock = std::chrono::steady_clock;
+
+    std::atomic<bool> enabled_;
+    std::size_t lane_capacity_;
+    Clock::time_point epoch_;
+    mutable std::mutex mu_;
+    std::vector<std::unique_ptr<TraceLane>> lanes_;
+};
+
+inline void TraceLane::emit(EventKind kind, core::PeId pe, core::TaskId task,
+                            double value, const char* name) {
+    if (!recorder_->enabled()) return;
+    if (ring_.full()) ++dropped_;
+    ring_.push(TraceEvent{recorder_->now_s(), kind, pe, task, value, name});
+}
+
+// ---- Exporters ----------------------------------------------------------
+
+/// Chrome trace-event JSON ({"traceEvents":[...]}), loadable in Perfetto
+/// (ui.perfetto.dev) and chrome://tracing. Lanes become named threads of
+/// pid 0; spans become B/E duration events, channel depths become "C"
+/// counter tracks, everything else instant events with args.
+void export_chrome_json(const Trace& trace, std::ostream& os);
+std::string chrome_json(const Trace& trace);
+
+/// Flat CSV: lane,label,t_seconds,kind,pe,task,value,name.
+void export_csv(const Trace& trace, std::ostream& os);
+
+/// ASCII Gantt of the trace's SpanBegin/SpanEnd pairs, one row per lane
+/// that carries spans — the threaded-runtime analogue of the
+/// simulator's paper-Fig.5 chart (both render through obs::render_gantt).
+std::string render_trace_gantt(const Trace& trace, double time_step);
+
+}  // namespace swh::obs

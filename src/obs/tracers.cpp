@@ -1,0 +1,100 @@
+#include "obs/tracers.hpp"
+
+#include <cmath>
+
+namespace swh::obs {
+
+SchedTracer::SchedTracer(TraceLane* lane, MetricsRegistry* metrics)
+    : lane_(lane) {
+    if (metrics != nullptr) {
+        packages_ = &metrics->counter("sched.packages");
+        replicas_ = &metrics->counter("sched.replicas_issued");
+        accepted_ = &metrics->counter("sched.completions_accepted");
+        discarded_ = &metrics->counter("sched.completions_discarded");
+        cancelled_ = &metrics->counter("sched.tasks_cancelled");
+        package_size_ = &metrics->histogram("sched.package_size");
+        rate_error_ = &metrics->histogram("sched.rate_estimate_rel_error");
+    }
+}
+
+void SchedTracer::on_slave_registered(core::PeId pe, core::PeKind kind) {
+    if (lane_ != nullptr) {
+        lane_->emit(EventKind::SlaveRegistered, pe, kNoTask,
+                    static_cast<double>(kind), core::to_string(kind));
+    }
+}
+
+void SchedTracer::on_slave_deregistered(core::PeId pe, double now) {
+    (void)now;
+    if (lane_ != nullptr) lane_->emit(EventKind::SlaveDeregistered, pe);
+}
+
+void SchedTracer::on_package_sized(core::PeId pe, std::size_t tasks,
+                                   bool replica, double now) {
+    (void)now;
+    (void)replica;
+    if (lane_ != nullptr) {
+        lane_->emit(EventKind::PackageSized, pe, kNoTask,
+                    static_cast<double>(tasks));
+    }
+    if (packages_ != nullptr) packages_->add();
+    if (package_size_ != nullptr) {
+        package_size_->record(static_cast<double>(tasks));
+    }
+}
+
+void SchedTracer::on_task_assigned(core::PeId pe, core::TaskId task,
+                                   double now) {
+    (void)now;
+    if (lane_ != nullptr) lane_->emit(EventKind::TaskAssigned, pe, task);
+}
+
+void SchedTracer::on_replica_issued(core::PeId pe, core::TaskId task,
+                                    double now) {
+    (void)now;
+    if (lane_ != nullptr) lane_->emit(EventKind::ReplicaIssued, pe, task);
+    if (replicas_ != nullptr) replicas_->add();
+}
+
+void SchedTracer::on_progress(core::PeId pe, double now,
+                              double cells_per_second,
+                              double prior_estimate) {
+    (void)now;
+    if (lane_ != nullptr) {
+        lane_->emit(EventKind::Progress, pe, kNoTask, cells_per_second);
+    }
+    // The estimate the master was steering by, scored against what the
+    // slave then actually delivered (paper SS IV-A.2's whole premise).
+    if (cells_per_second > 0.0 && prior_estimate > 0.0) {
+        const double err =
+            std::abs(prior_estimate - cells_per_second) / cells_per_second;
+        if (lane_ != nullptr) {
+            lane_->emit(EventKind::RateError, pe, kNoTask, err);
+        }
+        if (rate_error_ != nullptr) rate_error_->record(err);
+    }
+}
+
+void SchedTracer::on_task_completed(core::PeId pe, core::TaskId task,
+                                    bool accepted, double now) {
+    (void)now;
+    if (lane_ != nullptr) {
+        lane_->emit(accepted ? EventKind::CompletedAccepted
+                             : EventKind::CompletedDiscarded,
+                    pe, task);
+    }
+    if (accepted) {
+        if (accepted_ != nullptr) accepted_->add();
+    } else {
+        if (discarded_ != nullptr) discarded_->add();
+    }
+}
+
+void SchedTracer::on_task_cancelled(core::PeId pe, core::TaskId task,
+                                    double now) {
+    (void)now;
+    if (lane_ != nullptr) lane_->emit(EventKind::TaskCancelled, pe, task);
+    if (cancelled_ != nullptr) cancelled_->add();
+}
+
+}  // namespace swh::obs

@@ -1,13 +1,17 @@
 #include "runtime/hybrid_runtime.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <mutex>
 #include <set>
+#include <string>
 #include <thread>
 #include <utility>
 
 #include "net/channel.hpp"
 #include "net/messages.hpp"
+#include "obs/trace.hpp"
+#include "obs/tracers.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
 
@@ -26,13 +30,15 @@ public:
     SlaveObserver(PeId pe, TaskId current, double notify_period_s,
                   net::Channel<net::MasterMsg>& to_master,
                   net::Channel<net::SlaveMsg>& inbox,
-                  std::set<TaskId>& cancelled_queue)
+                  std::set<TaskId>& cancelled_queue,
+                  obs::TraceLane* lane)
         : pe_(pe),
           current_(current),
           period_(notify_period_s),
           to_master_(to_master),
           inbox_(inbox),
-          cancelled_queue_(cancelled_queue) {}
+          cancelled_queue_(cancelled_queue),
+          lane_(lane) {}
 
     void on_cells(std::uint64_t cells_delta) override {
         cells_ += cells_delta;
@@ -66,6 +72,10 @@ public:
         return cancelled_current_;
     }
 
+    /// The slave thread's trace lane, so engines nest kernel spans
+    /// inside this slave's task span.
+    obs::TraceLane* trace_lane() const override { return lane_; }
+
     /// Rate over the whole task, for a final notification on completion.
     void send_final_rate() {
         const double elapsed = since_notify_.seconds();
@@ -86,6 +96,7 @@ private:
     mutable bool cancelled_current_ = false;
     std::uint64_t cells_ = 0;
     Timer since_notify_;
+    obs::TraceLane* lane_;
 };
 
 struct SlaveShared {
@@ -128,12 +139,59 @@ RunReport HybridRuntime::run(std::vector<SlaveSpec> slaves,
         shared.back()->report.kind = slaves[i].engine->kind();
     }
 
+    // ---- Observability wiring (all optional) ----------------------------
+    // Lanes and metric handles are resolved here, before any thread
+    // starts, so the hot paths only ever touch pre-resolved pointers.
+    obs::TraceRecorder* const rec = options_.trace;
+    obs::MetricsRegistry* const metrics = options_.metrics;
+    if (rec != nullptr) rec->reset_epoch();
+
+    obs::SchedTracer sched_tracer(
+        rec != nullptr ? &rec->lane("master") : nullptr, metrics);
+    if (rec != nullptr || metrics != nullptr) {
+        sched.set_observer(&sched_tracer);
+    }
+    obs::ChannelTracer master_chan_tracer(
+        rec != nullptr ? &rec->lane("chan:master") : nullptr,
+        metrics != nullptr
+            ? &metrics->histogram("channel.master_inbox.depth")
+            : nullptr);
+    if (rec != nullptr || metrics != nullptr) {
+        master_inbox.set_observer(&master_chan_tracer);
+    }
+
+    std::vector<obs::TraceLane*> slave_lanes(n, nullptr);
+    std::vector<obs::Histogram*> slave_duration(n, nullptr);
+    std::vector<std::unique_ptr<obs::ChannelTracer>> chan_tracers;
+    obs::Histogram* const slave_depth =
+        metrics != nullptr ? &metrics->histogram("channel.slave_inbox.depth")
+                           : nullptr;
+    if (rec != nullptr || metrics != nullptr) {
+        for (std::size_t i = 0; i < n; ++i) {
+            if (rec != nullptr) {
+                slave_lanes[i] = &rec->lane(slaves[i].label);
+            }
+            if (metrics != nullptr) {
+                slave_duration[i] = &metrics->histogram(
+                    std::string("task.duration_s.") +
+                    core::to_string(slaves[i].engine->kind()));
+            }
+            chan_tracers.push_back(std::make_unique<obs::ChannelTracer>(
+                rec != nullptr ? &rec->lane("chan:" + slaves[i].label)
+                               : nullptr,
+                slave_depth));
+            shared[i]->inbox.set_observer(chan_tracers.back().get());
+        }
+    }
+
     Timer clock;
 
     // ---- Slave threads --------------------------------------------------
     auto slave_main = [&](PeId pe) {
         SlaveSpec& spec = slaves[pe];
         SlaveShared& sh = *shared[pe];
+        obs::TraceLane* const lane = slave_lanes[pe];
+        obs::Histogram* const duration_hist = slave_duration[pe];
         if (spec.join_delay_s > 0.0) {
             std::this_thread::sleep_for(
                 std::chrono::duration<double>(spec.join_delay_s));
@@ -176,16 +234,26 @@ RunReport HybridRuntime::run(std::vector<SlaveSpec> slaves,
             }
             const align::Sequence& query = queries_[task_meta.query_index];
 
-            SlaveObserver obs(pe, t, options_.notify_period_s, master_inbox,
-                              sh.inbox, cancelled_queue);
+            SlaveObserver slave_obs(pe, t, options_.notify_period_s,
+                                    master_inbox, sh.inbox, cancelled_queue,
+                                    lane);
+            if (lane != nullptr) lane->span_begin("task", t, pe);
+            Timer task_timer;
             core::TaskResult result = spec.engine->execute(
-                query, task_meta.query_index, t, *database_, &obs);
+                query, task_meta.query_index, t, *database_, &slave_obs);
+            const double task_seconds = task_timer.seconds();
             sh.report.cells_computed += result.cells;
 
-            if (obs.cancelled_current()) {
+            const bool was_cancelled = slave_obs.cancelled_current();
+            if (duration_hist != nullptr) duration_hist->record(task_seconds);
+            if (lane != nullptr) {
+                lane->span_end("task", t, was_cancelled ? 1.0 : 0.0, pe);
+            }
+
+            if (was_cancelled) {
                 ++sh.report.tasks_cancelled;
             } else {
-                obs.send_final_rate();
+                slave_obs.send_final_rate();
                 master_inbox.send(net::MsgTaskDone{pe, t, std::move(result)});
                 ++completions;
             }
@@ -258,6 +326,7 @@ RunReport HybridRuntime::run(std::vector<SlaveSpec> slaves,
                 // The slave finished before our cancellation reached it;
                 // the scheduler already released the replica.
                 ++report.slaves[done->pe].results_discarded;
+                report.slaves[done->pe].cells_discarded += done->result.cells;
                 ++raced_discards;
             } else {
                 const core::SchedulerCore::CompletionResult cr =
@@ -265,9 +334,13 @@ RunReport HybridRuntime::run(std::vector<SlaveSpec> slaves,
                 if (cr.accepted) {
                     report.accepted_cells += done->result.cells;
                     ++report.slaves[done->pe].results_accepted;
+                    report.slaves[done->pe].cells_accepted +=
+                        done->result.cells;
                     merger.add(done->result);
                 } else {
                     ++report.slaves[done->pe].results_discarded;
+                    report.slaves[done->pe].cells_discarded +=
+                        done->result.cells;
                 }
                 for (const PeId loser : cr.cancelled) {
                     shared[loser]->inbox.send(net::MsgCancel{done->task});
@@ -295,13 +368,32 @@ RunReport HybridRuntime::run(std::vector<SlaveSpec> slaves,
         SlaveReport merged = shared[i]->report;
         merged.results_accepted = report.slaves[i].results_accepted;
         merged.results_discarded = report.slaves[i].results_discarded;
+        merged.cells_accepted = report.slaves[i].cells_accepted;
+        merged.cells_discarded = report.slaves[i].cells_discarded;
         report.slaves[i] = std::move(merged);
     }
     report.hits.reserve(queries_.size());
     for (std::size_t q = 0; q < queries_.size(); ++q) {
         report.hits.push_back(merger.hits_for(q));
     }
+    if (metrics != nullptr) report.metrics = metrics->snapshot();
     return report;
+}
+
+std::vector<KindCells> RunReport::cells_by_kind() const {
+    std::vector<KindCells> out;
+    for (const SlaveReport& s : slaves) {
+        auto it = std::find_if(
+            out.begin(), out.end(),
+            [&](const KindCells& k) { return k.kind == s.kind; });
+        if (it == out.end()) {
+            out.push_back(KindCells{s.kind, 0, 0});
+            it = std::prev(out.end());
+        }
+        it->cells_accepted += s.cells_accepted;
+        it->cells_discarded += s.cells_discarded;
+    }
+    return out;
 }
 
 }  // namespace swh::runtime

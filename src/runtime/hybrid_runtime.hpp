@@ -9,6 +9,11 @@
 #include "core/scheduler.hpp"
 #include "db/database.hpp"
 #include "engines/engine.hpp"
+#include "obs/metrics.hpp"
+
+namespace swh::obs {
+class TraceRecorder;
+}  // namespace swh::obs
 
 namespace swh::runtime {
 
@@ -31,6 +36,13 @@ struct RuntimeOptions {
     std::size_t top_k = 10;
     /// Simulated link latency applied to every message.
     double channel_delay_s = 0.0;
+    /// Optional trace recorder: when set, the run emits per-slave task
+    /// spans, scheduler events, and channel depth samples into it.
+    /// Non-owning; the recorder must outlive run().
+    obs::TraceRecorder* trace = nullptr;
+    /// Optional metrics sink (task-duration histograms, scheduler
+    /// counters, channel depth). Non-owning; null = off.
+    obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct SlaveReport {
@@ -40,7 +52,20 @@ struct SlaveReport {
     std::size_t results_discarded = 0;  ///< lost replica races
     std::size_t tasks_cancelled = 0;    ///< abandoned mid-run
     std::uint64_t cells_computed = 0;
+    /// Cells of this slave's completions the master accepted (first
+    /// finisher of the task) vs discarded (lost replica races, including
+    /// completions that raced a cancellation).
+    std::uint64_t cells_accepted = 0;
+    std::uint64_t cells_discarded = 0;
     bool left_early = false;
+};
+
+/// Accepted/discarded cell totals aggregated over all slaves of one
+/// PE kind — the paper's per-device-class useful-vs-wasted work split.
+struct KindCells {
+    core::PeKind kind = core::PeKind::SseCore;
+    std::uint64_t cells_accepted = 0;
+    std::uint64_t cells_discarded = 0;
 };
 
 struct RunReport {
@@ -53,6 +78,12 @@ struct RunReport {
     std::vector<SlaveReport> slaves;
     /// Top-k hits per query (index-aligned with the query set).
     std::vector<std::vector<core::Hit>> hits;
+    /// Snapshot of RuntimeOptions::metrics taken after the run (empty
+    /// when no registry was attached).
+    obs::MetricsSnapshot metrics;
+
+    /// Per-PeKind accepted/discarded cell totals, in kind order.
+    std::vector<KindCells> cells_by_kind() const;
 };
 
 /// The threaded master/slave execution environment (paper Fig. 4): the

@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "core/results.hpp"
+#include "obs/gantt.hpp"
 #include "util/error.hpp"
 #include "util/str.hpp"
 
@@ -400,40 +401,18 @@ SimReport simulate(const SimConfig& config) {
 std::string render_gantt(const SimReport& report,
                          const std::vector<PeModelSpec>& pes,
                          double time_step) {
-    SWH_REQUIRE(time_step > 0.0, "time step must be positive");
-    double horizon = 0.0;
-    for (const TaskSpan& s : report.spans) horizon = std::max(horizon, s.end);
-    const auto cols =
-        static_cast<std::size_t>(std::ceil(horizon / time_step));
-    std::size_t label_w = 0;
-    for (const PeModelSpec& pe : pes) label_w = std::max(label_w,
-                                                         pe.label.size());
-
-    auto task_char = [](core::TaskId t) {
-        static const char* glyphs =
-            "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
-        return glyphs[t % 62];
-    };
-
-    std::ostringstream os;
-    for (std::size_t p = 0; p < pes.size(); ++p) {
-        std::string row(cols, '.');
-        for (const TaskSpan& s : report.spans) {
-            if (s.pe != p) continue;
-            auto c0 = static_cast<std::size_t>(s.start / time_step);
-            auto c1 = static_cast<std::size_t>(std::ceil(s.end / time_step));
-            c1 = std::min(c1, cols);
-            for (std::size_t c = c0; c < c1; ++c) {
-                row[c] = s.aborted ? 'x' : task_char(s.task);
-            }
-        }
-        os << pes[p].label << std::string(label_w - pes[p].label.size(), ' ')
-           << " |" << row << "|\n";
+    // Both execution modes share obs::render_gantt, so a simulated run
+    // and a traced real run produce directly comparable charts.
+    std::vector<obs::GanttSpan> spans;
+    spans.reserve(report.spans.size());
+    for (const TaskSpan& s : report.spans) {
+        spans.push_back(
+            obs::GanttSpan{s.pe, s.task, s.start, s.end, s.aborted});
     }
-    os << std::string(label_w, ' ') << "  0" << std::string(cols - 1, ' ')
-       << swh::format_double(horizon, 1) << "s  (one column = "
-       << swh::format_double(time_step, 2) << "s)\n";
-    return os.str();
+    std::vector<std::string> labels;
+    labels.reserve(pes.size());
+    for (const PeModelSpec& pe : pes) labels.push_back(pe.label);
+    return obs::render_gantt(spans, labels, time_step);
 }
 
 }  // namespace swh::sim

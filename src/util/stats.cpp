@@ -48,7 +48,7 @@ double weighted_mean(std::span<const double> xs, std::span<const double> ws) {
 }
 
 double recency_weighted_mean(std::span<const double> xs) {
-    SWH_REQUIRE(!xs.empty(), "recency_weighted_mean of empty sample");
+    if (xs.empty()) return 0.0;
     double num = 0.0, den = 0.0;
     for (std::size_t i = 0; i < xs.size(); ++i) {
         const double w = static_cast<double>(i + 1);  // oldest=1 .. newest=n
@@ -59,8 +59,8 @@ double recency_weighted_mean(std::span<const double> xs) {
 }
 
 double percentile(std::vector<double> xs, double p) {
-    SWH_REQUIRE(!xs.empty(), "percentile of empty sample");
     SWH_REQUIRE(p >= 0.0 && p <= 100.0, "percentile p out of [0,100]");
+    if (xs.empty()) return 0.0;
     std::sort(xs.begin(), xs.end());
     if (xs.size() == 1) return xs.front();
     const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);

@@ -37,10 +37,12 @@ double weighted_mean(std::span<const double> xs, std::span<const double> ws);
 /// decaying linearly to 1 for the oldest: weights n, n-1, ..., 1 from
 /// newest to oldest. This is the "weighted mean of the last Omega
 /// notifications" used by the PSS policy (paper SS IV-A.2): small Omega =>
-/// only recent history matters.
+/// only recent history matters. 0 for an empty span (like mean), so
+/// summary paths need no emptiness pre-check.
 double recency_weighted_mean(std::span<const double> xs);
 
 /// Linear interpolation percentile (p in [0,100]) of an unsorted sample.
+/// 0 for an empty sample (like mean); the single element for size 1.
 double percentile(std::vector<double> xs, double p);
 
 /// Geometric mean of strictly positive samples.

@@ -79,5 +79,50 @@ TEST(Channel, RejectsNegativeDelay) {
     EXPECT_THROW(Channel<int>(-1.0), swh::ContractError);
 }
 
+// Regression for the notify_one() send path: a consumer already blocked
+// in recv() when messages arrive on a delayed channel must be woken by
+// the (single) notify, wait out the latency window of the head message,
+// and then drain everything in order — no lost-wakeup hang.
+TEST(Channel, DelayedDeliveryWakesBlockedConsumer) {
+    Channel<int> ch(0.04);
+    Timer t;
+    std::thread producer([&] {
+        for (int i = 1; i <= 3; ++i) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+            ch.send(i);
+        }
+    });
+    EXPECT_EQ(ch.recv().value(), 1);  // blocked before the first send
+    EXPECT_GE(t.seconds(), 0.045);    // 10 ms until send + 40 ms latency
+    EXPECT_EQ(ch.recv().value(), 2);
+    EXPECT_EQ(ch.recv().value(), 3);
+    producer.join();
+}
+
+TEST(Channel, ObserverSeesQueueDepths) {
+    struct Recorder final : public ChannelObserver {
+        std::vector<std::size_t> sends;
+        std::vector<std::size_t> recvs;
+        void on_send(std::size_t depth_after) override {
+            sends.push_back(depth_after);
+        }
+        void on_recv(std::size_t depth_after) override {
+            recvs.push_back(depth_after);
+        }
+    } recorder;
+
+    Channel<int> ch;
+    ch.set_observer(&recorder);
+    ch.send(1);
+    ch.send(2);
+    EXPECT_EQ(ch.recv().value(), 1);
+    EXPECT_EQ(ch.try_recv().value(), 2);
+    ch.set_observer(nullptr);
+    ch.send(3);  // no longer observed
+
+    EXPECT_EQ(recorder.sends, (std::vector<std::size_t>{1, 2}));
+    EXPECT_EQ(recorder.recvs, (std::vector<std::size_t>{1, 0}));
+}
+
 }  // namespace
 }  // namespace swh::net

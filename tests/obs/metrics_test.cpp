@@ -1,0 +1,134 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+namespace swh::obs {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, LastWriteWins) {
+    Gauge g;
+    EXPECT_EQ(g.value(), 0.0);
+    g.set(1.5);
+    g.set(-3.0);
+    EXPECT_EQ(g.value(), -3.0);
+}
+
+TEST(Histogram, ExactMomentsAndBucketedPercentiles) {
+    Histogram h;
+    for (const double v : {1.0, 2.0, 4.0, 8.0}) h.record(v);
+    const HistogramSummary s = h.summary("x");
+
+    EXPECT_EQ(s.name, "x");
+    EXPECT_EQ(s.count, 4u);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 8.0);
+    EXPECT_DOUBLE_EQ(s.mean, 3.75);
+    // One sample per power-of-two bucket, ascending.
+    ASSERT_EQ(s.buckets.size(), 4u);
+    for (std::size_t i = 1; i < s.buckets.size(); ++i) {
+        EXPECT_GT(s.buckets[i].exp2, s.buckets[i - 1].exp2);
+        EXPECT_EQ(s.buckets[i].count, 1u);
+    }
+    // Percentile estimates stay inside the observed range and ordered.
+    EXPECT_GE(s.p50, s.min);
+    EXPECT_LE(s.p50, s.p90);
+    EXPECT_LE(s.p90, s.p99);
+    EXPECT_LE(s.p99, s.max);
+}
+
+TEST(Histogram, TinyAndHugeValuesClampIntoEdgeBuckets) {
+    Histogram h;
+    h.record(0.0);     // non-positive -> lowest bucket
+    h.record(1e-300);  // below 2^kMinExp -> lowest bucket
+    h.record(1e300);   // above the top -> highest bucket
+    const HistogramSummary s = h.summary("edge");
+    EXPECT_EQ(s.count, 3u);
+    ASSERT_EQ(s.buckets.size(), 2u);
+    EXPECT_EQ(s.buckets.front().count, 2u);
+    EXPECT_EQ(s.buckets.back().count, 1u);
+    EXPECT_GE(s.p50, s.min);
+    EXPECT_LE(s.p99, s.max);
+}
+
+TEST(Histogram, EmptySummaryIsAllZero) {
+    const Histogram h;
+    const HistogramSummary s = h.summary("empty");
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_EQ(s.mean, 0.0);
+    EXPECT_EQ(s.p50, 0.0);
+    EXPECT_TRUE(s.buckets.empty());
+}
+
+TEST(MetricsRegistry, HandlesAreStableAndNamed) {
+    MetricsRegistry reg;
+    Counter& a = reg.counter("a");
+    Counter& again = reg.counter("a");
+    EXPECT_EQ(&a, &again);  // get-or-create returns the same object
+    a.add(7);
+    reg.gauge("g").set(2.5);
+    reg.histogram("h").record(3.0);
+
+    const MetricsSnapshot snap = reg.snapshot();
+    EXPECT_EQ(snap.counter("a"), 7u);
+    EXPECT_EQ(snap.counter("missing"), 0u);
+    ASSERT_NE(snap.histogram("h"), nullptr);
+    EXPECT_EQ(snap.histogram("h")->count, 1u);
+    EXPECT_EQ(snap.histogram("missing"), nullptr);
+    ASSERT_EQ(snap.gauges.size(), 1u);
+    EXPECT_EQ(snap.gauges[0].second, 2.5);
+}
+
+TEST(MetricsRegistry, ConcurrentRecordingIsExact) {
+    MetricsRegistry reg;
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 10'000;
+    std::vector<std::thread> pool;
+    for (int t = 0; t < kThreads; ++t) {
+        pool.emplace_back([&reg] {
+            // Handles resolved once per thread, as the registry docs ask.
+            Counter& c = reg.counter("hits");
+            Histogram& h = reg.histogram("vals");
+            for (int i = 0; i < kPerThread; ++i) {
+                c.add();
+                h.record(1.0);
+            }
+        });
+    }
+    for (std::thread& t : pool) t.join();
+
+    const MetricsSnapshot snap = reg.snapshot();
+    EXPECT_EQ(snap.counter("hits"),
+              static_cast<std::uint64_t>(kThreads) * kPerThread);
+    ASSERT_NE(snap.histogram("vals"), nullptr);
+    EXPECT_EQ(snap.histogram("vals")->count,
+              static_cast<std::uint64_t>(kThreads) * kPerThread);
+    EXPECT_DOUBLE_EQ(snap.histogram("vals")->mean, 1.0);
+}
+
+TEST(MetricsSnapshot, EmptyAndJson) {
+    MetricsRegistry reg;
+    EXPECT_TRUE(reg.snapshot().empty());
+
+    reg.counter("n").add(3);
+    reg.histogram("d").record(0.5);
+    const std::string json = reg.snapshot().to_json();
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+    EXPECT_NE(json.find("\"n\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+    EXPECT_NE(json.find("\"d\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace swh::obs

@@ -64,11 +64,33 @@ TEST(RecencyWeightedMean, ConstantSeries) {
     EXPECT_DOUBLE_EQ(recency_weighted_mean(xs), 5.0);
 }
 
+TEST(RecencyWeightedMean, EmptyIsZero) {
+    // Summary paths (histogram export) call this unconditionally, so an
+    // empty window must degrade like mean() instead of throwing.
+    EXPECT_DOUBLE_EQ(recency_weighted_mean(std::vector<double>{}), 0.0);
+}
+
 TEST(Percentile, Interpolates) {
     std::vector<double> xs = {10.0, 20.0, 30.0, 40.0};
     EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
     EXPECT_DOUBLE_EQ(percentile(xs, 100), 40.0);
     EXPECT_DOUBLE_EQ(percentile(xs, 50), 25.0);
+}
+
+TEST(Percentile, EmptyIsZero) {
+    EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+}
+
+TEST(Percentile, SingleSampleEveryP) {
+    for (const double p : {0.0, 37.5, 50.0, 99.0, 100.0}) {
+        EXPECT_DOUBLE_EQ(percentile({7.5}, p), 7.5);
+    }
+}
+
+TEST(Percentile, RejectsOutOfRangePEvenWhenEmpty) {
+    EXPECT_THROW(percentile({}, -1), ContractError);
+    EXPECT_THROW(percentile({}, 101), ContractError);
+    EXPECT_THROW(percentile({1.0}, 100.5), ContractError);
 }
 
 TEST(Geomean, Basic) {
