@@ -1,11 +1,14 @@
-// Whole-database scan throughput: packed two-pass pipeline
-// (db::PackedDatabase + align::DatabaseScanner) vs the seed
-// per-sequence StripedAligner path (per-call scratch allocation,
-// per-residue alphabet checks, pointer-chased std::vector<Sequence>
-// layout, inline 8->16->32 escalation). Emits machine-readable
-// BENCH_scan.json for the perf trajectory alongside a human table.
+// Whole-database scan throughput: adaptive inter-sequence scan
+// (lane-interleaved cohorts + per-cohort kernel dispatch) vs the packed
+// two-pass striped pipeline (the previous hot path, kept as the
+// baseline). Both run through db::PackedDatabase + align::DatabaseScanner;
+// the only difference is whether the lane-interleaved cohort layout is
+// attached. Emits machine-readable BENCH_scan.json for the perf
+// trajectory alongside a human table; kernel dispatch counts are routed
+// through obs::MetricsRegistry and included in the JSON.
 //
-// Usage: bench_scan [--reps N] [--db-seqs N] [--out PATH]
+// Usage: bench_scan [--reps N] [--db-seqs N] [--qlens L,L,...]
+//                   [--json PATH | --out PATH]
 
 #include <algorithm>
 #include <cmath>
@@ -17,256 +20,63 @@
 
 #include "align/db_scan.hpp"
 #include "align/striped.hpp"
-#include "align/sw_scalar.hpp"
 #include "db/database.hpp"
 #include "db/packed.hpp"
+#include "obs/metrics.hpp"
 #include "simd/simd.hpp"
 #include "util/args.hpp"
-#include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/str.hpp"
 #include "util/timer.hpp"
 
 using namespace swh;
 
-// The seed kernels, copied verbatim from the growth-seed commit so the
-// baseline stays pinned while the shared kernels evolve: three
-// std::vector<V> buffers heap-allocated per call, a per-residue alphabet
-// check, and no restrict qualification.
-namespace seedk {
-
-using align::Code;
-using align::GapPenalty;
-using align::Profile16;
-using align::Profile8;
-using align::Score;
-using align::StripedResult;
-
-template <class V>
-StripedResult striped_u8(const Profile8& p, std::span<const Code> db,
-                         GapPenalty gap) {
-    SWH_REQUIRE(p.lanes == V::kLanes, "profile built for a different width");
-    StripedResult r;
-    if (p.query_len == 0 || db.empty()) return r;
-
-    const std::size_t seg = p.seg_len;
-    const auto open_ext =
-        static_cast<std::uint8_t>(std::min<Score>(gap.open + gap.extend, 255));
-    const auto ext =
-        static_cast<std::uint8_t>(std::min<Score>(gap.extend, 255));
-    const V vGapOE = V::splat(open_ext);
-    const V vGapE = V::splat(ext);
-    const V vBias = V::splat(static_cast<std::uint8_t>(p.bias));
-
-    std::vector<V> h_load(seg, V::zero());
-    std::vector<V> h_store(seg, V::zero());
-    std::vector<V> e(seg, V::zero());
-    V vMax = V::zero();
-
-    for (const Code c : db) {
-        SWH_REQUIRE(c < p.symbols, "db residue outside profile alphabet");
-        const std::uint8_t* prof = p.row(c);
-        V vF = V::zero();
-        V vH = h_load[seg - 1].shl_lane();
-        for (std::size_t i = 0; i < seg; ++i) {
-            vH = subs(adds(vH, V::load(prof + i * V::kLanes)), vBias);
-            vH = vmax(vH, e[i]);
-            vH = vmax(vH, vF);
-            vMax = vmax(vMax, vH);
-            h_store[i] = vH;
-            const V vHgap = subs(vH, vGapOE);
-            e[i] = vmax(subs(e[i], vGapE), vHgap);
-            vF = vmax(subs(vF, vGapE), vHgap);
-            vH = h_load[i];
-        }
-        vF = vF.shl_lane();
-        std::size_t j = 0;
-        while (any_gt(vF, subs(h_store[j], vGapOE))) {
-            h_store[j] = vmax(h_store[j], vF);
-            e[j] = vmax(e[j], subs(h_store[j], vGapOE));
-            vF = subs(vF, vGapE);
-            if (++j >= seg) {
-                j = 0;
-                vF = vF.shl_lane();
-            }
-        }
-        std::swap(h_load, h_store);
-    }
-
-    const std::uint8_t m = vMax.hmax();
-    r.score = m;
-    r.overflow = static_cast<Score>(m) + p.bias >= 255;
-    return r;
-}
-
-template <class V>
-StripedResult striped_i16(const Profile16& p, std::span<const Code> db,
-                          GapPenalty gap, Score matrix_max) {
-    SWH_REQUIRE(p.lanes == V::kLanes, "profile built for a different width");
-    StripedResult r;
-    if (p.query_len == 0 || db.empty()) return r;
-
-    const std::size_t seg = p.seg_len;
-    const V vGapOE = V::splat(static_cast<std::int16_t>(
-        std::min<Score>(gap.open + gap.extend, 32767)));
-    const V vGapE =
-        V::splat(static_cast<std::int16_t>(std::min<Score>(gap.extend, 32767)));
-    const V vZero = V::zero();
-
-    std::vector<V> h_load(seg, V::zero());
-    std::vector<V> h_store(seg, V::zero());
-    std::vector<V> e(seg, V::zero());
-    V vMax = V::zero();
-
-    for (const Code c : db) {
-        SWH_REQUIRE(c < p.symbols, "db residue outside profile alphabet");
-        const std::int16_t* prof = p.row(c);
-        V vF = V::zero();
-        V vH = h_load[seg - 1].shl_lane();
-        for (std::size_t i = 0; i < seg; ++i) {
-            vH = adds(vH, V::load(prof + i * V::kLanes));
-            vH = vmax(vH, e[i]);
-            vH = vmax(vH, vF);
-            vH = vmax(vH, vZero);
-            vMax = vmax(vMax, vH);
-            h_store[i] = vH;
-            const V vHgap = subs(vH, vGapOE);
-            e[i] = vmax(subs(e[i], vGapE), vHgap);
-            vF = vmax(subs(vF, vGapE), vHgap);
-            vH = h_load[i];
-        }
-        vF = vF.shl_lane();
-        std::size_t j = 0;
-        while (any_gt(vF, vmax(subs(h_store[j], vGapOE), vZero))) {
-            h_store[j] = vmax(h_store[j], vF);
-            e[j] = vmax(e[j], subs(h_store[j], vGapOE));
-            vF = subs(vF, vGapE);
-            if (++j >= seg) {
-                j = 0;
-                vF = vF.shl_lane();
-            }
-        }
-        std::swap(h_load, h_store);
-    }
-
-    const std::int16_t m = vMax.hmax();
-    r.score = m;
-    r.overflow = static_cast<Score>(m) + matrix_max >= 32767;
-    return r;
-}
-
-StripedResult sw_u8(const Profile8& p, std::span<const Code> db,
-                    GapPenalty gap, simd::IsaLevel isa) {
-    switch (isa) {
-        case simd::IsaLevel::Scalar:
-            return striped_u8<simd::U8x16s>(p, db, gap);
-#if defined(__SSE2__)
-        case simd::IsaLevel::SSE2:
-            return striped_u8<simd::U8x16>(p, db, gap);
-#endif
-#if defined(__AVX2__)
-        case simd::IsaLevel::AVX2:
-            return striped_u8<simd::U8x32>(p, db, gap);
-#endif
-#if defined(__AVX512BW__)
-        case simd::IsaLevel::AVX512:
-            return striped_u8<simd::U8x64>(p, db, gap);
-#endif
-        default:
-            break;
-    }
-    SWH_REQUIRE(false, "ISA level not compiled in");
-    return {};
-}
-
-StripedResult sw_i16(const Profile16& p, std::span<const Code> db,
-                     GapPenalty gap, simd::IsaLevel isa) {
-    switch (isa) {
-        case simd::IsaLevel::Scalar:
-            return striped_i16<simd::I16x8s>(p, db, gap, p.max_entry);
-#if defined(__SSE2__)
-        case simd::IsaLevel::SSE2:
-            return striped_i16<simd::I16x8>(p, db, gap, p.max_entry);
-#endif
-#if defined(__AVX2__)
-        case simd::IsaLevel::AVX2:
-            return striped_i16<simd::I16x16>(p, db, gap, p.max_entry);
-#endif
-#if defined(__AVX512BW__)
-        case simd::IsaLevel::AVX512:
-            return striped_i16<simd::I16x32>(p, db, gap, p.max_entry);
-#endif
-        default:
-            break;
-    }
-    SWH_REQUIRE(false, "ISA level not compiled in");
-    return {};
-}
-
-}  // namespace seedk
-
 namespace {
 
 constexpr align::GapPenalty kGap{10, 2};
 
-/// The seed scan loop, reproduced faithfully: per-sequence calls into the
-/// pinned seed kernels over the pointer-chased std::vector<Sequence>
-/// layout, escalating inline exactly like the seed StripedAligner::score.
-align::Score seed_scan(const align::Profile8& p8, const align::Profile16& p16,
-                       std::span<const align::Code> query,
-                       const align::ScoreMatrix& matrix,
-                       const db::Database& database, simd::IsaLevel isa) {
-    align::Score best = 0;
-    for (const align::Sequence& s : database.sequences()) {
-        const align::StripedResult r8 = seedk::sw_u8(p8, s.residues, kGap, isa);
-        if (!r8.overflow) {
-            best = std::max(best, r8.score);
-            continue;
-        }
-        const align::StripedResult r16 =
-            seedk::sw_i16(p16, s.residues, kGap, isa);
-        if (!r16.overflow) {
-            best = std::max(best, r16.score);
-            continue;
-        }
-        best = std::max(best,
-                        align::sw_score_affine(query, s.residues, matrix, kGap));
-    }
-    return best;
-}
-
-/// The packed pipeline: single worker, chunked claiming, two-pass
-/// deferred escalation, warm per-worker scratch.
-align::Score packed_scan(const align::StripedAligner& aligner,
-                         const db::PackedDatabase& packed,
-                         align::ScanScratch& scratch) {
-    align::DatabaseScanner scanner(aligner, packed.view());
+/// Single-worker scan through the two-pass pipeline. With `cohorts`
+/// empty this is exactly the PR 1 packed baseline; with the
+/// lane-interleaved view attached, pass 1 dispatches per cohort
+/// between the inter-sequence and striped kernels.
+align::Score run_scan(const align::StripedAligner& aligner,
+                      const db::PackedDatabase& packed,
+                      align::ScanScratch& scratch,
+                      align::InterleavedCohorts cohorts,
+                      align::DatabaseScanner::DispatchStats* stats = nullptr) {
+    align::DatabaseScanner scanner(aligner, packed.view(),
+                                   align::DatabaseScanner::kDefaultChunk,
+                                   cohorts);
     align::Score best = 0;
     scanner.run_worker(scratch,
                        [&](std::uint32_t, std::uint32_t, align::Score s) {
                            best = std::max(best, s);
                            return true;
                        });
+    if (stats != nullptr) *stats = scanner.dispatch_stats();
     return best;
 }
 
 struct Row {
     std::size_t qlen = 0;
-    double seed_gcups = 0.0;
     double packed_gcups = 0.0;
+    double interseq_gcups = 0.0;
     double speedup = 0.0;
+    align::DatabaseScanner::DispatchStats dispatch;
 };
 
 }  // namespace
 
 int main(int argc, char** argv) {
     ArgParser args("bench_scan",
-                   "packed two-pass scan vs seed per-sequence scan GCUPS");
+                   "adaptive inter-sequence scan vs packed striped scan GCUPS");
     args.add_option("reps", "timing repetitions (best-of)", "5");
     args.add_option("db-seqs", "synthetic database sequence count", "1500");
     args.add_option("qlens", "comma-separated query lengths",
-                    "100,500,2000");
-    args.add_option("out", "output JSON path", "BENCH_scan.json");
+                    "50,100,150,200,500,2000");
+    args.add_option("json", "output JSON path", "");
+    args.add_option("out", "output JSON path (alias of --json)",
+                    "BENCH_scan.json");
     if (!args.parse(argc, argv)) return 0;
     const int reps = static_cast<int>(args.get_int("reps"));
     const std::size_t db_seqs =
@@ -291,10 +101,12 @@ int main(int argc, char** argv) {
         std::cerr << "error: --qlens must name at least one length\n";
         return 1;
     }
-    const std::string out_path = args.get("out");
+    const std::string out_path =
+        args.get("json").empty() ? args.get("out") : args.get("json");
 
     const align::ScoreMatrix matrix = align::ScoreMatrix::blosum62();
     const simd::IsaLevel isa = simd::best_supported();
+    const int lanes = align::lanes_u8(isa);
 
     db::DatabaseSpec spec;
     spec.name = "bench-scan";
@@ -302,73 +114,97 @@ int main(int argc, char** argv) {
     spec.seed = 404;
     const db::Database database = db::Database::generate(spec);
     const db::PackedDatabase& packed = database.packed();
+    const align::InterleavedCohorts cohorts =
+        packed.interleaved(lanes).view();
     const std::uint64_t db_residues = database.residues();
 
     std::cout << "bench_scan: isa=" << simd::to_string(isa)
-              << " db_seqs=" << database.size()
+              << " lanes=" << lanes << " db_seqs=" << database.size()
               << " db_residues=" << db_residues << " reps=" << reps << "\n\n";
-    std::cout << "qlen   seed GCUPS   packed GCUPS   speedup\n";
+    std::cout << "qlen   packed GCUPS   interseq GCUPS   speedup   "
+                 "interseq/striped subjects\n";
 
+    obs::MetricsRegistry metrics;
     std::vector<Row> rows;
     for (const std::size_t qlen : qlens) {
         Rng rng(405 + qlen);
         const align::Sequence q = db::random_protein(rng, qlen, "query");
         const align::StripedAligner aligner(q.residues, matrix, kGap, isa);
-        const align::Profile8 p8 =
-            align::build_profile8(q.residues, matrix, align::lanes_u8(isa));
-        const align::Profile16 p16 =
-            align::build_profile16(q.residues, matrix, align::lanes_i16(isa));
         const double cells =
             static_cast<double>(qlen) * static_cast<double>(db_residues);
 
         align::ScanScratch scratch;
-        // Warm-up both paths (page in the db, grow the scratch).
-        align::Score seed_best =
-            seed_scan(p8, p16, q.residues, matrix, database, isa);
-        align::Score packed_best = packed_scan(aligner, packed, scratch);
-        if (seed_best != packed_best) {
-            std::cerr << "FATAL: score mismatch (seed=" << seed_best
-                      << " packed=" << packed_best << ")\n";
+        // Warm-up both paths (page in the db, grow the scratch) and
+        // check equivalence: both pipelines must settle identical best
+        // scores for every query.
+        const align::Score packed_best =
+            run_scan(aligner, packed, scratch, {});
+        Row row;
+        row.qlen = qlen;
+        const align::Score interseq_best =
+            run_scan(aligner, packed, scratch, cohorts, &row.dispatch);
+        if (packed_best != interseq_best) {
+            std::cerr << "FATAL: score mismatch (packed=" << packed_best
+                      << " interseq=" << interseq_best << ")\n";
             return 1;
         }
 
-        double seed_best_s = 1e30;
         double packed_best_s = 1e30;
+        double interseq_best_s = 1e30;
         for (int r = 0; r < reps; ++r) {
             Timer t;
-            seed_best = seed_scan(p8, p16, q.residues, matrix, database, isa);
-            seed_best_s = std::min(seed_best_s, t.seconds());
-            t.reset();
-            packed_best = packed_scan(aligner, packed, scratch);
+            run_scan(aligner, packed, scratch, {});
             packed_best_s = std::min(packed_best_s, t.seconds());
+            t.reset();
+            run_scan(aligner, packed, scratch, cohorts);
+            interseq_best_s = std::min(interseq_best_s, t.seconds());
         }
 
-        Row row;
-        row.qlen = qlen;
-        row.seed_gcups = cells / seed_best_s / 1e9;
         row.packed_gcups = cells / packed_best_s / 1e9;
-        row.speedup = row.packed_gcups / row.seed_gcups;
+        row.interseq_gcups = cells / interseq_best_s / 1e9;
+        row.speedup = row.interseq_gcups / row.packed_gcups;
         rows.push_back(row);
+        metrics.counter("scan.cohorts_interseq")
+            .add(row.dispatch.cohorts_interseq);
+        metrics.counter("scan.cohorts_striped")
+            .add(row.dispatch.cohorts_striped);
+        metrics.counter("scan.subjects_interseq")
+            .add(row.dispatch.subjects_interseq);
+        metrics.counter("scan.subjects_striped")
+            .add(row.dispatch.subjects_striped);
         std::cout << format_double(static_cast<double>(qlen), 0) << "    "
-                  << format_double(row.seed_gcups, 3) << "        "
                   << format_double(row.packed_gcups, 3) << "          "
-                  << format_double(row.speedup, 3) << "\n";
+                  << format_double(row.interseq_gcups, 3) << "            "
+                  << format_double(row.speedup, 3) << "     "
+                  << row.dispatch.subjects_interseq << "/"
+                  << row.dispatch.subjects_striped << "\n";
     }
 
     double best_speedup = 0.0;
     double geomean = 1.0;
+    double geomean_short = 1.0;
+    std::size_t n_short = 0;
     for (const Row& r : rows) {
         best_speedup = std::max(best_speedup, r.speedup);
         geomean *= r.speedup;
+        if (r.qlen <= 200) {
+            geomean_short *= r.speedup;
+            ++n_short;
+        }
     }
     geomean = rows.empty() ? 0.0
                            : std::pow(geomean, 1.0 / static_cast<double>(
                                                          rows.size()));
+    geomean_short =
+        n_short == 0
+            ? 0.0
+            : std::pow(geomean_short, 1.0 / static_cast<double>(n_short));
 
     std::ofstream out(out_path);
     out << "{\n"
         << "  \"bench\": \"scan\",\n"
         << "  \"isa\": \"" << simd::to_string(isa) << "\",\n"
+        << "  \"cohort_lanes\": " << lanes << ",\n"
         << "  \"db_sequences\": " << database.size() << ",\n"
         << "  \"db_residues\": " << db_residues << ",\n"
         << "  \"reps\": " << reps << ",\n"
@@ -376,16 +212,25 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const Row& r = rows[i];
         out << "    {\"query_len\": " << r.qlen
-            << ", \"seed_gcups\": " << format_double(r.seed_gcups, 4)
             << ", \"packed_gcups\": " << format_double(r.packed_gcups, 4)
-            << ", \"speedup\": " << format_double(r.speedup, 4) << "}"
-            << (i + 1 < rows.size() ? "," : "") << "\n";
+            << ", \"interseq_gcups\": " << format_double(r.interseq_gcups, 4)
+            << ", \"speedup\": " << format_double(r.speedup, 4)
+            << ", \"cohorts_interseq\": " << r.dispatch.cohorts_interseq
+            << ", \"cohorts_striped\": " << r.dispatch.cohorts_striped
+            << ", \"subjects_interseq\": " << r.dispatch.subjects_interseq
+            << ", \"subjects_striped\": " << r.dispatch.subjects_striped
+            << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
     }
     out << "  ],\n"
+        << "  \"speedup_geomean_short\": " << format_double(geomean_short, 4)
+        << ",\n"
         << "  \"speedup_geomean\": " << format_double(geomean, 4) << ",\n"
-        << "  \"speedup_best\": " << format_double(best_speedup, 4) << "\n"
+        << "  \"speedup_best\": " << format_double(best_speedup, 4) << ",\n"
+        << "  \"metrics\": " << metrics.snapshot().to_json() << "\n"
         << "}\n";
-    std::cout << "\nspeedup geomean=" << format_double(geomean, 3)
+    std::cout << "\nspeedup geomean_short(qlen<=200)="
+              << format_double(geomean_short, 3)
+              << " geomean=" << format_double(geomean, 3)
               << " best=" << format_double(best_speedup, 3) << " -> "
               << out_path << "\n";
     return 0;

@@ -5,8 +5,12 @@
 namespace swh::align {
 
 DatabaseScanner::DatabaseScanner(const StripedAligner& aligner,
-                                 PackedSubjects subjects, std::size_t chunk)
-    : aligner_(&aligner), subjects_(subjects), chunk_(chunk) {
+                                 PackedSubjects subjects, std::size_t chunk,
+                                 InterleavedCohorts cohorts)
+    : aligner_(&aligner),
+      subjects_(subjects),
+      chunk_(chunk),
+      cohorts_(cohorts) {
     SWH_REQUIRE(chunk_ >= 1, "scan chunk must be at least 1");
     SWH_REQUIRE(subjects_.count == 0 || subjects_.arena != nullptr,
                 "packed view has subjects but no arena");
@@ -16,6 +20,65 @@ DatabaseScanner::DatabaseScanner(const StripedAligner& aligner,
                     static_cast<std::size_t>(subjects_.max_code) <
                         aligner.matrix().alphabet().size(),
                 "packed residues outside the aligner's alphabet");
+    if (cohorts_.count == 0) return;
+
+    SWH_REQUIRE(cohorts_.arena != nullptr && cohorts_.cohorts != nullptr,
+                "cohort view has cohorts but no arena");
+    SWH_REQUIRE(aligner.interseq() != nullptr,
+                "cohort scan needs an inter-sequence-capable aligner");
+    SWH_REQUIRE(cohorts_.lanes == lanes_u8(aligner.isa()),
+                "cohort width does not match the aligner's u8 lane count");
+    SWH_REQUIRE(cohorts_.lanes <= 64,
+                "cohort width exceeds the 64-lane overflow mask");
+    SWH_REQUIRE(cohorts_.pad_code == InterseqProfile::kPadCode,
+                "cohort padding sentinel mismatch");
+    cohort_mode_ = true;
+
+    // Precompute the per-cohort kernel choice once: the scan itself then
+    // branches on a byte. Inter-sequence pays off when the query is
+    // short enough for its DP rows to stay cache-resident AND the
+    // cohort's lanes are near-equal length (pad cells are wasted work).
+    const bool query_ok =
+        aligner.interseq()->query_len <= kInterseqMaxQuery &&
+        aligner.interseq()->query_len > 0;
+    choice_.resize(cohorts_.count, 0);
+    for (std::size_t c = 0; c < cohorts_.count; ++c) {
+        const CohortDesc& d = cohorts_.cohorts[c];
+        const std::uint64_t cells =
+            std::uint64_t{d.columns} *
+            static_cast<std::uint64_t>(cohorts_.lanes);
+        choice_[c] = (query_ok && d.columns > 0 &&
+                      d.residues * 100 >= cells * kInterseqMinFillPct)
+                         ? 1
+                         : 0;
+    }
+}
+
+void DatabaseScanner::credit_dispatch(const WorkerTallies& t) {
+    if (t.cohorts_interseq > 0) {
+        cohorts_interseq_.fetch_add(t.cohorts_interseq,
+                                    std::memory_order_relaxed);
+    }
+    if (t.cohorts_striped > 0) {
+        cohorts_striped_.fetch_add(t.cohorts_striped,
+                                   std::memory_order_relaxed);
+    }
+    if (t.subjects_interseq > 0) {
+        subjects_interseq_.fetch_add(t.subjects_interseq,
+                                     std::memory_order_relaxed);
+    }
+    if (t.subjects_striped > 0) {
+        subjects_striped_.fetch_add(t.subjects_striped,
+                                    std::memory_order_relaxed);
+    }
+}
+
+DatabaseScanner::DispatchStats DatabaseScanner::dispatch_stats() const {
+    return DispatchStats{
+        cohorts_interseq_.load(std::memory_order_relaxed),
+        cohorts_striped_.load(std::memory_order_relaxed),
+        subjects_interseq_.load(std::memory_order_relaxed),
+        subjects_striped_.load(std::memory_order_relaxed)};
 }
 
 }  // namespace swh::align

@@ -2,22 +2,32 @@
 
 // Two-pass batched database scan over a packed subject arena.
 //
-// Pass 1 runs every subject through the 8-bit kernel and defers the
+// Pass 1 runs every subject through an 8-bit kernel and defers the
 // (rare) overflowed ones; pass 2 settles the deferred batch with the
 // i16 kernel / scalar int32 fallback. Compared with the seed's inline
 // 8 -> 16 -> 32 escalation per subject, this keeps the u8 profile and
 // scratch hot in cache during the bulk of the scan and touches the wide
 // profile only once, at the end of a worker's claim.
 //
-// The scanner consumes a non-owning PackedSubjects view so swh_align
-// stays independent of swh_db (which produces the view, see
-// db::PackedDatabase).
+// When the caller also provides a lane-interleaved cohort layout (see
+// db::PackedDatabase::interleaved and align/interseq.hpp), pass 1
+// dispatches adaptively per cohort: well-filled cohorts are scored W
+// subjects at a time by the inter-sequence u8 kernel (near-constant
+// GCUPS regardless of query length), while sparse cohorts — the
+// divergent long-subject head and the partial tail — fall back to the
+// striped kernel per subject. Overflowed lanes feed the same deferred
+// escalation either way, so the emit contract (exactly one settled
+// score per subject, original db_index) is unchanged.
+//
+// The scanner consumes non-owning views so swh_align stays independent
+// of swh_db (which produces the views, see db::PackedDatabase).
 
 #include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "align/interseq.hpp"
 #include "align/striped.hpp"
 
 namespace swh::align {
@@ -42,54 +52,52 @@ struct PackedSubjects {
     }
 };
 
-/// Thread-safe scan orchestrator: workers claim chunks of subjects from
-/// a shared cursor (one atomic op per ~chunk subjects instead of one
-/// per subject) and run the two-pass scan. One instance per
+/// Thread-safe scan orchestrator: workers claim work from a shared
+/// cursor (chunks of subjects, or whole cohorts when a lane-interleaved
+/// layout is attached) and run the two-pass scan. One instance per
 /// (aligner, database) scan; call run_worker from each worker thread
 /// with a thread-private ScanScratch.
 class DatabaseScanner {
 public:
     static constexpr std::size_t kDefaultChunk = 64;
 
+    /// Queries longer than this stay on the striped kernel everywhere:
+    /// the inter-sequence DP state (two query-length rows of W-lane
+    /// vectors) would fall out of L1/L2, and the striped kernel is
+    /// already near peak at these lengths.
+    static constexpr std::size_t kInterseqMaxQuery = 1024;
+
+    /// Minimum real-residue fill of a cohort (percent of columns *
+    /// lanes) for inter-sequence dispatch. Below it — the divergent
+    /// long-subject head or the partial tail cohort — padded-lane cells
+    /// would eat the lane-parallel win, so the striped kernel takes
+    /// those subjects one at a time.
+    static constexpr std::uint64_t kInterseqMinFillPct = 75;
+
     /// Validates once that every packed residue fits the aligner's
     /// profile alphabet (throws ContractError otherwise) — the per-
-    /// subject kernel calls then run with the check compiled out.
+    /// subject kernel calls then run with the check compiled out. If
+    /// `cohorts` is non-empty, the aligner must have an inter-sequence
+    /// profile and the cohort width must match its u8 lane count; the
+    /// per-cohort kernel choice is precomputed here.
     DatabaseScanner(const StripedAligner& aligner, PackedSubjects subjects,
-                    std::size_t chunk = kDefaultChunk);
+                    std::size_t chunk = kDefaultChunk,
+                    InterleavedCohorts cohorts = {});
 
-    /// Claims chunks until the database is exhausted or `emit` asks to
+    /// Claims work until the database is exhausted or `emit` asks to
     /// stop. `emit(db_index, length, score) -> bool` is called exactly
     /// once per settled subject — in scan order for pass-1 subjects,
     /// then for this worker's deferred overflow batch; `db_index` is
     /// always the ORIGINAL database index regardless of scan order.
-    /// Returns false iff an emit call returned false (scan cancelled).
+    /// Once an emit call returns false the worker settles no further
+    /// subjects (the deferred batch included). Returns false iff an
+    /// emit call returned false (scan cancelled).
     template <class EmitFn>
     bool run_worker(ScanScratch& scratch, EmitFn&& emit) {
+        WorkerTallies t;
         std::vector<std::uint32_t> overflow;
-        std::uint64_t settled8 = 0;
-        bool keep = true;
-        const std::size_t n = subjects_.count;
-        while (keep) {
-            const std::size_t begin =
-                next_.fetch_add(chunk_, std::memory_order_relaxed);
-            if (begin >= n) break;
-            const std::size_t end = std::min(begin + chunk_, n);
-            for (std::size_t slot = begin; slot < end && keep; ++slot) {
-                const std::uint32_t idx =
-                    subjects_.order != nullptr
-                        ? subjects_.order[slot]
-                        : static_cast<std::uint32_t>(slot);
-                const std::span<const Code> subject = subjects_.subject(idx);
-                const StripedResult r =
-                    aligner_->score_u8(subject, scratch, /*trusted=*/true);
-                if (!r.overflow) {
-                    ++settled8;
-                    keep = emit(idx, subjects_.lengths[idx], r.score);
-                } else {
-                    overflow.push_back(idx);
-                }
-            }
-        }
+        bool keep = cohort_mode_ ? claim_cohorts(scratch, emit, overflow, t)
+                                 : claim_subjects(scratch, emit, overflow, t);
         // Pass 2: settle the deferred overflow batch with wide kernels.
         for (const std::uint32_t idx : overflow) {
             if (!keep) break;
@@ -97,7 +105,8 @@ public:
                                                    scratch, /*trusted=*/true);
             keep = emit(idx, subjects_.lengths[idx], s);
         }
-        aligner_->credit_runs8(settled8);
+        aligner_->credit_runs8(t.settled8);
+        credit_dispatch(t);
         return keep;
     }
 
@@ -107,12 +116,130 @@ public:
     std::size_t chunk() const { return chunk_; }
     std::size_t count() const { return subjects_.count; }
     const StripedAligner& aligner() const { return *aligner_; }
+    bool cohort_mode() const { return cohort_mode_; }
+
+    /// Pass-1 kernel selection counters (cumulative across workers and
+    /// resets). Subjects deferred to pass 2 are counted under the
+    /// kernel that deferred them.
+    struct DispatchStats {
+        std::uint64_t cohorts_interseq = 0;
+        std::uint64_t cohorts_striped = 0;
+        std::uint64_t subjects_interseq = 0;
+        std::uint64_t subjects_striped = 0;
+    };
+    DispatchStats dispatch_stats() const;
 
 private:
+    struct WorkerTallies {
+        std::uint64_t settled8 = 0;
+        std::uint64_t cohorts_interseq = 0;
+        std::uint64_t cohorts_striped = 0;
+        std::uint64_t subjects_interseq = 0;
+        std::uint64_t subjects_striped = 0;
+    };
+
+    std::uint32_t slot_index(std::size_t slot) const {
+        return subjects_.order != nullptr ? subjects_.order[slot]
+                                          : static_cast<std::uint32_t>(slot);
+    }
+
+    /// Legacy claim unit: chunks of scan-order subjects, striped u8.
+    template <class EmitFn>
+    bool claim_subjects(ScanScratch& scratch, EmitFn&& emit,
+                        std::vector<std::uint32_t>& overflow,
+                        WorkerTallies& t) {
+        bool keep = true;
+        const std::size_t n = subjects_.count;
+        while (keep) {
+            const std::size_t begin =
+                next_.fetch_add(chunk_, std::memory_order_relaxed);
+            if (begin >= n) break;
+            const std::size_t end = std::min(begin + chunk_, n);
+            for (std::size_t slot = begin; slot < end && keep; ++slot) {
+                keep = score_striped(slot_index(slot), scratch, emit, overflow,
+                                     t);
+            }
+        }
+        return keep;
+    }
+
+    /// Cohort claim unit: whole width-W cohorts, kernel per choice_.
+    template <class EmitFn>
+    bool claim_cohorts(ScanScratch& scratch, EmitFn&& emit,
+                       std::vector<std::uint32_t>& overflow,
+                       WorkerTallies& t) {
+        bool keep = true;
+        const std::size_t n = cohorts_.count;
+        const std::size_t claim = std::max<std::size_t>(
+            1, chunk_ / static_cast<std::size_t>(cohorts_.lanes));
+        std::uint8_t lane_best[64];
+        while (keep) {
+            const std::size_t begin =
+                next_.fetch_add(claim, std::memory_order_relaxed);
+            if (begin >= n) break;
+            const std::size_t end = std::min(begin + claim, n);
+            for (std::size_t c = begin; c < end && keep; ++c) {
+                const CohortDesc& d = cohorts_.cohorts[c];
+                if (choice_[c]) {
+                    ++t.cohorts_interseq;
+                    const std::uint64_t ovf = sw_interseq_u8(
+                        *aligner_->interseq(), cohorts_.arena + d.offset,
+                        d.columns, aligner_->gap(), aligner_->isa(), scratch,
+                        lane_best);
+                    for (std::uint32_t l = 0; l < d.lanes_used && keep; ++l) {
+                        const std::uint32_t idx =
+                            slot_index(d.first_slot + l);
+                        if ((ovf >> l) & 1) {
+                            overflow.push_back(idx);
+                            ++t.subjects_interseq;
+                            continue;
+                        }
+                        ++t.settled8;
+                        ++t.subjects_interseq;
+                        keep = emit(idx, subjects_.lengths[idx],
+                                    static_cast<Score>(lane_best[l]));
+                    }
+                } else {
+                    ++t.cohorts_striped;
+                    for (std::uint32_t l = 0; l < d.lanes_used && keep; ++l) {
+                        keep = score_striped(slot_index(d.first_slot + l),
+                                             scratch, emit, overflow, t);
+                    }
+                }
+            }
+        }
+        return keep;
+    }
+
+    template <class EmitFn>
+    bool score_striped(std::uint32_t idx, ScanScratch& scratch, EmitFn&& emit,
+                       std::vector<std::uint32_t>& overflow,
+                       WorkerTallies& t) {
+        ++t.subjects_striped;
+        const StripedResult r =
+            aligner_->score_u8(subjects_.subject(idx), scratch,
+                               /*trusted=*/true);
+        if (r.overflow) {
+            overflow.push_back(idx);
+            return true;
+        }
+        ++t.settled8;
+        return emit(idx, subjects_.lengths[idx], r.score);
+    }
+
+    void credit_dispatch(const WorkerTallies& t);
+
     const StripedAligner* aligner_;
     PackedSubjects subjects_;
     std::size_t chunk_;
+    InterleavedCohorts cohorts_;
+    bool cohort_mode_ = false;
+    /// Per-cohort kernel choice (1 = inter-sequence, 0 = striped),
+    /// precomputed at construction from query length and cohort fill.
+    std::vector<std::uint8_t> choice_;
     std::atomic<std::size_t> next_{0};
+    std::atomic<std::uint64_t> cohorts_interseq_{0}, cohorts_striped_{0};
+    std::atomic<std::uint64_t> subjects_interseq_{0}, subjects_striped_{0};
 };
 
 }  // namespace swh::align

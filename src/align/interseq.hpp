@@ -1,0 +1,107 @@
+#pragma once
+
+// Inter-sequence Smith-Waterman scan kernels (SWIPE / SWAPHI style):
+// one database subject per SIMD lane, W subjects scored at once. Unlike
+// the intra-sequence striped kernel (Farrar), throughput does not
+// degrade on short queries — there is no lazy-F correction pass, no
+// query-padding waste, and the per-column work is a plain row sweep —
+// so the scan dispatcher prefers these kernels for short/medium
+// queries and falls back to the striped kernel elsewhere.
+//
+// The subjects come from a lane-interleaved cohort layout (see
+// db::PackedDatabase::interleaved): W length-adjacent subjects grouped
+// into a cohort, residues stored column-major (column j holds residue j
+// of every lane), short lanes padded with kPadCode. Scoring uses a
+// TRANSPOSED query profile: row i is a 32-entry table of biased scores
+// of query residue i against every alphabet symbol, gathered per lane
+// by the subject residue (simd lookup32). This needs every residue
+// code, including the padding sentinel, to fit in 5 bits — hence the
+// alphabet-size gate in interseq_supported().
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "align/score_matrix.hpp"
+#include "align/sequence.hpp"
+#include "simd/arch.hpp"
+
+namespace swh::align {
+
+class ScanScratch;
+
+/// One width-W cohort of the lane-interleaved database layout.
+struct CohortDesc {
+    std::uint64_t offset = 0;     ///< Code offset into the cohort arena
+    std::uint64_t residues = 0;   ///< real residues (sum of member lengths)
+    std::uint32_t columns = 0;    ///< stored columns = longest member length
+    std::uint32_t first_slot = 0; ///< first scan-order slot covered
+    std::uint32_t lanes_used = 0; ///< members; tail cohort may be partial
+};
+
+/// Non-owning view of a lane-interleaved cohort layout. Column j of a
+/// cohort is `lanes` consecutive bytes at `arena + offset + j*lanes`;
+/// lane l of cohort c is the subject at scan-order slot
+/// `first_slot + l` (pad lanes past lanes_used hold only pad_code).
+struct InterleavedCohorts {
+    const Code* arena = nullptr;
+    const CohortDesc* cohorts = nullptr;
+    std::size_t count = 0;
+    int lanes = 0;
+    Code pad_code = 0;
+};
+
+/// Transposed query profile for the inter-sequence kernels: row i holds
+/// the biased score of query residue i against every alphabet symbol,
+/// padded to a 32-entry lookup table (slots past the alphabet — which
+/// include kPadCode — stay 0, the most-penalising biased score, so
+/// padded lanes decay and retire).
+struct InterseqProfile {
+    static constexpr std::size_t kStride = 32;  ///< LUT row width
+    /// Padding sentinel residue: always the top 5-bit code, so it can
+    /// never collide with a real symbol (interseq_supported() requires
+    /// alphabet size <= 31).
+    static constexpr Code kPadCode = 31;
+
+    std::size_t query_len = 0;
+    Score bias = 0;      ///< added to every stored entry (>= 0)
+    Score max_raw = 0;   ///< largest unbiased entry; bounds one i16 add
+    std::size_t symbols = 0;
+    std::vector<std::uint8_t> data;  ///< query_len rows of kStride
+    std::size_t align_pad = 0;       ///< bytes from data.data() to base
+
+    const std::uint8_t* row(std::size_t i) const {
+        return data.data() + align_pad + i * kStride;
+    }
+};
+
+/// True if the matrix fits the inter-sequence kernels: alphabet small
+/// enough for 5-bit codes plus the padding sentinel, and the biased
+/// score range inside u8.
+bool interseq_supported(const ScoreMatrix& matrix);
+
+InterseqProfile build_interseq_profile(std::span<const Code> query,
+                                       const ScoreMatrix& matrix);
+
+/// 8-bit inter-sequence kernel over one cohort: `cols` points at
+/// `columns` column-major residue columns of `lanes_u8(isa)` lanes.
+/// Writes each lane's best (unbiased) score to lane_best[0..lanes) and
+/// returns the saturating-overflow lane mask (bit l set = lane l may
+/// have saturated, same `score + bias >= 255` bound as the striped u8
+/// kernel; those subjects must be settled by a wider kernel). Residues
+/// must be pre-validated (< alphabet size, or == kPadCode).
+std::uint64_t sw_interseq_u8(const InterseqProfile& profile, const Code* cols,
+                             std::size_t columns, GapPenalty gap,
+                             simd::IsaLevel isa, ScanScratch& scratch,
+                             std::uint8_t* lane_best);
+
+/// 16-bit companion: same cohort geometry (the u8 lane count — each
+/// lane is widened to two i16 half-vectors internally), per-lane i16
+/// best scores and the `score + max_raw >= 32767` overflow mask of the
+/// striped i16 kernel.
+std::uint64_t sw_interseq_i16(const InterseqProfile& profile, const Code* cols,
+                              std::size_t columns, GapPenalty gap,
+                              simd::IsaLevel isa, ScanScratch& scratch,
+                              std::int16_t* lane_best);
+
+}  // namespace swh::align

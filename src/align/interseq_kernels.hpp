@@ -1,0 +1,165 @@
+#pragma once
+
+// Templated bodies of the inter-sequence Smith-Waterman kernels: one
+// subject per SIMD lane, DP state arrays indexed by query position.
+// Instantiated per SIMD backend in interseq.cpp; exposed in a header so
+// tests can pin a specific backend.
+//
+// Orientation: the outer loop walks subject columns (one interleaved
+// residue vector per column), the inner loop walks the query. E (gap
+// along the subject) persists per query row; F (gap along the query)
+// runs as a register down the column; the diagonal H comes from the
+// previous column's row array. F needs no lazy correction pass — it is
+// computed exactly in order, which is the structural advantage over the
+// striped kernel on short queries.
+//
+// Arithmetic is cell-for-cell identical to the striped kernels (same
+// saturating ops in the same order), so per-lane scores and overflow
+// flags are bit-identical to what striped_u8/i16 produce for the same
+// subject — the property the golden-equivalence suite pins down.
+
+#include <algorithm>
+#include <cstring>
+
+#include "align/interseq.hpp"
+#include "align/striped.hpp"
+#include "util/error.hpp"
+
+namespace swh::align::detail {
+
+/// 8-bit inter-sequence kernel. V must model the u8 vector interface of
+/// simd/vec_scalar.hpp including lookup32/widen. Returns the overflow
+/// lane mask; lane_best[0..V::kLanes) receives per-lane maxima.
+template <class V>
+std::uint64_t interseq_u8(const InterseqProfile& p, const Code* cols,
+                          std::size_t columns, GapPenalty gap,
+                          ScanScratch& scratch, std::uint8_t* lane_best) {
+    constexpr int W = V::kLanes;
+    std::memset(lane_best, 0, W);
+    const std::size_t m = p.query_len;
+    if (m == 0 || columns == 0) return 0;
+
+    const auto open_ext =
+        static_cast<std::uint8_t>(std::min<Score>(gap.open + gap.extend, 255));
+    const auto ext =
+        static_cast<std::uint8_t>(std::min<Score>(gap.extend, 255));
+    const V vGapOE = V::splat(open_ext);
+    const V vGapE = V::splat(ext);
+    const V vBias = V::splat(static_cast<std::uint8_t>(p.bias));
+
+    const std::size_t bytes = m * sizeof(V);
+    const ScanScratch::KernelBuffers bufs = scratch.kernel_buffers(bytes);
+    V* __restrict h = static_cast<V*>(bufs.h_load);
+    V* __restrict e = static_cast<V*>(bufs.e);
+    std::memset(h, 0, bytes);
+    std::memset(e, 0, bytes);
+    V vMax = V::zero();
+
+    for (std::size_t j = 0; j < columns; ++j) {
+        const V dbv = V::load(cols + j * static_cast<std::size_t>(W));
+        V vF = V::zero();
+        V vDiag = V::zero();  // H(i-1, j-1); 0 boundary for i = 0
+        for (std::size_t i = 0; i < m; ++i) {
+            V vH = subs(adds(vDiag, lookup32(p.row(i), dbv)), vBias);
+            vDiag = h[i];  // this row's H of the previous column
+            vH = vmax(vH, e[i]);
+            vH = vmax(vH, vF);
+            vMax = vmax(vMax, vH);
+            h[i] = vH;
+            const V vHgap = subs(vH, vGapOE);
+            e[i] = vmax(subs(e[i], vGapE), vHgap);
+            vF = vmax(subs(vF, vGapE), vHgap);
+        }
+    }
+
+    vMax.store(lane_best);
+    std::uint64_t overflow = 0;
+    for (int l = 0; l < W; ++l) {
+        if (static_cast<Score>(lane_best[l]) + p.bias >= 255) {
+            overflow |= std::uint64_t{1} << l;
+        }
+    }
+    return overflow;
+}
+
+/// 16-bit inter-sequence kernel over the same u8-width cohort: each DP
+/// row holds two i16 half-vectors (lanes [0, W/2) and [W/2, W) of the
+/// residue vector, widened in order), so one cohort layout serves both
+/// precisions. Scores are looked up through the shared biased u8 table
+/// and un-biased exactly after widening.
+template <class V>
+std::uint64_t interseq_i16(const InterseqProfile& p, const Code* cols,
+                           std::size_t columns, GapPenalty gap,
+                           ScanScratch& scratch, std::int16_t* lane_best) {
+    constexpr int W = V::kLanes;
+    using VW = decltype(widen_lo(V::zero()));
+    for (int l = 0; l < W; ++l) lane_best[l] = 0;
+    const std::size_t m = p.query_len;
+    if (m == 0 || columns == 0) return 0;
+
+    const VW vGapOE = VW::splat(static_cast<std::int16_t>(
+        std::min<Score>(gap.open + gap.extend, 32767)));
+    const VW vGapE =
+        VW::splat(static_cast<std::int16_t>(std::min<Score>(gap.extend, 32767)));
+    const VW vBias = VW::splat(static_cast<std::int16_t>(p.bias));
+    const VW vZero = VW::zero();
+
+    // Row arrays hold [lo, hi] half-vector pairs: entry 2i / 2i+1.
+    const std::size_t bytes = 2 * m * sizeof(VW);
+    const ScanScratch::KernelBuffers bufs = scratch.kernel_buffers(bytes);
+    VW* __restrict h = static_cast<VW*>(bufs.h_load);
+    VW* __restrict e = static_cast<VW*>(bufs.e);
+    std::memset(h, 0, bytes);
+    std::memset(e, 0, bytes);
+    VW vMaxLo = VW::zero();
+    VW vMaxHi = VW::zero();
+
+    for (std::size_t j = 0; j < columns; ++j) {
+        const V dbv = V::load(cols + j * static_cast<std::size_t>(W));
+        VW vFLo = VW::zero();
+        VW vFHi = VW::zero();
+        VW vDiagLo = VW::zero();
+        VW vDiagHi = VW::zero();
+        for (std::size_t i = 0; i < m; ++i) {
+            const V s8 = lookup32(p.row(i), dbv);
+            // Exact un-bias: widened entries are in [0, 255], so the
+            // subtraction cannot saturate and yields the raw score.
+            const VW sLo = subs(widen_lo(s8), vBias);
+            const VW sHi = subs(widen_hi(s8), vBias);
+
+            VW vH = adds(vDiagLo, sLo);
+            vDiagLo = h[2 * i];
+            vH = vmax(vH, e[2 * i]);
+            vH = vmax(vH, vFLo);
+            vH = vmax(vH, vZero);  // local-alignment clamp
+            vMaxLo = vmax(vMaxLo, vH);
+            h[2 * i] = vH;
+            VW vHgap = subs(vH, vGapOE);
+            e[2 * i] = vmax(subs(e[2 * i], vGapE), vHgap);
+            vFLo = vmax(subs(vFLo, vGapE), vHgap);
+
+            vH = adds(vDiagHi, sHi);
+            vDiagHi = h[2 * i + 1];
+            vH = vmax(vH, e[2 * i + 1]);
+            vH = vmax(vH, vFHi);
+            vH = vmax(vH, vZero);
+            vMaxHi = vmax(vMaxHi, vH);
+            h[2 * i + 1] = vH;
+            vHgap = subs(vH, vGapOE);
+            e[2 * i + 1] = vmax(subs(e[2 * i + 1], vGapE), vHgap);
+            vFHi = vmax(subs(vFHi, vGapE), vHgap);
+        }
+    }
+
+    vMaxLo.store(lane_best);
+    vMaxHi.store(lane_best + W / 2);
+    std::uint64_t overflow = 0;
+    for (int l = 0; l < W; ++l) {
+        if (static_cast<Score>(lane_best[l]) + p.max_raw >= 32767) {
+            overflow |= std::uint64_t{1} << l;
+        }
+    }
+    return overflow;
+}
+
+}  // namespace swh::align::detail

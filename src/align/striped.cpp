@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <new>
 
+#include "align/interseq.hpp"
 #include "align/striped_kernels.hpp"
 #include "align/sw_scalar.hpp"
 #include "simd/simd.hpp"
@@ -247,7 +248,13 @@ StripedAligner::StripedAligner(std::vector<Code> query,
     SWH_REQUIRE(simd::is_supported(isa), "requested ISA not supported");
     profile8_ = build_profile8(query_, matrix, lanes_u8(isa));
     profile16_ = build_profile16(query_, matrix, lanes_i16(isa));
+    if (interseq_supported(matrix)) {
+        interseq_ = std::make_unique<InterseqProfile>(
+            build_interseq_profile(query_, matrix));
+    }
 }
+
+StripedAligner::~StripedAligner() = default;
 
 StripedResult StripedAligner::score_u8(std::span<const Code> db,
                                        ScanScratch& scratch,

@@ -130,11 +130,14 @@ int lanes_i16(simd::IsaLevel isa);
 /// escalation, mirroring how SSE database-search tools (and the paper's
 /// adapted Farrar code) handle score overflow. Thread-safe for concurrent
 /// score() calls after construction.
+struct InterseqProfile;
+
 class StripedAligner {
 public:
     StripedAligner(std::vector<Code> query, const ScoreMatrix& matrix,
                    GapPenalty gap,
                    simd::IsaLevel isa = simd::best_supported());
+    ~StripedAligner();
 
     /// Exact local alignment score of the query against one db sequence.
     /// Uses a thread-local ScanScratch, so steady-state calls are
@@ -168,6 +171,11 @@ public:
     GapPenalty gap() const { return gap_; }
     simd::IsaLevel isa() const { return isa_; }
 
+    /// Transposed query profile for the inter-sequence kernels (see
+    /// align/interseq.hpp), built at construction when the matrix fits
+    /// them; null means the scan must stay on the striped kernels.
+    const InterseqProfile* interseq() const { return interseq_.get(); }
+
     struct Stats {
         std::uint64_t runs8 = 0;    ///< sequences settled by the u8 kernel
         std::uint64_t runs16 = 0;   ///< escalations to i16
@@ -184,6 +192,7 @@ private:
     simd::IsaLevel isa_;
     Profile8 profile8_;
     Profile16 profile16_;
+    std::unique_ptr<InterseqProfile> interseq_;  // null = not eligible
     mutable std::atomic<std::uint64_t> runs8_{0}, runs16_{0}, runs32_{0};
 };
 

@@ -17,6 +17,20 @@ void PackedDatabase::ArenaFree::operator()(align::Code* p) const {
     ::operator delete[](p, std::align_val_t{kArenaAlign});
 }
 
+void InterleavedChunks::ArenaFree::operator()(align::Code* p) const {
+    ::operator delete[](p, std::align_val_t{kArenaAlign});
+}
+
+align::InterleavedCohorts InterleavedChunks::view() const {
+    align::InterleavedCohorts v;
+    v.arena = arena_.get();
+    v.cohorts = cohorts_.data();
+    v.count = cohorts_.size();
+    v.lanes = lanes_;
+    v.pad_code = align::InterseqProfile::kPadCode;
+    return v;
+}
+
 PackedDatabase PackedDatabase::pack(
     const std::vector<align::Sequence>& sequences) {
     SWH_REQUIRE(sequences.size() <= std::numeric_limits<std::uint32_t>::max(),
@@ -77,6 +91,66 @@ PackedDatabase PackedDatabase::pack(
     p.residues_ = total;
     p.max_code_ = max_code;
     return p;
+}
+
+const InterleavedChunks& PackedDatabase::interleaved(int lanes) const {
+    SWH_REQUIRE(lanes >= 1 && lanes <= 64,
+                "cohort width must be a SIMD u8 lane count (1..64)");
+    SWH_REQUIRE(size() == 0 || max_code_ < align::InterseqProfile::kPadCode,
+                "residue codes collide with the interleave padding sentinel");
+    std::lock_guard<std::mutex> lock(itl_->mutex);
+    for (const auto& c : itl_->built) {
+        if (c->lanes() == lanes) return *c;
+    }
+
+    auto chunks = std::make_unique<InterleavedChunks>();
+    chunks->lanes_ = lanes;
+    const std::size_t n = size();
+    const std::size_t w = static_cast<std::size_t>(lanes);
+    const std::size_t count = (n + w - 1) / w;
+    chunks->cohorts_.reserve(count);
+
+    // Pass 1: size every cohort. Members are W consecutive scan-order
+    // slots; the longest-first order puts the cohort's longest member
+    // first, so its length is the column count.
+    std::uint64_t total = 0;
+    for (std::size_t c = 0; c < count; ++c) {
+        align::CohortDesc d;
+        d.first_slot = static_cast<std::uint32_t>(c * w);
+        d.lanes_used =
+            static_cast<std::uint32_t>(std::min(w, n - c * w));
+        d.columns = lengths_[order_[d.first_slot]];
+        d.offset = total;
+        for (std::uint32_t l = 0; l < d.lanes_used; ++l) {
+            d.residues += lengths_[order_[d.first_slot + l]];
+        }
+        total += std::uint64_t{d.columns} * w;
+        chunks->cohorts_.push_back(d);
+    }
+
+    if (total > 0) {
+        chunks->arena_.reset(static_cast<align::Code*>(
+            ::operator new[](total, std::align_val_t{kArenaAlign})));
+        // Pass 2: fill column-major — column j holds residue j of every
+        // lane — padding exhausted/absent lanes with the sentinel the
+        // inter-sequence profile maps to the worst score.
+        std::memset(chunks->arena_.get(), align::InterseqProfile::kPadCode,
+                    total);
+        for (const align::CohortDesc& d : chunks->cohorts_) {
+            align::Code* base = chunks->arena_.get() + d.offset;
+            for (std::uint32_t l = 0; l < d.lanes_used; ++l) {
+                const std::uint32_t idx = order_[d.first_slot + l];
+                const align::Code* src = arena_.get() + offsets_[idx];
+                const std::uint32_t len = lengths_[idx];
+                for (std::uint32_t j = 0; j < len; ++j) {
+                    base[std::size_t{j} * w + l] = src[j];
+                }
+            }
+        }
+    }
+
+    itl_->built.push_back(std::move(chunks));
+    return *itl_->built.back();
 }
 
 align::PackedSubjects PackedDatabase::view() const {

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -17,6 +18,38 @@
 #include "align/sequence.hpp"
 
 namespace swh::db {
+
+/// Lane-interleaved cohort layout of a packed database at one SIMD
+/// width W: consecutive scan-order subjects are grouped W at a time
+/// into cohorts (the longest-first scan order makes cohort members
+/// near-equal length), and each cohort's residues are stored
+/// column-major — column j holds residue j of every member, short
+/// lanes padded with the inter-sequence padding sentinel. This is the
+/// input geometry of align::sw_interseq_u8/i16. Built lazily by
+/// PackedDatabase::interleaved().
+class InterleavedChunks {
+public:
+    int lanes() const { return lanes_; }
+    std::size_t cohort_count() const { return cohorts_.size(); }
+    const align::CohortDesc& cohort(std::size_t c) const {
+        return cohorts_[c];
+    }
+
+    /// Non-owning view for align::DatabaseScanner; valid while this
+    /// object (i.e. the owning PackedDatabase) is alive.
+    align::InterleavedCohorts view() const;
+
+private:
+    friend class PackedDatabase;
+
+    struct ArenaFree {
+        void operator()(align::Code* p) const;
+    };
+
+    std::unique_ptr<align::Code[], ArenaFree> arena_;
+    std::vector<align::CohortDesc> cohorts_;
+    int lanes_ = 0;
+};
 
 class PackedDatabase {
 public:
@@ -48,9 +81,23 @@ public:
     /// this PackedDatabase is alive.
     align::PackedSubjects view() const;
 
+    /// Lane-interleaved cohort layout at width `lanes` (the aligner's
+    /// u8 lane count, see align::lanes_u8). Built on first request and
+    /// cached per width; thread-safe. Requires every residue code to
+    /// stay below the padding sentinel — guaranteed whenever the matrix
+    /// passes align::interseq_supported().
+    const InterleavedChunks& interleaved(int lanes) const;
+
 private:
     struct ArenaFree {
         void operator()(align::Code* p) const;
+    };
+
+    /// interleaved() cache, one entry per requested width. Behind a
+    /// unique_ptr so PackedDatabase stays movable despite the mutex.
+    struct ItlCache {
+        std::mutex mutex;
+        std::vector<std::unique_ptr<InterleavedChunks>> built;
     };
 
     std::unique_ptr<align::Code[], ArenaFree> arena_;
@@ -60,6 +107,7 @@ private:
     std::uint64_t residues_ = 0;
     std::size_t max_length_ = 0;
     align::Code max_code_ = 0;
+    std::unique_ptr<ItlCache> itl_ = std::make_unique<ItlCache>();
 };
 
 }  // namespace swh::db

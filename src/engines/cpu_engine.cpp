@@ -8,62 +8,12 @@
 #include "align/db_scan.hpp"
 #include "align/striped.hpp"
 #include "db/packed.hpp"
+#include "engines/topk.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace swh::engines {
-
-namespace {
-
-/// Bounded top-k collector; keeps at most 2k entries between trims.
-/// Entries stay unsorted between trims — trim() only partitions with
-/// nth_element (O(n)), and take() pays the O(k log k) sort once.
-class TopK {
-public:
-    explicit TopK(std::size_t k) : k_(k) {}
-
-    void add(std::uint32_t db_index, align::Score score) {
-        hits_.push_back(core::Hit{db_index, score});
-        if (hits_.size() >= 2 * k_ + 16) trim();
-    }
-
-    void merge(TopK&& other) {
-        hits_.insert(hits_.end(), other.hits_.begin(), other.hits_.end());
-        trim();
-    }
-
-    std::vector<core::Hit> take() {
-        trim();
-        std::sort(hits_.begin(), hits_.end(), better);
-        return std::move(hits_);
-    }
-
-private:
-    static bool better(const core::Hit& a, const core::Hit& b) {
-        if (a.score != b.score) return a.score > b.score;
-        return a.db_index < b.db_index;
-    }
-
-    void trim() {
-        if (hits_.size() <= k_) return;
-        if (k_ == 0) {
-            hits_.clear();
-            return;
-        }
-        // `better` is a strict total order (index tie-break), so the
-        // surviving k elements are exactly the ones a full sort keeps.
-        std::nth_element(hits_.begin(),
-                         hits_.begin() + static_cast<std::ptrdiff_t>(k_ - 1),
-                         hits_.end(), better);
-        hits_.resize(k_);
-    }
-
-    std::size_t k_;
-    std::vector<core::Hit> hits_;
-};
-
-}  // namespace
 
 CpuEngine::CpuEngine(EngineConfig config, unsigned threads)
     : config_(config), threads_(threads) {
@@ -86,9 +36,17 @@ core::TaskResult CpuEngine::execute(const align::Sequence& query,
     const align::StripedAligner aligner(query.residues, *config_.matrix,
                                         config_.gap, config_.isa);
     // Packed arena: built once per database (cached inside it), scanned
-    // by every task against that database.
+    // by every task against that database. When the matrix admits the
+    // inter-sequence kernels, also attach the lane-interleaved cohort
+    // layout (likewise cached per width) so the scanner can dispatch
+    // short/medium-cohort work to the W-subjects-at-once kernel.
     const db::PackedDatabase& packed = database.packed();
-    align::DatabaseScanner scanner(aligner, packed.view(), config_.scan_chunk);
+    align::InterleavedCohorts cohorts;
+    if (config_.interseq && aligner.interseq() != nullptr) {
+        cohorts = packed.interleaved(align::lanes_u8(config_.isa)).view();
+    }
+    align::DatabaseScanner scanner(aligner, packed.view(), config_.scan_chunk,
+                                   cohorts);
     const std::uint64_t qlen = query.size();
 
     core::TaskResult result;
@@ -168,6 +126,16 @@ core::TaskResult CpuEngine::execute(const align::Sequence& query,
         config_.metrics->counter("engine.cpu.runs8").add(st.runs8);
         config_.metrics->counter("engine.cpu.runs16").add(st.runs16);
         config_.metrics->counter("engine.cpu.runs32").add(st.runs32);
+        const align::DatabaseScanner::DispatchStats ds =
+            scanner.dispatch_stats();
+        config_.metrics->counter("engine.cpu.cohorts_interseq")
+            .add(ds.cohorts_interseq);
+        config_.metrics->counter("engine.cpu.cohorts_striped")
+            .add(ds.cohorts_striped);
+        config_.metrics->counter("engine.cpu.subjects_interseq")
+            .add(ds.subjects_interseq);
+        config_.metrics->counter("engine.cpu.subjects_striped")
+            .add(ds.subjects_striped);
     }
     if (lane != nullptr) {
         lane->span_end("kernel:cpu-striped", task,

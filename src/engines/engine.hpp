@@ -51,6 +51,10 @@ struct EngineConfig {
     /// Subjects a worker claims per atomic op when scanning the packed
     /// database (align::DatabaseScanner chunked work claiming).
     std::size_t scan_chunk = 64;
+    /// Allow the inter-sequence kernels (lane-interleaved cohort scan)
+    /// where the matrix and query admit them; the scanner still falls
+    /// back to the striped kernels per cohort. Off forces striped-only.
+    bool interseq = true;
     /// Optional metrics sink (engines fold in per-task counters like the
     /// 8->16->32-bit escalation counts). Non-owning; null = off.
     obs::MetricsRegistry* metrics = nullptr;

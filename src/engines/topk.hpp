@@ -1,0 +1,67 @@
+#pragma once
+
+// Bounded top-k hit collector shared by the compute engines. One
+// instance per worker thread; merge the per-worker collectors at the
+// end of a scan.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "align/sequence.hpp"
+#include "core/results.hpp"
+
+namespace swh::engines {
+
+/// Bounded top-k collector; keeps at most 2k entries between trims.
+/// Entries stay unsorted between trims — trim() only partitions with
+/// nth_element (O(n)), and take() pays the O(k log k) sort once.
+/// Capacity is reserved up front, so add() never allocates: the
+/// per-subject emit path of a scan stays heap-quiet (asserted by
+/// tests/align/scan_alloc_test.cpp).
+class TopK {
+public:
+    explicit TopK(std::size_t k) : k_(k) { hits_.reserve(2 * k_ + 16); }
+
+    void add(std::uint32_t db_index, align::Score score) {
+        hits_.push_back(core::Hit{db_index, score});
+        if (hits_.size() >= 2 * k_ + 16) trim();
+    }
+
+    void merge(TopK&& other) {
+        hits_.insert(hits_.end(), other.hits_.begin(), other.hits_.end());
+        trim();
+    }
+
+    std::vector<core::Hit> take() {
+        trim();
+        std::sort(hits_.begin(), hits_.end(), better);
+        return std::move(hits_);
+    }
+
+private:
+    static bool better(const core::Hit& a, const core::Hit& b) {
+        if (a.score != b.score) return a.score > b.score;
+        return a.db_index < b.db_index;
+    }
+
+    void trim() {
+        if (hits_.size() <= k_) return;
+        if (k_ == 0) {
+            hits_.clear();
+            return;
+        }
+        // `better` is a strict total order (index tie-break), so the
+        // surviving k elements are exactly the ones a full sort keeps.
+        std::nth_element(hits_.begin(),
+                         hits_.begin() + static_cast<std::ptrdiff_t>(k_ - 1),
+                         hits_.end(), better);
+        hits_.resize(k_);
+    }
+
+    std::size_t k_;
+    std::vector<core::Hit> hits_;
+};
+
+}  // namespace swh::engines

@@ -70,6 +70,19 @@ struct U8x32 {
         m = _mm_max_epu8(m, _mm_srli_si128(m, 1));
         return static_cast<std::uint8_t>(_mm_cvtsi128_si32(m) & 0xFF);
     }
+
+    /// Per-lane gather from a 32-entry byte table (indices < 32): each
+    /// 16-byte table half is duplicated across both 128-bit lanes, then
+    /// VPSHUFB results are selected on index bit 4.
+    friend U8x32 lookup32(const std::uint8_t* table, U8x32 idx) {
+        const __m256i tbl =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(table));
+        const __m256i lo = _mm256_permute4x64_epi64(tbl, 0x44);
+        const __m256i hi = _mm256_permute4x64_epi64(tbl, 0xEE);
+        const __m256i sel = _mm256_cmpgt_epi8(idx.v, _mm256_set1_epi8(15));
+        return {_mm256_blendv_epi8(_mm256_shuffle_epi8(lo, idx.v),
+                                   _mm256_shuffle_epi8(hi, idx.v), sel)};
+    }
 };
 
 /// 16 signed 16-bit lanes (AVX2).
@@ -117,6 +130,16 @@ struct I16x16 {
         return static_cast<std::int16_t>(_mm_cvtsi128_si32(m) & 0xFFFF);
     }
 };
+
+/// Zero-extends lanes 0..15 of a u8 vector to i16, in lane order.
+inline I16x16 widen_lo(U8x32 a) {
+    return {_mm256_cvtepu8_epi16(_mm256_castsi256_si128(a.v))};
+}
+
+/// Zero-extends lanes 16..31.
+inline I16x16 widen_hi(U8x32 a) {
+    return {_mm256_cvtepu8_epi16(_mm256_extracti128_si256(a.v, 1))};
+}
 
 }  // namespace swh::simd
 

@@ -72,6 +72,28 @@ struct U8x64 {
         m = _mm_max_epu8(m, _mm_srli_si128(m, 1));
         return static_cast<std::uint8_t>(_mm_cvtsi128_si32(m) & 0xFF);
     }
+
+    /// Per-lane gather from a 32-entry byte table (indices < 32). With
+    /// AVX-512VBMI this is a single VPERMB (the table broadcast twice
+    /// fills all 64 permute slots; indices stay below 32 so only the
+    /// first copy is ever selected). The BW-only fallback broadcasts
+    /// each 16-byte half per 128-bit lane and selects on index bit 4.
+    friend U8x64 lookup32(const std::uint8_t* table, U8x64 idx) {
+#if defined(__AVX512VBMI__)
+        const __m512i tbl = _mm512_broadcast_i64x4(
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(table)));
+        return {_mm512_permutexvar_epi8(idx.v, tbl)};
+#else
+        const __m512i lo = _mm512_broadcast_i32x4(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(table)));
+        const __m512i hi = _mm512_broadcast_i32x4(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(table + 16)));
+        const __mmask64 sel =
+            _mm512_test_epi8_mask(idx.v, _mm512_set1_epi8(0x10));
+        return {_mm512_mask_blend_epi8(sel, _mm512_shuffle_epi8(lo, idx.v),
+                                       _mm512_shuffle_epi8(hi, idx.v))};
+#endif
+    }
 };
 
 /// 32 signed 16-bit lanes (AVX-512BW).
@@ -119,6 +141,16 @@ struct I16x32 {
         return static_cast<std::int16_t>(_mm_cvtsi128_si32(m) & 0xFFFF);
     }
 };
+
+/// Zero-extends lanes 0..31 of a u8 vector to i16, in lane order.
+inline I16x32 widen_lo(U8x64 a) {
+    return {_mm512_cvtepu8_epi16(_mm512_castsi512_si256(a.v))};
+}
+
+/// Zero-extends lanes 32..63.
+inline I16x32 widen_hi(U8x64 a) {
+    return {_mm512_cvtepu8_epi16(_mm512_extracti64x4_epi64(a.v, 1))};
+}
 
 }  // namespace swh::simd
 

@@ -22,6 +22,12 @@ namespace swh::simd {
 //                   (the striped "previous row" rotation)
 //   any_gt(a,b) -- true if a > b in any lane
 //   a.hmax()    -- horizontal max
+//
+// u8 vectors additionally support the inter-sequence kernel ops:
+//   lookup32(table, idx) -- per-lane byte gather from a 32-entry table
+//                           (every index lane must be < 32)
+//   widen_lo(a) / widen_hi(a) -- zero-extend the low/high half of the
+//                           lanes to an i16 vector, preserving lane order
 
 template <int N>
 struct U8xN {
@@ -152,6 +158,27 @@ struct I16xN {
         return *std::max_element(lane.begin(), lane.end());
     }
 };
+
+template <int N>
+inline U8xN<N> lookup32(const std::uint8_t* table, U8xN<N> idx) {
+    U8xN<N> r;
+    for (int i = 0; i < N; ++i) r.lane[i] = table[idx.lane[i] & 31];
+    return r;
+}
+
+template <int N>
+inline I16xN<N / 2> widen_lo(U8xN<N> a) {
+    I16xN<N / 2> r;
+    for (int i = 0; i < N / 2; ++i) r.lane[i] = a.lane[i];
+    return r;
+}
+
+template <int N>
+inline I16xN<N / 2> widen_hi(U8xN<N> a) {
+    I16xN<N / 2> r;
+    for (int i = 0; i < N / 2; ++i) r.lane[i] = a.lane[N / 2 + i];
+    return r;
+}
 
 // Default widths match SSE2 so the scalar backend produces identical
 // striped layouts (and thus bit-identical intermediate states).

@@ -3,6 +3,9 @@
 #if defined(__SSE2__)
 
 #include <emmintrin.h>
+#if defined(__SSSE3__)
+#include <tmmintrin.h>
+#endif
 
 #include <cstdint>
 
@@ -50,6 +53,32 @@ struct U8x16 {
         m = _mm_max_epu8(m, _mm_srli_si128(m, 1));
         return static_cast<std::uint8_t>(_mm_cvtsi128_si32(m) & 0xFF);
     }
+
+    /// Per-lane gather from a 32-entry byte table (indices < 32). With
+    /// SSSE3 this is two PSHUFBs selected on index bit 4; the plain-SSE2
+    /// fallback gathers through memory (correct, slower — only hit on
+    /// builds without SSSE3).
+    friend U8x16 lookup32(const std::uint8_t* table, U8x16 idx) {
+#if defined(__SSSE3__)
+        const __m128i lo =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(table));
+        const __m128i hi =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(table + 16));
+        // Indices are < 32, so the signed compare against 15 is exact;
+        // PSHUFB uses only the low 4 index bits for the in-table slot.
+        const __m128i sel = _mm_cmpgt_epi8(idx.v, _mm_set1_epi8(15));
+        const __m128i rl = _mm_shuffle_epi8(lo, idx.v);
+        const __m128i rh = _mm_shuffle_epi8(hi, idx.v);
+        return {_mm_or_si128(_mm_andnot_si128(sel, rl),
+                             _mm_and_si128(sel, rh))};
+#else
+        alignas(16) std::uint8_t ix[16];
+        alignas(16) std::uint8_t out[16];
+        _mm_store_si128(reinterpret_cast<__m128i*>(ix), idx.v);
+        for (int i = 0; i < 16; ++i) out[i] = table[ix[i] & 31];
+        return {_mm_load_si128(reinterpret_cast<const __m128i*>(out))};
+#endif
+    }
 };
 
 /// 8 signed 16-bit lanes (SSE2).
@@ -88,6 +117,17 @@ struct I16x8 {
         return static_cast<std::int16_t>(_mm_cvtsi128_si32(m) & 0xFFFF);
     }
 };
+
+/// Zero-extends lanes 0..7 of a u8 vector to i16, preserving lane order
+/// (unpack against zero is an in-order widening).
+inline I16x8 widen_lo(U8x16 a) {
+    return {_mm_unpacklo_epi8(a.v, _mm_setzero_si128())};
+}
+
+/// Zero-extends lanes 8..15.
+inline I16x8 widen_hi(U8x16 a) {
+    return {_mm_unpackhi_epi8(a.v, _mm_setzero_si128())};
+}
 
 }  // namespace swh::simd
 

@@ -199,6 +199,214 @@ TEST(DatabaseScanner, EmitFalseCancelsScan) {
     EXPECT_EQ(emits, 5);
 }
 
+/// Cohort-mode variant of scan_scores: attaches the lane-interleaved
+/// layout so pass 1 dispatches between the inter-sequence and striped
+/// kernels.
+std::vector<Score> cohort_scan_scores(const StripedAligner& aligner,
+                                      const db::Database& database,
+                                      DatabaseScanner::DispatchStats* stats) {
+    const db::PackedDatabase& packed = database.packed();
+    DatabaseScanner scanner(
+        aligner, packed.view(), /*chunk=*/64,
+        packed.interleaved(lanes_u8(aligner.isa())).view());
+    EXPECT_TRUE(scanner.cohort_mode());
+    std::vector<Score> scores(database.size(), -1);
+    ScanScratch scratch;
+    const bool completed = scanner.run_worker(
+        scratch, [&](std::uint32_t idx, std::uint32_t len, Score s) {
+            EXPECT_EQ(len, database[idx].size());
+            EXPECT_EQ(scores[idx], -1) << "subject emitted twice";
+            scores[idx] = s;
+            return true;
+        });
+    EXPECT_TRUE(completed);
+    if (stats != nullptr) *stats = scanner.dispatch_stats();
+    return scores;
+}
+
+TEST(DatabaseScanner, InterseqScanMatchesStripedAcrossIsaLevels) {
+    Rng rng(171);
+    const Sequence planted = db::random_protein(rng, 400, "planted");
+    // Enough sequences that even 64-wide cohorts hold near-equal
+    // lengths (so some pass the fill gate), while the planted copy and
+    // the length spread still exercise the striped fallback and pass 2.
+    db::DatabaseSpec spec;
+    spec.name = "golden-cohort";
+    spec.num_sequences = 500;
+    spec.length.min_len = 30;
+    spec.length.max_len = 240;
+    spec.seed = 24;
+    auto seqs = db::generate_database(spec);
+    seqs.insert(seqs.begin() + 7, planted);
+    const db::Database database("golden-cohort", std::move(seqs));
+
+    Rng qrng(172);
+    const std::vector<Sequence> queries = {
+        db::random_protein(qrng, 60, "short"),
+        db::random_protein(qrng, 180, "medium"),
+        planted,  // identical to a subject: overflow lanes hit pass 2
+    };
+
+    for (const simd::IsaLevel isa : supported_levels()) {
+        for (const Sequence& q : queries) {
+            const StripedAligner aligner(q.residues, blosum(), kGap, isa);
+            ASSERT_NE(aligner.interseq(), nullptr);
+            DatabaseScanner::DispatchStats ds;
+            const std::vector<Score> scores =
+                cohort_scan_scores(aligner, database, &ds);
+            for (std::size_t i = 0; i < database.size(); ++i) {
+                EXPECT_EQ(scores[i], aligner.score(database[i].residues))
+                    << "isa=" << simd::to_string(isa) << " query=" << q.id
+                    << " subject=" << i;
+            }
+            // Every subject went through exactly one pass-1 kernel, and
+            // the short queries must actually use the new kernel.
+            EXPECT_EQ(ds.subjects_interseq + ds.subjects_striped,
+                      database.size());
+            EXPECT_GE(ds.cohorts_interseq, 1u)
+                << "isa=" << simd::to_string(isa) << " query=" << q.id;
+            const auto st = aligner.stats();
+            EXPECT_EQ(st.runs8 + st.runs16 + st.runs32, 2 * database.size());
+        }
+    }
+}
+
+TEST(DatabaseScanner, LongQueryFallsBackToStriped) {
+    db::DatabaseSpec spec;
+    spec.name = "long-q";
+    spec.num_sequences = 80;
+    spec.length.min_len = 30;
+    spec.length.max_len = 120;
+    spec.seed = 57;
+    const db::Database database = db::Database::generate(spec);
+    Rng rng(58);
+    const Sequence q = db::random_protein(
+        rng, DatabaseScanner::kInterseqMaxQuery + 1, "long");
+    const StripedAligner aligner(q.residues, blosum(), kGap);
+    DatabaseScanner::DispatchStats ds;
+    const std::vector<Score> scores =
+        cohort_scan_scores(aligner, database, &ds);
+    EXPECT_EQ(ds.subjects_interseq, 0u);
+    EXPECT_EQ(ds.cohorts_interseq, 0u);
+    EXPECT_EQ(ds.subjects_striped, database.size());
+    for (std::size_t i = 0; i < database.size(); ++i) {
+        EXPECT_EQ(scores[i], aligner.score(database[i].residues));
+    }
+}
+
+TEST(DatabaseScanner, ConcurrentCohortWorkersMatchSequential) {
+    db::DatabaseSpec spec;
+    spec.name = "conc-cohort";
+    spec.num_sequences = 300;
+    spec.length.min_len = 15;
+    spec.length.max_len = 250;
+    spec.seed = 61;
+    const db::Database database = db::Database::generate(spec);
+    Rng rng(62);
+    const Sequence q = db::random_protein(rng, 120, "q");
+
+    const StripedAligner aligner(q.residues, blosum(), kGap);
+    const db::PackedDatabase& packed = database.packed();
+    DatabaseScanner scanner(
+        aligner, packed.view(), /*chunk=*/32,
+        packed.interleaved(lanes_u8(aligner.isa())).view());
+
+    std::vector<Score> scores(database.size(), -1);
+    std::atomic<std::size_t> emitted{0};
+    std::vector<std::thread> workers;
+    for (int w = 0; w < 4; ++w) {
+        workers.emplace_back([&] {
+            ScanScratch scratch;
+            scanner.run_worker(
+                scratch, [&](std::uint32_t idx, std::uint32_t, Score s) {
+                    scores[idx] = s;
+                    emitted.fetch_add(1, std::memory_order_relaxed);
+                    return true;
+                });
+        });
+    }
+    for (auto& t : workers) t.join();
+
+    EXPECT_EQ(emitted.load(), database.size());
+    for (std::size_t i = 0; i < database.size(); ++i) {
+        EXPECT_EQ(scores[i], aligner.score(database[i].residues))
+            << "subject " << i;
+    }
+    const DatabaseScanner::DispatchStats ds = scanner.dispatch_stats();
+    EXPECT_EQ(ds.subjects_interseq + ds.subjects_striped, database.size());
+}
+
+TEST(DatabaseScanner, EmitFalseCancelsMidCohortAcrossWorkers) {
+    db::DatabaseSpec spec;
+    spec.name = "cancel-cohort";
+    spec.num_sequences = 400;
+    spec.length.min_len = 20;
+    spec.length.max_len = 200;
+    spec.seed = 67;
+    const db::Database database = db::Database::generate(spec);
+    Rng rng(68);
+    const Sequence q = db::random_protein(rng, 80, "q");
+    const StripedAligner aligner(q.residues, blosum(), kGap);
+    const db::PackedDatabase& packed = database.packed();
+    DatabaseScanner scanner(
+        aligner, packed.view(), /*chunk=*/16,
+        packed.interleaved(lanes_u8(aligner.isa())).view());
+
+    // The stop threshold (5) is below one cohort's lane count, so the
+    // first worker to hit it cancels mid-cohort: it must settle no
+    // further lanes of that cohort (nor its deferred batch).
+    constexpr std::size_t kStopAfter = 5;
+    constexpr int kWorkers = 4;
+    std::atomic<std::size_t> emitted{0};
+    std::vector<std::thread> workers;
+    std::vector<char> completed(kWorkers, 1);
+    for (int w = 0; w < kWorkers; ++w) {
+        workers.emplace_back([&, w] {
+            ScanScratch scratch;
+            completed[static_cast<std::size_t>(w)] =
+                scanner.run_worker(
+                    scratch, [&](std::uint32_t, std::uint32_t, Score) {
+                        return emitted.fetch_add(
+                                   1, std::memory_order_relaxed) +
+                                   1 <
+                               kStopAfter;
+                    })
+                    ? 1
+                    : 0;
+        });
+    }
+    for (auto& t : workers) t.join();
+
+    // Each worker settles at most one subject past the shared threshold
+    // before its own emit returns false; nobody scans to completion.
+    EXPECT_GE(emitted.load(), kStopAfter);
+    EXPECT_LE(emitted.load(), kStopAfter + kWorkers);
+    EXPECT_LT(emitted.load(), database.size());
+    bool any_cancelled = false;
+    for (const char c : completed) any_cancelled |= (c == 0);
+    EXPECT_TRUE(any_cancelled);
+}
+
+TEST(DatabaseScanner, RejectsCohortWidthMismatch) {
+    db::DatabaseSpec spec;
+    spec.name = "mismatch";
+    spec.num_sequences = 20;
+    spec.length.min_len = 10;
+    spec.length.max_len = 50;
+    spec.seed = 71;
+    const db::Database database = db::Database::generate(spec);
+    Rng rng(72);
+    const Sequence q = db::random_protein(rng, 40, "q");
+    const StripedAligner aligner(q.residues, blosum(), kGap);
+    const db::PackedDatabase& packed = database.packed();
+    // A width the aligner's ISA does not use (u8 lane counts are
+    // 16/32/64, never 8).
+    const InterleavedCohorts wrong = packed.interleaved(8).view();
+    EXPECT_THROW(
+        DatabaseScanner(aligner, packed.view(), /*chunk=*/16, wrong),
+        ContractError);
+}
+
 TEST(DatabaseScanner, RejectsResiduesOutsideAlphabet) {
     // A DNA-alphabet matrix (5 symbols) cannot scan protein residues:
     // the pack-time max_code check must reject the pairing up front.

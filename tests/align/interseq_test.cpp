@@ -1,0 +1,264 @@
+// Golden equivalence of the inter-sequence scan kernels against the
+// scalar oracle and the striped kernels, across every ISA level this
+// host supports. The kernels promise BIT-identical scores and overflow
+// flags to the striped kernels (same saturating arithmetic per cell),
+// so every comparison below is exact — including saturated lanes,
+// padded lanes, and partial cohorts.
+
+#include "align/interseq.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "align/striped.hpp"
+#include "align/sw_scalar.hpp"
+#include "db/generator.hpp"
+#include "util/rng.hpp"
+
+namespace swh::align {
+namespace {
+
+const ScoreMatrix& blosum() {
+    static const ScoreMatrix m = ScoreMatrix::blosum62();
+    return m;
+}
+
+constexpr GapPenalty kGap{10, 2};
+
+std::vector<simd::IsaLevel> supported_levels() {
+    std::vector<simd::IsaLevel> levels;
+    for (const simd::IsaLevel isa :
+         {simd::IsaLevel::Scalar, simd::IsaLevel::SSE2, simd::IsaLevel::AVX2,
+          simd::IsaLevel::AVX512}) {
+        if (simd::is_supported(isa)) levels.push_back(isa);
+    }
+    return levels;
+}
+
+/// Column-major interleave of up to W subjects into a cohort of
+/// `columns` columns, short/absent lanes padded with the sentinel.
+std::vector<Code> interleave(const std::vector<std::vector<Code>>& subjects,
+                             int lanes, std::size_t columns) {
+    std::vector<Code> cols(columns * static_cast<std::size_t>(lanes),
+                           InterseqProfile::kPadCode);
+    for (std::size_t l = 0; l < subjects.size(); ++l) {
+        for (std::size_t j = 0; j < subjects[l].size(); ++j) {
+            cols[j * static_cast<std::size_t>(lanes) + l] = subjects[l][j];
+        }
+    }
+    return cols;
+}
+
+std::vector<std::vector<Code>> random_subjects(Rng& rng, std::size_t n,
+                                               std::size_t min_len,
+                                               std::size_t max_len) {
+    std::vector<std::vector<Code>> subjects;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t len =
+            min_len + rng.below(max_len - min_len + 1);
+        subjects.push_back(
+            db::random_protein(rng, len, "s" + std::to_string(i)).residues);
+    }
+    return subjects;
+}
+
+TEST(InterseqSupport, AcceptsEveryBuiltinAlphabet) {
+    // The gate (alphabet < pad sentinel, biased range inside u8) is
+    // defensive: every constructible matrix today passes — entries are
+    // int8-bounded, so max + bias <= 127 + 128 = 255, and all factory
+    // alphabets are <= 24 symbols. Pin that down so a future alphabet
+    // bigger than the 5-bit code space gets caught by the gate, not by
+    // a silent pad-code collision.
+    EXPECT_TRUE(interseq_supported(blosum()));
+    EXPECT_TRUE(interseq_supported(
+        ScoreMatrix::match_mismatch(Alphabet::dna(), 5, -4)));
+    EXPECT_TRUE(interseq_supported(
+        ScoreMatrix::match_mismatch(Alphabet::protein(), 127, -128)));
+    EXPECT_LT(Alphabet::protein().size(),
+              std::size_t{InterseqProfile::kPadCode});
+}
+
+TEST(InterseqProfileTest, RowsHoldBiasedScoresAndPadDecays) {
+    Rng rng(7);
+    const std::vector<Code> q = db::random_protein(rng, 37, "q").residues;
+    const InterseqProfile p = build_interseq_profile(q, blosum());
+    EXPECT_EQ(p.query_len, q.size());
+    EXPECT_EQ(p.bias, blosum().bias());
+    for (std::size_t i = 0; i < q.size(); ++i) {
+        const std::uint8_t* row = p.row(i);
+        EXPECT_EQ(reinterpret_cast<std::uintptr_t>(row) %
+                      InterseqProfile::kStride,
+                  0u);
+        for (Code a = 0; a < p.symbols; ++a) {
+            EXPECT_EQ(row[a], blosum().at(q[i], a) + p.bias);
+        }
+        // Pad sentinel (and every unused slot) holds the worst biased
+        // score, so padded lanes can only decay.
+        EXPECT_EQ(row[InterseqProfile::kPadCode], 0);
+    }
+}
+
+TEST(InterseqKernels, U8MatchesStripedAndOracleAcrossIsaLevels) {
+    Rng rng(101);
+    const std::vector<Code> q = db::random_protein(rng, 120, "q").residues;
+    const InterseqProfile prof = build_interseq_profile(q, blosum());
+
+    for (const simd::IsaLevel isa : supported_levels()) {
+        const int W = lanes_u8(isa);
+        Rng srng(isa == simd::IsaLevel::Scalar ? 5u : 6u);
+        // Length-diverse cohort: exercises early lane retirement.
+        const auto subjects = random_subjects(
+            srng, static_cast<std::size_t>(W), 5, 180);
+        std::size_t columns = 0;
+        for (const auto& s : subjects) columns = std::max(columns, s.size());
+        const std::vector<Code> cols = interleave(subjects, W, columns);
+
+        ScanScratch scratch;
+        std::uint8_t lane_best[64];
+        const std::uint64_t ovf = sw_interseq_u8(prof, cols.data(), columns,
+                                                 kGap, isa, scratch, lane_best);
+
+        const Profile8 p8 = build_profile8(q, blosum(), W);
+        for (int l = 0; l < W; ++l) {
+            const StripedResult r = sw_striped_u8(p8, subjects[l], kGap, isa);
+            EXPECT_EQ(static_cast<Score>(lane_best[l]), r.score)
+                << "isa=" << simd::to_string(isa) << " lane=" << l;
+            EXPECT_EQ(((ovf >> l) & 1) != 0, r.overflow)
+                << "isa=" << simd::to_string(isa) << " lane=" << l;
+            if (!r.overflow) {
+                EXPECT_EQ(static_cast<Score>(lane_best[l]),
+                          sw_score_affine(q, subjects[l], blosum(), kGap));
+            }
+        }
+    }
+}
+
+TEST(InterseqKernels, U8OverflowMaskFlagsSaturatedLanes) {
+    Rng rng(103);
+    // A long self-match saturates u8 (score >> 255 - bias).
+    const std::vector<Code> q = db::random_protein(rng, 400, "q").residues;
+    const InterseqProfile prof = build_interseq_profile(q, blosum());
+
+    for (const simd::IsaLevel isa : supported_levels()) {
+        const int W = lanes_u8(isa);
+        std::vector<std::vector<Code>> subjects =
+            random_subjects(rng, static_cast<std::size_t>(W), 30, 60);
+        subjects[1] = q;                        // planted overflow lane
+        subjects[static_cast<std::size_t>(W) - 1] = q;
+        std::size_t columns = 0;
+        for (const auto& s : subjects) columns = std::max(columns, s.size());
+        const std::vector<Code> cols = interleave(subjects, W, columns);
+
+        ScanScratch scratch;
+        std::uint8_t lane_best[64];
+        const std::uint64_t ovf = sw_interseq_u8(prof, cols.data(), columns,
+                                                 kGap, isa, scratch, lane_best);
+        EXPECT_TRUE((ovf >> 1) & 1) << simd::to_string(isa);
+        EXPECT_TRUE((ovf >> (W - 1)) & 1) << simd::to_string(isa);
+
+        const Profile8 p8 = build_profile8(q, blosum(), W);
+        for (int l = 0; l < W; ++l) {
+            const StripedResult r = sw_striped_u8(p8, subjects[l], kGap, isa);
+            EXPECT_EQ(((ovf >> l) & 1) != 0, r.overflow)
+                << "isa=" << simd::to_string(isa) << " lane=" << l;
+            EXPECT_EQ(static_cast<Score>(lane_best[l]), r.score)
+                << "isa=" << simd::to_string(isa) << " lane=" << l;
+        }
+    }
+}
+
+TEST(InterseqKernels, PartialCohortPaddedLanesStayRetired) {
+    Rng rng(105);
+    const std::vector<Code> q = db::random_protein(rng, 90, "q").residues;
+    const InterseqProfile prof = build_interseq_profile(q, blosum());
+
+    for (const simd::IsaLevel isa : supported_levels()) {
+        const int W = lanes_u8(isa);
+        // Only 3 real subjects: the remaining lanes are pure padding.
+        const auto subjects = random_subjects(rng, 3, 40, 100);
+        std::size_t columns = 0;
+        for (const auto& s : subjects) columns = std::max(columns, s.size());
+        const std::vector<Code> cols = interleave(subjects, W, columns);
+
+        ScanScratch scratch;
+        std::uint8_t lane_best[64];
+        const std::uint64_t ovf = sw_interseq_u8(prof, cols.data(), columns,
+                                                 kGap, isa, scratch, lane_best);
+        for (std::size_t l = 0; l < 3; ++l) {
+            EXPECT_EQ(static_cast<Score>(lane_best[l]),
+                      sw_score_affine(q, subjects[l], blosum(), kGap));
+        }
+        for (int l = 3; l < W; ++l) {
+            EXPECT_EQ(lane_best[l], 0) << "pad lane " << l;
+            EXPECT_FALSE((ovf >> l) & 1) << "pad lane " << l;
+        }
+    }
+}
+
+TEST(InterseqKernels, I16MatchesStripedIncludingOverflowMask) {
+    Rng rng(107);
+    // match=60 over a 600-residue self-match scores 36000 > 32767: the
+    // planted lane must trip the i16 overflow mask while the random
+    // lanes stay exact.
+    const std::vector<Code> q = db::random_protein(rng, 600, "q").residues;
+    const ScoreMatrix matrix =
+        ScoreMatrix::match_mismatch(Alphabet::protein(), 60, -4);
+
+    const InterseqProfile prof = build_interseq_profile(q, matrix);
+
+    for (const simd::IsaLevel isa : supported_levels()) {
+        const int W = lanes_u8(isa);
+        std::vector<std::vector<Code>> subjects =
+            random_subjects(rng, static_cast<std::size_t>(W), 100, 400);
+        subjects[2] = q;  // saturates i16
+        std::size_t columns = 0;
+        for (const auto& s : subjects) columns = std::max(columns, s.size());
+        const std::vector<Code> cols = interleave(subjects, W, columns);
+
+        ScanScratch scratch;
+        std::int16_t lane_best[64];
+        const std::uint64_t ovf = sw_interseq_i16(
+            prof, cols.data(), columns, kGap, isa, scratch, lane_best);
+
+        const Profile16 p16 = build_profile16(q, matrix, lanes_i16(isa));
+        bool any_overflow = false;
+        for (int l = 0; l < W; ++l) {
+            const StripedResult r = sw_striped_i16(p16, subjects[l], kGap, isa);
+            EXPECT_EQ(static_cast<Score>(lane_best[l]), r.score)
+                << "isa=" << simd::to_string(isa) << " lane=" << l;
+            EXPECT_EQ(((ovf >> l) & 1) != 0, r.overflow)
+                << "isa=" << simd::to_string(isa) << " lane=" << l;
+            any_overflow |= r.overflow;
+            if (!r.overflow) {
+                EXPECT_EQ(static_cast<Score>(lane_best[l]),
+                          sw_score_affine(q, subjects[l], matrix, kGap));
+            }
+        }
+        EXPECT_TRUE(any_overflow) << simd::to_string(isa);
+    }
+}
+
+TEST(InterseqKernels, EmptyQueryAndEmptyCohortAreClean) {
+    const std::vector<Code> q;
+    const InterseqProfile prof = build_interseq_profile(q, blosum());
+    ScanScratch scratch;
+    std::uint8_t lane_best[64];
+    std::vector<Code> cols(64, InterseqProfile::kPadCode);
+    EXPECT_EQ(sw_interseq_u8(prof, cols.data(), 1, kGap,
+                             simd::IsaLevel::Scalar, scratch, lane_best),
+              0u);
+    for (int l = 0; l < 16; ++l) EXPECT_EQ(lane_best[l], 0);
+
+    Rng rng(9);
+    const std::vector<Code> q2 = db::random_protein(rng, 20, "q2").residues;
+    const InterseqProfile prof2 = build_interseq_profile(q2, blosum());
+    EXPECT_EQ(sw_interseq_u8(prof2, cols.data(), 0, kGap,
+                             simd::IsaLevel::Scalar, scratch, lane_best),
+              0u);
+    for (int l = 0; l < 16; ++l) EXPECT_EQ(lane_best[l], 0);
+}
+
+}  // namespace
+}  // namespace swh::align

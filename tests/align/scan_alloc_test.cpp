@@ -14,6 +14,7 @@
 #include "align/striped.hpp"
 #include "db/database.hpp"
 #include "db/packed.hpp"
+#include "engines/topk.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -119,6 +120,58 @@ TEST(ScanAllocation, ScannerPass1IsAllocationFreeAfterWarmup) {
     const std::uint64_t after = g_allocs.load(std::memory_order_relaxed);
     EXPECT_EQ(after, before) << "pass-1 scan allocated in steady state";
     EXPECT_GT(best, 0);
+}
+
+TEST(ScanAllocation, TopKAddNeverAllocates) {
+    // The collector reserves its full trim window (2k + 16) up front,
+    // so the per-subject add() path never grows the vector — trims
+    // shrink it back before capacity is reached.
+    engines::TopK topk(10);
+    const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+    for (std::uint32_t i = 0; i < 10'000; ++i) {
+        topk.add(i, static_cast<Score>(i % 997));
+    }
+    const std::uint64_t after = g_allocs.load(std::memory_order_relaxed);
+    EXPECT_EQ(after, before) << "TopK::add allocated";
+}
+
+TEST(ScanAllocation, EnginePathIsAllocationFreeAfterWarmup) {
+    // The engine's per-subject path — cohort-mode scanner emit into a
+    // TopK collector — end to end, including the inter-sequence kernel
+    // through a warm scratch.
+    const db::Database database = alloc_test_db();
+    Rng rng(54);
+    const Sequence q = db::random_protein(rng, 150, "q");
+    const ScoreMatrix matrix = ScoreMatrix::blosum62();
+    const StripedAligner aligner(q.residues, matrix, {10, 2});
+    const db::PackedDatabase& packed = database.packed();
+
+    DatabaseScanner scanner(
+        aligner, packed.view(), DatabaseScanner::kDefaultChunk,
+        packed.interleaved(lanes_u8(aligner.isa())).view());
+    ASSERT_TRUE(scanner.cohort_mode());
+    ScanScratch scratch;
+    engines::TopK topk(10);
+    // Warm-up scan grows the scratch to the largest cohort.
+    scanner.run_worker(scratch,
+                       [&](std::uint32_t idx, std::uint32_t, Score s) {
+                           topk.add(idx, s);
+                           return true;
+                       });
+
+    scanner.reset();
+    const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+    std::size_t emitted = 0;
+    const bool completed = scanner.run_worker(
+        scratch, [&](std::uint32_t idx, std::uint32_t, Score s) {
+            topk.add(idx, s);
+            ++emitted;
+            return true;
+        });
+    const std::uint64_t after = g_allocs.load(std::memory_order_relaxed);
+    EXPECT_TRUE(completed);
+    EXPECT_EQ(emitted, database.size());
+    EXPECT_EQ(after, before) << "engine scan path allocated in steady state";
 }
 
 }  // namespace

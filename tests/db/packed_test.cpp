@@ -126,5 +126,116 @@ TEST(PackedDatabase, ConcurrentPackedAccessIsSafe) {
     EXPECT_EQ(seen[0]->residues(), database.residues());
 }
 
+TEST(PackedDatabase, ScanOrderTieBreakIsBitReproducible) {
+    // Many equal-length subjects: ties must keep ascending original
+    // index, and packing twice must give the identical permutation —
+    // scan output order (and thus cohort membership) is reproducible
+    // run to run.
+    std::vector<align::Sequence> seqs;
+    for (int i = 0; i < 200; ++i) {
+        const auto len = static_cast<std::size_t>(20 + (i % 4) * 10);
+        seqs.push_back(align::Sequence{
+            "t" + std::to_string(i), "",
+            std::vector<align::Code>(len, static_cast<align::Code>(i % 20))});
+    }
+    const PackedDatabase a = PackedDatabase::pack(seqs);
+    const PackedDatabase b = PackedDatabase::pack(seqs);
+    ASSERT_EQ(a.scan_order().size(), seqs.size());
+    EXPECT_TRUE(std::equal(a.scan_order().begin(), a.scan_order().end(),
+                           b.scan_order().begin()));
+    const auto order = a.scan_order();
+    for (std::size_t slot = 1; slot < order.size(); ++slot) {
+        const std::uint32_t prev = order[slot - 1];
+        const std::uint32_t cur = order[slot];
+        if (a.length(prev) == a.length(cur)) {
+            EXPECT_LT(prev, cur) << "equal-length tie broke out of order";
+        } else {
+            EXPECT_GT(a.length(prev), a.length(cur));
+        }
+    }
+}
+
+TEST(InterleavedChunksTest, CohortLayoutMatchesScanOrder) {
+    const Database database = make_db(75, 19);
+    const PackedDatabase packed = PackedDatabase::pack(database.sequences());
+    constexpr int kLanes = 16;
+    const InterleavedChunks& chunks = packed.interleaved(kLanes);
+    EXPECT_EQ(chunks.lanes(), kLanes);
+    const auto order = packed.scan_order();
+    const std::size_t expect_cohorts =
+        (packed.size() + kLanes - 1) / static_cast<std::size_t>(kLanes);
+    ASSERT_EQ(chunks.cohort_count(), expect_cohorts);
+
+    const align::InterleavedCohorts v = chunks.view();
+    ASSERT_EQ(v.count, expect_cohorts);
+    EXPECT_EQ(v.lanes, kLanes);
+    EXPECT_EQ(v.pad_code, align::InterseqProfile::kPadCode);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.arena) % 64, 0u);
+
+    for (std::size_t c = 0; c < v.count; ++c) {
+        const align::CohortDesc& d = v.cohorts[c];
+        EXPECT_EQ(d.first_slot, c * kLanes);
+        const std::size_t members =
+            std::min<std::size_t>(kLanes, packed.size() - d.first_slot);
+        EXPECT_EQ(d.lanes_used, members);
+        // Longest-first scan order: the first member is the longest, so
+        // its length is the column count.
+        EXPECT_EQ(d.columns, packed.length(order[d.first_slot]));
+        std::uint64_t residues = 0;
+        for (std::size_t l = 0; l < members; ++l) {
+            const std::uint32_t idx = order[d.first_slot + l];
+            const auto sub = packed.subject(idx);
+            residues += sub.size();
+            EXPECT_LE(sub.size(), d.columns);
+            for (std::size_t j = 0; j < d.columns; ++j) {
+                const align::Code got =
+                    v.arena[d.offset + j * kLanes + l];
+                if (j < sub.size()) {
+                    EXPECT_EQ(got, sub[j])
+                        << "cohort " << c << " lane " << l << " col " << j;
+                } else {
+                    EXPECT_EQ(got, align::InterseqProfile::kPadCode)
+                        << "cohort " << c << " lane " << l << " col " << j;
+                }
+            }
+        }
+        EXPECT_EQ(d.residues, residues);
+        // Absent lanes of the tail cohort are pure padding.
+        for (std::size_t l = members; l < kLanes; ++l) {
+            for (std::size_t j = 0; j < d.columns; ++j) {
+                EXPECT_EQ(v.arena[d.offset + j * kLanes + l],
+                          align::InterseqProfile::kPadCode);
+            }
+        }
+    }
+}
+
+TEST(InterleavedChunksTest, CachedPerWidthAndThreadSafe) {
+    const Database database = make_db(40, 23);
+    const PackedDatabase packed = PackedDatabase::pack(database.sequences());
+    const InterleavedChunks* w16 = &packed.interleaved(16);
+    const InterleavedChunks* w32 = &packed.interleaved(32);
+    EXPECT_NE(w16, w32);
+    EXPECT_EQ(w16, &packed.interleaved(16));
+    EXPECT_EQ(w32, &packed.interleaved(32));
+
+    std::vector<const InterleavedChunks*> seen(8, nullptr);
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < seen.size(); ++t) {
+        threads.emplace_back([&packed, &seen, t] {
+            seen[t] = &packed.interleaved(64);
+        });
+    }
+    for (auto& th : threads) th.join();
+    for (const InterleavedChunks* p : seen) EXPECT_EQ(p, seen[0]);
+}
+
+TEST(InterleavedChunksTest, EmptyDatabaseYieldsNoCohorts) {
+    const PackedDatabase packed = PackedDatabase::pack({});
+    const InterleavedChunks& chunks = packed.interleaved(16);
+    EXPECT_EQ(chunks.cohort_count(), 0u);
+    EXPECT_EQ(chunks.view().count, 0u);
+}
+
 }  // namespace
 }  // namespace swh::db
