@@ -1,0 +1,33 @@
+// libFuzzer harness for the FASTA parser. Any input must either parse
+// or throw a typed swh error (ParseError / ContractError); every other
+// escape — crash, sanitizer report, unexpected exception type — is a
+// finding. Built with -fsanitize=fuzzer under Clang (SWH_FUZZ); other
+// compilers link standalone_main.cpp and replay the checked-in corpus.
+
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "align/alphabet.hpp"
+#include "io/fasta.hpp"
+#include "util/error.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+    const std::string text(reinterpret_cast<const char*>(data), size);
+    for (const swh::align::Alphabet* alphabet :
+         {&swh::align::Alphabet::protein(), &swh::align::Alphabet::dna()}) {
+        std::istringstream in(text);
+        try {
+            const auto seqs = swh::io::read_fasta(in, *alphabet);
+            // Round-trip what parsed: the writer must accept any
+            // sequence the reader produced.
+            std::ostringstream out;
+            swh::io::write_fasta(out, seqs, *alphabet);
+        } catch (const swh::ParseError&) {
+        } catch (const swh::ContractError&) {
+        }
+    }
+    return 0;
+}

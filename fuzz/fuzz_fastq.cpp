@@ -1,0 +1,30 @@
+// libFuzzer harness for the FASTQ parser. See fuzz_fasta.cpp for the
+// contract: parse or throw a typed swh error, nothing else.
+
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "align/alphabet.hpp"
+#include "io/fastq.hpp"
+#include "util/error.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+    const std::string text(reinterpret_cast<const char*>(data), size);
+    std::istringstream in(text);
+    try {
+        const auto records =
+            swh::io::read_fastq(in, swh::align::Alphabet::dna());
+        for (const auto& r : records) {
+            // The documented parser invariant, re-checked from outside.
+            if (r.quality.size() != r.seq.residues.size()) __builtin_trap();
+        }
+        std::ostringstream out;
+        swh::io::write_fastq(out, records, swh::align::Alphabet::dna());
+    } catch (const swh::ParseError&) {
+    } catch (const swh::ContractError&) {
+    }
+    return 0;
+}

@@ -29,6 +29,7 @@
 
 #include "align/interseq.hpp"
 #include "align/striped.hpp"
+#include "util/check.hpp"
 
 namespace swh::align {
 
@@ -99,12 +100,22 @@ public:
         bool keep = cohort_mode_ ? claim_cohorts(scratch, emit, overflow, t)
                                  : claim_subjects(scratch, emit, overflow, t);
         // Pass 2: settle the deferred overflow batch with wide kernels.
+        std::size_t deferred_settled = 0;
         for (const std::uint32_t idx : overflow) {
             if (!keep) break;
             const Score s = aligner_->rescore_wide(subjects_.subject(idx),
                                                    scratch, /*trusted=*/true);
             keep = emit(idx, subjects_.lengths[idx], s);
+            ++deferred_settled;
         }
+        // Emit contract: unless an emit cancelled the scan, every subject
+        // this worker claimed settles exactly once — in pass 1 for the
+        // in-range scores (settled8), in pass 2 for the deferred rest.
+        SWH_DCHECK(!keep || deferred_settled == overflow.size(),
+                   "deferred overflow batch must settle completely");
+        SWH_DCHECK(!keep || t.settled8 + deferred_settled ==
+                                t.subjects_interseq + t.subjects_striped,
+                   "emit contract: one settled score per claimed subject");
         aligner_->credit_runs8(t.settled8);
         credit_dispatch(t);
         return keep;

@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <limits>
+#include <set>
 
-#include "util/error.hpp"
+#include "util/check.hpp"
 
 namespace swh::core {
 
@@ -17,40 +18,50 @@ SchedulerCore::SchedulerCore(std::vector<Task> tasks,
     : table_(std::move(tasks), options.ready_order),
       policy_(std::move(policy)),
       options_(options) {
-    SWH_REQUIRE(policy_ != nullptr, "scheduler needs a policy");
-    SWH_REQUIRE(options_.omega > 0, "omega must be positive");
+    SWH_CHECK(policy_ != nullptr, "scheduler needs a policy");
+    SWH_CHECK_GT(options_.omega, std::size_t{0}, "omega must be positive");
+}
+
+void SchedulerCore::set_observer(SchedObserver* observer) {
+    const swh::LockGuard lock(mu_);
+    observer_ = observer;
 }
 
 SchedulerCore::Slave& SchedulerCore::slave(PeId pe) {
     const auto it = slaves_.find(pe);
-    SWH_REQUIRE(it != slaves_.end(), "unknown slave PE");
+    SWH_CHECK(it != slaves_.end(), "unknown slave PE");
     return it->second;
 }
 
 const SchedulerCore::Slave& SchedulerCore::slave(PeId pe) const {
     const auto it = slaves_.find(pe);
-    SWH_REQUIRE(it != slaves_.end(), "unknown slave PE");
+    SWH_CHECK(it != slaves_.end(), "unknown slave PE");
     return it->second;
 }
 
 void SchedulerCore::register_slave(PeId pe, PeKind kind) {
-    SWH_REQUIRE(slaves_.find(pe) == slaves_.end(),
-                "slave already registered");
+    const swh::LockGuard lock(mu_);
+    SWH_CHECK(slaves_.find(pe) == slaves_.end(), "slave already registered");
     slaves_.emplace(pe,
                     Slave{kind, ProgressHistory(options_.omega), {}, 0.0});
     if (observer_ != nullptr) observer_->on_slave_registered(pe, kind);
+    SWH_AUDIT_SWEEP(check_invariants_locked());
 }
 
 void SchedulerCore::deregister_slave(PeId pe, double now) {
+    const swh::LockGuard lock(mu_);
+    const check::ScopedContext ctx(pe, -1);
     Slave& s = slave(pe);
     for (const TaskId t : s.queue) {
         table_.release(t, pe);
     }
     slaves_.erase(pe);
     if (observer_ != nullptr) observer_->on_slave_deregistered(pe, now);
+    SWH_AUDIT_SWEEP(check_invariants_locked());
 }
 
 bool SchedulerCore::is_registered(PeId pe) const {
+    const swh::LockGuard lock(mu_);
     return slaves_.find(pe) != slaves_.end();
 }
 
@@ -134,6 +145,8 @@ std::optional<TaskId> SchedulerCore::pick_replica(PeId pe,
 }
 
 std::vector<TaskId> SchedulerCore::on_work_request(PeId pe, double now) {
+    const swh::LockGuard lock(mu_);
+    const check::ScopedContext ctx(pe, -1);
     Slave& s = slave(pe);
     std::vector<TaskId> assigned;
 
@@ -142,7 +155,7 @@ std::vector<TaskId> SchedulerCore::on_work_request(PeId pe, double now) {
     for (const SlaveView& v : all) {
         if (v.id == pe) me = &v;
     }
-    SWH_REQUIRE(me != nullptr, "requester missing from views");
+    SWH_CHECK(me != nullptr, "requester missing from views");
 
     std::size_t batch = policy_->batch_size(
         *me, all, table_.ready_count(), table_.total());
@@ -183,11 +196,14 @@ std::vector<TaskId> SchedulerCore::on_work_request(PeId pe, double now) {
             }
         }
     }
+    SWH_AUDIT_SWEEP(check_invariants_locked());
     return assigned;
 }
 
 void SchedulerCore::on_progress(PeId pe, double now,
                                 double cells_per_second) {
+    const swh::LockGuard lock(mu_);
+    const check::ScopedContext ctx(pe, -1);
     Slave& s = slave(pe);
     const double prior = s.history.rate();
     s.history.record(cells_per_second);
@@ -207,6 +223,8 @@ void SchedulerCore::remove_from_queue(PeId pe, TaskId task, double now) {
 
 SchedulerCore::CompletionResult SchedulerCore::on_task_complete(
     PeId pe, TaskId task, double now) {
+    const swh::LockGuard lock(mu_);
+    const check::ScopedContext ctx(pe, task);
     CompletionResult result;
     result.accepted = table_.complete(task, pe);
     if (!result.accepted) ++completions_discarded_;
@@ -227,16 +245,95 @@ SchedulerCore::CompletionResult SchedulerCore::on_task_complete(
             }
         }
     }
+    SWH_AUDIT_SWEEP(check_invariants_locked());
     return result;
 }
 
+bool SchedulerCore::all_done() const {
+    const swh::LockGuard lock(mu_);
+    return table_.all_finished();
+}
+
+std::size_t SchedulerCore::total_tasks() const {
+    const swh::LockGuard lock(mu_);
+    return table_.total();
+}
+
+std::size_t SchedulerCore::ready_count() const {
+    const swh::LockGuard lock(mu_);
+    return table_.ready_count();
+}
+
+std::size_t SchedulerCore::executing_count() const {
+    const swh::LockGuard lock(mu_);
+    return table_.executing_count();
+}
+
+std::size_t SchedulerCore::finished_count() const {
+    const swh::LockGuard lock(mu_);
+    return table_.finished_count();
+}
+
+Task SchedulerCore::task(TaskId id) const {
+    const swh::LockGuard lock(mu_);
+    return table_.task(id);
+}
+
+TaskState SchedulerCore::task_state(TaskId id) const {
+    const swh::LockGuard lock(mu_);
+    return table_.state(id);
+}
+
+PeId SchedulerCore::task_winner(TaskId id) const {
+    const swh::LockGuard lock(mu_);
+    return table_.winner(id);
+}
+
+std::vector<PeId> SchedulerCore::task_executors(TaskId id) const {
+    const swh::LockGuard lock(mu_);
+    return table_.executors(id);
+}
+
 double SchedulerCore::rate_estimate(PeId pe) const {
+    const swh::LockGuard lock(mu_);
     return slave(pe).history.rate();
 }
 
 std::vector<TaskId> SchedulerCore::queue_of(PeId pe) const {
+    const swh::LockGuard lock(mu_);
     const Slave& s = slave(pe);
     return {s.queue.begin(), s.queue.end()};
+}
+
+std::size_t SchedulerCore::replicas_issued() const {
+    const swh::LockGuard lock(mu_);
+    return replicas_issued_;
+}
+
+std::size_t SchedulerCore::completions_discarded() const {
+    const swh::LockGuard lock(mu_);
+    return completions_discarded_;
+}
+
+void SchedulerCore::check_invariants() const {
+    const swh::LockGuard lock(mu_);
+    check_invariants_locked();
+}
+
+void SchedulerCore::check_invariants_locked() const {
+    table_.check_invariants();
+    for (const auto& [pe, s] : slaves_) {
+        const std::set<TaskId> uniq(s.queue.begin(), s.queue.end());
+        SWH_CHECK_EQ(uniq.size(), s.queue.size(),
+                     "duplicate task in a slave queue");
+        for (const TaskId t : s.queue) {
+            const check::ScopedContext ctx(pe, t);
+            SWH_CHECK(table_.is_executor(t, pe),
+                      "queued task not held by its slave");
+            SWH_CHECK(table_.state(t) != TaskState::Ready,
+                      "a queued task cannot be Ready");
+        }
+    }
 }
 
 }  // namespace swh::core

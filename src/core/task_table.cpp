@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <deque>
+#include <set>
 
-#include "util/error.hpp"
+#include "util/check.hpp"
 
 namespace swh::core {
 
@@ -11,7 +12,7 @@ TaskTable::TaskTable(std::vector<Task> tasks, ReadyOrder order) {
     entries_.reserve(tasks.size());
     ready_queue_.reserve(tasks.size());
     for (std::size_t i = 0; i < tasks.size(); ++i) {
-        SWH_REQUIRE(tasks[i].id == i, "task ids must be dense 0..N-1");
+        SWH_CHECK_EQ(tasks[i].id, i, "task ids must be dense 0..N-1");
         entries_.push_back(Entry{tasks[i], TaskState::Ready, {}, kInvalidPe});
         ready_queue_.push_back(tasks[i].id);
     }
@@ -25,15 +26,16 @@ TaskTable::TaskTable(std::vector<Task> tasks, ReadyOrder order) {
                   });
     }
     ready_count_ = entries_.size();
+    SWH_AUDIT_SWEEP(check_invariants());
 }
 
 TaskTable::Entry& TaskTable::entry(TaskId id) {
-    SWH_REQUIRE(id < entries_.size(), "task id out of range");
+    SWH_CHECK_LT(id, entries_.size(), "task id out of range");
     return entries_[id];
 }
 
 const TaskTable::Entry& TaskTable::entry(TaskId id) const {
-    SWH_REQUIRE(id < entries_.size(), "task id out of range");
+    SWH_CHECK_LT(id, entries_.size(), "task id out of range");
     return entries_[id];
 }
 
@@ -53,10 +55,13 @@ std::optional<TaskId> TaskTable::acquire_ready(PeId pe) {
         ready_queue_.erase(ready_queue_.begin());
         Entry& e = entry(id);
         if (e.state != TaskState::Ready) continue;  // stale queue entry
+        SWH_DCHECK(e.executors.empty(),
+                   "a Ready task must not have executors");
         e.state = TaskState::Executing;
         e.executors.push_back(pe);
         --ready_count_;
         ++executing_count_;
+        SWH_AUDIT_SWEEP(check_invariants());
         return id;
     }
     return std::nullopt;
@@ -64,10 +69,11 @@ std::optional<TaskId> TaskTable::acquire_ready(PeId pe) {
 
 void TaskTable::add_replica(TaskId id, PeId pe) {
     Entry& e = entry(id);
-    SWH_REQUIRE(e.state == TaskState::Executing,
-                "can only replicate an executing task");
-    SWH_REQUIRE(!is_executor(id, pe), "PE already executes this task");
+    SWH_CHECK_EQ(e.state, TaskState::Executing,
+                 "replication only targets executing tasks");
+    SWH_CHECK(!is_executor(id, pe), "PE already executes this task");
     e.executors.push_back(pe);
+    SWH_AUDIT_SWEEP(check_invariants());
 }
 
 bool TaskTable::is_executor(TaskId id, PeId pe) const {
@@ -77,23 +83,30 @@ bool TaskTable::is_executor(TaskId id, PeId pe) const {
 
 bool TaskTable::complete(TaskId id, PeId pe) {
     Entry& e = entry(id);
-    SWH_REQUIRE(is_executor(id, pe), "completion from a non-executor PE");
+    SWH_CHECK(is_executor(id, pe), "completion from a non-executor PE");
     std::erase(e.executors, pe);
     if (e.state == TaskState::Finished) {
-        return false;  // a faster replica already won
+        // First-finisher-wins settled this task already; the loser's
+        // result is discarded.
+        SWH_DCHECK_NE(e.winner, kInvalidPe,
+                      "finished task must have a winner");
+        return false;
     }
-    SWH_REQUIRE(e.state == TaskState::Executing,
-                "completion of a non-executing task");
+    SWH_CHECK_EQ(e.state, TaskState::Executing,
+                 "completion of a non-executing task");
+    SWH_DCHECK_EQ(e.winner, kInvalidPe,
+                  "first-finisher-wins must settle exactly once");
     e.state = TaskState::Finished;
     e.winner = pe;
     --executing_count_;
     ++finished_count_;
+    SWH_AUDIT_SWEEP(check_invariants());
     return true;
 }
 
 void TaskTable::release(TaskId id, PeId pe) {
     Entry& e = entry(id);
-    SWH_REQUIRE(is_executor(id, pe), "release from a non-executor PE");
+    SWH_CHECK(is_executor(id, pe), "release from a non-executor PE");
     std::erase(e.executors, pe);
     if (e.state == TaskState::Executing && e.executors.empty()) {
         e.state = TaskState::Ready;
@@ -101,6 +114,7 @@ void TaskTable::release(TaskId id, PeId pe) {
         ++ready_count_;
         ready_queue_.insert(ready_queue_.begin(), id);
     }
+    SWH_AUDIT_SWEEP(check_invariants());
 }
 
 std::vector<TaskId> TaskTable::executing_tasks() const {
@@ -110,6 +124,44 @@ std::vector<TaskId> TaskTable::executing_tasks() const {
         if (e.state == TaskState::Executing) out.push_back(e.task.id);
     }
     return out;
+}
+
+void TaskTable::check_invariants() const {
+    std::size_t ready = 0, executing = 0, finished = 0;
+    for (const Entry& e : entries_) {
+        const std::set<PeId> uniq(e.executors.begin(), e.executors.end());
+        SWH_CHECK_EQ(uniq.size(), e.executors.size(),
+                     "duplicate executor for one task");
+        switch (e.state) {
+            case TaskState::Ready:
+                ++ready;
+                SWH_CHECK_EQ(e.executors.size(), std::size_t{0},
+                             "no task may be both ready and executing");
+                SWH_CHECK_EQ(e.winner, kInvalidPe,
+                             "a Ready task cannot have a winner");
+                SWH_CHECK(std::find(ready_queue_.begin(), ready_queue_.end(),
+                                    e.task.id) != ready_queue_.end(),
+                          "Ready task missing from the ready queue");
+                break;
+            case TaskState::Executing:
+                ++executing;
+                SWH_CHECK_GE(e.executors.size(), std::size_t{1},
+                             "an Executing task needs an executor");
+                SWH_CHECK_EQ(e.winner, kInvalidPe,
+                             "winner set before completion");
+                break;
+            case TaskState::Finished:
+                ++finished;
+                SWH_CHECK_NE(e.winner, kInvalidPe,
+                             "a Finished task needs a winner");
+                break;
+        }
+    }
+    SWH_CHECK_EQ(ready, ready_count_, "ready tally out of sync");
+    SWH_CHECK_EQ(executing, executing_count_, "executing tally out of sync");
+    SWH_CHECK_EQ(finished, finished_count_, "finished tally out of sync");
+    SWH_CHECK_EQ(ready + executing + finished, entries_.size(),
+                 "task states must partition the table");
 }
 
 }  // namespace swh::core

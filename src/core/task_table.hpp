@@ -63,6 +63,16 @@ public:
     /// Ids of all tasks currently in the Executing state.
     std::vector<TaskId> executing_tasks() const;
 
+    /// Full-table sweep of the task-lifecycle invariants (paper SS
+    /// IV-A.3): state tallies match a fresh scan and sum to the total;
+    /// Ready tasks have no executors and sit in the ready queue;
+    /// Executing tasks have at least one executor, no duplicates, and
+    /// no winner; Finished tasks have a winner settled exactly once.
+    /// Throws swh::check::CheckFailure on violation. Cheap enough for
+    /// tests to call directly; SWH_AUDIT builds run it automatically
+    /// after every mutation.
+    void check_invariants() const;
+
 private:
     struct Entry {
         Task task;

@@ -102,10 +102,34 @@ SequenceIndex load_index(std::istream& in) {
     idx.sequence_count = read_u64(in);
     idx.max_sequence_length = read_u64(in);
     idx.total_residues = read_u64(in);
-    idx.offsets.resize(idx.sequence_count);
-    idx.lengths.resize(idx.sequence_count);
-    for (auto& v : idx.offsets) v = read_u64(in);
-    for (auto& v : idx.lengths) v = read_u64(in);
+    // The header count is untrusted: never pre-size containers from it
+    // (a corrupt count like 2^61 would demand a multi-exabyte
+    // allocation before the truncation was ever noticed). Grow with the
+    // bytes actually present; a short stream throws ParseError inside
+    // read_u64 once the data runs out.
+    constexpr std::uint64_t kReserveCap = std::uint64_t{1} << 20;
+    idx.offsets.reserve(
+        static_cast<std::size_t>(std::min(idx.sequence_count, kReserveCap)));
+    idx.lengths.reserve(
+        static_cast<std::size_t>(std::min(idx.sequence_count, kReserveCap)));
+    for (std::uint64_t i = 0; i < idx.sequence_count; ++i)
+        idx.offsets.push_back(read_u64(in));
+    for (std::uint64_t i = 0; i < idx.sequence_count; ++i)
+        idx.lengths.push_back(read_u64(in));
+    // Cross-field validation: a loaded index must obey the invariants
+    // build_index produces, or seeks computed from it are garbage.
+    std::uint64_t total = 0;
+    std::uint64_t longest = 0;
+    for (const std::uint64_t len : idx.lengths) {
+        total += len;
+        longest = std::max(longest, len);
+    }
+    if (total != idx.total_residues || longest != idx.max_sequence_length)
+        throw ParseError("index summary fields disagree with its lengths");
+    for (std::size_t i = 1; i < idx.offsets.size(); ++i) {
+        if (idx.offsets[i] <= idx.offsets[i - 1])
+            throw ParseError("index offsets must be strictly increasing");
+    }
     return idx;
 }
 
@@ -130,6 +154,18 @@ IndexedFastaReader::IndexedFastaReader(std::string fasta_path,
             loaded = true;
         } catch (const ParseError&) {
             // Corrupt/stale sidecar: rebuild below.
+        }
+    }
+    if (loaded && !index_.offsets.empty()) {
+        // Staleness probe: every record offset must point inside the
+        // current FASTA file. Catches the FASTA shrinking or being
+        // replaced after the sidecar was written.
+        std::ifstream fasta(path_, std::ios::binary | std::ios::ate);
+        if (!fasta) throw IoError("cannot open FASTA file: " + path_);
+        const auto size = fasta.tellg();
+        if (size < 0 ||
+            index_.offsets.back() >= static_cast<std::uint64_t>(size)) {
+            loaded = false;  // rebuild from the flat file below
         }
     }
     if (!loaded) {
@@ -158,7 +194,8 @@ align::Sequence IndexedFastaReader::get(std::size_t i) const {
     }
     std::istringstream record_in(record.str());
     std::vector<align::Sequence> seqs = read_fasta(record_in, *alphabet_);
-    SWH_REQUIRE(seqs.size() == 1, "index pointed at a malformed record");
+    if (seqs.size() != 1)
+        throw ParseError("index pointed at a malformed record");
     return std::move(seqs.front());
 }
 

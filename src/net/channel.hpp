@@ -1,13 +1,12 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
 
-#include "util/error.hpp"
+#include "util/annotations.hpp"
+#include "util/check.hpp"
 
 namespace swh::net {
 
@@ -32,7 +31,7 @@ public:
     explicit Channel(double delivery_delay_s = 0.0)
         : delay_(std::chrono::duration_cast<Clock::duration>(
               std::chrono::duration<double>(delivery_delay_s))) {
-        SWH_REQUIRE(delivery_delay_s >= 0.0, "delay must be non-negative");
+        SWH_CHECK_GE(delivery_delay_s, 0.0, "delay must be non-negative");
     }
 
     Channel(const Channel&) = delete;
@@ -40,15 +39,15 @@ public:
 
     /// Attaches a traffic observer (nullptr detaches). Non-owning; the
     /// observer must outlive the channel's traffic.
-    void set_observer(ChannelObserver* observer) {
-        const std::lock_guard lock(mu_);
+    void set_observer(ChannelObserver* observer) SWH_EXCLUDES(mu_) {
+        const swh::LockGuard lock(mu_);
         observer_ = observer;
     }
 
-    void send(T msg) {
+    void send(T msg) SWH_EXCLUDES(mu_) {
         {
-            const std::lock_guard lock(mu_);
-            SWH_REQUIRE(!closed_, "send on closed channel");
+            const swh::LockGuard lock(mu_);
+            SWH_CHECK(!closed_, "send on closed channel");
             queue_.push_back(
                 Entry{Clock::now() + delay_, std::move(msg)});
             if (observer_ != nullptr) observer_->on_send(queue_.size());
@@ -60,17 +59,17 @@ public:
 
     /// Blocks until a message is deliverable or the channel is closed and
     /// drained (then nullopt).
-    std::optional<T> recv() {
-        std::unique_lock lock(mu_);
+    std::optional<T> recv() SWH_EXCLUDES(mu_) {
+        const swh::LockGuard lock(mu_);
         while (true) {
             if (!queue_.empty()) {
                 const auto ready = queue_.front().ready;
                 if (ready <= Clock::now()) break;
-                cv_.wait_until(lock, ready);
+                cv_.wait_until(mu_, ready);
                 continue;
             }
             if (closed_) return std::nullopt;
-            cv_.wait(lock);
+            cv_.wait(mu_);
         }
         T msg = std::move(queue_.front().payload);
         queue_.pop_front();
@@ -79,8 +78,8 @@ public:
     }
 
     /// Non-blocking: a deliverable message or nullopt.
-    std::optional<T> try_recv() {
-        const std::lock_guard lock(mu_);
+    std::optional<T> try_recv() SWH_EXCLUDES(mu_) {
+        const swh::LockGuard lock(mu_);
         if (queue_.empty() || queue_.front().ready > Clock::now())
             return std::nullopt;
         T msg = std::move(queue_.front().payload);
@@ -92,16 +91,16 @@ public:
     /// After close, sends throw and recv drains then returns nullopt.
     /// notify_all here on purpose: close is a broadcast-shaped event
     /// (any stray waiter must observe it), unlike per-message sends.
-    void close() {
+    void close() SWH_EXCLUDES(mu_) {
         {
-            const std::lock_guard lock(mu_);
+            const swh::LockGuard lock(mu_);
             closed_ = true;
         }
         cv_.notify_all();
     }
 
-    std::size_t size() const {
-        const std::lock_guard lock(mu_);
+    std::size_t size() const SWH_EXCLUDES(mu_) {
+        const swh::LockGuard lock(mu_);
         return queue_.size();
     }
 
@@ -112,12 +111,12 @@ private:
         T payload;
     };
 
-    mutable std::mutex mu_;
-    std::condition_variable cv_;
-    std::deque<Entry> queue_;
+    mutable swh::Mutex mu_;
+    swh::CondVar cv_;
+    std::deque<Entry> queue_ SWH_GUARDED_BY(mu_);
     Clock::duration delay_{};
-    ChannelObserver* observer_ = nullptr;
-    bool closed_ = false;
+    ChannelObserver* observer_ SWH_GUARDED_BY(mu_) = nullptr;
+    bool closed_ SWH_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace swh::net

@@ -45,18 +45,18 @@ double estimate_percentile(const std::array<std::uint64_t,
 }  // namespace
 
 void Histogram::record(double v) {
-    const std::lock_guard lock(mu_);
+    const swh::LockGuard lock(mu_);
     stats_.add(v);
     ++buckets_[static_cast<std::size_t>(bucket_index(v))];
 }
 
 std::uint64_t Histogram::count() const {
-    const std::lock_guard lock(mu_);
+    const swh::LockGuard lock(mu_);
     return stats_.count();
 }
 
 HistogramSummary Histogram::summary(std::string name) const {
-    const std::lock_guard lock(mu_);
+    const swh::LockGuard lock(mu_);
     HistogramSummary s;
     s.name = std::move(name);
     s.count = stats_.count();
@@ -77,22 +77,22 @@ HistogramSummary Histogram::summary(std::string name) const {
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-    const std::lock_guard lock(mu_);
+    const swh::LockGuard lock(mu_);
     return counters_[name];
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-    const std::lock_guard lock(mu_);
+    const swh::LockGuard lock(mu_);
     return gauges_[name];
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name) {
-    const std::lock_guard lock(mu_);
+    const swh::LockGuard lock(mu_);
     return histograms_[name];
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
-    const std::lock_guard lock(mu_);
+    const swh::LockGuard lock(mu_);
     MetricsSnapshot out;
     out.counters.reserve(counters_.size());
     for (const auto& [name, c] : counters_) {

@@ -12,11 +12,11 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "util/annotations.hpp"
 #include "util/stats.hpp"
 
 namespace swh::obs {
@@ -71,15 +71,15 @@ public:
     static constexpr int kMinExp = -32;
     static constexpr int kBuckets = 64;
 
-    void record(double v);
+    void record(double v) SWH_EXCLUDES(mu_);
 
-    HistogramSummary summary(std::string name) const;
-    std::uint64_t count() const;
+    HistogramSummary summary(std::string name) const SWH_EXCLUDES(mu_);
+    std::uint64_t count() const SWH_EXCLUDES(mu_);
 
 private:
-    mutable std::mutex mu_;
-    RunningStats stats_;
-    std::array<std::uint64_t, kBuckets> buckets_{};
+    mutable swh::Mutex mu_;
+    RunningStats stats_ SWH_GUARDED_BY(mu_);
+    std::array<std::uint64_t, kBuckets> buckets_ SWH_GUARDED_BY(mu_){};
 };
 
 /// Point-in-time copy of a whole registry; safe to keep after the
@@ -108,18 +108,20 @@ public:
     MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
     /// Get-or-create; the returned reference is stable for the
-    /// registry's lifetime (node-based storage).
-    Counter& counter(const std::string& name);
-    Gauge& gauge(const std::string& name);
-    Histogram& histogram(const std::string& name);
+    /// registry's lifetime (node-based storage). Recording through a
+    /// handle is synchronised by the metric itself (atomics, or the
+    /// histogram's own mutex), not by the registry lock.
+    Counter& counter(const std::string& name) SWH_EXCLUDES(mu_);
+    Gauge& gauge(const std::string& name) SWH_EXCLUDES(mu_);
+    Histogram& histogram(const std::string& name) SWH_EXCLUDES(mu_);
 
-    MetricsSnapshot snapshot() const;
+    MetricsSnapshot snapshot() const SWH_EXCLUDES(mu_);
 
 private:
-    mutable std::mutex mu_;
-    std::map<std::string, Counter> counters_;
-    std::map<std::string, Gauge> gauges_;
-    std::map<std::string, Histogram> histograms_;
+    mutable swh::Mutex mu_;
+    std::map<std::string, Counter> counters_ SWH_GUARDED_BY(mu_);
+    std::map<std::string, Gauge> gauges_ SWH_GUARDED_BY(mu_);
+    std::map<std::string, Histogram> histograms_ SWH_GUARDED_BY(mu_);
 };
 
 }  // namespace swh::obs

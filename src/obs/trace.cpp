@@ -31,7 +31,7 @@ const char* to_string(EventKind kind) {
 }
 
 Trace TraceRecorder::drain() const {
-    const std::lock_guard lock(mu_);
+    const swh::LockGuard lock(mu_);
     Trace out;
     out.lanes.reserve(lanes_.size());
     for (const auto& lane : lanes_) {

@@ -12,13 +12,13 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <atomic>
 #include <chrono>
 #include <string>
 #include <vector>
 
 #include "core/types.hpp"
+#include "util/annotations.hpp"
 #include "util/ring_buffer.hpp"
 
 namespace swh::obs {
@@ -156,8 +156,10 @@ public:
 
     /// Registers a new capture stream (always a new lane, even for a
     /// repeated label). Thread-safe; the returned reference is stable.
-    TraceLane& lane(std::string label) {
-        const std::lock_guard lock(mu_);
+    /// The lane itself is NOT guarded by the recorder lock — it belongs
+    /// to one thread (see TraceLane).
+    TraceLane& lane(std::string label) SWH_EXCLUDES(mu_) {
+        const swh::LockGuard lock(mu_);
         lanes_.push_back(std::unique_ptr<TraceLane>(
             new TraceLane(this, std::move(label), lane_capacity_)));
         return *lanes_.back();
@@ -165,7 +167,7 @@ public:
 
     /// Copies every lane's ring into a flat Trace. Call only after the
     /// emitting threads have joined/quiesced.
-    Trace drain() const;
+    Trace drain() const SWH_EXCLUDES(mu_);
 
 private:
     using Clock = std::chrono::steady_clock;
@@ -173,8 +175,8 @@ private:
     std::atomic<bool> enabled_;
     std::size_t lane_capacity_;
     Clock::time_point epoch_;
-    mutable std::mutex mu_;
-    std::vector<std::unique_ptr<TraceLane>> lanes_;
+    mutable swh::Mutex mu_;
+    std::vector<std::unique_ptr<TraceLane>> lanes_ SWH_GUARDED_BY(mu_);
 };
 
 inline void TraceLane::emit(EventKind kind, core::PeId pe, core::TaskId task,

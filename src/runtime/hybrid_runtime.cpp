@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
@@ -12,7 +11,8 @@
 #include "net/messages.hpp"
 #include "obs/trace.hpp"
 #include "obs/tracers.hpp"
-#include "util/error.hpp"
+#include "util/annotations.hpp"
+#include "util/check.hpp"
 #include "util/timer.hpp"
 
 namespace swh::runtime {
@@ -53,11 +53,11 @@ public:
 
     bool cancelled() const override {
         // Engines may poll from several worker threads.
-        const std::lock_guard lock(mu_);
+        const swh::LockGuard lock(mu_);
         while (auto msg = inbox_.try_recv()) {
             const auto* cancel = std::get_if<net::MsgCancel>(&*msg);
-            SWH_REQUIRE(cancel != nullptr,
-                        "only cancellations may arrive mid-execution");
+            SWH_CHECK(cancel != nullptr,
+                      "only cancellations may arrive mid-execution");
             if (cancel->task == current_) {
                 cancelled_current_ = true;
             } else {
@@ -68,7 +68,7 @@ public:
     }
 
     bool cancelled_current() const {
-        const std::lock_guard lock(mu_);
+        const swh::LockGuard lock(mu_);
         return cancelled_current_;
     }
 
@@ -91,9 +91,12 @@ private:
     double period_;
     net::Channel<net::MasterMsg>& to_master_;
     net::Channel<net::SlaveMsg>& inbox_;
+    /// Written under mu_ while the engine runs; the slave thread reads
+    /// it lock-free only after execute() returns (the engine joins its
+    /// pollers before returning, which orders those accesses).
     std::set<TaskId>& cancelled_queue_;
-    mutable std::mutex mu_;
-    mutable bool cancelled_current_ = false;
+    mutable swh::Mutex mu_;
+    mutable bool cancelled_current_ SWH_GUARDED_BY(mu_) = false;
     std::uint64_t cells_ = 0;
     Timer since_notify_;
     obs::TraceLane* lane_;
@@ -114,14 +117,14 @@ HybridRuntime::HybridRuntime(const db::Database& database,
     : database_(&database),
       queries_(std::move(queries)),
       options_(options) {
-    SWH_REQUIRE(!queries_.empty(), "query set must be non-empty");
-    SWH_REQUIRE(options_.notify_period_s > 0.0,
-                "notify period must be positive");
+    SWH_CHECK(!queries_.empty(), "query set must be non-empty");
+    SWH_CHECK_GT(options_.notify_period_s, 0.0,
+                 "notify period must be positive");
 }
 
 RunReport HybridRuntime::run(std::vector<SlaveSpec> slaves,
                              std::unique_ptr<core::AllocationPolicy> policy) {
-    SWH_REQUIRE(!slaves.empty(), "need at least one slave");
+    SWH_CHECK(!slaves.empty(), "need at least one slave");
     const std::size_t n = slaves.size();
 
     core::SchedulerCore sched(
@@ -234,6 +237,9 @@ RunReport HybridRuntime::run(std::vector<SlaveSpec> slaves,
             }
             const align::Sequence& query = queries_[task_meta.query_index];
 
+            // Contract failures raised while this task runs carry the
+            // slave/task ids in their report.
+            const check::ScopedContext check_ctx(pe, t);
             SlaveObserver slave_obs(pe, t, options_.notify_period_s,
                                     master_inbox, sh.inbox, cancelled_queue,
                                     lane);
@@ -290,7 +296,7 @@ RunReport HybridRuntime::run(std::vector<SlaveSpec> slaves,
             std::vector<core::Task> with_meta;
             with_meta.reserve(assigned.size());
             for (const TaskId t : assigned)
-                with_meta.push_back(sched.tasks().task(t));
+                with_meta.push_back(sched.task(t));
             shared[pe]->inbox.send(net::MsgAssign{std::move(with_meta)});
         } else if (sched.all_done()) {
             shared[pe]->inbox.send(net::MsgShutdown{});
@@ -308,7 +314,7 @@ RunReport HybridRuntime::run(std::vector<SlaveSpec> slaves,
 
     while (finished_slaves < n) {
         std::optional<net::MasterMsg> msg = master_inbox.recv();
-        SWH_REQUIRE(msg.has_value(), "master inbox closed prematurely");
+        SWH_CHECK(msg.has_value(), "master inbox closed prematurely");
         const double now = clock.seconds();
 
         if (const auto* reg = std::get_if<net::MsgRegister>(&*msg)) {
@@ -357,6 +363,7 @@ RunReport HybridRuntime::run(std::vector<SlaveSpec> slaves,
     }
 
     for (std::thread& t : threads) t.join();
+    SWH_AUDIT_SWEEP(sched.check_invariants());
 
     report.wall_seconds = clock.seconds();
     report.gcups =

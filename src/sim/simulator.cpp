@@ -9,6 +9,7 @@
 
 #include "core/results.hpp"
 #include "obs/gantt.hpp"
+#include "util/check.hpp"
 #include "util/error.hpp"
 #include "util/str.hpp"
 
@@ -143,7 +144,7 @@ private:
         pe.busy = true;
         pe.overhead_remaining = pe.spec.task_overhead_s;
         pe.cells_remaining =
-            static_cast<double>(sched_.tasks().task(pe.current).cells);
+            static_cast<double>(sched_.task(pe.current).cells);
         pe.current_start = now;
         pe.last_advance = now;
         schedule_finish(i, now);
@@ -206,7 +207,7 @@ private:
         spans_.push_back(
             TaskSpan{done, ev.pe, pe.current_start, now, cr.accepted, false});
         if (cr.accepted) {
-            accepted_cells_ += sched_.tasks().task(done).cells;
+            accepted_cells_ += sched_.task(done).cells;
             ++pe.report.results_accepted;
             if (sched_.all_done()) makespan_ = now;
         } else {
@@ -369,6 +370,7 @@ SimReport Simulation::run() {
     }
     SWH_REQUIRE(sched_.all_done(),
                 "simulation drained its events with unfinished tasks");
+    SWH_AUDIT_SWEEP(sched_.check_invariants());
 
     SimReport report;
     report.makespan = makespan_;

@@ -1,0 +1,113 @@
+#pragma once
+
+// Clang thread-safety annotation layer (DESIGN.md "Static analysis &
+// contracts"). Under Clang with -Wthread-safety the macros expand to the
+// capability attributes, turning lock-discipline violations — touching a
+// SWH_GUARDED_BY member without its mutex, calling an SWH_REQUIRES
+// function unlocked, double-acquisition — into compile errors. Under
+// GCC (and any compiler without the attributes) they expand to nothing,
+// so the annotated wrappers below behave exactly like the std types
+// they delegate to.
+//
+// Conventions:
+//   * every mutex-protected member is SWH_GUARDED_BY(mu_);
+//   * public methods that take the lock themselves are SWH_EXCLUDES(mu_);
+//   * private helpers called under the lock are SWH_REQUIRES(mu_);
+//   * condition waits go through swh::CondVar, which waits on the
+//     annotated swh::Mutex directly (condition_variable_any), so the
+//     analysis sees one capability from acquisition to release.
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define SWH_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef SWH_THREAD_ANNOTATION
+#define SWH_THREAD_ANNOTATION(x)
+#endif
+
+#define SWH_CAPABILITY(name) SWH_THREAD_ANNOTATION(capability(name))
+#define SWH_SCOPED_CAPABILITY SWH_THREAD_ANNOTATION(scoped_lockable)
+#define SWH_GUARDED_BY(...) SWH_THREAD_ANNOTATION(guarded_by(__VA_ARGS__))
+#define SWH_PT_GUARDED_BY(...) \
+    SWH_THREAD_ANNOTATION(pt_guarded_by(__VA_ARGS__))
+#define SWH_REQUIRES(...) \
+    SWH_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define SWH_REQUIRES_SHARED(...) \
+    SWH_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define SWH_ACQUIRE(...) \
+    SWH_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define SWH_RELEASE(...) \
+    SWH_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define SWH_TRY_ACQUIRE(...) \
+    SWH_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define SWH_EXCLUDES(...) SWH_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define SWH_ASSERT_CAPABILITY(...) \
+    SWH_THREAD_ANNOTATION(assert_capability(__VA_ARGS__))
+#define SWH_RETURN_CAPABILITY(x) SWH_THREAD_ANNOTATION(lock_returned(x))
+#define SWH_NO_THREAD_SAFETY_ANALYSIS \
+    SWH_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace swh {
+
+/// std::mutex with the capability attribute, so members can be declared
+/// SWH_GUARDED_BY(mu_) and methods SWH_REQUIRES(mu_)/SWH_EXCLUDES(mu_).
+class SWH_CAPABILITY("mutex") Mutex {
+public:
+    Mutex() = default;
+    Mutex(const Mutex&) = delete;
+    Mutex& operator=(const Mutex&) = delete;
+
+    void lock() SWH_ACQUIRE() { mu_.lock(); }
+    void unlock() SWH_RELEASE() { mu_.unlock(); }
+    bool try_lock() SWH_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+private:
+    std::mutex mu_;
+};
+
+/// std::lock_guard over swh::Mutex, visible to the analysis as a scoped
+/// capability: the guarded region is the guard's lexical scope.
+class SWH_SCOPED_CAPABILITY LockGuard {
+public:
+    explicit LockGuard(Mutex& mu) SWH_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+    ~LockGuard() SWH_RELEASE() { mu_.unlock(); }
+
+    LockGuard(const LockGuard&) = delete;
+    LockGuard& operator=(const LockGuard&) = delete;
+
+private:
+    Mutex& mu_;
+};
+
+/// Condition variable that waits on the annotated Mutex itself
+/// (condition_variable_any), so waiting code keeps a single capability
+/// in scope — the transient release inside wait() is invisible to the
+/// analysis, matching the caller-visible contract (held before and
+/// after the call).
+class CondVar {
+public:
+    CondVar() = default;
+    CondVar(const CondVar&) = delete;
+    CondVar& operator=(const CondVar&) = delete;
+
+    void wait(Mutex& mu) SWH_REQUIRES(mu) { cv_.wait(mu); }
+
+    template <class Clock, class Duration>
+    std::cv_status wait_until(
+        Mutex& mu, const std::chrono::time_point<Clock, Duration>& deadline)
+        SWH_REQUIRES(mu) {
+        return cv_.wait_until(mu, deadline);
+    }
+
+    void notify_one() { cv_.notify_one(); }
+    void notify_all() { cv_.notify_all(); }
+
+private:
+    std::condition_variable_any cv_;
+};
+
+}  // namespace swh

@@ -1,0 +1,64 @@
+#include "util/check.hpp"
+
+namespace swh::check {
+
+namespace {
+
+thread_local std::int64_t tls_pe = -1;
+thread_local std::int64_t tls_task = -1;
+
+}  // namespace
+
+std::string FailureReport::to_string() const {
+    std::ostringstream os;
+    os << file << ':' << line << " in " << function << ": check `"
+       << expression << "` failed: " << message;
+    for (const Operand& op : operands) {
+        os << "\n  " << op.expr << " = " << op.value;
+    }
+    if (pe >= 0 || task >= 0) {
+        os << "\n  context:";
+        if (pe >= 0) os << " pe=" << pe;
+        if (task >= 0) os << " task=" << task;
+    }
+    return os.str();
+}
+
+CheckFailure::CheckFailure(FailureReport report)
+    : ContractError(report.to_string()), report_(std::move(report)) {}
+
+ScopedContext::ScopedContext(std::int64_t pe, std::int64_t task)
+    : saved_pe_(tls_pe), saved_task_(tls_task) {
+    tls_pe = pe;
+    tls_task = task;
+}
+
+ScopedContext::~ScopedContext() {
+    tls_pe = saved_pe_;
+    tls_task = saved_task_;
+}
+
+std::pair<std::int64_t, std::int64_t> current_context() {
+    return {tls_pe, tls_task};
+}
+
+namespace detail {
+
+void fail(const char* expression, const char* file, unsigned line,
+          const char* function, const char* message,
+          std::vector<Operand> operands) {
+    FailureReport report;
+    report.expression = expression;
+    report.file = file;
+    report.line = line;
+    report.function = function;
+    report.message = message;
+    report.operands = std::move(operands);
+    report.pe = tls_pe;
+    report.task = tls_task;
+    throw CheckFailure(std::move(report));
+}
+
+}  // namespace detail
+
+}  // namespace swh::check

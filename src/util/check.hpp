@@ -1,0 +1,210 @@
+#pragma once
+
+// Leveled contract subsystem (DESIGN.md "Static analysis & contracts").
+//
+// Three levels, from always-on to audit-only:
+//
+//   SWH_CHECK(cond, msg)       always on, every build type. For cheap
+//                              preconditions and state-machine guards on
+//                              paths driven by untrusted input (configs,
+//                              files, protocol messages).
+//   SWH_DCHECK(cond, msg)      debug builds (NDEBUG unset) and SWH_AUDIT
+//                              builds. For checks too hot for release —
+//                              per-subject emit accounting, per-event
+//                              bookkeeping.
+//   SWH_INVARIANT(cond, msg)   SWH_AUDIT builds only (cmake -DSWH_AUDIT=ON).
+//                              For whole-structure sweeps wired in via
+//                              SWH_AUDIT_SWEEP after every mutation.
+//
+// The _EQ/_NE/_LT/_LE/_GT/_GE comparison forms capture both operands'
+// values into the failure report, so a violation message shows what the
+// state actually was, not just that the comparison failed.
+//
+// Failures throw swh::check::CheckFailure (a swh::ContractError, so all
+// existing catch sites keep working) carrying a structured FailureReport:
+// expression, file:line, function, message, captured operands, and the
+// active PE/task ids when the failing thread is inside a
+// swh::check::ScopedContext (the runtime's slave loop and the scheduler's
+// event entry points install one).
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace swh::check {
+
+/// One captured operand: the source expression and its printed value.
+struct Operand {
+    std::string expr;
+    std::string value;
+};
+
+/// Everything known about a failed check, machine-readable.
+struct FailureReport {
+    std::string expression;   ///< the checked condition, verbatim
+    std::string file;
+    unsigned line = 0;
+    std::string function;
+    std::string message;
+    std::vector<Operand> operands;  ///< comparison forms: lhs then rhs
+    std::int64_t pe = -1;     ///< active slave id, -1 when none
+    std::int64_t task = -1;   ///< active task id, -1 when none
+
+    /// Human-readable rendering (what CheckFailure::what() returns).
+    std::string to_string() const;
+};
+
+/// Thrown by every SWH_CHECK/SWH_DCHECK/SWH_INVARIANT violation.
+class CheckFailure : public ContractError {
+public:
+    explicit CheckFailure(FailureReport report);
+    const FailureReport& report() const { return report_; }
+
+private:
+    FailureReport report_;
+};
+
+/// Installs "PE p is working on task t" into thread-local storage for
+/// the lifetime of the scope; nested scopes shadow and restore. Failure
+/// reports raised on this thread carry the innermost active ids.
+class ScopedContext {
+public:
+    ScopedContext(std::int64_t pe, std::int64_t task);
+    ~ScopedContext();
+
+    ScopedContext(const ScopedContext&) = delete;
+    ScopedContext& operator=(const ScopedContext&) = delete;
+
+private:
+    std::int64_t saved_pe_;
+    std::int64_t saved_task_;
+};
+
+/// The innermost active context of the calling thread ({-1, -1} = none).
+std::pair<std::int64_t, std::int64_t> current_context();
+
+namespace detail {
+
+/// Prints a value if it is ostream-streamable, "<unprintable>" otherwise
+/// (char-like integers print numerically so residue codes stay legible).
+template <class T>
+std::string repr(const T& v) {
+    if constexpr (std::is_same_v<std::decay_t<T>, bool>) {
+        return v ? "true" : "false";
+    } else if constexpr (std::is_integral_v<std::decay_t<T>>) {
+        return std::to_string(static_cast<std::int64_t>(v));
+    } else if constexpr (std::is_enum_v<std::decay_t<T>>) {
+        return std::to_string(static_cast<std::int64_t>(
+            static_cast<std::underlying_type_t<std::decay_t<T>>>(v)));
+    } else {
+        std::ostringstream os;
+        if constexpr (requires(std::ostream& o, const T& x) { o << x; }) {
+            os << v;
+        } else {
+            os << "<unprintable>";
+        }
+        return os.str();
+    }
+}
+
+[[noreturn]] void fail(const char* expression, const char* file,
+                       unsigned line, const char* function,
+                       const char* message,
+                       std::vector<Operand> operands = {});
+
+template <class A, class B>
+[[noreturn]] void fail_cmp(const char* expression, const char* file,
+                           unsigned line, const char* function,
+                           const char* message, const char* lhs_expr,
+                           const A& lhs, const char* rhs_expr, const B& rhs) {
+    fail(expression, file, line, function, message,
+         {Operand{lhs_expr, repr(lhs)}, Operand{rhs_expr, repr(rhs)}});
+}
+
+}  // namespace detail
+
+/// True when SWH_DCHECK compiles to a real check in this build.
+constexpr bool dchecks_enabled() {
+#if defined(SWH_AUDIT) || !defined(NDEBUG)
+    return true;
+#else
+    return false;
+#endif
+}
+
+/// True when SWH_INVARIANT / SWH_AUDIT_SWEEP are live in this build.
+constexpr bool audit_enabled() {
+#if defined(SWH_AUDIT)
+    return true;
+#else
+    return false;
+#endif
+}
+
+}  // namespace swh::check
+
+#define SWH_CHECK(cond, msg)                                              \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::swh::check::detail::fail(#cond, __FILE__, __LINE__,         \
+                                       __func__, (msg));                  \
+        }                                                                 \
+    } while (false)
+
+#define SWH_CHECK_CMP_(op, a, b, msg)                                     \
+    do {                                                                  \
+        /* NOLINTNEXTLINE(bugprone-macro-parentheses): id-expressions */  \
+        const auto& swh_check_a_ = (a);                                   \
+        const auto& swh_check_b_ = (b);                                   \
+        if (!(swh_check_a_ op swh_check_b_)) {                            \
+            ::swh::check::detail::fail_cmp(#a " " #op " " #b, __FILE__,   \
+                                           __LINE__, __func__, (msg), #a, \
+                                           swh_check_a_, #b,              \
+                                           swh_check_b_);                 \
+        }                                                                 \
+    } while (false)
+
+#define SWH_CHECK_EQ(a, b, msg) SWH_CHECK_CMP_(==, a, b, msg)
+#define SWH_CHECK_NE(a, b, msg) SWH_CHECK_CMP_(!=, a, b, msg)
+#define SWH_CHECK_LT(a, b, msg) SWH_CHECK_CMP_(<, a, b, msg)
+#define SWH_CHECK_LE(a, b, msg) SWH_CHECK_CMP_(<=, a, b, msg)
+#define SWH_CHECK_GT(a, b, msg) SWH_CHECK_CMP_(>, a, b, msg)
+#define SWH_CHECK_GE(a, b, msg) SWH_CHECK_CMP_(>=, a, b, msg)
+
+#if defined(SWH_AUDIT) || !defined(NDEBUG)
+#define SWH_DCHECK(cond, msg) SWH_CHECK(cond, msg)
+#define SWH_DCHECK_EQ(a, b, msg) SWH_CHECK_EQ(a, b, msg)
+#define SWH_DCHECK_NE(a, b, msg) SWH_CHECK_NE(a, b, msg)
+#define SWH_DCHECK_LE(a, b, msg) SWH_CHECK_LE(a, b, msg)
+#define SWH_DCHECK_GE(a, b, msg) SWH_CHECK_GE(a, b, msg)
+#else
+#define SWH_DCHECK(cond, msg) \
+    do {                      \
+    } while (false)
+#define SWH_DCHECK_EQ(a, b, msg) SWH_DCHECK(true, msg)
+#define SWH_DCHECK_NE(a, b, msg) SWH_DCHECK(true, msg)
+#define SWH_DCHECK_LE(a, b, msg) SWH_DCHECK(true, msg)
+#define SWH_DCHECK_GE(a, b, msg) SWH_DCHECK(true, msg)
+#endif
+
+#if defined(SWH_AUDIT)
+#define SWH_INVARIANT(cond, msg) SWH_CHECK(cond, msg)
+/// Runs `stmt` (typically `check_invariants()`) only in audit builds —
+/// the hook point for whole-structure sweeps after each mutation.
+#define SWH_AUDIT_SWEEP(stmt) \
+    do {                      \
+        stmt;                 \
+    } while (false)
+#else
+#define SWH_INVARIANT(cond, msg) \
+    do {                         \
+    } while (false)
+#define SWH_AUDIT_SWEEP(stmt) \
+    do {                      \
+    } while (false)
+#endif

@@ -82,10 +82,11 @@ TEST_P(SchedulerFuzzTest, InvariantsHoldUnderRandomSchedules) {
     std::size_t idle_rounds = 0;
 
     const auto check_counts = [&] {
-        const TaskTable& tt = sched.tasks();
-        ASSERT_EQ(tt.ready_count() + tt.executing_count() +
-                      tt.finished_count(),
-                  tt.total());
+        ASSERT_EQ(sched.ready_count() + sched.executing_count() +
+                      sched.finished_count(),
+                  sched.total_tasks());
+        // Full structural sweep (what SWH_AUDIT runs after every event).
+        ASSERT_NO_THROW(sched.check_invariants());
     };
 
     while (!sched.all_done()) {
@@ -111,7 +112,7 @@ TEST_P(SchedulerFuzzTest, InvariantsHoldUnderRandomSchedules) {
                     ASSERT_EQ(std::count(mirror.queue.begin(),
                                          mirror.queue.end(), t),
                               0);
-                    ASSERT_NE(sched.tasks().state(t), TaskState::Ready);
+                    ASSERT_NE(sched.task_state(t), TaskState::Ready);
                     mirror.queue.push_back(t);
                 }
                 if (got.empty()) {
@@ -131,7 +132,7 @@ TEST_P(SchedulerFuzzTest, InvariantsHoldUnderRandomSchedules) {
                     << "task accepted twice";
                 accepted.insert(t);
                 winners[t] = pe;
-                ASSERT_EQ(sched.tasks().winner(t), pe);
+                ASSERT_EQ(sched.task_winner(t), pe);
             }
             for (const PeId loser : result.cancelled) {
                 auto& lq = slaves[loser].queue;
@@ -154,9 +155,9 @@ TEST_P(SchedulerFuzzTest, InvariantsHoldUnderRandomSchedules) {
     }
 
     EXPECT_EQ(accepted.size(), fp.tasks);
-    EXPECT_EQ(sched.tasks().finished_count(), fp.tasks);
+    EXPECT_EQ(sched.finished_count(), fp.tasks);
     for (const auto& [t, pe] : winners) {
-        EXPECT_EQ(sched.tasks().winner(t), pe);
+        EXPECT_EQ(sched.task_winner(t), pe);
     }
 }
 

@@ -29,7 +29,7 @@ TEST(Scheduler, FirstAllocationOneTaskPerSlave) {
     s.register_slave(1, PeKind::SseCore);
     EXPECT_EQ(s.on_work_request(0, 0.0).size(), 1u);
     EXPECT_EQ(s.on_work_request(1, 0.0).size(), 1u);
-    EXPECT_EQ(s.tasks().ready_count(), 8u);
+    EXPECT_EQ(s.ready_count(), 8u);
 }
 
 TEST(Scheduler, PssGrowsBatchWithObservedSpeed) {
@@ -71,7 +71,7 @@ TEST(Scheduler, WorkloadAdjustReplicatesLastTask) {
     ASSERT_EQ(replica.size(), 1u);
     EXPECT_EQ(replica[0], 1u);
     EXPECT_EQ(s.replicas_issued(), 1u);
-    EXPECT_EQ(s.tasks().executors(1), (std::vector<PeId>{1, 0}));
+    EXPECT_EQ(s.task_executors(1), (std::vector<PeId>{1, 0}));
     // First finisher wins; the loser's completion is discarded.
     EXPECT_TRUE(s.on_task_complete(0, 1, 2.0).accepted);
     EXPECT_FALSE(s.on_task_complete(1, 1, 6.0).accepted);
@@ -155,7 +155,7 @@ TEST(Scheduler, DeregisterReturnsTasksToReady) {
     s.register_slave(1, PeKind::SseCore);
     EXPECT_EQ(s.on_work_request(0, 0.0).size(), 3u);
     s.deregister_slave(0, 1.0);
-    EXPECT_EQ(s.tasks().ready_count(), 3u);
+    EXPECT_EQ(s.ready_count(), 3u);
     EXPECT_FALSE(s.is_registered(0));
     // The surviving slave can pick them all up.
     EXPECT_EQ(s.on_work_request(1, 1.0).size(), 3u);
@@ -170,7 +170,7 @@ TEST(Scheduler, FixedPolicyStarvationValve) {
     EXPECT_EQ(s.on_work_request(0, 0.0).size(), 2u);
     EXPECT_EQ(s.on_work_request(1, 0.0).size(), 2u);
     s.deregister_slave(0, 1.0);  // its 2 tasks return to ready
-    EXPECT_EQ(s.tasks().ready_count(), 2u);
+    EXPECT_EQ(s.ready_count(), 2u);
     s.on_task_complete(1, 2, 2.0);
     s.on_task_complete(1, 3, 3.0);
     // Fixed would answer 0, but the valve gives one task per request.

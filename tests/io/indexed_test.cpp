@@ -130,6 +130,80 @@ TEST_F(TempDir, IndexedReaderWritesSidecar) {
     EXPECT_EQ(reader.get(1).id, "beta");
 }
 
+// ---- Hostile-index fixtures (regressions for fuzz findings) ------------
+
+namespace {
+
+/// Serialises a hand-built (possibly inconsistent) index without going
+/// through save_index, which validates its input.
+std::string raw_index(std::uint64_t count, std::uint64_t maxlen,
+                      std::uint64_t total,
+                      const std::vector<std::uint64_t>& offsets,
+                      const std::vector<std::uint64_t>& lengths) {
+    std::string out("SWHIDX1\n");
+    const auto put = [&out](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i)
+            out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    };
+    put(count);
+    put(maxlen);
+    put(total);
+    for (const std::uint64_t v : offsets) put(v);
+    for (const std::uint64_t v : lengths) put(v);
+    return out;
+}
+
+}  // namespace
+
+TEST(IndexSerde, HugeClaimedCountIsCheapParseError) {
+    // Header advertises 2^61 sequences with no table behind it. The
+    // loader must fail on the missing bytes, not pre-allocate exabytes
+    // from the untrusted count (the original implementation resized
+    // offsets/lengths up front).
+    std::istringstream in(raw_index(std::uint64_t{1} << 61, 10, 100, {}, {}));
+    EXPECT_THROW(load_index(in), ParseError);
+}
+
+TEST(IndexSerde, RejectsSummaryDisagreeingWithLengths) {
+    // total_residues and max_sequence_length must match the table.
+    std::istringstream wrong_total(raw_index(2, 14, 999, {0, 23}, {8, 14}));
+    EXPECT_THROW(load_index(wrong_total), ParseError);
+    std::istringstream wrong_max(raw_index(2, 99, 22, {0, 23}, {8, 14}));
+    EXPECT_THROW(load_index(wrong_max), ParseError);
+}
+
+TEST(IndexSerde, RejectsNonIncreasingOffsets) {
+    std::istringstream dup(raw_index(2, 14, 22, {23, 23}, {8, 14}));
+    EXPECT_THROW(load_index(dup), ParseError);
+    std::istringstream back(raw_index(2, 14, 22, {23, 0}, {8, 14}));
+    EXPECT_THROW(load_index(back), ParseError);
+}
+
+TEST_F(TempDir, StaleSidecarPointingPastEofIsRebuilt) {
+    const std::string path = write_fasta_file("db.fa", kFasta);
+    {
+        // A structurally valid index whose offsets belong to a larger,
+        // since-replaced FASTA: last record claimed at byte 10'000.
+        std::ofstream out(index_path_for(path), std::ios::binary);
+        out << raw_index(2, 5, 9, {0, 10'000}, {4, 5});
+    }
+    const IndexedFastaReader reader(path, Alphabet::protein());
+    EXPECT_EQ(reader.size(), 3u);  // rebuilt from the flat file
+    EXPECT_EQ(reader.get(2).id, "gamma");
+}
+
+TEST_F(TempDir, IndexPointingAtNonRecordThrowsParseError) {
+    const std::string path = write_fasta_file("db.fa", kFasta);
+    {
+        // In-range offsets that land mid-record (byte 5 is inside
+        // alpha's header line, not at a '>').
+        std::ofstream out(index_path_for(path), std::ios::binary);
+        out << raw_index(2, 5, 9, {5, 30}, {4, 5});
+    }
+    const IndexedFastaReader reader(path, Alphabet::protein());
+    EXPECT_THROW(reader.get(0), ParseError);
+}
+
 TEST_F(TempDir, IndexedReaderRebuildsCorruptSidecar) {
     const std::string path = write_fasta_file("db.fa", kFasta);
     {

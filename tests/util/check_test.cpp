@@ -1,0 +1,149 @@
+// Failure-path coverage for the leveled contract subsystem: the
+// structured report must carry the expression verbatim, the captured
+// operand values, the source location, and the installing thread's
+// PE/task context.
+
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace swh::check {
+namespace {
+
+TEST(Check, PassingCheckIsSilent) {
+    EXPECT_NO_THROW(SWH_CHECK(1 + 1 == 2, "arithmetic"));
+    EXPECT_NO_THROW(SWH_CHECK_EQ(2 + 2, 4, "arithmetic"));
+}
+
+TEST(Check, FailureThrowsCheckFailureWithStructuredReport) {
+    try {
+        SWH_CHECK(false, "the message");
+        FAIL() << "SWH_CHECK(false) did not throw";
+    } catch (const CheckFailure& e) {
+        const FailureReport& r = e.report();
+        EXPECT_EQ(r.expression, "false");
+        EXPECT_EQ(r.message, "the message");
+        EXPECT_NE(r.file.find("check_test.cpp"), std::string::npos);
+        EXPECT_GT(r.line, 0u);
+        EXPECT_FALSE(r.function.empty());
+        EXPECT_TRUE(r.operands.empty());
+        // Outside any ScopedContext.
+        EXPECT_EQ(r.pe, -1);
+        EXPECT_EQ(r.task, -1);
+    }
+}
+
+TEST(Check, FailureIsAContractErrorForExistingCatchSites) {
+    EXPECT_THROW(SWH_CHECK(false, "compat"), swh::ContractError);
+    EXPECT_THROW(SWH_CHECK_EQ(1, 2, "compat"), swh::ContractError);
+}
+
+TEST(Check, ComparisonFormCapturesBothOperands) {
+    const int ready = 3;
+    const int executing = 5;
+    try {
+        SWH_CHECK_EQ(ready, executing, "tally mismatch");
+        FAIL() << "SWH_CHECK_EQ did not throw";
+    } catch (const CheckFailure& e) {
+        const FailureReport& r = e.report();
+        EXPECT_EQ(r.expression, "ready == executing");
+        ASSERT_EQ(r.operands.size(), 2u);
+        EXPECT_EQ(r.operands[0].expr, "ready");
+        EXPECT_EQ(r.operands[0].value, "3");
+        EXPECT_EQ(r.operands[1].expr, "executing");
+        EXPECT_EQ(r.operands[1].value, "5");
+        // what() renders the same report.
+        const std::string what = e.what();
+        EXPECT_NE(what.find("ready == executing"), std::string::npos);
+        EXPECT_NE(what.find("tally mismatch"), std::string::npos);
+        EXPECT_NE(what.find("ready = 3"), std::string::npos);
+        EXPECT_NE(what.find("executing = 5"), std::string::npos);
+    }
+}
+
+TEST(Check, ComparisonOperandsEvaluateOnce) {
+    int calls = 0;
+    const auto next = [&calls] { return ++calls; };
+    EXPECT_THROW(SWH_CHECK_EQ(next(), 7, "side effects"), CheckFailure);
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(Check, ScopedContextTagsFailuresOnThisThread) {
+    const ScopedContext ctx(4, 17);
+    try {
+        SWH_CHECK(false, "inside context");
+        FAIL();
+    } catch (const CheckFailure& e) {
+        EXPECT_EQ(e.report().pe, 4);
+        EXPECT_EQ(e.report().task, 17);
+        const std::string what = e.what();
+        EXPECT_NE(what.find("pe=4"), std::string::npos);
+        EXPECT_NE(what.find("task=17"), std::string::npos);
+    }
+}
+
+TEST(Check, ScopedContextNestsAndRestores) {
+    EXPECT_EQ(current_context(), (std::pair<std::int64_t, std::int64_t>{
+                                     -1, -1}));
+    {
+        const ScopedContext outer(1, 10);
+        EXPECT_EQ(current_context().first, 1);
+        {
+            const ScopedContext inner(2, 20);
+            EXPECT_EQ(current_context(),
+                      (std::pair<std::int64_t, std::int64_t>{2, 20}));
+        }
+        EXPECT_EQ(current_context(),
+                  (std::pair<std::int64_t, std::int64_t>{1, 10}));
+    }
+    EXPECT_EQ(current_context().first, -1);
+}
+
+TEST(Check, ContextIsThreadLocal) {
+    const ScopedContext ctx(8, 80);
+    std::pair<std::int64_t, std::int64_t> seen{0, 0};
+    std::thread([&seen] { seen = current_context(); }).join();
+    EXPECT_EQ(seen.first, -1);
+    EXPECT_EQ(seen.second, -1);
+    EXPECT_EQ(current_context().first, 8);
+}
+
+TEST(Check, DcheckLevelMatchesBuildConfiguration) {
+    if (dchecks_enabled()) {
+        EXPECT_THROW(SWH_DCHECK(false, "debug check"), CheckFailure);
+        EXPECT_THROW(SWH_DCHECK_EQ(1, 2, "debug check"), CheckFailure);
+    } else {
+        EXPECT_NO_THROW(SWH_DCHECK(false, "compiled out"));
+        EXPECT_NO_THROW(SWH_DCHECK_EQ(1, 2, "compiled out"));
+    }
+}
+
+TEST(Check, InvariantLevelMatchesBuildConfiguration) {
+    int sweeps = 0;
+    SWH_AUDIT_SWEEP(++sweeps);
+    if (audit_enabled()) {
+        EXPECT_EQ(sweeps, 1);
+        EXPECT_THROW(SWH_INVARIANT(false, "audit"), CheckFailure);
+    } else {
+        EXPECT_EQ(sweeps, 0);
+        EXPECT_NO_THROW(SWH_INVARIANT(false, "compiled out"));
+    }
+}
+
+TEST(Check, ReprHandlesCommonTypes) {
+    EXPECT_EQ(detail::repr(true), "true");
+    EXPECT_EQ(detail::repr(false), "false");
+    EXPECT_EQ(detail::repr(42), "42");
+    EXPECT_EQ(detail::repr(std::uint8_t{7}), "7");  // numeric, not a char
+    EXPECT_EQ(detail::repr(std::string("abc")), "abc");
+    struct Opaque {};
+    EXPECT_EQ(detail::repr(Opaque{}), "<unprintable>");
+}
+
+}  // namespace
+}  // namespace swh::check
