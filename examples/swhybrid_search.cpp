@@ -19,6 +19,7 @@
 #include "db/database.hpp"
 #include "db/presets.hpp"
 #include "engines/cpu_engine.hpp"
+#include "engines/faulty_engine.hpp"
 #include "engines/sim_gpu_engine.hpp"
 #include "io/fasta.hpp"
 #include "io/indexed.hpp"
@@ -71,6 +72,51 @@ std::vector<runtime::SlaveSpec> make_slaves(
     }
     SWH_REQUIRE(!slaves.empty(), "no slaves configured");
     return slaves;
+}
+
+engines::FaultKind parse_fault_kind(const std::string& name) {
+    if (name == "throw") return engines::FaultKind::Throw;
+    if (name == "crash") return engines::FaultKind::Crash;
+    if (name == "stall") return engines::FaultKind::Stall;
+    if (name == "slow") return engines::FaultKind::Slow;
+    throw ContractError("unknown fault kind: " + name +
+                        " (expected throw|crash|stall|slow)");
+}
+
+/// Parses "--fault sse0=crash@50000,gpu0=throw" and wraps the named
+/// slaves' engines in fault-injecting decorators. Each decorator gets a
+/// distinct stream split off the base seed so runs replay exactly.
+void apply_faults(std::vector<runtime::SlaveSpec>& slaves,
+                  const std::string& spec, std::uint64_t seed) {
+    if (spec.empty()) return;
+    std::uint64_t stream = 0;
+    for (const std::string& part : split(spec, ',')) {
+        const std::vector<std::string> kv = split(part, '=');
+        SWH_REQUIRE(kv.size() == 2,
+                    "fault spec must look like label=kind[@cells]");
+        const std::vector<std::string> ka = split(kv[1], '@');
+        SWH_REQUIRE(ka.size() <= 2,
+                    "fault spec must look like label=kind[@cells]");
+        engines::FaultPlan plan;
+        plan.kind = parse_fault_kind(ka[0]);
+        if (ka.size() == 2) {
+            plan.after_cells =
+                static_cast<std::uint64_t>(std::stoull(ka[1]));
+        }
+        plan.seed = seed + stream++;
+        bool found = false;
+        for (runtime::SlaveSpec& s : slaves) {
+            if (s.label != kv[0]) continue;
+            s.engine = std::make_unique<engines::FaultyEngine>(
+                std::move(s.engine), plan);
+            found = true;
+            break;
+        }
+        if (!found) {
+            throw ContractError("no slave labelled " + kv[0] +
+                                " to inject a fault into");
+        }
+    }
 }
 
 void generate_demo(const std::string& query_path,
@@ -131,6 +177,30 @@ int main(int argc, char** argv) {
     args.add_flag("align", "print the best hit's alignment per query");
     args.add_flag("no-adjust", "disable the workload-adjustment mechanism");
     args.add_flag("generate-demo", "write demo query/database files and exit");
+    args.add_option("liveness-timeout",
+                    "declare a slave dead after this many seconds of "
+                    "silence and requeue its tasks (0 = off)",
+                    "0");
+    args.add_option("heartbeat",
+                    "idle-slave heartbeat period in seconds (used only "
+                    "with --liveness-timeout)",
+                    "0.05");
+    args.add_option("retries",
+                    "engine-failure retries per task before it is "
+                    "reported as failed",
+                    "3");
+    args.add_option("fault",
+                    "inject engine faults: label=kind[@cells],... with "
+                    "kind throw|crash|stall|slow, e.g. sse0=crash@50000",
+                    "");
+    args.add_option("chan-drop",
+                    "slave->master message drop probability (requires "
+                    "--liveness-timeout > 0)",
+                    "0");
+    args.add_option("chan-stall",
+                    "extra delivery stall in seconds on every link", "0");
+    args.add_option("fault-seed", "seed for the fault-injection streams",
+                    "24029");
     args.add_option("trace",
                     "record the run and write Chrome trace-event JSON here "
                     "(open at ui.perfetto.dev)",
@@ -180,6 +250,16 @@ int main(int argc, char** argv) {
         runtime::RuntimeOptions options;
         options.top_k = config.top_k;
         options.sched.workload_adjust = !args.get_flag("no-adjust");
+        options.liveness_timeout_s = args.get_double("liveness-timeout");
+        options.heartbeat_period_s = args.get_double("heartbeat");
+        options.max_task_retries =
+            static_cast<std::size_t>(args.get_int("retries"));
+        const auto fault_seed =
+            static_cast<std::uint64_t>(args.get_int("fault-seed"));
+        options.master_link_faults.drop_prob = args.get_double("chan-drop");
+        options.master_link_faults.stall_s = args.get_double("chan-stall");
+        options.master_link_faults.seed = fault_seed;
+        options.slave_link_stall_s = args.get_double("chan-stall");
 
         // Observability: a recorder when any trace output was asked for,
         // a registry when --metrics names a file.
@@ -202,9 +282,11 @@ int main(int argc, char** argv) {
                   << simd::to_string(config.isa) << "\n";
 
         runtime::HybridRuntime rt(database, queries, options);
+        std::vector<runtime::SlaveSpec> slaves =
+            make_slaves(args.get("slaves"), config);
+        apply_faults(slaves, args.get("fault"), fault_seed);
         const runtime::RunReport report =
-            rt.run(make_slaves(args.get("slaves"), config),
-                   make_policy(args.get("policy")));
+            rt.run(std::move(slaves), make_policy(args.get("policy")));
 
         const align::GumbelParams stats = align::fit_gumbel(matrix, gap);
         const double max_evalue = args.get_double("max-evalue");
@@ -263,6 +345,36 @@ int main(int argc, char** argv) {
         std::cout << "\n" << format_double(report.wall_seconds, 2) << " s, "
                   << format_double(report.gcups, 3) << " GCUPS, "
                   << report.replicas_issued << " replicas issued\n";
+
+        // Fault summary: anything the run survived (or gave up on).
+        if (report.task_failures > 0 || report.slaves_presumed_dead > 0 ||
+            report.late_completions_discarded > 0 ||
+            !report.failed_tasks.empty()) {
+            std::cout << "faults: " << report.task_failures
+                      << " engine failures, " << report.slaves_presumed_dead
+                      << " slaves presumed dead, "
+                      << report.late_completions_discarded
+                      << " late completions discarded\n";
+            for (const runtime::SlaveReport& s : report.slaves) {
+                if (!s.presumed_dead && !s.crashed && s.engine_failures == 0)
+                    continue;
+                std::cout << "  " << s.label << ":"
+                          << (s.crashed ? " crashed" : "")
+                          << (s.presumed_dead ? " presumed-dead" : "");
+                if (s.engine_failures > 0) {
+                    std::cout << " " << s.engine_failures
+                              << " engine failures";
+                }
+                std::cout << '\n';
+            }
+            for (const runtime::RunReport::FailedTask& f :
+                 report.failed_tasks) {
+                std::cout << "  FAILED query #" << f.query_index << " ("
+                          << queries[f.query_index].id << "): "
+                          << f.last_error << " after " << f.failures
+                          << " failures — hits may be missing\n";
+            }
+        }
 
         if (want_trace) {
             const obs::Trace trace = recorder->drain();

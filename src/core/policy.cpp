@@ -71,16 +71,33 @@ public:
                            std::span<const SlaveView> all,
                            std::size_t ready_remaining,
                            std::size_t total_tasks) override {
+        // Shares are computed against the membership at the FIRST
+        // request, captured once. Evaluating `all.size()` per request
+        // mis-splits when slaves register late (join_delay_s): early
+        // requesters would be sized against a smaller p and the pool
+        // over-allocated to whoever asked first.
+        if (!snapshot_taken_) {
+            snapshot_taken_ = true;
+            for (const SlaveView& s : all) snapshot_.insert(s.id);
+        }
         if (served_.count(requester.id) != 0) return 0;
         served_.insert(requester.id);
-        const std::size_t p = std::max<std::size_t>(1, all.size());
+        // A late joiner missed the static split; it gets nothing here
+        // (the scheduler's safety valve feeds it single tasks if work
+        // ever returns to Ready).
+        if (snapshot_.count(requester.id) == 0) return 0;
+        ++snapshot_served_;
+        const std::size_t p = std::max<std::size_t>(1, snapshot_.size());
         // Even split with the remainder spread over the first requesters.
         std::size_t share = total_tasks / p;
-        if (served_.size() <= total_tasks % p) ++share;
+        if (snapshot_served_ <= total_tasks % p) ++share;
         return std::min(share, ready_remaining);
     }
 
 private:
+    bool snapshot_taken_ = false;
+    std::set<PeId> snapshot_;  ///< membership at the first request
+    std::size_t snapshot_served_ = 0;
     std::set<PeId> served_;
 };
 
@@ -99,17 +116,29 @@ public:
                            std::span<const SlaveView> all,
                            std::size_t ready_remaining,
                            std::size_t total_tasks) override {
+        // Same late-joiner hazard as Fixed: both the total declared
+        // power and the "last slave mops up" condition must be judged
+        // against the first-request membership, not the live roster —
+        // otherwise a join_delay_s slave inflates `all.size()` so the
+        // mop-up never fires, or an early slave mops up the whole
+        // remainder before the snapshot peers were served.
+        if (!snapshot_taken_) {
+            snapshot_taken_ = true;
+            for (const SlaveView& s : all) snapshot_.emplace(s.id, s.kind);
+        }
         if (served_.count(requester.id) != 0) return 0;
         served_.insert(requester.id);
+        if (snapshot_.count(requester.id) == 0) return 0;  // late joiner
+        ++snapshot_served_;
         double total_w = 0.0;
-        for (const SlaveView& s : all) total_w += weight(s.kind);
+        for (const auto& [id, kind] : snapshot_) total_w += weight(kind);
         SWH_REQUIRE(total_w > 0.0, "no declared power for any slave");
         const double share = static_cast<double>(total_tasks) *
                              weight(requester.kind) / total_w;
         auto batch =
             static_cast<std::size_t>(std::max<long long>(0, std::llround(share)));
-        // The last slave to be served mops up rounding leftovers.
-        if (served_.size() == all.size()) batch = ready_remaining;
+        // The last snapshot slave to be served mops up rounding leftovers.
+        if (snapshot_served_ == snapshot_.size()) batch = ready_remaining;
         return std::min(std::max<std::size_t>(batch, 1), ready_remaining);
     }
 
@@ -120,6 +149,9 @@ private:
     }
 
     std::map<PeKind, double> power_;
+    bool snapshot_taken_ = false;
+    std::map<PeId, PeKind> snapshot_;  ///< membership at the first request
+    std::size_t snapshot_served_ = 0;
     std::set<PeId> served_;
 };
 

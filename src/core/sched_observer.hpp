@@ -76,6 +76,17 @@ public:
         (void)task;
         (void)now;
     }
+
+    /// `pe` reported an engine failure while executing `task`.
+    /// `abandoned` = the retry budget is spent and no replica is still
+    /// running, so the task settles as failed instead of requeueing.
+    virtual void on_task_failed(PeId pe, TaskId task, bool abandoned,
+                                double now) {
+        (void)pe;
+        (void)task;
+        (void)abandoned;
+        (void)now;
+    }
 };
 
 }  // namespace swh::core

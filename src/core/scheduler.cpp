@@ -249,6 +249,39 @@ SchedulerCore::CompletionResult SchedulerCore::on_task_complete(
     return result;
 }
 
+SchedulerCore::FailureOutcome SchedulerCore::on_task_failed(
+    PeId pe, TaskId task, double now, bool allow_retry) {
+    const swh::LockGuard lock(mu_);
+    const check::ScopedContext ctx(pe, task);
+    FailureOutcome out;
+    // Stale report: the PE was deregistered (presumed dead, or left) or
+    // no longer holds the task (a replica won and it was cancelled, or
+    // the pairing was already settled). Same treatment as a raced
+    // cancellation: ignore it.
+    if (slaves_.find(pe) == slaves_.end() ||
+        table_.state(task) != TaskState::Executing ||
+        !table_.is_executor(task, pe)) {
+        out.stale = true;
+        return out;
+    }
+    ++tasks_failed_;
+    remove_from_queue(pe, task, now);
+    if (allow_retry) {
+        // Back to the ready queue's front (only if no replica is still
+        // running — release() keeps the task Executing otherwise).
+        table_.release(task, pe);
+        out.requeued = table_.state(task) == TaskState::Ready;
+    } else {
+        out.abandoned = table_.abandon(task, pe);
+        if (out.abandoned) ++tasks_abandoned_;
+    }
+    if (observer_ != nullptr) {
+        observer_->on_task_failed(pe, task, out.abandoned, now);
+    }
+    SWH_AUDIT_SWEEP(check_invariants_locked());
+    return out;
+}
+
 bool SchedulerCore::all_done() const {
     const swh::LockGuard lock(mu_);
     return table_.all_finished();
@@ -289,6 +322,11 @@ PeId SchedulerCore::task_winner(TaskId id) const {
     return table_.winner(id);
 }
 
+bool SchedulerCore::task_abandoned(TaskId id) const {
+    const swh::LockGuard lock(mu_);
+    return table_.abandoned(id);
+}
+
 std::vector<PeId> SchedulerCore::task_executors(TaskId id) const {
     const swh::LockGuard lock(mu_);
     return table_.executors(id);
@@ -313,6 +351,16 @@ std::size_t SchedulerCore::replicas_issued() const {
 std::size_t SchedulerCore::completions_discarded() const {
     const swh::LockGuard lock(mu_);
     return completions_discarded_;
+}
+
+std::size_t SchedulerCore::tasks_failed() const {
+    const swh::LockGuard lock(mu_);
+    return tasks_failed_;
+}
+
+std::size_t SchedulerCore::tasks_abandoned() const {
+    const swh::LockGuard lock(mu_);
+    return tasks_abandoned_;
 }
 
 void SchedulerCore::check_invariants() const {

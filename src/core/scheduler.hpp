@@ -103,6 +103,23 @@ public:
     CompletionResult on_task_complete(PeId pe, TaskId task, double now)
         SWH_EXCLUDES(mu_);
 
+    struct FailureOutcome {
+        /// The report referred to a pairing that no longer exists (PE
+        /// deregistered, task already settled or not held by the PE) —
+        /// nothing changed, like a raced cancellation.
+        bool stale = false;
+        bool requeued = false;   ///< task went back to Ready for retry
+        bool abandoned = false;  ///< retry budget spent; settled as failed
+    };
+
+    /// `pe` failed to execute `task` (engine exception). With
+    /// `allow_retry` the task is released back to Ready (front of the
+    /// queue); otherwise it is abandoned — settled as Finished with no
+    /// winner so the run terminates and reports it as failed. Either
+    /// way, a replica still running elsewhere keeps the task Executing.
+    FailureOutcome on_task_failed(PeId pe, TaskId task, double now,
+                                  bool allow_retry) SWH_EXCLUDES(mu_);
+
     // ---- Introspection ------------------------------------------------
     // Each call takes the scheduler mutex and returns a copy, so results
     // are consistent snapshots even against concurrent event delivery.
@@ -118,6 +135,8 @@ public:
     TaskState task_state(TaskId id) const SWH_EXCLUDES(mu_);
     /// PE whose completion was accepted; kInvalidPe if not finished.
     PeId task_winner(TaskId id) const SWH_EXCLUDES(mu_);
+    /// True if the task was settled by retry exhaustion (no winner).
+    bool task_abandoned(TaskId id) const SWH_EXCLUDES(mu_);
     /// PEs currently holding the task (first is the original assignee).
     std::vector<PeId> task_executors(TaskId id) const SWH_EXCLUDES(mu_);
 
@@ -131,6 +150,8 @@ public:
 
     std::size_t replicas_issued() const SWH_EXCLUDES(mu_);
     std::size_t completions_discarded() const SWH_EXCLUDES(mu_);
+    std::size_t tasks_failed() const SWH_EXCLUDES(mu_);
+    std::size_t tasks_abandoned() const SWH_EXCLUDES(mu_);
 
     /// Sweeps the task-table invariants plus the scheduler-level ones:
     /// every queued task of a live slave is held by that slave and is
@@ -178,6 +199,8 @@ private:
     std::map<PeId, Slave> slaves_ SWH_GUARDED_BY(mu_);
     std::size_t replicas_issued_ SWH_GUARDED_BY(mu_) = 0;
     std::size_t completions_discarded_ SWH_GUARDED_BY(mu_) = 0;
+    std::size_t tasks_failed_ SWH_GUARDED_BY(mu_) = 0;
+    std::size_t tasks_abandoned_ SWH_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace swh::core

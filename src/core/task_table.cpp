@@ -117,6 +117,28 @@ void TaskTable::release(TaskId id, PeId pe) {
     SWH_AUDIT_SWEEP(check_invariants());
 }
 
+bool TaskTable::abandon(TaskId id, PeId pe) {
+    Entry& e = entry(id);
+    SWH_CHECK(is_executor(id, pe), "abandon from a non-executor PE");
+    SWH_CHECK_EQ(e.state, TaskState::Executing,
+                 "abandon of a non-executing task");
+    std::erase(e.executors, pe);
+    if (!e.executors.empty()) {
+        // A replica is still running; first-finisher-wins may yet
+        // settle the task normally, so don't write it off.
+        SWH_AUDIT_SWEEP(check_invariants());
+        return false;
+    }
+    e.state = TaskState::Finished;
+    e.abandoned = true;  // winner stays kInvalidPe
+    --executing_count_;
+    ++finished_count_;
+    SWH_AUDIT_SWEEP(check_invariants());
+    return true;
+}
+
+bool TaskTable::abandoned(TaskId id) const { return entry(id).abandoned; }
+
 std::vector<TaskId> TaskTable::executing_tasks() const {
     std::vector<TaskId> out;
     out.reserve(executing_count_);
@@ -152,8 +174,16 @@ void TaskTable::check_invariants() const {
                 break;
             case TaskState::Finished:
                 ++finished;
-                SWH_CHECK_NE(e.winner, kInvalidPe,
-                             "a Finished task needs a winner");
+                if (e.abandoned) {
+                    SWH_CHECK_EQ(e.winner, kInvalidPe,
+                                 "an abandoned task cannot have a winner");
+                    SWH_CHECK_EQ(e.executors.size(), std::size_t{0},
+                                 "abandonment settles only an empty "
+                                 "executor set");
+                } else {
+                    SWH_CHECK_NE(e.winner, kInvalidPe,
+                                 "a Finished task needs a winner");
+                }
                 break;
         }
     }

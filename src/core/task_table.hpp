@@ -60,6 +60,17 @@ public:
     /// queue's front, so it is re-issued promptly).
     void release(TaskId id, PeId pe);
 
+    /// Gives up on a task whose retry budget is exhausted: removes `pe`
+    /// from the executor set and, if that left the task with no
+    /// executors, settles it as Finished *without* a winner (the run
+    /// reports it as failed instead of aborting). Returns true when the
+    /// task was abandoned; false when other replicas are still running
+    /// and may yet finish it.
+    bool abandon(TaskId id, PeId pe);
+
+    /// True if the task was settled by abandon() rather than a winner.
+    bool abandoned(TaskId id) const;
+
     /// Ids of all tasks currently in the Executing state.
     std::vector<TaskId> executing_tasks() const;
 
@@ -79,6 +90,7 @@ private:
         TaskState state = TaskState::Ready;
         std::vector<PeId> executors;
         PeId winner = kInvalidPe;
+        bool abandoned = false;  ///< Finished with no winner (retries spent)
     };
 
     Entry& entry(TaskId id);

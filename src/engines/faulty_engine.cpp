@@ -1,0 +1,191 @@
+#include "engines/faulty_engine.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace swh::engines {
+
+const char* to_string(FaultKind kind) {
+    switch (kind) {
+        case FaultKind::None: return "none";
+        case FaultKind::Throw: return "throw";
+        case FaultKind::Crash: return "crash";
+        case FaultKind::Stall: return "stall";
+        case FaultKind::Slow: return "slow";
+    }
+    return "?";
+}
+
+namespace {
+
+/// Arms the fault once `after_cells` have been processed: from then on
+/// it reports cancellation, so the inner engine stops at the next
+/// between-sequences poll and execute() returns with partial work —
+/// the decorator fires the actual fault safely outside the engine.
+class TriggerObserver final : public ExecutionObserver {
+public:
+    TriggerObserver(ExecutionObserver* downstream, std::uint64_t after_cells)
+        : downstream_(downstream), after_(after_cells) {}
+
+    void on_cells(std::uint64_t cells_delta) override {
+        cells_ += cells_delta;
+        if (cells_ >= after_) triggered_ = true;
+        if (downstream_ != nullptr) downstream_->on_cells(cells_delta);
+    }
+
+    bool cancelled() const override {
+        return triggered_ ||
+               (downstream_ != nullptr && downstream_->cancelled());
+    }
+
+    obs::TraceLane* trace_lane() const override {
+        return downstream_ != nullptr ? downstream_->trace_lane() : nullptr;
+    }
+
+    bool triggered() const { return triggered_; }
+
+private:
+    ExecutionObserver* downstream_;
+    std::uint64_t after_;
+    std::uint64_t cells_ = 0;
+    bool triggered_ = false;
+};
+
+/// Stretches wall time to slow_factor x compute time once `after_cells`
+/// have passed (same sleep-in-on_cells idiom as ThrottledEngine's
+/// pacing, but relative to realised speed instead of an absolute rate).
+class SlowObserver final : public ExecutionObserver {
+public:
+    SlowObserver(ExecutionObserver* downstream, double factor,
+                 std::uint64_t after_cells)
+        : downstream_(downstream), factor_(factor), after_(after_cells) {}
+
+    void on_cells(std::uint64_t cells_delta) override {
+        cells_ += cells_delta;
+        if (cells_ >= after_) {
+            engaged_ = true;
+            const double elapsed = timer_.seconds();
+            const double compute = elapsed - slept_;
+            const double behind = factor_ * compute - elapsed;
+            if (behind > 0.0) {
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double>(behind));
+                slept_ += behind;
+            }
+        }
+        if (downstream_ != nullptr) downstream_->on_cells(cells_delta);
+    }
+
+    bool cancelled() const override {
+        return downstream_ != nullptr && downstream_->cancelled();
+    }
+
+    obs::TraceLane* trace_lane() const override {
+        return downstream_ != nullptr ? downstream_->trace_lane() : nullptr;
+    }
+
+    bool engaged() const { return engaged_; }
+
+private:
+    ExecutionObserver* downstream_;
+    double factor_;
+    std::uint64_t after_;
+    std::uint64_t cells_ = 0;
+    double slept_ = 0.0;
+    bool engaged_ = false;
+    Timer timer_;
+};
+
+}  // namespace
+
+FaultyEngine::FaultyEngine(std::unique_ptr<ComputeEngine> inner,
+                           FaultPlan plan)
+    : inner_(std::move(inner)), plan_(plan), arm_rng_(plan.seed) {
+    SWH_REQUIRE(inner_ != nullptr, "faulty engine needs an inner engine");
+    SWH_REQUIRE(plan_.probability >= 0.0 && plan_.probability <= 1.0,
+                "fault probability must be in [0, 1]");
+    SWH_REQUIRE(plan_.slow_factor >= 1.0, "slow factor must be >= 1");
+    SWH_REQUIRE(plan_.stall_poll_s > 0.0, "stall poll must be positive");
+    name_ = "faulty-";
+    name_ += to_string(plan_.kind);
+    name_ += "(";
+    name_ += inner_->name();
+    name_ += ")";
+}
+
+core::TaskResult FaultyEngine::execute(const align::Sequence& query,
+                                       std::uint32_t query_index,
+                                       core::TaskId task,
+                                       const db::Database& database,
+                                       ExecutionObserver* observer) {
+    const bool budget_left =
+        plan_.max_faults == 0 || faults_fired_ < plan_.max_faults;
+    const bool armed = plan_.kind != FaultKind::None && budget_left &&
+                       arm_rng_.uniform() < plan_.probability;
+    if (!armed) {
+        return inner_->execute(query, query_index, task, database, observer);
+    }
+
+    switch (plan_.kind) {
+        case FaultKind::None:
+            break;  // unreachable: armed implies kind != None
+
+        case FaultKind::Throw:
+        case FaultKind::Crash: {
+            TriggerObserver trigger(observer, plan_.after_cells);
+            core::TaskResult partial;
+            if (plan_.after_cells > 0) {
+                partial = inner_->execute(query, query_index, task, database,
+                                          &trigger);
+                // The task finished before the threshold: no fault.
+                if (!trigger.triggered()) return partial;
+            }
+            ++faults_fired_;
+            std::string what = "injected ";
+            what += to_string(plan_.kind);
+            what += " fault (task ";
+            what += std::to_string(task);
+            what += ")";
+            if (plan_.kind == FaultKind::Crash) throw SimulatedCrash(what);
+            throw std::runtime_error(what);
+        }
+
+        case FaultKind::Stall: {
+            SWH_REQUIRE(observer != nullptr,
+                        "a stall fault needs a cancellable observer, or "
+                        "nothing could ever unwedge it");
+            TriggerObserver trigger(observer, plan_.after_cells);
+            core::TaskResult partial;
+            partial.task = task;
+            partial.query_index = query_index;
+            if (plan_.after_cells > 0) {
+                partial = inner_->execute(query, query_index, task, database,
+                                          &trigger);
+                if (!trigger.triggered()) return partial;
+            }
+            ++faults_fired_;
+            // Hang until cancelled from outside (master shutdown or a
+            // cancel order). Cooperative on purpose: a truly wedged
+            // thread could never be joined at end of run.
+            while (!observer->cancelled()) {
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double>(plan_.stall_poll_s));
+            }
+            return partial;  // cancelled partial; the caller discards it
+        }
+
+        case FaultKind::Slow: {
+            SlowObserver slow(observer, plan_.slow_factor, plan_.after_cells);
+            core::TaskResult result =
+                inner_->execute(query, query_index, task, database, &slow);
+            if (slow.engaged()) ++faults_fired_;
+            return result;
+        }
+    }
+    return inner_->execute(query, query_index, task, database, observer);
+}
+
+}  // namespace swh::engines

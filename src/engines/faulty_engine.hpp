@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "engines/engine.hpp"
+#include "util/rng.hpp"
+
+namespace swh::engines {
+
+/// Thrown by FaultyEngine's Crash mode. The runtime's slave loop lets
+/// this one escape on purpose — the thread dies without sending
+/// MsgDeregister, modelling a PE that vanishes (power loss, kill -9).
+/// Every other exception type is contained and reported as
+/// MsgTaskFailed.
+class SimulatedCrash final : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+/// What a FaultyEngine does when its fault arms (ISSUE 5 fault
+/// injection). Each mode exercises a distinct failure path of the
+/// fault-tolerant runtime.
+enum class FaultKind : std::uint8_t {
+    None,   ///< pass-through (decorator disabled)
+    Throw,  ///< throw std::runtime_error -> MsgTaskFailed + retry budget
+    Crash,  ///< throw SimulatedCrash -> silent thread death -> liveness
+    Stall,  ///< hang (cooperatively: polls cancellation) -> liveness
+    Slow,   ///< stretch wall time by slow_factor -> workload adjustment
+};
+
+const char* to_string(FaultKind kind);
+
+/// One engine's fault schedule. Deterministic: per-task arming draws
+/// come from a stream seeded with `seed`, so a run replays exactly.
+struct FaultPlan {
+    FaultKind kind = FaultKind::None;
+    /// Fire only after this many DP cells of the task were processed
+    /// (rounded up to the engine's progress grain). 0 = before any work.
+    std::uint64_t after_cells = 0;
+    /// Per-task probability that the fault arms (1 = every task).
+    double probability = 1.0;
+    /// Stop injecting after this many fired faults; 0 = no limit.
+    std::size_t max_faults = 0;
+    /// Slow mode: wall time stretched to this multiple of compute time.
+    double slow_factor = 4.0;
+    /// Stall mode: cancellation poll period while hanging.
+    double stall_poll_s = 0.005;
+    std::uint64_t seed = 0x5EEDULL;
+};
+
+/// Decorator injecting engine-level faults into an inner ComputeEngine.
+/// Faults fire *between* database sequences — the trigger observer
+/// cancels the inner engine cooperatively and the exception is thrown
+/// only after execute() returns — because unwinding through an engine's
+/// worker pool would std::terminate the process, which is the very bug
+/// class this PR removes. Single-threaded like every engine: one slave
+/// thread owns it.
+class FaultyEngine final : public ComputeEngine {
+public:
+    FaultyEngine(std::unique_ptr<ComputeEngine> inner, FaultPlan plan);
+
+    std::string_view name() const override { return name_; }
+    core::PeKind kind() const override { return inner_->kind(); }
+
+    core::TaskResult execute(const align::Sequence& query,
+                             std::uint32_t query_index, core::TaskId task,
+                             const db::Database& database,
+                             ExecutionObserver* observer) override;
+
+    const FaultPlan& plan() const { return plan_; }
+
+    /// Faults actually fired so far (read it after the run).
+    std::size_t faults_fired() const { return faults_fired_; }
+
+private:
+    std::unique_ptr<ComputeEngine> inner_;
+    FaultPlan plan_;
+    std::string name_;
+    swh::Rng arm_rng_;
+    std::size_t faults_fired_ = 0;
+};
+
+}  // namespace swh::engines

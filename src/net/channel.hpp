@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <deque>
 #include <optional>
@@ -7,6 +8,7 @@
 
 #include "util/annotations.hpp"
 #include "util/check.hpp"
+#include "util/rng.hpp"
 
 namespace swh::net {
 
@@ -19,6 +21,18 @@ public:
     virtual ~ChannelObserver() = default;
     virtual void on_send(std::size_t depth_after) { (void)depth_after; }
     virtual void on_recv(std::size_t depth_after) { (void)depth_after; }
+};
+
+/// Fault-injection plan for a Channel (ISSUE 5): a lossy and/or
+/// congested link. Drops are drawn per send from a seeded deterministic
+/// stream; stall adds a fixed extra delivery delay on top of the
+/// channel's base latency. Recovery from drops is the liveness layer's
+/// job (heartbeats, re-registration, workload adjustment) — the channel
+/// just loses the message, as a real network would.
+struct ChannelFaults {
+    double drop_prob = 0.0;  ///< P(silently discard a send), in [0, 1]
+    double stall_s = 0.0;    ///< extra delivery delay per message
+    std::uint64_t seed = 0x5EEDF00DULL;  ///< drop-draw stream seed
 };
 
 /// Blocking MPSC message queue — the "network" between master and slaves
@@ -44,12 +58,36 @@ public:
         observer_ = observer;
     }
 
+    /// Arms (or, with a default-constructed plan, disarms) link-fault
+    /// injection. Reseeds the drop stream, so runs are reproducible.
+    void inject_faults(const ChannelFaults& faults) SWH_EXCLUDES(mu_) {
+        SWH_CHECK_GE(faults.drop_prob, 0.0, "drop probability below 0");
+        SWH_CHECK_LE(faults.drop_prob, 1.0, "drop probability above 1");
+        SWH_CHECK_GE(faults.stall_s, 0.0, "stall must be non-negative");
+        const swh::LockGuard lock(mu_);
+        faults_ = faults;
+        fault_rng_.reseed(faults.seed);
+    }
+
+    /// Messages discarded so far by the drop fault.
+    std::size_t dropped() const SWH_EXCLUDES(mu_) {
+        const swh::LockGuard lock(mu_);
+        return dropped_;
+    }
+
     void send(T msg) SWH_EXCLUDES(mu_) {
         {
             const swh::LockGuard lock(mu_);
             SWH_CHECK(!closed_, "send on closed channel");
+            if (faults_.drop_prob > 0.0 &&
+                fault_rng_.uniform() < faults_.drop_prob) {
+                ++dropped_;
+                return;  // the link ate it; no observer event, no wakeup
+            }
+            const auto stall = std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double>(faults_.stall_s));
             queue_.push_back(
-                Entry{Clock::now() + delay_, std::move(msg)});
+                Entry{Clock::now() + delay_ + stall, std::move(msg)});
             if (observer_ != nullptr) observer_->on_send(queue_.size());
         }
         // Single consumer per channel (MPSC): waking one waiter is
@@ -70,6 +108,32 @@ public:
             }
             if (closed_) return std::nullopt;
             cv_.wait(mu_);
+        }
+        T msg = std::move(queue_.front().payload);
+        queue_.pop_front();
+        if (observer_ != nullptr) observer_->on_recv(queue_.size());
+        return msg;
+    }
+
+    /// Blocks up to `timeout_s` seconds: a deliverable message, or
+    /// nullopt on timeout or when closed and drained (callers that need
+    /// to tell the two apart check closed()). The deadline-driven wait
+    /// the fault-tolerant master loop runs on.
+    std::optional<T> recv_for(double timeout_s) SWH_EXCLUDES(mu_) {
+        const swh::LockGuard lock(mu_);
+        const auto deadline =
+            Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(
+                                   std::max(0.0, timeout_s)));
+        while (true) {
+            const auto now = Clock::now();
+            if (!queue_.empty() && queue_.front().ready <= now) break;
+            if (queue_.empty() && closed_) return std::nullopt;
+            if (now >= deadline) return std::nullopt;
+            const auto until = queue_.empty()
+                                   ? deadline
+                                   : std::min(deadline, queue_.front().ready);
+            cv_.wait_until(mu_, until);
         }
         T msg = std::move(queue_.front().payload);
         queue_.pop_front();
@@ -104,6 +168,11 @@ public:
         return queue_.size();
     }
 
+    bool closed() const SWH_EXCLUDES(mu_) {
+        const swh::LockGuard lock(mu_);
+        return closed_;
+    }
+
 private:
     using Clock = std::chrono::steady_clock;
     struct Entry {
@@ -117,6 +186,9 @@ private:
     Clock::duration delay_{};
     ChannelObserver* observer_ SWH_GUARDED_BY(mu_) = nullptr;
     bool closed_ SWH_GUARDED_BY(mu_) = false;
+    ChannelFaults faults_ SWH_GUARDED_BY(mu_);
+    Rng fault_rng_ SWH_GUARDED_BY(mu_);
+    std::size_t dropped_ SWH_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace swh::net

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <string>
 #include <variant>
 #include <vector>
 
@@ -37,8 +38,26 @@ struct MsgDeregister {
     core::PeId pe;
 };
 
+/// Idle liveness beacon: sent while a slave is parked waiting for work,
+/// so the master can tell a starved-but-alive PE from a dead one. Busy
+/// slaves piggyback liveness on MsgProgress instead; any message from a
+/// PE refreshes its liveness deadline.
+struct MsgHeartbeat {
+    core::PeId pe;
+};
+
+/// Engine-failure report: executing `task` raised `what` instead of
+/// completing. The slave stays up and moves on; the master requeues the
+/// task under a bounded per-task retry budget with backoff.
+struct MsgTaskFailed {
+    core::PeId pe;
+    core::TaskId task;
+    std::string what;
+};
+
 using MasterMsg = std::variant<MsgRegister, MsgWorkRequest, MsgProgress,
-                               MsgTaskDone, MsgDeregister>;
+                               MsgTaskDone, MsgDeregister, MsgHeartbeat,
+                               MsgTaskFailed>;
 
 // ---- Master -> slave ----------------------------------------------------
 

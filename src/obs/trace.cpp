@@ -22,6 +22,8 @@ const char* to_string(EventKind kind) {
         case EventKind::CompletedAccepted: return "completed_accepted";
         case EventKind::CompletedDiscarded: return "completed_discarded";
         case EventKind::TaskCancelled: return "task_cancelled";
+        case EventKind::TaskFailed: return "task_failed";
+        case EventKind::SlavePresumedDead: return "slave_presumed_dead";
         case EventKind::ChannelSend: return "channel_send";
         case EventKind::ChannelRecv: return "channel_recv";
         case EventKind::SpanBegin: return "span_begin";

@@ -12,6 +12,8 @@ SchedTracer::SchedTracer(TraceLane* lane, MetricsRegistry* metrics)
         accepted_ = &metrics->counter("sched.completions_accepted");
         discarded_ = &metrics->counter("sched.completions_discarded");
         cancelled_ = &metrics->counter("sched.tasks_cancelled");
+        failed_ = &metrics->counter("sched.task_failures");
+        abandoned_ = &metrics->counter("sched.tasks_abandoned");
         package_size_ = &metrics->histogram("sched.package_size");
         rate_error_ = &metrics->histogram("sched.rate_estimate_rel_error");
     }
@@ -95,6 +97,16 @@ void SchedTracer::on_task_cancelled(core::PeId pe, core::TaskId task,
     (void)now;
     if (lane_ != nullptr) lane_->emit(EventKind::TaskCancelled, pe, task);
     if (cancelled_ != nullptr) cancelled_->add();
+}
+
+void SchedTracer::on_task_failed(core::PeId pe, core::TaskId task,
+                                 bool abandoned, double now) {
+    (void)now;
+    if (lane_ != nullptr) {
+        lane_->emit(EventKind::TaskFailed, pe, task, abandoned ? 1.0 : 0.0);
+    }
+    if (failed_ != nullptr) failed_->add();
+    if (abandoned && abandoned_ != nullptr) abandoned_->add();
 }
 
 }  // namespace swh::obs

@@ -36,6 +36,8 @@ public:
                            double now) override;
     void on_task_cancelled(core::PeId pe, core::TaskId task,
                            double now) override;
+    void on_task_failed(core::PeId pe, core::TaskId task, bool abandoned,
+                        double now) override;
 
 private:
     TraceLane* lane_;  ///< may be null (metrics only)
@@ -45,6 +47,8 @@ private:
     Counter* accepted_ = nullptr;
     Counter* discarded_ = nullptr;
     Counter* cancelled_ = nullptr;
+    Counter* failed_ = nullptr;
+    Counter* abandoned_ = nullptr;
     Histogram* package_size_ = nullptr;
     Histogram* rate_error_ = nullptr;
 };

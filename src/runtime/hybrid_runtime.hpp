@@ -9,6 +9,7 @@
 #include "core/scheduler.hpp"
 #include "db/database.hpp"
 #include "engines/engine.hpp"
+#include "net/channel.hpp"
 #include "obs/metrics.hpp"
 
 namespace swh::obs {
@@ -43,6 +44,34 @@ struct RuntimeOptions {
     /// Optional metrics sink (task-duration histograms, scheduler
     /// counters, channel depth). Non-owning; null = off.
     obs::MetricsRegistry* metrics = nullptr;
+
+    // ---- Fault tolerance (ISSUE 5) --------------------------------------
+
+    /// Declare a slave dead after this long without any message from it,
+    /// deregister it, and requeue its tasks. 0 disables liveness — the
+    /// original immortal-slave assumption, under which a slave dying
+    /// without MsgDeregister deadlocks the master.
+    double liveness_timeout_s = 0.0;
+    /// How often an idle-blocked slave beacons MsgHeartbeat (busy slaves
+    /// piggyback liveness on MsgProgress). Only used when liveness is on;
+    /// keep it well below liveness_timeout_s.
+    double heartbeat_period_s = 0.05;
+    /// Engine-failure retries per task before it is abandoned and
+    /// surfaced in RunReport::failed_tasks (the run never aborts).
+    std::size_t max_task_retries = 3;
+    /// Exponential backoff between retries of one task: first retry
+    /// waits retry_backoff_s, doubling up to retry_backoff_max_s.
+    double retry_backoff_s = 0.01;
+    double retry_backoff_max_s = 1.0;
+    /// Fault injection on the slave->master link (message drops and/or
+    /// delivery stall). Drops require liveness_timeout_s > 0: recovery
+    /// from a lost Register/WorkRequest/TaskDone is the liveness and
+    /// replication machinery's job.
+    net::ChannelFaults master_link_faults;
+    /// Extra delivery stall on every master->slave link. Drops are never
+    /// injected in that direction — losing Assign/Shutdown control
+    /// messages would break termination, not test fault tolerance.
+    double slave_link_stall_s = 0.0;
 };
 
 struct SlaveReport {
@@ -58,6 +87,15 @@ struct SlaveReport {
     std::uint64_t cells_accepted = 0;
     std::uint64_t cells_discarded = 0;
     bool left_early = false;
+    /// Engine exceptions this slave contained and reported as
+    /// MsgTaskFailed (the thread survived them all).
+    std::size_t engine_failures = 0;
+    /// The master declared this slave dead after liveness_timeout_s of
+    /// silence and requeued its tasks.
+    bool presumed_dead = false;
+    /// The slave thread died mid-task without deregistering (simulated
+    /// crash) — the failure mode only liveness timeouts can recover.
+    bool crashed = false;
 };
 
 /// Accepted/discarded cell totals aggregated over all slaves of one
@@ -69,12 +107,31 @@ struct KindCells {
 };
 
 struct RunReport {
+    /// A task the run could not complete: its retry budget was spent (or
+    /// no live slave remained). Surfaced here instead of aborting; the
+    /// query's hits may be missing or partial.
+    struct FailedTask {
+        core::TaskId task = 0;
+        std::uint32_t query_index = 0;
+        std::size_t failures = 0;  ///< engine failures recorded for it
+        std::string last_error;
+    };
+
     double wall_seconds = 0.0;
     std::uint64_t accepted_cells = 0;  ///< counted once per task
     std::uint64_t computed_cells = 0;  ///< includes replica duplicates
     double gcups = 0.0;                ///< accepted_cells / wall
     std::size_t replicas_issued = 0;
     std::size_t completions_discarded = 0;
+    /// MsgTaskFailed reports the master accepted (stale ones excluded).
+    std::size_t task_failures = 0;
+    /// Slaves deregistered by the liveness timeout.
+    std::size_t slaves_presumed_dead = 0;
+    /// MsgTaskDone from presumed-dead slaves, discarded like raced
+    /// cancellations (never double-merged).
+    std::size_t late_completions_discarded = 0;
+    /// Tasks given up on, in task order. Empty on a healthy run.
+    std::vector<FailedTask> failed_tasks;
     std::vector<SlaveReport> slaves;
     /// Top-k hits per query (index-aligned with the query set).
     std::vector<std::vector<core::Hit>> hits;

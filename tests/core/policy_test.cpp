@@ -103,5 +103,44 @@ TEST(WFixed, RejectsNonPositivePower) {
     EXPECT_THROW(make_wfixed({{PeKind::Gpu, 0.0}}), ContractError);
 }
 
+// Regression: shares must be computed against the membership at the
+// FIRST request. Evaluating the live roster per request mis-split the
+// pool whenever a slave registered late (join_delay_s).
+TEST(Fixed, LateJoinerDoesNotSkewTheSplit) {
+    auto p = make_fixed();
+    const std::vector<SlaveView> initial = {slave(0, PeKind::SseCore, 1e9),
+                                            slave(1, PeKind::SseCore, 1e9)};
+    // 11 tasks over the 2 snapshot PEs: 6 + 5.
+    EXPECT_EQ(p->batch_size(initial[0], initial, 11, 11), 6u);
+
+    // PE 2 joins after the split was taken: the live roster grows, but
+    // PE 1's share must still be judged against the snapshot of 2.
+    const std::vector<SlaveView> grown = {slave(0, PeKind::SseCore, 1e9),
+                                          slave(1, PeKind::SseCore, 1e9),
+                                          slave(2, PeKind::SseCore, 1e9)};
+    EXPECT_EQ(p->batch_size(grown[2], grown, 5, 11), 0u);  // late joiner
+    EXPECT_EQ(p->batch_size(grown[1], grown, 5, 11), 5u);
+    // Nothing left over, and repeat requests stay empty.
+    EXPECT_EQ(p->batch_size(grown[0], grown, 0, 11), 0u);
+    EXPECT_EQ(p->batch_size(grown[2], grown, 0, 11), 0u);
+}
+
+TEST(WFixed, LateJoinerDoesNotStealTheMopUp) {
+    auto p = make_wfixed({{PeKind::Gpu, 6.0}, {PeKind::SseCore, 1.0}});
+    const std::vector<SlaveView> initial = {slave(0, PeKind::Gpu, 0.0),
+                                            slave(1, PeKind::SseCore, 0.0)};
+    // Weights 6,1 over 14 tasks: the GPU gets 12.
+    EXPECT_EQ(p->batch_size(initial[0], initial, 14, 14), 12u);
+
+    // A late joiner must neither receive a share nor count towards the
+    // "last snapshot slave mops up the remainder" condition.
+    const std::vector<SlaveView> grown = {slave(0, PeKind::Gpu, 0.0),
+                                          slave(1, PeKind::SseCore, 0.0),
+                                          slave(2, PeKind::SseCore, 0.0)};
+    EXPECT_EQ(p->batch_size(grown[2], grown, 2, 14), 0u);
+    // PE 1 is the last *snapshot* slave served: it mops up everything.
+    EXPECT_EQ(p->batch_size(grown[1], grown, 2, 14), 2u);
+}
+
 }  // namespace
 }  // namespace swh::core

@@ -251,5 +251,75 @@ TEST(Scheduler, PaperFigure5DecisionSequence) {
     EXPECT_FALSE(s.on_task_complete(1, 19, 18.0).accepted);
 }
 
+TEST(Scheduler, FailedTaskWithRetryReturnsToReadyFront) {
+    SchedulerCore s(equal_tasks(3), make_self_scheduling(), opts());
+    s.register_slave(0, PeKind::SseCore);
+    ASSERT_EQ(s.on_work_request(0, 0.0), std::vector<TaskId>{0});
+
+    const auto out = s.on_task_failed(0, 0, 1.0, /*allow_retry=*/true);
+    EXPECT_FALSE(out.stale);
+    EXPECT_TRUE(out.requeued);
+    EXPECT_FALSE(out.abandoned);
+    EXPECT_EQ(s.tasks_failed(), 1u);
+    EXPECT_EQ(s.task_state(0), TaskState::Ready);
+    EXPECT_TRUE(s.queue_of(0).empty());
+    // Requeued at the ready front: the next request picks it up first.
+    EXPECT_EQ(s.on_work_request(0, 2.0), std::vector<TaskId>{0});
+}
+
+TEST(Scheduler, FailedTaskWithoutRetryIsAbandoned) {
+    SchedulerCore s(equal_tasks(2), make_self_scheduling(), opts());
+    s.register_slave(0, PeKind::SseCore);
+    ASSERT_EQ(s.on_work_request(0, 0.0), std::vector<TaskId>{0});
+
+    const auto out = s.on_task_failed(0, 0, 1.0, /*allow_retry=*/false);
+    EXPECT_TRUE(out.abandoned);
+    EXPECT_FALSE(out.requeued);
+    EXPECT_EQ(s.tasks_abandoned(), 1u);
+    EXPECT_EQ(s.task_state(0), TaskState::Finished);
+    EXPECT_TRUE(s.task_abandoned(0));
+
+    // The other task completes normally; the run still settles.
+    ASSERT_EQ(s.on_work_request(0, 2.0), std::vector<TaskId>{1});
+    EXPECT_TRUE(s.on_task_complete(0, 1, 3.0).accepted);
+    EXPECT_TRUE(s.all_done());
+}
+
+TEST(Scheduler, AbandonWithLiveReplicaLetsTheReplicaWin) {
+    SchedulerCore s(equal_tasks(1), make_self_scheduling(), opts(true));
+    s.register_slave(0, PeKind::SseCore);
+    s.register_slave(1, PeKind::SseCore);
+    ASSERT_EQ(s.on_work_request(0, 0.0), std::vector<TaskId>{0});
+    s.on_progress(0, 0.5, 1'000.0);
+    s.on_progress(1, 0.5, 1'000.0);
+    ASSERT_EQ(s.on_work_request(1, 0.5), std::vector<TaskId>{0});  // replica
+
+    // PE 0 exhausts its retry budget, but PE 1 still runs the task: the
+    // abandonment must not settle it.
+    const auto out = s.on_task_failed(0, 0, 1.0, /*allow_retry=*/false);
+    EXPECT_FALSE(out.abandoned);
+    EXPECT_EQ(s.task_state(0), TaskState::Executing);
+    EXPECT_FALSE(s.all_done());
+    EXPECT_TRUE(s.on_task_complete(1, 0, 2.0).accepted);
+    EXPECT_FALSE(s.task_abandoned(0));
+    EXPECT_TRUE(s.all_done());
+}
+
+TEST(Scheduler, StaleFailureReportsAreIgnored) {
+    SchedulerCore s(equal_tasks(2), make_self_scheduling(), opts());
+    s.register_slave(0, PeKind::SseCore);
+    s.register_slave(1, PeKind::SseCore);
+    ASSERT_EQ(s.on_work_request(0, 0.0), std::vector<TaskId>{0});
+
+    // Not the executor / not executing / unregistered: all stale no-ops.
+    EXPECT_TRUE(s.on_task_failed(1, 0, 1.0, true).stale);
+    EXPECT_TRUE(s.on_task_failed(0, 1, 1.0, true).stale);
+    s.on_task_complete(0, 0, 2.0);
+    EXPECT_TRUE(s.on_task_failed(0, 0, 3.0, true).stale);
+    s.deregister_slave(1, 3.0);
+    EXPECT_TRUE(s.on_task_failed(1, 1, 3.0, true).stale);
+    EXPECT_EQ(s.tasks_failed(), 0u);
+}
+
 }  // namespace
 }  // namespace swh::core

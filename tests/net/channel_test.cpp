@@ -99,6 +99,110 @@ TEST(Channel, DelayedDeliveryWakesBlockedConsumer) {
     producer.join();
 }
 
+TEST(Channel, RecvForTimesOutOnSilence) {
+    Channel<int> ch;
+    Timer t;
+    EXPECT_FALSE(ch.recv_for(0.03).has_value());
+    EXPECT_GE(t.seconds(), 0.025);
+}
+
+TEST(Channel, RecvForDeliversImmediatelyAvailableMessage) {
+    Channel<int> ch;
+    ch.send(7);
+    Timer t;
+    EXPECT_EQ(ch.recv_for(5.0).value(), 7);
+    EXPECT_LT(t.seconds(), 1.0);  // did not wait out the deadline
+}
+
+TEST(Channel, RecvForWakesOnSendBeforeDeadline) {
+    Channel<int> ch;
+    std::thread producer([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        ch.send(9);
+    });
+    EXPECT_EQ(ch.recv_for(5.0).value(), 9);
+    producer.join();
+}
+
+TEST(Channel, RecvForDrainsBacklogOfClosedChannel) {
+    Channel<int> ch;
+    ch.send(1);
+    ch.close();
+    EXPECT_TRUE(ch.closed());
+    EXPECT_EQ(ch.recv_for(0.01).value(), 1);
+    // Drained and closed: returns immediately, no deadline wait.
+    Timer t;
+    EXPECT_FALSE(ch.recv_for(5.0).has_value());
+    EXPECT_LT(t.seconds(), 1.0);
+}
+
+TEST(Channel, RecvForWaitsOutDeliveryDelayWithinDeadline) {
+    Channel<int> ch(0.03);
+    ch.send(5);
+    EXPECT_FALSE(ch.recv_for(0.005).has_value());  // deadline < latency
+    EXPECT_EQ(ch.recv_for(5.0).value(), 5);
+}
+
+TEST(Channel, DropFaultDiscardsDeterministically) {
+    ChannelFaults faults;
+    faults.drop_prob = 0.5;
+    faults.seed = 0xFA17ULL;
+
+    auto surviving = [&] {
+        Channel<int> ch;
+        ch.inject_faults(faults);
+        std::vector<int> got;
+        for (int i = 0; i < 64; ++i) ch.send(i);
+        while (auto m = ch.try_recv()) got.push_back(*m);
+        EXPECT_EQ(got.size() + ch.dropped(), 64u);
+        return got;
+    };
+
+    const std::vector<int> a = surviving();
+    const std::vector<int> b = surviving();
+    EXPECT_EQ(a, b);  // same seed, same losses
+    EXPECT_FALSE(a.empty());
+    EXPECT_LT(a.size(), 64u);
+}
+
+TEST(Channel, StallFaultDelaysDelivery) {
+    Channel<int> ch;
+    ChannelFaults faults;
+    faults.stall_s = 0.04;
+    ch.inject_faults(faults);
+    ch.send(11);
+    EXPECT_FALSE(ch.try_recv().has_value());  // still in flight
+    Timer t;
+    EXPECT_EQ(ch.recv().value(), 11);
+    EXPECT_GE(t.seconds(), 0.025);
+}
+
+TEST(Channel, FaultsCanBeDisarmed) {
+    Channel<int> ch;
+    ChannelFaults faults;
+    faults.drop_prob = 1.0;
+    ch.inject_faults(faults);
+    ch.send(1);
+    EXPECT_EQ(ch.dropped(), 1u);
+    ch.inject_faults(ChannelFaults{});
+    ch.send(2);
+    EXPECT_EQ(ch.try_recv().value(), 2);
+    EXPECT_EQ(ch.dropped(), 1u);
+}
+
+TEST(Channel, RejectsInvalidFaultPlans) {
+    Channel<int> ch;
+    ChannelFaults negative_drop;
+    negative_drop.drop_prob = -0.1;
+    EXPECT_THROW(ch.inject_faults(negative_drop), swh::ContractError);
+    ChannelFaults excess_drop;
+    excess_drop.drop_prob = 1.5;
+    EXPECT_THROW(ch.inject_faults(excess_drop), swh::ContractError);
+    ChannelFaults negative_stall;
+    negative_stall.stall_s = -1.0;
+    EXPECT_THROW(ch.inject_faults(negative_stall), swh::ContractError);
+}
+
 TEST(Channel, ObserverSeesQueueDepths) {
     struct Recorder final : public ChannelObserver {
         std::vector<std::size_t> sends;
