@@ -1,14 +1,25 @@
-// Whole-database scan throughput: adaptive inter-sequence scan
-// (lane-interleaved cohorts + per-cohort kernel dispatch) vs the packed
-// two-pass striped pipeline (the previous hot path, kept as the
-// baseline). Both run through db::PackedDatabase + align::DatabaseScanner;
-// the only difference is whether the lane-interleaved cohort layout is
-// attached. Emits machine-readable BENCH_scan.json for the perf
-// trajectory alongside a human table; kernel dispatch counts are routed
-// through obs::MetricsRegistry and included in the JSON.
+// Whole-database scan throughput across the three-stage funnel: the
+// packed two-pass striped pipeline (the PR 1 baseline), the adaptive
+// inter-sequence exhaustive scan (the previous hot path, now the
+// funnel's exact stage), and the full funnel with the ungapped
+// gap-slack prefilter armed. All run through db::PackedDatabase +
+// align::DatabaseScanner on the deterministic sample workload
+// (db::make_scan_sample): a random background plus one planted homolog
+// family per query length, with each query a light mutant of its
+// family's anchor — the realistic shape of a top-k homology search,
+// where the k-th best score sits far above the random background and
+// the funnel's dynamic threshold has something to feed on. The
+// exhaustive baselines are timed on the same database in the same run,
+// so the comparison stays honest. The funnel's top-k is verified
+// bit-identical
+// to the exhaustive scan's before anything is timed — a mismatch is a
+// fatal error. Emits machine-readable BENCH_scan.json for the perf
+// trajectory alongside a human table; kernel dispatch and filter
+// counts are routed through obs::MetricsRegistry and included in the
+// JSON.
 //
 // Usage: bench_scan [--reps N] [--db-seqs N] [--qlens L,L,...]
-//                   [--json PATH | --out PATH]
+//                   [--topk K] [--json PATH | --out PATH]
 
 #include <algorithm>
 #include <cmath>
@@ -20,8 +31,11 @@
 
 #include "align/db_scan.hpp"
 #include "align/striped.hpp"
+#include "align/ungapped.hpp"
 #include "db/database.hpp"
 #include "db/packed.hpp"
+#include "db/presets.hpp"
+#include "engines/topk.hpp"
 #include "obs/metrics.hpp"
 #include "simd/simd.hpp"
 #include "util/args.hpp"
@@ -35,10 +49,10 @@ namespace {
 
 constexpr align::GapPenalty kGap{10, 2};
 
-/// Single-worker scan through the two-pass pipeline. With `cohorts`
-/// empty this is exactly the PR 1 packed baseline; with the
-/// lane-interleaved view attached, pass 1 dispatches per cohort
-/// between the inter-sequence and striped kernels.
+/// Single-worker exhaustive scan through the two-pass pipeline. With
+/// `cohorts` empty this is exactly the PR 1 packed baseline; with the
+/// lane-interleaved view attached, the exact stage dispatches per
+/// cohort between the inter-sequence and striped kernels.
 align::Score run_scan(const align::StripedAligner& aligner,
                       const db::PackedDatabase& packed,
                       align::ScanScratch& scratch,
@@ -57,23 +71,92 @@ align::Score run_scan(const align::StripedAligner& aligner,
     return best;
 }
 
+/// Single-worker top-k scan; with `prefilter` the threshold feed is
+/// wired to the collector's running k-th best, i.e. the full funnel.
+struct TopKOutcome {
+    std::vector<core::Hit> hits;
+    align::DatabaseScanner::DispatchStats dispatch;
+    align::DatabaseScanner::FilterStats filter;
+};
+
+TopKOutcome run_topk(const align::StripedAligner& aligner,
+                     const db::PackedDatabase& packed,
+                     align::ScanScratch& scratch,
+                     align::InterleavedCohorts cohorts, std::size_t k,
+                     bool prefilter) {
+    std::atomic<align::Score> tau{engines::TopK::kNoThreshold};
+    align::DatabaseScanner scanner(aligner, packed.view(),
+                                   align::DatabaseScanner::kDefaultChunk,
+                                   cohorts, prefilter ? &tau : nullptr);
+    engines::TopK collector(k);
+    scanner.run_worker(
+        scratch,
+        [&](std::uint32_t idx, std::uint32_t, align::Score s) {
+            collector.add(idx, s);
+            tau.store(collector.kth_score(), std::memory_order_relaxed);
+            return true;
+        },
+        [](std::uint32_t, std::uint32_t) { return true; });
+    TopKOutcome out;
+    out.hits = collector.take();
+    out.dispatch = scanner.dispatch_stats();
+    out.filter = scanner.filter_stats();
+    return out;
+}
+
+/// Stage-1 alone: the ungapped gap-slack sweep over every cohort, for
+/// the prefilter's standalone GCUPS.
+align::Score run_filter_only(const align::StripedAligner& aligner,
+                             align::ScanScratch& scratch,
+                             align::InterleavedCohorts cohorts) {
+    std::uint8_t lane_best[64];
+    align::Score acc = 0;
+    const std::size_t qlen = aligner.interseq()->query_len;
+    const std::size_t tiles =
+        (qlen + align::DatabaseScanner::kFilterChunkRows - 1) /
+        align::DatabaseScanner::kFilterChunkRows;
+    const std::size_t rows = tiles == 0 ? 1 : (qlen + tiles - 1) / tiles;
+    for (std::size_t c = 0; c < cohorts.count; ++c) {
+        const align::CohortDesc& d = cohorts.cohorts[c];
+        // Same row tiling as DatabaseScanner::filter_cohort, so this
+        // measures the funnel's actual stage-1 cost.
+        for (std::size_t r0 = 0; r0 < qlen; r0 += rows) {
+            sw_ungapped_interseq_u8(*aligner.interseq(),
+                                    cohorts.arena + d.offset, d.columns,
+                                    aligner.gap(), aligner.isa(), scratch,
+                                    lane_best, r0, r0 + rows);
+            for (std::uint32_t l = 0; l < d.lanes_used; ++l) {
+                acc = std::max<align::Score>(acc, lane_best[l]);
+            }
+        }
+    }
+    return acc;
+}
+
 struct Row {
     std::size_t qlen = 0;
     double packed_gcups = 0.0;
     double interseq_gcups = 0.0;
     double speedup = 0.0;
+    double filter_gcups = 0.0;
+    double filter_selectivity = 1.0;
+    double exact_gcups = 0.0;
+    double funnel_gcups = 0.0;
+    double funnel_speedup = 0.0;
     align::DatabaseScanner::DispatchStats dispatch;
+    align::DatabaseScanner::FilterStats filter;
 };
 
 }  // namespace
 
 int main(int argc, char** argv) {
     ArgParser args("bench_scan",
-                   "adaptive inter-sequence scan vs packed striped scan GCUPS");
+                   "three-stage funnel scan vs exhaustive scan GCUPS");
     args.add_option("reps", "timing repetitions (best-of)", "5");
     args.add_option("db-seqs", "synthetic database sequence count", "1500");
     args.add_option("qlens", "comma-separated query lengths",
                     "50,100,150,200,500,2000");
+    args.add_option("topk", "hits kept per query (funnel threshold k)", "10");
     args.add_option("json", "output JSON path", "");
     args.add_option("out", "output JSON path (alias of --json)",
                     "BENCH_scan.json");
@@ -81,6 +164,7 @@ int main(int argc, char** argv) {
     const int reps = static_cast<int>(args.get_int("reps"));
     const std::size_t db_seqs =
         static_cast<std::size_t>(args.get_int("db-seqs"));
+    const std::size_t top_k = static_cast<std::size_t>(args.get_int("topk"));
     std::vector<std::size_t> qlens;
     for (const std::string& tok : split(args.get("qlens"), ',')) {
         if (tok.empty() ||
@@ -101,6 +185,10 @@ int main(int argc, char** argv) {
         std::cerr << "error: --qlens must name at least one length\n";
         return 1;
     }
+    if (top_k == 0) {
+        std::cerr << "error: --topk must be positive\n";
+        return 1;
+    }
     const std::string out_path =
         args.get("json").empty() ? args.get("out") : args.get("json");
 
@@ -108,11 +196,8 @@ int main(int argc, char** argv) {
     const simd::IsaLevel isa = simd::best_supported();
     const int lanes = align::lanes_u8(isa);
 
-    db::DatabaseSpec spec;
-    spec.name = "bench-scan";
-    spec.num_sequences = db_seqs;
-    spec.seed = 404;
-    const db::Database database = db::Database::generate(spec);
+    const db::ScanSample sample = db::make_scan_sample(db_seqs, qlens);
+    const db::Database& database = sample.database;
     const db::PackedDatabase& packed = database.packed();
     const align::InterleavedCohorts cohorts =
         packed.interleaved(lanes).view();
@@ -120,23 +205,28 @@ int main(int argc, char** argv) {
 
     std::cout << "bench_scan: isa=" << simd::to_string(isa)
               << " lanes=" << lanes << " db_seqs=" << database.size()
-              << " db_residues=" << db_residues << " reps=" << reps << "\n\n";
-    std::cout << "qlen   packed GCUPS   interseq GCUPS   speedup   "
-                 "interseq/striped subjects\n";
+              << " db_residues=" << db_residues << " reps=" << reps
+              << " topk=" << top_k << "\n\n";
+    std::cout << "qlen   packed   exact    funnel GCUPS   selectivity   "
+                 "funnel speedup\n";
 
     obs::MetricsRegistry metrics;
     std::vector<Row> rows;
-    for (const std::size_t qlen : qlens) {
-        Rng rng(405 + qlen);
-        const align::Sequence q = db::random_protein(rng, qlen, "query");
+    for (std::size_t qi = 0; qi < qlens.size(); ++qi) {
+        const std::size_t qlen = qlens[qi];
+        // The sample's query for this config: a light mutant of the
+        // planted family anchor of this length (its actual size can
+        // differ from the nominal length by a few indels).
+        const align::Sequence& q = sample.queries[qi];
         const align::StripedAligner aligner(q.residues, matrix, kGap, isa);
-        const double cells =
-            static_cast<double>(qlen) * static_cast<double>(db_residues);
+        const double cells = static_cast<double>(q.residues.size()) *
+                             static_cast<double>(db_residues);
 
         align::ScanScratch scratch;
-        // Warm-up both paths (page in the db, grow the scratch) and
-        // check equivalence: both pipelines must settle identical best
-        // scores for every query.
+        // Warm-up all paths (page in the db, grow the scratch) and check
+        // equivalence: the packed and interseq exhaustive pipelines must
+        // settle identical best scores, and the funnel's top-k must be
+        // bit-identical to the exhaustive scan's.
         const align::Score packed_best =
             run_scan(aligner, packed, scratch, {});
         Row row;
@@ -148,9 +238,35 @@ int main(int argc, char** argv) {
                       << " interseq=" << interseq_best << ")\n";
             return 1;
         }
+        const TopKOutcome exhaustive = run_topk(aligner, packed, scratch,
+                                                cohorts, top_k,
+                                                /*prefilter=*/false);
+        const TopKOutcome funnel = run_topk(aligner, packed, scratch, cohorts,
+                                            top_k, /*prefilter=*/true);
+        if (exhaustive.hits.size() != funnel.hits.size()) {
+            std::cerr << "FATAL: funnel top-k size mismatch\n";
+            return 1;
+        }
+        for (std::size_t i = 0; i < funnel.hits.size(); ++i) {
+            if (funnel.hits[i].db_index != exhaustive.hits[i].db_index ||
+                funnel.hits[i].score != exhaustive.hits[i].score) {
+                std::cerr << "FATAL: funnel top-k diverges at rank " << i
+                          << " (qlen=" << qlen << ")\n";
+                return 1;
+            }
+        }
+        row.filter = funnel.filter;
+        row.filter_selectivity =
+            database.size() == 0
+                ? 1.0
+                : static_cast<double>(database.size() -
+                                      funnel.filter.subjects_pruned) /
+                      static_cast<double>(database.size());
 
         double packed_best_s = 1e30;
         double interseq_best_s = 1e30;
+        double funnel_best_s = 1e30;
+        double filter_best_s = 1e30;
         for (int r = 0; r < reps; ++r) {
             Timer t;
             run_scan(aligner, packed, scratch, {});
@@ -158,11 +274,27 @@ int main(int argc, char** argv) {
             t.reset();
             run_scan(aligner, packed, scratch, cohorts);
             interseq_best_s = std::min(interseq_best_s, t.seconds());
+            t.reset();
+            run_topk(aligner, packed, scratch, cohorts, top_k,
+                     /*prefilter=*/true);
+            funnel_best_s = std::min(funnel_best_s, t.seconds());
+            t.reset();
+            run_filter_only(aligner, scratch, cohorts);
+            filter_best_s = std::min(filter_best_s, t.seconds());
         }
 
         row.packed_gcups = cells / packed_best_s / 1e9;
         row.interseq_gcups = cells / interseq_best_s / 1e9;
         row.speedup = row.interseq_gcups / row.packed_gcups;
+        // Per-stage throughput: the prefilter sweep alone, and the
+        // exact stage alone (the exhaustive interseq scan — what the
+        // funnel's survivors run through). The funnel numbers are
+        // end-to-end: the same semantic work (all cells adjudicated)
+        // over prefilter + surviving exact time.
+        row.filter_gcups = cells / filter_best_s / 1e9;
+        row.exact_gcups = row.interseq_gcups;
+        row.funnel_gcups = cells / funnel_best_s / 1e9;
+        row.funnel_speedup = row.funnel_gcups / row.exact_gcups;
         rows.push_back(row);
         metrics.counter("scan.cohorts_interseq")
             .add(row.dispatch.cohorts_interseq);
@@ -172,24 +304,37 @@ int main(int argc, char** argv) {
             .add(row.dispatch.subjects_interseq);
         metrics.counter("scan.subjects_striped")
             .add(row.dispatch.subjects_striped);
+        metrics.counter("scan.filter.cohorts")
+            .add(row.filter.cohorts_filtered);
+        metrics.counter("scan.filter.rebounds16").add(row.filter.rebounds16);
+        metrics.counter("scan.filter.pruned")
+            .add(row.filter.subjects_pruned);
         std::cout << format_double(static_cast<double>(qlen), 0) << "    "
-                  << format_double(row.packed_gcups, 3) << "          "
-                  << format_double(row.interseq_gcups, 3) << "            "
-                  << format_double(row.speedup, 3) << "     "
-                  << row.dispatch.subjects_interseq << "/"
-                  << row.dispatch.subjects_striped << "\n";
+                  << format_double(row.packed_gcups, 3) << "    "
+                  << format_double(row.exact_gcups, 3) << "    "
+                  << format_double(row.funnel_gcups, 3) << "          "
+                  << format_double(row.filter_selectivity, 3) << "         "
+                  << format_double(row.funnel_speedup, 3) << "\n";
     }
 
     double best_speedup = 0.0;
     double geomean = 1.0;
     double geomean_short = 1.0;
     std::size_t n_short = 0;
+    double funnel_geomean = 1.0;
+    double funnel_geomean_short = 1.0;
+    std::size_t n_funnel_short = 0;
     for (const Row& r : rows) {
         best_speedup = std::max(best_speedup, r.speedup);
         geomean *= r.speedup;
+        funnel_geomean *= r.funnel_speedup;
         if (r.qlen <= 200) {
             geomean_short *= r.speedup;
             ++n_short;
+        }
+        if (r.qlen <= 500) {
+            funnel_geomean_short *= r.funnel_speedup;
+            ++n_funnel_short;
         }
     }
     geomean = rows.empty() ? 0.0
@@ -199,6 +344,15 @@ int main(int argc, char** argv) {
         n_short == 0
             ? 0.0
             : std::pow(geomean_short, 1.0 / static_cast<double>(n_short));
+    funnel_geomean =
+        rows.empty() ? 0.0
+                     : std::pow(funnel_geomean,
+                                1.0 / static_cast<double>(rows.size()));
+    funnel_geomean_short =
+        n_funnel_short == 0
+            ? 0.0
+            : std::pow(funnel_geomean_short,
+                       1.0 / static_cast<double>(n_funnel_short));
 
     std::ofstream out(out_path);
     out << "{\n"
@@ -208,6 +362,7 @@ int main(int argc, char** argv) {
         << "  \"db_sequences\": " << database.size() << ",\n"
         << "  \"db_residues\": " << db_residues << ",\n"
         << "  \"reps\": " << reps << ",\n"
+        << "  \"top_k\": " << top_k << ",\n"
         << "  \"configs\": [\n";
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const Row& r = rows[i];
@@ -215,6 +370,14 @@ int main(int argc, char** argv) {
             << ", \"packed_gcups\": " << format_double(r.packed_gcups, 4)
             << ", \"interseq_gcups\": " << format_double(r.interseq_gcups, 4)
             << ", \"speedup\": " << format_double(r.speedup, 4)
+            << ", \"filter_gcups\": " << format_double(r.filter_gcups, 4)
+            << ", \"filter_selectivity\": "
+            << format_double(r.filter_selectivity, 4)
+            << ", \"exact_gcups\": " << format_double(r.exact_gcups, 4)
+            << ", \"funnel_gcups\": " << format_double(r.funnel_gcups, 4)
+            << ", \"funnel_speedup\": " << format_double(r.funnel_speedup, 4)
+            << ", \"subjects_pruned\": " << r.filter.subjects_pruned
+            << ", \"filter_rebounds16\": " << r.filter.rebounds16
             << ", \"cohorts_interseq\": " << r.dispatch.cohorts_interseq
             << ", \"cohorts_striped\": " << r.dispatch.cohorts_striped
             << ", \"subjects_interseq\": " << r.dispatch.subjects_interseq
@@ -226,12 +389,19 @@ int main(int argc, char** argv) {
         << ",\n"
         << "  \"speedup_geomean\": " << format_double(geomean, 4) << ",\n"
         << "  \"speedup_best\": " << format_double(best_speedup, 4) << ",\n"
+        << "  \"funnel_speedup_geomean_short\": "
+        << format_double(funnel_geomean_short, 4) << ",\n"
+        << "  \"funnel_speedup_geomean\": "
+        << format_double(funnel_geomean, 4) << ",\n"
         << "  \"metrics\": " << metrics.snapshot().to_json() << "\n"
         << "}\n";
     std::cout << "\nspeedup geomean_short(qlen<=200)="
               << format_double(geomean_short, 3)
               << " geomean=" << format_double(geomean, 3)
-              << " best=" << format_double(best_speedup, 3) << " -> "
+              << " best=" << format_double(best_speedup, 3)
+              << "\nfunnel speedup geomean_short(qlen<=500)="
+              << format_double(funnel_geomean_short, 3)
+              << " geomean=" << format_double(funnel_geomean, 3) << " -> "
               << out_path << "\n";
     return 0;
 }

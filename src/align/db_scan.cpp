@@ -1,16 +1,20 @@
 #include "align/db_scan.hpp"
 
+#include <cstdlib>
+
 #include "util/error.hpp"
 
 namespace swh::align {
 
 DatabaseScanner::DatabaseScanner(const StripedAligner& aligner,
                                  PackedSubjects subjects, std::size_t chunk,
-                                 InterleavedCohorts cohorts)
+                                 InterleavedCohorts cohorts,
+                                 const std::atomic<Score>* threshold)
     : aligner_(&aligner),
       subjects_(subjects),
       chunk_(chunk),
-      cohorts_(cohorts) {
+      cohorts_(cohorts),
+      threshold_(threshold) {
     SWH_REQUIRE(chunk_ >= 1, "scan chunk must be at least 1");
     SWH_REQUIRE(subjects_.count == 0 || subjects_.arena != nullptr,
                 "packed view has subjects but no arena");
@@ -52,9 +56,55 @@ DatabaseScanner::DatabaseScanner(const StripedAligner& aligner,
                          ? 1
                          : 0;
     }
+
+    if (threshold_ == nullptr || cohorts_.count <= kPrimeCohorts) return;
+    // Threshold priming: scan the cohorts most likely to hold the top
+    // scorers first, so the dynamic threshold reaches a useful value
+    // before the bulk of the scan. Homologs of the query cluster near
+    // its length, so rank cohorts by |mean subject length - query
+    // length| and pull the best kPrimeCohorts to the front; both the
+    // primed prefix and the remainder stay in the layout's original
+    // (longest-first) relative order to keep claims deterministic.
+    const auto qlen = static_cast<std::int64_t>(aligner.query().size());
+    std::vector<std::uint32_t> ranked(cohorts_.count);
+    for (std::size_t c = 0; c < cohorts_.count; ++c) {
+        ranked[c] = static_cast<std::uint32_t>(c);
+    }
+    const auto dist = [&](std::uint32_t c) {
+        const CohortDesc& d = cohorts_.cohorts[c];
+        const auto mean = static_cast<std::int64_t>(
+            d.residues / std::max<std::uint32_t>(1, d.lanes_used));
+        return std::llabs(mean - qlen);
+    };
+    std::partial_sort(ranked.begin(), ranked.begin() + kPrimeCohorts,
+                      ranked.end(), [&](std::uint32_t a, std::uint32_t b) {
+                          const auto da = dist(a), db = dist(b);
+                          return da != db ? da < db : a < b;
+                      });
+    // Primed cohorts run best-match first — the sooner the likeliest
+    // cohort's exact scores land, the sooner the threshold bites.
+    std::vector<std::uint8_t> primed(cohorts_.count, 0);
+    prime_order_.reserve(cohorts_.count);
+    for (std::size_t p = 0; p < kPrimeCohorts; ++p) {
+        primed[ranked[p]] = 1;
+    }
+    prime_order_.assign(ranked.begin(), ranked.begin() + kPrimeCohorts);
+    for (std::uint32_t c = 0; c < cohorts_.count; ++c) {
+        if (!primed[c]) prime_order_.push_back(c);
+    }
 }
 
 void DatabaseScanner::credit_dispatch(const WorkerTallies& t) {
+    if (t.cohorts_filtered > 0) {
+        cohorts_filtered_.fetch_add(t.cohorts_filtered,
+                                    std::memory_order_relaxed);
+    }
+    if (t.rebounds16 > 0) {
+        rebounds16_.fetch_add(t.rebounds16, std::memory_order_relaxed);
+    }
+    if (t.pruned > 0) {
+        subjects_pruned_.fetch_add(t.pruned, std::memory_order_relaxed);
+    }
     if (t.cohorts_interseq > 0) {
         cohorts_interseq_.fetch_add(t.cohorts_interseq,
                                     std::memory_order_relaxed);
@@ -79,6 +129,12 @@ DatabaseScanner::DispatchStats DatabaseScanner::dispatch_stats() const {
         cohorts_striped_.load(std::memory_order_relaxed),
         subjects_interseq_.load(std::memory_order_relaxed),
         subjects_striped_.load(std::memory_order_relaxed)};
+}
+
+DatabaseScanner::FilterStats DatabaseScanner::filter_stats() const {
+    return FilterStats{cohorts_filtered_.load(std::memory_order_relaxed),
+                       rebounds16_.load(std::memory_order_relaxed),
+                       subjects_pruned_.load(std::memory_order_relaxed)};
 }
 
 }  // namespace swh::align

@@ -1,34 +1,47 @@
 #pragma once
 
-// Two-pass batched database scan over a packed subject arena.
+// Three-stage funnel scan over a packed subject arena.
 //
-// Pass 1 runs every subject through an 8-bit kernel and defers the
-// (rare) overflowed ones; pass 2 settles the deferred batch with the
-// i16 kernel / scalar int32 fallback. Compared with the seed's inline
-// 8 -> 16 -> 32 escalation per subject, this keeps the u8 profile and
-// scratch hot in cache during the bulk of the scan and touches the wide
-// profile only once, at the end of a worker's claim.
+// Stage 1 (optional, cohort mode only): an allocation-free ungapped
+// inter-sequence prefilter (align/ungapped.hpp) sweeps each cohort and
+// turns the per-lane ungapped maxima into provable upper bounds on the
+// gapped scores via the per-query gap-slack bound. Lanes whose bound
+// falls strictly below the caller-published pruning threshold — fed
+// back from the running k-th best exact score — are skipped entirely;
+// anything unprovable (u8 saturation the 16-bit re-bound cannot clear)
+// is rescored, so the surviving top-k is bit-identical to an exhaustive
+// scan. See DESIGN.md "Prefilter funnel" for the soundness argument.
+//
+// Stage 2 runs every survivor through an 8-bit exact kernel and defers
+// the (rare) overflowed ones; stage 3 settles the deferred batch with
+// the i16 kernel / scalar int32 fallback. Compared with the seed's
+// inline 8 -> 16 -> 32 escalation per subject, this keeps the u8
+// profile and scratch hot in cache during the bulk of the scan and
+// touches the wide profile only once, at the end of a worker's claim.
 //
 // When the caller also provides a lane-interleaved cohort layout (see
-// db::PackedDatabase::interleaved and align/interseq.hpp), pass 1
+// db::PackedDatabase::interleaved and align/interseq.hpp), stage 2
 // dispatches adaptively per cohort: well-filled cohorts are scored W
 // subjects at a time by the inter-sequence u8 kernel (near-constant
 // GCUPS regardless of query length), while sparse cohorts — the
 // divergent long-subject head and the partial tail — fall back to the
 // striped kernel per subject. Overflowed lanes feed the same deferred
 // escalation either way, so the emit contract (exactly one settled
-// score per subject, original db_index) is unchanged.
+// score per non-pruned subject, original db_index) is unchanged.
 //
 // The scanner consumes non-owning views so swh_align stays independent
 // of swh_db (which produces the views, see db::PackedDatabase).
 
+#include <algorithm>
 #include <atomic>
+#include <bit>
 #include <cstdint>
 #include <span>
 #include <vector>
 
 #include "align/interseq.hpp"
 #include "align/striped.hpp"
+#include "align/ungapped.hpp"
 #include "util/check.hpp"
 
 namespace swh::align {
@@ -75,31 +88,79 @@ public:
     /// those subjects one at a time.
     static constexpr std::uint64_t kInterseqMinFillPct = 75;
 
+    /// Partial-survivor cutover: an interseq-choice cohort whose
+    /// surviving lane count falls to 1/kFunnelStripedCutover of its used
+    /// lanes (or below) is exact-scored per survivor by the striped
+    /// kernel instead — the inter-sequence kernel's cost is fixed per
+    /// cohort, so mostly-pruned cohorts would waste it on dead lanes.
+    static constexpr std::uint32_t kFunnelStripedCutover = 4;
+
+    /// Minimum u8-saturated lane count before the 16-bit re-bound sweep
+    /// pays for itself: the sweep costs about two u8 sweeps for the
+    /// whole cohort, so when only a few lanes saturated it is cheaper
+    /// to pass them straight to the exact stage (which escalates them
+    /// anyway if they are genuinely large).
+    static constexpr int kRebound16MinLanes = 8;
+
+    /// Query rows per prefilter tile. Long queries are bounded tile by
+    /// tile and the per-lane tile bounds summed (sound — see
+    /// align/ungapped.hpp): each tile's two DP rows stay L1-resident
+    /// where a monolithic sweep of a 500+ residue query spills, and a
+    /// tile's maximum rarely saturates the 8-bit kernel, so the wide
+    /// re-bound sweep stays rare even for long subjects.
+    static constexpr std::size_t kFilterChunkRows = 256;
+
+    /// Cohorts scanned first when the prefilter is armed: the ones
+    /// whose subject lengths sit closest to the query's, where true
+    /// homologs — the scores that drive the pruning threshold up — are
+    /// most likely to live. Priming turns the dynamic threshold from a
+    /// slow ramp into a near-final value for the bulk of the scan; any
+    /// scan order yields the same top-k (see run_worker).
+    static constexpr std::size_t kPrimeCohorts = 4;
+
     /// Validates once that every packed residue fits the aligner's
     /// profile alphabet (throws ContractError otherwise) — the per-
     /// subject kernel calls then run with the check compiled out. If
     /// `cohorts` is non-empty, the aligner must have an inter-sequence
     /// profile and the cohort width must match its u8 lane count; the
     /// per-cohort kernel choice is precomputed here.
+    ///
+    /// `threshold`, when non-null, arms the stage-1 prefilter (cohort
+    /// mode only; inert otherwise): each cohort loads the current value
+    /// — the caller keeps it at the running k-th best exact score, or
+    /// any value <= 0 / engines::TopK::kNoThreshold while fewer than k
+    /// hits exist — and prunes lanes whose gap-slack score bound falls
+    /// strictly below it. The atomic must only ever increase and must
+    /// outlive the scanner; monotonicity is what makes a stale read
+    /// safe (a lower threshold only prunes less).
     DatabaseScanner(const StripedAligner& aligner, PackedSubjects subjects,
                     std::size_t chunk = kDefaultChunk,
-                    InterleavedCohorts cohorts = {});
+                    InterleavedCohorts cohorts = {},
+                    const std::atomic<Score>* threshold = nullptr);
 
     /// Claims work until the database is exhausted or `emit` asks to
     /// stop. `emit(db_index, length, score) -> bool` is called exactly
-    /// once per settled subject — in scan order for pass-1 subjects,
-    /// then for this worker's deferred overflow batch; `db_index` is
-    /// always the ORIGINAL database index regardless of scan order.
-    /// Once an emit call returns false the worker settles no further
-    /// subjects (the deferred batch included). Returns false iff an
-    /// emit call returned false (scan cancelled).
-    template <class EmitFn>
-    bool run_worker(ScanScratch& scratch, EmitFn&& emit) {
+    /// once per settled subject — in scan order for stage-2 subjects,
+    /// then for this worker's deferred overflow batch (drained after
+    /// every claim when the prefilter is armed: the deferred lanes are
+    /// the likely top scorers, and settling them early is what feeds
+    /// the pruning threshold while the scan is still young); `db_index`
+    /// is always the ORIGINAL database index regardless of scan order.
+    /// `pruned(db_index, length) -> bool` is called exactly once per
+    /// subject the prefilter proved out of the top-k (never called when
+    /// the prefilter is unarmed). Once either callback returns false
+    /// the worker settles no further subjects (the deferred batch
+    /// included). Returns false iff a callback returned false (scan
+    /// cancelled).
+    template <class EmitFn, class PrunedFn>
+    bool run_worker(ScanScratch& scratch, EmitFn&& emit, PrunedFn&& pruned) {
         WorkerTallies t;
         std::vector<std::uint32_t> overflow;
-        bool keep = cohort_mode_ ? claim_cohorts(scratch, emit, overflow, t)
-                                 : claim_subjects(scratch, emit, overflow, t);
-        // Pass 2: settle the deferred overflow batch with wide kernels.
+        bool keep = cohort_mode_
+                        ? claim_cohorts(scratch, emit, pruned, overflow, t)
+                        : claim_subjects(scratch, emit, overflow, t);
+        // Final stage: settle the deferred overflow batch with wide
+        // kernels.
         std::size_t deferred_settled = 0;
         for (const std::uint32_t idx : overflow) {
             if (!keep) break;
@@ -108,17 +169,29 @@ public:
             keep = emit(idx, subjects_.lengths[idx], s);
             ++deferred_settled;
         }
-        // Emit contract: unless an emit cancelled the scan, every subject
-        // this worker claimed settles exactly once — in pass 1 for the
-        // in-range scores (settled8), in pass 2 for the deferred rest.
+        // Emit contract: unless a callback cancelled the scan, every
+        // subject this worker claimed either settles exactly once — in
+        // stage 2 for the in-range scores (settled8), in a wide rescore
+        // (per-claim drain or the final batch) for the deferred rest —
+        // or is reported pruned exactly once.
         SWH_DCHECK(!keep || deferred_settled == overflow.size(),
                    "deferred overflow batch must settle completely");
-        SWH_DCHECK(!keep || t.settled8 + deferred_settled ==
-                                t.subjects_interseq + t.subjects_striped,
+        SWH_DCHECK(!keep ||
+                       t.settled8 + t.settled_wide + deferred_settled ==
+                           t.subjects_interseq + t.subjects_striped,
                    "emit contract: one settled score per claimed subject");
         aligner_->credit_runs8(t.settled8);
         credit_dispatch(t);
         return keep;
+    }
+
+    /// Exhaustive-caller convenience: no pruning observer. With the
+    /// prefilter armed the pruned subjects are still skipped — they are
+    /// just not reported.
+    template <class EmitFn>
+    bool run_worker(ScanScratch& scratch, EmitFn&& emit) {
+        return run_worker(scratch, emit,
+                          [](std::uint32_t, std::uint32_t) { return true; });
     }
 
     /// Rewinds the shared cursor for another scan of the same subjects.
@@ -129,9 +202,18 @@ public:
     const StripedAligner& aligner() const { return *aligner_; }
     bool cohort_mode() const { return cohort_mode_; }
 
-    /// Pass-1 kernel selection counters (cumulative across workers and
-    /// resets). Subjects deferred to pass 2 are counted under the
-    /// kernel that deferred them.
+    /// True when the stage-1 prefilter can run: a threshold feed is
+    /// attached and the scan is in cohort mode (the ungapped kernels
+    /// share the cohort geometry). Whether it actually prunes depends
+    /// on the threshold value at each cohort.
+    bool prefilter_armed() const {
+        return threshold_ != nullptr && cohort_mode_;
+    }
+
+    /// Exact-stage kernel selection counters (cumulative across workers
+    /// and resets). Subjects deferred to the wide rescore are counted
+    /// under the kernel that deferred them; pruned subjects appear in
+    /// neither (see filter_stats).
     struct DispatchStats {
         std::uint64_t cohorts_interseq = 0;
         std::uint64_t cohorts_striped = 0;
@@ -140,13 +222,29 @@ public:
     };
     DispatchStats dispatch_stats() const;
 
+    /// Stage-1 prefilter counters (cumulative across workers and
+    /// resets). `cohorts_filtered` counts ungapped u8 sweeps actually
+    /// run (threshold was live); `rebounds16` the cohorts whose
+    /// u8-saturated lanes were re-bounded at 16 bits; `subjects_pruned`
+    /// the lanes proven out of the top-k and skipped.
+    struct FilterStats {
+        std::uint64_t cohorts_filtered = 0;
+        std::uint64_t rebounds16 = 0;
+        std::uint64_t subjects_pruned = 0;
+    };
+    FilterStats filter_stats() const;
+
 private:
     struct WorkerTallies {
         std::uint64_t settled8 = 0;
+        std::uint64_t settled_wide = 0;
         std::uint64_t cohorts_interseq = 0;
         std::uint64_t cohorts_striped = 0;
         std::uint64_t subjects_interseq = 0;
         std::uint64_t subjects_striped = 0;
+        std::uint64_t cohorts_filtered = 0;
+        std::uint64_t rebounds16 = 0;
+        std::uint64_t pruned = 0;
     };
 
     std::uint32_t slot_index(std::size_t slot) const {
@@ -174,9 +272,83 @@ private:
         return keep;
     }
 
-    /// Cohort claim unit: whole width-W cohorts, kernel per choice_.
-    template <class EmitFn>
-    bool claim_cohorts(ScanScratch& scratch, EmitFn&& emit,
+    /// Stage-1 prefilter over one cohort: returns the survivor lane
+    /// mask (within `used`). Conservative by construction — a lane is
+    /// cleared only when its gap-slack chain bound (align/ungapped.hpp)
+    /// provably falls strictly below `tau`; u8-saturated lanes are
+    /// re-bounded at 16 bits, and i16-saturated lanes always survive.
+    std::uint64_t filter_cohort(const CohortDesc& d, std::uint64_t used,
+                                Score tau, ScanScratch& scratch,
+                                WorkerTallies& t) {
+        ++t.cohorts_filtered;
+        std::uint8_t bound8[64];
+        const Code* cols = cohorts_.arena + d.offset;
+        const std::size_t qlen = aligner_->interseq()->query_len;
+        std::uint64_t sat;
+        std::uint64_t survive;
+        if (qlen <= kFilterChunkRows) {
+            sat = sw_ungapped_interseq_u8(*aligner_->interseq(), cols,
+                                          d.columns, aligner_->gap(),
+                                          aligner_->isa(), scratch, bound8);
+            // Non-saturated lanes hold exact chain bounds strictly
+            // below 255 - bias <= 255, so clamping the floor to 255
+            // prunes them correctly even when tau exceeds the u8 range.
+            const std::uint8_t floor8 =
+                static_cast<std::uint8_t>(std::min<Score>(tau, 255));
+            survive =
+                (lanes_at_least(bound8, floor8, aligner_->isa()) | sat) &
+                used;
+        } else {
+            // Long query: bound kFilterChunkRows-row tiles separately
+            // and sum per lane (align/ungapped.hpp) — each tile's DP
+            // state stays L1-resident and its bound in u8 range.
+            const std::size_t tiles =
+                (qlen + kFilterChunkRows - 1) / kFilterChunkRows;
+            const std::size_t rows = (qlen + tiles - 1) / tiles;
+            Score acc[64] = {};
+            sat = 0;
+            for (std::size_t r0 = 0; r0 < qlen; r0 += rows) {
+                sat |= sw_ungapped_interseq_u8(
+                    *aligner_->interseq(), cols, d.columns, aligner_->gap(),
+                    aligner_->isa(), scratch, bound8, r0, r0 + rows);
+                for (std::uint32_t l = 0; l < d.lanes_used; ++l) {
+                    acc[l] += static_cast<Score>(bound8[l]);
+                }
+            }
+            survive = sat & used;
+            for (std::uint32_t l = 0; l < d.lanes_used; ++l) {
+                if (acc[l] >= tau) survive |= std::uint64_t{1} << l;
+            }
+            survive &= used;
+        }
+        if (std::popcount(sat & used) >= kRebound16MinLanes) {
+            // Saturated lanes carry no trusted u8 bound; one 16-bit
+            // sweep re-bounds the whole cohort so they can still prune.
+            // Below the lane floor the sweep costs more than letting
+            // the stragglers through to the exact stage.
+            ++t.rebounds16;
+            std::int16_t bound16[64];
+            const std::uint64_t sat16 = sw_ungapped_interseq_i16(
+                *aligner_->interseq(), cols, d.columns, aligner_->gap(),
+                aligner_->isa(), scratch, bound16);
+            for (std::uint32_t l = 0; l < d.lanes_used; ++l) {
+                const std::uint64_t bit = std::uint64_t{1} << l;
+                if ((sat & bit) == 0) continue;
+                if ((sat16 & bit) == 0 &&
+                    static_cast<Score>(bound16[l]) < tau) {
+                    survive &= ~bit;
+                }
+            }
+        }
+        return survive;
+    }
+
+    /// Cohort claim unit: whole width-W cohorts. Stage 1 prunes lanes
+    /// when the threshold feed is live, stage 2 exact-scores the
+    /// survivors with the kernel from choice_ (cutting over to striped
+    /// when few lanes survive an interseq-choice cohort).
+    template <class EmitFn, class PrunedFn>
+    bool claim_cohorts(ScanScratch& scratch, EmitFn&& emit, PrunedFn&& pruned,
                        std::vector<std::uint32_t>& overflow,
                        WorkerTallies& t) {
         bool keep = true;
@@ -189,15 +361,49 @@ private:
                 next_.fetch_add(claim, std::memory_order_relaxed);
             if (begin >= n) break;
             const std::size_t end = std::min(begin + claim, n);
-            for (std::size_t c = begin; c < end && keep; ++c) {
+            for (std::size_t slot = begin; slot < end && keep; ++slot) {
+                const std::size_t c =
+                    prime_order_.empty() ? slot : prime_order_[slot];
                 const CohortDesc& d = cohorts_.cohorts[c];
-                if (choice_[c]) {
+                const std::uint64_t used =
+                    d.lanes_used >= 64
+                        ? ~std::uint64_t{0}
+                        : (std::uint64_t{1} << d.lanes_used) - 1;
+                std::uint64_t survive = used;
+                if (threshold_ != nullptr) {
+                    // Re-read per cohort: the threshold rises as exact
+                    // hits accumulate, so late cohorts prune harder.
+                    // tau <= 0 (including TopK::kNoThreshold) cannot
+                    // prune — chain bounds are non-negative.
+                    const Score tau =
+                        threshold_->load(std::memory_order_relaxed);
+                    if (tau > 0) {
+                        survive = filter_cohort(d, used, tau, scratch, t);
+                    }
+                }
+                if (survive != used) {
+                    for (std::uint32_t l = 0; l < d.lanes_used && keep;
+                         ++l) {
+                        if ((survive >> l) & 1) continue;
+                        const std::uint32_t idx =
+                            slot_index(d.first_slot + l);
+                        ++t.pruned;
+                        keep = pruned(idx, subjects_.lengths[idx]);
+                    }
+                    if (!keep) break;
+                    if (survive == 0) continue;
+                }
+                const auto nsurv = static_cast<std::uint32_t>(
+                    std::popcount(survive));
+                if (choice_[c] &&
+                    nsurv * kFunnelStripedCutover > d.lanes_used) {
                     ++t.cohorts_interseq;
                     const std::uint64_t ovf = sw_interseq_u8(
                         *aligner_->interseq(), cohorts_.arena + d.offset,
                         d.columns, aligner_->gap(), aligner_->isa(), scratch,
                         lane_best);
                     for (std::uint32_t l = 0; l < d.lanes_used && keep; ++l) {
+                        if (((survive >> l) & 1) == 0) continue;
                         const std::uint32_t idx =
                             slot_index(d.first_slot + l);
                         if ((ovf >> l) & 1) {
@@ -213,10 +419,27 @@ private:
                 } else {
                     ++t.cohorts_striped;
                     for (std::uint32_t l = 0; l < d.lanes_used && keep; ++l) {
+                        if (((survive >> l) & 1) == 0) continue;
                         keep = score_striped(slot_index(d.first_slot + l),
                                              scratch, emit, overflow, t);
                     }
                 }
+            }
+            // With the prefilter armed, settle this claim's deferred
+            // lanes now instead of at end of run: the u8-overflowed
+            // lanes ARE the likely top scorers, and the threshold can
+            // only rise once their exact scores reach the caller. An
+            // exhaustive scan keeps the single end-of-run batch (one
+            // cold touch of the wide profile).
+            if (threshold_ != nullptr && !overflow.empty()) {
+                for (std::size_t o = 0; o < overflow.size() && keep; ++o) {
+                    const std::uint32_t idx = overflow[o];
+                    const Score s = aligner_->rescore_wide(
+                        subjects_.subject(idx), scratch, /*trusted=*/true);
+                    ++t.settled_wide;
+                    keep = emit(idx, subjects_.lengths[idx], s);
+                }
+                overflow.clear();
             }
         }
         return keep;
@@ -245,12 +468,23 @@ private:
     std::size_t chunk_;
     InterleavedCohorts cohorts_;
     bool cohort_mode_ = false;
+    /// Pruning threshold feed (null = prefilter unarmed). Owned by the
+    /// caller; its value must only ever increase.
+    const std::atomic<Score>* threshold_ = nullptr;
     /// Per-cohort kernel choice (1 = inter-sequence, 0 = striped),
     /// precomputed at construction from query length and cohort fill.
     std::vector<std::uint8_t> choice_;
+    /// Claim-slot -> cohort-index permutation, built only when the
+    /// prefilter is armed: the kPrimeCohorts cohorts whose mean subject
+    /// length is closest to the query's come first (threshold priming),
+    /// the rest keep the layout's longest-first order. Empty = identity
+    /// (exhaustive scans are untouched).
+    std::vector<std::uint32_t> prime_order_;
     std::atomic<std::size_t> next_{0};
     std::atomic<std::uint64_t> cohorts_interseq_{0}, cohorts_striped_{0};
     std::atomic<std::uint64_t> subjects_interseq_{0}, subjects_striped_{0};
+    std::atomic<std::uint64_t> cohorts_filtered_{0}, rebounds16_{0};
+    std::atomic<std::uint64_t> subjects_pruned_{0};
 };
 
 }  // namespace swh::align

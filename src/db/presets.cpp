@@ -52,6 +52,61 @@ const DatabasePreset& preset_by_name(const std::string& name) {
     throw ContractError("unknown database preset: " + name);
 }
 
+ScanSample make_scan_sample(std::size_t num_sequences,
+                            const std::vector<std::size_t>& query_lengths,
+                            std::size_t family_size, std::uint64_t seed) {
+    SWH_REQUIRE(!query_lengths.empty(),
+                "scan sample needs at least one query length");
+    SWH_REQUIRE(family_size >= 1, "family size must be at least 1");
+    const std::size_t planted = family_size * query_lengths.size();
+    SWH_REQUIRE(num_sequences > planted,
+                "sample database too small for the planted families");
+
+    DatabaseSpec spec = scan_sample_spec(num_sequences - planted);
+    spec.seed = seed;
+    std::vector<align::Sequence> seqs = generate_database(spec);
+    const align::Alphabet& alphabet = align::Alphabet::protein();
+
+    ScanSample out;
+    out.queries.reserve(query_lengths.size());
+    Rng master(seed ^ 0x5eedfa417ULL);
+    for (const std::size_t len : query_lengths) {
+        SWH_REQUIRE(len > 0, "query length must be positive");
+        Rng stream = master.split();
+        const align::Sequence anchor =
+            random_protein(stream, len, "anchor-" + std::to_string(len));
+        // The query is a light mutant of the anchor, the family members
+        // increasingly heavy ones — query-vs-member scores then span a
+        // realistic homolog range instead of the random background.
+        MutationModel query_model;
+        query_model.substitution_rate = 0.10;
+        align::Sequence query = mutate(anchor, alphabet, query_model, stream);
+        query.id = "query-" + std::to_string(len);
+        for (std::size_t f = 0; f < family_size; ++f) {
+            MutationModel member_model;
+            member_model.substitution_rate =
+                0.05 + 0.015 * static_cast<double>(f);
+            align::Sequence member =
+                mutate(anchor, alphabet, member_model, stream);
+            member.id =
+                "fam" + std::to_string(len) + "-" + std::to_string(f);
+            seqs.push_back(std::move(member));
+        }
+        out.queries.push_back(std::move(query));
+    }
+    out.database = Database("bench-scan", std::move(seqs));
+    return out;
+}
+
+DatabaseSpec scan_sample_spec(std::size_t num_sequences) {
+    SWH_REQUIRE(num_sequences > 0, "sample database must be non-empty");
+    DatabaseSpec spec;
+    spec.name = "bench-scan";
+    spec.num_sequences = num_sequences;
+    spec.seed = 404;
+    return spec;
+}
+
 std::vector<align::Sequence> make_query_set(std::size_t n,
                                             std::size_t min_len,
                                             std::size_t max_len,

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "db/database.hpp"
 #include "db/generator.hpp"
 
 namespace swh::db {
@@ -42,5 +43,29 @@ std::vector<align::Sequence> make_query_set(std::size_t n = 40,
                                             std::size_t min_len = 100,
                                             std::size_t max_len = 5000,
                                             std::uint64_t seed = 42);
+
+/// The deterministic sample database shared by bench_scan, the funnel
+/// test suites, and the CI bench smoke step — generation is seed-pinned,
+/// so every consumer scans byte-identical subjects without a checked-in
+/// FASTA. `num_sequences` defaults to the bench_scan workload size.
+DatabaseSpec scan_sample_spec(std::size_t num_sequences = 1500);
+
+/// A realistic top-k scan workload: a scan_sample_spec-style random
+/// background with one planted homolog family per requested query
+/// length, plus the matching queries. Each family derives a random
+/// anchor of that length, `family_size` database members mutated from
+/// it at increasing divergence, and a query that is itself a light
+/// mutant of the anchor — so the scan's true top-k scores sit far above
+/// the random background, the way a homology search's do. Fully seed-
+/// pinned; family members are appended after the background sequences.
+struct ScanSample {
+    Database database;
+    /// queries[i] has length ~query_lengths[i] and a planted family.
+    std::vector<align::Sequence> queries;
+};
+ScanSample make_scan_sample(std::size_t num_sequences,
+                            const std::vector<std::size_t>& query_lengths,
+                            std::size_t family_size = 12,
+                            std::uint64_t seed = 404);
 
 }  // namespace swh::db

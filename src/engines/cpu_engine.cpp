@@ -45,8 +45,14 @@ core::TaskResult CpuEngine::execute(const align::Sequence& query,
     if (config_.interseq && aligner.interseq() != nullptr) {
         cohorts = packed.interleaved(align::lanes_u8(config_.isa)).view();
     }
+    // Threshold feed for the scanner's ungapped prefilter: the running
+    // k-th best exact score across all workers, raised monotonically
+    // (CAS-max) as hits accumulate. A stale (lower) read only prunes
+    // less, so relaxed ordering is enough.
+    std::atomic<align::Score> tau{TopK::kNoThreshold};
     align::DatabaseScanner scanner(aligner, packed.view(), config_.scan_chunk,
-                                   cohorts);
+                                   cohorts,
+                                   config_.prefilter ? &tau : nullptr);
     const std::uint64_t qlen = query.size();
 
     core::TaskResult result;
@@ -60,42 +66,63 @@ core::TaskResult CpuEngine::execute(const align::Sequence& query,
     std::vector<TopK> collectors(threads_, TopK(config_.top_k));
 
     // Workers pull chunks of subjects from the scanner's shared cursor
-    // (config_.scan_chunk per atomic op) and run the two-pass scan.
+    // (config_.scan_chunk per atomic op) and run the funnel scan.
     auto worker = [&](unsigned wid) {
         align::ScanScratch scratch;
         std::uint64_t local_pending = 0;
+        // Progress/cancellation bookkeeping shared by the emit and
+        // pruned paths: pruned subjects count their cells too, so
+        // result.cells stays the full qlen x db_residues product.
+        auto account = [&](std::uint64_t cells) {
+            cells_done.fetch_add(cells, std::memory_order_relaxed);
+            local_pending += cells;
+
+            if (wid == 0) {
+                // Only the calling thread talks to the observer (its
+                // on_cells need not be thread-safe); cancelled() is
+                // polled from all workers and must be.
+                const std::uint64_t others =
+                    pending_cells.exchange(0, std::memory_order_relaxed);
+                local_pending += others;
+                if (local_pending >= config_.progress_grain) {
+                    if (observer != nullptr) {
+                        observer->on_cells(local_pending);
+                    }
+                    local_pending = 0;
+                }
+            } else if (local_pending >= config_.progress_grain) {
+                pending_cells.fetch_add(local_pending,
+                                        std::memory_order_relaxed);
+                local_pending = 0;
+            }
+            if (observer != nullptr && observer->cancelled()) {
+                stop.store(true, std::memory_order_relaxed);
+                return false;
+            }
+            return true;
+        };
         scanner.run_worker(
             scratch,
             [&](std::uint32_t idx, std::uint32_t len, align::Score score) {
                 if (stop.load(std::memory_order_relaxed)) return false;
                 collectors[wid].add(idx, score);
-                const std::uint64_t cells = qlen * len;
-                cells_done.fetch_add(cells, std::memory_order_relaxed);
-                local_pending += cells;
-
-                if (wid == 0) {
-                    // Only the calling thread talks to the observer (its
-                    // on_cells need not be thread-safe); cancelled() is
-                    // polled from all workers and must be.
-                    const std::uint64_t others =
-                        pending_cells.exchange(0, std::memory_order_relaxed);
-                    local_pending += others;
-                    if (local_pending >= config_.progress_grain) {
-                        if (observer != nullptr) {
-                            observer->on_cells(local_pending);
-                        }
-                        local_pending = 0;
+                if (config_.prefilter) {
+                    // A worker-local k-th best is a sound global
+                    // threshold: its k hits are merged at the end, so a
+                    // subject provably below them is below the final
+                    // k-th too.
+                    const align::Score kth = collectors[wid].kth_score();
+                    align::Score cur = tau.load(std::memory_order_relaxed);
+                    while (kth > cur &&
+                           !tau.compare_exchange_weak(
+                               cur, kth, std::memory_order_relaxed)) {
                     }
-                } else if (local_pending >= config_.progress_grain) {
-                    pending_cells.fetch_add(local_pending,
-                                            std::memory_order_relaxed);
-                    local_pending = 0;
                 }
-                if (observer != nullptr && observer->cancelled()) {
-                    stop.store(true, std::memory_order_relaxed);
-                    return false;
-                }
-                return true;
+                return account(qlen * len);
+            },
+            [&](std::uint32_t, std::uint32_t len) {
+                if (stop.load(std::memory_order_relaxed)) return false;
+                return account(qlen * len);
             });
         if (wid != 0 && local_pending > 0) {
             pending_cells.fetch_add(local_pending, std::memory_order_relaxed);
@@ -136,6 +163,13 @@ core::TaskResult CpuEngine::execute(const align::Sequence& query,
             .add(ds.subjects_interseq);
         config_.metrics->counter("engine.cpu.subjects_striped")
             .add(ds.subjects_striped);
+        const align::DatabaseScanner::FilterStats fs = scanner.filter_stats();
+        config_.metrics->counter("engine.cpu.filter.cohorts")
+            .add(fs.cohorts_filtered);
+        config_.metrics->counter("engine.cpu.filter.rebounds16")
+            .add(fs.rebounds16);
+        config_.metrics->counter("engine.cpu.filter.pruned")
+            .add(fs.subjects_pruned);
     }
     if (lane != nullptr) {
         lane->span_end("kernel:cpu-striped", task,

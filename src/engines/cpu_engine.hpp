@@ -5,10 +5,11 @@
 namespace swh::engines {
 
 /// The paper's "adapted Farrar" SSE slave (SS IV-C): scans the packed
-/// database arena (db::PackedDatabase) with the striped Smith-Waterman
-/// kernel through align::DatabaseScanner — pass 1 settles everything
-/// the 8-bit kernel can, pass 2 rescores the deferred overflow batch at
-/// 16/32 bits. `threads` > 1 splits the database across internal worker
+/// database arena (db::PackedDatabase) through align::DatabaseScanner's
+/// three-stage funnel — an ungapped prefilter prunes subjects provably
+/// outside the running top-k (EngineConfig::prefilter), the 8-bit exact
+/// kernels settle the survivors, and the deferred overflow batch is
+/// rescored at 16/32 bits. `threads` > 1 splits the database across internal worker
 /// threads claiming `EngineConfig::scan_chunk` subjects per atomic op
 /// (a whole multicore presented as one PE); the paper's setup registers
 /// each core as its own single-threaded slave.

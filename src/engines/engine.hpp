@@ -55,6 +55,12 @@ struct EngineConfig {
     /// where the matrix and query admit them; the scanner still falls
     /// back to the striped kernels per cohort. Off forces striped-only.
     bool interseq = true;
+    /// Arm the ungapped prefilter stage of the scan funnel (cohort mode
+    /// only): subjects whose gap-slack score bound provably falls below
+    /// the running k-th best exact score skip exact alignment. The
+    /// final top-k is bit-identical either way — this knob only trades
+    /// the prefilter sweep's cost against the pruned exact work.
+    bool prefilter = true;
     /// Optional metrics sink (engines fold in per-task counters like the
     /// 8->16->32-bit escalation counts). Non-owning; null = off.
     obs::MetricsRegistry* metrics = nullptr;

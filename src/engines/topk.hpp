@@ -7,6 +7,8 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <limits>
 #include <vector>
 
 #include "align/sequence.hpp"
@@ -20,17 +22,58 @@ namespace swh::engines {
 /// Capacity is reserved up front, so add() never allocates: the
 /// per-subject emit path of a scan stays heap-quiet (asserted by
 /// tests/align/scan_alloc_test.cpp).
+///
+/// Alongside the hit buffer a k-entry min-heap tracks the k best
+/// scores seen so far, which makes the running k-th best score — the
+/// scan funnel's pruning threshold — an O(1) read (kth_score()) and
+/// lets add() reject scores strictly below it without buffering them.
 class TopK {
 public:
-    explicit TopK(std::size_t k) : k_(k) { hits_.reserve(2 * k_ + 16); }
+    /// kth_score() value while fewer than k hits have been seen: no
+    /// pruning threshold exists yet. Compares below every real score,
+    /// so "tau <= kNoThreshold" callers need no special case.
+    static constexpr align::Score kNoThreshold =
+        std::numeric_limits<align::Score>::min();
+
+    explicit TopK(std::size_t k) : k_(k) {
+        hits_.reserve(2 * k_ + 16);
+        kth_.reserve(k_);
+    }
 
     void add(std::uint32_t db_index, align::Score score) {
+        if (k_ == 0) return;
+        if (kth_.size() == k_) {
+            const align::Score floor = kth_.front();
+            // Strictly below the k-th best: cannot enter the top-k even
+            // with the index tie-break, so don't buffer it. Ties at the
+            // floor stay — a smaller db_index can still win.
+            if (score < floor) return;
+            if (score > floor) {
+                std::pop_heap(kth_.begin(), kth_.end(), std::greater<>{});
+                kth_.back() = score;
+                std::push_heap(kth_.begin(), kth_.end(), std::greater<>{});
+            }
+        } else {
+            kth_.push_back(score);
+            std::push_heap(kth_.begin(), kth_.end(), std::greater<>{});
+        }
         hits_.push_back(core::Hit{db_index, score});
         if (hits_.size() >= 2 * k_ + 16) trim();
     }
 
+    /// The k-th best score seen so far: kNoThreshold until k hits
+    /// exist, the max Score when k == 0 (every score is outside an
+    /// empty top-k). Monotone non-decreasing over a TopK's lifetime.
+    align::Score kth_score() const {
+        if (k_ == 0) return std::numeric_limits<align::Score>::max();
+        if (kth_.size() < k_) return kNoThreshold;
+        return kth_.front();
+    }
+
     void merge(TopK&& other) {
-        hits_.insert(hits_.end(), other.hits_.begin(), other.hits_.end());
+        // Route through add() so the score heap absorbs the other
+        // side's hits and the admission floor drops dead entries early.
+        for (const core::Hit& h : other.hits_) add(h.db_index, h.score);
         trim();
     }
 
@@ -52,6 +95,18 @@ private:
             hits_.clear();
             return;
         }
+        // Drop everything strictly below the k-th best first — with the
+        // admission floor active that is usually enough, and when the
+        // survivors are exactly k the nth_element pass is skipped.
+        if (kth_.size() == k_) {
+            const align::Score floor = kth_.front();
+            hits_.erase(std::remove_if(hits_.begin(), hits_.end(),
+                                       [floor](const core::Hit& h) {
+                                           return h.score < floor;
+                                       }),
+                        hits_.end());
+            if (hits_.size() <= k_) return;
+        }
         // `better` is a strict total order (index tie-break), so the
         // surviving k elements are exactly the ones a full sort keeps.
         std::nth_element(hits_.begin(),
@@ -62,6 +117,9 @@ private:
 
     std::size_t k_;
     std::vector<core::Hit> hits_;
+    /// Min-heap of the k best scores seen (std::greater comparator);
+    /// front() is the running k-th best once full.
+    std::vector<align::Score> kth_;
 };
 
 }  // namespace swh::engines

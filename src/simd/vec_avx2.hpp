@@ -60,6 +60,13 @@ struct U8x32 {
         return _mm256_movemask_epi8(eq0) != -1;
     }
 
+    friend std::uint64_t ge_mask(U8x32 a, U8x32 b) {
+        // Unsigned "a >= b" == max(a, b) == a, lane-wise.
+        const __m256i eq = _mm256_cmpeq_epi8(_mm256_max_epu8(a.v, b.v), a.v);
+        return static_cast<std::uint64_t>(
+            static_cast<unsigned>(_mm256_movemask_epi8(eq)));
+    }
+
     std::uint8_t hmax() const {
         const __m128i lo = _mm256_castsi256_si128(v);
         const __m128i hi = _mm256_extracti128_si256(v, 1);

@@ -60,6 +60,10 @@ struct U8x64 {
         return _mm512_cmpgt_epu8_mask(a.v, b.v) != 0;
     }
 
+    friend std::uint64_t ge_mask(U8x64 a, U8x64 b) {
+        return _mm512_cmpge_epu8_mask(a.v, b.v);
+    }
+
     std::uint8_t hmax() const {
         const __m256i lo = _mm512_castsi512_si256(v);
         const __m256i hi = _mm512_extracti64x4_epi64(v, 1);

@@ -28,6 +28,9 @@ namespace swh::simd {
 //                           (every index lane must be < 32)
 //   widen_lo(a) / widen_hi(a) -- zero-extend the low/high half of the
 //                           lanes to an i16 vector, preserving lane order
+//   ge_mask(a,b) -- bit l set iff a >= b (unsigned) in lane l; the
+//                   horizontal compare the scan prefilter uses to turn
+//                   per-lane score bounds into a survivor mask
 
 template <int N>
 struct U8xN {
@@ -87,6 +90,15 @@ struct U8xN {
         for (int i = 0; i < N; ++i)
             if (a.lane[i] > b.lane[i]) return true;
         return false;
+    }
+
+    friend std::uint64_t ge_mask(U8xN a, U8xN b) {
+        static_assert(N <= 64, "mask is 64 bits wide");
+        std::uint64_t m = 0;
+        for (int i = 0; i < N; ++i) {
+            if (a.lane[i] >= b.lane[i]) m |= std::uint64_t{1} << i;
+        }
+        return m;
     }
 
     std::uint8_t hmax() const {

@@ -46,6 +46,13 @@ struct U8x16 {
         return _mm_movemask_epi8(eq0) != 0xFFFF;
     }
 
+    friend std::uint64_t ge_mask(U8x16 a, U8x16 b) {
+        // Unsigned "a >= b" == max(a, b) == a, lane-wise.
+        const __m128i eq = _mm_cmpeq_epi8(_mm_max_epu8(a.v, b.v), a.v);
+        return static_cast<std::uint64_t>(
+            static_cast<unsigned>(_mm_movemask_epi8(eq)));
+    }
+
     std::uint8_t hmax() const {
         __m128i m = _mm_max_epu8(v, _mm_srli_si128(v, 8));
         m = _mm_max_epu8(m, _mm_srli_si128(m, 4));

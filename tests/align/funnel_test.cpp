@@ -1,0 +1,321 @@
+// Golden equivalence of the three-stage funnel scan (ungapped prefilter
+// + exact rescore) against the exhaustive scan: the surviving top-k
+// must be BIT-identical for every ISA level this host supports, every
+// k, and the adversarial shapes that stress the threshold policy —
+// all-identical scores, ties exactly at the threshold, empty and tiny
+// databases, k larger than the database — plus a concurrency test with
+// cohort-mode claiming and a shared rising threshold.
+//
+// The suite name starts with "DatabaseScanner" so the CI TSan job's
+// test filter picks it up alongside the plain scanner suite.
+
+#include "align/db_scan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "db/database.hpp"
+#include "db/packed.hpp"
+#include "db/presets.hpp"
+#include "engines/topk.hpp"
+#include "util/rng.hpp"
+
+namespace swh::align {
+namespace {
+
+const ScoreMatrix& blosum() {
+    static const ScoreMatrix m = ScoreMatrix::blosum62();
+    return m;
+}
+
+constexpr GapPenalty kGap{10, 2};
+
+std::vector<simd::IsaLevel> supported_levels() {
+    std::vector<simd::IsaLevel> levels;
+    for (const simd::IsaLevel isa :
+         {simd::IsaLevel::Scalar, simd::IsaLevel::SSE2, simd::IsaLevel::AVX2,
+          simd::IsaLevel::AVX512}) {
+        if (simd::is_supported(isa)) levels.push_back(isa);
+    }
+    return levels;
+}
+
+/// Exhaustive oracle: cohort-mode scan with the prefilter unarmed,
+/// every score routed through the same TopK policy the funnel uses.
+std::vector<core::Hit> exhaustive_topk(const StripedAligner& aligner,
+                                       const db::Database& database,
+                                       std::size_t k) {
+    const db::PackedDatabase& packed = database.packed();
+    DatabaseScanner scanner(
+        aligner, packed.view(), DatabaseScanner::kDefaultChunk,
+        packed.interleaved(lanes_u8(aligner.isa())).view());
+    engines::TopK topk(k);
+    ScanScratch scratch;
+    EXPECT_TRUE(scanner.run_worker(
+        scratch, [&](std::uint32_t idx, std::uint32_t, Score s) {
+            topk.add(idx, s);
+            return true;
+        }));
+    return topk.take();
+}
+
+struct FunnelRun {
+    std::vector<core::Hit> hits;
+    DatabaseScanner::FilterStats filter;
+    std::uint64_t emitted = 0;
+    std::uint64_t pruned_calls = 0;
+};
+
+/// Funnel scan: prefilter armed with the running k-th best fed back
+/// through a CAS-max, exactly like engines::CpuEngine does.
+FunnelRun funnel_topk(const StripedAligner& aligner,
+                      const db::Database& database, std::size_t k) {
+    const db::PackedDatabase& packed = database.packed();
+    std::atomic<Score> tau{engines::TopK::kNoThreshold};
+    DatabaseScanner scanner(
+        aligner, packed.view(), DatabaseScanner::kDefaultChunk,
+        packed.interleaved(lanes_u8(aligner.isa())).view(), &tau);
+    engines::TopK topk(k);
+    FunnelRun run;
+    ScanScratch scratch;
+    EXPECT_TRUE(scanner.run_worker(
+        scratch,
+        [&](std::uint32_t idx, std::uint32_t, Score s) {
+            topk.add(idx, s);
+            ++run.emitted;
+            const Score kth = topk.kth_score();
+            Score cur = tau.load(std::memory_order_relaxed);
+            while (kth > cur && !tau.compare_exchange_weak(
+                                    cur, kth, std::memory_order_relaxed)) {
+            }
+            return true;
+        },
+        [&](std::uint32_t, std::uint32_t) {
+            ++run.pruned_calls;
+            return true;
+        }));
+    run.hits = topk.take();
+    run.filter = scanner.filter_stats();
+    return run;
+}
+
+void expect_same_hits(const std::vector<core::Hit>& got,
+                      const std::vector<core::Hit>& want,
+                      const std::string& label) {
+    ASSERT_EQ(got.size(), want.size()) << label;
+    for (std::size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(got[i].db_index, want[i].db_index)
+            << label << " rank " << i;
+        EXPECT_EQ(got[i].score, want[i].score) << label << " rank " << i;
+    }
+}
+
+TEST(DatabaseScannerFunnel, TopKBitIdenticalAcrossIsaLevelsAndK) {
+    // Planted-family database: background noise plus homologs of the
+    // query, the shape the funnel is built for — the family feeds the
+    // threshold and the background gets pruned.
+    const db::ScanSample sample = db::make_scan_sample(300, {100});
+    std::uint64_t total_pruned = 0;
+    for (const simd::IsaLevel isa : supported_levels()) {
+        const StripedAligner aligner(sample.queries[0].residues, blosum(),
+                                     kGap, isa);
+        for (const std::size_t k : {std::size_t{1}, std::size_t{10},
+                                    std::size_t{100}}) {
+            const std::vector<core::Hit> want =
+                exhaustive_topk(aligner, sample.database, k);
+            ASSERT_EQ(want.size(), k);
+            const FunnelRun run = funnel_topk(aligner, sample.database, k);
+            expect_same_hits(run.hits, want,
+                             "isa=" + std::string(simd::to_string(isa)) +
+                                 " k=" + std::to_string(k));
+            // Accounting: every subject is either settled or reported
+            // pruned, exactly once.
+            EXPECT_EQ(run.emitted + run.pruned_calls,
+                      sample.database.size());
+            EXPECT_EQ(run.pruned_calls, run.filter.subjects_pruned);
+            total_pruned += run.filter.subjects_pruned;
+        }
+    }
+    // The funnel must actually funnel on this workload, not just match.
+    EXPECT_GT(total_pruned, 0u);
+}
+
+TEST(DatabaseScannerFunnel, AllIdenticalScoresKeepEveryTie) {
+    // Every subject is the same sequence, so every exact score ties the
+    // threshold exactly. The strict-inequality prune policy must keep
+    // them all: the top-k is then decided purely by the db_index
+    // tie-break, identical to the exhaustive scan.
+    Rng rng(307);
+    const Sequence s = db::random_protein(rng, 60, "twin");
+    std::vector<Sequence> seqs(130, s);
+    const db::Database database("twins", std::move(seqs));
+    const Sequence q = db::random_protein(rng, 70, "q");
+
+    for (const simd::IsaLevel isa : supported_levels()) {
+        const StripedAligner aligner(q.residues, blosum(), kGap, isa);
+        for (const std::size_t k : {std::size_t{1}, std::size_t{10}}) {
+            const std::vector<core::Hit> want =
+                exhaustive_topk(aligner, database, k);
+            const FunnelRun run = funnel_topk(aligner, database, k);
+            expect_same_hits(run.hits, want, "twins k=" + std::to_string(k));
+            // Nothing scores strictly below the threshold, so nothing
+            // may be pruned.
+            EXPECT_EQ(run.filter.subjects_pruned, 0u);
+            EXPECT_EQ(run.emitted, database.size());
+            for (std::size_t i = 0; i < run.hits.size(); ++i) {
+                EXPECT_EQ(run.hits[i].db_index, i);  // index tie-break
+            }
+        }
+    }
+}
+
+TEST(DatabaseScannerFunnel, TiesAtThresholdSurviveAmongBackground) {
+    // Two planted twins tie at the exact top score over a pruned
+    // background with k = 2: the second twin arrives when the
+    // threshold already equals its score, so a non-strict prune would
+    // drop it.
+    db::DatabaseSpec spec;
+    spec.name = "ties";
+    spec.num_sequences = 200;
+    spec.length.min_len = 30;
+    spec.length.max_len = 90;
+    spec.seed = 311;
+    auto seqs = db::generate_database(spec);
+    Rng rng(313);
+    const Sequence q = db::random_protein(rng, 64, "q");
+    Sequence twin = q;
+    twin.id = "twin-a";
+    seqs.insert(seqs.begin() + 11, twin);
+    twin.id = "twin-b";
+    seqs.insert(seqs.begin() + 171, twin);
+    const db::Database database("ties", std::move(seqs));
+
+    for (const simd::IsaLevel isa : supported_levels()) {
+        const StripedAligner aligner(q.residues, blosum(), kGap, isa);
+        const std::vector<core::Hit> want =
+            exhaustive_topk(aligner, database, 2);
+        EXPECT_EQ(want[0].score, want[1].score);
+        EXPECT_EQ(want[0].db_index, 11u);
+        EXPECT_EQ(want[1].db_index, 171u);
+        const FunnelRun run = funnel_topk(aligner, database, 2);
+        expect_same_hits(run.hits, want,
+                         "isa=" + std::string(simd::to_string(isa)));
+    }
+}
+
+TEST(DatabaseScannerFunnel, EmptyAndTinyDatabases) {
+    Rng rng(317);
+    const Sequence q = db::random_protein(rng, 50, "q");
+    const StripedAligner aligner(q.residues, blosum(), kGap);
+
+    const db::Database empty("empty", {});
+    const FunnelRun none = funnel_topk(aligner, empty, 10);
+    EXPECT_TRUE(none.hits.empty());
+    EXPECT_EQ(none.emitted, 0u);
+    EXPECT_EQ(none.pruned_calls, 0u);
+
+    // k exceeds the database: the threshold never materializes
+    // (kth_score stays kNoThreshold), so nothing may be pruned and all
+    // subjects are returned.
+    std::vector<Sequence> few;
+    for (int i = 0; i < 5; ++i) {
+        few.push_back(db::random_protein(rng, 20 + i * 13, "t"));
+    }
+    const db::Database tiny("tiny", std::move(few));
+    const std::vector<core::Hit> want = exhaustive_topk(aligner, tiny, 100);
+    EXPECT_EQ(want.size(), tiny.size());
+    const FunnelRun run = funnel_topk(aligner, tiny, 100);
+    expect_same_hits(run.hits, want, "tiny");
+    EXPECT_EQ(run.filter.subjects_pruned, 0u);
+    EXPECT_EQ(run.emitted, tiny.size());
+}
+
+TEST(DatabaseScannerFunnel, ThresholdWithoutCohortsIsInert) {
+    // A threshold feed without a cohort layout cannot arm the
+    // prefilter (the ungapped kernels share the cohort geometry);
+    // the scan must degrade to the plain exhaustive two-pass.
+    const db::ScanSample sample = db::make_scan_sample(120, {80});
+    const StripedAligner aligner(sample.queries[0].residues, blosum(), kGap);
+    const db::PackedDatabase& packed = sample.database.packed();
+    std::atomic<Score> tau{1000000};  // would prune everything if armed
+    DatabaseScanner scanner(aligner, packed.view(),
+                            DatabaseScanner::kDefaultChunk, {}, &tau);
+    EXPECT_FALSE(scanner.prefilter_armed());
+    engines::TopK topk(10);
+    ScanScratch scratch;
+    std::uint64_t emitted = 0;
+    EXPECT_TRUE(scanner.run_worker(
+        scratch, [&](std::uint32_t idx, std::uint32_t, Score s) {
+            topk.add(idx, s);
+            ++emitted;
+            return true;
+        }));
+    EXPECT_EQ(emitted, sample.database.size());
+    EXPECT_EQ(scanner.filter_stats().cohorts_filtered, 0u);
+    expect_same_hits(topk.take(),
+                     exhaustive_topk(aligner, sample.database, 10),
+                     "inert threshold");
+}
+
+TEST(DatabaseScannerFunnel, ConcurrentWorkersBitIdentical) {
+    // Four workers claim cohorts from the shared cursor and race the
+    // rising threshold; per-worker collectors merge at the end. The
+    // worker-local k-th best published through the shared CAS-max is a
+    // sound global threshold, so the merged top-k must still be
+    // bit-identical to the exhaustive oracle.
+    const db::ScanSample sample = db::make_scan_sample(400, {120});
+    const StripedAligner aligner(sample.queries[0].residues, blosum(), kGap);
+    const std::vector<core::Hit> want =
+        exhaustive_topk(aligner, sample.database, 10);
+
+    for (int round = 0; round < 3; ++round) {
+        const db::PackedDatabase& packed = sample.database.packed();
+        std::atomic<Score> tau{engines::TopK::kNoThreshold};
+        DatabaseScanner scanner(
+            aligner, packed.view(), /*chunk=*/64,
+            packed.interleaved(lanes_u8(aligner.isa())).view(), &tau);
+        constexpr int kWorkers = 4;
+        std::vector<engines::TopK> collectors(kWorkers, engines::TopK(10));
+        std::atomic<std::uint64_t> settled{0};
+        std::atomic<std::uint64_t> pruned{0};
+        std::vector<std::thread> workers;
+        for (int w = 0; w < kWorkers; ++w) {
+            workers.emplace_back([&, w] {
+                ScanScratch scratch;
+                scanner.run_worker(
+                    scratch,
+                    [&](std::uint32_t idx, std::uint32_t, Score s) {
+                        collectors[static_cast<std::size_t>(w)].add(idx, s);
+                        settled.fetch_add(1, std::memory_order_relaxed);
+                        const Score kth =
+                            collectors[static_cast<std::size_t>(w)]
+                                .kth_score();
+                        Score cur = tau.load(std::memory_order_relaxed);
+                        while (kth > cur &&
+                               !tau.compare_exchange_weak(
+                                   cur, kth, std::memory_order_relaxed)) {
+                        }
+                        return true;
+                    },
+                    [&](std::uint32_t, std::uint32_t) {
+                        pruned.fetch_add(1, std::memory_order_relaxed);
+                        return true;
+                    });
+            });
+        }
+        for (auto& t : workers) t.join();
+
+        EXPECT_EQ(settled.load() + pruned.load(), sample.database.size());
+        engines::TopK merged(10);
+        for (auto& c : collectors) merged.merge(std::move(c));
+        expect_same_hits(merged.take(), want,
+                         "round " + std::to_string(round));
+    }
+}
+
+}  // namespace
+}  // namespace swh::align

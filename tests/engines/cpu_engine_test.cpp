@@ -81,6 +81,33 @@ TEST(CpuEngine, MultiThreadMatchesSingleThread) {
     }
 }
 
+TEST(CpuEngine, PrefilterOnAndOffReturnIdenticalHits) {
+    // The funnel's whole contract at engine level: arming the ungapped
+    // prefilter changes how much exact work runs, never the hits. Use a
+    // planted-family sample so the prefilter genuinely prunes, and both
+    // thread counts so the racing threshold is covered too.
+    const db::ScanSample sample = db::make_scan_sample(250, {90});
+    EngineConfig on = config();
+    EngineConfig off = config();
+    off.prefilter = false;
+    for (const unsigned threads : {1u, 4u}) {
+        const auto with = CpuEngine(on, threads)
+                              .execute(sample.queries[0], 0, 0,
+                                       sample.database, nullptr);
+        const auto without = CpuEngine(off, threads)
+                                 .execute(sample.queries[0], 0, 0,
+                                          sample.database, nullptr);
+        ASSERT_EQ(with.hits.size(), without.hits.size());
+        for (std::size_t i = 0; i < with.hits.size(); ++i) {
+            EXPECT_EQ(with.hits[i], without.hits[i])
+                << "threads=" << threads << " rank " << i;
+        }
+        // Pruned subjects still count their cells, so progress totals
+        // and the result's cell count stay the full product.
+        EXPECT_EQ(with.cells, without.cells);
+    }
+}
+
 class CountingObserver final : public ExecutionObserver {
 public:
     void on_cells(std::uint64_t delta) override {

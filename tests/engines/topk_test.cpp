@@ -1,0 +1,172 @@
+// engines::TopK: the bounded collector behind every engine's hit list
+// and — through kth_score() — the scan funnel's pruning threshold.
+// kth_score's sentinel/monotonicity contract and the admission floor
+// are what the threshold-soundness argument in DESIGN.md leans on, so
+// they are pinned here against a brute-force oracle.
+
+#include "engines/topk.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace swh::engines {
+namespace {
+
+using align::Score;
+using core::Hit;
+using swh::Rng;
+
+/// Brute-force oracle: full sort under TopK's exact order (score
+/// descending, db_index ascending), truncated to k.
+std::vector<Hit> oracle_topk(std::vector<Hit> hits, std::size_t k) {
+    std::sort(hits.begin(), hits.end(), [](const Hit& a, const Hit& b) {
+        if (a.score != b.score) return a.score > b.score;
+        return a.db_index < b.db_index;
+    });
+    if (hits.size() > k) hits.resize(k);
+    return hits;
+}
+
+std::vector<Hit> random_hits(Rng& rng, std::size_t n, Score lo, Score hi) {
+    std::vector<Hit> hits;
+    hits.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto span = static_cast<std::uint64_t>(hi - lo + 1);
+        hits.push_back(Hit{static_cast<std::uint32_t>(i),
+                           static_cast<Score>(
+                               lo + static_cast<Score>(rng.below(span)))});
+    }
+    return hits;
+}
+
+TEST(TopK, KthScoreSentinelUntilKHitsExist) {
+    TopK topk(3);
+    EXPECT_EQ(topk.kth_score(), TopK::kNoThreshold);
+    topk.add(0, 50);
+    topk.add(1, 90);
+    EXPECT_EQ(topk.kth_score(), TopK::kNoThreshold);
+    topk.add(2, 70);
+    // Exactly k hits: the k-th best is the minimum of them.
+    EXPECT_EQ(topk.kth_score(), 50);
+    topk.add(3, 60);
+    EXPECT_EQ(topk.kth_score(), 60);
+}
+
+TEST(TopK, ZeroKRejectsEverythingAndThresholdIsMax) {
+    TopK topk(0);
+    // Every score is outside an empty top-k, so the threshold is the
+    // max Score — a funnel with k == 0 may prune the whole database.
+    EXPECT_EQ(topk.kth_score(), std::numeric_limits<Score>::max());
+    topk.add(0, 1000);
+    topk.add(1, -5);
+    EXPECT_EQ(topk.kth_score(), std::numeric_limits<Score>::max());
+    EXPECT_TRUE(topk.take().empty());
+}
+
+TEST(TopK, KthScoreIsMonotoneNonDecreasing) {
+    // Monotonicity is what lets the scanner trust a stale threshold
+    // read: a lower value only prunes less.
+    Rng rng(401);
+    TopK topk(8);
+    Score last = TopK::kNoThreshold;
+    for (std::uint32_t i = 0; i < 500; ++i) {
+        topk.add(i, static_cast<Score>(rng.below(300)) - 50);
+        const Score kth = topk.kth_score();
+        EXPECT_GE(kth, last) << "add " << i;
+        last = kth;
+    }
+}
+
+TEST(TopK, MatchesOracleIncludingNegativeScoresAndTies) {
+    // A narrow score range forces heavy tie traffic at the admission
+    // floor; negative scores check the floor logic is not anchored at
+    // zero.
+    Rng rng(403);
+    for (const std::size_t k : {std::size_t{1}, std::size_t{7},
+                                std::size_t{64}}) {
+        const std::vector<Hit> hits = random_hits(rng, 400, -20, 20);
+        TopK topk(k);
+        for (const Hit& h : hits) topk.add(h.db_index, h.score);
+        const std::vector<Hit> got = topk.take();
+        const std::vector<Hit> want = oracle_topk(hits, k);
+        ASSERT_EQ(got.size(), want.size()) << "k=" << k;
+        for (std::size_t i = 0; i < want.size(); ++i) {
+            EXPECT_EQ(got[i], want[i]) << "k=" << k << " rank " << i;
+        }
+    }
+}
+
+TEST(TopK, LateTieAtTheFloorStillWinsOnIndex) {
+    // A tie arriving after the floor is established must be buffered,
+    // not rejected: under the index tie-break a smaller db_index must
+    // replace the incumbent at the same score.
+    TopK topk(2);
+    topk.add(9, 10);
+    topk.add(8, 10);
+    EXPECT_EQ(topk.kth_score(), 10);
+    topk.add(1, 10);  // ties the floor with a better (smaller) index
+    const std::vector<Hit> got = topk.take();
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[0].db_index, 1u);
+    EXPECT_EQ(got[1].db_index, 8u);
+}
+
+TEST(TopK, MergeMatchesSingleCollectorOracle) {
+    // Per-worker collectors merged at end of scan must equal one
+    // collector fed everything — the reduction the engines rely on.
+    Rng rng(409);
+    const std::vector<Hit> hits = random_hits(rng, 600, -10, 200);
+    for (const std::size_t k : {std::size_t{1}, std::size_t{10},
+                                std::size_t{100}}) {
+        std::vector<TopK> workers(4, TopK(k));
+        for (std::size_t i = 0; i < hits.size(); ++i) {
+            workers[i % 4].add(hits[i].db_index, hits[i].score);
+        }
+        TopK merged(k);
+        for (TopK& w : workers) merged.merge(std::move(w));
+        const std::vector<Hit> got = merged.take();
+        const std::vector<Hit> want = oracle_topk(hits, k);
+        ASSERT_EQ(got.size(), want.size()) << "k=" << k;
+        for (std::size_t i = 0; i < want.size(); ++i) {
+            EXPECT_EQ(got[i], want[i]) << "k=" << k << " rank " << i;
+        }
+    }
+}
+
+TEST(TopK, KthScoreAfterMergeIsTheMergedKth) {
+    TopK a(3);
+    TopK b(3);
+    a.add(0, 100);
+    a.add(1, 90);
+    b.add(2, 80);
+    b.add(3, 70);
+    EXPECT_EQ(a.kth_score(), TopK::kNoThreshold);
+    a.merge(std::move(b));
+    EXPECT_EQ(a.kth_score(), 80);
+}
+
+TEST(TopK, TakeIsSortedAndBounded) {
+    Rng rng(419);
+    TopK topk(25);
+    for (std::uint32_t i = 0; i < 1000; ++i) {
+        topk.add(i, static_cast<Score>(rng.below(500)));
+    }
+    const std::vector<Hit> got = topk.take();
+    ASSERT_EQ(got.size(), 25u);
+    for (std::size_t i = 1; i < got.size(); ++i) {
+        const bool ordered =
+            got[i - 1].score > got[i].score ||
+            (got[i - 1].score == got[i].score &&
+             got[i - 1].db_index < got[i].db_index);
+        EXPECT_TRUE(ordered) << "rank " << i;
+    }
+}
+
+}  // namespace
+}  // namespace swh::engines
