@@ -66,49 +66,13 @@ inline std::string time_gcups_cell(const sim::SimReport& r) {
     return format_double(r.makespan, 1) + " / " + format_double(r.gcups, 2);
 }
 
-/// Converts a simulator report into an obs::Trace on virtual timestamps:
-/// one lane per PE carrying its task spans plus Progress instants from
-/// the rate samples — so a simulated run exports through the exact same
-/// Chrome-JSON/CSV/Gantt pipeline as a traced real run.
+/// Converts a simulator report into an obs::Trace on virtual timestamps
+/// (now a thin alias for sim::to_trace, which also accepts a master
+/// lane for balance auditing) — so a simulated run exports through the
+/// exact same Chrome-JSON/CSV/Gantt pipeline as a traced real run.
 inline obs::Trace sim_trace(const sim::SimReport& report,
                             const std::vector<sim::PeModelSpec>& pes) {
-    obs::Trace trace;
-    trace.lanes.resize(pes.size());
-    for (std::size_t p = 0; p < pes.size(); ++p) {
-        trace.lanes[p].label = pes[p].label;
-    }
-    for (const sim::TaskSpan& s : report.spans) {
-        if (s.pe >= trace.lanes.size()) continue;
-        auto& events = trace.lanes[s.pe].events;
-        events.push_back(obs::TraceEvent{
-            s.start, obs::EventKind::SpanBegin,
-            static_cast<core::PeId>(s.pe), s.task, 0.0, "task"});
-        events.push_back(obs::TraceEvent{
-            s.end, obs::EventKind::SpanEnd, static_cast<core::PeId>(s.pe),
-            s.task, s.aborted ? 1.0 : 0.0, "task"});
-    }
-    for (const sim::RateSample& r : report.rates) {
-        if (r.pe >= trace.lanes.size()) continue;
-        trace.lanes[r.pe].events.push_back(obs::TraceEvent{
-            r.time, obs::EventKind::Progress, static_cast<core::PeId>(r.pe),
-            obs::kNoTask, r.gcups * 1e9, nullptr});
-    }
-    // Chrome's B/E pairing needs chronological lane order; at equal
-    // timestamps an End must precede the next Begin (back-to-back tasks).
-    auto rank = [](const obs::TraceEvent& e) {
-        if (e.kind == obs::EventKind::SpanEnd) return 0;
-        if (e.kind == obs::EventKind::SpanBegin) return 2;
-        return 1;
-    };
-    for (obs::TraceLaneData& lane : trace.lanes) {
-        std::stable_sort(lane.events.begin(), lane.events.end(),
-                         [&](const obs::TraceEvent& a,
-                             const obs::TraceEvent& b) {
-                             if (a.t != b.t) return a.t < b.t;
-                             return rank(a) < rank(b);
-                         });
-    }
-    return trace;
+    return sim::to_trace(report, pes);
 }
 
 /// Writes a trace as Chrome trace-event JSON (ui.perfetto.dev).

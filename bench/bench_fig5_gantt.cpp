@@ -5,6 +5,8 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "obs/balance.hpp"
+#include "obs/sched_log.hpp"
 #include "util/args.hpp"
 
 using namespace swh;
@@ -45,16 +47,34 @@ int main(int argc, char** argv) {
                     "also write the WITH-adjustment run as Chrome "
                     "trace-event JSON (open at ui.perfetto.dev)",
                     "");
+    args.add_flag("balance",
+                  "print the workload-balance audit for both runs "
+                  "(per-PE busy/idle/comm, imbalance, critical path)");
     if (!args.parse(argc, argv)) return 0;
 
     for (const bool adjust : {true, false}) {
-        const sim::SimConfig cfg = figure5(adjust);
+        sim::SimConfig cfg = figure5(adjust);
+        obs::SchedEventLog event_log;
+        if (args.get_flag("balance")) cfg.observer = &event_log;
         const sim::SimReport r = sim::simulate(cfg);
         std::cout << "Fig. 5" << (adjust ? "(a) WITH" : "(b) WITHOUT")
                   << " the load adjustment mechanism — total "
                   << format_double(r.makespan, 0) << " s (paper: "
                   << (adjust ? 14 : 18) << " s)\n"
                   << sim::render_gantt(r, cfg.pes, 0.5) << '\n';
+        if (args.get_flag("balance")) {
+            obs::BalanceOptions bopts;
+            bopts.horizon_s = r.all_idle_time;
+            for (const sim::PeReport& pe : r.pes) {
+                bopts.cells_by_label.emplace_back(
+                    pe.label, static_cast<double>(pe.cells));
+            }
+            std::cout << obs::analyze_balance(
+                             sim::to_trace(r, cfg.pes, event_log.take()),
+                             bopts)
+                             .to_text()
+                      << '\n';
+        }
         if (adjust && !args.get("trace").empty()) {
             bench::write_chrome_trace(bench::sim_trace(r, cfg.pes),
                                       args.get("trace"));

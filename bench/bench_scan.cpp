@@ -39,6 +39,7 @@
 #include "obs/metrics.hpp"
 #include "simd/simd.hpp"
 #include "util/args.hpp"
+#include "util/hostinfo.hpp"
 #include "util/rng.hpp"
 #include "util/str.hpp"
 #include "util/timer.hpp"
@@ -354,10 +355,32 @@ int main(int argc, char** argv) {
             : std::pow(funnel_geomean_short,
                        1.0 / static_cast<double>(n_funnel_short));
 
+    // Host provenance so archived BENCH_scan.json files are
+    // self-describing: absolute GCUPS numbers are only comparable
+    // within one (machine, compiler, flags) tuple; the perf gate
+    // compares machine-independent speedup ratios instead.
+    const HostInfo host = host_info();
+    const auto jstr = [](const std::string& s) {
+        std::string out;
+        for (const char c : s) {
+            if (c == '"' || c == '\\') out.push_back('\\');
+            if (static_cast<unsigned char>(c) < 0x20) continue;
+            out.push_back(c);
+        }
+        return out;
+    };
+
     std::ofstream out(out_path);
     out << "{\n"
         << "  \"bench\": \"scan\",\n"
         << "  \"isa\": \"" << simd::to_string(isa) << "\",\n"
+        << "  \"host\": {\n"
+        << "    \"cpu_model\": \"" << jstr(host.cpu_model) << "\",\n"
+        << "    \"hardware_threads\": " << host.hardware_threads << ",\n"
+        << "    \"compiler\": \"" << jstr(host.compiler) << "\",\n"
+        << "    \"git_sha\": \"" << jstr(host.git_sha) << "\",\n"
+        << "    \"build_flags\": \"" << jstr(host.build_flags) << "\"\n"
+        << "  },\n"
         << "  \"cohort_lanes\": " << lanes << ",\n"
         << "  \"db_sequences\": " << database.size() << ",\n"
         << "  \"db_residues\": " << db_residues << ",\n"

@@ -9,6 +9,7 @@
 // Run with --generate-demo to create a small query/database pair first.
 
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -23,7 +24,12 @@
 #include "engines/sim_gpu_engine.hpp"
 #include "io/fasta.hpp"
 #include "io/indexed.hpp"
+#include "obs/balance.hpp"
+#include "obs/dashboard.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
+#include "obs/sampler.hpp"
+#include "obs/sched_log.hpp"
 #include "obs/trace.hpp"
 #include "runtime/hybrid_runtime.hpp"
 #include "util/args.hpp"
@@ -209,6 +215,25 @@ int main(int argc, char** argv) {
                     "write run metrics (counters/histograms) as JSON here",
                     "");
     args.add_flag("gantt", "print an ASCII Gantt chart of the run");
+    args.add_flag("balance-report",
+                  "print the post-run workload-balance audit (per-PE "
+                  "busy/comm/idle, imbalance ratio, critical path)");
+    args.add_option("balance-json",
+                    "also write the balance report as JSON here", "");
+    args.add_option("weights-out",
+                    "record PSS weight trajectories (realised vs estimated "
+                    "rate per PE) and write them here as CSV (.json for "
+                    "JSON)",
+                    "");
+    args.add_option("prom",
+                    "write Prometheus text-format metrics here, rewritten "
+                    "every --watch-period while the run executes",
+                    "");
+    args.add_flag("watch",
+                  "live ASCII dashboard (refresh in place) with per-PE "
+                  "rates, imbalance, and funnel tau while the run executes");
+    args.add_option("watch-period",
+                    "dashboard/scrape refresh period in seconds", "0.5");
 
     try {
         if (!args.parse(argc, argv)) return 0;
@@ -261,17 +286,28 @@ int main(int argc, char** argv) {
         options.master_link_faults.seed = fault_seed;
         options.slave_link_stall_s = args.get_double("chan-stall");
 
-        // Observability: a recorder when any trace output was asked for,
-        // a registry when --metrics names a file.
-        const bool want_trace =
-            !args.get("trace").empty() || args.get_flag("gantt");
-        const bool want_metrics = !args.get("metrics").empty();
+        // Observability: a recorder when any trace-derived output was
+        // asked for (including the balance audit), a registry when any
+        // metrics consumer is on (file, Prometheus scrape, dashboard).
+        const bool want_balance = args.get_flag("balance-report") ||
+                                  !args.get("balance-json").empty();
+        const bool want_trace = !args.get("trace").empty() ||
+                                args.get_flag("gantt") || want_balance;
+        const bool want_watch = args.get_flag("watch");
+        const bool want_prom = !args.get("prom").empty();
+        const bool want_metrics =
+            !args.get("metrics").empty() || want_watch || want_prom;
         std::optional<obs::TraceRecorder> recorder;
         obs::MetricsRegistry registry;
         if (want_trace) recorder.emplace();
         options.trace = want_trace ? &*recorder : nullptr;
         options.metrics = want_metrics ? &registry : nullptr;
         if (want_metrics) config.metrics = &registry;
+
+        // PSS weight trajectories ride the scheduler's observer slot.
+        obs::WeightLog weight_log;
+        const std::string weights_path = args.get("weights-out");
+        if (!weights_path.empty()) options.sched_observer = &weight_log;
 
         std::cout << "searching " << queries.size() << " queries against "
                   << database.size() << " sequences ("
@@ -285,8 +321,52 @@ int main(int argc, char** argv) {
         std::vector<runtime::SlaveSpec> slaves =
             make_slaves(args.get("slaves"), config);
         apply_faults(slaves, args.get("fault"), fault_seed);
+        // PeIds are handed out in registration (spec) order, so these
+        // double as the dashboard/weights row labels.
+        std::vector<std::string> slave_labels;
+        slave_labels.reserve(slaves.size());
+        for (const runtime::SlaveSpec& s : slaves) {
+            slave_labels.push_back(s.label);
+        }
+
+        // Resident-process surface: a background sampler renders the
+        // live dashboard and/or rewrites the Prometheus scrape file
+        // while run() blocks this thread.
+        std::optional<obs::PeriodicSampler> sampler;
+        if (want_watch || want_prom) {
+            const double period =
+                std::max(args.get_double("watch-period"), 0.05);
+            const std::string prom_path = args.get("prom");
+            sampler.emplace(
+                registry, period,
+                [&slave_labels, want_watch,
+                 prom_path](const obs::MetricsSnapshot& snap,
+                            double elapsed) {
+                    if (want_watch) {
+                        obs::DashboardOptions dopt;
+                        dopt.pe_labels = slave_labels;
+                        dopt.elapsed_s = elapsed;
+                        std::cout << "\x1b[H\x1b[2J"
+                                  << obs::render_dashboard(snap, dopt)
+                                  << std::flush;
+                    }
+                    if (!prom_path.empty()) {
+                        // Write-then-rename so a concurrent scrape
+                        // never reads a half-written exposition.
+                        const std::string tmp = prom_path + ".tmp";
+                        {
+                            std::ofstream pf(tmp);
+                            if (!pf) return;
+                            obs::export_prometheus(snap, pf);
+                        }
+                        std::rename(tmp.c_str(), prom_path.c_str());
+                    }
+                });
+        }
+
         const runtime::RunReport report =
             rt.run(std::move(slaves), make_policy(args.get("policy")));
+        if (sampler.has_value()) sampler->stop();
 
         const align::GumbelParams stats = align::fit_gumbel(matrix, gap);
         const double max_evalue = args.get_double("max-evalue");
@@ -392,8 +472,58 @@ int main(int argc, char** argv) {
                     std::max(report.wall_seconds / 60.0, 1e-6);
                 std::cout << "\n" << obs::render_trace_gantt(trace, step);
             }
+            if (want_balance) {
+                obs::BalanceOptions bopt;
+                bopt.horizon_s = report.wall_seconds;
+                for (const runtime::SlaveReport& s : report.slaves) {
+                    bopt.cells_by_label.emplace_back(
+                        s.label, static_cast<double>(s.cells_computed));
+                }
+                const obs::BalanceReport balance =
+                    obs::analyze_balance(trace, bopt);
+                if (args.get_flag("balance-report")) {
+                    std::cout << "\n" << balance.to_text();
+                }
+                if (!args.get("balance-json").empty()) {
+                    std::ofstream bf(args.get("balance-json"));
+                    SWH_REQUIRE(static_cast<bool>(bf),
+                                "cannot open --balance-json file");
+                    bf << balance.to_json();
+                    std::cout << "balance report written to "
+                              << args.get("balance-json") << '\n';
+                }
+            }
         }
-        if (want_metrics) {
+        if (!weights_path.empty()) {
+            std::ofstream wf(weights_path);
+            SWH_REQUIRE(static_cast<bool>(wf),
+                        "cannot open --weights-out file");
+            const bool as_json =
+                weights_path.size() >= 5 &&
+                weights_path.compare(weights_path.size() - 5, 5, ".json") ==
+                    0;
+            if (as_json) {
+                wf << weight_log.to_json(slave_labels);
+            } else {
+                weight_log.export_csv(wf, slave_labels);
+            }
+            std::cout << weight_log.samples().size()
+                      << " PSS weight samples written to " << weights_path
+                      << '\n';
+        }
+        if (want_prom) {
+            const std::string tmp = args.get("prom") + ".tmp";
+            {
+                std::ofstream pf(tmp);
+                SWH_REQUIRE(static_cast<bool>(pf),
+                            "cannot open --prom file for writing");
+                obs::export_prometheus(report.metrics, pf);
+            }
+            std::rename(tmp.c_str(), args.get("prom").c_str());
+            std::cout << "prometheus metrics written to " << args.get("prom")
+                      << '\n';
+        }
+        if (!args.get("metrics").empty()) {
             std::ofstream mf(args.get("metrics"));
             SWH_REQUIRE(static_cast<bool>(mf),
                         "cannot open --metrics file for writing");

@@ -5,9 +5,12 @@
 //   swhybrid_sim --db swissprot --gpus 4 --sses 4 --policy pss
 //   swhybrid_sim --db dog --sses 4 --load 60:0:0.5 --gantt
 
+#include <fstream>
 #include <iostream>
 
 #include "db/presets.hpp"
+#include "obs/balance.hpp"
+#include "obs/sched_log.hpp"
 #include "sim/simulator.hpp"
 #include "util/args.hpp"
 #include "util/str.hpp"
@@ -52,6 +55,14 @@ int main(int argc, char** argv) {
     args.add_flag("no-adjust", "disable the workload-adjustment mechanism");
     args.add_flag("lpt", "dispatch largest tasks first");
     args.add_flag("gantt", "render an ASCII Gantt chart");
+    args.add_flag("balance-report",
+                  "print the workload-balance audit (per-PE busy/idle/comm, "
+                  "imbalance ratio, critical path)");
+    args.add_option("balance-json", "write the balance report as JSON here",
+                    "");
+    args.add_option("weights-out",
+                    "record PSS weight trajectories (realised vs estimated "
+                    "rate per progress sample) to this CSV/JSON file", "");
 
     try {
         if (!args.parse(argc, argv)) return 0;
@@ -94,6 +105,20 @@ int main(int argc, char** argv) {
                                 std::stoul(parts[1])});
         }
 
+        // Balance auditing observes the scheduler exactly like the
+        // threaded runtime does, just on virtual time: a SchedEventLog
+        // for the master decision lane, a WeightLog for PSS estimate
+        // trajectories, both fanned into the simulator's observer slot.
+        const bool want_balance = args.get_flag("balance-report") ||
+                                  !args.get("balance-json").empty();
+        const std::string weights_path = args.get("weights-out");
+        obs::SchedEventLog event_log;
+        obs::WeightLog weight_log;
+        obs::SchedFanout fanout;
+        if (want_balance) fanout.add(&event_log);
+        if (!weights_path.empty()) fanout.add(&weight_log);
+        if (!fanout.empty()) cfg.observer = &fanout;
+
         const sim::SimReport r = sim::simulate(cfg);
         std::cout << preset.name << ": "
                   << with_thousands(
@@ -119,6 +144,47 @@ int main(int argc, char** argv) {
             std::cout << '\n'
                       << sim::render_gantt(r, cfg.pes,
                                            r.makespan / 80.0);
+        }
+        if (want_balance) {
+            const obs::Trace trace =
+                sim::to_trace(r, cfg.pes, event_log.take());
+            obs::BalanceOptions bopts;
+            bopts.horizon_s = r.all_idle_time;
+            for (const sim::PeReport& pe : r.pes) {
+                bopts.cells_by_label.emplace_back(
+                    pe.label, static_cast<double>(pe.cells));
+            }
+            const obs::BalanceReport balance =
+                obs::analyze_balance(trace, bopts);
+            if (args.get_flag("balance-report")) {
+                std::cout << '\n' << balance.to_text();
+            }
+            if (!args.get("balance-json").empty()) {
+                std::ofstream bf(args.get("balance-json"));
+                SWH_REQUIRE(static_cast<bool>(bf),
+                            "cannot open --balance-json file for writing");
+                bf << balance.to_json() << '\n';
+                std::cout << "balance report written to "
+                          << args.get("balance-json") << '\n';
+            }
+        }
+        if (!weights_path.empty()) {
+            std::vector<std::string> labels;
+            for (const sim::PeModelSpec& pe : cfg.pes) {
+                labels.push_back(pe.label);
+            }
+            std::ofstream wf(weights_path);
+            SWH_REQUIRE(static_cast<bool>(wf),
+                        "cannot open --weights-out file for writing");
+            if (weights_path.size() >= 5 &&
+                weights_path.rfind(".json") == weights_path.size() - 5) {
+                wf << weight_log.to_json() << '\n';
+            } else {
+                weight_log.export_csv(wf, labels);
+            }
+            std::cout << weight_log.samples().size()
+                      << " PSS weight samples written to " << weights_path
+                      << '\n';
         }
         return 0;
     } catch (const std::exception& e) {

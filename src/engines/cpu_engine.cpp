@@ -53,6 +53,14 @@ core::TaskResult CpuEngine::execute(const align::Sequence& query,
     align::DatabaseScanner scanner(aligner, packed.view(), config_.scan_chunk,
                                    cohorts,
                                    config_.prefilter ? &tau : nullptr);
+    // Live τ exposition for the watch dashboard: resolved once here,
+    // stored (one relaxed atomic) only when a worker actually raises
+    // the threshold. Lags the true max by at most one racing raise —
+    // fine for a last-write-wins gauge.
+    obs::Gauge* const tau_gauge =
+        config_.prefilter && config_.metrics != nullptr
+            ? &config_.metrics->gauge("engine.cpu.filter.tau")
+            : nullptr;
     const std::uint64_t qlen = query.size();
 
     core::TaskResult result;
@@ -116,6 +124,11 @@ core::TaskResult CpuEngine::execute(const align::Sequence& query,
                     while (kth > cur &&
                            !tau.compare_exchange_weak(
                                cur, kth, std::memory_order_relaxed)) {
+                    }
+                    // cur still holds the pre-CAS value: kth > cur
+                    // means this worker raised τ.
+                    if (tau_gauge != nullptr && kth > cur) {
+                        tau_gauge->set(static_cast<double>(kth));
                     }
                 }
                 return account(qlen * len);

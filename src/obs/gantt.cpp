@@ -11,7 +11,7 @@ namespace swh::obs {
 
 std::string render_gantt(std::span<const GanttSpan> spans,
                          std::span<const std::string> row_labels,
-                         double time_step) {
+                         double time_step, const char* unit) {
     SWH_REQUIRE(time_step > 0.0, "time step must be positive");
     double horizon = 0.0;
     for (const GanttSpan& s : spans) horizon = std::max(horizon, s.end);
@@ -45,8 +45,8 @@ std::string render_gantt(std::span<const GanttSpan> spans,
            << "|\n";
     }
     os << std::string(label_w, ' ') << "  0" << std::string(cols - 1, ' ')
-       << swh::format_double(horizon, 1) << "s  (one column = "
-       << swh::format_double(time_step, 2) << "s)\n";
+       << swh::format_double(horizon, 1) << unit << "  (one column = "
+       << swh::format_double(time_step, 2) << unit << ")\n";
     return os.str();
 }
 

@@ -24,9 +24,11 @@ struct GanttSpan {
 };
 
 /// Renders one row per label; `time_step` is the width of one character
-/// cell in seconds.
+/// cell in `unit`s. The axis is time by default, but the renderer is
+/// unit-agnostic — the live dashboard reuses it for per-PE rate bars
+/// (unit "GCUPS", span = [0, rate]).
 std::string render_gantt(std::span<const GanttSpan> spans,
                          std::span<const std::string> row_labels,
-                         double time_step);
+                         double time_step, const char* unit = "s");
 
 }  // namespace swh::obs

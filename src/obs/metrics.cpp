@@ -66,6 +66,7 @@ HistogramSummary Histogram::summary(std::string name) const {
     s.stdev = stats_.stdev();
     s.p50 = estimate_percentile(buckets_, s.count, 50.0, s.min, s.max);
     s.p90 = estimate_percentile(buckets_, s.count, 90.0, s.min, s.max);
+    s.p95 = estimate_percentile(buckets_, s.count, 95.0, s.min, s.max);
     s.p99 = estimate_percentile(buckets_, s.count, 99.0, s.min, s.max);
     for (int i = 0; i < kBuckets; ++i) {
         if (buckets_[static_cast<std::size_t>(i)] > 0) {
@@ -177,6 +178,7 @@ std::string MetricsSnapshot::to_json() const {
               {"stdev", h.stdev},
               {"p50", h.p50},
               {"p90", h.p90},
+              {"p95", h.p95},
               {"p99", h.p99}}) {
             os << ", \"" << key << "\": ";
             json_number(os, v);

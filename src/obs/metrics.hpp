@@ -54,6 +54,7 @@ struct HistogramSummary {
     double stdev = 0.0;
     double p50 = 0.0;
     double p90 = 0.0;
+    double p95 = 0.0;
     double p99 = 0.0;
     struct Bucket {
         int exp2 = 0;  ///< bucket covers [2^exp2, 2^(exp2+1))

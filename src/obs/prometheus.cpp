@@ -1,0 +1,88 @@
+#include "obs/prometheus.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace swh::obs {
+
+namespace {
+
+/// Prometheus metric names admit [a-zA-Z0-9_:]; everything else (the
+/// registry's dots, mostly) becomes '_'.
+std::string sanitize(const std::string& prefix, const std::string& name) {
+    std::string out = prefix.empty() ? "" : prefix + "_";
+    out.reserve(out.size() + name.size());
+    for (const char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' || c == ':';
+        out.push_back(ok ? c : '_');
+    }
+    return out;
+}
+
+void number(std::ostream& os, double v) {
+    if (std::isnan(v)) {
+        os << "NaN";
+    } else if (std::isinf(v)) {
+        os << (v > 0 ? "+Inf" : "-Inf");
+    } else {
+        std::ostringstream tmp;
+        tmp.precision(12);
+        tmp << v;
+        os << tmp.str();
+    }
+}
+
+}  // namespace
+
+void export_prometheus(const MetricsSnapshot& snapshot, std::ostream& os,
+                       const std::string& prefix) {
+    for (const auto& [name, value] : snapshot.counters) {
+        const std::string n = sanitize(prefix, name) + "_total";
+        os << "# TYPE " << n << " counter\n" << n << ' ' << value << '\n';
+    }
+    for (const auto& [name, value] : snapshot.gauges) {
+        const std::string n = sanitize(prefix, name);
+        os << "# TYPE " << n << " gauge\n" << n << ' ';
+        number(os, value);
+        os << '\n';
+    }
+    for (const HistogramSummary& h : snapshot.histograms) {
+        const std::string n = sanitize(prefix, h.name);
+        os << "# TYPE " << n << " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (const HistogramSummary::Bucket& b : h.buckets) {
+            cumulative += b.count;
+            os << n << "_bucket{le=\"";
+            // Upper bound of [2^exp2, 2^(exp2+1)).
+            number(os, std::ldexp(1.0, b.exp2 + 1));
+            os << "\"} " << cumulative << '\n';
+        }
+        os << n << "_bucket{le=\"+Inf\"} " << h.count << '\n';
+        os << n << "_sum ";
+        number(os, h.mean * static_cast<double>(h.count));
+        os << '\n' << n << "_count " << h.count << '\n';
+        // Pre-estimated quantiles (clamped-interpolation, see
+        // obs/metrics.hpp) for scrapers that skip histogram_quantile().
+        os << "# TYPE " << n << "_quantile gauge\n";
+        for (const auto& [q, v] :
+             {std::pair<const char*, double>{"0.5", h.p50},
+              {"0.9", h.p90},
+              {"0.95", h.p95},
+              {"0.99", h.p99}}) {
+            os << n << "_quantile{quantile=\"" << q << "\"} ";
+            number(os, v);
+            os << '\n';
+        }
+    }
+}
+
+std::string prometheus_text(const MetricsSnapshot& snapshot,
+                            const std::string& prefix) {
+    std::ostringstream os;
+    export_prometheus(snapshot, os, prefix);
+    return os.str();
+}
+
+}  // namespace swh::obs

@@ -1,0 +1,25 @@
+#pragma once
+
+// Prometheus text exposition (format 0.0.4) of a MetricsSnapshot, the
+// scrape surface a long-lived resident process exposes. Dotted metric
+// names sanitise to underscores under a configurable prefix; counters
+// gain the conventional `_total` suffix; log2-bucket histograms export
+// as native Prometheus histograms (cumulative `_bucket{le=...}` series
+// with power-of-two upper bounds, plus `_sum`/`_count`) and carry the
+// estimated quantiles as separate gauges for dashboards that want them
+// without server-side histogram_quantile().
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace swh::obs {
+
+void export_prometheus(const MetricsSnapshot& snapshot, std::ostream& os,
+                       const std::string& prefix = "swh");
+
+std::string prometheus_text(const MetricsSnapshot& snapshot,
+                            const std::string& prefix = "swh");
+
+}  // namespace swh::obs

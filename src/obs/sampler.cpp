@@ -1,0 +1,58 @@
+#include "obs/sampler.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace swh::obs {
+
+PeriodicSampler::PeriodicSampler(const MetricsRegistry& registry,
+                                 double period_s, Callback callback)
+    : registry_(registry) {
+    SWH_REQUIRE(period_s > 0.0, "sampler period must be positive");
+    SWH_REQUIRE(static_cast<bool>(callback), "sampler needs a callback");
+    thread_ = std::thread([this, period_s, cb = std::move(callback)] {
+        loop(period_s, std::move(cb));
+    });
+}
+
+PeriodicSampler::~PeriodicSampler() { stop(); }
+
+void PeriodicSampler::stop() {
+    {
+        const swh::LockGuard lock(mu_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+}
+
+void PeriodicSampler::loop(double period_s, Callback callback) {
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point start = Clock::now();
+    const auto period =
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(period_s));
+    Clock::time_point deadline = start + period;
+    for (;;) {
+        {
+            swh::LockGuard lock(mu_);
+            while (!stopping_ && Clock::now() < deadline) {
+                cv_.wait_until(mu_, deadline);
+            }
+            if (stopping_) return;
+        }
+        // Sample outside the sampler lock: snapshot() takes the
+        // registry's locks and the callback may do IO.
+        const double elapsed =
+            std::chrono::duration<double>(Clock::now() - start).count();
+        callback(registry_.snapshot(), elapsed);
+        ticks_.fetch_add(1, std::memory_order_relaxed);
+        deadline += period;
+        // A slow callback must not cause a catch-up burst.
+        const Clock::time_point now = Clock::now();
+        if (deadline < now) deadline = now + period;
+    }
+}
+
+}  // namespace swh::obs

@@ -1,0 +1,54 @@
+#pragma once
+
+// Background metrics sampler for resident processes: a thread that
+// snapshots a MetricsRegistry every period and hands the snapshot to a
+// callback — render a live dashboard frame, rewrite a Prometheus
+// scrape file, append a time series. The sampled registry is only ever
+// read (snapshot() takes the registry's own locks), so running the
+// sampler perturbs nothing the run computes.
+
+#include <cstdint>
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "util/annotations.hpp"
+
+namespace swh::obs {
+
+class PeriodicSampler {
+public:
+    /// `elapsed_s` is seconds since the sampler started (steady clock).
+    using Callback =
+        std::function<void(const MetricsSnapshot&, double elapsed_s)>;
+
+    /// Starts sampling immediately; the first tick fires after one
+    /// period. The registry and callback must stay valid until stop().
+    PeriodicSampler(const MetricsRegistry& registry, double period_s,
+                    Callback callback);
+
+    /// Joins the thread; idempotent, and the destructor calls it.
+    ~PeriodicSampler();
+    void stop();
+
+    std::uint64_t ticks() const {
+        return ticks_.load(std::memory_order_relaxed);
+    }
+
+    PeriodicSampler(const PeriodicSampler&) = delete;
+    PeriodicSampler& operator=(const PeriodicSampler&) = delete;
+
+private:
+    void loop(double period_s, Callback callback);
+
+    const MetricsRegistry& registry_;
+    std::atomic<std::uint64_t> ticks_{0};
+    swh::Mutex mu_;
+    swh::CondVar cv_;
+    bool stopping_ SWH_GUARDED_BY(mu_) = false;
+    std::thread thread_;
+};
+
+}  // namespace swh::obs

@@ -1,0 +1,54 @@
+#include "obs/sched_log.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace swh::obs {
+
+namespace {
+
+std::string pe_label(core::PeId pe, std::span<const std::string> labels) {
+    const auto i = static_cast<std::size_t>(pe);
+    if (i < labels.size() && !labels[i].empty()) return labels[i];
+    return "pe" + std::to_string(pe);
+}
+
+}  // namespace
+
+void WeightLog::export_csv(std::ostream& os,
+                           std::span<const std::string> pe_labels) const {
+    os << "pe,label,t_seconds,realised_cps,estimate_cps,rel_error\n";
+    for (const WeightSample& s : samples_) {
+        os << s.pe << ',' << pe_label(s.pe, pe_labels) << ',' << s.t << ','
+           << s.realised_cps << ',' << s.prior_estimate_cps << ',';
+        if (s.realised_cps > 0.0 && s.prior_estimate_cps > 0.0) {
+            os << std::abs(s.prior_estimate_cps - s.realised_cps) /
+                      s.realised_cps;
+        }
+        os << '\n';
+    }
+}
+
+std::string WeightLog::csv(std::span<const std::string> pe_labels) const {
+    std::ostringstream os;
+    export_csv(os, pe_labels);
+    return os.str();
+}
+
+std::string WeightLog::to_json(std::span<const std::string> pe_labels) const {
+    std::ostringstream os;
+    os << "[";
+    for (std::size_t i = 0; i < samples_.size(); ++i) {
+        const WeightSample& s = samples_[i];
+        os << (i == 0 ? "\n" : ",\n");
+        os << "  {\"pe\": " << s.pe << ", \"label\": \""
+           << pe_label(s.pe, pe_labels) << "\", \"t\": " << s.t
+           << ", \"realised_cps\": " << s.realised_cps
+           << ", \"estimate_cps\": " << s.prior_estimate_cps << '}';
+    }
+    os << "\n]\n";
+    return os.str();
+}
+
+}  // namespace swh::obs

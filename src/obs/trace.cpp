@@ -46,6 +46,13 @@ Trace TraceRecorder::drain() const {
     return out;
 }
 
+std::uint64_t TraceRecorder::dropped_total() const {
+    const swh::LockGuard lock(mu_);
+    std::uint64_t n = 0;
+    for (const auto& lane : lanes_) n += lane->dropped_;
+    return n;
+}
+
 namespace {
 
 void json_escape(std::ostream& os, const char* s) {
@@ -152,7 +159,10 @@ void export_chrome_json(const Trace& trace, std::ostream& os) {
             os << '}';
         }
     }
-    os << "\n]}\n";
+    // Truncation must be visible in the artifact itself: a trace whose
+    // rings overflowed is otherwise indistinguishable from a short run.
+    os << "\n],\"otherData\":{\"dropped_events\":\"" << trace.total_dropped()
+       << "\"}}\n";
 }
 
 std::string chrome_json(const Trace& trace) {
@@ -175,9 +185,17 @@ void export_csv(const Trace& trace, std::ostream& os) {
                << (e.name != nullptr ? e.name : "") << '\n';
         }
     }
+    // Footer comment (ignored by CSV readers that strip '#' lines) so a
+    // truncated export carries its own health record.
+    os << "# dropped_events," << trace.total_dropped() << '\n';
 }
 
 std::string render_trace_gantt(const Trace& trace, double time_step) {
+    std::string header;
+    if (const std::uint64_t dropped = trace.total_dropped(); dropped > 0) {
+        header = "!! trace dropped " + std::to_string(dropped) +
+                 " event(s) (ring overflow) — chart may be truncated\n";
+    }
     std::vector<GanttSpan> spans;
     std::vector<std::string> labels;
     for (const TraceLaneData& lane : trace.lanes) {
@@ -206,7 +224,7 @@ std::string render_trace_gantt(const Trace& trace, double time_step) {
         labels.push_back(lane.label);
         spans.insert(spans.end(), mine.begin(), mine.end());
     }
-    return render_gantt(spans, labels, time_step);
+    return header + render_gantt(spans, labels, time_step);
 }
 
 }  // namespace swh::obs

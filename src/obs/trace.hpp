@@ -123,6 +123,14 @@ struct Trace {
         for (const TraceLaneData& l : lanes) n += l.events.size();
         return n;
     }
+
+    /// Events lost to ring overflow across all lanes. Non-zero means the
+    /// exporters see a truncated history; every exporter surfaces this.
+    std::uint64_t total_dropped() const {
+        std::uint64_t n = 0;
+        for (const TraceLaneData& l : lanes) n += l.dropped;
+        return n;
+    }
 };
 
 /// Owns the lanes and the shared clock. Lane registration takes a lock;
@@ -170,6 +178,11 @@ public:
     /// Copies every lane's ring into a flat Trace. Call only after the
     /// emitting threads have joined/quiesced.
     Trace drain() const SWH_EXCLUDES(mu_);
+
+    /// Sum of every lane's dropped count. Like drain(), only meaningful
+    /// after the emitting threads have quiesced (lane counters are
+    /// owned by their emitting threads, not the recorder lock).
+    std::uint64_t dropped_total() const SWH_EXCLUDES(mu_);
 
 private:
     using Clock = std::chrono::steady_clock;

@@ -5,7 +5,7 @@
 namespace swh::obs {
 
 SchedTracer::SchedTracer(TraceLane* lane, MetricsRegistry* metrics)
-    : lane_(lane) {
+    : lane_(lane), metrics_(metrics) {
     if (metrics != nullptr) {
         packages_ = &metrics->counter("sched.packages");
         replicas_ = &metrics->counter("sched.replicas_issued");
@@ -19,11 +19,27 @@ SchedTracer::SchedTracer(TraceLane* lane, MetricsRegistry* metrics)
     }
 }
 
+SchedTracer::PeHandles& SchedTracer::pe_handles(core::PeId pe) {
+    const auto i = static_cast<std::size_t>(pe);
+    if (i >= per_pe_.size()) per_pe_.resize(i + 1);
+    PeHandles& h = per_pe_[i];
+    if (metrics_ != nullptr && h.rate == nullptr) {
+        const std::string base = "sched.pe." + std::to_string(pe) + ".";
+        h.rate = &metrics_->gauge(base + "rate_cps");
+        h.accepted = &metrics_->counter(base + "accepted");
+        h.assigned = &metrics_->counter(base + "assigned");
+    }
+    return h;
+}
+
 void SchedTracer::on_slave_registered(core::PeId pe, core::PeKind kind) {
     if (lane_ != nullptr) {
         lane_->emit(EventKind::SlaveRegistered, pe, kNoTask,
                     static_cast<double>(kind), core::to_string(kind));
     }
+    // Registration is rare and already off the hot path, so this is the
+    // one place per-PE handles get allocated.
+    if (metrics_ != nullptr) pe_handles(pe);
 }
 
 void SchedTracer::on_slave_deregistered(core::PeId pe, double now) {
@@ -49,6 +65,7 @@ void SchedTracer::on_task_assigned(core::PeId pe, core::TaskId task,
                                    double now) {
     (void)now;
     if (lane_ != nullptr) lane_->emit(EventKind::TaskAssigned, pe, task);
+    if (metrics_ != nullptr) pe_handles(pe).assigned->add();
 }
 
 void SchedTracer::on_replica_issued(core::PeId pe, core::TaskId task,
@@ -65,6 +82,7 @@ void SchedTracer::on_progress(core::PeId pe, double now,
     if (lane_ != nullptr) {
         lane_->emit(EventKind::Progress, pe, kNoTask, cells_per_second);
     }
+    if (metrics_ != nullptr) pe_handles(pe).rate->set(cells_per_second);
     // The estimate the master was steering by, scored against what the
     // slave then actually delivered (paper SS IV-A.2's whole premise).
     if (cells_per_second > 0.0 && prior_estimate > 0.0) {
@@ -87,6 +105,7 @@ void SchedTracer::on_task_completed(core::PeId pe, core::TaskId task,
     }
     if (accepted) {
         if (accepted_ != nullptr) accepted_->add();
+        if (metrics_ != nullptr) pe_handles(pe).accepted->add();
     } else {
         if (discarded_ != nullptr) discarded_->add();
     }

@@ -6,6 +6,7 @@
 // when observability is off.
 
 #include <cstddef>
+#include <vector>
 
 #include "core/sched_observer.hpp"
 #include "net/channel.hpp"
@@ -40,7 +41,19 @@ public:
                         double now) override;
 
 private:
+    /// sched.pe.<id>.* handles, resolved when the slave registers (the
+    /// only per-PE callback outside the steady state) so the live
+    /// dashboard can read current per-PE rates without a trace drain.
+    struct PeHandles {
+        Gauge* rate = nullptr;       ///< sched.pe.<id>.rate_cps
+        Counter* accepted = nullptr; ///< sched.pe.<id>.accepted
+        Counter* assigned = nullptr; ///< sched.pe.<id>.assigned
+    };
+    PeHandles& pe_handles(core::PeId pe);
+
     TraceLane* lane_;  ///< may be null (metrics only)
+    MetricsRegistry* metrics_;
+    std::vector<PeHandles> per_pe_;
     // Handles resolved once; all null when no registry was given.
     Counter* packages_ = nullptr;
     Counter* replicas_ = nullptr;

@@ -13,6 +13,7 @@
 #include "engines/faulty_engine.hpp"
 #include "net/channel.hpp"
 #include "net/messages.hpp"
+#include "obs/sched_log.hpp"
 #include "obs/trace.hpp"
 #include "obs/tracers.hpp"
 #include "util/annotations.hpp"
@@ -240,8 +241,22 @@ RunReport HybridRuntime::run(std::vector<SlaveSpec> slaves,
     obs::TraceLane* const master_lane =
         rec != nullptr ? &rec->lane("master") : nullptr;
     obs::SchedTracer sched_tracer(master_lane, metrics);
+    obs::SchedFanout sched_fanout;
     if (rec != nullptr || metrics != nullptr) {
+        sched_fanout.add(&sched_tracer);
+    }
+    // Caller-supplied observer (e.g. an obs::WeightLog recording the
+    // PSS weight trajectory) shares the scheduler's observer slot with
+    // the tracer through the fanout. Either alone skips the fanout hop.
+    if (options_.sched_observer != nullptr) {
+        sched_fanout.add(options_.sched_observer);
+    }
+    if (sched_fanout.size() == 1 && options_.sched_observer != nullptr) {
+        sched.set_observer(options_.sched_observer);
+    } else if (sched_fanout.size() == 1) {
         sched.set_observer(&sched_tracer);
+    } else if (!sched_fanout.empty()) {
+        sched.set_observer(&sched_fanout);
     }
     obs::ChannelTracer master_chan_tracer(
         rec != nullptr ? &rec->lane("chan:master") : nullptr,
@@ -802,6 +817,13 @@ RunReport HybridRuntime::run(std::vector<SlaveSpec> slaves,
     report.hits.reserve(queries_.size());
     for (std::size_t q = 0; q < queries_.size(); ++q) {
         report.hits.push_back(merger.hits_for(q));
+    }
+    // Ring overflow must be visible in the metrics, not just buried in
+    // the drained lanes: a truncated trace silently skews any analysis
+    // built on it. Counted after the joins so every lane has quiesced;
+    // created even at zero so dashboards can rely on its presence.
+    if (metrics != nullptr && rec != nullptr) {
+        metrics->counter("obs.trace.dropped").add(rec->dropped_total());
     }
     if (metrics != nullptr) report.metrics = metrics->snapshot();
     return report;

@@ -73,6 +73,11 @@ public:
           sched_(core::make_tasks_from_lengths(config.query_lengths,
                                                config.db_residues),
                  config.policy(), config.sched) {
+        // Attach before run() registers the platform so the observer
+        // sees the registrations too (mirrors HybridRuntime's wiring).
+        if (config_.observer != nullptr) {
+            sched_.set_observer(config_.observer);
+        }
         SWH_REQUIRE(config_.db_residues > 0, "db_residues must be positive");
         SWH_REQUIRE(!config_.query_lengths.empty(), "no queries");
         SWH_REQUIRE(!config_.pes.empty() || !config_.join_events.empty(),
@@ -415,6 +420,56 @@ std::string render_gantt(const SimReport& report,
     labels.reserve(pes.size());
     for (const PeModelSpec& pe : pes) labels.push_back(pe.label);
     return obs::render_gantt(spans, labels, time_step);
+}
+
+obs::Trace to_trace(const SimReport& report,
+                    const std::vector<PeModelSpec>& pes,
+                    obs::TraceLaneData master_lane) {
+    obs::Trace trace;
+    const std::size_t first_pe = master_lane.events.empty() ? 0 : 1;
+    trace.lanes.resize(first_pe + pes.size());
+    if (first_pe == 1) {
+        if (master_lane.label.empty()) master_lane.label = "master";
+        trace.lanes[0] = std::move(master_lane);
+    }
+    for (std::size_t p = 0; p < pes.size(); ++p) {
+        trace.lanes[first_pe + p].label = pes[p].label;
+    }
+    for (const TaskSpan& s : report.spans) {
+        if (first_pe + s.pe >= trace.lanes.size()) continue;
+        auto& events = trace.lanes[first_pe + s.pe].events;
+        events.push_back(obs::TraceEvent{s.start, obs::EventKind::SpanBegin,
+                                         static_cast<core::PeId>(s.pe),
+                                         s.task, 0.0, "task"});
+        events.push_back(obs::TraceEvent{s.end, obs::EventKind::SpanEnd,
+                                         static_cast<core::PeId>(s.pe),
+                                         s.task, s.aborted ? 1.0 : 0.0,
+                                         "task"});
+    }
+    for (const RateSample& r : report.rates) {
+        if (first_pe + r.pe >= trace.lanes.size()) continue;
+        trace.lanes[first_pe + r.pe].events.push_back(obs::TraceEvent{
+            r.time, obs::EventKind::Progress, static_cast<core::PeId>(r.pe),
+            obs::kNoTask, r.gcups * 1e9, nullptr});
+    }
+    // Chrome's B/E pairing needs chronological lane order; at equal
+    // timestamps an End must precede the next Begin (back-to-back
+    // tasks).
+    auto rank = [](const obs::TraceEvent& e) {
+        if (e.kind == obs::EventKind::SpanEnd) return 0;
+        if (e.kind == obs::EventKind::SpanBegin) return 2;
+        return 1;
+    };
+    for (std::size_t li = first_pe; li < trace.lanes.size(); ++li) {
+        auto& events = trace.lanes[li].events;
+        std::stable_sort(events.begin(), events.end(),
+                         [&](const obs::TraceEvent& a,
+                             const obs::TraceEvent& b) {
+                             if (a.t != b.t) return a.t < b.t;
+                             return rank(a) < rank(b);
+                         });
+    }
+    return trace;
 }
 
 }  // namespace swh::sim

@@ -5,7 +5,9 @@
 #include <vector>
 
 #include "core/policy.hpp"
+#include "core/sched_observer.hpp"
 #include "core/scheduler.hpp"
+#include "obs/trace.hpp"
 #include "sim/platform.hpp"
 
 namespace swh::sim {
@@ -33,6 +35,12 @@ struct SimConfig {
     std::vector<JoinEvent> join_events;
     /// Hard stop for misconfigured scenarios (virtual seconds).
     double max_time = 1e9;
+    /// Optional scheduler-decision observer, attached before any slave
+    /// registers and driven in virtual time — the same hook the
+    /// threaded runtime wires (obs::SchedTracer / SchedEventLog /
+    /// WeightLog), so a DES run yields the same balance evidence as a
+    /// real one. Non-owning; must outlive simulate().
+    core::SchedObserver* observer = nullptr;
 };
 
 /// One task execution on one PE, for Gantt rendering (paper Fig. 5).
@@ -86,5 +94,16 @@ SimReport simulate(const SimConfig& config);
 std::string render_gantt(const SimReport& report,
                          const std::vector<PeModelSpec>& pes,
                          double time_step);
+
+/// Converts a simulator report into an obs::Trace on virtual
+/// timestamps: one lane per PE carrying its task spans plus Progress
+/// instants from the rate samples, optionally preceded by a master
+/// lane (e.g. an obs::SchedEventLog's) carrying the scheduler's
+/// decisions — the exact Trace shape a drained TraceRecorder produces,
+/// so a simulated run feeds the same exporters *and* the same
+/// obs::analyze_balance as a traced real run.
+obs::Trace to_trace(const SimReport& report,
+                    const std::vector<PeModelSpec>& pes,
+                    obs::TraceLaneData master_lane = {});
 
 }  // namespace swh::sim

@@ -1,0 +1,124 @@
+// Prometheus text-exposition coverage: name sanitisation, counter
+// `_total` convention, histogram bucket cumulativeness and sum/count
+// consistency, quantile gauge series, and a line-level round-trip
+// check that every non-comment line parses as `name[{labels}] value`.
+
+#include "obs/prometheus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace swh::obs {
+namespace {
+
+std::vector<std::string> lines_of(const std::string& text) {
+    std::vector<std::string> lines;
+    std::istringstream is(text);
+    for (std::string line; std::getline(is, line);) lines.push_back(line);
+    return lines;
+}
+
+TEST(Prometheus, CountersGainTotalSuffixAndSanitisedNames) {
+    MetricsRegistry reg;
+    reg.counter("sched.tasks.assigned").add(42);
+    const std::string text = prometheus_text(reg.snapshot());
+    EXPECT_NE(text.find("# TYPE swh_sched_tasks_assigned_total counter\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("swh_sched_tasks_assigned_total 42\n"),
+              std::string::npos);
+}
+
+TEST(Prometheus, GaugesExportWithCustomPrefix) {
+    MetricsRegistry reg;
+    reg.gauge("engine.cpu.filter.tau").set(137.0);
+    const std::string text = prometheus_text(reg.snapshot(), "x");
+    EXPECT_NE(text.find("# TYPE x_engine_cpu_filter_tau gauge\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("x_engine_cpu_filter_tau 137\n"), std::string::npos);
+}
+
+TEST(Prometheus, HistogramBucketsAreCumulativeWithPowerOfTwoBounds) {
+    MetricsRegistry reg;
+    Histogram& h = reg.histogram("task.seconds");
+    for (const double v : {1.5, 3.0, 3.5, 12.0}) h.record(v);
+    const std::string text = prometheus_text(reg.snapshot());
+
+    // 1.5 lands in [1,2) (le=2), 3.0 and 3.5 in [2,4) (le=4), 12 in
+    // [8,16) (le=16); cumulative counts 1, 3, 4, then +Inf = 4.
+    EXPECT_NE(text.find("swh_task_seconds_bucket{le=\"2\"} 1\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("swh_task_seconds_bucket{le=\"4\"} 3\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("swh_task_seconds_bucket{le=\"16\"} 4\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("swh_task_seconds_bucket{le=\"+Inf\"} 4\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("swh_task_seconds_count 4\n"), std::string::npos);
+    // _sum = mean * count = 1.5 + 3 + 3.5 + 12 = 20.
+    EXPECT_NE(text.find("swh_task_seconds_sum 20\n"), std::string::npos);
+    // The pre-estimated quantiles ride along as a gauge series.
+    EXPECT_NE(text.find("# TYPE swh_task_seconds_quantile gauge\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("swh_task_seconds_quantile{quantile=\"0.95\"} "),
+              std::string::npos);
+}
+
+TEST(Prometheus, EveryLineIsACommentOrParsesAsNameValue) {
+    MetricsRegistry reg;
+    reg.counter("a.b").add(1);
+    reg.gauge("c.d-e").set(-2.5);
+    Histogram& h = reg.histogram("f.g");
+    for (int i = 1; i <= 100; ++i) h.record(static_cast<double>(i));
+    const std::string text = prometheus_text(reg.snapshot());
+
+    for (const std::string& line : lines_of(text)) {
+        ASSERT_FALSE(line.empty());
+        if (line.rfind("# TYPE ", 0) == 0) continue;
+        // name{labels} value  |  name value
+        const std::size_t space = line.rfind(' ');
+        ASSERT_NE(space, std::string::npos) << line;
+        const std::string name = line.substr(0, space);
+        const std::string value = line.substr(space + 1);
+        for (const char c : name.substr(0, name.find('{'))) {
+            const bool ok = (c >= 'a' && c <= 'z') ||
+                            (c >= 'A' && c <= 'Z') ||
+                            (c >= '0' && c <= '9') || c == '_' || c == ':';
+            EXPECT_TRUE(ok) << "bad metric-name char '" << c << "' in "
+                            << line;
+        }
+        if (value != "+Inf" && value != "-Inf" && value != "NaN") {
+            EXPECT_NO_THROW((void)std::stod(value)) << line;
+        }
+    }
+}
+
+TEST(Prometheus, BucketCountsSumToTotalCount) {
+    MetricsRegistry reg;
+    Histogram& h = reg.histogram("x");
+    for (int i = 0; i < 1000; ++i) h.record(0.001 * (i + 1));
+    const MetricsSnapshot snap = reg.snapshot();
+    const std::string text = prometheus_text(snap);
+
+    // The last finite bucket's cumulative count must equal _count (the
+    // +Inf bucket adds nothing for in-range samples).
+    std::uint64_t last_cumulative = 0;
+    for (const std::string& line : lines_of(text)) {
+        if (line.find("_bucket{le=\"") == std::string::npos) continue;
+        if (line.find("+Inf") != std::string::npos) continue;
+        last_cumulative = std::stoull(line.substr(line.rfind(' ') + 1));
+    }
+    EXPECT_EQ(last_cumulative, 1000u);
+}
+
+TEST(Prometheus, EmptySnapshotProducesEmptyText) {
+    EXPECT_TRUE(prometheus_text(MetricsSnapshot{}).empty());
+}
+
+}  // namespace
+}  // namespace swh::obs

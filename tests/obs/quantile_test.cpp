@@ -1,0 +1,159 @@
+// Histogram quantile accuracy against a sorted oracle. The estimator
+// walks the log2 buckets to the target rank and interpolates linearly
+// inside the containing bucket, then clamps to the exact observed
+// [min, max] — so the estimate always lands in the same power-of-two
+// bucket as the true order statistic, which bounds the relative error:
+// est/true ∈ (1/2, 2) for positive samples. These tests pin that bound
+// on adversarially wide distributions, plus the Welford edge cases
+// (single sample, all-equal, negative values).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace swh::obs {
+namespace {
+
+/// Oracle: the sample at 1-based rank ceil(p/100 * n), matching the
+/// estimator's "first bucket whose cumulative count reaches the
+/// target" rank convention.
+double oracle_percentile(std::vector<double> sorted, double p) {
+    const double target = p / 100.0 * static_cast<double>(sorted.size());
+    std::size_t rank = static_cast<std::size_t>(std::ceil(target));
+    if (rank == 0) rank = 1;
+    rank = std::min(rank, sorted.size());
+    return sorted[rank - 1];
+}
+
+/// Records every sample, then checks p50/p90/p95/p99 against the
+/// oracle under the proven bucket bound.
+void check_distribution(const std::vector<double>& samples) {
+    Histogram h;
+    for (const double v : samples) h.record(v);
+    const HistogramSummary s = h.summary("x");
+
+    std::vector<double> sorted = samples;
+    std::sort(sorted.begin(), sorted.end());
+
+    const std::pair<double, double> cases[] = {
+        {50.0, s.p50}, {90.0, s.p90}, {95.0, s.p95}, {99.0, s.p99}};
+    for (const auto& [p, est] : cases) {
+        const double truth = oracle_percentile(sorted, p);
+        ASSERT_GT(truth, 0.0);
+        const double ratio = est / truth;
+        EXPECT_GE(ratio, 0.5) << "p" << p << " est " << est << " true "
+                              << truth;
+        EXPECT_LE(ratio, 2.0) << "p" << p << " est " << est << " true "
+                              << truth;
+        // And always inside the observed range (the clamp).
+        EXPECT_GE(est, s.min);
+        EXPECT_LE(est, s.max);
+    }
+}
+
+TEST(Quantile, UniformSamplesStayWithinTheBucketBound) {
+    Rng rng(1);
+    std::vector<double> samples;
+    for (int i = 0; i < 10'000; ++i) samples.push_back(rng.uniform(0.5, 80.0));
+    check_distribution(samples);
+}
+
+TEST(Quantile, HeavyTailedSamplesStayWithinTheBucketBound) {
+    // 20 powers-of-two of dynamic range — the task-duration shape the
+    // registry actually sees (microseconds to minutes).
+    Rng rng(2);
+    std::vector<double> samples;
+    for (int i = 0; i < 10'000; ++i) {
+        samples.push_back(std::exp2(rng.uniform(-5.0, 15.0)));
+    }
+    check_distribution(samples);
+}
+
+TEST(Quantile, BimodalSamplesStayWithinTheBucketBound) {
+    // The hybrid platform's signature shape: a fast-GPU mode and a
+    // slow-SSE mode far apart.
+    Rng rng(3);
+    std::vector<double> samples;
+    for (int i = 0; i < 5'000; ++i) {
+        samples.push_back(i % 4 == 0 ? rng.uniform(0.9, 1.1)
+                                     : rng.uniform(58.0, 62.0));
+    }
+    check_distribution(samples);
+}
+
+TEST(Quantile, ExactWithinOneBucketThanksToTheClamp) {
+    // All samples inside one power-of-two bucket: min == max-ish, and
+    // the clamp pins every percentile into the observed range.
+    Histogram h;
+    for (int i = 0; i < 100; ++i) h.record(5.0 + 0.001 * i);
+    const HistogramSummary s = h.summary("x");
+    EXPECT_GE(s.p50, 5.0);
+    EXPECT_LE(s.p99, 5.099);
+}
+
+TEST(Quantile, SingleSampleIsItsOwnEverything) {
+    Histogram h;
+    h.record(3.25);
+    const HistogramSummary s = h.summary("x");
+    EXPECT_EQ(s.count, 1u);
+    EXPECT_DOUBLE_EQ(s.min, 3.25);
+    EXPECT_DOUBLE_EQ(s.max, 3.25);
+    EXPECT_DOUBLE_EQ(s.mean, 3.25);
+    EXPECT_DOUBLE_EQ(s.stdev, 0.0);
+    // The clamp collapses every percentile onto the sample.
+    EXPECT_DOUBLE_EQ(s.p50, 3.25);
+    EXPECT_DOUBLE_EQ(s.p95, 3.25);
+    EXPECT_DOUBLE_EQ(s.p99, 3.25);
+}
+
+TEST(Quantile, AllEqualSamplesHaveZeroSpread) {
+    Histogram h;
+    for (int i = 0; i < 1'000; ++i) h.record(7.0);
+    const HistogramSummary s = h.summary("x");
+    EXPECT_DOUBLE_EQ(s.mean, 7.0);
+    EXPECT_NEAR(s.stdev, 0.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.p50, 7.0);
+    EXPECT_DOUBLE_EQ(s.p95, 7.0);
+    EXPECT_DOUBLE_EQ(s.p99, 7.0);
+    ASSERT_EQ(s.buckets.size(), 1u);
+    EXPECT_EQ(s.buckets[0].count, 1'000u);
+}
+
+TEST(Quantile, NegativeSamplesLandInTheLowestBucketAndClampToRange) {
+    // The histogram documents non-negative samples, but a buggy caller
+    // must not corrupt it: negatives land in bucket 0 and the Welford
+    // moments stay exact.
+    Histogram h;
+    for (const double v : {-4.0, -2.0, -1.0, 1.0}) h.record(v);
+    const HistogramSummary s = h.summary("x");
+    EXPECT_EQ(s.count, 4u);
+    EXPECT_DOUBLE_EQ(s.min, -4.0);
+    EXPECT_DOUBLE_EQ(s.max, 1.0);
+    EXPECT_DOUBLE_EQ(s.mean, -1.5);
+    // Percentile estimates stay inside the observed range.
+    for (const double p : {s.p50, s.p90, s.p95, s.p99}) {
+        EXPECT_GE(p, -4.0);
+        EXPECT_LE(p, 1.0);
+    }
+}
+
+TEST(Quantile, P95SitsBetweenP90AndP99) {
+    Rng rng(4);
+    Histogram h;
+    for (int i = 0; i < 10'000; ++i) {
+        h.record(std::exp2(rng.uniform(0.0, 10.0)));
+    }
+    const HistogramSummary s = h.summary("x");
+    EXPECT_LE(s.p50, s.p90);
+    EXPECT_LE(s.p90, s.p95);
+    EXPECT_LE(s.p95, s.p99);
+    EXPECT_LE(s.p99, s.max);
+}
+
+}  // namespace
+}  // namespace swh::obs

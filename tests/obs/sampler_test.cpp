@@ -1,0 +1,93 @@
+// PeriodicSampler: tick cadence, stop idempotence, destructor join,
+// and snapshot visibility of concurrent counter updates.
+
+#include "obs/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+
+namespace swh::obs {
+namespace {
+
+TEST(Sampler, TicksAndDeliversSnapshots) {
+    MetricsRegistry reg;
+    reg.counter("n").add(7);
+    std::atomic<std::uint64_t> seen{0};
+    std::atomic<bool> value_ok{true};
+    PeriodicSampler sampler(reg, 0.01,
+                            [&](const MetricsSnapshot& snap, double elapsed) {
+                                if (snap.counter("n") != 7) value_ok = false;
+                                if (elapsed < 0.0) value_ok = false;
+                                seen.fetch_add(1);
+                            });
+    // Wait for at least two ticks (generous budget for slow CI).
+    for (int i = 0; i < 500 && seen.load() < 2; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    sampler.stop();
+    EXPECT_GE(seen.load(), 2u);
+    EXPECT_EQ(sampler.ticks(), seen.load());
+    EXPECT_TRUE(value_ok.load());
+}
+
+TEST(Sampler, StopIsIdempotentAndStopsTicking) {
+    MetricsRegistry reg;
+    PeriodicSampler sampler(reg, 0.005, [](const MetricsSnapshot&, double) {});
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    sampler.stop();
+    const std::uint64_t at_stop = sampler.ticks();
+    sampler.stop();  // second stop is a no-op
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    EXPECT_EQ(sampler.ticks(), at_stop);
+}
+
+TEST(Sampler, StopBeforeFirstTickIsClean) {
+    MetricsRegistry reg;
+    std::atomic<std::uint64_t> seen{0};
+    {
+        PeriodicSampler sampler(
+            reg, 10.0,
+            [&](const MetricsSnapshot&, double) { seen.fetch_add(1); });
+        // Destructor must join promptly despite the 10 s period.
+    }
+    EXPECT_EQ(seen.load(), 0u);
+}
+
+TEST(Sampler, SeesConcurrentUpdates) {
+    MetricsRegistry reg;
+    Counter& c = reg.counter("live");
+    std::atomic<std::uint64_t> last{0};
+    PeriodicSampler sampler(reg, 0.005,
+                            [&](const MetricsSnapshot& snap, double) {
+                                last.store(snap.counter("live"));
+                            });
+    for (int i = 0; i < 1000; ++i) {
+        c.add();
+        if (i % 100 == 0) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+    }
+    for (int i = 0; i < 500 && last.load() == 0; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    sampler.stop();
+    EXPECT_GT(last.load(), 0u);
+    EXPECT_LE(last.load(), 1000u);
+}
+
+TEST(Sampler, RejectsNonPositivePeriodAndNullCallback) {
+    MetricsRegistry reg;
+    EXPECT_THROW(PeriodicSampler(reg, 0.0,
+                                 [](const MetricsSnapshot&, double) {}),
+                 ContractError);
+    EXPECT_THROW(PeriodicSampler(reg, 1.0, nullptr), ContractError);
+}
+
+}  // namespace
+}  // namespace swh::obs

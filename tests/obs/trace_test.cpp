@@ -393,10 +393,18 @@ TEST(TraceExport, CsvHasHeaderAndOneRowPerEvent) {
     ASSERT_TRUE(std::getline(in, line));
     EXPECT_EQ(line, "lane,label,t_seconds,kind,pe,task,value,name");
     std::size_t rows = 0;
+    bool footer_seen = false;
     while (std::getline(in, line)) {
-        if (!line.empty()) ++rows;
+        if (line.empty()) continue;
+        // The `# dropped_events,N` footer is a comment, not a row.
+        if (line.front() == '#') {
+            footer_seen = true;
+            continue;
+        }
+        ++rows;
     }
     EXPECT_EQ(rows, run.trace.total_events());
+    EXPECT_TRUE(footer_seen);
 }
 
 TEST(TraceExport, GanttRendersOneRowPerSpanLane) {
