@@ -136,6 +136,7 @@ align::Score run_filter_only(const align::StripedAligner& aligner,
 
 struct Row {
     std::size_t qlen = 0;
+    std::size_t tile_count = 1;  ///< query tiles of the interseq kernels
     double packed_gcups = 0.0;
     double interseq_gcups = 0.0;
     double speedup = 0.0;
@@ -145,6 +146,9 @@ struct Row {
     double funnel_gcups = 0.0;
     double funnel_speedup = 0.0;
     align::DatabaseScanner::DispatchStats dispatch;
+    /// Dispatch of the armed (funnel) pass — the one that exercises
+    /// the survivor re-pack; `dispatch` above is the unarmed scan.
+    align::DatabaseScanner::DispatchStats funnel_dispatch;
     align::DatabaseScanner::FilterStats filter;
 };
 
@@ -155,8 +159,11 @@ int main(int argc, char** argv) {
                    "three-stage funnel scan vs exhaustive scan GCUPS");
     args.add_option("reps", "timing repetitions (best-of)", "5");
     args.add_option("db-seqs", "synthetic database sequence count", "1500");
+    // The sweep covers the paper's Table-II query range (100..5000 aa)
+    // plus the 1024/1025 pair straddling the untiled/tiled kernel
+    // boundary (2 * align::kInterseqTileRows).
     args.add_option("qlens", "comma-separated query lengths",
-                    "50,100,150,200,500,2000");
+                    "50,100,150,200,500,1024,1025,2000,3000,5000");
     args.add_option("topk", "hits kept per query (funnel threshold k)", "10");
     args.add_option("json", "output JSON path", "");
     args.add_option("out", "output JSON path (alias of --json)",
@@ -232,6 +239,7 @@ int main(int argc, char** argv) {
             run_scan(aligner, packed, scratch, {});
         Row row;
         row.qlen = qlen;
+        row.tile_count = align::interseq_tile_count(q.residues.size());
         const align::Score interseq_best =
             run_scan(aligner, packed, scratch, cohorts, &row.dispatch);
         if (packed_best != interseq_best) {
@@ -257,6 +265,7 @@ int main(int argc, char** argv) {
             }
         }
         row.filter = funnel.filter;
+        row.funnel_dispatch = funnel.dispatch;
         row.filter_selectivity =
             database.size() == 0
                 ? 1.0
@@ -297,19 +306,34 @@ int main(int argc, char** argv) {
         row.funnel_gcups = cells / funnel_best_s / 1e9;
         row.funnel_speedup = row.funnel_gcups / row.exact_gcups;
         rows.push_back(row);
-        metrics.counter("scan.cohorts_interseq")
+        // Route breakdown (scan.dispatch.*): why each cohort took its
+        // path — tiled-interseq, compacted, or striped-head — so
+        // coverage regressions show up without re-benchmarking.
+        metrics.counter("scan.dispatch.cohorts_interseq")
             .add(row.dispatch.cohorts_interseq);
-        metrics.counter("scan.cohorts_striped")
+        metrics.counter("scan.dispatch.cohorts_tiled")
+            .add(row.dispatch.cohorts_tiled);
+        metrics.counter("scan.dispatch.cohorts_compacted")
+            .add(row.dispatch.cohorts_compacted);
+        metrics.counter("scan.dispatch.cohorts_striped_head")
             .add(row.dispatch.cohorts_striped);
-        metrics.counter("scan.subjects_interseq")
+        metrics.counter("scan.dispatch.repacks")
+            .add(row.dispatch.repacks + row.funnel_dispatch.repacks);
+        metrics.counter("scan.dispatch.escalations16")
+            .add(row.dispatch.escalations16 +
+                 row.funnel_dispatch.escalations16);
+        metrics.counter("scan.dispatch.subjects_interseq")
             .add(row.dispatch.subjects_interseq);
-        metrics.counter("scan.subjects_striped")
+        metrics.counter("scan.dispatch.subjects_compacted")
+            .add(row.dispatch.subjects_compacted);
+        metrics.counter("scan.dispatch.subjects_striped")
             .add(row.dispatch.subjects_striped);
         metrics.counter("scan.filter.cohorts")
             .add(row.filter.cohorts_filtered);
         metrics.counter("scan.filter.rebounds16").add(row.filter.rebounds16);
         metrics.counter("scan.filter.pruned")
             .add(row.filter.subjects_pruned);
+        metrics.counter("scan.filter.offs").add(row.filter.filter_offs);
         std::cout << format_double(static_cast<double>(qlen), 0) << "    "
                   << format_double(row.packed_gcups, 3) << "    "
                   << format_double(row.exact_gcups, 3) << "    "
@@ -322,6 +346,8 @@ int main(int argc, char** argv) {
     double geomean = 1.0;
     double geomean_short = 1.0;
     std::size_t n_short = 0;
+    double geomean_long = 1.0;
+    std::size_t n_long = 0;
     double funnel_geomean = 1.0;
     double funnel_geomean_short = 1.0;
     std::size_t n_funnel_short = 0;
@@ -332,6 +358,12 @@ int main(int argc, char** argv) {
         if (r.qlen <= 200) {
             geomean_short *= r.speedup;
             ++n_short;
+        }
+        // Long = the tiled-kernel range (the paper's Table-II upper
+        // half), where the seed had no interseq coverage at all.
+        if (r.qlen >= 1024) {
+            geomean_long *= r.speedup;
+            ++n_long;
         }
         if (r.qlen <= 500) {
             funnel_geomean_short *= r.funnel_speedup;
@@ -345,6 +377,10 @@ int main(int argc, char** argv) {
         n_short == 0
             ? 0.0
             : std::pow(geomean_short, 1.0 / static_cast<double>(n_short));
+    geomean_long =
+        n_long == 0
+            ? 0.0
+            : std::pow(geomean_long, 1.0 / static_cast<double>(n_long));
     funnel_geomean =
         rows.empty() ? 0.0
                      : std::pow(funnel_geomean,
@@ -401,14 +437,35 @@ int main(int argc, char** argv) {
             << ", \"funnel_speedup\": " << format_double(r.funnel_speedup, 4)
             << ", \"subjects_pruned\": " << r.filter.subjects_pruned
             << ", \"filter_rebounds16\": " << r.filter.rebounds16
+            << ", \"filter_offs\": " << r.filter.filter_offs
+            << ", \"tile_count\": " << r.tile_count
             << ", \"cohorts_interseq\": " << r.dispatch.cohorts_interseq
+            << ", \"cohorts_tiled\": " << r.dispatch.cohorts_tiled
+            << ", \"cohorts_compacted\": " << r.dispatch.cohorts_compacted
             << ", \"cohorts_striped\": " << r.dispatch.cohorts_striped
+            << ", \"repacks\": " << r.dispatch.repacks
+            << ", \"escalations16\": "
+            << r.dispatch.escalations16 + r.funnel_dispatch.escalations16
             << ", \"subjects_interseq\": " << r.dispatch.subjects_interseq
+            << ", \"subjects_compacted\": " << r.dispatch.subjects_compacted
             << ", \"subjects_striped\": " << r.dispatch.subjects_striped
+            << ", \"funnel_repacks\": " << r.funnel_dispatch.repacks
+            << ", \"funnel_escalations16\": "
+            << r.funnel_dispatch.escalations16
+            << ", \"funnel_cohorts_interseq\": "
+            << r.funnel_dispatch.cohorts_interseq
+            << ", \"funnel_subjects_interseq\": "
+            << r.funnel_dispatch.subjects_interseq
+            << ", \"funnel_subjects_compacted\": "
+            << r.funnel_dispatch.subjects_compacted
+            << ", \"funnel_subjects_striped\": "
+            << r.funnel_dispatch.subjects_striped
             << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
     }
     out << "  ],\n"
         << "  \"speedup_geomean_short\": " << format_double(geomean_short, 4)
+        << ",\n"
+        << "  \"speedup_geomean_long\": " << format_double(geomean_long, 4)
         << ",\n"
         << "  \"speedup_geomean\": " << format_double(geomean, 4) << ",\n"
         << "  \"speedup_best\": " << format_double(best_speedup, 4) << ",\n"
@@ -420,6 +477,7 @@ int main(int argc, char** argv) {
         << "}\n";
     std::cout << "\nspeedup geomean_short(qlen<=200)="
               << format_double(geomean_short, 3)
+              << " geomean_long(qlen>=1024)=" << format_double(geomean_long, 3)
               << " geomean=" << format_double(geomean, 3)
               << " best=" << format_double(best_speedup, 3)
               << "\nfunnel speedup geomean_short(qlen<=500)="

@@ -38,23 +38,29 @@ DatabaseScanner::DatabaseScanner(const StripedAligner& aligner,
                 "cohort padding sentinel mismatch");
     cohort_mode_ = true;
 
-    // Precompute the per-cohort kernel choice once: the scan itself then
-    // branches on a byte. Inter-sequence pays off when the query is
-    // short enough for its DP rows to stay cache-resident AND the
-    // cohort's lanes are near-equal length (pad cells are wasted work).
-    const bool query_ok =
-        aligner.interseq()->query_len <= kInterseqMaxQuery &&
-        aligner.interseq()->query_len > 0;
-    choice_.resize(cohorts_.count, 0);
-    for (std::size_t c = 0; c < cohorts_.count; ++c) {
-        const CohortDesc& d = cohorts_.cohorts[c];
-        const std::uint64_t cells =
-            std::uint64_t{d.columns} *
-            static_cast<std::uint64_t>(cohorts_.lanes);
-        choice_[c] = (query_ok && d.columns > 0 &&
-                      d.residues * 100 >= cells * kInterseqMinFillPct)
-                         ? 1
-                         : 0;
+    // Precompute the per-cohort route once: the scan itself then
+    // branches on a byte. Inter-sequence pays off when the cohort is
+    // full enough for the lane-parallel win to survive the pad cells
+    // (the bar shrinks with query length, see min_fill_pct); queries
+    // past kInterseqTileRows take the query-tiled kernel variant, whose
+    // carried column state keeps the per-tile DP rows cache-resident,
+    // so no query length forces the striped fallback by itself.
+    const std::size_t qlen = aligner.interseq()->query_len;
+    choice_.resize(cohorts_.count, CohortPath::kStriped);
+    if (qlen > 0) {
+        const std::uint64_t bar = min_fill_pct(qlen);
+        const CohortPath eligible = qlen <= kInterseqTileRows
+                                        ? CohortPath::kInterseq
+                                        : CohortPath::kTiled;
+        for (std::size_t c = 0; c < cohorts_.count; ++c) {
+            const CohortDesc& d = cohorts_.cohorts[c];
+            const std::uint64_t cells =
+                std::uint64_t{d.columns} *
+                static_cast<std::uint64_t>(cohorts_.lanes);
+            if (d.columns > 0 && d.residues * 100 >= cells * bar) {
+                choice_[c] = eligible;
+            }
+        }
     }
 
     if (threshold_ == nullptr || cohorts_.count <= kPrimeCohorts) return;
@@ -62,10 +68,12 @@ DatabaseScanner::DatabaseScanner(const StripedAligner& aligner,
     // scorers first, so the dynamic threshold reaches a useful value
     // before the bulk of the scan. Homologs of the query cluster near
     // its length, so rank cohorts by |mean subject length - query
-    // length| and pull the best kPrimeCohorts to the front; both the
-    // primed prefix and the remainder stay in the layout's original
-    // (longest-first) relative order to keep claims deterministic.
-    const auto qlen = static_cast<std::int64_t>(aligner.query().size());
+    // length| and pull the best kPrimeCohorts to the front. The
+    // remainder follows in ascending column order — shortest cohorts
+    // carry the cheapest sweeps and the best pruning odds, and the
+    // filter-off guard (claim_cohorts) relies on crossing the
+    // hopeless-length boundary before the expensive cohorts arrive.
+    const auto want_len = static_cast<std::int64_t>(aligner.query().size());
     std::vector<std::uint32_t> ranked(cohorts_.count);
     for (std::size_t c = 0; c < cohorts_.count; ++c) {
         ranked[c] = static_cast<std::uint32_t>(c);
@@ -74,7 +82,7 @@ DatabaseScanner::DatabaseScanner(const StripedAligner& aligner,
         const CohortDesc& d = cohorts_.cohorts[c];
         const auto mean = static_cast<std::int64_t>(
             d.residues / std::max<std::uint32_t>(1, d.lanes_used));
-        return std::llabs(mean - qlen);
+        return std::llabs(mean - want_len);
     };
     std::partial_sort(ranked.begin(), ranked.begin() + kPrimeCohorts,
                       ranked.end(), [&](std::uint32_t a, std::uint32_t b) {
@@ -89,8 +97,11 @@ DatabaseScanner::DatabaseScanner(const StripedAligner& aligner,
         primed[ranked[p]] = 1;
     }
     prime_order_.assign(ranked.begin(), ranked.begin() + kPrimeCohorts);
-    for (std::uint32_t c = 0; c < cohorts_.count; ++c) {
-        if (!primed[c]) prime_order_.push_back(c);
+    // The layout orders cohorts longest-first; walk it backwards for
+    // the ascending-columns remainder.
+    for (std::uint32_t c = static_cast<std::uint32_t>(cohorts_.count); c > 0;
+         --c) {
+        if (!primed[c - 1]) prime_order_.push_back(c - 1);
     }
 }
 
@@ -105,17 +116,37 @@ void DatabaseScanner::credit_dispatch(const WorkerTallies& t) {
     if (t.pruned > 0) {
         subjects_pruned_.fetch_add(t.pruned, std::memory_order_relaxed);
     }
+    if (t.filter_offs > 0) {
+        filter_offs_.fetch_add(t.filter_offs, std::memory_order_relaxed);
+    }
     if (t.cohorts_interseq > 0) {
         cohorts_interseq_.fetch_add(t.cohorts_interseq,
                                     std::memory_order_relaxed);
+    }
+    if (t.cohorts_tiled > 0) {
+        cohorts_tiled_.fetch_add(t.cohorts_tiled, std::memory_order_relaxed);
+    }
+    if (t.cohorts_compacted > 0) {
+        cohorts_compacted_.fetch_add(t.cohorts_compacted,
+                                     std::memory_order_relaxed);
     }
     if (t.cohorts_striped > 0) {
         cohorts_striped_.fetch_add(t.cohorts_striped,
                                    std::memory_order_relaxed);
     }
+    if (t.repacks > 0) {
+        repacks_.fetch_add(t.repacks, std::memory_order_relaxed);
+    }
+    if (t.escalations16 > 0) {
+        escalations16_.fetch_add(t.escalations16, std::memory_order_relaxed);
+    }
     if (t.subjects_interseq > 0) {
         subjects_interseq_.fetch_add(t.subjects_interseq,
                                      std::memory_order_relaxed);
+    }
+    if (t.subjects_compacted > 0) {
+        subjects_compacted_.fetch_add(t.subjects_compacted,
+                                      std::memory_order_relaxed);
     }
     if (t.subjects_striped > 0) {
         subjects_striped_.fetch_add(t.subjects_striped,
@@ -126,15 +157,21 @@ void DatabaseScanner::credit_dispatch(const WorkerTallies& t) {
 DatabaseScanner::DispatchStats DatabaseScanner::dispatch_stats() const {
     return DispatchStats{
         cohorts_interseq_.load(std::memory_order_relaxed),
+        cohorts_tiled_.load(std::memory_order_relaxed),
+        cohorts_compacted_.load(std::memory_order_relaxed),
         cohorts_striped_.load(std::memory_order_relaxed),
+        repacks_.load(std::memory_order_relaxed),
+        escalations16_.load(std::memory_order_relaxed),
         subjects_interseq_.load(std::memory_order_relaxed),
+        subjects_compacted_.load(std::memory_order_relaxed),
         subjects_striped_.load(std::memory_order_relaxed)};
 }
 
 DatabaseScanner::FilterStats DatabaseScanner::filter_stats() const {
     return FilterStats{cohorts_filtered_.load(std::memory_order_relaxed),
                        rebounds16_.load(std::memory_order_relaxed),
-                       subjects_pruned_.load(std::memory_order_relaxed)};
+                       subjects_pruned_.load(std::memory_order_relaxed),
+                       filter_offs_.load(std::memory_order_relaxed)};
 }
 
 }  // namespace swh::align

@@ -13,21 +13,31 @@
 // scan. See DESIGN.md "Prefilter funnel" for the soundness argument.
 //
 // Stage 2 runs every survivor through an 8-bit exact kernel and defers
-// the (rare) overflowed ones; stage 3 settles the deferred batch with
-// the i16 kernel / scalar int32 fallback. Compared with the seed's
+// the (rare) overflowed ones; stage 3 settles the deferred batch — in
+// cohort mode by re-packing length-adjacent groups into dense scratch
+// cohorts for one i16 inter-sequence pass each (scalar int32 for the
+// rare lane that saturates 16 bits too), serial striped i16 only for
+// sub-batch remainders and the packed path. Compared with the seed's
 // inline 8 -> 16 -> 32 escalation per subject, this keeps the u8
-// profile and scratch hot in cache during the bulk of the scan and
-// touches the wide profile only once, at the end of a worker's claim.
+// profile and scratch hot in cache during the bulk of the scan, and
+// the batched escalation amortises the wide-kernel memory traffic
+// that a per-subject striped rescore pays anew for every subject.
 //
 // When the caller also provides a lane-interleaved cohort layout (see
 // db::PackedDatabase::interleaved and align/interseq.hpp), stage 2
 // dispatches adaptively per cohort: well-filled cohorts are scored W
-// subjects at a time by the inter-sequence u8 kernel (near-constant
-// GCUPS regardless of query length), while sparse cohorts — the
-// divergent long-subject head and the partial tail — fall back to the
-// striped kernel per subject. Overflowed lanes feed the same deferred
-// escalation either way, so the emit contract (exactly one settled
-// score per non-pruned subject, original db_index) is unchanged.
+// subjects at a time by the inter-sequence u8 kernel — untiled for
+// queries up to kInterseqTileRows, query-tiled with carried column
+// state beyond it, so the whole query-length range is eligible — while
+// cohorts below the query-length-dependent fill bar fall back to the
+// striped kernel per subject. The layout itself keeps low-fill
+// stretches rare by re-packing ragged scan-order tails into dense
+// compacted cohorts, and the funnel composes the same way: survivors
+// of mostly-pruned cohorts are re-packed worker-locally into dense
+// scratch cohorts instead of masking dead lanes. Overflowed lanes feed
+// the same deferred escalation everywhere, so the emit contract
+// (exactly one settled score per non-pruned subject, original
+// db_index) is unchanged.
 //
 // The scanner consumes non-owning views so swh_align stays independent
 // of swh_db (which produces the views, see db::PackedDatabase).
@@ -75,24 +85,31 @@ class DatabaseScanner {
 public:
     static constexpr std::size_t kDefaultChunk = 64;
 
-    /// Queries longer than this stay on the striped kernel everywhere:
-    /// the inter-sequence DP state (two query-length rows of W-lane
-    /// vectors) would fall out of L1/L2, and the striped kernel is
-    /// already near peak at these lengths.
-    static constexpr std::size_t kInterseqMaxQuery = 1024;
-
-    /// Minimum real-residue fill of a cohort (percent of columns *
-    /// lanes) for inter-sequence dispatch. Below it — the divergent
-    /// long-subject head or the partial tail cohort — padded-lane cells
-    /// would eat the lane-parallel win, so the striped kernel takes
-    /// those subjects one at a time.
+    /// Baseline minimum real-residue fill of a cohort (percent of
+    /// columns * full width) for inter-sequence dispatch at long query
+    /// lengths; see min_fill_pct() for the query-length-dependent bar.
     static constexpr std::uint64_t kInterseqMinFillPct = 75;
 
-    /// Partial-survivor cutover: an interseq-choice cohort whose
-    /// surviving lane count falls to 1/kFunnelStripedCutover of its used
-    /// lanes (or below) is exact-scored per survivor by the striped
-    /// kernel instead — the inter-sequence kernel's cost is fixed per
-    /// cohort, so mostly-pruned cohorts would waste it on dead lanes.
+    /// Full-width fill bar for inter-sequence dispatch as a function of
+    /// query length. The interseq kernel pays columns * W cells no
+    /// matter how many lanes are real, so it wins only when fill
+    /// exceeds ~1/alpha, where alpha is its full-fill advantage over
+    /// the striped kernel — measured ~2.4x for short queries, shrinking
+    /// towards ~1.3x once the striped kernel's lazy-F overhead
+    /// amortises over a long query.
+    static constexpr std::uint64_t min_fill_pct(std::size_t qlen) {
+        return qlen <= 128 ? 45 : qlen <= 384 ? 60 : kInterseqMinFillPct;
+    }
+
+    /// Partial-survivor cutover: when the prefilter leaves an
+    /// interseq-choice cohort with at most 1/kFunnelStripedCutover of
+    /// its used lanes, running the full-width kernel on it would waste
+    /// most of its fixed cost on dead lanes. The survivors are instead
+    /// batched worker-locally and re-packed W at a time into a dense
+    /// scratch cohort for the inter-sequence kernel (see flush_repack);
+    /// only the sub-width remainder of a worker's final batch still
+    /// falls back to the striped kernel, when it is too small to meet
+    /// the fill bar.
     static constexpr std::uint32_t kFunnelStripedCutover = 4;
 
     /// Minimum u8-saturated lane count before the 16-bit re-bound sweep
@@ -102,6 +119,19 @@ public:
     /// anyway if they are genuinely large).
     static constexpr int kRebound16MinLanes = 8;
 
+    /// Minimum deferred-overflow group size before the stage-3 drain
+    /// re-packs it into a dense cohort for one (tiled) i16
+    /// inter-sequence pass instead of serial striped i16 rescores. The
+    /// cohort pass pays a fixed full-width sweep whether or not every
+    /// lane is real, but runs ~5x more lane-cells/s on long queries
+    /// (the striped i16 profile re-streams from L2+ for every subject;
+    /// the inter-sequence pass reads one 32-byte LUT row per cell) and
+    /// the lo-half kernel variant halves the fixed cost again for
+    /// half-width groups — break-even measures ~6 lanes half-width,
+    /// ~13 full-width. Deferred lanes are homolog families of similar
+    /// length, so groups at this bar are the common case.
+    static constexpr std::size_t kEscalateBatchMin = 8;
+
     /// Query rows per prefilter tile. Long queries are bounded tile by
     /// tile and the per-lane tile bounds summed (sound — see
     /// align/ungapped.hpp): each tile's two DP rows stay L1-resident
@@ -109,6 +139,16 @@ public:
     /// tile's maximum rarely saturates the 8-bit kernel, so the wide
     /// re-bound sweep stays rare even for long subjects.
     static constexpr std::size_t kFilterChunkRows = 256;
+
+    /// Consecutive zero-prune cohorts before a worker turns its
+    /// prefilter off for the rest of its claims (long-query chunked
+    /// regime only; armed claims visit non-prime cohorts in ascending
+    /// column order, so once bounds stop clearing tau at some subject
+    /// length they stay hopeless for every longer cohort — the summed
+    /// tile bound only grows with subject length). Three in a row
+    /// tolerates an isolated all-homolog cohort without disabling a
+    /// still-productive filter.
+    static constexpr int kFilterOffStreak = 3;
 
     /// Cohorts scanned first when the prefilter is armed: the ones
     /// whose subject lengths sit closest to the query's, where true
@@ -159,8 +199,9 @@ public:
         bool keep = cohort_mode_
                         ? claim_cohorts(scratch, emit, pruned, overflow, t)
                         : claim_subjects(scratch, emit, overflow, t);
-        // Final stage: settle the deferred overflow batch with wide
-        // kernels.
+        // Final stage (packed path only — cohort mode drains its own
+        // batch, see drain_overflow): settle the deferred overflow
+        // batch with the wide kernels.
         std::size_t deferred_settled = 0;
         for (const std::uint32_t idx : overflow) {
             if (!keep) break;
@@ -178,7 +219,8 @@ public:
                    "deferred overflow batch must settle completely");
         SWH_DCHECK(!keep ||
                        t.settled8 + t.settled_wide + deferred_settled ==
-                           t.subjects_interseq + t.subjects_striped,
+                           t.subjects_interseq + t.subjects_compacted +
+                               t.subjects_striped,
                    "emit contract: one settled score per claimed subject");
         aligner_->credit_runs8(t.settled8);
         credit_dispatch(t);
@@ -213,11 +255,26 @@ public:
     /// Exact-stage kernel selection counters (cumulative across workers
     /// and resets). Subjects deferred to the wide rescore are counted
     /// under the kernel that deferred them; pruned subjects appear in
-    /// neither (see filter_stats).
+    /// neither (see filter_stats). `cohorts_interseq` counts every
+    /// inter-sequence-scored cohort; `cohorts_tiled` (query-tiled
+    /// kernel) and `cohorts_compacted` (layout-compacted membership)
+    /// are overlapping subsets of it. `subjects_compacted` separates
+    /// the ragged-tail story from the striped one: subjects scored
+    /// inter-sequence out of a layout-compacted cohort or a worker-side
+    /// survivor repack, so `subjects_striped` counts only genuine
+    /// striped-head fallbacks.
     struct DispatchStats {
         std::uint64_t cohorts_interseq = 0;
+        std::uint64_t cohorts_tiled = 0;
+        std::uint64_t cohorts_compacted = 0;
         std::uint64_t cohorts_striped = 0;
+        std::uint64_t repacks = 0;  ///< dense survivor cohorts assembled
+        /// Dense i16 escalation cohorts the stage-3 drain assembled
+        /// from deferred u8-overflow lanes (each replaces up to W
+        /// serial striped rescores with one inter-sequence pass).
+        std::uint64_t escalations16 = 0;
         std::uint64_t subjects_interseq = 0;
+        std::uint64_t subjects_compacted = 0;
         std::uint64_t subjects_striped = 0;
     };
     DispatchStats dispatch_stats() const;
@@ -226,30 +283,57 @@ public:
     /// resets). `cohorts_filtered` counts ungapped u8 sweeps actually
     /// run (threshold was live); `rebounds16` the cohorts whose
     /// u8-saturated lanes were re-bounded at 16 bits; `subjects_pruned`
-    /// the lanes proven out of the top-k and skipped.
+    /// the lanes proven out of the top-k and skipped; `filter_offs`
+    /// the cohorts whose sweep the adaptive filter-off guard skipped
+    /// after the chain bound stopped pruning (see claim_cohorts).
     struct FilterStats {
         std::uint64_t cohorts_filtered = 0;
         std::uint64_t rebounds16 = 0;
         std::uint64_t subjects_pruned = 0;
+        std::uint64_t filter_offs = 0;
     };
     FilterStats filter_stats() const;
 
 private:
+    /// Exact-stage route precomputed per cohort (see choice_).
+    enum class CohortPath : std::uint8_t {
+        kStriped = 0,   ///< per-subject striped fallback (low fill)
+        kInterseq = 1,  ///< untiled inter-sequence u8
+        kTiled = 2,     ///< query-tiled inter-sequence u8
+    };
+
     struct WorkerTallies {
         std::uint64_t settled8 = 0;
         std::uint64_t settled_wide = 0;
         std::uint64_t cohorts_interseq = 0;
+        std::uint64_t cohorts_tiled = 0;
+        std::uint64_t cohorts_compacted = 0;
         std::uint64_t cohorts_striped = 0;
+        std::uint64_t repacks = 0;
+        std::uint64_t escalations16 = 0;
         std::uint64_t subjects_interseq = 0;
+        std::uint64_t subjects_compacted = 0;
         std::uint64_t subjects_striped = 0;
         std::uint64_t cohorts_filtered = 0;
         std::uint64_t rebounds16 = 0;
         std::uint64_t pruned = 0;
+        std::uint64_t filter_offs = 0;
     };
 
     std::uint32_t slot_index(std::size_t slot) const {
         return subjects_.order != nullptr ? subjects_.order[slot]
                                           : static_cast<std::uint32_t>(slot);
+    }
+
+    /// Original database index of lane l of cohort d: through the
+    /// layout's member table when present (compacted cohorts have
+    /// non-consecutive members), else the consecutive-slot rule.
+    std::uint32_t member_index(const CohortDesc& d, std::uint32_t l) const {
+        const std::size_t slot =
+            cohorts_.slots != nullptr
+                ? cohorts_.slots[d.first_slot + l]
+                : d.first_slot + static_cast<std::size_t>(l);
+        return slot_index(slot);
     }
 
     /// Legacy claim unit: chunks of scan-order subjects, striped u8.
@@ -272,14 +356,36 @@ private:
         return keep;
     }
 
+    /// Cost model of the 16-bit re-bound sweep over one striped-path
+    /// cohort: the sweep pays the full W x columns cohort geometry at
+    /// roughly half the striped u8 kernel's cell rate, and saves at
+    /// most the striped scoring of the saturated lanes themselves.
+    /// Worth running only when those lanes' summed lengths cover at
+    /// least half the sweep's footprint — a densely saturated cohort,
+    /// not a handful of long stragglers rattling in a ragged one
+    /// (exactly what the long planted families look like to a short
+    /// query, where the sweep measurably costs more than it saves).
+    bool rebound_pays(const CohortDesc& d, std::uint64_t sat_used) const {
+        std::uint64_t sat_len = 0;
+        for (std::uint32_t l = 0; l < d.lanes_used; ++l) {
+            if ((sat_used >> l) & 1) {
+                sat_len += subjects_.lengths[member_index(d, l)];
+            }
+        }
+        return 2 * sat_len >=
+               static_cast<std::uint64_t>(cohorts_.lanes) * d.columns;
+    }
+
     /// Stage-1 prefilter over one cohort: returns the survivor lane
     /// mask (within `used`). Conservative by construction — a lane is
     /// cleared only when its gap-slack chain bound (align/ungapped.hpp)
     /// provably falls strictly below `tau`; u8-saturated lanes are
-    /// re-bounded at 16 bits, and i16-saturated lanes always survive.
+    /// re-bounded at 16 bits (only when `striped_exact` says the
+    /// cohort's exact fallback is per-lane striped — see below), and
+    /// i16-saturated lanes always survive.
     std::uint64_t filter_cohort(const CohortDesc& d, std::uint64_t used,
-                                Score tau, ScanScratch& scratch,
-                                WorkerTallies& t) {
+                                Score tau, bool striped_exact,
+                                ScanScratch& scratch, WorkerTallies& t) {
         ++t.cohorts_filtered;
         std::uint8_t bound8[64];
         const Code* cols = cohorts_.arena + d.offset;
@@ -301,7 +407,14 @@ private:
         } else {
             // Long query: bound kFilterChunkRows-row tiles separately
             // and sum per lane (align/ungapped.hpp) — each tile's DP
-            // state stays L1-resident and its bound in u8 range.
+            // state stays L1-resident and its bound in u8 range. The
+            // summed bound loosens with tile count (each junction
+            // forgoes a link charge), so against subjects of comparable
+            // length it stops pruning — the adaptive filter-off guard
+            // in claim_cohorts handles that regime; tightening the
+            // bound here does not (a single-tile i16 sweep was tried
+            // and measures ~40% SLOWER per cohort than the exact tiled
+            // u8 kernel it feeds, while still pruning nothing long).
             const std::size_t tiles =
                 (qlen + kFilterChunkRows - 1) / kFilterChunkRows;
             const std::size_t rows = (qlen + tiles - 1) / tiles;
@@ -321,11 +434,21 @@ private:
             }
             survive &= used;
         }
-        if (std::popcount(sat & used) >= kRebound16MinLanes) {
+        if (striped_exact && qlen <= kFilterChunkRows &&
+            std::popcount(sat & used) >= kRebound16MinLanes &&
+            rebound_pays(d, sat & used)) {
             // Saturated lanes carry no trusted u8 bound; one 16-bit
             // sweep re-bounds the whole cohort so they can still prune.
-            // Below the lane floor the sweep costs more than letting
-            // the stragglers through to the exact stage.
+            // It only pays where the exact fallback is per-lane striped
+            // — each pruned lane then saves a whole striped alignment.
+            // On interseq-path cohorts the exact kernel scores all
+            // lanes for one cohort-sweep price anyway, and the i16
+            // ungapped sweep measures ~40% dearer than that kernel, so
+            // there the stragglers go straight to the exact stage. The
+            // single-chunk gate is a measurement too: the i16 sweep has
+            // no row tiling, so past kFilterChunkRows it spills L1 and
+            // runs ~30 ms/cohort at qlen 1025 — more than the striped
+            // u8 scoring of every lane it could hope to prune.
             ++t.rebounds16;
             std::int16_t bound16[64];
             const std::uint64_t sat16 = sw_ungapped_interseq_i16(
@@ -343,19 +466,42 @@ private:
         return survive;
     }
 
-    /// Cohort claim unit: whole width-W cohorts. Stage 1 prunes lanes
-    /// when the threshold feed is live, stage 2 exact-scores the
-    /// survivors with the kernel from choice_ (cutting over to striped
-    /// when few lanes survive an interseq-choice cohort).
+    /// Cohort claim unit: whole cohorts of the interleaved layout.
+    /// Stage 1 prunes lanes when the threshold feed is live, stage 2
+    /// exact-scores the survivors with the route from choice_ —
+    /// untiled or query-tiled inter-sequence for well-filled cohorts,
+    /// per-subject striped for the low-fill rest — batching the
+    /// survivors of mostly-pruned interseq cohorts into dense repacked
+    /// cohorts instead of masking dead lanes.
     template <class EmitFn, class PrunedFn>
     bool claim_cohorts(ScanScratch& scratch, EmitFn&& emit, PrunedFn&& pruned,
                        std::vector<std::uint32_t>& overflow,
                        WorkerTallies& t) {
         bool keep = true;
         const std::size_t n = cohorts_.count;
-        const std::size_t claim = std::max<std::size_t>(
-            1, chunk_ / static_cast<std::size_t>(cohorts_.lanes));
+        const auto w = static_cast<std::size_t>(cohorts_.lanes);
+        const std::size_t claim = std::max<std::size_t>(1, chunk_ / w);
+        const std::size_t qlen =
+            aligner_->interseq() != nullptr ? aligner_->interseq()->query_len
+                                            : aligner_->query().size();
         std::uint8_t lane_best[64];
+        InterseqColumnState colstate;
+        // Survivor batch for the repack path; both vectors stay empty
+        // (no allocation) until the prefilter actually starves a
+        // cohort below the cutover.
+        std::vector<std::uint32_t> pending;
+        std::vector<Code> repack;
+        // Adaptive filter-off: in the long-query chunked regime the
+        // summed tile bound loosens until, at some subject length, it
+        // stops clearing tau for anyone — from there every sweep is
+        // pure overhead on exactly the cohorts that cost the most to
+        // exact-score. Armed claims visit non-prime cohorts shortest
+        // first, so a worker that sees kFilterOffStreak zero-prune
+        // cohorts in a row has crossed that length and turns its
+        // prefilter off for the rest of its claims. Skipping stage 1
+        // never changes the result (all lanes simply survive).
+        bool filter_off = false;
+        int noprune_streak = 0;
         while (keep) {
             const std::size_t begin =
                 next_.fetch_add(claim, std::memory_order_relaxed);
@@ -370,7 +516,7 @@ private:
                         ? ~std::uint64_t{0}
                         : (std::uint64_t{1} << d.lanes_used) - 1;
                 std::uint64_t survive = used;
-                if (threshold_ != nullptr) {
+                if (threshold_ != nullptr && !filter_off) {
                     // Re-read per cohort: the threshold rises as exact
                     // hits accumulate, so late cohorts prune harder.
                     // tau <= 0 (including TopK::kNoThreshold) cannot
@@ -378,15 +524,33 @@ private:
                     const Score tau =
                         threshold_->load(std::memory_order_relaxed);
                     if (tau > 0) {
-                        survive = filter_cohort(d, used, tau, scratch, t);
+                        survive = filter_cohort(
+                            d, used, tau,
+                            choice_[c] == CohortPath::kStriped, scratch, t);
+                        // Learn only off non-prime cohorts: the primed
+                        // prefix is homolog-adjacent by construction,
+                        // so its lanes surviving says nothing about
+                        // bound looseness.
+                        const bool prime = !prime_order_.empty() &&
+                                           slot < kPrimeCohorts;
+                        if (qlen > kFilterChunkRows && !prime) {
+                            if (survive == used) {
+                                if (++noprune_streak >= kFilterOffStreak) {
+                                    filter_off = true;
+                                }
+                            } else {
+                                noprune_streak = 0;
+                            }
+                        }
                     }
+                } else if (threshold_ != nullptr) {
+                    ++t.filter_offs;
                 }
                 if (survive != used) {
                     for (std::uint32_t l = 0; l < d.lanes_used && keep;
                          ++l) {
                         if ((survive >> l) & 1) continue;
-                        const std::uint32_t idx =
-                            slot_index(d.first_slot + l);
+                        const std::uint32_t idx = member_index(d, l);
                         ++t.pruned;
                         keep = pruned(idx, subjects_.lengths[idx]);
                     }
@@ -395,53 +559,319 @@ private:
                 }
                 const auto nsurv = static_cast<std::uint32_t>(
                     std::popcount(survive));
-                if (choice_[c] &&
+                const CohortPath path = choice_[c];
+                const bool compacted =
+                    (d.flags & CohortDesc::kCompacted) != 0;
+                if (path != CohortPath::kStriped &&
                     nsurv * kFunnelStripedCutover > d.lanes_used) {
                     ++t.cohorts_interseq;
-                    const std::uint64_t ovf = sw_interseq_u8(
-                        *aligner_->interseq(), cohorts_.arena + d.offset,
-                        d.columns, aligner_->gap(), aligner_->isa(), scratch,
-                        lane_best);
+                    if (path == CohortPath::kTiled) ++t.cohorts_tiled;
+                    if (compacted) ++t.cohorts_compacted;
+                    const std::uint64_t ovf =
+                        path == CohortPath::kTiled
+                            ? sw_interseq_u8_tiled(
+                                  *aligner_->interseq(),
+                                  cohorts_.arena + d.offset, d.columns,
+                                  aligner_->gap(), aligner_->isa(), scratch,
+                                  colstate, lane_best)
+                            : sw_interseq_u8(*aligner_->interseq(),
+                                             cohorts_.arena + d.offset,
+                                             d.columns, aligner_->gap(),
+                                             aligner_->isa(), scratch,
+                                             lane_best);
+                    std::uint64_t& subj = compacted ? t.subjects_compacted
+                                                    : t.subjects_interseq;
                     for (std::uint32_t l = 0; l < d.lanes_used && keep; ++l) {
                         if (((survive >> l) & 1) == 0) continue;
-                        const std::uint32_t idx =
-                            slot_index(d.first_slot + l);
+                        const std::uint32_t idx = member_index(d, l);
+                        ++subj;
                         if ((ovf >> l) & 1) {
                             overflow.push_back(idx);
-                            ++t.subjects_interseq;
                             continue;
                         }
                         ++t.settled8;
-                        ++t.subjects_interseq;
                         keep = emit(idx, subjects_.lengths[idx],
                                     static_cast<Score>(lane_best[l]));
+                    }
+                } else if (path != CohortPath::kStriped) {
+                    // Below the survivor cutover: running the
+                    // full-width kernel would waste most of its fixed
+                    // cost on pruned lanes. Batch the survivors; they
+                    // are re-packed into dense cohorts at claim end.
+                    for (std::uint32_t l = 0; l < d.lanes_used; ++l) {
+                        if ((survive >> l) & 1) {
+                            pending.push_back(member_index(d, l));
+                        }
                     }
                 } else {
                     ++t.cohorts_striped;
                     for (std::uint32_t l = 0; l < d.lanes_used && keep; ++l) {
                         if (((survive >> l) & 1) == 0) continue;
-                        keep = score_striped(slot_index(d.first_slot + l),
-                                             scratch, emit, overflow, t);
+                        keep = score_striped(member_index(d, l), scratch,
+                                             emit, overflow, t);
                     }
                 }
+            }
+            // Full survivor batches become dense repacked cohorts here,
+            // before the overflow drain, so their deferred lanes join
+            // this claim's wide-rescore pass.
+            if (keep && pending.size() >= w) {
+                keep = flush_repack(pending, /*force=*/false, scratch,
+                                    colstate, repack, emit, overflow, t);
             }
             // With the prefilter armed, settle this claim's deferred
             // lanes now instead of at end of run: the u8-overflowed
             // lanes ARE the likely top scorers, and the threshold can
-            // only rise once their exact scores reach the caller. An
-            // exhaustive scan keeps the single end-of-run batch (one
-            // cold touch of the wide profile).
-            if (threshold_ != nullptr && !overflow.empty()) {
-                for (std::size_t o = 0; o < overflow.size() && keep; ++o) {
-                    const std::uint32_t idx = overflow[o];
+            // only rise once their exact scores reach the caller.
+            if (keep && threshold_ != nullptr && !overflow.empty()) {
+                keep = drain_overflow(overflow, scratch, colstate, repack,
+                                      emit, t);
+            }
+        }
+        if (keep && !pending.empty()) {
+            keep = flush_repack(pending, /*force=*/true, scratch, colstate,
+                                repack, emit, overflow, t);
+        }
+        // Exhaustive scans arrive here with the whole run's deferred
+        // batch, armed scans with at most the final flush's stragglers;
+        // either way the batched drain settles it, so run_worker's
+        // serial fallback only ever serves the packed claim_subjects
+        // path.
+        if (keep && !overflow.empty()) {
+            keep = drain_overflow(overflow, scratch, colstate, repack, emit,
+                                  t);
+        }
+        return keep;
+    }
+
+    /// Re-packs batched funnel survivors into dense scratch cohorts
+    /// (column-major, pad sentinel, exactly the layout geometry) and
+    /// scores them with the (tiled) inter-sequence u8 kernel. Pending
+    /// survivors are first sorted length-descending and split at
+    /// length cliffs with the layout compaction's greedy fill rule —
+    /// claims arrive primed-first, so a straggler long survivor must
+    /// never force thousands of pad columns onto a batch of short
+    /// ones. Without `force`, only full-width batches run (a blocked
+    /// cliff group waits for more survivors); with `force`, every
+    /// group is settled — inter-sequence when its full-width fill
+    /// still meets the dispatch bar, striped per subject otherwise
+    /// (long isolated survivors run near striped peak anyway).
+    /// Overflowed lanes join `overflow` for the wide-rescore stages.
+    template <class EmitFn>
+    bool flush_repack(std::vector<std::uint32_t>& pending, bool force,
+                      ScanScratch& scratch, InterseqColumnState& colstate,
+                      std::vector<Code>& repack, EmitFn&& emit,
+                      std::vector<std::uint32_t>& overflow,
+                      WorkerTallies& t) {
+        bool keep = true;
+        const auto w = static_cast<std::size_t>(cohorts_.lanes);
+        const std::size_t qlen = aligner_->interseq()->query_len;
+        const bool tiled = qlen > kInterseqTileRows;
+        const std::uint64_t bar = min_fill_pct(qlen);
+        std::sort(pending.begin(), pending.end(),
+                  [this](std::uint32_t a, std::uint32_t b) {
+                      const std::uint32_t la = subjects_.lengths[a];
+                      const std::uint32_t lb = subjects_.lengths[b];
+                      return la != lb ? la > lb : a < b;
+                  });
+        std::size_t kept = 0;
+        for (std::size_t at = 0; keep && at < pending.size();) {
+            const std::uint64_t columns = subjects_.lengths[pending[at]];
+            std::uint64_t residues = columns;
+            std::size_t end = at + 1;
+            while (end < pending.size() && end - at < w) {
+                const std::uint64_t next =
+                    residues + subjects_.lengths[pending[end]];
+                if (next * 100 <
+                    columns * (end - at + 1) * kInterseqMinFillPct) {
+                    break;
+                }
+                residues = next;
+                ++end;
+            }
+            const std::size_t count = end - at;
+            if (!force && count < w) {
+                // Blocked cliff group: keep it pending for later
+                // survivors (order is restored by the next flush's
+                // sort).
+                for (std::size_t i = at; i < end; ++i) {
+                    pending[kept++] = pending[i];
+                }
+            } else if (residues * 100 >= columns * w * bar) {
+                keep = repack_batch(pending.data() + at, count, tiled,
+                                    scratch, colstate, repack, emit,
+                                    overflow, t);
+            } else {
+                for (std::size_t i = at; i < end && keep; ++i) {
+                    keep = score_striped(pending[i], scratch, emit,
+                                         overflow, t);
+                }
+            }
+            at = end;
+        }
+        // On cancellation (keep == false) the worker is aborting: the
+        // un-flushed tail is abandoned like any other unclaimed work.
+        pending.resize(keep ? kept : 0);
+        return keep;
+    }
+
+    /// One dense repacked cohort: `count` subjects (original indices)
+    /// interleaved column-major into `repack` and scored together.
+    template <class EmitFn>
+    bool repack_batch(const std::uint32_t* batch, std::size_t count,
+                      bool tiled, ScanScratch& scratch,
+                      InterseqColumnState& colstate, std::vector<Code>& repack,
+                      EmitFn&& emit, std::vector<std::uint32_t>& overflow,
+                      WorkerTallies& t) {
+        const auto w = static_cast<std::size_t>(cohorts_.lanes);
+        std::uint32_t columns = 0;
+        for (std::size_t i = 0; i < count; ++i) {
+            columns = std::max(columns, subjects_.lengths[batch[i]]);
+        }
+        repack.assign(std::size_t{columns} * w, InterseqProfile::kPadCode);
+        for (std::size_t i = 0; i < count; ++i) {
+            const std::span<const Code> s = subjects_.subject(batch[i]);
+            for (std::size_t j = 0; j < s.size(); ++j) {
+                repack[j * w + i] = s[j];
+            }
+        }
+        ++t.repacks;
+        ++t.cohorts_interseq;
+        if (tiled) ++t.cohorts_tiled;
+        ++t.cohorts_compacted;
+        std::uint8_t lane_best[64];
+        const std::uint64_t ovf =
+            tiled ? sw_interseq_u8_tiled(*aligner_->interseq(), repack.data(),
+                                         columns, aligner_->gap(),
+                                         aligner_->isa(), scratch, colstate,
+                                         lane_best)
+                  : sw_interseq_u8(*aligner_->interseq(), repack.data(),
+                                   columns, aligner_->gap(), aligner_->isa(),
+                                   scratch, lane_best);
+        bool keep = true;
+        for (std::size_t i = 0; i < count && keep; ++i) {
+            const std::uint32_t idx = batch[i];
+            ++t.subjects_compacted;
+            if ((ovf >> i) & 1) {
+                overflow.push_back(idx);
+                continue;
+            }
+            ++t.settled8;
+            keep = emit(idx, subjects_.lengths[idx],
+                        static_cast<Score>(lane_best[i]));
+        }
+        return keep;
+    }
+
+    /// Stage-3 drain of this worker's deferred u8-overflow batch,
+    /// batched: the subjects are length-sorted, cliff-split with the
+    /// same greedy fill rule as flush_repack, and every group of
+    /// kEscalateBatchMin+ is settled by ONE dense i16 inter-sequence
+    /// pass (escalate_batch) instead of per-subject striped rescores
+    /// — a serial drain of a homolog family re-streams the wide
+    /// striped profile from L2+ once per subject, and dominates long-
+    /// query scans. Sub-batch remainders keep the serial path, whose
+    /// fixed cost is lower. Leaves `overflow` empty.
+    template <class EmitFn>
+    bool drain_overflow(std::vector<std::uint32_t>& overflow,
+                        ScanScratch& scratch, InterseqColumnState& colstate,
+                        std::vector<Code>& repack, EmitFn&& emit,
+                        WorkerTallies& t) {
+        bool keep = true;
+        const auto w = static_cast<std::size_t>(cohorts_.lanes);
+        const std::size_t qlen = aligner_->interseq()->query_len;
+        const bool tiled = qlen > kInterseqTileRows;
+        std::sort(overflow.begin(), overflow.end(),
+                  [this](std::uint32_t a, std::uint32_t b) {
+                      const std::uint32_t la = subjects_.lengths[a];
+                      const std::uint32_t lb = subjects_.lengths[b];
+                      return la != lb ? la > lb : a < b;
+                  });
+        for (std::size_t at = 0; keep && at < overflow.size();) {
+            const std::uint64_t columns = subjects_.lengths[overflow[at]];
+            std::uint64_t residues = columns;
+            std::size_t end = at + 1;
+            while (end < overflow.size() && end - at < w) {
+                const std::uint64_t next =
+                    residues + subjects_.lengths[overflow[end]];
+                if (next * 100 <
+                    columns * (end - at + 1) * kInterseqMinFillPct) {
+                    break;
+                }
+                residues = next;
+                ++end;
+            }
+            const std::size_t count = end - at;
+            if (count >= kEscalateBatchMin) {
+                keep = escalate_batch(overflow.data() + at, count, tiled,
+                                      scratch, colstate, repack, emit, t);
+            } else {
+                for (std::size_t i = at; i < end && keep; ++i) {
+                    const std::uint32_t idx = overflow[i];
                     const Score s = aligner_->rescore_wide(
                         subjects_.subject(idx), scratch, /*trusted=*/true);
                     ++t.settled_wide;
                     keep = emit(idx, subjects_.lengths[idx], s);
                 }
-                overflow.clear();
+            }
+            at = end;
+        }
+        // On cancellation the worker is aborting anyway; clearing keeps
+        // the run_worker fallback from double-settling on the keep path.
+        overflow.clear();
+        return keep;
+    }
+
+    /// One dense escalation cohort: `count` deferred subjects (original
+    /// indices, count <= W) re-packed column-major into `repack` and
+    /// settled together by the (tiled) i16 inter-sequence kernel, with
+    /// the lo-half variant when the group fits half the lanes. Lanes
+    /// the i16 pass itself flags as saturated go straight to the exact
+    /// int32 rescore — the striped i16 attempt rescore_wide would run
+    /// first is already proven futile.
+    template <class EmitFn>
+    bool escalate_batch(const std::uint32_t* batch, std::size_t count,
+                        bool tiled, ScanScratch& scratch,
+                        InterseqColumnState& colstate,
+                        std::vector<Code>& repack, EmitFn&& emit,
+                        WorkerTallies& t) {
+        const auto w = static_cast<std::size_t>(cohorts_.lanes);
+        std::uint32_t columns = 0;
+        for (std::size_t i = 0; i < count; ++i) {
+            columns = std::max(columns, subjects_.lengths[batch[i]]);
+        }
+        repack.assign(std::size_t{columns} * w, InterseqProfile::kPadCode);
+        for (std::size_t i = 0; i < count; ++i) {
+            const std::span<const Code> s = subjects_.subject(batch[i]);
+            for (std::size_t j = 0; j < s.size(); ++j) {
+                repack[j * w + i] = s[j];
             }
         }
+        ++t.escalations16;
+        std::int16_t lane_best[64];
+        const std::uint64_t ovf =
+            tiled ? sw_interseq_i16_tiled(*aligner_->interseq(),
+                                          repack.data(), columns,
+                                          aligner_->gap(), aligner_->isa(),
+                                          scratch, colstate, lane_best, count)
+                  : sw_interseq_i16(*aligner_->interseq(), repack.data(),
+                                    columns, aligner_->gap(), aligner_->isa(),
+                                    scratch, lane_best, count);
+        bool keep = true;
+        std::uint64_t settled16 = 0;
+        for (std::size_t i = 0; i < count && keep; ++i) {
+            const std::uint32_t idx = batch[i];
+            Score s;
+            if ((ovf >> i) & 1) {
+                s = aligner_->rescore_i32(subjects_.subject(idx), scratch);
+            } else {
+                s = static_cast<Score>(lane_best[i]);
+                ++settled16;
+            }
+            ++t.settled_wide;
+            keep = emit(idx, subjects_.lengths[idx], s);
+        }
+        aligner_->credit_runs16(settled16);
         return keep;
     }
 
@@ -471,20 +901,26 @@ private:
     /// Pruning threshold feed (null = prefilter unarmed). Owned by the
     /// caller; its value must only ever increase.
     const std::atomic<Score>* threshold_ = nullptr;
-    /// Per-cohort kernel choice (1 = inter-sequence, 0 = striped),
-    /// precomputed at construction from query length and cohort fill.
-    std::vector<std::uint8_t> choice_;
+    /// Per-cohort exact-stage route, precomputed at construction from
+    /// query length (untiled vs tiled) and cohort fill (vs striped).
+    std::vector<CohortPath> choice_;
     /// Claim-slot -> cohort-index permutation, built only when the
     /// prefilter is armed: the kPrimeCohorts cohorts whose mean subject
     /// length is closest to the query's come first (threshold priming),
-    /// the rest keep the layout's longest-first order. Empty = identity
-    /// (exhaustive scans are untouched).
+    /// the rest follow in ascending column order — shortest cohorts
+    /// (cheapest, best pruning odds) first, so the filter-off guard's
+    /// zero-prune streak crosses the hopeless-length boundary before
+    /// the expensive cohorts are reached. Empty = identity (exhaustive
+    /// scans are untouched).
     std::vector<std::uint32_t> prime_order_;
     std::atomic<std::size_t> next_{0};
-    std::atomic<std::uint64_t> cohorts_interseq_{0}, cohorts_striped_{0};
-    std::atomic<std::uint64_t> subjects_interseq_{0}, subjects_striped_{0};
+    std::atomic<std::uint64_t> cohorts_interseq_{0}, cohorts_tiled_{0};
+    std::atomic<std::uint64_t> cohorts_compacted_{0}, cohorts_striped_{0};
+    std::atomic<std::uint64_t> repacks_{0}, escalations16_{0};
+    std::atomic<std::uint64_t> subjects_interseq_{0}, subjects_compacted_{0};
+    std::atomic<std::uint64_t> subjects_striped_{0};
     std::atomic<std::uint64_t> cohorts_filtered_{0}, rebounds16_{0};
-    std::atomic<std::uint64_t> subjects_pruned_{0};
+    std::atomic<std::uint64_t> subjects_pruned_{0}, filter_offs_{0};
 };
 
 }  // namespace swh::align

@@ -275,6 +275,13 @@ Score StripedAligner::rescore_wide(std::span<const Code> db,
     return sw_score_affine_rows(query_, db, *matrix_, gap_, rows.h, rows.f);
 }
 
+Score StripedAligner::rescore_i32(std::span<const Code> db,
+                                  ScanScratch& scratch) const {
+    runs32_.fetch_add(1, std::memory_order_relaxed);
+    const ScanScratch::ScoreRows rows = scratch.score_rows(db.size() + 1);
+    return sw_score_affine_rows(query_, db, *matrix_, gap_, rows.h, rows.f);
+}
+
 Score StripedAligner::score(std::span<const Code> db,
                             ScanScratch& scratch) const {
     const StripedResult r8 = score_u8(db, scratch);

@@ -160,10 +160,23 @@ public:
     Score rescore_wide(std::span<const Code> db, ScanScratch& scratch,
                        bool trusted = false) const;
 
+    /// Final-escalation primitive: the exact scalar int32 alignment,
+    /// for subjects a 16-bit kernel already proved saturated (e.g. an
+    /// overflowed lane of a batched interseq i16 escalation) — skips
+    /// the redundant striped i16 attempt rescore_wide would repeat.
+    /// Bumps runs32 once.
+    Score rescore_i32(std::span<const Code> db, ScanScratch& scratch) const;
+
     /// Credits `n` subjects settled by pass-1 score_u8() calls: one
     /// atomic op per flushed batch instead of one per subject.
     void credit_runs8(std::uint64_t n) const {
         if (n > 0) runs8_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    /// Credits `n` subjects settled at 16 bits by a batched interseq
+    /// escalation pass (the scanner's cohort-wide 8 -> 16 pass-2).
+    void credit_runs16(std::uint64_t n) const {
+        if (n > 0) runs16_.fetch_add(n, std::memory_order_relaxed);
     }
 
     std::span<const Code> query() const { return query_; }

@@ -20,20 +20,39 @@
 namespace swh::db {
 
 /// Lane-interleaved cohort layout of a packed database at one SIMD
-/// width W: consecutive scan-order subjects are grouped W at a time
-/// into cohorts (the longest-first scan order makes cohort members
-/// near-equal length), and each cohort's residues are stored
-/// column-major — column j holds residue j of every member, short
-/// lanes padded with the inter-sequence padding sentinel. This is the
-/// input geometry of align::sw_interseq_u8/i16. Built lazily by
+/// width W: scan-order subjects are grouped into cohorts and each
+/// cohort's residues are stored column-major — column j holds residue
+/// j of every member, short lanes padded with the inter-sequence
+/// padding sentinel. This is the input geometry of
+/// align::sw_interseq_u8/i16. Built lazily by
 /// PackedDatabase::interleaved().
+///
+/// Grouping: W consecutive scan-order slots form a natural cohort when
+/// the full-width fill meets kCohortFillPct (the longest-first scan
+/// order makes such members near-equal length). The leftovers — the
+/// divergent long-subject head groups and the partial tail — are
+/// re-packed by length adjacency into dense compacted cohorts
+/// (CohortDesc::kCompacted, possibly fewer than W members, down to a
+/// 1-subject tail), so low-fill stretches stop forcing full-width pad
+/// columns. Cohort membership is carried by a slots table: lane l of
+/// cohort d is scan slot slots()[d.first_slot + l].
 class InterleavedChunks {
 public:
+    /// Minimum used-lane residue fill (percent) for keeping a natural
+    /// full-width group, and for extending a compacted group by one
+    /// more (shorter) member. Mirrors the historical dispatch bar so a
+    /// kept natural cohort is never worse-filled than before.
+    static constexpr std::uint64_t kCohortFillPct = 75;
+
     int lanes() const { return lanes_; }
     std::size_t cohort_count() const { return cohorts_.size(); }
     const align::CohortDesc& cohort(std::size_t c) const {
         return cohorts_[c];
     }
+    /// Cohort-member table (cohort-major scan slots, see CohortDesc).
+    std::span<const std::uint32_t> slots() const { return slots_; }
+    /// Cohorts assembled by the compacted-tail build.
+    std::size_t compacted_cohorts() const { return compacted_; }
 
     /// Non-owning view for align::DatabaseScanner; valid while this
     /// object (i.e. the owning PackedDatabase) is alive.
@@ -48,6 +67,8 @@ private:
 
     std::unique_ptr<align::Code[], ArenaFree> arena_;
     std::vector<align::CohortDesc> cohorts_;
+    std::vector<std::uint32_t> slots_;
+    std::size_t compacted_ = 0;
     int lanes_ = 0;
 };
 

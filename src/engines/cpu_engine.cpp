@@ -174,8 +174,26 @@ core::TaskResult CpuEngine::execute(const align::Sequence& query,
             .add(ds.cohorts_striped);
         config_.metrics->counter("engine.cpu.subjects_interseq")
             .add(ds.subjects_interseq);
+        config_.metrics->counter("engine.cpu.subjects_compacted")
+            .add(ds.subjects_compacted);
         config_.metrics->counter("engine.cpu.subjects_striped")
             .add(ds.subjects_striped);
+        // Route breakdown: why each cohort took the path it did —
+        // tiled-interseq (long query), compacted (ragged membership,
+        // layout- or funnel-repacked), striped-head (fill below the
+        // dispatch bar). Tiled/compacted are subsets of
+        // cohorts_interseq; striped_head equals cohorts_striped.
+        config_.metrics->counter("scan.dispatch.cohorts_interseq")
+            .add(ds.cohorts_interseq);
+        config_.metrics->counter("scan.dispatch.cohorts_tiled")
+            .add(ds.cohorts_tiled);
+        config_.metrics->counter("scan.dispatch.cohorts_compacted")
+            .add(ds.cohorts_compacted);
+        config_.metrics->counter("scan.dispatch.cohorts_striped_head")
+            .add(ds.cohorts_striped);
+        config_.metrics->counter("scan.dispatch.repacks").add(ds.repacks);
+        config_.metrics->counter("scan.dispatch.escalations16")
+            .add(ds.escalations16);
         const align::DatabaseScanner::FilterStats fs = scanner.filter_stats();
         config_.metrics->counter("engine.cpu.filter.cohorts")
             .add(fs.cohorts_filtered);
@@ -183,6 +201,8 @@ core::TaskResult CpuEngine::execute(const align::Sequence& query,
             .add(fs.rebounds16);
         config_.metrics->counter("engine.cpu.filter.pruned")
             .add(fs.subjects_pruned);
+        config_.metrics->counter("engine.cpu.filter.offs")
+            .add(fs.filter_offs);
     }
     if (lane != nullptr) {
         lane->span_end("kernel:cpu-striped", task,

@@ -261,7 +261,8 @@ TEST(DatabaseScanner, InterseqScanMatchesStripedAcrossIsaLevels) {
             }
             // Every subject went through exactly one pass-1 kernel, and
             // the short queries must actually use the new kernel.
-            EXPECT_EQ(ds.subjects_interseq + ds.subjects_striped,
+            EXPECT_EQ(ds.subjects_interseq + ds.subjects_compacted +
+                          ds.subjects_striped,
                       database.size());
             EXPECT_GE(ds.cohorts_interseq, 1u)
                 << "isa=" << simd::to_string(isa) << " query=" << q.id;
@@ -271,24 +272,27 @@ TEST(DatabaseScanner, InterseqScanMatchesStripedAcrossIsaLevels) {
     }
 }
 
-TEST(DatabaseScanner, LongQueryFallsBackToStriped) {
+TEST(DatabaseScanner, LongQueryDispatchesTiledInterseq) {
+    // Past kInterseqTileRows the cohorts must keep inter-sequence
+    // coverage through the query-tiled kernel instead of falling back
+    // to striped (the pre-tiling behaviour this test used to pin).
     db::DatabaseSpec spec;
     spec.name = "long-q";
-    spec.num_sequences = 80;
-    spec.length.min_len = 30;
-    spec.length.max_len = 120;
+    spec.num_sequences = 200;
+    spec.length.min_len = 90;
+    spec.length.max_len = 130;
     spec.seed = 57;
     const db::Database database = db::Database::generate(spec);
     Rng rng(58);
-    const Sequence q = db::random_protein(
-        rng, DatabaseScanner::kInterseqMaxQuery + 1, "long");
+    const Sequence q =
+        db::random_protein(rng, 2 * kInterseqTileRows + 1, "long");
     const StripedAligner aligner(q.residues, blosum(), kGap);
     DatabaseScanner::DispatchStats ds;
     const std::vector<Score> scores =
         cohort_scan_scores(aligner, database, &ds);
-    EXPECT_EQ(ds.subjects_interseq, 0u);
-    EXPECT_EQ(ds.cohorts_interseq, 0u);
-    EXPECT_EQ(ds.subjects_striped, database.size());
+    EXPECT_GT(ds.cohorts_interseq, 0u);
+    EXPECT_GT(ds.cohorts_tiled, 0u);
+    EXPECT_GT(ds.subjects_interseq + ds.subjects_compacted, 0u);
     for (std::size_t i = 0; i < database.size(); ++i) {
         EXPECT_EQ(scores[i], aligner.score(database[i].residues));
     }
@@ -333,7 +337,9 @@ TEST(DatabaseScanner, ConcurrentCohortWorkersMatchSequential) {
             << "subject " << i;
     }
     const DatabaseScanner::DispatchStats ds = scanner.dispatch_stats();
-    EXPECT_EQ(ds.subjects_interseq + ds.subjects_striped, database.size());
+    EXPECT_EQ(ds.subjects_interseq + ds.subjects_compacted +
+                  ds.subjects_striped,
+              database.size());
 }
 
 TEST(DatabaseScanner, EmitFalseCancelsMidCohortAcrossWorkers) {

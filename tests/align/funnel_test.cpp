@@ -66,6 +66,7 @@ std::vector<core::Hit> exhaustive_topk(const StripedAligner& aligner,
 struct FunnelRun {
     std::vector<core::Hit> hits;
     DatabaseScanner::FilterStats filter;
+    DatabaseScanner::DispatchStats dispatch;
     std::uint64_t emitted = 0;
     std::uint64_t pruned_calls = 0;
 };
@@ -100,6 +101,7 @@ FunnelRun funnel_topk(const StripedAligner& aligner,
         }));
     run.hits = topk.take();
     run.filter = scanner.filter_stats();
+    run.dispatch = scanner.dispatch_stats();
     return run;
 }
 
@@ -142,6 +144,58 @@ TEST(DatabaseScannerFunnel, TopKBitIdenticalAcrossIsaLevelsAndK) {
     }
     // The funnel must actually funnel on this workload, not just match.
     EXPECT_GT(total_pruned, 0u);
+}
+
+TEST(DatabaseScannerFunnel, LongQueryTiledRepackBitIdentical) {
+    // A multi-tile query (4+ tiles of kInterseqTileRows) drives the
+    // query-tiled inter-sequence kernels, and the armed prefilter's
+    // surviving lanes go through the compaction re-pack instead of the
+    // striped fallback. Both paths must keep the funnel's bit-identity
+    // promise — and must actually be exercised, not silently skipped.
+    const std::size_t qlen = 4 * kInterseqTileRows + 53;
+    const db::ScanSample sample = db::make_scan_sample(300, {qlen});
+    // Coverage is asserted in aggregate: at wide lane counts a 300-
+    // sequence database is legitimately too ragged for the full-width
+    // fill bar (all-striped is the right economic call there), but the
+    // narrower levels must prove the tiled and re-pack paths ran.
+    std::uint64_t tiled_cohorts = 0, repack_or_striped = 0, pruned = 0;
+    for (const simd::IsaLevel isa : supported_levels()) {
+        const StripedAligner aligner(sample.queries[0].residues, blosum(),
+                                     kGap, isa);
+        for (const std::size_t k : {std::size_t{1}, std::size_t{25}}) {
+            const std::vector<core::Hit> want =
+                exhaustive_topk(aligner, sample.database, k);
+            ASSERT_EQ(want.size(), k);
+            const FunnelRun run = funnel_topk(aligner, sample.database, k);
+            expect_same_hits(run.hits, want,
+                             "isa=" + std::string(simd::to_string(isa)) +
+                                 " k=" + std::to_string(k));
+            EXPECT_EQ(run.emitted + run.pruned_calls,
+                      sample.database.size());
+            EXPECT_EQ(run.pruned_calls, run.filter.subjects_pruned);
+            // Every subject settles on exactly one of the three paths
+            // or is pruned — no double counting, no loss.
+            EXPECT_EQ(run.dispatch.subjects_interseq +
+                          run.dispatch.subjects_compacted +
+                          run.dispatch.subjects_striped +
+                          run.filter.subjects_pruned,
+                      sample.database.size());
+            // A long query must never disable interseq by length
+            // alone: any cohort the scan ran on the inter-sequence
+            // kernels must have been tiled.
+            EXPECT_EQ(run.dispatch.cohorts_tiled,
+                      run.dispatch.cohorts_interseq);
+            tiled_cohorts += run.dispatch.cohorts_tiled;
+            repack_or_striped +=
+                run.dispatch.repacks + run.dispatch.subjects_striped;
+            pruned += run.filter.subjects_pruned;
+        }
+    }
+    EXPECT_GT(tiled_cohorts, 0u);
+    EXPECT_GT(pruned, 0u);
+    // Thinned-out survivor cohorts went through the re-pack (or, for
+    // sub-bar remainders, per-subject striped) instead of being masked.
+    EXPECT_GT(repack_or_striped, 0u);
 }
 
 TEST(DatabaseScannerFunnel, AllIdenticalScoresKeepEveryTie) {

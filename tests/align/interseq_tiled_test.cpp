@@ -1,0 +1,349 @@
+// Golden equivalence of the query-tiled inter-sequence kernels. The
+// tiled variants promise BIT-identical scores and overflow masks to
+// the untiled kernels (and hence to the striped kernels and the scalar
+// oracle): tiling changes the order cells are visited in, not the
+// dataflow, and every op is per-cell saturating. The suite pins that
+// promise down across every supported ISA, right at the tile
+// boundaries (qlen one below / at / one above a tile multiple), with
+// saturation that must be carried across tiles, and with carried-state
+// reuse between calls.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "align/interseq.hpp"
+#include "align/striped.hpp"
+#include "align/sw_scalar.hpp"
+#include "db/generator.hpp"
+#include "util/rng.hpp"
+
+namespace swh::align {
+namespace {
+
+const ScoreMatrix& blosum() {
+    static const ScoreMatrix m = ScoreMatrix::blosum62();
+    return m;
+}
+
+constexpr GapPenalty kGap{10, 2};
+
+std::vector<simd::IsaLevel> supported_levels() {
+    std::vector<simd::IsaLevel> levels;
+    for (const simd::IsaLevel isa :
+         {simd::IsaLevel::Scalar, simd::IsaLevel::SSE2, simd::IsaLevel::AVX2,
+          simd::IsaLevel::AVX512}) {
+        if (simd::is_supported(isa)) levels.push_back(isa);
+    }
+    return levels;
+}
+
+std::vector<Code> interleave(const std::vector<std::vector<Code>>& subjects,
+                             int lanes, std::size_t columns) {
+    std::vector<Code> cols(columns * static_cast<std::size_t>(lanes),
+                           InterseqProfile::kPadCode);
+    for (std::size_t l = 0; l < subjects.size(); ++l) {
+        for (std::size_t j = 0; j < subjects[l].size(); ++j) {
+            cols[j * static_cast<std::size_t>(lanes) + l] = subjects[l][j];
+        }
+    }
+    return cols;
+}
+
+std::vector<std::vector<Code>> random_subjects(Rng& rng, std::size_t n,
+                                               std::size_t min_len,
+                                               std::size_t max_len) {
+    std::vector<std::vector<Code>> subjects;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t len = min_len + rng.below(max_len - min_len + 1);
+        subjects.push_back(
+            db::random_protein(rng, len, "s" + std::to_string(i)).residues);
+    }
+    return subjects;
+}
+
+TEST(InterseqTileCount, BalancedTileBoundaries) {
+    EXPECT_EQ(interseq_tile_count(0), 1u);
+    EXPECT_EQ(interseq_tile_count(1), 1u);
+    EXPECT_EQ(interseq_tile_count(kInterseqTileRows - 1), 1u);
+    EXPECT_EQ(interseq_tile_count(kInterseqTileRows), 1u);
+    EXPECT_EQ(interseq_tile_count(kInterseqTileRows + 1), 2u);
+    EXPECT_EQ(interseq_tile_count(2 * kInterseqTileRows), 2u);
+    EXPECT_EQ(interseq_tile_count(2 * kInterseqTileRows + 1), 3u);
+    EXPECT_EQ(interseq_tile_count(4 * kInterseqTileRows + 7), 5u);
+}
+
+TEST(InterseqTiledKernels, U8BitIdenticalToUntiledAtTileBoundaries) {
+    // One query row below, at, and above each tile boundary, plus a
+    // multi-tile length with a ragged last tile: the carried H/F hand-
+    // off is exercised with full, exactly-full, and barely-spilling
+    // tiles. 2048 + 7 also covers the ISSUE's original boundary set.
+    const std::size_t qlens[] = {
+        kInterseqTileRows - 1,     kInterseqTileRows,
+        kInterseqTileRows + 1,     2 * kInterseqTileRows,
+        2 * kInterseqTileRows + 1, 2048 + 7};
+    std::uint32_t seed = 211;
+    for (const std::size_t qlen : qlens) {
+        Rng rng(seed++);
+        const std::vector<Code> q =
+            db::random_protein(rng, qlen, "q").residues;
+        const InterseqProfile prof = build_interseq_profile(q, blosum());
+
+        for (const simd::IsaLevel isa : supported_levels()) {
+            const int W = lanes_u8(isa);
+            Rng srng(seed + static_cast<std::uint32_t>(W));
+            const auto subjects = random_subjects(
+                srng, static_cast<std::size_t>(W), 5, 180);
+            std::size_t columns = 0;
+            for (const auto& s : subjects) {
+                columns = std::max(columns, s.size());
+            }
+            const std::vector<Code> cols = interleave(subjects, W, columns);
+
+            ScanScratch scratch;
+            std::uint8_t flat_best[64];
+            const std::uint64_t flat_ovf = sw_interseq_u8(
+                prof, cols.data(), columns, kGap, isa, scratch, flat_best);
+
+            InterseqColumnState state;
+            std::uint8_t tiled_best[64];
+            const std::uint64_t tiled_ovf =
+                sw_interseq_u8_tiled(prof, cols.data(), columns, kGap, isa,
+                                     scratch, state, tiled_best);
+
+            EXPECT_EQ(tiled_ovf, flat_ovf)
+                << "isa=" << simd::to_string(isa) << " qlen=" << qlen;
+            const Profile8 p8 = build_profile8(q, blosum(), W);
+            for (int l = 0; l < W; ++l) {
+                EXPECT_EQ(tiled_best[l], flat_best[l])
+                    << "isa=" << simd::to_string(isa) << " qlen=" << qlen
+                    << " lane=" << l;
+                const StripedResult r =
+                    sw_striped_u8(p8, subjects[l], kGap, isa);
+                EXPECT_EQ(static_cast<Score>(tiled_best[l]), r.score)
+                    << "isa=" << simd::to_string(isa) << " qlen=" << qlen
+                    << " lane=" << l;
+                EXPECT_EQ(((tiled_ovf >> l) & 1) != 0, r.overflow)
+                    << "isa=" << simd::to_string(isa) << " qlen=" << qlen
+                    << " lane=" << l;
+            }
+        }
+    }
+}
+
+TEST(InterseqTiledKernels, U8SaturationCarriesAcrossTiles) {
+    Rng rng(223);
+    // A 3-tile self-match: the score climbs past u8 saturation well
+    // before the final tile, so the saturated H rows — and the
+    // overflow verdict — must survive the inter-tile hand-off.
+    const std::size_t qlen = 2 * kInterseqTileRows + 100;
+    const std::vector<Code> q = db::random_protein(rng, qlen, "q").residues;
+    const InterseqProfile prof = build_interseq_profile(q, blosum());
+
+    for (const simd::IsaLevel isa : supported_levels()) {
+        const int W = lanes_u8(isa);
+        std::vector<std::vector<Code>> subjects =
+            random_subjects(rng, static_cast<std::size_t>(W), 30, 60);
+        subjects[0] = q;  // planted overflow lane
+        subjects[static_cast<std::size_t>(W) - 1] = q;
+        std::size_t columns = 0;
+        for (const auto& s : subjects) columns = std::max(columns, s.size());
+        const std::vector<Code> cols = interleave(subjects, W, columns);
+
+        ScanScratch scratch;
+        InterseqColumnState state;
+        std::uint8_t flat_best[64];
+        std::uint8_t tiled_best[64];
+        const std::uint64_t flat_ovf = sw_interseq_u8(
+            prof, cols.data(), columns, kGap, isa, scratch, flat_best);
+        const std::uint64_t tiled_ovf = sw_interseq_u8_tiled(
+            prof, cols.data(), columns, kGap, isa, scratch, state,
+            tiled_best);
+
+        EXPECT_EQ(tiled_ovf, flat_ovf) << simd::to_string(isa);
+        EXPECT_TRUE((tiled_ovf >> 0) & 1) << simd::to_string(isa);
+        EXPECT_TRUE((tiled_ovf >> (W - 1)) & 1) << simd::to_string(isa);
+        for (int l = 0; l < W; ++l) {
+            EXPECT_EQ(tiled_best[l], flat_best[l])
+                << "isa=" << simd::to_string(isa) << " lane=" << l;
+        }
+    }
+}
+
+TEST(InterseqTiledKernels, I16BitIdenticalToUntiledAndStriped) {
+    Rng rng(227);
+    // Wide-lane rescue path for long queries: i16 carried state is a
+    // [lo,hi] half-vector pair per column, escalated consistently from
+    // the u8 layout. One planted self-match lane saturates even i16 —
+    // its self score is ~60 * qlen, so qlen must clear 32767 / 60
+    // regardless of where the tile boundary sits.
+    const std::size_t qlen =
+        std::max<std::size_t>(2 * kInterseqTileRows + 31, 560);
+    const std::vector<Code> q = db::random_protein(rng, qlen, "q").residues;
+    const ScoreMatrix matrix =
+        ScoreMatrix::match_mismatch(Alphabet::protein(), 60, -4);
+    const InterseqProfile prof = build_interseq_profile(q, matrix);
+
+    for (const simd::IsaLevel isa : supported_levels()) {
+        const int W = lanes_u8(isa);
+        std::vector<std::vector<Code>> subjects =
+            random_subjects(rng, static_cast<std::size_t>(W), 100, 400);
+        subjects[2] = q;  // saturates i16
+        std::size_t columns = 0;
+        for (const auto& s : subjects) columns = std::max(columns, s.size());
+        const std::vector<Code> cols = interleave(subjects, W, columns);
+
+        ScanScratch scratch;
+        InterseqColumnState state;
+        std::int16_t flat_best[64];
+        std::int16_t tiled_best[64];
+        const std::uint64_t flat_ovf = sw_interseq_i16(
+            prof, cols.data(), columns, kGap, isa, scratch, flat_best);
+        const std::uint64_t tiled_ovf = sw_interseq_i16_tiled(
+            prof, cols.data(), columns, kGap, isa, scratch, state,
+            tiled_best);
+
+        EXPECT_EQ(tiled_ovf, flat_ovf) << simd::to_string(isa);
+        const Profile16 p16 = build_profile16(q, matrix, lanes_i16(isa));
+        bool any_overflow = false;
+        for (int l = 0; l < W; ++l) {
+            EXPECT_EQ(tiled_best[l], flat_best[l])
+                << "isa=" << simd::to_string(isa) << " lane=" << l;
+            const StripedResult r =
+                sw_striped_i16(p16, subjects[l], kGap, isa);
+            EXPECT_EQ(static_cast<Score>(tiled_best[l]), r.score)
+                << "isa=" << simd::to_string(isa) << " lane=" << l;
+            EXPECT_EQ(((tiled_ovf >> l) & 1) != 0, r.overflow)
+                << "isa=" << simd::to_string(isa) << " lane=" << l;
+            any_overflow |= r.overflow;
+            if (!r.overflow) {
+                EXPECT_EQ(static_cast<Score>(tiled_best[l]),
+                          sw_score_affine(q, subjects[l], matrix, kGap));
+            }
+        }
+        EXPECT_TRUE(any_overflow) << simd::to_string(isa);
+    }
+}
+
+TEST(InterseqTiledKernels, I16LoHalfHintBitIdentical) {
+    // The scanner's 8 -> 16 escalation batches often fill at most half
+    // a cohort's lanes; the lanes_used hint then compiles out the
+    // all-pad hi half-vectors. The used lanes' scores and overflow
+    // bits must be bit-identical to the full-width kernel, untiled and
+    // tiled, and the skipped lanes must report score 0.
+    Rng rng(233);
+    for (const std::size_t qlen :
+         {kInterseqTileRows - 3, 2 * kInterseqTileRows + 77}) {
+        const std::vector<Code> q =
+            db::random_protein(rng, qlen, "q").residues;
+        const InterseqProfile prof = build_interseq_profile(q, blosum());
+
+        for (const simd::IsaLevel isa : supported_levels()) {
+            const int W = lanes_u8(isa);
+            const auto used = static_cast<std::size_t>(W) / 2;
+            auto subjects = random_subjects(rng, used, 40, 300);
+            subjects.resize(static_cast<std::size_t>(W));  // hi half pad
+            std::size_t columns = 0;
+            for (const auto& s : subjects) {
+                columns = std::max(columns, s.size());
+            }
+            const std::vector<Code> cols = interleave(subjects, W, columns);
+
+            ScanScratch scratch;
+            InterseqColumnState state;
+            std::int16_t full[64], lo[64];
+            const std::uint64_t full_ovf = sw_interseq_i16(
+                prof, cols.data(), columns, kGap, isa, scratch, full);
+            const std::uint64_t lo_ovf =
+                sw_interseq_i16(prof, cols.data(), columns, kGap, isa,
+                                scratch, lo, used);
+            EXPECT_EQ(lo_ovf, full_ovf)
+                << "isa=" << simd::to_string(isa) << " qlen=" << qlen;
+            for (int l = 0; l < W; ++l) {
+                const std::int16_t want =
+                    l < static_cast<int>(used) ? full[l] : std::int16_t{0};
+                EXPECT_EQ(lo[l], want)
+                    << "isa=" << simd::to_string(isa) << " qlen=" << qlen
+                    << " lane=" << l;
+            }
+
+            std::int16_t tiled_full[64], tiled_lo[64];
+            const std::uint64_t tf_ovf =
+                sw_interseq_i16_tiled(prof, cols.data(), columns, kGap, isa,
+                                      scratch, state, tiled_full);
+            const std::uint64_t tl_ovf =
+                sw_interseq_i16_tiled(prof, cols.data(), columns, kGap, isa,
+                                      scratch, state, tiled_lo, used);
+            EXPECT_EQ(tf_ovf, full_ovf)
+                << "isa=" << simd::to_string(isa) << " qlen=" << qlen;
+            EXPECT_EQ(tl_ovf, full_ovf)
+                << "isa=" << simd::to_string(isa) << " qlen=" << qlen;
+            for (int l = 0; l < W; ++l) {
+                EXPECT_EQ(tiled_full[l], full[l])
+                    << "isa=" << simd::to_string(isa) << " qlen=" << qlen
+                    << " lane=" << l;
+                const std::int16_t want =
+                    l < static_cast<int>(used) ? full[l] : std::int16_t{0};
+                EXPECT_EQ(tiled_lo[l], want)
+                    << "isa=" << simd::to_string(isa) << " qlen=" << qlen
+                    << " lane=" << l;
+            }
+        }
+    }
+}
+
+TEST(InterseqTiledKernels, ColumnStateReusableAcrossCallsAndSizes) {
+    // One InterseqColumnState serves a whole worker: back-to-back
+    // cohorts of different widths and column counts must each score as
+    // if the state were fresh — no carry-over between calls, capacity
+    // grows monotonically.
+    Rng rng(229);
+    const std::size_t qlen = kInterseqTileRows + 200;
+    const std::vector<Code> q = db::random_protein(rng, qlen, "q").residues;
+    const InterseqProfile prof = build_interseq_profile(q, blosum());
+
+    for (const simd::IsaLevel isa : supported_levels()) {
+        const int W = lanes_u8(isa);
+        ScanScratch scratch;
+        InterseqColumnState shared;
+        // Big cohort first, then a small one, then the big one again:
+        // the small call must not poison the big call's carried state.
+        const auto big = random_subjects(
+            rng, static_cast<std::size_t>(W), 150, 300);
+        const auto small = random_subjects(rng, 2, 10, 30);
+        std::size_t big_cols = 0, small_cols = 0;
+        for (const auto& s : big) big_cols = std::max(big_cols, s.size());
+        for (const auto& s : small) {
+            small_cols = std::max(small_cols, s.size());
+        }
+        const std::vector<Code> big_iv = interleave(big, W, big_cols);
+        const std::vector<Code> small_iv = interleave(small, W, small_cols);
+
+        std::uint8_t first[64], again[64], fresh[64];
+        const std::uint64_t ovf_first = sw_interseq_u8_tiled(
+            prof, big_iv.data(), big_cols, kGap, isa, scratch, shared,
+            first);
+        sw_interseq_u8_tiled(prof, small_iv.data(), small_cols, kGap, isa,
+                             scratch, shared, again);
+        const std::uint64_t ovf_again = sw_interseq_u8_tiled(
+            prof, big_iv.data(), big_cols, kGap, isa, scratch, shared,
+            again);
+        InterseqColumnState pristine;
+        const std::uint64_t ovf_fresh = sw_interseq_u8_tiled(
+            prof, big_iv.data(), big_cols, kGap, isa, scratch, pristine,
+            fresh);
+
+        EXPECT_EQ(ovf_again, ovf_first) << simd::to_string(isa);
+        EXPECT_EQ(ovf_fresh, ovf_first) << simd::to_string(isa);
+        for (int l = 0; l < W; ++l) {
+            EXPECT_EQ(again[l], first[l])
+                << "isa=" << simd::to_string(isa) << " lane=" << l;
+            EXPECT_EQ(fresh[l], first[l])
+                << "isa=" << simd::to_string(isa) << " lane=" << l;
+        }
+    }
+}
+
+}  // namespace
+}  // namespace swh::align

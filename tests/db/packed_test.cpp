@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -155,41 +156,67 @@ TEST(PackedDatabase, ScanOrderTieBreakIsBitReproducible) {
     }
 }
 
-TEST(InterleavedChunksTest, CohortLayoutMatchesScanOrder) {
-    const Database database = make_db(75, 19);
-    const PackedDatabase packed = PackedDatabase::pack(database.sequences());
-    constexpr int kLanes = 16;
-    const InterleavedChunks& chunks = packed.interleaved(kLanes);
-    EXPECT_EQ(chunks.lanes(), kLanes);
+/// Structural invariants every interleaved layout must satisfy,
+/// whatever mix of natural and compacted cohorts the lengths produce:
+/// each subject packed exactly once, arena contents matching the
+/// subject through the slots table, fill bars respected.
+void check_layout(const PackedDatabase& packed, int lanes) {
+    const InterleavedChunks& chunks = packed.interleaved(lanes);
+    EXPECT_EQ(chunks.lanes(), lanes);
     const auto order = packed.scan_order();
-    const std::size_t expect_cohorts =
-        (packed.size() + kLanes - 1) / static_cast<std::size_t>(kLanes);
-    ASSERT_EQ(chunks.cohort_count(), expect_cohorts);
-
     const align::InterleavedCohorts v = chunks.view();
-    ASSERT_EQ(v.count, expect_cohorts);
-    EXPECT_EQ(v.lanes, kLanes);
+    EXPECT_EQ(v.count, chunks.cohort_count());
+    EXPECT_EQ(v.lanes, lanes);
     EXPECT_EQ(v.pad_code, align::InterseqProfile::kPadCode);
     EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.arena) % 64, 0u);
+    if (packed.size() > 0) {
+        ASSERT_NE(v.slots, nullptr);
+        ASSERT_EQ(chunks.slots().size(), packed.size());
+    }
 
+    const std::uint64_t w = static_cast<std::uint64_t>(lanes);
+    std::vector<int> seen(packed.size(), 0);
+    std::size_t compacted = 0;
     for (std::size_t c = 0; c < v.count; ++c) {
         const align::CohortDesc& d = v.cohorts[c];
-        EXPECT_EQ(d.first_slot, c * kLanes);
-        const std::size_t members =
-            std::min<std::size_t>(kLanes, packed.size() - d.first_slot);
-        EXPECT_EQ(d.lanes_used, members);
-        // Longest-first scan order: the first member is the longest, so
-        // its length is the column count.
-        EXPECT_EQ(d.columns, packed.length(order[d.first_slot]));
+        if (c > 0) {
+            // Longest-first cohort order keeps claim balancing.
+            EXPECT_LE(d.columns, v.cohorts[c - 1].columns);
+        }
+        ASSERT_GE(d.lanes_used, 1u);
+        ASSERT_LE(d.lanes_used, w);
+        const bool is_compacted =
+            (d.flags & align::CohortDesc::kCompacted) != 0;
+        compacted += is_compacted ? 1 : 0;
+        if (!is_compacted) {
+            // Natural cohorts survive only at full width and above the
+            // full-width fill bar; anything else must be re-packed.
+            EXPECT_EQ(d.lanes_used, w);
+            EXPECT_GE(d.residues * 100,
+                      std::uint64_t{d.columns} * w *
+                          InterleavedChunks::kCohortFillPct);
+        } else {
+            // Compacted cohorts hold the bar against their own used
+            // lane count (1-subject outlier cohorts pass trivially).
+            EXPECT_GE(d.residues * 100, std::uint64_t{d.columns} *
+                                            d.lanes_used *
+                                            InterleavedChunks::kCohortFillPct);
+        }
         std::uint64_t residues = 0;
-        for (std::size_t l = 0; l < members; ++l) {
-            const std::uint32_t idx = order[d.first_slot + l];
+        for (std::uint32_t l = 0; l < d.lanes_used; ++l) {
+            const std::uint32_t slot = v.slots[d.first_slot + l];
+            ASSERT_LT(slot, packed.size());
+            ++seen[slot];
+            const std::uint32_t idx = order[slot];
             const auto sub = packed.subject(idx);
             residues += sub.size();
             EXPECT_LE(sub.size(), d.columns);
+            // The longest member leads, so columns is exact.
+            if (l == 0) {
+                EXPECT_EQ(d.columns, sub.size());
+            }
             for (std::size_t j = 0; j < d.columns; ++j) {
-                const align::Code got =
-                    v.arena[d.offset + j * kLanes + l];
+                const align::Code got = v.arena[d.offset + j * w + l];
                 if (j < sub.size()) {
                     EXPECT_EQ(got, sub[j])
                         << "cohort " << c << " lane " << l << " col " << j;
@@ -200,14 +227,116 @@ TEST(InterleavedChunksTest, CohortLayoutMatchesScanOrder) {
             }
         }
         EXPECT_EQ(d.residues, residues);
-        // Absent lanes of the tail cohort are pure padding.
-        for (std::size_t l = members; l < kLanes; ++l) {
+        // Absent lanes are pure padding: the kernels always run the
+        // cohort at full width.
+        for (std::uint64_t l = d.lanes_used; l < w; ++l) {
             for (std::size_t j = 0; j < d.columns; ++j) {
-                EXPECT_EQ(v.arena[d.offset + j * kLanes + l],
+                EXPECT_EQ(v.arena[d.offset + j * w + l],
                           align::InterseqProfile::kPadCode);
             }
         }
     }
+    EXPECT_EQ(compacted, chunks.compacted_cohorts());
+    for (std::size_t s = 0; s < seen.size(); ++s) {
+        EXPECT_EQ(seen[s], 1) << "scan slot " << s
+                              << " not packed exactly once";
+    }
+}
+
+TEST(InterleavedChunksTest, CohortLayoutMatchesScanOrder) {
+    const Database database = make_db(75, 19);
+    const PackedDatabase packed = PackedDatabase::pack(database.sequences());
+    check_layout(packed, 16);
+    check_layout(packed, 64);
+}
+
+TEST(InterleavedChunksTest, UniformLengthsStayNaturalCohorts) {
+    // Equal lengths fill every natural cohort to 100%: nothing but the
+    // sub-width tail should be re-packed.
+    std::vector<align::Sequence> seqs;
+    for (int i = 0; i < 70; ++i) {
+        seqs.push_back(align::Sequence{
+            "u" + std::to_string(i), "", std::vector<align::Code>(80, 3)});
+    }
+    const PackedDatabase packed = PackedDatabase::pack(seqs);
+    constexpr int kLanes = 16;
+    const InterleavedChunks& chunks = packed.interleaved(kLanes);
+    // 70 = 4 full natural cohorts + a 6-subject compacted tail.
+    EXPECT_EQ(chunks.cohort_count(), 5u);
+    EXPECT_EQ(chunks.compacted_cohorts(), 1u);
+    check_layout(packed, kLanes);
+}
+
+TEST(InterleavedChunksTest, RaggedLengthsCompactIntoDenseCohorts) {
+    // A length cliff inside what would be one natural cohort: 8
+    // subjects of 400 followed by 58 of 40. The natural W-stride group
+    // mixing them fills 8*400+8*40 / 16*400 = 55% < 75%, so the whole
+    // head must be re-packed into dense length-adjacent cohorts.
+    std::vector<align::Sequence> seqs;
+    for (int i = 0; i < 8; ++i) {
+        seqs.push_back(align::Sequence{
+            "long" + std::to_string(i), "",
+            std::vector<align::Code>(400, 5)});
+    }
+    for (int i = 0; i < 58; ++i) {
+        seqs.push_back(align::Sequence{
+            "short" + std::to_string(i), "",
+            std::vector<align::Code>(40, 7)});
+    }
+    const PackedDatabase packed = PackedDatabase::pack(seqs);
+    constexpr int kLanes = 16;
+    const InterleavedChunks& chunks = packed.interleaved(kLanes);
+    check_layout(packed, kLanes);
+    EXPECT_GE(chunks.compacted_cohorts(), 2u);
+    // The 400-column cohort must not run at the full natural width (16
+    // lanes would be 55% fill): the re-pack stops adding 40-residue
+    // tag-alongs once aggregate fill would drop below the bar. The
+    // bulk of the short subjects land in dense natural 40-column
+    // cohorts instead.
+    const align::InterleavedCohorts v = chunks.view();
+    bool long_cohort = false, natural_short = false;
+    for (std::size_t c = 0; c < v.count; ++c) {
+        const align::CohortDesc& d = v.cohorts[c];
+        if (d.columns == 400) {
+            long_cohort = true;
+            EXPECT_LT(d.lanes_used, 16u);
+            EXPECT_NE(d.flags & align::CohortDesc::kCompacted, 0u);
+        }
+        if (d.columns == 40 &&
+            (d.flags & align::CohortDesc::kCompacted) == 0) {
+            natural_short = true;
+        }
+    }
+    EXPECT_TRUE(long_cohort);
+    EXPECT_TRUE(natural_short);
+}
+
+TEST(InterleavedChunksTest, IsolatedOutlierGetsSingleSubjectCohort) {
+    // One 2000-residue outlier over a sea of 50-residue subjects: the
+    // greedy re-pack cannot pair anything with it without collapsing
+    // fill, so it must ride alone.
+    std::vector<align::Sequence> seqs;
+    seqs.push_back(align::Sequence{
+        "outlier", "", std::vector<align::Code>(2000, 2)});
+    for (int i = 0; i < 33; ++i) {
+        seqs.push_back(align::Sequence{
+            "bg" + std::to_string(i), "", std::vector<align::Code>(50, 9)});
+    }
+    const PackedDatabase packed = PackedDatabase::pack(seqs);
+    constexpr int kLanes = 16;
+    const InterleavedChunks& chunks = packed.interleaved(kLanes);
+    check_layout(packed, kLanes);
+    const align::InterleavedCohorts v = chunks.view();
+    bool found = false;
+    for (std::size_t c = 0; c < v.count; ++c) {
+        const align::CohortDesc& d = v.cohorts[c];
+        if (d.columns == 2000) {
+            found = true;
+            EXPECT_EQ(d.lanes_used, 1u);
+            EXPECT_NE(d.flags & align::CohortDesc::kCompacted, 0u);
+        }
+    }
+    EXPECT_TRUE(found);
 }
 
 TEST(InterleavedChunksTest, CachedPerWidthAndThreadSafe) {

@@ -26,6 +26,7 @@ import sys
 RATIO_KEYS = [
     "speedup_geomean",
     "speedup_geomean_short",
+    "speedup_geomean_long",
     "funnel_speedup_geomean",
     "funnel_speedup_geomean_short",
 ]
