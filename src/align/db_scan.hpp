@@ -52,6 +52,7 @@
 #include "align/interseq.hpp"
 #include "align/striped.hpp"
 #include "align/ungapped.hpp"
+#include "util/annotations.hpp"
 #include "util/check.hpp"
 
 namespace swh::align {
@@ -193,7 +194,8 @@ public:
     /// included). Returns false iff a callback returned false (scan
     /// cancelled).
     template <class EmitFn, class PrunedFn>
-    bool run_worker(ScanScratch& scratch, EmitFn&& emit, PrunedFn&& pruned) {
+    SWH_HOT_PATH bool run_worker(ScanScratch& scratch, EmitFn&& emit,
+                                 PrunedFn&& pruned) {
         WorkerTallies t;
         std::vector<std::uint32_t> overflow;
         bool keep = cohort_mode_
@@ -231,7 +233,7 @@ public:
     /// prefilter armed the pruned subjects are still skipped — they are
     /// just not reported.
     template <class EmitFn>
-    bool run_worker(ScanScratch& scratch, EmitFn&& emit) {
+    SWH_HOT_PATH bool run_worker(ScanScratch& scratch, EmitFn&& emit) {
         return run_worker(scratch, emit,
                           [](std::uint32_t, std::uint32_t) { return true; });
     }
@@ -338,7 +340,7 @@ private:
 
     /// Legacy claim unit: chunks of scan-order subjects, striped u8.
     template <class EmitFn>
-    bool claim_subjects(ScanScratch& scratch, EmitFn&& emit,
+    SWH_HOT_PATH bool claim_subjects(ScanScratch& scratch, EmitFn&& emit,
                         std::vector<std::uint32_t>& overflow,
                         WorkerTallies& t) {
         bool keep = true;
@@ -365,7 +367,8 @@ private:
     /// not a handful of long stragglers rattling in a ragged one
     /// (exactly what the long planted families look like to a short
     /// query, where the sweep measurably costs more than it saves).
-    bool rebound_pays(const CohortDesc& d, std::uint64_t sat_used) const {
+    SWH_HOT_PATH bool rebound_pays(const CohortDesc& d,
+                                   std::uint64_t sat_used) const {
         std::uint64_t sat_len = 0;
         for (std::uint32_t l = 0; l < d.lanes_used; ++l) {
             if ((sat_used >> l) & 1) {
@@ -383,7 +386,8 @@ private:
     /// re-bounded at 16 bits (only when `striped_exact` says the
     /// cohort's exact fallback is per-lane striped — see below), and
     /// i16-saturated lanes always survive.
-    std::uint64_t filter_cohort(const CohortDesc& d, std::uint64_t used,
+    SWH_HOT_PATH std::uint64_t filter_cohort(const CohortDesc& d,
+                                             std::uint64_t used,
                                 Score tau, bool striped_exact,
                                 ScanScratch& scratch, WorkerTallies& t) {
         ++t.cohorts_filtered;
@@ -474,7 +478,8 @@ private:
     /// survivors of mostly-pruned interseq cohorts into dense repacked
     /// cohorts instead of masking dead lanes.
     template <class EmitFn, class PrunedFn>
-    bool claim_cohorts(ScanScratch& scratch, EmitFn&& emit, PrunedFn&& pruned,
+    SWH_HOT_PATH bool claim_cohorts(ScanScratch& scratch, EmitFn&& emit,
+                                    PrunedFn&& pruned,
                        std::vector<std::uint32_t>& overflow,
                        WorkerTallies& t) {
         bool keep = true;
@@ -586,6 +591,8 @@ private:
                         const std::uint32_t idx = member_index(d, l);
                         ++subj;
                         if ((ovf >> l) & 1) {
+                            // NOLINTNEXTLINE(swh-no-alloc-in-hot-path):
+                            // deferred batch, bounded by the claim size.
                             overflow.push_back(idx);
                             continue;
                         }
@@ -600,6 +607,9 @@ private:
                     // are re-packed into dense cohorts at claim end.
                     for (std::uint32_t l = 0; l < d.lanes_used; ++l) {
                         if ((survive >> l) & 1) {
+                            // NOLINTNEXTLINE(swh-no-alloc-in-hot-path):
+                            // survivor batch; capacity is retained
+                            // across flushes, growth amortizes out.
                             pending.push_back(member_index(d, l));
                         }
                     }
@@ -658,7 +668,8 @@ private:
     /// (long isolated survivors run near striped peak anyway).
     /// Overflowed lanes join `overflow` for the wide-rescore stages.
     template <class EmitFn>
-    bool flush_repack(std::vector<std::uint32_t>& pending, bool force,
+    SWH_HOT_PATH bool flush_repack(std::vector<std::uint32_t>& pending,
+                                   bool force,
                       ScanScratch& scratch, InterseqColumnState& colstate,
                       std::vector<Code>& repack, EmitFn&& emit,
                       std::vector<std::uint32_t>& overflow,
@@ -711,6 +722,7 @@ private:
         }
         // On cancellation (keep == false) the worker is aborting: the
         // un-flushed tail is abandoned like any other unclaimed work.
+        // NOLINTNEXTLINE(swh-no-alloc-in-hot-path): shrinks only.
         pending.resize(keep ? kept : 0);
         return keep;
     }
@@ -718,7 +730,8 @@ private:
     /// One dense repacked cohort: `count` subjects (original indices)
     /// interleaved column-major into `repack` and scored together.
     template <class EmitFn>
-    bool repack_batch(const std::uint32_t* batch, std::size_t count,
+    SWH_HOT_PATH bool repack_batch(const std::uint32_t* batch,
+                                   std::size_t count,
                       bool tiled, ScanScratch& scratch,
                       InterseqColumnState& colstate, std::vector<Code>& repack,
                       EmitFn&& emit, std::vector<std::uint32_t>& overflow,
@@ -728,6 +741,8 @@ private:
         for (std::size_t i = 0; i < count; ++i) {
             columns = std::max(columns, subjects_.lengths[batch[i]]);
         }
+        // NOLINTNEXTLINE(swh-no-alloc-in-hot-path): repack scratch is
+        // caller-retained; it grows to the largest batch once.
         repack.assign(std::size_t{columns} * w, InterseqProfile::kPadCode);
         for (std::size_t i = 0; i < count; ++i) {
             const std::span<const Code> s = subjects_.subject(batch[i]);
@@ -753,6 +768,8 @@ private:
             const std::uint32_t idx = batch[i];
             ++t.subjects_compacted;
             if ((ovf >> i) & 1) {
+                // NOLINTNEXTLINE(swh-no-alloc-in-hot-path): deferred
+                // batch, bounded by the repack width.
                 overflow.push_back(idx);
                 continue;
             }
@@ -773,7 +790,7 @@ private:
     /// query scans. Sub-batch remainders keep the serial path, whose
     /// fixed cost is lower. Leaves `overflow` empty.
     template <class EmitFn>
-    bool drain_overflow(std::vector<std::uint32_t>& overflow,
+    SWH_HOT_PATH bool drain_overflow(std::vector<std::uint32_t>& overflow,
                         ScanScratch& scratch, InterseqColumnState& colstate,
                         std::vector<Code>& repack, EmitFn&& emit,
                         WorkerTallies& t) {
@@ -830,7 +847,8 @@ private:
     /// int32 rescore — the striped i16 attempt rescore_wide would run
     /// first is already proven futile.
     template <class EmitFn>
-    bool escalate_batch(const std::uint32_t* batch, std::size_t count,
+    SWH_HOT_PATH bool escalate_batch(const std::uint32_t* batch,
+                                     std::size_t count,
                         bool tiled, ScanScratch& scratch,
                         InterseqColumnState& colstate,
                         std::vector<Code>& repack, EmitFn&& emit,
@@ -840,6 +858,8 @@ private:
         for (std::size_t i = 0; i < count; ++i) {
             columns = std::max(columns, subjects_.lengths[batch[i]]);
         }
+        // NOLINTNEXTLINE(swh-no-alloc-in-hot-path): repack scratch is
+        // caller-retained; it grows to the largest batch once.
         repack.assign(std::size_t{columns} * w, InterseqProfile::kPadCode);
         for (std::size_t i = 0; i < count; ++i) {
             const std::span<const Code> s = subjects_.subject(batch[i]);
@@ -876,7 +896,8 @@ private:
     }
 
     template <class EmitFn>
-    bool score_striped(std::uint32_t idx, ScanScratch& scratch, EmitFn&& emit,
+    SWH_HOT_PATH bool score_striped(std::uint32_t idx, ScanScratch& scratch,
+                                    EmitFn&& emit,
                        std::vector<std::uint32_t>& overflow,
                        WorkerTallies& t) {
         ++t.subjects_striped;
@@ -884,6 +905,8 @@ private:
             aligner_->score_u8(subjects_.subject(idx), scratch,
                                /*trusted=*/true);
         if (r.overflow) {
+            // NOLINTNEXTLINE(swh-no-alloc-in-hot-path): deferred batch,
+            // bounded by the claim size.
             overflow.push_back(idx);
             return true;
         }

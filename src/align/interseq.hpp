@@ -27,6 +27,7 @@
 #include "align/score_matrix.hpp"
 #include "align/sequence.hpp"
 #include "simd/arch.hpp"
+#include "util/annotations.hpp"
 
 namespace swh::align {
 
@@ -153,7 +154,7 @@ InterseqProfile build_interseq_profile(std::span<const Code> query,
 /// have saturated, same `score + bias >= 255` bound as the striped u8
 /// kernel; those subjects must be settled by a wider kernel). Residues
 /// must be pre-validated (< alphabet size, or == kPadCode).
-std::uint64_t sw_interseq_u8(const InterseqProfile& profile, const Code* cols,
+SWH_HOT_PATH std::uint64_t sw_interseq_u8(const InterseqProfile& profile, const Code* cols,
                              std::size_t columns, GapPenalty gap,
                              simd::IsaLevel isa, ScanScratch& scratch,
                              std::uint8_t* lane_best);
@@ -167,7 +168,7 @@ std::uint64_t sw_interseq_u8(const InterseqProfile& profile, const Code* cols,
 /// skips the all-pad hi half-vectors entirely. Lanes are dataflow-
 /// independent, so the used lanes' scores and overflow bits are
 /// unchanged; unused lanes report score 0.
-std::uint64_t sw_interseq_i16(const InterseqProfile& profile, const Code* cols,
+SWH_HOT_PATH std::uint64_t sw_interseq_i16(const InterseqProfile& profile, const Code* cols,
                               std::size_t columns, GapPenalty gap,
                               simd::IsaLevel isa, ScanScratch& scratch,
                               std::int16_t* lane_best,
@@ -179,7 +180,7 @@ std::uint64_t sw_interseq_i16(const InterseqProfile& profile, const Code* cols,
 /// tile's own DP rows compete for cache. Scores and the overflow mask
 /// are bit-identical to sw_interseq_u8 — tiling changes the cell visit
 /// order, not the dataflow, and every op is per-cell saturating.
-std::uint64_t sw_interseq_u8_tiled(const InterseqProfile& profile,
+SWH_HOT_PATH std::uint64_t sw_interseq_u8_tiled(const InterseqProfile& profile,
                                    const Code* cols, std::size_t columns,
                                    GapPenalty gap, simd::IsaLevel isa,
                                    ScanScratch& scratch,
@@ -191,7 +192,7 @@ std::uint64_t sw_interseq_u8_tiled(const InterseqProfile& profile,
 /// half-vector pairs (widened consistently with the untiled i16
 /// kernel), bit-identical to sw_interseq_i16. `lanes_used` as in
 /// sw_interseq_i16.
-std::uint64_t sw_interseq_i16_tiled(const InterseqProfile& profile,
+SWH_HOT_PATH std::uint64_t sw_interseq_i16_tiled(const InterseqProfile& profile,
                                     const Code* cols, std::size_t columns,
                                     GapPenalty gap, simd::IsaLevel isa,
                                     ScanScratch& scratch,

@@ -23,6 +23,7 @@
 
 #include "align/interseq.hpp"
 #include "align/striped.hpp"
+#include "util/annotations.hpp"
 #include "util/error.hpp"
 
 namespace swh::align::detail {
@@ -31,7 +32,7 @@ namespace swh::align::detail {
 /// simd/vec_scalar.hpp including lookup32/widen. Returns the overflow
 /// lane mask; lane_best[0..V::kLanes) receives per-lane maxima.
 template <class V>
-std::uint64_t interseq_u8(const InterseqProfile& p, const Code* cols,
+SWH_HOT_PATH std::uint64_t interseq_u8(const InterseqProfile& p, const Code* cols,
                           std::size_t columns, GapPenalty gap,
                           ScanScratch& scratch, std::uint8_t* lane_best) {
     constexpr int W = V::kLanes;
@@ -91,7 +92,7 @@ std::uint64_t interseq_u8(const InterseqProfile& p, const Code* cols,
 /// W/2 lanes (escalation batches); lanes are independent, so the lo
 /// lanes' results are identical either way.
 template <class V, bool kLoOnly = false>
-std::uint64_t interseq_i16(const InterseqProfile& p, const Code* cols,
+SWH_HOT_PATH std::uint64_t interseq_i16(const InterseqProfile& p, const Code* cols,
                            std::size_t columns, GapPenalty gap,
                            ScanScratch& scratch, std::int16_t* lane_best) {
     constexpr int W = V::kLanes;
@@ -179,7 +180,7 @@ std::uint64_t interseq_i16(const InterseqProfile& p, const Code* cols,
 /// reordering is dataflow-neutral: scores and the overflow mask are
 /// bit-identical to interseq_u8.
 template <class V>
-std::uint64_t interseq_u8_tiled(const InterseqProfile& p, const Code* cols,
+SWH_HOT_PATH std::uint64_t interseq_u8_tiled(const InterseqProfile& p, const Code* cols,
                                 std::size_t columns, GapPenalty gap,
                                 ScanScratch& scratch,
                                 InterseqColumnState& state,
@@ -256,7 +257,7 @@ std::uint64_t interseq_u8_tiled(const InterseqProfile& p, const Code* cols,
 /// cross the 8 -> 16 escalation boundary without narrowing. kLoOnly as
 /// in interseq_i16.
 template <class V, bool kLoOnly = false>
-std::uint64_t interseq_i16_tiled(const InterseqProfile& p, const Code* cols,
+SWH_HOT_PATH std::uint64_t interseq_i16_tiled(const InterseqProfile& p, const Code* cols,
                                  std::size_t columns, GapPenalty gap,
                                  ScanScratch& scratch,
                                  InterseqColumnState& state,

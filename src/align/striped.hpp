@@ -10,6 +10,7 @@
 #include "align/score_matrix.hpp"
 #include "align/sequence.hpp"
 #include "simd/arch.hpp"
+#include "util/annotations.hpp"
 
 namespace swh::align {
 
@@ -105,7 +106,7 @@ StripedResult sw_striped_u8(const Profile8& profile, std::span<const Code> db,
 /// Allocation-free variant: H/E buffers come from `scratch`. With
 /// `trusted = true` the per-residue alphabet check is skipped — only
 /// pass pre-validated residues (e.g. a db::PackedDatabase arena).
-StripedResult sw_striped_u8(const Profile8& profile, std::span<const Code> db,
+SWH_HOT_PATH StripedResult sw_striped_u8(const Profile8& profile, std::span<const Code> db,
                             GapPenalty gap, simd::IsaLevel isa,
                             ScanScratch& scratch, bool trusted = false);
 
@@ -116,7 +117,7 @@ StripedResult sw_striped_i16(const Profile16& profile,
                              simd::IsaLevel isa);
 
 /// Allocation-free variant; see sw_striped_u8.
-StripedResult sw_striped_i16(const Profile16& profile,
+SWH_HOT_PATH StripedResult sw_striped_i16(const Profile16& profile,
                              std::span<const Code> db, GapPenalty gap,
                              simd::IsaLevel isa, ScanScratch& scratch,
                              bool trusted = false);
@@ -146,26 +147,30 @@ public:
 
     /// Same, with an explicit scratch (for callers that manage their own
     /// per-worker scratch, e.g. DatabaseScanner).
-    Score score(std::span<const Code> db, ScanScratch& scratch) const;
+    SWH_HOT_PATH Score score(std::span<const Code> db,
+                             ScanScratch& scratch) const;
 
     /// Pass-1 primitive of the batched two-pass scan: runs only the u8
     /// kernel. On `overflow` the caller must settle the subject later
     /// via rescore_wide(). Does NOT touch the escalation counters —
     /// batch-credit settled subjects with credit_runs8().
-    StripedResult score_u8(std::span<const Code> db, ScanScratch& scratch,
-                           bool trusted = false) const;
+    SWH_HOT_PATH StripedResult score_u8(std::span<const Code> db,
+                                        ScanScratch& scratch,
+                                        bool trusted = false) const;
 
     /// Pass-2: i16 kernel, then the exact scalar int32 fallback, both
     /// routed through `scratch`. Bumps runs16/runs32 exactly once.
-    Score rescore_wide(std::span<const Code> db, ScanScratch& scratch,
-                       bool trusted = false) const;
+    SWH_HOT_PATH Score rescore_wide(std::span<const Code> db,
+                                    ScanScratch& scratch,
+                                    bool trusted = false) const;
 
     /// Final-escalation primitive: the exact scalar int32 alignment,
     /// for subjects a 16-bit kernel already proved saturated (e.g. an
     /// overflowed lane of a batched interseq i16 escalation) — skips
     /// the redundant striped i16 attempt rescore_wide would repeat.
     /// Bumps runs32 once.
-    Score rescore_i32(std::span<const Code> db, ScanScratch& scratch) const;
+    SWH_HOT_PATH Score rescore_i32(std::span<const Code> db,
+                                   ScanScratch& scratch) const;
 
     /// Credits `n` subjects settled by pass-1 score_u8() calls: one
     /// atomic op per flushed batch instead of one per subject.

@@ -16,6 +16,7 @@
 #include <span>
 
 #include "align/striped.hpp"
+#include "util/annotations.hpp"
 #include "util/error.hpp"
 
 namespace swh::align::detail {
@@ -23,8 +24,9 @@ namespace swh::align::detail {
 /// 8-bit unsigned kernel. V must model the vector interface documented
 /// in simd/vec_scalar.hpp with lane_type uint8_t.
 template <class V, bool kChecked = true>
-StripedResult striped_u8(const Profile8& p, std::span<const Code> db,
-                         GapPenalty gap, ScanScratch& scratch) {
+SWH_HOT_PATH StripedResult striped_u8(const Profile8& p,
+                                      std::span<const Code> db, GapPenalty gap,
+                                      ScanScratch& scratch) {
     SWH_REQUIRE(p.lanes == V::kLanes, "profile built for a different width");
     StripedResult r;
     if (p.query_len == 0 || db.empty()) return r;
@@ -110,8 +112,9 @@ StripedResult striped_u8(const Profile8& p, std::span<const Code> db,
 /// restructured as unconditional full-segment sweeps; see the comment at
 /// the sweep for why results stay bit-identical.
 template <class V, std::size_t kSeg, bool kChecked>
-StripedResult striped_u8_fixed(const Profile8& p, std::span<const Code> db,
-                               GapPenalty gap) {
+SWH_HOT_PATH StripedResult striped_u8_fixed(const Profile8& p,
+                                            std::span<const Code> db,
+                                            GapPenalty gap) {
     StripedResult r;
     const auto open_ext =
         static_cast<std::uint8_t>(std::min<Score>(gap.open + gap.extend, 255));
@@ -188,8 +191,10 @@ StripedResult striped_u8_fixed(const Profile8& p, std::span<const Code> db,
 /// is small enough for the DP state to stay in registers; falls back to
 /// the scratch-backed generic kernel otherwise.
 template <class V, bool kChecked = true>
-StripedResult striped_u8_auto(const Profile8& p, std::span<const Code> db,
-                              GapPenalty gap, ScanScratch& scratch) {
+SWH_HOT_PATH StripedResult striped_u8_auto(const Profile8& p,
+                                           std::span<const Code> db,
+                                           GapPenalty gap,
+                                           ScanScratch& scratch) {
     if (p.query_len != 0 && !db.empty() && p.lanes == V::kLanes) {
         switch (p.seg_len) {
             case 1: return striped_u8_fixed<V, 1, kChecked>(p, db, gap);
@@ -217,9 +222,10 @@ StripedResult striped_u8(const Profile8& p, std::span<const Code> db,
 /// 16-bit signed kernel with an explicit zero clamp (signed lanes do not
 /// get it for free from saturation like the unsigned kernel does).
 template <class V, bool kChecked = true>
-StripedResult striped_i16(const Profile16& p, std::span<const Code> db,
-                          GapPenalty gap, Score matrix_max,
-                          ScanScratch& scratch) {
+SWH_HOT_PATH StripedResult striped_i16(const Profile16& p,
+                                       std::span<const Code> db,
+                                       GapPenalty gap, Score matrix_max,
+                                       ScanScratch& scratch) {
     SWH_REQUIRE(p.lanes == V::kLanes, "profile built for a different width");
     StripedResult r;
     if (p.query_len == 0 || db.empty()) return r;
@@ -291,8 +297,10 @@ StripedResult striped_i16(const Profile16& p, std::span<const Code> db,
 /// Register-blocked 16-bit kernel; see striped_u8_fixed for the layout
 /// and lazy-F sweep rationale.
 template <class V, std::size_t kSeg, bool kChecked>
-StripedResult striped_i16_fixed(const Profile16& p, std::span<const Code> db,
-                                GapPenalty gap, Score matrix_max) {
+SWH_HOT_PATH StripedResult striped_i16_fixed(const Profile16& p,
+                                             std::span<const Code> db,
+                                             GapPenalty gap,
+                                             Score matrix_max) {
     StripedResult r;
     const V vGapOE = V::splat(static_cast<std::int16_t>(
         std::min<Score>(gap.open + gap.extend, 32767)));
@@ -362,9 +370,10 @@ StripedResult striped_i16_fixed(const Profile16& p, std::span<const Code> db,
 
 /// Register-blocked dispatch for the 16-bit kernel; see striped_u8_auto.
 template <class V, bool kChecked = true>
-StripedResult striped_i16_auto(const Profile16& p, std::span<const Code> db,
-                               GapPenalty gap, Score matrix_max,
-                               ScanScratch& scratch) {
+SWH_HOT_PATH StripedResult striped_i16_auto(const Profile16& p,
+                                            std::span<const Code> db,
+                                            GapPenalty gap, Score matrix_max,
+                                            ScanScratch& scratch) {
     if (p.query_len != 0 && !db.empty() && p.lanes == V::kLanes) {
         switch (p.seg_len) {
             case 1:

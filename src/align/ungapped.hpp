@@ -59,6 +59,7 @@
 #include "align/score_matrix.hpp"
 #include "align/sequence.hpp"
 #include "simd/arch.hpp"
+#include "util/annotations.hpp"
 
 namespace swh::align {
 
@@ -79,7 +80,7 @@ Score sw_ungapped_scalar(std::span<const Code> a, std::span<const Code> b,
 /// have saturated, `score + bias >= 255` — those lanes carry no
 /// trustworthy bound and must be treated as survivors or re-bounded at
 /// 16 bits). Residues must be pre-validated.
-std::uint64_t sw_ungapped_interseq_u8(const InterseqProfile& profile,
+SWH_HOT_PATH std::uint64_t sw_ungapped_interseq_u8(const InterseqProfile& profile,
                                       const Code* cols, std::size_t columns,
                                       GapPenalty gap, simd::IsaLevel isa,
                                       ScanScratch& scratch,
@@ -90,7 +91,7 @@ std::uint64_t sw_ungapped_interseq_u8(const InterseqProfile& profile,
 /// 16-bit companion over the same u8-width cohort (each lane widened to
 /// two i16 half-vectors, as in sw_interseq_i16); overflow mask uses the
 /// `score + max_raw >= 32767` bound.
-std::uint64_t sw_ungapped_interseq_i16(const InterseqProfile& profile,
+SWH_HOT_PATH std::uint64_t sw_ungapped_interseq_i16(const InterseqProfile& profile,
                                        const Code* cols, std::size_t columns,
                                        GapPenalty gap, simd::IsaLevel isa,
                                        ScanScratch& scratch,
@@ -101,7 +102,7 @@ std::uint64_t sw_ungapped_interseq_i16(const InterseqProfile& profile,
 /// Survivor compare: bit l set iff lane_best[l] >= floor, computed with
 /// the ISA's lane-compare primitive (simd ge_mask). Only the low
 /// lanes_u8(isa) bits are meaningful.
-std::uint64_t lanes_at_least(const std::uint8_t* lane_best, std::uint8_t floor,
+SWH_HOT_PATH std::uint64_t lanes_at_least(const std::uint8_t* lane_best, std::uint8_t floor,
                              simd::IsaLevel isa);
 
 }  // namespace swh::align

@@ -24,6 +24,7 @@
 #include "align/interseq.hpp"
 #include "align/striped.hpp"
 #include "align/ungapped.hpp"
+#include "util/annotations.hpp"
 
 namespace swh::align::detail {
 
@@ -31,7 +32,7 @@ namespace swh::align::detail {
 /// simd/vec_scalar.hpp including lookup32. Returns the overflow lane
 /// mask; lane_best[0..V::kLanes) receives per-lane chain bounds.
 template <class V>
-std::uint64_t ungapped_interseq_u8(const InterseqProfile& p, const Code* cols,
+SWH_HOT_PATH std::uint64_t ungapped_interseq_u8(const InterseqProfile& p, const Code* cols,
                                    std::size_t columns, GapPenalty gap,
                                    ScanScratch& scratch,
                                    std::uint8_t* lane_best,
@@ -95,7 +96,7 @@ std::uint64_t ungapped_interseq_u8(const InterseqProfile& p, const Code* cols,
 /// holds two i16 half-vectors, widened in lane order (the layout of
 /// interseq_i16).
 template <class V>
-std::uint64_t ungapped_interseq_i16(const InterseqProfile& p, const Code* cols,
+SWH_HOT_PATH std::uint64_t ungapped_interseq_i16(const InterseqProfile& p, const Code* cols,
                                     std::size_t columns, GapPenalty gap,
                                     ScanScratch& scratch,
                                     std::int16_t* lane_best,

@@ -99,7 +99,7 @@ const InterleavedChunks& PackedDatabase::interleaved(int lanes) const {
                 "cohort width must be a SIMD u8 lane count (1..64)");
     SWH_REQUIRE(size() == 0 || max_code_ < align::InterseqProfile::kPadCode,
                 "residue codes collide with the interleave padding sentinel");
-    std::lock_guard<std::mutex> lock(itl_->mutex);
+    const swh::LockGuard lock(itl_->mutex);
     for (const auto& c : itl_->built) {
         if (c->lanes() == lanes) return *c;
     }

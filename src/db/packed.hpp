@@ -10,12 +10,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
 #include "align/db_scan.hpp"
 #include "align/sequence.hpp"
+#include "util/annotations.hpp"
 
 namespace swh::db {
 
@@ -117,8 +117,9 @@ private:
     /// interleaved() cache, one entry per requested width. Behind a
     /// unique_ptr so PackedDatabase stays movable despite the mutex.
     struct ItlCache {
-        std::mutex mutex;
-        std::vector<std::unique_ptr<InterleavedChunks>> built;
+        swh::Mutex mutex;
+        std::vector<std::unique_ptr<InterleavedChunks>> built
+            SWH_GUARDED_BY(mutex);
     };
 
     std::unique_ptr<align::Code[], ArenaFree> arena_;

@@ -13,6 +13,7 @@
 
 #include "align/sequence.hpp"
 #include "core/results.hpp"
+#include "util/annotations.hpp"
 
 namespace swh::engines {
 
@@ -40,7 +41,7 @@ public:
         kth_.reserve(k_);
     }
 
-    void add(std::uint32_t db_index, align::Score score) {
+    SWH_HOT_PATH void add(std::uint32_t db_index, align::Score score) {
         if (k_ == 0) return;
         if (kth_.size() == k_) {
             const align::Score floor = kth_.front();
@@ -54,9 +55,13 @@ public:
                 std::push_heap(kth_.begin(), kth_.end(), std::greater<>{});
             }
         } else {
+            // NOLINTNEXTLINE(swh-no-alloc-in-hot-path): k_ slots
+            // reserved in the constructor; never exceeds that.
             kth_.push_back(score);
             std::push_heap(kth_.begin(), kth_.end(), std::greater<>{});
         }
+        // NOLINTNEXTLINE(swh-no-alloc-in-hot-path): 2k+16 slots
+        // reserved in the constructor; trim() keeps size below that.
         hits_.push_back(core::Hit{db_index, score});
         if (hits_.size() >= 2 * k_ + 16) trim();
     }
@@ -64,7 +69,7 @@ public:
     /// The k-th best score seen so far: kNoThreshold until k hits
     /// exist, the max Score when k == 0 (every score is outside an
     /// empty top-k). Monotone non-decreasing over a TopK's lifetime.
-    align::Score kth_score() const {
+    SWH_HOT_PATH align::Score kth_score() const {
         if (k_ == 0) return std::numeric_limits<align::Score>::max();
         if (kth_.size() < k_) return kNoThreshold;
         return kth_.front();
@@ -89,7 +94,7 @@ private:
         return a.db_index < b.db_index;
     }
 
-    void trim() {
+    SWH_HOT_PATH void trim() {
         if (hits_.size() <= k_) return;
         if (k_ == 0) {
             hits_.clear();
@@ -112,6 +117,7 @@ private:
         std::nth_element(hits_.begin(),
                          hits_.begin() + static_cast<std::ptrdiff_t>(k_ - 1),
                          hits_.end(), better);
+        // NOLINTNEXTLINE(swh-no-alloc-in-hot-path): shrinks only.
         hits_.resize(k_);
     }
 

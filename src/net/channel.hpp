@@ -183,7 +183,7 @@ private:
     mutable swh::Mutex mu_;
     swh::CondVar cv_;
     std::deque<Entry> queue_ SWH_GUARDED_BY(mu_);
-    Clock::duration delay_{};
+    const Clock::duration delay_;  ///< fixed at construction
     ChannelObserver* observer_ SWH_GUARDED_BY(mu_) = nullptr;
     bool closed_ SWH_GUARDED_BY(mu_) = false;
     ChannelFaults faults_ SWH_GUARDED_BY(mu_);

@@ -48,7 +48,9 @@ private:
     swh::Mutex mu_;
     swh::CondVar cv_;
     bool stopping_ SWH_GUARDED_BY(mu_) = false;
-    std::thread thread_;
+    /// Owned by the constructing thread: started in the constructor,
+    /// joined in stop(); mu_ only covers the stop flag the thread polls.
+    SWH_NOT_GUARDED std::thread thread_;
 };
 
 }  // namespace swh::obs

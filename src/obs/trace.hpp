@@ -188,8 +188,11 @@ private:
     using Clock = std::chrono::steady_clock;
 
     std::atomic<bool> enabled_;
-    std::size_t lane_capacity_;
-    Clock::time_point epoch_;
+    const std::size_t lane_capacity_;
+    /// Written only by reset_epoch(), which the owner calls before the
+    /// emitting threads start (or after they quiesce) — never guarded
+    /// by the lane-registry lock.
+    SWH_NOT_GUARDED Clock::time_point epoch_;
     mutable swh::Mutex mu_;
     std::vector<std::unique_ptr<TraceLane>> lanes_ SWH_GUARDED_BY(mu_);
 };

@@ -116,8 +116,9 @@ private:
             } else if (std::holds_alternative<net::MsgShutdown>(*msg)) {
                 shutdown_ = true;
                 cancelled_current_ = true;
+            } else if (std::holds_alternative<net::MsgNoWorkYet>(*msg)) {
+                // Stale reply to a duplicated request; ignore.
             }
-            // MsgNoWorkYet: stale reply to a duplicated request; ignore.
         }
         // A closed inbox is the master's "you're gone" (presumed dead,
         // or the end-of-run drain): stop the engine cooperatively. This
@@ -125,9 +126,9 @@ private:
         if (inbox_.closed()) cancelled_current_ = true;
     }
 
-    PeId pe_;
-    TaskId current_;
-    double period_;
+    const PeId pe_;
+    const TaskId current_;
+    const double period_;
     net::Channel<net::MasterMsg>& to_master_;
     net::Channel<net::SlaveMsg>& inbox_;
     /// Written under mu_ while the engine runs; the slave thread reads
@@ -140,7 +141,7 @@ private:
     mutable bool shutdown_ SWH_GUARDED_BY(mu_) = false;
     mutable std::uint64_t cells_ SWH_GUARDED_BY(mu_) = 0;
     mutable Timer since_notify_ SWH_GUARDED_BY(mu_);
-    obs::TraceLane* lane_;
+    obs::TraceLane* const lane_;
 };
 
 struct SlaveShared {
@@ -385,8 +386,10 @@ RunReport HybridRuntime::run(std::vector<SlaveSpec> slaves,
                         // Cancellation for a task we already finished or
                         // never started; nothing to do.
                         (void)cancel;
+                    } else if (std::holds_alternative<net::MsgNoWorkYet>(
+                                   *msg)) {
+                        // Keep blocking; the master will push.
                     }
-                    // MsgNoWorkYet: keep blocking; the master will push.
                 }
             }
 

@@ -51,6 +51,32 @@
 #define SWH_NO_THREAD_SAFETY_ANALYSIS \
     SWH_THREAD_ANNOTATION(no_thread_safety_analysis)
 
+// Marks a function as part of the scan's steady-state hot path: once
+// warm it must not allocate, build std::function thunks, or throw
+// lexically (contract failures route through the outlined
+// swh::check::detail::fail). The swh-tidy plugin's
+// swh-no-alloc-in-hot-path check (tools/swh-tidy/) enforces this
+// mechanically; intentional amortized growth sites carry a
+// NOLINT(swh-no-alloc-in-hot-path) with a reason. Expands to a pure
+// metadata attribute under Clang (no codegen effect) and to nothing
+// elsewhere, so annotating a function is zero-cost.
+#if defined(__clang__)
+#define SWH_HOT_PATH [[clang::annotate("swh::hot")]]
+#else
+#define SWH_HOT_PATH
+#endif
+
+// Opt-out for swh-guarded-by-required (tools/swh-tidy/): a mutable
+// member of a mutex-owning class that is deliberately NOT guarded by
+// the mutex — e.g. set once before threads exist, or owned by a single
+// thread with ordering established elsewhere. Always pair with a
+// comment saying why. Pure metadata under Clang, nothing elsewhere.
+#if defined(__clang__)
+#define SWH_NOT_GUARDED [[clang::annotate("swh::not_guarded")]]
+#else
+#define SWH_NOT_GUARDED
+#endif
+
 namespace swh {
 
 /// std::mutex with the capability attribute, so members can be declared

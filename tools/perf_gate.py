@@ -63,14 +63,33 @@ def main():
               f"{host.get('compiler', '?')}, "
               f"sha {host.get('git_sha', '?')})")
 
+    # Validate both reports up front: every gated key must be present
+    # and numeric in both files, and ALL problems are reported in one
+    # pass — a truncated or stale report is bad input (exit 2), never a
+    # silent skip that lets a regression through unmeasured.
+    input_errors = []
+    for name, path, report in (("baseline", args.baseline, base),
+                               ("fresh", args.fresh, fresh)):
+        for key in RATIO_KEYS:
+            if key not in report:
+                input_errors.append(
+                    f"{name} {path}: missing summary field '{key}' "
+                    "(regenerate with bench_scan --json)")
+                continue
+            try:
+                float(report[key])
+            except (TypeError, ValueError):
+                input_errors.append(
+                    f"{name} {path}: summary field '{key}' is not a "
+                    f"number (got {report[key]!r})")
+    if input_errors:
+        print("perf_gate: bad input", file=sys.stderr)
+        for msg in input_errors:
+            print(f"  {msg}", file=sys.stderr)
+        sys.exit(2)
+
     failures = []
     for key in RATIO_KEYS:
-        if key not in base:
-            print(f"perf_gate: baseline lacks {key}, skipping")
-            continue
-        if key not in fresh:
-            failures.append(f"{key}: missing from fresh report")
-            continue
         b, f = float(base[key]), float(fresh[key])
         floor = b * (1.0 - args.tolerance)
         verdict = "ok" if f >= floor else "REGRESSED"

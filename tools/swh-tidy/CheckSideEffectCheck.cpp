@@ -1,0 +1,147 @@
+#include "CheckSideEffectCheck.h"
+
+#include "SwhTidyUtil.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::swh {
+
+namespace {
+
+constexpr char DefaultMacros[] =
+    "SWH_DCHECK;SWH_DCHECK_EQ;SWH_DCHECK_NE;SWH_DCHECK_LE;SWH_DCHECK_GE;"
+    "SWH_INVARIANT";
+
+bool isMutatingOverloadedOperator(OverloadedOperatorKind Op) {
+  switch (Op) {
+  case OO_Equal:
+  case OO_PlusEqual:
+  case OO_MinusEqual:
+  case OO_StarEqual:
+  case OO_SlashEqual:
+  case OO_PercentEqual:
+  case OO_AmpEqual:
+  case OO_PipeEqual:
+  case OO_CaretEqual:
+  case OO_LessLessEqual:
+  case OO_GreaterGreaterEqual:
+  case OO_PlusPlus:
+  case OO_MinusMinus:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// What kind of side effect `E` itself is (children not considered);
+/// nullptr when it is pure.
+const char *classifySideEffect(const Expr &E, bool CheckFunctionCalls) {
+  if (const auto *BO = dyn_cast<BinaryOperator>(&E)) {
+    if (BO->isAssignmentOp())
+      return "assignment";
+    return nullptr;
+  }
+  if (const auto *UO = dyn_cast<UnaryOperator>(&E)) {
+    if (UO->isIncrementDecrementOp())
+      return "increment/decrement";
+    return nullptr;
+  }
+  if (const auto *Op = dyn_cast<CXXOperatorCallExpr>(&E)) {
+    if (isMutatingOverloadedOperator(Op->getOperator()))
+      return "mutating overloaded operator";
+    return nullptr;
+  }
+  if (isa<CXXNewExpr>(E) || isa<CXXDeleteExpr>(E))
+    return "allocation";
+  if (const auto *MC = dyn_cast<CXXMemberCallExpr>(&E)) {
+    const CXXMethodDecl *M = MC->getMethodDecl();
+    if (M && !M->isConst() && !M->isStatic())
+      return "non-const member call";
+    return nullptr;
+  }
+  if (CheckFunctionCalls) {
+    if (const auto *Call = dyn_cast<CallExpr>(&E)) {
+      if (!isa<CXXOperatorCallExpr>(Call) && !isa<CXXMemberCallExpr>(Call))
+        return "function call";
+    }
+  }
+  return nullptr;
+}
+
+} // namespace
+
+CheckSideEffectCheck::CheckSideEffectCheck(StringRef Name,
+                                           ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      CheckedMacros(splitList(Options.get("CheckedMacros", DefaultMacros))),
+      CheckFunctionCalls(Options.get("CheckFunctionCalls", false)) {}
+
+void CheckSideEffectCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "CheckedMacros", joinList(CheckedMacros));
+  Options.store(Opts, "CheckFunctionCalls", CheckFunctionCalls);
+}
+
+void CheckSideEffectCheck::registerMatchers(MatchFinder *Finder) {
+  // SWH_DCHECK(cond, msg) expands to `if (!(cond)) { fail(...); }`; the
+  // _EQ/_NE/_LE/_GE forms first bind `const auto& swh_check_a_ = (a);`
+  // etc. Both shapes are matched and filtered by macro name in check().
+  // Template instantiations are matched on purpose — the kernels are
+  // templates — and identical diagnostics deduplicate by location.
+  Finder->addMatcher(ifStmt().bind("if"), this);
+  Finder->addMatcher(declStmt(hasSingleDecl(varDecl().bind("binding"))), this);
+}
+
+void CheckSideEffectCheck::reportSideEffects(const Expr &E,
+                                             StringRef MacroName,
+                                             const ASTContext &Ctx) {
+  if (const char *Kind =
+          classifySideEffect(E, CheckFunctionCalls)) {
+    diag(E.getBeginLoc(),
+         "%0 inside %1; the macro compiles out in release builds, so this "
+         "side effect only happens in debug/audit runs — hoist it out of "
+         "the check")
+        << Kind << MacroName;
+  }
+  for (const Stmt *Child : E.children())
+    if (const auto *CE = dyn_cast_or_null<Expr>(Child))
+      reportSideEffects(*CE, MacroName, Ctx);
+}
+
+void CheckSideEffectCheck::check(const MatchFinder::MatchResult &Result) {
+  const SourceManager &SM = *Result.SourceManager;
+  const LangOptions &LangOpts = Result.Context->getLangOpts();
+
+  if (const auto *If = Result.Nodes.getNodeAs<IfStmt>("if")) {
+    const SourceLocation Loc = If->getBeginLoc();
+    if (!Loc.isMacroID())
+      return;
+    const std::string Macro =
+        outermostMacroNamed(Loc, SM, LangOpts, CheckedMacros);
+    if (Macro.empty())
+      return;
+    if (const Expr *Cond = If->getCond())
+      reportSideEffects(*Cond, Macro, *Result.Context);
+    return;
+  }
+
+  if (const auto *Binding = Result.Nodes.getNodeAs<VarDecl>("binding")) {
+    // Operand bindings of the comparison forms: the user-supplied
+    // expressions (a) and (b) live in these initializers.
+    if (!Binding->getName().starts_with("swh_check_"))
+      return;
+    const SourceLocation Loc = Binding->getLocation();
+    if (!Loc.isMacroID())
+      return;
+    const std::string Macro =
+        outermostMacroNamed(Loc, SM, LangOpts, CheckedMacros);
+    if (Macro.empty())
+      return;
+    if (const Expr *Init = Binding->getInit())
+      reportSideEffects(*Init, Macro, *Result.Context);
+  }
+}
+
+} // namespace clang::tidy::swh

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::swh {
+
+/// Flags side-effecting expressions inside the compiled-out contract
+/// macros (SWH_DCHECK*, SWH_INVARIANT). These macros vanish in release
+/// builds, so a condition like `SWH_DCHECK(queue.pop() == expected, ...)`
+/// silently changes program behaviour between build types. SWH_CHECK is
+/// deliberately exempt: it is always on, so side effects there are
+/// merely bad style, not a Heisenbug.
+///
+/// Only the checked condition (and the operand bindings of the _EQ/_NE/
+/// _LE/_GE forms) is inspected — the failure path may do whatever it
+/// wants, it only runs when the program is already dead.
+///
+/// Note: the macro bodies only exist in the AST when they are compiled
+/// in, so this check must run on a Debug / SWH_AUDIT configuration (the
+/// CI swh-tidy job configures -DCMAKE_BUILD_TYPE=Debug -DSWH_AUDIT=ON).
+///
+/// Options:
+///   CheckedMacros: semicolon-separated macro names to inspect (default
+///     "SWH_DCHECK;SWH_DCHECK_EQ;SWH_DCHECK_NE;SWH_DCHECK_LE;"
+///     "SWH_DCHECK_GE;SWH_INVARIANT").
+///   CheckFunctionCalls: treat calls to free functions and const-unknown
+///     callables as side effects too (default false — too noisy for a
+///     codebase that checks `x.load()` and `pss.weight(pe)` freely).
+class CheckSideEffectCheck : public ClangTidyCheck {
+public:
+  CheckSideEffectCheck(StringRef Name, ClangTidyContext *Context);
+
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+private:
+  void reportSideEffects(const Expr &E, StringRef MacroName,
+                         const ASTContext &Ctx);
+
+  std::vector<std::string> CheckedMacros;
+  bool CheckFunctionCalls;
+};
+
+} // namespace clang::tidy::swh

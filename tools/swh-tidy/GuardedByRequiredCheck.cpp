@@ -1,0 +1,93 @@
+#include "GuardedByRequiredCheck.h"
+
+#include "SwhTidyUtil.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Attr.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::swh {
+
+namespace {
+
+/// Qualified name of the field's desugared class type, empty for
+/// non-record types.
+std::string fieldClassName(const FieldDecl &F) {
+  const auto *RT = F.getType()
+                       .getCanonicalType()
+                       .getNonReferenceType()
+                       ->getAs<RecordType>();
+  if (!RT)
+    return std::string();
+  return RT->getDecl()->getQualifiedNameAsString();
+}
+
+bool isSyncPrimitiveField(const FieldDecl &F) {
+  const std::string Name = fieldClassName(F);
+  return Name == "swh::Mutex" || Name == "swh::CondVar" ||
+         Name == "std::mutex" || Name == "std::condition_variable" ||
+         Name == "std::condition_variable_any";
+}
+
+bool isAtomicField(const FieldDecl &F) {
+  if (F.getType().getCanonicalType()->isAtomicType())
+    return true; // _Atomic / std::atomic on some ABIs
+  const std::string Name = fieldClassName(F);
+  return Name.rfind("std::atomic", 0) == 0;
+}
+
+} // namespace
+
+GuardedByRequiredCheck::GuardedByRequiredCheck(StringRef Name,
+                                               ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      IgnoreAtomics(Options.get("IgnoreAtomics", true)) {}
+
+void GuardedByRequiredCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "IgnoreAtomics", IgnoreAtomics);
+}
+
+void GuardedByRequiredCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(
+      cxxRecordDecl(
+          isDefinition(), unless(isExpansionInSystemHeader()),
+          unless(isInTemplateInstantiation()),
+          has(fieldDecl(hasType(hasUnqualifiedDesugaredType(recordType(
+                            hasDeclaration(namedDecl(hasName("::swh::Mutex")))))))
+                  .bind("mutex")))
+          .bind("record"),
+      this);
+}
+
+void GuardedByRequiredCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Record = Result.Nodes.getNodeAs<CXXRecordDecl>("record");
+  const auto *Mutex = Result.Nodes.getNodeAs<FieldDecl>("mutex");
+  if (!Record || !Mutex)
+    return;
+
+  for (const FieldDecl *F : Record->fields()) {
+    if (F->hasAttr<GuardedByAttr>() || F->hasAttr<PtGuardedByAttr>())
+      continue;
+    if (hasAnnotation(*F, "swh::not_guarded"))
+      continue;
+    if (isSyncPrimitiveField(*F))
+      continue;
+    const QualType T = F->getType();
+    if (T.isConstQualified())
+      continue; // immutable after construction
+    if (T->isReferenceType())
+      continue; // locking belongs to the referee's owner
+    if (IgnoreAtomics && isAtomicField(*F))
+      continue;
+    if (F->isAnonymousStructOrUnion())
+      continue;
+    diag(F->getLocation(),
+         "mutable member %0 of %1 (which owns swh::Mutex %2) has no "
+         "SWH_GUARDED_BY; annotate it, make it const, or opt out with "
+         "SWH_NOT_GUARDED and a comment explaining the ownership")
+        << F << Record << Mutex;
+  }
+}
+
+} // namespace clang::tidy::swh

@@ -1,0 +1,37 @@
+#pragma once
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::swh {
+
+/// In any class that owns an swh::Mutex member, every mutable data
+/// member must either carry SWH_GUARDED_BY / SWH_PT_GUARDED_BY or opt
+/// out explicitly with SWH_NOT_GUARDED (plus a comment saying why the
+/// lock does not cover it). Exempt without annotation: the lock and
+/// condition-variable members themselves, const members, references
+/// (the referee's owner decides its locking), and std::atomic members
+/// when IgnoreAtomics is on.
+///
+/// Rationale: -Wthread-safety verifies the guarded accesses that ARE
+/// annotated; this check closes the dual hole — a member nobody
+/// annotated is a member the analysis never looks at.
+///
+/// Options:
+///   IgnoreAtomics: exempt std::atomic<...> members (default true —
+///     atomics carry their own ordering story).
+class GuardedByRequiredCheck : public ClangTidyCheck {
+public:
+  GuardedByRequiredCheck(StringRef Name, ClangTidyContext *Context);
+
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+private:
+  bool IgnoreAtomics;
+};
+
+} // namespace clang::tidy::swh

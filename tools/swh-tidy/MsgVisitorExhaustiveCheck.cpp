@@ -1,0 +1,284 @@
+#include "MsgVisitorExhaustiveCheck.h"
+
+#include <algorithm>
+#include <set>
+
+#include "SwhTidyUtil.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/DeclTemplate.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::swh {
+
+namespace {
+
+std::string qualifiedTypeName(QualType T) {
+  T = T.getCanonicalType().getNonReferenceType().getUnqualifiedType();
+  if (const auto *RT = T->getAs<RecordType>())
+    return RT->getDecl()->getQualifiedNameAsString();
+  return std::string();
+}
+
+bool nameHasAnyPrefix(const std::string &Name,
+                      const std::vector<std::string> &Prefixes) {
+  return std::any_of(Prefixes.begin(), Prefixes.end(),
+                     [&](const std::string &P) {
+                       return llvm::StringRef(Name).starts_with(P);
+                     });
+}
+
+/// One tested-alternative observation plus the full alternative list of
+/// the variant it came from (both recovered from the callee's template
+/// arguments: get_if / holds_alternative are declared
+/// `template <class T, class... Types> ... (variant<Types...> ...)`).
+struct Probe {
+  std::string Tested;                    // qualified name of T
+  std::vector<std::string> Alternatives; // qualified names of Types...
+};
+
+bool extractProbe(const CallExpr &Call, Probe &Out) {
+  const FunctionDecl *Callee = Call.getDirectCallee();
+  if (!Callee)
+    return false;
+  const std::string Name = Callee->getQualifiedNameAsString();
+  if (Name != "std::get_if" && Name != "std::holds_alternative")
+    return false;
+  const TemplateArgumentList *Args = Callee->getTemplateSpecializationArgs();
+  if (!Args || Args->size() < 2)
+    return false;
+  const TemplateArgument &T = Args->get(0);
+  if (T.getKind() != TemplateArgument::Type)
+    return false; // index form std::get_if<I>; out of scope
+  Out.Tested = qualifiedTypeName(T.getAsType());
+  const TemplateArgument &Pack = Args->get(1);
+  if (Pack.getKind() != TemplateArgument::Pack)
+    return false;
+  Out.Alternatives.clear();
+  for (const TemplateArgument &Alt : Pack.pack_elements()) {
+    if (Alt.getKind() != TemplateArgument::Type)
+      return false;
+    Out.Alternatives.push_back(qualifiedTypeName(Alt.getAsType()));
+  }
+  return !Out.Tested.empty();
+}
+
+/// Collects get_if / holds_alternative probes from `S` and its subtree.
+void collectProbes(const Stmt *S, std::vector<Probe> &Out) {
+  if (!S)
+    return;
+  if (const auto *Call = dyn_cast<CallExpr>(S)) {
+    Probe P;
+    if (extractProbe(*Call, P))
+      Out.push_back(std::move(P));
+  }
+  for (const Stmt *Child : S->children())
+    collectProbes(Child, Out);
+}
+
+/// Alternatives of `VariantType` (desugared std::variant specialization);
+/// empty when it is not one.
+std::vector<std::string> variantAlternatives(QualType VariantType) {
+  std::vector<std::string> Out;
+  VariantType =
+      VariantType.getCanonicalType().getNonReferenceType().getUnqualifiedType();
+  const auto *RT = VariantType->getAs<RecordType>();
+  if (!RT)
+    return Out;
+  const auto *Spec = dyn_cast<ClassTemplateSpecializationDecl>(RT->getDecl());
+  if (!Spec || Spec->getQualifiedNameAsString() != "std::variant")
+    return Out;
+  const TemplateArgumentList &Args = Spec->getTemplateArgs();
+  if (Args.size() != 1 || Args.get(0).getKind() != TemplateArgument::Pack)
+    return Out;
+  for (const TemplateArgument &Alt : Args.get(0).pack_elements()) {
+    if (Alt.getKind() != TemplateArgument::Type)
+      return {};
+    Out.push_back(qualifiedTypeName(Alt.getAsType()));
+  }
+  return Out;
+}
+
+/// Collects every operator() of `Record`, chasing base classes so the
+/// `overloaded { lambda... }` aggregation idiom is seen whole. Each
+/// entry: the method, or the function template (generic operator()).
+struct CallOperators {
+  std::vector<const CXXMethodDecl *> Concrete;
+  unsigned Templates = 0;
+};
+
+void collectCallOperators(const CXXRecordDecl *Record, CallOperators &Out) {
+  if (!Record || !Record->hasDefinition())
+    return;
+  Record = Record->getDefinition();
+  for (const Decl *D : Record->decls()) {
+    if (const auto *M = dyn_cast<CXXMethodDecl>(D)) {
+      if (M->getOverloadedOperator() == OO_Call)
+        Out.Concrete.push_back(M);
+    } else if (const auto *FT = dyn_cast<FunctionTemplateDecl>(D)) {
+      if (const auto *M = dyn_cast<CXXMethodDecl>(FT->getTemplatedDecl()))
+        if (M->getOverloadedOperator() == OO_Call)
+          ++Out.Templates;
+    }
+  }
+  for (const CXXBaseSpecifier &Base : Record->bases())
+    collectCallOperators(Base.getType()->getAsCXXRecordDecl(), Out);
+}
+
+std::string joinNames(const std::vector<std::string> &Names) {
+  std::string Out;
+  for (const auto &N : Names) {
+    if (!Out.empty())
+      Out += ", ";
+    Out += N;
+  }
+  return Out;
+}
+
+} // namespace
+
+MsgVisitorExhaustiveCheck::MsgVisitorExhaustiveCheck(StringRef Name,
+                                                     ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      MessagePrefixes(
+          splitList(Options.get("MessagePrefixes", "swh::net::Msg"))) {}
+
+void MsgVisitorExhaustiveCheck::storeOptions(
+    ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "MessagePrefixes", joinList(MessagePrefixes));
+}
+
+void MsgVisitorExhaustiveCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(ifStmt(unless(isExpansionInSystemHeader()),
+                            unless(isInTemplateInstantiation()))
+                         .bind("if"),
+                     this);
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasName("::std::visit"))),
+               unless(isExpansionInSystemHeader()))
+          .bind("visit"),
+      this);
+}
+
+void MsgVisitorExhaustiveCheck::check(const MatchFinder::MatchResult &Result) {
+  if (const auto *If = Result.Nodes.getNodeAs<IfStmt>("if")) {
+    // Only analyse chain heads: an if that is the `else` of another if
+    // is covered by its head's walk.
+    for (const DynTypedNode &Parent : Result.Context->getParents(*If)) {
+      if (const auto *ParentIf = Parent.get<IfStmt>())
+        if (ParentIf->getElse() == If)
+          return;
+    }
+    checkIfChain(*If, *Result.Context);
+    return;
+  }
+  if (const auto *Visit = Result.Nodes.getNodeAs<CallExpr>("visit"))
+    checkVisit(*Visit, *Result.Context);
+}
+
+void MsgVisitorExhaustiveCheck::checkIfChain(const IfStmt &Head,
+                                             ASTContext &Ctx) {
+  std::set<std::string> Tested;
+  std::vector<std::string> Alternatives;
+  unsigned Links = 0;
+  const IfStmt *Link = &Head;
+  while (true) {
+    ++Links;
+    std::vector<Probe> Probes;
+    collectProbes(Link->getInit(), Probes);
+    collectProbes(Link->getConditionVariableDeclStmt(), Probes);
+    collectProbes(Link->getCond(), Probes);
+    for (const Probe &P : Probes) {
+      Tested.insert(P.Tested);
+      if (Alternatives.empty())
+        Alternatives = P.Alternatives;
+    }
+    const auto *Next = dyn_cast_or_null<IfStmt>(Link->getElse());
+    if (!Next)
+      break;
+    Link = Next;
+  }
+  if (Alternatives.empty())
+    return; // no variant probes in this chain
+  if (Links < 2)
+    return; // a lone guard if is a peek, not a dispatch
+  // Qualify: every alternative must be a protocol message type.
+  for (const std::string &Alt : Alternatives)
+    if (!nameHasAnyPrefix(Alt, MessagePrefixes))
+      return;
+  std::vector<std::string> Missing;
+  for (const std::string &Alt : Alternatives)
+    if (!Tested.count(Alt))
+      Missing.push_back(Alt);
+  if (Missing.empty())
+    return;
+  diag(Head.getBeginLoc(),
+       "message dispatch chain does not handle every alternative of the "
+       "variant; missing: %0 — name each message explicitly so adding a "
+       "message type fails loudly here")
+      << joinNames(Missing);
+}
+
+void MsgVisitorExhaustiveCheck::checkVisit(const CallExpr &Visit,
+                                           ASTContext &Ctx) {
+  if (Visit.getNumArgs() < 2)
+    return;
+  const std::vector<std::string> Alternatives =
+      variantAlternatives(Visit.getArg(1)->getType());
+  if (Alternatives.empty())
+    return;
+  for (const std::string &Alt : Alternatives)
+    if (!nameHasAnyPrefix(Alt, MessagePrefixes))
+      return;
+
+  // IgnoreImplicit: aggregate visitors arrive wrapped in
+  // MaterializeTemporaryExpr when binding to std::visit's Visitor&&.
+  const Expr *Visitor = Visit.getArg(0)->IgnoreImplicit();
+  const CXXRecordDecl *Record = nullptr;
+  if (const auto *Lambda = dyn_cast<LambdaExpr>(Visitor))
+    Record = Lambda->getLambdaClass();
+  else if (const auto *Ctor = dyn_cast<CXXConstructExpr>(Visitor))
+    Record = Ctor->getConstructor()->getParent();
+  else
+    Record = Visitor->getType()
+                 .getCanonicalType()
+                 .getNonReferenceType()
+                 ->getAsCXXRecordDecl();
+  if (!Record)
+    return; // function pointers etc.: out of scope
+
+  CallOperators Ops;
+  collectCallOperators(Record, Ops);
+
+  if (Ops.Templates > 0 && Ops.Concrete.empty())
+    return; // single generic visitor: exhaustive by construction
+
+  if (Ops.Templates > 0) {
+    diag(Visit.getBeginLoc(),
+         "std::visit over a message variant mixes concrete overloads with "
+         "a template catch-all; the catch-all silently absorbs newly "
+         "added message types — name every alternative instead");
+    return;
+  }
+
+  std::set<std::string> Handled;
+  for (const CXXMethodDecl *M : Ops.Concrete) {
+    if (M->getNumParams() != 1)
+      continue;
+    Handled.insert(qualifiedTypeName(M->getParamDecl(0)->getType()));
+  }
+  std::vector<std::string> Missing;
+  for (const std::string &Alt : Alternatives)
+    if (!Handled.count(Alt))
+      Missing.push_back(Alt);
+  if (Missing.empty())
+    return;
+  diag(Visit.getBeginLoc(),
+       "std::visit overload set does not handle every alternative of the "
+       "message variant; missing: %0")
+      << joinNames(Missing);
+}
+
+} // namespace clang::tidy::swh

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::swh {
+
+/// Enforces exhaustiveness when dispatching over the protocol message
+/// variants (swh::net::MasterMsg / SlaveMsg, src/net/messages.hpp).
+/// Adding a message type must be a compile-visible event at every
+/// dispatch site, the way a switch over an enum is with -Wswitch —
+/// std::variant gives no such warning, so this check supplies it.
+///
+/// Two dispatch shapes are understood:
+///
+///  * if/else-if chains over std::get_if<T> / std::holds_alternative<T>:
+///    the chain must name every alternative of the variant. A trailing
+///    plain `else` is fine only once all alternatives are named (it is
+///    then an unreachable-state handler, not a silent drop).
+///
+///  * std::visit: a single generic (template) call operator is allowed —
+///    it handles everything by construction. An overload set of concrete
+///    operator()s must cover every alternative, and mixing concrete
+///    overloads with a template catch-all is rejected: the catch-all
+///    would silently absorb newly added message types.
+///
+/// A variant qualifies when ALL of its alternatives' qualified names
+/// start with one of MessagePrefixes; other variants are ignored.
+///
+/// Options:
+///   MessagePrefixes: semicolon-separated qualified-name prefixes of the
+///     message alternatives (default "swh::net::Msg").
+class MsgVisitorExhaustiveCheck : public ClangTidyCheck {
+public:
+  MsgVisitorExhaustiveCheck(StringRef Name, ClangTidyContext *Context);
+
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+private:
+  void checkIfChain(const IfStmt &Head, ASTContext &Ctx);
+  void checkVisit(const CallExpr &Visit, ASTContext &Ctx);
+
+  std::vector<std::string> MessagePrefixes;
+};
+
+} // namespace clang::tidy::swh

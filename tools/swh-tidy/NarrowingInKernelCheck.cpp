@@ -1,0 +1,86 @@
+#include "NarrowingInKernelCheck.h"
+
+#include <algorithm>
+
+#include "SwhTidyUtil.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::swh {
+
+NarrowingInKernelCheck::NarrowingInKernelCheck(StringRef Name,
+                                               ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      KernelFileSuffixes(
+          splitList(Options.get("KernelFileSuffixes", "_kernels.hpp"))),
+      AllowedHelpers(splitList(Options.get("AllowedHelpers", ""))) {}
+
+void NarrowingInKernelCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "KernelFileSuffixes", joinList(KernelFileSuffixes));
+  Options.store(Opts, "AllowedHelpers", joinList(AllowedHelpers));
+}
+
+void NarrowingInKernelCheck::registerMatchers(MatchFinder *Finder) {
+  // Instantiations are matched on purpose: the kernels are templates
+  // over the lane type, so some conversions only materialise once the
+  // template arguments are known. Identical diagnostics at the same
+  // location deduplicate.
+  Finder->addMatcher(
+      implicitCastExpr(hasCastKind(CK_IntegralCast),
+                       unless(isExpansionInSystemHeader()),
+                       optionally(hasAncestor(functionDecl().bind("fn"))))
+          .bind("cast"),
+      this);
+}
+
+void NarrowingInKernelCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Cast = Result.Nodes.getNodeAs<ImplicitCastExpr>("cast");
+  if (!Cast)
+    return;
+  const SourceManager &SM = *Result.SourceManager;
+  if (!fileMatchesSuffix(Cast->getBeginLoc(), SM, KernelFileSuffixes))
+    return;
+
+  ASTContext &Ctx = *Result.Context;
+  const Expr *Sub = Cast->getSubExpr();
+  const QualType SrcType = Sub->getType();
+  const QualType DstType = Cast->getType();
+  if (!SrcType->isIntegerType() || !DstType->isIntegerType())
+    return;
+  const unsigned SrcWidth = Ctx.getIntWidth(SrcType);
+  const unsigned DstWidth = Ctx.getIntWidth(DstType);
+  if (DstWidth >= SrcWidth)
+    return;
+
+  if (const auto *Fn = Result.Nodes.getNodeAs<FunctionDecl>("fn")) {
+    const std::string Name = Fn->getQualifiedNameAsString();
+    if (std::find(AllowedHelpers.begin(), AllowedHelpers.end(), Name) !=
+        AllowedHelpers.end())
+      return;
+  }
+
+  // A compile-time constant that fits the destination cannot truncate.
+  if (!Sub->isValueDependent()) {
+    Expr::EvalResult Eval;
+    if (Sub->EvaluateAsInt(Eval, Ctx)) {
+      llvm::APSInt Value = Eval.Val.getInt();
+      const bool DstSigned = DstType->isSignedIntegerType();
+      llvm::APSInt Truncated = Value;
+      Truncated = Truncated.extOrTrunc(DstWidth);
+      Truncated.setIsSigned(DstSigned);
+      Truncated = Truncated.extend(Value.getBitWidth());
+      Truncated.setIsSigned(Value.isSigned());
+      if (Truncated == Value)
+        return;
+    }
+  }
+
+  diag(Cast->getBeginLoc(),
+       "implicit narrowing conversion from %0 (%1 bits) to %2 (%3 bits) in "
+       "kernel code; lane-width truncation must be a visible static_cast")
+      << SrcType << SrcWidth << DstType << DstWidth;
+}
+
+} // namespace clang::tidy::swh

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::swh {
+
+/// Flags implicit integer conversions that lose width inside the SIMD
+/// kernel headers (*_kernels.hpp). The kernels mix 8/16/32/64-bit lane
+/// arithmetic on purpose, and an unintended implicit truncation there is
+/// exactly the class of bug that produced the i16 score-clip incidents —
+/// silent in the common case, wrong only on long sequences. Every
+/// narrowing in a kernel must be a visible static_cast.
+///
+/// Constants that provably fit the destination type are exempt
+/// (`std::uint8_t bias = 128;` narrows int -> u8 but cannot truncate).
+///
+/// Options:
+///   KernelFileSuffixes: semicolon-separated path suffixes defining the
+///     kernel zone (default "_kernels.hpp").
+///   AllowedHelpers: semicolon-separated qualified function names whose
+///     bodies are exempt (empty by default; escape hatch for saturating
+///     helpers whose whole point is truncation).
+class NarrowingInKernelCheck : public ClangTidyCheck {
+public:
+  NarrowingInKernelCheck(StringRef Name, ClangTidyContext *Context);
+
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+private:
+  std::vector<std::string> KernelFileSuffixes;
+  std::vector<std::string> AllowedHelpers;
+};
+
+} // namespace clang::tidy::swh

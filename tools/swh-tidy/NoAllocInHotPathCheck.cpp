@@ -1,0 +1,97 @@
+#include "NoAllocInHotPathCheck.h"
+
+#include "SwhTidyUtil.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::swh {
+
+void NoAllocInHotPathCheck::registerMatchers(MatchFinder *Finder) {
+  // Instantiations are matched too: the scanner/kernel hot functions
+  // are templates, and clang-tidy deduplicates identical diagnostics
+  // at the same location across instantiations.
+  const auto InHot =
+      hasAncestor(functionDecl(matchers::isSwhHotPath()).bind("hot"));
+
+  Finder->addMatcher(cxxNewExpr(InHot).bind("new"), this);
+  Finder->addMatcher(cxxThrowExpr(InHot).bind("throw"), this);
+  Finder->addMatcher(
+      callExpr(InHot,
+               callee(functionDecl(hasAnyName(
+                   "::malloc", "::calloc", "::realloc", "::free",
+                   "::aligned_alloc", "::posix_memalign", "::strdup",
+                   "::operator new", "::operator new[]")))
+                   .bind("allocfn"))
+          .bind("alloccall"),
+      this);
+  Finder->addMatcher(
+      cxxMemberCallExpr(
+          InHot,
+          callee(cxxMethodDecl(
+                     hasAnyName("push_back", "emplace_back", "push_front",
+                                "emplace_front", "insert", "emplace",
+                                "emplace_hint", "resize", "reserve", "assign",
+                                "append", "shrink_to_fit"),
+                     ofClass(cxxRecordDecl(isInStdNamespace())))
+                     .bind("containerfn"))
+              .bind("container")),
+      this);
+  Finder->addMatcher(
+      cxxConstructExpr(
+          InHot, hasDeclaration(cxxConstructorDecl(ofClass(
+                     classTemplateSpecializationDecl(hasName("::std::function"))))))
+          .bind("stdfunction"),
+      this);
+}
+
+void NoAllocInHotPathCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Hot = Result.Nodes.getNodeAs<FunctionDecl>("hot");
+  if (!Hot)
+    return;
+
+  if (const auto *New = Result.Nodes.getNodeAs<CXXNewExpr>("new")) {
+    diag(New->getBeginLoc(),
+         "operator new in SWH_HOT_PATH function %0; the steady-state scan "
+         "must not allocate — reuse caller-owned scratch, or opt out with "
+         "NOLINT(swh-no-alloc-in-hot-path) and a reason")
+        << Hot;
+    return;
+  }
+  if (const auto *Throw = Result.Nodes.getNodeAs<CXXThrowExpr>("throw")) {
+    diag(Throw->getBeginLoc(),
+         "throw in SWH_HOT_PATH function %0; raise contract failures via "
+         "SWH_CHECK (outlined fail path) instead of unwinding the kernel")
+        << Hot;
+    return;
+  }
+  if (const auto *Call = Result.Nodes.getNodeAs<CallExpr>("alloccall")) {
+    const auto *Fn = Result.Nodes.getNodeAs<FunctionDecl>("allocfn");
+    diag(Call->getBeginLoc(),
+         "call to allocator %0 in SWH_HOT_PATH function %1; the "
+         "steady-state scan must not allocate")
+        << Fn << Hot;
+    return;
+  }
+  if (const auto *Call =
+          Result.Nodes.getNodeAs<CXXMemberCallExpr>("container")) {
+    const auto *Fn = Result.Nodes.getNodeAs<CXXMethodDecl>("containerfn");
+    diag(Call->getBeginLoc(),
+         "potentially allocating container call %0 in SWH_HOT_PATH function "
+         "%1; pre-reserve outside the hot path, or opt out with "
+         "NOLINT(swh-no-alloc-in-hot-path) and the amortization argument")
+        << Fn << Hot;
+    return;
+  }
+  if (const auto *Ctor =
+          Result.Nodes.getNodeAs<CXXConstructExpr>("stdfunction")) {
+    diag(Ctor->getBeginLoc(),
+         "std::function constructed in SWH_HOT_PATH function %0; type "
+         "erasure allocates — take a template callable or function_ref "
+         "instead")
+        << Hot;
+  }
+}
+
+} // namespace clang::tidy::swh

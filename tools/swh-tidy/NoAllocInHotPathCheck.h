@@ -1,0 +1,35 @@
+#pragma once
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::swh {
+
+/// Flags constructs that can allocate or unwind inside a function
+/// annotated SWH_HOT_PATH ([[clang::annotate("swh::hot")]]):
+///   * operator new / new[] expressions,
+///   * calls to the C allocator family (malloc/calloc/realloc/free/...),
+///   * allocating member calls on std:: containers (push_back, insert,
+///     resize, reserve, assign, append, ...),
+///   * std::function construction (type-erased thunks allocate),
+///   * throw expressions (contract failures must route through the
+///     outlined swh::check::detail::fail instead).
+///
+/// Intentional amortized growth sites opt out with
+/// NOLINT(swh-no-alloc-in-hot-path) plus a reason comment.
+///
+/// Known blind spot (by design): calls to unannotated functions that
+/// allocate internally (e.g. ScanScratch::ensure) are not chased
+/// interprocedurally — annotate the callee if it matters.
+class NoAllocInHotPathCheck : public ClangTidyCheck {
+public:
+  NoAllocInHotPathCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+} // namespace clang::tidy::swh

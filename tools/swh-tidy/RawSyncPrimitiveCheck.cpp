@@ -1,0 +1,54 @@
+#include "RawSyncPrimitiveCheck.h"
+
+#include "SwhTidyUtil.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::swh {
+
+RawSyncPrimitiveCheck::RawSyncPrimitiveCheck(StringRef Name,
+                                             ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      AllowedFiles(
+          splitList(Options.get("AllowedFiles", "util/annotations.hpp"))) {}
+
+void RawSyncPrimitiveCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "AllowedFiles", joinList(AllowedFiles));
+}
+
+void RawSyncPrimitiveCheck::registerMatchers(MatchFinder *Finder) {
+  const auto SyncClass = namedDecl(hasAnyName(
+      "::std::mutex", "::std::timed_mutex", "::std::recursive_mutex",
+      "::std::recursive_timed_mutex", "::std::shared_mutex",
+      "::std::shared_timed_mutex", "::std::condition_variable",
+      "::std::condition_variable_any", "::std::lock_guard",
+      "::std::unique_lock", "::std::scoped_lock", "::std::shared_lock"));
+  // hasUnqualifiedDesugaredType sees through typedefs and aliases, so
+  // `using Lock = std::lock_guard<std::mutex>; Lock l(...)` is caught.
+  Finder->addMatcher(
+      valueDecl(hasType(hasUnqualifiedDesugaredType(
+                    recordType(hasDeclaration(SyncClass.bind("sync"))))),
+                unless(isExpansionInSystemHeader()),
+                unless(isInTemplateInstantiation()))
+          .bind("decl"),
+      this);
+}
+
+void RawSyncPrimitiveCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *D = Result.Nodes.getNodeAs<ValueDecl>("decl");
+  const auto *Sync = Result.Nodes.getNodeAs<NamedDecl>("sync");
+  if (!D || !Sync)
+    return;
+  if (fileMatchesSuffix(D->getLocation(), *Result.SourceManager,
+                        AllowedFiles))
+    return;
+  diag(D->getLocation(),
+       "raw %0 bypasses the thread-safety analysis; use the annotated "
+       "swh:: wrapper (swh::Mutex / swh::LockGuard / swh::CondVar from "
+       "util/annotations.hpp) so lock discipline stays compiler-checked")
+      << Sync;
+}
+
+} // namespace clang::tidy::swh

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::swh {
+
+/// Bans raw std:: synchronisation primitives (mutexes, locks, condition
+/// variables) outside the annotated wrapper layer. The codebase's lock
+/// discipline is enforced by Clang thread-safety analysis, which only
+/// sees capabilities through swh::Mutex / swh::LockGuard / swh::CondVar
+/// (src/util/annotations.hpp) — a raw std::mutex member is invisible to
+/// it, so every guarded-by relationship on that lock goes unchecked.
+///
+/// Options:
+///   AllowedFiles: semicolon-separated path suffixes exempt from the
+///     check (default "util/annotations.hpp", the wrapper layer itself).
+class RawSyncPrimitiveCheck : public ClangTidyCheck {
+public:
+  RawSyncPrimitiveCheck(StringRef Name, ClangTidyContext *Context);
+
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+private:
+  std::vector<std::string> AllowedFiles;
+};
+
+} // namespace clang::tidy::swh

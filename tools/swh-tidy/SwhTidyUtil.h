@@ -1,0 +1,121 @@
+#pragma once
+
+// Shared helpers for the swh-tidy checks. Header-only on purpose: the
+// plugin is a single MODULE library and these are a handful of small
+// functions.
+
+#include <string>
+#include <vector>
+
+#include "clang-tidy/ClangTidyCheck.h"
+#include "clang/AST/Attr.h"
+#include "clang/AST/Decl.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+#include "clang/Basic/SourceManager.h"
+#include "clang/Lex/Lexer.h"
+#include "llvm/ADT/StringRef.h"
+
+namespace clang::tidy::swh {
+
+/// True if `D` (or a prior redeclaration it inherited attributes from)
+/// carries [[clang::annotate("<tag>")]].
+inline bool hasAnnotation(const Decl &D, llvm::StringRef Tag) {
+  for (const auto *A : D.specific_attrs<AnnotateAttr>())
+    if (A->getAnnotation() == Tag)
+      return true;
+  return false;
+}
+
+/// Splits a semicolon-separated check option into its entries.
+inline std::vector<std::string> splitList(llvm::StringRef Value) {
+  std::vector<std::string> Out;
+  llvm::SmallVector<llvm::StringRef, 8> Parts;
+  Value.split(Parts, ';', /*MaxSplit=*/-1, /*KeepEmpty=*/false);
+  for (llvm::StringRef P : Parts) {
+    P = P.trim();
+    if (!P.empty())
+      Out.emplace_back(P.str());
+  }
+  return Out;
+}
+
+/// Re-joins a list for storeOptions round-tripping.
+inline std::string joinList(const std::vector<std::string> &Items) {
+  std::string Out;
+  for (const auto &I : Items) {
+    if (!Out.empty())
+      Out += ';';
+    Out += I;
+  }
+  return Out;
+}
+
+/// Presumed file name of `Loc` after macro expansion, empty if invalid.
+inline llvm::StringRef expansionFile(SourceLocation Loc,
+                                     const SourceManager &SM) {
+  if (Loc.isInvalid())
+    return llvm::StringRef();
+  return SM.getFilename(SM.getExpansionLoc(Loc));
+}
+
+/// True if the expansion file of `Loc` ends with any of `Suffixes`
+/// (path-separator aware: "util/annotations.hpp" matches
+/// ".../src/util/annotations.hpp" but not ".../xutil/annotations.hpp").
+inline bool fileMatchesSuffix(SourceLocation Loc, const SourceManager &SM,
+                              const std::vector<std::string> &Suffixes) {
+  llvm::StringRef File = expansionFile(Loc, SM);
+  if (File.empty())
+    return false;
+  for (const auto &Suffix : Suffixes) {
+    if (!File.ends_with(Suffix))
+      continue;
+    if (File.size() == Suffix.size())
+      return true;
+    const char Before = File[File.size() - Suffix.size() - 1];
+    if (Before == '/' || Before == '\\')
+      return true;
+  }
+  return false;
+}
+
+/// Walks the macro-caller chain of `Loc` and returns true if any layer
+/// was spelled by a macro named in `Names`.
+inline bool insideMacroNamed(SourceLocation Loc, const SourceManager &SM,
+                             const LangOptions &LangOpts,
+                             const std::vector<std::string> &Names) {
+  while (Loc.isMacroID()) {
+    const llvm::StringRef Name =
+        Lexer::getImmediateMacroName(Loc, SM, LangOpts);
+    for (const auto &N : Names)
+      if (Name == N)
+        return true;
+    Loc = SM.getImmediateMacroCallerLoc(Loc);
+  }
+  return false;
+}
+
+/// Outermost macro from `Names` enclosing `Loc` (for diagnostics);
+/// empty when none.
+inline std::string outermostMacroNamed(SourceLocation Loc,
+                                       const SourceManager &SM,
+                                       const LangOptions &LangOpts,
+                                       const std::vector<std::string> &Names) {
+  std::string Found;
+  while (Loc.isMacroID()) {
+    const llvm::StringRef Name =
+        Lexer::getImmediateMacroName(Loc, SM, LangOpts);
+    for (const auto &N : Names)
+      if (Name == N)
+        Found = N;
+    Loc = SM.getImmediateMacroCallerLoc(Loc);
+  }
+  return Found;
+}
+
+namespace matchers {
+AST_MATCHER(FunctionDecl, isSwhHotPath) {
+  return hasAnnotation(Node, "swh::hot");
+}
+} // namespace matchers
+
+} // namespace clang::tidy::swh

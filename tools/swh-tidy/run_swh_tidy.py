@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Error-gate driver: runs the swh-tidy plugin checks over the project.
+
+run-clang-tidy cannot forward -load to the clang-tidy it spawns on every
+LLVM release we support, so this driver does the same job directly:
+read compile_commands.json, filter to first-party translation units, run
+``clang-tidy -load <plugin> -checks=-*,swh-* -warnings-as-errors=swh-*``
+on each in parallel, and exit non-zero if any file produced a
+diagnostic. CI runs this as a required job; locally:
+
+    cmake -B build -S . -DSWH_TIDY=ON -DCMAKE_BUILD_TYPE=Debug -DSWH_AUDIT=ON
+    cmake --build build --target swh_tidy_checks
+    python3 tools/swh-tidy/run_swh_tidy.py --build-dir build \\
+        --plugin build/tools/swh-tidy/libswh-tidy-checks.so
+
+Debug + SWH_AUDIT matters: SWH_DCHECK / SWH_INVARIANT bodies only exist
+in the AST when they are compiled in, so a Release configuration would
+silently skip the swh-check-side-effect check.
+"""
+
+import argparse
+import concurrent.futures
+import json
+import os
+import re
+import subprocess
+import sys
+
+DEFAULT_FILTER = r"/src/.*\.(cpp|cc)$"
+
+
+def load_entries(build_dir, file_filter):
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.isfile(db_path):
+        print(
+            f"error: {db_path} not found; configure with "
+            "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON (the top-level CMakeLists "
+            "sets it by default)",
+            file=sys.stderr,
+        )
+        return None
+    with open(db_path, encoding="utf-8") as f:
+        db = json.load(f)
+    pattern = re.compile(file_filter)
+    files = sorted(
+        {
+            os.path.realpath(os.path.join(e["directory"], e["file"]))
+            for e in db
+            if pattern.search(e["file"])
+        }
+    )
+    return files
+
+
+def tidy_one(clang_tidy, plugin, build_dir, path):
+    cmd = [
+        clang_tidy,
+        "-load",
+        plugin,
+        "-checks=-*,swh-*",
+        "-warnings-as-errors=swh-*",
+        "-quiet",
+        "-p",
+        build_dir,
+        path,
+    ]
+    proc = subprocess.run(
+        cmd, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True
+    )
+    return path, proc.returncode, proc.stdout, proc.stderr
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", required=True)
+    parser.add_argument("--plugin", required=True)
+    parser.add_argument("--clang-tidy", default="clang-tidy")
+    parser.add_argument("--filter", default=DEFAULT_FILTER)
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 2)
+    args = parser.parse_args()
+
+    if not os.path.isfile(args.plugin):
+        print(f"error: plugin not found: {args.plugin}", file=sys.stderr)
+        return 2
+    files = load_entries(args.build_dir, args.filter)
+    if files is None:
+        return 2
+    if not files:
+        print("error: no translation units matched the filter", file=sys.stderr)
+        return 2
+
+    print(f"swh-tidy: checking {len(files)} translation units "
+          f"with {args.jobs} jobs")
+    failures = 0
+    with concurrent.futures.ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        futures = [
+            pool.submit(tidy_one, args.clang_tidy, args.plugin,
+                        args.build_dir, path)
+            for path in files
+        ]
+        for future in concurrent.futures.as_completed(futures):
+            path, code, out, err = future.result()
+            if code != 0:
+                failures += 1
+                rel = os.path.relpath(path)
+                print(f"FAIL {rel}", file=sys.stderr)
+                sys.stderr.write(out)
+                sys.stderr.write(err)
+    if failures:
+        print(f"swh-tidy: {failures}/{len(files)} translation units failed",
+              file=sys.stderr)
+        return 1
+    print(f"swh-tidy: all {len(files)} translation units clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

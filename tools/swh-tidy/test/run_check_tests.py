@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Fixture harness for the swh-tidy plugin checks.
+
+Each fixture is a hermetic translation unit annotated with trailing
+``// expect: <check-name>`` comments on the lines where the check must
+fire. The harness runs clang-tidy with ONLY that check enabled (plugin
+loaded via -load), parses the emitted warnings, and requires the exact
+set of (line, check) pairs to match — a missing diagnostic fails the
+test exactly like a spurious one, so both halves of every check
+(positive and negative cases) are pinned.
+
+Fixtures may carry ``// config: Key=Value`` lines; these become
+``<check>.<Key>`` entries in the clang-tidy CheckOptions, with
+``%basename`` expanding to the fixture's file name (used to aim
+path-suffix options such as KernelFileSuffixes at the fixture itself).
+
+--self-test mode instead verifies that ``clang-tidy -list-checks``
+reports all six swh-* checks once the plugin is loaded: a silent
+registration failure would otherwise make every gate vacuously green.
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+ALL_CHECKS = [
+    "swh-no-alloc-in-hot-path",
+    "swh-raw-sync-primitive",
+    "swh-guarded-by-required",
+    "swh-check-side-effect",
+    "swh-msg-visitor-exhaustive",
+    "swh-narrowing-in-kernel",
+]
+
+EXPECT_RE = re.compile(r"//\s*expect:\s*([\w.-]+)")
+CONFIG_RE = re.compile(r"^//\s*config:\s*([\w.-]+)\s*=\s*(\S+)\s*$")
+# clang-tidy diagnostic line: /path/file.cpp:12:5: warning: ... [check-name]
+DIAG_RE = re.compile(
+    r"^(?P<file>.+?):(?P<line>\d+):(?P<col>\d+): warning: .*\[(?P<checks>[\w.,-]+)\]\s*$"
+)
+ERROR_RE = re.compile(r": error: ")
+
+
+def parse_fixture(path):
+    """Returns (expected {(line, check)}, config {key: value})."""
+    expected = set()
+    config = {}
+    basename = os.path.basename(path)
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            m = CONFIG_RE.match(line.strip())
+            if m:
+                config[m.group(1)] = m.group(2).replace("%basename", basename)
+                continue
+            for m in EXPECT_RE.finditer(line):
+                expected.add((lineno, m.group(1)))
+    return expected, config
+
+
+def run_clang_tidy(clang_tidy, plugin, checks, path, config):
+    cmd = [clang_tidy, "-load", plugin, f"-checks=-*,{checks}"]
+    if config:
+        options = ", ".join(
+            "{key: '%s', value: '%s'}" % (k, v) for k, v in sorted(config.items())
+        )
+        cmd.append("-config={CheckOptions: [%s]}" % options)
+    cmd += [path, "--", "-std=c++17"]
+    proc = subprocess.run(
+        cmd, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True
+    )
+    return cmd, proc
+
+
+def collect_diags(stdout, fixture_path, check):
+    """The (line, check) pairs clang-tidy reported for our check in the
+    fixture file. Warnings from other sources (clang-diagnostic-*) are
+    deliberately ignored: fixtures are allowed to trip ordinary compiler
+    warnings (e.g. -Wconstant-conversion on a truncating constant)."""
+    fixture_real = os.path.realpath(fixture_path)
+    found = set()
+    for line in stdout.splitlines():
+        m = DIAG_RE.match(line)
+        if not m:
+            continue
+        if os.path.realpath(m.group("file")) != fixture_real:
+            continue
+        for name in m.group("checks").split(","):
+            if name == check:
+                found.add((int(m.group("line")), name))
+    return found
+
+
+def run_fixture(args):
+    expected, config = parse_fixture(args.fixture)
+    scoped_config = {f"{args.check}.{k}": v for k, v in config.items()}
+    cmd, proc = run_clang_tidy(
+        args.clang_tidy, args.plugin, args.check, args.fixture, scoped_config
+    )
+    output = proc.stdout + proc.stderr
+    if ERROR_RE.search(output):
+        print("fixture failed to compile under clang-tidy:", file=sys.stderr)
+        print(" ".join(cmd), file=sys.stderr)
+        print(output, file=sys.stderr)
+        return 1
+    found = collect_diags(proc.stdout, args.fixture, args.check)
+    if found == expected:
+        print(
+            f"OK {args.check}: {len(expected)} expected diagnostics, "
+            f"{len(found)} found"
+        )
+        return 0
+    print(f"FAIL {args.check}", file=sys.stderr)
+    for line, check in sorted(expected - found):
+        print(f"  missing diagnostic at line {line} [{check}]", file=sys.stderr)
+    for line, check in sorted(found - expected):
+        print(f"  unexpected diagnostic at line {line} [{check}]", file=sys.stderr)
+    print("command: " + " ".join(cmd), file=sys.stderr)
+    print(output, file=sys.stderr)
+    return 1
+
+
+def run_self_test(args):
+    with tempfile.TemporaryDirectory() as tmp:
+        stub = os.path.join(tmp, "empty.cpp")
+        with open(stub, "w", encoding="utf-8") as f:
+            f.write("int swh_tidy_self_test;\n")
+        cmd = [
+            args.clang_tidy,
+            "-load",
+            args.plugin,
+            "-checks=-*,swh-*",
+            "-list-checks",
+            stub,
+            "--",
+            "-std=c++17",
+        ]
+        proc = subprocess.run(
+            cmd, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True
+        )
+    listed = {
+        line.strip() for line in proc.stdout.splitlines() if line.strip()
+    }
+    missing = [c for c in ALL_CHECKS if c not in listed]
+    if proc.returncode != 0 or missing:
+        print("FAIL plugin registration self-test", file=sys.stderr)
+        if missing:
+            print(f"  checks not registered: {', '.join(missing)}", file=sys.stderr)
+        print("command: " + " ".join(cmd), file=sys.stderr)
+        print(proc.stdout + proc.stderr, file=sys.stderr)
+        return 1
+    print(f"OK plugin registers all {len(ALL_CHECKS)} swh-* checks")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--clang-tidy", required=True)
+    parser.add_argument("--plugin", required=True)
+    parser.add_argument("--check", choices=ALL_CHECKS)
+    parser.add_argument("--fixture")
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args()
+    if args.self_test:
+        return run_self_test(args)
+    if not args.check or not args.fixture:
+        parser.error("--check and --fixture are required without --self-test")
+    return run_fixture(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

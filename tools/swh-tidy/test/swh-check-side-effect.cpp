@@ -1,0 +1,57 @@
+// Fixture for swh-check-side-effect. The macros mirror the exact
+// expansion shapes of src/util/check.hpp: plain forms expand to
+// `if (!(cond)) { fail(...); }`, comparison forms first bind the
+// operands as `const auto& swh_check_a_ = (a);`.
+
+namespace swh::check::detail {
+void fail(const char* expression, const char* file, unsigned line,
+          const char* function, const char* message);
+}  // namespace swh::check::detail
+
+#define SWH_CHECK(cond, msg)                                              \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::swh::check::detail::fail(#cond, __FILE__, __LINE__,         \
+                                       __func__, (msg));                  \
+        }                                                                 \
+    } while (false)
+
+#define SWH_CHECK_CMP_(op, a, b, msg)                                     \
+    do {                                                                  \
+        const auto& swh_check_a_ = (a);                                   \
+        const auto& swh_check_b_ = (b);                                   \
+        if (!(swh_check_a_ op swh_check_b_)) {                            \
+            ::swh::check::detail::fail(#a " " #op " " #b, __FILE__,       \
+                                       __LINE__, __func__, (msg));        \
+        }                                                                 \
+    } while (false)
+
+#define SWH_DCHECK(cond, msg) SWH_CHECK(cond, msg)
+#define SWH_DCHECK_EQ(a, b, msg) SWH_CHECK_CMP_(==, a, b, msg)
+#define SWH_DCHECK_LE(a, b, msg) SWH_CHECK_CMP_(<=, a, b, msg)
+#define SWH_INVARIANT(cond, msg) SWH_CHECK(cond, msg)
+
+struct Queue {
+    int pop();  // mutating
+    int size() const;
+    bool empty() const;
+};
+
+void cases(Queue& q, int i) {
+    // Pure conditions: fine at any level.
+    SWH_DCHECK(q.size() > 0, "pure");
+    SWH_DCHECK_EQ(q.size(), 3, "pure");
+    SWH_INVARIANT(!q.empty(), "pure");
+
+    // Side effects in compiled-out checks: the debug build behaves
+    // differently from release.
+    SWH_DCHECK(++i < 10, "mutates i");  // expect: swh-check-side-effect
+    SWH_DCHECK(q.pop() == 3, "mutates q");  // expect: swh-check-side-effect
+    SWH_DCHECK_EQ(q.pop(), 3, "mutates q");  // expect: swh-check-side-effect
+    SWH_DCHECK_LE(i, q.pop(), "mutates q");  // expect: swh-check-side-effect
+    SWH_INVARIANT(i = 5, "assigns");  // expect: swh-check-side-effect
+
+    // SWH_CHECK is always on; a side effect there is consistent across
+    // build types, so this check leaves it alone.
+    SWH_CHECK(q.pop() == 3, "always on");
+}

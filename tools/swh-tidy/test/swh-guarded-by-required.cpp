@@ -1,0 +1,59 @@
+// Fixture for swh-guarded-by-required. Hermetic: the annotation macros
+// are re-spelled here exactly as src/util/annotations.hpp defines them.
+
+#define SWH_CAPABILITY(x) __attribute__((capability(x)))
+#define SWH_GUARDED_BY(x) __attribute__((guarded_by(x)))
+#define SWH_PT_GUARDED_BY(x) __attribute__((pt_guarded_by(x)))
+#define SWH_NOT_GUARDED [[clang::annotate("swh::not_guarded")]]
+
+namespace swh {
+class SWH_CAPABILITY("mutex") Mutex {
+public:
+    void lock();
+    void unlock();
+};
+class CondVar {};
+}  // namespace swh
+
+namespace std {
+template <class T>
+struct atomic {
+    T v;
+};
+}  // namespace std
+
+// --- negative case: everything annotated, const, atomic or opted out --
+
+class GoodCounter {
+public:
+    void bump();
+
+private:
+    swh::Mutex mutex_;
+    swh::CondVar cv_;                       // sync primitive: exempt
+    int count_ SWH_GUARDED_BY(mutex_) = 0;  // guarded: fine
+    int* slot_ SWH_PT_GUARDED_BY(mutex_) = nullptr;
+    const int limit_ = 64;                  // const: fine
+    std::atomic<int> epoch_{};              // atomic: fine (IgnoreAtomics)
+    SWH_NOT_GUARDED int scratch_ = 0;       // explicit opt-out: fine
+};
+
+// --- positive case: mutable members the analysis never sees -----------
+
+class BadCounter {
+public:
+    void bump();
+
+private:
+    swh::Mutex mutex_;
+    int count_ SWH_GUARDED_BY(mutex_) = 0;
+    int stray_ = 0;  // expect: swh-guarded-by-required
+    double also_stray_ = 0.0;  // expect: swh-guarded-by-required
+};
+
+// --- negative case: no lock owned, nothing required -------------------
+
+struct PlainData {
+    int anything = 0;
+    double more = 0.0;
+};

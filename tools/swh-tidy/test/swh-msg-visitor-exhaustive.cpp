@@ -1,0 +1,109 @@
+// Fixture for swh-msg-visitor-exhaustive. Hermetic std::variant stubs:
+// the check only reads template arguments, it never needs the real
+// <variant> machinery.
+
+namespace std {
+template <class... Ts>
+class variant {};
+template <class T, class... Ts>
+T* get_if(variant<Ts...>* v);
+template <class T, class... Ts>
+const T* get_if(const variant<Ts...>* v);
+template <class T, class... Ts>
+bool holds_alternative(const variant<Ts...>& v);
+template <class V, class... Vs>
+void visit(V&& vis, Vs&&... vars);
+}  // namespace std
+
+namespace swh::net {
+struct MsgAssign {
+    int task;
+};
+struct MsgNoWorkYet {};
+struct MsgCancel {
+    int task;
+};
+struct MsgShutdown {};
+using SlaveMsg = std::variant<MsgAssign, MsgNoWorkYet, MsgCancel, MsgShutdown>;
+}  // namespace swh::net
+
+namespace other {
+struct A {};
+struct B {};
+using AB = std::variant<A, B>;
+}  // namespace other
+
+// --- if/else-if chains ------------------------------------------------
+
+// Exhaustive: names all four alternatives. Fine.
+void chain_exhaustive(swh::net::SlaveMsg& msg) {
+    if (auto* a = std::get_if<swh::net::MsgAssign>(&msg)) {
+        (void)a;
+    } else if (std::holds_alternative<swh::net::MsgCancel>(msg)) {
+    } else if (std::holds_alternative<swh::net::MsgShutdown>(msg)) {
+    } else if (std::holds_alternative<swh::net::MsgNoWorkYet>(msg)) {
+    }
+}
+
+// Drops MsgNoWorkYet: a newly added (or forgotten) message vanishes
+// silently in the final implicit else.
+void chain_missing(swh::net::SlaveMsg& msg) {
+    if (auto* a = std::get_if<swh::net::MsgAssign>(&msg)) {  // expect: swh-msg-visitor-exhaustive
+        (void)a;
+    } else if (std::holds_alternative<swh::net::MsgCancel>(msg)) {
+    } else if (std::holds_alternative<swh::net::MsgShutdown>(msg)) {
+    }
+}
+
+// A lone guard peek is not a dispatch; fine.
+void chain_single_guard(swh::net::SlaveMsg& msg) {
+    if (std::holds_alternative<swh::net::MsgShutdown>(msg)) {
+        return;
+    }
+}
+
+// Non-message variants are out of scope even when incomplete (this
+// chain never names other::B, yet stays silent).
+void chain_other_variant(other::AB& v) {
+    if (std::holds_alternative<other::A>(v)) {
+    } else if (std::get_if<other::A>(&v) != nullptr) {
+    }
+}
+
+// --- std::visit -------------------------------------------------------
+
+// A single generic lambda handles everything by construction. Fine.
+void visit_generic(swh::net::SlaveMsg& msg) {
+    std::visit([](const auto& m) { (void)m; }, msg);
+}
+
+struct FullVisitor {
+    void operator()(const swh::net::MsgAssign&);
+    void operator()(const swh::net::MsgNoWorkYet&);
+    void operator()(const swh::net::MsgCancel&);
+    void operator()(const swh::net::MsgShutdown&);
+};
+
+void visit_full(swh::net::SlaveMsg& msg) {
+    std::visit(FullVisitor{}, msg);
+}
+
+struct PartialVisitor {
+    void operator()(const swh::net::MsgAssign&);
+    void operator()(const swh::net::MsgCancel&);
+    void operator()(const swh::net::MsgShutdown&);
+};
+
+void visit_partial(swh::net::SlaveMsg& msg) {
+    std::visit(PartialVisitor{}, msg);  // expect: swh-msg-visitor-exhaustive
+}
+
+struct MixedVisitor {
+    void operator()(const swh::net::MsgAssign&);
+    template <class T>
+    void operator()(const T&);  // absorbs new messages silently
+};
+
+void visit_mixed(swh::net::SlaveMsg& msg) {
+    std::visit(MixedVisitor{}, msg);  // expect: swh-msg-visitor-exhaustive
+}

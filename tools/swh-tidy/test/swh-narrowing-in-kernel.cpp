@@ -1,0 +1,68 @@
+// Fixture for swh-narrowing-in-kernel. The check only fires in files
+// matching KernelFileSuffixes; the harness points that option at this
+// fixture via the config line below (%basename expands to the fixture
+// file name).
+//
+// config: KernelFileSuffixes=%basename
+// config: AllowedHelpers=saturate_u8
+
+using u8 = unsigned char;
+using u16 = unsigned short;
+using i16 = short;
+using i32 = int;
+using u32 = unsigned int;
+using u64 = unsigned long long;
+
+// --- positive cases ---------------------------------------------------
+
+u8 lane_u8(u32 acc) {
+    return acc;  // expect: swh-narrowing-in-kernel
+}
+
+i16 lane_i16(i32 score) {
+    i16 clipped = score;  // expect: swh-narrowing-in-kernel
+    return clipped;
+}
+
+u8 constant_that_truncates() {
+    u8 bad = 300;  // expect: swh-narrowing-in-kernel
+    return bad;
+}
+
+// Narrowing that only materialises at instantiation is still caught.
+template <class Lane>
+Lane hsum(u64 acc) {
+    return acc;  // expect: swh-narrowing-in-kernel
+}
+u8 call_site(u64 acc) {
+    return hsum<u8>(acc);
+}
+
+// --- negative cases ---------------------------------------------------
+
+// Explicit casts are the whole point: visible truncation is fine.
+i16 lane_clipped(i32 score) {
+    return static_cast<i16>(score);
+}
+
+// Widening is fine.
+u32 widen(u8 v) {
+    return v;
+}
+
+// Same width, signedness-only change: not a width loss.
+u32 sign_only(i32 v) {
+    return v;
+}
+
+// A constant that provably fits cannot truncate.
+u8 bias() {
+    u8 b = 128;
+    return b;
+}
+
+// Allowed helper (AllowedHelpers option): saturation helpers truncate
+// by design.
+u8 saturate_u8(u32 v) {
+    return v;
+}

@@ -1,0 +1,60 @@
+// Fixture for swh-no-alloc-in-hot-path. Hermetic: minimal std:: stubs,
+// no system headers, the annotation spelled directly (the real macro
+// lives in src/util/annotations.hpp).
+
+#define SWH_HOT_PATH [[clang::annotate("swh::hot")]]
+
+extern "C" void* malloc(unsigned long n);
+
+namespace std {
+template <class T>
+class vector {
+public:
+    void push_back(const T&);
+    void reserve(unsigned long);
+    unsigned long size() const;
+    const T* data() const;
+};
+template <class T>
+class function;
+template <class R, class... A>
+class function<R(A...)> {
+public:
+    template <class F>
+    function(F f);  // NOLINT(google-explicit-constructor)
+};
+}  // namespace std
+
+// --- positive cases: a hot function doing forbidden things ------------
+
+SWH_HOT_PATH int hot_scan(std::vector<int>& out, int x) {
+    int* p = new int[4];  // expect: swh-no-alloc-in-hot-path
+    void* q = malloc(16);  // expect: swh-no-alloc-in-hot-path
+    out.push_back(x);  // expect: swh-no-alloc-in-hot-path
+    out.reserve(32);  // expect: swh-no-alloc-in-hot-path
+    std::function<int(int)> f = [](int v) { return v; };  // expect: swh-no-alloc-in-hot-path
+    if (x < 0)
+        throw 1;  // expect: swh-no-alloc-in-hot-path
+    return static_cast<int>(out.size()) + (p != nullptr) + (q != nullptr);
+}
+
+// --- negative cases ---------------------------------------------------
+
+// Not annotated: setup code may allocate freely.
+int cold_setup(std::vector<int>& out) {
+    out.reserve(1024);
+    out.push_back(7);
+    return 0;
+}
+
+// Hot, but only reads: no diagnostics.
+SWH_HOT_PATH int hot_reader(const std::vector<int>& in) {
+    return static_cast<int>(in.size()) + (in.data() != nullptr);
+}
+
+// Hot with a justified amortized growth: the NOLINT opt-out works.
+SWH_HOT_PATH int hot_amortized(std::vector<int>& out, int x) {
+    // NOLINTNEXTLINE(swh-no-alloc-in-hot-path): capacity reserved by caller
+    out.push_back(x);
+    return 0;
+}

@@ -1,0 +1,61 @@
+// Fixture for swh-raw-sync-primitive. Hermetic std:: stubs; the check
+// matches by qualified name and sees through typedefs/aliases.
+
+namespace std {
+class mutex {
+public:
+    void lock();
+    void unlock();
+};
+class condition_variable {};
+template <class M>
+class lock_guard {
+public:
+    explicit lock_guard(M& m);
+};
+template <class M>
+class unique_lock {
+public:
+    explicit unique_lock(M& m);
+};
+}  // namespace std
+
+namespace swh {
+class Mutex {};
+class LockGuard {
+public:
+    explicit LockGuard(Mutex& m);
+};
+}  // namespace swh
+
+// --- positive cases ---------------------------------------------------
+
+std::mutex g_raw_mutex;  // expect: swh-raw-sync-primitive
+std::condition_variable g_raw_cv;  // expect: swh-raw-sync-primitive
+
+struct Holder {
+    std::mutex m;  // expect: swh-raw-sync-primitive
+};
+
+void locks() {
+    static std::mutex local;  // expect: swh-raw-sync-primitive
+    std::lock_guard<std::mutex> l(local);  // expect: swh-raw-sync-primitive
+}
+
+// Aliases do not launder the type.
+using HiddenLock = std::unique_lock<std::mutex>;
+void aliased(std::mutex& m) {
+    HiddenLock l(m);  // expect: swh-raw-sync-primitive
+}
+
+// --- negative cases ---------------------------------------------------
+
+swh::Mutex g_wrapped;
+
+struct GoodHolder {
+    swh::Mutex m;
+};
+
+void wrapped_locks(swh::Mutex& m) {
+    swh::LockGuard l(m);
+}
