@@ -32,6 +32,7 @@
 #include "obs/sched_log.hpp"
 #include "obs/trace.hpp"
 #include "runtime/hybrid_runtime.hpp"
+#include "runtime/remote.hpp"
 #include "util/args.hpp"
 #include "util/str.hpp"
 #include "util/table.hpp"
@@ -170,6 +171,22 @@ int main(int argc, char** argv) {
                         "database.fa");
     args.add_option("slaves", "platform spec, e.g. gpu:1,sse:2",
                     "gpu:1,sse:1");
+    args.add_option("transport",
+                    "slave transport: inproc (threads) or socket "
+                    "(separate swhybrid_slave processes over loopback TCP)",
+                    "inproc");
+    args.add_option("port",
+                    "with --transport=socket: TCP port to listen on "
+                    "(0 picks a free one and prints it)",
+                    "0");
+    args.add_option("expect-slaves",
+                    "with --transport=socket: start once this many slave "
+                    "processes have connected",
+                    "1");
+    args.add_option("accept-timeout",
+                    "with --transport=socket: give up on missing slaves "
+                    "after this many seconds",
+                    "30");
     args.add_option("policy", "allocation policy: ss|pss|fixed|wfixed",
                     "pss");
     args.add_option("top", "hits to report per query", "5");
@@ -309,24 +326,49 @@ int main(int argc, char** argv) {
         const std::string weights_path = args.get("weights-out");
         if (!weights_path.empty()) options.sched_observer = &weight_log;
 
+        const std::string transport = args.get("transport");
+        SWH_REQUIRE(transport == "inproc" || transport == "socket",
+                    "--transport must be inproc or socket");
+        const bool socket_mode = transport == "socket";
+        if (socket_mode) {
+            // Engine-side knobs belong to the slave processes there.
+            SWH_REQUIRE(args.get("fault").empty(),
+                        "--fault wraps in-process engines; pass --fault "
+                        "to swhybrid_slave instead");
+        }
+
         std::cout << "searching " << queries.size() << " queries against "
                   << database.size() << " sequences ("
                   << with_thousands(
                          static_cast<long long>(database.residues()))
                   << " residues), policy " << args.get("policy")
-                  << ", slaves " << args.get("slaves") << ", ISA "
-                  << simd::to_string(config.isa) << "\n";
+                  << ", slaves "
+                  << (socket_mode ? "remote ×" +
+                                        std::to_string(args.get_int(
+                                            "expect-slaves"))
+                                  : args.get("slaves"))
+                  << ", ISA " << simd::to_string(config.isa) << "\n";
 
-        runtime::HybridRuntime rt(database, queries, options);
-        std::vector<runtime::SlaveSpec> slaves =
-            make_slaves(args.get("slaves"), config);
-        apply_faults(slaves, args.get("fault"), fault_seed);
-        // PeIds are handed out in registration (spec) order, so these
-        // double as the dashboard/weights row labels.
+        std::vector<runtime::SlaveSpec> slaves;
+        // PeIds are handed out in registration (spec / connection)
+        // order, so these double as the dashboard/weights row labels.
+        // Socket slaves announce their labels only in the Hello, so the
+        // live views use positional names there.
         std::vector<std::string> slave_labels;
-        slave_labels.reserve(slaves.size());
-        for (const runtime::SlaveSpec& s : slaves) {
-            slave_labels.push_back(s.label);
+        if (socket_mode) {
+            const long long expect = args.get_int("expect-slaves");
+            SWH_REQUIRE(expect > 0 && expect <= 64,
+                        "unreasonable --expect-slaves");
+            for (long long i = 0; i < expect; ++i) {
+                slave_labels.push_back("pe" + std::to_string(i));
+            }
+        } else {
+            slaves = make_slaves(args.get("slaves"), config);
+            apply_faults(slaves, args.get("fault"), fault_seed);
+            slave_labels.reserve(slaves.size());
+            for (const runtime::SlaveSpec& s : slaves) {
+                slave_labels.push_back(s.label);
+            }
         }
 
         // Resident-process surface: a background sampler renders the
@@ -364,8 +406,27 @@ int main(int argc, char** argv) {
                 });
         }
 
-        const runtime::RunReport report =
-            rt.run(std::move(slaves), make_policy(args.get("policy")));
+        runtime::RunReport report;
+        if (socket_mode) {
+            runtime::RemoteMasterOptions mopts;
+            mopts.runtime = options;
+            mopts.port = static_cast<std::uint16_t>(args.get_int("port"));
+            mopts.expect_slaves =
+                static_cast<std::size_t>(args.get_int("expect-slaves"));
+            mopts.accept_timeout_s = args.get_double("accept-timeout");
+            runtime::RemoteMaster master(database, queries, mopts);
+            const std::uint16_t port = master.listen();
+            std::cout << "listening on 127.0.0.1:" << port
+                      << ", waiting for " << mopts.expect_slaves
+                      << " slave(s): swhybrid_slave "
+                      << args.get("queries") << ' ' << args.get("database")
+                      << " --port " << port << std::endl;
+            report = master.run(make_policy(args.get("policy")));
+        } else {
+            runtime::HybridRuntime rt(database, queries, options);
+            report =
+                rt.run(std::move(slaves), make_policy(args.get("policy")));
+        }
         if (sampler.has_value()) sampler->stop();
 
         const align::GumbelParams stats = align::fit_gumbel(matrix, gap);

@@ -1,0 +1,62 @@
+// libFuzzer harness for the wire codec (ISSUE 10). Arbitrary bytes go
+// through every decoder as a frame body; anything decoded must
+// re-encode and decode back to an equal value (the codec is a
+// bijection on its accepted set). The decoders must never throw, crash,
+// or over-allocate — a forged count/length is rejected by bounds
+// checks, not by the allocator. Built with -fsanitize=fuzzer under
+// Clang (SWH_FUZZ); other compilers link standalone_main.cpp and
+// replay the checked-in corpus.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/wire.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+template <typename Decode>
+void probe(const std::uint8_t* data, std::size_t size, Decode decode) {
+    std::string why;
+    auto msg = decode(data, size, &why);
+    SWH_CHECK(msg.has_value() || !why.empty(),
+              "rejection must carry a reason");
+    if (!msg.has_value()) return;
+
+    // Accepted: encode must produce a frame whose body decodes to an
+    // equal value. (Not necessarily the same bytes — an oversized
+    // string arrives pre-truncated, and re-encoding normalises it.)
+    std::vector<std::uint8_t> frame;
+    swh::net::wire::encode(*msg, frame);
+    SWH_CHECK(frame.size() >= 4, "encoded frame lost its prefix");
+    auto again = decode(frame.data() + 4, frame.size() - 4, &why);
+    SWH_CHECK(again.has_value(), "re-encoded frame must decode");
+    SWH_CHECK(*again == *msg, "decode(encode(m)) != m");
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+    namespace wire = swh::net::wire;
+    if (size > wire::kMaxFrameBytes) return 0;  // transport rejects these
+    probe(data, size,
+          [](const std::uint8_t* p, std::size_t n, std::string* e) {
+              return wire::decode_master(p, n, e);
+          });
+    probe(data, size,
+          [](const std::uint8_t* p, std::size_t n, std::string* e) {
+              return wire::decode_slave(p, n, e);
+          });
+    probe(data, size,
+          [](const std::uint8_t* p, std::size_t n, std::string* e) {
+              return wire::decode_hello(p, n, e);
+          });
+    probe(data, size,
+          [](const std::uint8_t* p, std::size_t n, std::string* e) {
+              return wire::decode_welcome(p, n, e);
+          });
+    return 0;
+}

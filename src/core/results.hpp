@@ -25,6 +25,8 @@ struct TaskResult {
     std::uint32_t query_index = 0;
     std::uint64_t cells = 0;       ///< DP cells the slave actually updated
     std::vector<Hit> hits;         ///< descending score
+
+    friend bool operator==(const TaskResult&, const TaskResult&) = default;
 };
 
 /// Master-side result merging ("merge results" box in the paper's Fig.

@@ -31,6 +31,8 @@ struct Task {
     TaskId id = 0;
     std::uint32_t query_index = 0;
     std::uint64_t cells = 0;  ///< |query| x database residues
+
+    friend bool operator==(const Task&, const Task&) = default;
 };
 
 }  // namespace swh::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <deque>
+#include <iterator>
 #include <optional>
 #include <utility>
 
@@ -69,7 +70,7 @@ public:
         fault_rng_.reseed(faults.seed);
     }
 
-    /// Messages discarded so far by the drop fault.
+    /// Messages the link ate: drop-fault discards plus post-close sends.
     std::size_t dropped() const SWH_EXCLUDES(mu_) {
         const swh::LockGuard lock(mu_);
         return dropped_;
@@ -78,7 +79,18 @@ public:
     void send(T msg) SWH_EXCLUDES(mu_) {
         {
             const swh::LockGuard lock(mu_);
-            SWH_CHECK(!closed_, "send on closed channel");
+            if (closed_) {
+                // ISSUE 10 shutdown-race fix: a slave's late heartbeat or
+                // deregister racing the master's close() used to trip
+                // SWH_CHECK and abort the process. A real link would
+                // simply lose the message — so the send becomes a
+                // counted drop, visible through dropped(). Misuse before
+                // the link even exists stays a hard check at the remote
+                // layer (RemoteChannel refuses construction without a
+                // handshaken transport).
+                ++dropped_;
+                return;
+            }
             if (faults_.drop_prob > 0.0 &&
                 fault_rng_.uniform() < faults_.drop_prob) {
                 ++dropped_;
@@ -101,18 +113,14 @@ public:
         const swh::LockGuard lock(mu_);
         while (true) {
             if (!queue_.empty()) {
-                const auto ready = queue_.front().ready;
-                if (ready <= Clock::now()) break;
-                cv_.wait_until(mu_, ready);
+                const auto it = earliest_locked();
+                if (it->ready <= Clock::now()) return pop_locked(it);
+                cv_.wait_until(mu_, it->ready);
                 continue;
             }
             if (closed_) return std::nullopt;
             cv_.wait(mu_);
         }
-        T msg = std::move(queue_.front().payload);
-        queue_.pop_front();
-        if (observer_ != nullptr) observer_->on_recv(queue_.size());
-        return msg;
     }
 
     /// Blocks up to `timeout_s` seconds: a deliverable message, or
@@ -127,32 +135,30 @@ public:
                                    std::max(0.0, timeout_s)));
         while (true) {
             const auto now = Clock::now();
-            if (!queue_.empty() && queue_.front().ready <= now) break;
-            if (queue_.empty() && closed_) return std::nullopt;
+            if (!queue_.empty()) {
+                const auto it = earliest_locked();
+                if (it->ready <= now) return pop_locked(it);
+                if (now >= deadline) return std::nullopt;
+                cv_.wait_until(mu_, std::min(deadline, it->ready));
+                continue;
+            }
+            if (closed_) return std::nullopt;
             if (now >= deadline) return std::nullopt;
-            const auto until = queue_.empty()
-                                   ? deadline
-                                   : std::min(deadline, queue_.front().ready);
-            cv_.wait_until(mu_, until);
+            cv_.wait_until(mu_, deadline);
         }
-        T msg = std::move(queue_.front().payload);
-        queue_.pop_front();
-        if (observer_ != nullptr) observer_->on_recv(queue_.size());
-        return msg;
     }
 
     /// Non-blocking: a deliverable message or nullopt.
     std::optional<T> try_recv() SWH_EXCLUDES(mu_) {
         const swh::LockGuard lock(mu_);
-        if (queue_.empty() || queue_.front().ready > Clock::now())
-            return std::nullopt;
-        T msg = std::move(queue_.front().payload);
-        queue_.pop_front();
-        if (observer_ != nullptr) observer_->on_recv(queue_.size());
-        return msg;
+        if (queue_.empty()) return std::nullopt;
+        const auto it = earliest_locked();
+        if (it->ready > Clock::now()) return std::nullopt;
+        return pop_locked(it);
     }
 
-    /// After close, sends throw and recv drains then returns nullopt.
+    /// After close, sends become counted drops and recv drains then
+    /// returns nullopt.
     /// notify_all here on purpose: close is a broadcast-shaped event
     /// (any stray waiter must observe it), unlike per-message sends.
     void close() SWH_EXCLUDES(mu_) {
@@ -179,6 +185,31 @@ private:
         Clock::time_point ready;
         T payload;
     };
+
+    /// The queue slot that becomes deliverable first: earliest ready
+    /// time, FIFO position breaking ties. With per-message fault stalls
+    /// a later-sent entry can be deliverable before front(), so every
+    /// delivery path must key on this instead of the head — waiting on
+    /// front().ready alone let recv_for time out (and the master declare
+    /// a slave dead) while a deliverable message sat behind a stalled
+    /// head (ISSUE 10 head-of-line fix). O(queue) scan; inbox depths are
+    /// a handful of messages (see the channel depth gauges).
+    typename std::deque<Entry>::iterator earliest_locked()
+        SWH_REQUIRES(mu_) {
+        auto best = queue_.begin();
+        for (auto it = std::next(queue_.begin()); it != queue_.end(); ++it) {
+            if (it->ready < best->ready) best = it;
+        }
+        return best;
+    }
+
+    std::optional<T> pop_locked(typename std::deque<Entry>::iterator it)
+        SWH_REQUIRES(mu_) {
+        T msg = std::move(it->payload);
+        queue_.erase(it);
+        if (observer_ != nullptr) observer_->on_recv(queue_.size());
+        return msg;
+    }
 
     mutable swh::Mutex mu_;
     swh::CondVar cv_;

@@ -14,10 +14,14 @@ namespace swh::net {
 struct MsgRegister {
     core::PeId pe;
     core::PeKind kind;
+
+    friend bool operator==(const MsgRegister&, const MsgRegister&) = default;
 };
 
 struct MsgWorkRequest {
     core::PeId pe;
+
+    friend bool operator==(const MsgWorkRequest&, const MsgWorkRequest&) = default;
 };
 
 /// Periodic progress notification (paper SS IV-A.2): the observed
@@ -25,17 +29,23 @@ struct MsgWorkRequest {
 struct MsgProgress {
     core::PeId pe;
     double cells_per_second;
+
+    friend bool operator==(const MsgProgress&, const MsgProgress&) = default;
 };
 
 struct MsgTaskDone {
     core::PeId pe;
     core::TaskId task;
     core::TaskResult result;
+
+    friend bool operator==(const MsgTaskDone&, const MsgTaskDone&) = default;
 };
 
 /// Node-leave announcement (future-work extension).
 struct MsgDeregister {
     core::PeId pe;
+
+    friend bool operator==(const MsgDeregister&, const MsgDeregister&) = default;
 };
 
 /// Idle liveness beacon: sent while a slave is parked waiting for work,
@@ -44,6 +54,8 @@ struct MsgDeregister {
 /// PE refreshes its liveness deadline.
 struct MsgHeartbeat {
     core::PeId pe;
+
+    friend bool operator==(const MsgHeartbeat&, const MsgHeartbeat&) = default;
 };
 
 /// Engine-failure report: executing `task` raised `what` instead of
@@ -53,6 +65,8 @@ struct MsgTaskFailed {
     core::PeId pe;
     core::TaskId task;
     std::string what;
+
+    friend bool operator==(const MsgTaskFailed&, const MsgTaskFailed&) = default;
 };
 
 using MasterMsg = std::variant<MsgRegister, MsgWorkRequest, MsgProgress,
@@ -63,19 +77,27 @@ using MasterMsg = std::variant<MsgRegister, MsgWorkRequest, MsgProgress,
 
 struct MsgAssign {
     std::vector<core::Task> tasks;  ///< execution order, with metadata
+
+    friend bool operator==(const MsgAssign&, const MsgAssign&) = default;
 };
 
 /// Nothing to hand out right now; the master will push an Assign (or a
 /// Shutdown) when the situation changes. The slave must block, not poll.
-struct MsgNoWorkYet {};
+struct MsgNoWorkYet {
+    friend bool operator==(const MsgNoWorkYet&, const MsgNoWorkYet&) = default;
+};
 
 /// Abandon a replica another PE already finished (cancel_losers mode).
 struct MsgCancel {
     core::TaskId task;
+
+    friend bool operator==(const MsgCancel&, const MsgCancel&) = default;
 };
 
 /// All tasks finished; the slave should exit.
-struct MsgShutdown {};
+struct MsgShutdown {
+    friend bool operator==(const MsgShutdown&, const MsgShutdown&) = default;
+};
 
 using SlaveMsg = std::variant<MsgAssign, MsgNoWorkYet, MsgCancel, MsgShutdown>;
 

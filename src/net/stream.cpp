@@ -1,0 +1,219 @@
+#include "net/stream.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <thread>
+#include <unistd.h>
+
+#include "net/wire.hpp"
+#include "util/check.hpp"
+#include "util/error.hpp"
+
+namespace swh::net {
+
+namespace {
+
+std::string errno_string(const char* what) {
+    return std::string(what) + ": " + std::strerror(errno);
+}
+
+/// Full write with EINTR retry; MSG_NOSIGNAL so a vanished peer surfaces
+/// as EPIPE instead of killing the process with SIGPIPE.
+bool write_all(int fd, const std::uint8_t* data, std::size_t size) {
+    while (size > 0) {
+        const ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        data += n;
+        size -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/// Full read with EINTR retry. Returns false on EOF or error.
+bool read_all(int fd, std::uint8_t* data, std::size_t size) {
+    while (size > 0) {
+        const ssize_t n = ::recv(fd, data, size, 0);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR) continue;
+            return false;
+        }
+        data += n;
+        size -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+}  // namespace
+
+void Socket::shutdown_both() {
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::close() {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+Socket tcp_listen(std::uint16_t& port, int backlog) {
+    Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!sock.valid()) throw swh::IoError(errno_string("socket"));
+    const int one = 1;
+    ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+        throw swh::IoError(errno_string("bind"));
+    }
+    if (::listen(sock.fd(), backlog) != 0) {
+        throw swh::IoError(errno_string("listen"));
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(sock.fd(), reinterpret_cast<sockaddr*>(&addr), &len) !=
+        0) {
+        throw swh::IoError(errno_string("getsockname"));
+    }
+    port = ntohs(addr.sin_port);
+    return sock;
+}
+
+std::optional<Socket> tcp_accept(Socket& listener, double timeout_s) {
+    pollfd pfd{};
+    pfd.fd = listener.fd();
+    pfd.events = POLLIN;
+    const int timeout_ms =
+        timeout_s < 0.0 ? -1 : static_cast<int>(timeout_s * 1000.0);
+    while (true) {
+        const int rc = ::poll(&pfd, 1, timeout_ms);
+        if (rc < 0 && errno == EINTR) continue;
+        if (rc <= 0) return std::nullopt;  // timeout or poll error
+        const int fd = ::accept(listener.fd(), nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR) continue;
+            return std::nullopt;
+        }
+        return Socket(fd);
+    }
+}
+
+std::optional<Socket> tcp_connect(const std::string& host, std::uint16_t port,
+                                  double timeout_s) {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        return std::nullopt;  // numeric IPv4 only (loopback deployment)
+    }
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(timeout_s));
+    while (true) {
+        Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+        if (sock.valid() &&
+            ::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)) == 0) {
+            const int one = 1;
+            ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one,
+                         sizeof(one));
+            return sock;
+        }
+        // The master may not be listening yet (process bringup order is
+        // not guaranteed): back off briefly and retry until the deadline.
+        if (std::chrono::steady_clock::now() >= deadline) return std::nullopt;
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+}
+
+std::pair<Socket, Socket> socket_pair() {
+    int fds[2] = {-1, -1};
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+        throw swh::IoError(errno_string("socketpair"));
+    }
+    return {Socket(fds[0]), Socket(fds[1])};
+}
+
+StreamTransport::StreamTransport(Socket sock) : sock_(std::move(sock)) {
+    SWH_CHECK(sock_.valid(), "transport requires a connected socket");
+}
+
+StreamTransport::~StreamTransport() { shutdown(); }
+
+bool StreamTransport::send_frame(const std::vector<std::uint8_t>& frame) {
+    const swh::LockGuard lock(mu_);
+    if (broken_) return false;
+    if (!write_all(sock_.fd(), frame.data(), frame.size())) {
+        broken_ = true;
+        if (error_.empty()) error_ = errno_string("send");
+        sock_.shutdown_both();
+        return false;
+    }
+    return true;
+}
+
+std::optional<std::vector<std::uint8_t>> StreamTransport::recv_frame() {
+    std::uint8_t prefix[4];
+    if (!read_all(sock_.fd(), prefix, sizeof(prefix))) {
+        fail("connection closed");
+        return std::nullopt;
+    }
+    const std::uint32_t body_len =
+        static_cast<std::uint32_t>(prefix[0]) |
+        static_cast<std::uint32_t>(prefix[1]) << 8 |
+        static_cast<std::uint32_t>(prefix[2]) << 16 |
+        static_cast<std::uint32_t>(prefix[3]) << 24;
+    // Reject before buffering: a forged length prefix must not make this
+    // side allocate (version + tag = 2 bytes is the smallest body).
+    if (body_len < 2 || body_len > wire::kMaxFrameBytes) {
+        fail("frame length out of range");
+        return std::nullopt;
+    }
+    std::vector<std::uint8_t> body(body_len);
+    if (!read_all(sock_.fd(), body.data(), body.size())) {
+        fail("connection closed mid-frame");
+        return std::nullopt;
+    }
+    return body;
+}
+
+void StreamTransport::shutdown() {
+    fail("transport shut down");
+}
+
+bool StreamTransport::ok() const {
+    const swh::LockGuard lock(mu_);
+    return !broken_;
+}
+
+std::string StreamTransport::last_error() const {
+    const swh::LockGuard lock(mu_);
+    return error_;
+}
+
+void StreamTransport::fail(const std::string& why) {
+    {
+        const swh::LockGuard lock(mu_);
+        if (!broken_) {
+            broken_ = true;
+            error_ = why;
+        }
+    }
+    sock_.shutdown_both();
+}
+
+}  // namespace swh::net

@@ -3,19 +3,17 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <limits>
-#include <map>
-#include <set>
 #include <string>
 #include <thread>
 #include <utility>
 
-#include "engines/faulty_engine.hpp"
 #include "net/channel.hpp"
 #include "net/messages.hpp"
 #include "obs/sched_log.hpp"
 #include "obs/trace.hpp"
 #include "obs/tracers.hpp"
+#include "runtime/master_loop.hpp"
+#include "runtime/slave_loop.hpp"
 #include "util/annotations.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
@@ -23,126 +21,8 @@
 namespace swh::runtime {
 
 using core::PeId;
-using core::TaskId;
 
 namespace {
-
-constexpr double kInf = std::numeric_limits<double>::infinity();
-
-/// Slave-side execution observer: converts engine cell counts into
-/// periodic MsgProgress notifications (which double as liveness
-/// heartbeats while busy) and services master messages that arrive
-/// mid-execution — cancellations, pushed assignments, and the "you're
-/// gone" signal of a closed inbox.
-class SlaveObserver final : public engines::ExecutionObserver {
-public:
-    SlaveObserver(PeId pe, TaskId current, double notify_period_s,
-                  net::Channel<net::MasterMsg>& to_master,
-                  net::Channel<net::SlaveMsg>& inbox,
-                  std::set<TaskId>& cancelled_queue,
-                  std::vector<core::Task>& pending_assigns,
-                  obs::TraceLane* lane)
-        : pe_(pe),
-          current_(current),
-          period_(notify_period_s),
-          to_master_(to_master),
-          inbox_(inbox),
-          cancelled_queue_(cancelled_queue),
-          pending_assigns_(pending_assigns),
-          lane_(lane) {}
-
-    void on_cells(std::uint64_t cells_delta) override {
-        // ISSUE 5 satellite fix: cells_/since_notify_ used to be mutated
-        // unguarded here while cancelled() documents multi-threaded
-        // polling — everything mutable now serialises on mu_.
-        const swh::LockGuard lock(mu_);
-        cells_ += cells_delta;
-        const double elapsed = since_notify_.seconds();
-        if (elapsed >= period_ && cells_ > 0) {
-            to_master_.send(net::MsgProgress{
-                pe_, static_cast<double>(cells_) / elapsed});
-            cells_ = 0;
-            since_notify_.reset();
-        }
-    }
-
-    bool cancelled() const override {
-        // Engines may poll from several worker threads.
-        const swh::LockGuard lock(mu_);
-        drain_inbox_locked();
-        return cancelled_current_;
-    }
-
-    bool cancelled_current() const {
-        const swh::LockGuard lock(mu_);
-        return cancelled_current_;
-    }
-
-    bool saw_shutdown() const {
-        const swh::LockGuard lock(mu_);
-        return shutdown_;
-    }
-
-    /// The slave thread's trace lane, so engines nest kernel spans
-    /// inside this slave's task span.
-    obs::TraceLane* trace_lane() const override { return lane_; }
-
-    /// Rate over the whole task, for a final notification on completion.
-    void send_final_rate() {
-        const swh::LockGuard lock(mu_);
-        const double elapsed = since_notify_.seconds();
-        if (cells_ > 0 && elapsed > 0.0) {
-            to_master_.send(net::MsgProgress{
-                pe_, static_cast<double>(cells_) / elapsed});
-        }
-    }
-
-private:
-    void drain_inbox_locked() const SWH_REQUIRES(mu_) {
-        while (auto msg = inbox_.try_recv()) {
-            if (const auto* cancel = std::get_if<net::MsgCancel>(&*msg)) {
-                if (cancel->task == current_) {
-                    cancelled_current_ = true;
-                } else {
-                    cancelled_queue_.insert(cancel->task);
-                }
-            } else if (const auto* assign =
-                           std::get_if<net::MsgAssign>(&*msg)) {
-                // The master served a heartbeat that raced our previous
-                // request; queue the package for after this task.
-                pending_assigns_.insert(pending_assigns_.end(),
-                                        assign->tasks.begin(),
-                                        assign->tasks.end());
-            } else if (std::holds_alternative<net::MsgShutdown>(*msg)) {
-                shutdown_ = true;
-                cancelled_current_ = true;
-            } else if (std::holds_alternative<net::MsgNoWorkYet>(*msg)) {
-                // Stale reply to a duplicated request; ignore.
-            }
-        }
-        // A closed inbox is the master's "you're gone" (presumed dead,
-        // or the end-of-run drain): stop the engine cooperatively. This
-        // is what unwedges a permanently stalled engine.
-        if (inbox_.closed()) cancelled_current_ = true;
-    }
-
-    const PeId pe_;
-    const TaskId current_;
-    const double period_;
-    net::Channel<net::MasterMsg>& to_master_;
-    net::Channel<net::SlaveMsg>& inbox_;
-    /// Written under mu_ while the engine runs; the slave thread reads
-    /// them lock-free only after execute() returns (the engine joins its
-    /// pollers before returning, which orders those accesses).
-    std::set<TaskId>& cancelled_queue_;
-    std::vector<core::Task>& pending_assigns_;
-    mutable swh::Mutex mu_;
-    mutable bool cancelled_current_ SWH_GUARDED_BY(mu_) = false;
-    mutable bool shutdown_ SWH_GUARDED_BY(mu_) = false;
-    mutable std::uint64_t cells_ SWH_GUARDED_BY(mu_) = 0;
-    mutable Timer since_notify_ SWH_GUARDED_BY(mu_);
-    obs::TraceLane* const lane_;
-};
 
 struct SlaveShared {
     net::Channel<net::SlaveMsg> inbox;
@@ -155,15 +35,58 @@ struct SlaveShared {
     explicit SlaveShared(double delay) : inbox(delay) {}
 };
 
-/// Master-side lifecycle of one slave. Exactly one transition out of
-/// Active increments finished_slaves, which is what makes the master
-/// loop's termination condition immune to duplicate/late messages.
-enum class PeState : std::uint8_t {
-    Unseen,    ///< never registered (thread may not have started yet)
-    Active,    ///< registered and presumed alive
-    Shutdown,  ///< sent MsgShutdown (all tasks finished)
-    Dead,      ///< liveness timeout expired; tasks were requeued
-    Left,      ///< sent MsgDeregister (leave_after_tasks)
+/// In-process SlaveEndpoint: uplink through the shared master inbox,
+/// downlink through this slave's own Channel. The protocol itself lives
+/// in run_slave_loop (runtime/slave_loop.cpp) — identical over sockets.
+class ThreadedSlaveEndpoint final : public SlaveEndpoint {
+public:
+    ThreadedSlaveEndpoint(net::Channel<net::MasterMsg>& to_master,
+                          SlaveShared& shared,
+                          const std::atomic<bool>& draining)
+        : to_master_(to_master), shared_(shared), draining_(draining) {}
+
+    void send(net::MasterMsg msg) override {
+        to_master_.send(std::move(msg));
+    }
+    std::optional<net::SlaveMsg> recv() override {
+        return shared_.inbox.recv();
+    }
+    std::optional<net::SlaveMsg> recv_for(double timeout_s) override {
+        return shared_.inbox.recv_for(timeout_s);
+    }
+    std::optional<net::SlaveMsg> try_recv() override {
+        return shared_.inbox.try_recv();
+    }
+    bool inbox_closed() override { return shared_.inbox.closed(); }
+
+    void on_inbox_closed_exit() override {
+        SWH_INVARIANT(draining_.load() ||
+                          shared_.abandoned_by_master.load(),
+                      "slave inbox closed outside a master-initiated drain");
+    }
+
+private:
+    net::Channel<net::MasterMsg>& to_master_;
+    SlaveShared& shared_;
+    const std::atomic<bool>& draining_;
+};
+
+/// In-process SlaveLink: the master writes straight into the slave's
+/// shared inbox; abandoning closes it (the cooperative kill signal).
+class ThreadedSlaveLink final : public SlaveLink {
+public:
+    explicit ThreadedSlaveLink(SlaveShared& shared) : shared_(shared) {}
+
+    void send(net::SlaveMsg msg) override {
+        shared_.inbox.send(std::move(msg));
+    }
+    void abandon() override {
+        shared_.abandoned_by_master.store(true);
+        shared_.inbox.close();
+    }
+
+private:
+    SlaveShared& shared_;
 };
 
 }  // namespace
@@ -201,7 +124,6 @@ RunReport HybridRuntime::run(std::vector<SlaveSpec> slaves,
                              std::unique_ptr<core::AllocationPolicy> policy) {
     SWH_CHECK(!slaves.empty(), "need at least one slave");
     const std::size_t n = slaves.size();
-    const bool liveness = options_.liveness_timeout_s > 0.0;
 
     core::SchedulerCore sched(
         core::make_tasks(queries_, database_->residues()), std::move(policy),
@@ -267,24 +189,18 @@ RunReport HybridRuntime::run(std::vector<SlaveSpec> slaves,
     if (rec != nullptr || metrics != nullptr) {
         master_inbox.set_observer(&master_chan_tracer);
     }
-    obs::Counter* const m_engine_failures =
-        metrics != nullptr
-            ? &metrics->counter("runtime.faults.engine_failures")
-            : nullptr;
-    obs::Counter* const m_retries =
-        metrics != nullptr ? &metrics->counter("runtime.faults.retries")
-                           : nullptr;
-    obs::Counter* const m_presumed_dead =
-        metrics != nullptr
-            ? &metrics->counter("runtime.faults.slaves_presumed_dead")
-            : nullptr;
-    obs::Counter* const m_late_discards =
-        metrics != nullptr
-            ? &metrics->counter("runtime.faults.late_completions_discarded")
-            : nullptr;
-    obs::Counter* const m_heartbeats =
-        metrics != nullptr ? &metrics->counter("runtime.faults.heartbeats")
-                           : nullptr;
+    MasterLoopCounters counters;
+    if (metrics != nullptr) {
+        counters.engine_failures =
+            &metrics->counter("runtime.faults.engine_failures");
+        counters.retries = &metrics->counter("runtime.faults.retries");
+        counters.presumed_dead =
+            &metrics->counter("runtime.faults.slaves_presumed_dead");
+        counters.late_discards =
+            &metrics->counter("runtime.faults.late_completions_discarded");
+        counters.heartbeats =
+            &metrics->counter("runtime.faults.heartbeats");
+    }
 
     std::vector<obs::TraceLane*> slave_lanes(n, nullptr);
     std::vector<obs::Histogram*> slave_duration(n, nullptr);
@@ -316,158 +232,21 @@ RunReport HybridRuntime::run(std::vector<SlaveSpec> slaves,
     auto slave_main = [&](PeId pe) {
         SlaveSpec& spec = slaves[pe];
         SlaveShared& sh = *shared[pe];
-        obs::TraceLane* const lane = slave_lanes[pe];
-        obs::Histogram* const duration_hist = slave_duration[pe];
         if (spec.join_delay_s > 0.0) {
             std::this_thread::sleep_for(
                 std::chrono::duration<double>(spec.join_delay_s));
         }
-        master_inbox.send(net::MsgRegister{pe, spec.engine->kind()});
-
-        // ISSUE 5 satellite fix: the old code silently `return`ed here
-        // on a closed inbox, leaving finished_slaves short and the
-        // master deadlocked. The inbox now only closes when the master
-        // already wrote this slave off (presumed dead) or the run is
-        // draining; we still notify it for the audit trail.
-        auto exit_on_closed_inbox = [&] {
-            SWH_INVARIANT(draining.load() || sh.abandoned_by_master.load(),
-                          "slave inbox closed outside a master-initiated "
-                          "drain");
-            master_inbox.send(net::MsgDeregister{pe});
-        };
-
-        std::vector<core::Task> batch;
-        std::set<TaskId> cancelled_queue;
-        std::vector<core::Task> pending_assigns;
-        std::size_t completions = 0;
-        bool heard_from_master = false;
-        while (true) {
-            if (batch.empty() && !pending_assigns.empty()) {
-                batch = std::move(pending_assigns);
-                pending_assigns.clear();
-            }
-            if (batch.empty()) {
-                master_inbox.send(net::MsgWorkRequest{pe});
-                bool got_batch = false;
-                while (!got_batch) {
-                    std::optional<net::SlaveMsg> msg =
-                        liveness
-                            ? sh.inbox.recv_for(options_.heartbeat_period_s)
-                            : sh.inbox.recv();
-                    if (!msg) {
-                        if (sh.inbox.closed()) {
-                            exit_on_closed_inbox();
-                            return;
-                        }
-                        // recv_for timed out: beacon liveness. Until the
-                        // master has spoken to us at all, re-send the
-                        // registration instead — the first Register (or
-                        // the work request after it) may have been
-                        // dropped by an injected link fault.
-                        if (heard_from_master) {
-                            master_inbox.send(net::MsgHeartbeat{pe});
-                        } else {
-                            master_inbox.send(
-                                net::MsgRegister{pe, spec.engine->kind()});
-                            master_inbox.send(net::MsgWorkRequest{pe});
-                        }
-                        continue;
-                    }
-                    heard_from_master = true;
-                    if (const auto* assign =
-                            std::get_if<net::MsgAssign>(&*msg)) {
-                        batch = assign->tasks;
-                        got_batch = true;
-                    } else if (std::holds_alternative<net::MsgShutdown>(
-                                   *msg)) {
-                        return;
-                    } else if (const auto* cancel =
-                                   std::get_if<net::MsgCancel>(&*msg)) {
-                        // Cancellation for a task we already finished or
-                        // never started; nothing to do.
-                        (void)cancel;
-                    } else if (std::holds_alternative<net::MsgNoWorkYet>(
-                                   *msg)) {
-                        // Keep blocking; the master will push.
-                    }
-                }
-            }
-
-            const core::Task task_meta = batch.front();
-            const TaskId t = task_meta.id;
-            batch.erase(batch.begin());
-            if (cancelled_queue.erase(t) > 0) {
-                ++sh.report.tasks_cancelled;
-                continue;  // master already released it
-            }
-            const align::Sequence& query = queries_[task_meta.query_index];
-
-            // Contract failures raised while this task runs carry the
-            // slave/task ids in their report.
-            const check::ScopedContext check_ctx(pe, t);
-            SlaveObserver slave_obs(pe, t, options_.notify_period_s,
-                                    master_inbox, sh.inbox, cancelled_queue,
-                                    pending_assigns, lane);
-            if (lane != nullptr) lane->span_begin("task", t, pe);
-            Timer task_timer;
-            core::TaskResult result;
-            bool failed = false;
-            std::string failure;
-            // Containment (ISSUE 5): an engine exception used to unwind
-            // out of this thread and std::terminate the process. It now
-            // becomes MsgTaskFailed and the slave soldiers on. The one
-            // exception that stays fatal-by-design is SimulatedCrash —
-            // fault injection for "the PE vanished", which only the
-            // master's liveness timeout can handle.
-            try {
-                result = spec.engine->execute(
-                    query, task_meta.query_index, t, *database_, &slave_obs);
-            } catch (const engines::SimulatedCrash&) {
-                sh.report.crashed = true;
-                if (lane != nullptr) lane->span_end("task", t, 1.0, pe);
-                return;  // die silently: no MsgDeregister, no cleanup
-            } catch (const std::exception& e) {
-                failed = true;
-                failure = e.what();
-            } catch (...) {
-                failed = true;
-                failure = "unknown engine failure";
-            }
-            const double task_seconds = task_timer.seconds();
-            sh.report.cells_computed += result.cells;
-
-            const bool was_cancelled = slave_obs.cancelled_current();
-            if (duration_hist != nullptr) duration_hist->record(task_seconds);
-            if (lane != nullptr) {
-                lane->span_end("task", t,
-                               (was_cancelled || failed) ? 1.0 : 0.0, pe);
-            }
-
-            if (failed) {
-                ++sh.report.engine_failures;
-                master_inbox.send(net::MsgTaskFailed{pe, t, failure});
-            } else if (was_cancelled) {
-                ++sh.report.tasks_cancelled;
-            } else {
-                slave_obs.send_final_rate();
-                master_inbox.send(net::MsgTaskDone{pe, t, std::move(result)});
-                ++completions;
-            }
-
-            if (sh.inbox.closed()) {
-                exit_on_closed_inbox();
-                return;
-            }
-            if (slave_obs.saw_shutdown()) return;
-
-            if (spec.leave_after_tasks > 0 &&
-                completions >= spec.leave_after_tasks) {
-                // Abandon whatever is still queued and leave the platform.
-                sh.report.left_early = true;
-                master_inbox.send(net::MsgDeregister{pe});
-                return;
-            }
-        }
+        ThreadedSlaveEndpoint endpoint(master_inbox, sh, draining);
+        SlaveLoopConfig config;
+        config.pe = pe;
+        config.notify_period_s = options_.notify_period_s;
+        config.liveness = options_.liveness_timeout_s > 0.0;
+        config.heartbeat_period_s = options_.heartbeat_period_s;
+        config.leave_after_tasks = spec.leave_after_tasks;
+        config.lane = slave_lanes[pe];
+        config.duration_hist = slave_duration[pe];
+        run_slave_loop(endpoint, *spec.engine, queries_, *database_, config,
+                       sh.report);
     };
 
     std::vector<std::thread> threads;
@@ -476,300 +255,23 @@ RunReport HybridRuntime::run(std::vector<SlaveSpec> slaves,
 
     // ---- Master (this thread) -------------------------------------------
     RunReport report;
-    report.slaves.resize(n);
-    std::vector<PeState> pe_state(n, PeState::Unseen);
-    std::vector<double> last_heard(n, 0.0);
-    std::set<PeId> waiting;  ///< starved slaves owed an Assign/Shutdown
-    std::set<std::pair<PeId, TaskId>> cancelled_inflight;
-    std::size_t finished_slaves = 0;
-    // Completions that raced a cancellation message; the scheduler never
-    // sees them but they are discarded results all the same.
-    std::size_t raced_discards = 0;
-
-    // Engine-failure bookkeeping: per-task counts drive the retry budget
-    // and the final failed-task report; parked retries hold a failed
-    // task back for an exponential-backoff interval before requeueing
-    // (during which a replica may still rescue it).
-    struct FailureRecord {
-        std::size_t failures = 0;
-        std::string last_error;
-    };
-    std::map<TaskId, FailureRecord> failure_log;
-    struct ParkedRetry {
-        double due = 0.0;
-        PeId pe = 0;
-        TaskId task = 0;
-    };
-    std::vector<ParkedRetry> parked;
-    std::set<std::pair<PeId, TaskId>> parked_keys;
-
-    auto serve = [&](PeId pe) {
-        if (!sched.is_registered(pe)) return;  // raced with deregister
-        if (options_.master_link_faults.drop_prob > 0.0) {
-            // Lost-completion recovery: serve() only ever targets an
-            // idle slave, so any Executing task the scheduler still
-            // shows queued on it (minus parked retries) lost its
-            // TaskDone/TaskFailed to the lossy link — re-issue it for
-            // recomputation. Without this, a task whose completions all
-            // dropped can end up executing on *every* slave, leaving no
-            // one eligible to replicate it and the run stuck. If the
-            // original was merely slow rather than lost, the duplicate
-            // completion is discarded by the executor guard below.
-            std::vector<core::Task> lost;
-            for (const TaskId t : sched.queue_of(pe)) {
-                if (parked_keys.count({pe, t}) != 0) continue;
-                if (sched.task_state(t) != core::TaskState::Executing)
-                    continue;
-                lost.push_back(sched.task(t));
-            }
-            if (!lost.empty()) {
-                shared[pe]->inbox.send(net::MsgAssign{std::move(lost)});
-                return;
-            }
-        }
-        const std::vector<TaskId> assigned =
-            sched.on_work_request(pe, clock.seconds());
-        if (!assigned.empty()) {
-            std::vector<core::Task> with_meta;
-            with_meta.reserve(assigned.size());
-            for (const TaskId t : assigned)
-                with_meta.push_back(sched.task(t));
-            shared[pe]->inbox.send(net::MsgAssign{std::move(with_meta)});
-        } else if (sched.all_done()) {
-            shared[pe]->inbox.send(net::MsgShutdown{});
-            pe_state[pe] = PeState::Shutdown;
-            ++finished_slaves;
-        } else {
-            shared[pe]->inbox.send(net::MsgNoWorkYet{});
-            waiting.insert(pe);
-        }
-    };
-
-    auto retry_waiting = [&] {
-        const std::set<PeId> snapshot = std::exchange(waiting, {});
-        for (const PeId pe : snapshot) serve(pe);
-    };
-
-    auto declare_dead = [&](PeId pe, double now) {
-        pe_state[pe] = PeState::Dead;
-        report.slaves[pe].presumed_dead = true;
-        ++report.slaves_presumed_dead;
-        waiting.erase(pe);
-        if (sched.is_registered(pe)) {
-            // Requeues everything the slave held; replication semantics
-            // already deduplicate if it turns out to be alive after all.
-            sched.deregister_slave(pe, now);
-        }
-        if (master_lane != nullptr) {
-            master_lane->emit(obs::EventKind::SlavePresumedDead, pe);
-        }
-        if (m_presumed_dead != nullptr) m_presumed_dead->add();
-        // Closing the inbox is the cooperative kill signal: a stalled
-        // engine polling cancellation unwedges, an idle-blocked slave
-        // wakes and exits. It also guarantees we can join the thread.
-        shared[pe]->abandoned_by_master.store(true);
-        shared[pe]->inbox.close();
-        ++finished_slaves;
-        retry_waiting();  // its tasks are Ready again
-    };
-
-    auto record_failure = [&](PeId pe, TaskId task,
-                              const std::string& what, double now) {
-        ++report.task_failures;
-        ++report.slaves[pe].engine_failures;
-        if (m_engine_failures != nullptr) m_engine_failures->add();
-        FailureRecord& log = failure_log[task];
-        ++log.failures;
-        log.last_error = what;
-        if (log.failures > options_.max_task_retries) {
-            // Budget spent: settle the task as failed (unless a replica
-            // is still running and may yet win).
-            sched.on_task_failed(pe, task, now, /*allow_retry=*/false);
-            retry_waiting();  // all_done may have just become true
-        } else {
-            const double backoff = std::min(
-                options_.retry_backoff_max_s,
-                options_.retry_backoff_s *
-                    static_cast<double>(std::size_t{1}
-                                        << (log.failures - 1)));
-            parked.push_back(ParkedRetry{now + backoff, pe, task});
-            parked_keys.insert({pe, task});
-            if (m_retries != nullptr) m_retries->add();
-        }
-    };
-
-    while (finished_slaves < n) {
-        // Deadline-driven wait (the tentpole): the old blocking recv()
-        // deadlocked forever when a slave died silently. Wake at the
-        // earliest of (a) the next parked retry falling due, (b) the
-        // next possible liveness expiry; block indefinitely only when
-        // neither exists (then the old semantics apply unchanged).
-        double wait = kInf;
-        {
-            const double now = clock.seconds();
-            for (const ParkedRetry& p : parked) {
-                wait = std::min(wait, p.due - now);
-            }
-            if (liveness) {
-                for (PeId pe = 0; pe < n; ++pe) {
-                    if (pe_state[pe] != PeState::Active) continue;
-                    wait = std::min(wait, last_heard[pe] +
-                                              options_.liveness_timeout_s -
-                                              now);
-                }
-            }
-        }
-        std::optional<net::MasterMsg> msg =
-            wait == kInf ? master_inbox.recv()
-                         : master_inbox.recv_for(std::max(wait, 1e-4));
-        SWH_CHECK(msg.has_value() || !master_inbox.closed(),
-                  "master inbox closed prematurely");
-        const double now = clock.seconds();
-
-        if (msg.has_value()) {
-            // Any message is proof of life.
-            const PeId from =
-                std::visit([](const auto& m) { return m.pe; }, *msg);
-            SWH_CHECK_LT(from, n, "message from an unknown PE");
-            if (pe_state[from] == PeState::Active) last_heard[from] = now;
-
-            if (const auto* reg = std::get_if<net::MsgRegister>(&*msg)) {
-                // Idempotent: a slave that never heard back re-sends its
-                // registration (the first may have been dropped).
-                // Post-death or post-shutdown registers are ignored.
-                if (pe_state[reg->pe] == PeState::Unseen) {
-                    pe_state[reg->pe] = PeState::Active;
-                    last_heard[reg->pe] = now;
-                    sched.register_slave(reg->pe, reg->kind);
-                }
-            } else if (const auto* req =
-                           std::get_if<net::MsgWorkRequest>(&*msg)) {
-                if (pe_state[req->pe] == PeState::Active) serve(req->pe);
-            } else if (const auto* prog =
-                           std::get_if<net::MsgProgress>(&*msg)) {
-                if (pe_state[prog->pe] == PeState::Active &&
-                    sched.is_registered(prog->pe)) {
-                    sched.on_progress(prog->pe, now, prog->cells_per_second);
-                }
-            } else if (const auto* hb =
-                           std::get_if<net::MsgHeartbeat>(&*msg)) {
-                if (m_heartbeats != nullptr) m_heartbeats->add();
-                // Heartbeats double as an idle-work poll: one arrives
-                // only from an idle-blocked slave, so if the master
-                // doesn't have it parked in `waiting` its WorkRequest
-                // must have been lost — serve it now (self-healing).
-                if (pe_state[hb->pe] == PeState::Active &&
-                    waiting.count(hb->pe) == 0) {
-                    serve(hb->pe);
-                }
-            } else if (auto* done = std::get_if<net::MsgTaskDone>(&*msg)) {
-                report.computed_cells += done->result.cells;
-                const auto key = std::make_pair(done->pe, done->task);
-                if (pe_state[done->pe] != PeState::Active) {
-                    // Liveness false positive: the slave was slow, not
-                    // dead. Its tasks were already requeued; treat the
-                    // late completion exactly like a raced cancellation
-                    // — discard, never double-merge.
-                    ++report.slaves[done->pe].results_discarded;
-                    report.slaves[done->pe].cells_discarded +=
-                        done->result.cells;
-                    ++report.late_completions_discarded;
-                    if (m_late_discards != nullptr) m_late_discards->add();
-                } else if (cancelled_inflight.erase(key) > 0) {
-                    // The slave finished before our cancellation reached
-                    // it; the scheduler already released the replica.
-                    ++report.slaves[done->pe].results_discarded;
-                    report.slaves[done->pe].cells_discarded +=
-                        done->result.cells;
-                    ++raced_discards;
-                } else if ([&] {
-                               const std::vector<PeId> exec =
-                                   sched.task_executors(done->task);
-                               return std::find(exec.begin(), exec.end(),
-                                                done->pe) == exec.end();
-                           }()) {
-                    // Executor guard: the slave no longer holds this
-                    // task — a duplicate completion from lost-done
-                    // recovery, its original having been slow rather
-                    // than lost. Discard like a raced cancellation.
-                    ++report.slaves[done->pe].results_discarded;
-                    report.slaves[done->pe].cells_discarded +=
-                        done->result.cells;
-                    ++raced_discards;
-                } else {
-                    const core::SchedulerCore::CompletionResult cr =
-                        sched.on_task_complete(done->pe, done->task, now);
-                    if (cr.accepted) {
-                        report.accepted_cells += done->result.cells;
-                        ++report.slaves[done->pe].results_accepted;
-                        report.slaves[done->pe].cells_accepted +=
-                            done->result.cells;
-                        merger.add(done->result);
-                    } else {
-                        ++report.slaves[done->pe].results_discarded;
-                        report.slaves[done->pe].cells_discarded +=
-                            done->result.cells;
-                    }
-                    for (const PeId loser : cr.cancelled) {
-                        shared[loser]->inbox.send(
-                            net::MsgCancel{done->task});
-                        cancelled_inflight.insert({loser, done->task});
-                    }
-                }
-                retry_waiting();
-            } else if (const auto* fail =
-                           std::get_if<net::MsgTaskFailed>(&*msg)) {
-                if (pe_state[fail->pe] == PeState::Active) {
-                    record_failure(fail->pe, fail->task, fail->what, now);
-                }
-            } else if (const auto* dereg =
-                           std::get_if<net::MsgDeregister>(&*msg)) {
-                // Only an Active slave's leave counts; the deregister a
-                // presumed-dead slave sends on its way out (or a
-                // duplicate) must not double-increment finished_slaves.
-                if (pe_state[dereg->pe] == PeState::Active) {
-                    pe_state[dereg->pe] = PeState::Left;
-                    waiting.erase(dereg->pe);
-                    sched.deregister_slave(dereg->pe, now);
-                    ++finished_slaves;
-                    retry_waiting();  // its tasks may be Ready again
-                }
-            }
-        }
-
-        // Parked retries falling due: requeue through the scheduler.
-        // on_task_failed is stale-tolerant — if the pairing dissolved
-        // meanwhile (replica won, slave died and was deregistered, task
-        // already requeued), the call is a no-op.
-        if (!parked.empty()) {
-            std::vector<ParkedRetry> still_parked;
-            bool requeued = false;
-            for (const ParkedRetry& p : parked) {
-                if (p.due > now) {
-                    still_parked.push_back(p);
-                    continue;
-                }
-                parked_keys.erase({p.pe, p.task});
-                const core::SchedulerCore::FailureOutcome out =
-                    sched.on_task_failed(p.pe, p.task, now,
-                                         /*allow_retry=*/true);
-                requeued = requeued || out.requeued;
-            }
-            parked = std::move(still_parked);
-            if (requeued) retry_waiting();
-        }
-
-        // Liveness sweep: any Active slave silent past the timeout is
-        // declared dead and its work reclaimed.
-        if (liveness) {
-            for (PeId pe = 0; pe < n; ++pe) {
-                if (pe_state[pe] != PeState::Active) continue;
-                if (now - last_heard[pe] >= options_.liveness_timeout_s) {
-                    declare_dead(pe, now);
-                }
-            }
-        }
+    std::vector<std::unique_ptr<ThreadedSlaveLink>> link_storage;
+    std::vector<SlaveLink*> links;
+    link_storage.reserve(n);
+    links.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        link_storage.push_back(std::make_unique<ThreadedSlaveLink>(*shared[i]));
+        links.push_back(link_storage.back().get());
     }
+    MasterLoopConfig master_config;
+    master_config.liveness_timeout_s = options_.liveness_timeout_s;
+    master_config.lossy_master_link =
+        options_.master_link_faults.drop_prob > 0.0;
+    master_config.max_task_retries = options_.max_task_retries;
+    master_config.retry_backoff_s = options_.retry_backoff_s;
+    master_config.retry_backoff_max_s = options_.retry_backoff_max_s;
+    run_master_loop(sched, merger, master_inbox, links, clock, master_config,
+                    counters, master_lane, report);
 
     // End-of-run drain: close every inbox so any straggler thread (e.g.
     // a false-positive "dead" slave still finishing its task) unwedges
@@ -784,27 +286,6 @@ RunReport HybridRuntime::run(std::vector<SlaveSpec> slaves,
     report.wall_seconds = clock.seconds();
     report.gcups =
         align::gcups(report.accepted_cells, report.wall_seconds);
-    report.replicas_issued = sched.replicas_issued();
-    report.completions_discarded =
-        sched.completions_discarded() + raced_discards;
-    // Surface every task the run gave up on: abandoned by the retry
-    // budget, or left unfinished because no live slave remained.
-    for (TaskId t = 0; t < sched.total_tasks(); ++t) {
-        const bool unfinished =
-            sched.task_state(t) != core::TaskState::Finished;
-        if (!unfinished && !sched.task_abandoned(t)) continue;
-        RunReport::FailedTask failed;
-        failed.task = t;
-        failed.query_index = sched.task(t).query_index;
-        const auto it = failure_log.find(t);
-        if (it != failure_log.end()) {
-            failed.failures = it->second.failures;
-            failed.last_error = it->second.last_error;
-        } else {
-            failed.last_error = "no live slave remained";
-        }
-        report.failed_tasks.push_back(std::move(failed));
-    }
     for (std::size_t i = 0; i < n; ++i) {
         SlaveReport merged = shared[i]->report;
         merged.results_accepted = report.slaves[i].results_accepted;

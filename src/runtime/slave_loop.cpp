@@ -1,0 +1,289 @@
+#include "runtime/slave_loop.hpp"
+
+#include <set>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "engines/faulty_engine.hpp"
+#include "util/annotations.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace swh::runtime {
+
+using core::PeId;
+using core::TaskId;
+
+namespace {
+
+/// Slave-side execution observer: converts engine cell counts into
+/// periodic MsgProgress notifications (which double as liveness
+/// heartbeats while busy) and services master messages that arrive
+/// mid-execution — cancellations, pushed assignments, and the "you're
+/// gone" signal of a closed inbox.
+class SlaveObserver final : public engines::ExecutionObserver {
+public:
+    SlaveObserver(PeId pe, TaskId current, double notify_period_s,
+                  SlaveEndpoint& endpoint, std::set<TaskId>& cancelled_queue,
+                  std::vector<core::Task>& pending_assigns,
+                  obs::TraceLane* lane)
+        : pe_(pe),
+          current_(current),
+          period_(notify_period_s),
+          endpoint_(endpoint),
+          cancelled_queue_(cancelled_queue),
+          pending_assigns_(pending_assigns),
+          lane_(lane) {}
+
+    void on_cells(std::uint64_t cells_delta) override {
+        // ISSUE 5 satellite fix: cells_/since_notify_ used to be mutated
+        // unguarded here while cancelled() documents multi-threaded
+        // polling — everything mutable now serialises on mu_.
+        const swh::LockGuard lock(mu_);
+        cells_ += cells_delta;
+        const double elapsed = since_notify_.seconds();
+        if (elapsed >= period_ && cells_ > 0) {
+            endpoint_.send(net::MsgProgress{
+                pe_, static_cast<double>(cells_) / elapsed});
+            cells_ = 0;
+            since_notify_.reset();
+        }
+    }
+
+    bool cancelled() const override {
+        // Engines may poll from several worker threads.
+        const swh::LockGuard lock(mu_);
+        drain_inbox_locked();
+        return cancelled_current_;
+    }
+
+    bool cancelled_current() const {
+        const swh::LockGuard lock(mu_);
+        return cancelled_current_;
+    }
+
+    bool saw_shutdown() const {
+        const swh::LockGuard lock(mu_);
+        return shutdown_;
+    }
+
+    /// The slave thread's trace lane, so engines nest kernel spans
+    /// inside this slave's task span.
+    obs::TraceLane* trace_lane() const override { return lane_; }
+
+    /// Rate over the whole task, for a final notification on completion.
+    void send_final_rate() {
+        const swh::LockGuard lock(mu_);
+        const double elapsed = since_notify_.seconds();
+        if (cells_ > 0 && elapsed > 0.0) {
+            endpoint_.send(net::MsgProgress{
+                pe_, static_cast<double>(cells_) / elapsed});
+        }
+    }
+
+private:
+    void drain_inbox_locked() const SWH_REQUIRES(mu_) {
+        while (auto msg = endpoint_.try_recv()) {
+            if (const auto* cancel = std::get_if<net::MsgCancel>(&*msg)) {
+                if (cancel->task == current_) {
+                    cancelled_current_ = true;
+                } else {
+                    cancelled_queue_.insert(cancel->task);
+                }
+            } else if (const auto* assign =
+                           std::get_if<net::MsgAssign>(&*msg)) {
+                // The master served a heartbeat that raced our previous
+                // request; queue the package for after this task.
+                pending_assigns_.insert(pending_assigns_.end(),
+                                        assign->tasks.begin(),
+                                        assign->tasks.end());
+            } else if (std::holds_alternative<net::MsgShutdown>(*msg)) {
+                shutdown_ = true;
+                cancelled_current_ = true;
+            } else if (std::holds_alternative<net::MsgNoWorkYet>(*msg)) {
+                // Stale reply to a duplicated request; ignore.
+            }
+        }
+        // A closed inbox is the master's "you're gone" (presumed dead,
+        // or the end-of-run drain): stop the engine cooperatively. This
+        // is what unwedges a permanently stalled engine.
+        if (endpoint_.inbox_closed()) cancelled_current_ = true;
+    }
+
+    const PeId pe_;
+    const TaskId current_;
+    const double period_;
+    SlaveEndpoint& endpoint_;
+    /// Written under mu_ while the engine runs; the slave thread reads
+    /// them lock-free only after execute() returns (the engine joins its
+    /// pollers before returning, which orders those accesses).
+    std::set<TaskId>& cancelled_queue_;
+    std::vector<core::Task>& pending_assigns_;
+    mutable swh::Mutex mu_;
+    mutable bool cancelled_current_ SWH_GUARDED_BY(mu_) = false;
+    mutable bool shutdown_ SWH_GUARDED_BY(mu_) = false;
+    mutable std::uint64_t cells_ SWH_GUARDED_BY(mu_) = 0;
+    mutable Timer since_notify_ SWH_GUARDED_BY(mu_);
+    obs::TraceLane* const lane_;
+};
+
+}  // namespace
+
+void run_slave_loop(SlaveEndpoint& endpoint, engines::ComputeEngine& engine,
+                    const std::vector<align::Sequence>& queries,
+                    const db::Database& database,
+                    const SlaveLoopConfig& config, SlaveReport& report) {
+    const PeId pe = config.pe;
+    endpoint.send(net::MsgRegister{pe, engine.kind()});
+
+    // ISSUE 5 satellite fix: the old code silently `return`ed here on a
+    // closed inbox, leaving the master's finished_slaves count short and
+    // the run deadlocked. The inbox now only closes when the master
+    // already wrote this slave off (presumed dead, end-of-run drain, or
+    // — over sockets — a dropped connection); we still notify it for
+    // the audit trail.
+    auto exit_on_closed_inbox = [&] {
+        endpoint.on_inbox_closed_exit();
+        endpoint.send(net::MsgDeregister{pe});
+    };
+
+    std::vector<core::Task> batch;
+    std::set<TaskId> cancelled_queue;
+    std::vector<core::Task> pending_assigns;
+    std::size_t completions = 0;
+    bool heard_from_master = false;
+    while (true) {
+        if (batch.empty() && !pending_assigns.empty()) {
+            batch = std::move(pending_assigns);
+            pending_assigns.clear();
+        }
+        if (batch.empty()) {
+            endpoint.send(net::MsgWorkRequest{pe});
+            bool got_batch = false;
+            while (!got_batch) {
+                std::optional<net::SlaveMsg> msg =
+                    config.liveness
+                        ? endpoint.recv_for(config.heartbeat_period_s)
+                        : endpoint.recv();
+                if (!msg) {
+                    if (endpoint.inbox_closed()) {
+                        exit_on_closed_inbox();
+                        return;
+                    }
+                    // recv_for timed out: beacon liveness. Until the
+                    // master has spoken to us at all, re-send the
+                    // registration instead — the first Register (or the
+                    // work request after it) may have been dropped by an
+                    // injected link fault.
+                    if (heard_from_master) {
+                        endpoint.send(net::MsgHeartbeat{pe});
+                    } else {
+                        endpoint.send(net::MsgRegister{pe, engine.kind()});
+                        endpoint.send(net::MsgWorkRequest{pe});
+                    }
+                    continue;
+                }
+                heard_from_master = true;
+                if (const auto* assign = std::get_if<net::MsgAssign>(&*msg)) {
+                    batch = assign->tasks;
+                    got_batch = true;
+                } else if (std::holds_alternative<net::MsgShutdown>(*msg)) {
+                    return;
+                } else if (const auto* cancel =
+                               std::get_if<net::MsgCancel>(&*msg)) {
+                    // Cancellation for a task we already finished or
+                    // never started; nothing to do.
+                    (void)cancel;
+                } else if (std::holds_alternative<net::MsgNoWorkYet>(*msg)) {
+                    // Keep blocking; the master will push.
+                }
+            }
+        }
+
+        const core::Task task_meta = batch.front();
+        const TaskId t = task_meta.id;
+        batch.erase(batch.begin());
+        if (cancelled_queue.erase(t) > 0) {
+            ++report.tasks_cancelled;
+            continue;  // master already released it
+        }
+        // Over a real transport the index arrives off the wire, so it is
+        // validated against this process's query set rather than trusted.
+        SWH_CHECK_LT(task_meta.query_index, queries.size(),
+                     "assigned task references an unknown query");
+        const align::Sequence& query = queries[task_meta.query_index];
+
+        // Contract failures raised while this task runs carry the
+        // slave/task ids in their report.
+        const check::ScopedContext check_ctx(pe, t);
+        SlaveObserver slave_obs(pe, t, config.notify_period_s, endpoint,
+                                cancelled_queue, pending_assigns,
+                                config.lane);
+        if (config.lane != nullptr) config.lane->span_begin("task", t, pe);
+        Timer task_timer;
+        core::TaskResult result;
+        bool failed = false;
+        std::string failure;
+        // Containment (ISSUE 5): an engine exception used to unwind out
+        // of this thread and std::terminate the process. It now becomes
+        // MsgTaskFailed and the slave soldiers on. The one exception
+        // that stays fatal-by-design is SimulatedCrash — fault injection
+        // for "the PE vanished", which only the master's liveness
+        // timeout can handle.
+        try {
+            result = engine.execute(query, task_meta.query_index, t,
+                                    database, &slave_obs);
+        } catch (const engines::SimulatedCrash&) {
+            report.crashed = true;
+            if (config.lane != nullptr) {
+                config.lane->span_end("task", t, 1.0, pe);
+            }
+            return;  // die silently: no MsgDeregister, no cleanup
+        } catch (const std::exception& e) {
+            failed = true;
+            failure = e.what();
+        } catch (...) {
+            failed = true;
+            failure = "unknown engine failure";
+        }
+        const double task_seconds = task_timer.seconds();
+        report.cells_computed += result.cells;
+
+        const bool was_cancelled = slave_obs.cancelled_current();
+        if (config.duration_hist != nullptr) {
+            config.duration_hist->record(task_seconds);
+        }
+        if (config.lane != nullptr) {
+            config.lane->span_end("task", t,
+                                  (was_cancelled || failed) ? 1.0 : 0.0, pe);
+        }
+
+        if (failed) {
+            ++report.engine_failures;
+            endpoint.send(net::MsgTaskFailed{pe, t, failure});
+        } else if (was_cancelled) {
+            ++report.tasks_cancelled;
+        } else {
+            slave_obs.send_final_rate();
+            endpoint.send(net::MsgTaskDone{pe, t, std::move(result)});
+            ++completions;
+        }
+
+        if (endpoint.inbox_closed()) {
+            exit_on_closed_inbox();
+            return;
+        }
+        if (slave_obs.saw_shutdown()) return;
+
+        if (config.leave_after_tasks > 0 &&
+            completions >= config.leave_after_tasks) {
+            // Abandon whatever is still queued and leave the platform.
+            report.left_early = true;
+            endpoint.send(net::MsgDeregister{pe});
+            return;
+        }
+    }
+}
+
+}  // namespace swh::runtime

@@ -1,0 +1,68 @@
+#pragma once
+
+// Protocol loop of one slave PE, factored out of HybridRuntime (ISSUE
+// 10) so the identical logic — work requests, progress notifications,
+// cancellation polling, engine-failure containment, heartbeats — drives
+// both an in-process slave thread and a swhybrid_slave OS process over
+// the socket transport.
+
+#include <optional>
+#include <vector>
+
+#include "align/sequence.hpp"
+#include "db/database.hpp"
+#include "engines/engine.hpp"
+#include "net/messages.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "runtime/hybrid_runtime.hpp"
+
+namespace swh::runtime {
+
+/// The slave loop's view of its two links: the uplink to the master and
+/// its own inbox. The threaded runtime backs this with a pair of
+/// net::Channel; the socket runtime with a net::SlaveRemoteChannel.
+class SlaveEndpoint {
+public:
+    virtual ~SlaveEndpoint() = default;
+
+    virtual void send(net::MasterMsg msg) = 0;
+    virtual std::optional<net::SlaveMsg> recv() = 0;
+    virtual std::optional<net::SlaveMsg> recv_for(double timeout_s) = 0;
+    virtual std::optional<net::SlaveMsg> try_recv() = 0;
+    virtual bool inbox_closed() = 0;
+
+    /// Invoked when the loop observes a closed inbox and is about to
+    /// exit (right before the farewell MsgDeregister). The threaded
+    /// runtime asserts the close was master-initiated; the socket
+    /// runtime treats it as a dropped connection.
+    virtual void on_inbox_closed_exit() {}
+};
+
+struct SlaveLoopConfig {
+    core::PeId pe = 0;
+    double notify_period_s = 0.2;
+    /// When true the loop beacons MsgHeartbeat every heartbeat_period_s
+    /// while idle-blocked (and re-sends its registration until the
+    /// master has spoken to it at all); when false idle waits block
+    /// indefinitely — the original immortal-slave behaviour.
+    bool liveness = false;
+    double heartbeat_period_s = 0.05;
+    /// After this many accepted completions the slave deregisters,
+    /// abandoning whatever is queued (0 = stays to the end).
+    std::size_t leave_after_tasks = 0;
+    obs::TraceLane* lane = nullptr;
+    obs::Histogram* duration_hist = nullptr;
+};
+
+/// Runs the slave protocol to completion: register, request work,
+/// execute, report, until MsgShutdown / early leave / master
+/// abandonment. Engine exceptions become MsgTaskFailed (the loop
+/// survives them); engines::SimulatedCrash makes the loop vanish
+/// silently with report.crashed set, exactly like a dead process.
+void run_slave_loop(SlaveEndpoint& endpoint, engines::ComputeEngine& engine,
+                    const std::vector<align::Sequence>& queries,
+                    const db::Database& database,
+                    const SlaveLoopConfig& config, SlaveReport& report);
+
+}  // namespace swh::runtime

@@ -33,7 +33,33 @@ TEST(Channel, CloseDrainsThenNullopt) {
     ch.close();
     EXPECT_EQ(ch.recv().value(), 1);
     EXPECT_FALSE(ch.recv().has_value());
-    EXPECT_THROW(ch.send(2), swh::ContractError);
+    // Post-close sends are lost like a dead link loses them — counted,
+    // never delivered, never fatal (ISSUE 10 shutdown-race fix).
+    ch.send(2);
+    EXPECT_EQ(ch.dropped(), 1u);
+    EXPECT_FALSE(ch.recv().has_value());
+}
+
+// Regression (ISSUE 10): a slave's late MsgHeartbeat/MsgDeregister racing
+// the master's close() must be a counted drop, not a process abort.
+TEST(Channel, SendRacingCloseIsCountedDrop) {
+    Channel<int> ch;
+    std::thread closer([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        ch.close();
+    });
+    std::size_t sent = 0;
+    for (int i = 0; i < 10'000 && !ch.closed(); ++i) {
+        ch.send(i);  // some of these race the close; none may throw
+        ++sent;
+    }
+    closer.join();
+    ch.send(-1);  // guaranteed post-close
+    ++sent;
+    std::size_t drained = 0;
+    while (ch.recv().has_value()) ++drained;
+    EXPECT_EQ(drained + ch.dropped(), sent);
+    EXPECT_GE(ch.dropped(), 1u);
 }
 
 TEST(Channel, BlockingRecvWakesOnSend) {
@@ -163,6 +189,39 @@ TEST(Channel, DropFaultDiscardsDeterministically) {
     EXPECT_EQ(a, b);  // same seed, same losses
     EXPECT_FALSE(a.empty());
     EXPECT_LT(a.size(), 64u);
+}
+
+// Regression (ISSUE 10): per-message fault stalls can make a later-sent
+// entry deliverable before the queue head. recv/recv_for/try_recv must
+// deliver the earliest-ready entry — waiting on front().ready alone let
+// recv_for time out (and the master declare a slave dead) while a
+// deliverable message sat behind the stalled head.
+TEST(Channel, StalledHeadDoesNotBlockFreshTail) {
+    Channel<int> ch;
+    ChannelFaults stall;
+    stall.stall_s = 0.5;
+    ch.inject_faults(stall);
+    ch.send(1);  // stalled head: deliverable only after 500 ms
+    ch.inject_faults(ChannelFaults{});
+    ch.send(2);  // fresh tail: deliverable immediately
+    // try_recv and a short recv_for must both see the tail now.
+    Timer t;
+    EXPECT_EQ(ch.recv_for(0.05).value(), 2);
+    EXPECT_LT(t.seconds(), 0.4);  // did not wait out the stalled head
+    EXPECT_FALSE(ch.try_recv().has_value());  // head still in flight
+    EXPECT_EQ(ch.recv().value(), 1);          // ...but never lost
+    EXPECT_GE(t.seconds(), 0.4);
+}
+
+TEST(Channel, TryRecvDeliversEarliestReadyEntry) {
+    Channel<int> ch;
+    ChannelFaults stall;
+    stall.stall_s = 0.5;
+    ch.inject_faults(stall);
+    ch.send(1);
+    ch.inject_faults(ChannelFaults{});
+    ch.send(2);
+    EXPECT_EQ(ch.try_recv().value(), 2);
 }
 
 TEST(Channel, StallFaultDelaysDelivery) {

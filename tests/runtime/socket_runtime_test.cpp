@@ -1,0 +1,260 @@
+// Multi-process transport equivalence (ISSUE 10 tentpole): the socket
+// runtime — RemoteMaster plus run_remote_slave over real loopback TCP —
+// must produce top-k hits bit-identical to both the in-process threaded
+// runtime and the serial reference, healthy or faulted. The slaves run
+// as threads here (same code path as the swhybrid_slave process; only
+// main() differs), so sanitizers see the whole exchange.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "align/sw_scalar.hpp"
+#include "db/database.hpp"
+#include "db/presets.hpp"
+#include "engines/cpu_engine.hpp"
+#include "engines/faulty_engine.hpp"
+#include "runtime/hybrid_runtime.hpp"
+#include "runtime/remote.hpp"
+
+namespace swh::runtime {
+namespace {
+
+const align::ScoreMatrix& blosum() {
+    static const align::ScoreMatrix m = align::ScoreMatrix::blosum62();
+    return m;
+}
+
+db::Database test_db(std::size_t n = 30, std::uint64_t seed = 31) {
+    db::DatabaseSpec spec;
+    spec.name = "sock";
+    spec.num_sequences = n;
+    spec.length.min_len = 20;
+    spec.length.max_len = 80;
+    spec.seed = seed;
+    return db::Database::generate(spec);
+}
+
+std::vector<align::Sequence> test_queries(std::size_t n = 8) {
+    return db::make_query_set(n, 30, 90, 33);
+}
+
+// Serial oracle: the fault-free baseline every transport must match.
+std::vector<std::vector<core::Hit>> reference_hits(
+    const db::Database& database,
+    const std::vector<align::Sequence>& queries, std::size_t k) {
+    std::vector<std::vector<core::Hit>> out;
+    for (const auto& q : queries) {
+        std::vector<core::Hit> hits;
+        for (std::size_t i = 0; i < database.size(); ++i) {
+            hits.push_back(core::Hit{
+                static_cast<std::uint32_t>(i),
+                align::sw_score_affine(q.residues, database[i].residues,
+                                       blosum(), {10, 2})});
+        }
+        std::sort(hits.begin(), hits.end(),
+                  [](const core::Hit& a, const core::Hit& b) {
+                      if (a.score != b.score) return a.score > b.score;
+                      return a.db_index < b.db_index;
+                  });
+        hits.resize(std::min(hits.size(), k));
+        out.push_back(std::move(hits));
+    }
+    return out;
+}
+
+RemoteEngineFactory cpu_factory(engines::FaultPlan* plan = nullptr) {
+    return [plan](const net::wire::Welcome& welcome)
+               -> std::unique_ptr<engines::ComputeEngine> {
+        engines::EngineConfig config;
+        config.matrix = &blosum();
+        config.gap = {10, 2};
+        config.top_k = welcome.top_k;  // master-owned, from the handshake
+        config.isa = simd::best_supported();
+        std::unique_ptr<engines::ComputeEngine> engine =
+            std::make_unique<engines::CpuEngine>(config);
+        if (plan != nullptr) {
+            engine = std::make_unique<engines::FaultyEngine>(
+                std::move(engine), *plan);
+        }
+        return engine;
+    };
+}
+
+/// Runs a RemoteMaster against `n` slave threads dialling loopback TCP.
+RunReport run_socket(const db::Database& database,
+                     const std::vector<align::Sequence>& queries,
+                     RemoteMasterOptions options,
+                     std::vector<RemoteEngineFactory> factories,
+                     std::vector<RemoteSlaveResult>* slave_results = nullptr,
+                     std::vector<RemoteSlaveOptions> slave_options = {}) {
+    options.expect_slaves = factories.size();
+    RemoteMaster master(database, queries, options);
+    const std::uint16_t port = master.listen();
+    std::vector<RemoteSlaveResult> results(factories.size());
+    std::vector<std::thread> slaves;
+    for (std::size_t i = 0; i < factories.size(); ++i) {
+        slaves.emplace_back([&, i] {
+            RemoteSlaveOptions so = i < slave_options.size()
+                                        ? slave_options[i]
+                                        : RemoteSlaveOptions{};
+            so.port = port;
+            so.label = "remote" + std::to_string(i);
+            results[i] =
+                run_remote_slave(database, queries, so, factories[i]);
+        });
+    }
+    RunReport report = master.run(core::make_self_scheduling());
+    for (auto& t : slaves) t.join();
+    if (slave_results != nullptr) *slave_results = std::move(results);
+    return report;
+}
+
+TEST(SocketRuntime, LoopbackMatchesInProcessAndReference) {
+    const db::Database database = test_db();
+    const auto queries = test_queries();
+    const auto reference = reference_hits(database, queries, 3);
+
+    RuntimeOptions ro;
+    ro.top_k = 3;
+    ro.notify_period_s = 0.01;
+    ro.sched.workload_adjust = true;
+
+    // In-process threaded baseline.
+    engines::EngineConfig config;
+    config.matrix = &blosum();
+    config.gap = {10, 2};
+    config.top_k = 3;
+    config.isa = simd::best_supported();
+    HybridRuntime rt(database, queries, ro);
+    std::vector<SlaveSpec> specs;
+    specs.push_back(
+        {"sse0", std::make_unique<engines::CpuEngine>(config)});
+    specs.push_back(
+        {"sse1", std::make_unique<engines::CpuEngine>(config)});
+    const RunReport inproc =
+        rt.run(std::move(specs), core::make_self_scheduling());
+
+    // Same workload over loopback TCP, two slave endpoints.
+    RemoteMasterOptions mo;
+    mo.runtime = ro;
+    std::vector<RemoteSlaveResult> slave_results;
+    const RunReport socket =
+        run_socket(database, queries, mo, {cpu_factory(), cpu_factory()},
+                   &slave_results);
+
+    EXPECT_EQ(socket.hits, reference);
+    EXPECT_EQ(socket.hits, inproc.hits);
+    EXPECT_TRUE(socket.failed_tasks.empty());
+    ASSERT_EQ(slave_results.size(), 2u);
+    for (const RemoteSlaveResult& r : slave_results) {
+        EXPECT_TRUE(r.connected) << r.error;
+        EXPECT_TRUE(r.error.empty()) << r.error;
+        EXPECT_EQ(r.welcome.top_k, 3u);
+        EXPECT_FALSE(r.report.crashed);
+    }
+    ASSERT_EQ(socket.slaves.size(), 2u);
+    // Labels/kinds came over the wire in the Hello.
+    EXPECT_EQ(socket.slaves[0].label, "remote0");
+    EXPECT_EQ(socket.slaves[1].label, "remote1");
+}
+
+// The PR-5 fault machinery over sockets: engine failures are retried,
+// a stalled inbound queue is tolerated, and the hits stay bit-identical.
+TEST(SocketRuntime, EngineFaultsAndChannelStallStayBitIdentical) {
+    const db::Database database = test_db();
+    const auto queries = test_queries();
+    const auto reference = reference_hits(database, queries, 3);
+
+    RuntimeOptions ro;
+    ro.top_k = 3;
+    ro.notify_period_s = 0.01;
+    ro.liveness_timeout_s = 2.0;
+    ro.heartbeat_period_s = 0.05;
+    ro.max_task_retries = 10;
+    ro.retry_backoff_s = 0.002;
+
+    engines::FaultPlan plan;
+    plan.kind = engines::FaultKind::Throw;
+    plan.after_cells = 30'000;
+    plan.seed = 99;
+
+    RemoteMasterOptions mo;
+    mo.runtime = ro;
+    RemoteSlaveOptions stalled;
+    stalled.inbox_stall_s = 0.002;
+    std::vector<RemoteSlaveResult> slave_results;
+    const RunReport report = run_socket(
+        database, queries, mo, {cpu_factory(&plan), cpu_factory()},
+        &slave_results, {stalled, RemoteSlaveOptions{}});
+
+    EXPECT_EQ(report.hits, reference);
+    EXPECT_TRUE(report.failed_tasks.empty());
+    EXPECT_GT(report.task_failures, 0u)
+        << "the faulty engine should have failed at least once";
+}
+
+// A slave process crashing mid-task over a socket: the link goes quiet,
+// liveness declares it dead, its tasks are requeued on the survivor,
+// and the hits still match the oracle.
+TEST(SocketRuntime, SlaveCrashOverSocketIsRecoveredBitIdentical) {
+    const db::Database database = test_db();
+    const auto queries = test_queries();
+    const auto reference = reference_hits(database, queries, 3);
+
+    RuntimeOptions ro;
+    ro.top_k = 3;
+    ro.notify_period_s = 0.01;
+    ro.liveness_timeout_s = 0.25;
+    ro.heartbeat_period_s = 0.05;
+    ro.retry_backoff_s = 0.005;
+
+    engines::FaultPlan plan;
+    plan.kind = engines::FaultKind::Crash;
+    plan.after_cells = 50'000;
+
+    RemoteMasterOptions mo;
+    mo.runtime = ro;
+    std::vector<RemoteSlaveResult> slave_results;
+    const RunReport report =
+        run_socket(database, queries, mo,
+                   {cpu_factory(&plan), cpu_factory()}, &slave_results);
+
+    EXPECT_EQ(report.hits, reference);
+    EXPECT_TRUE(report.failed_tasks.empty());
+    EXPECT_GE(report.slaves_presumed_dead, 1u);
+    ASSERT_EQ(slave_results.size(), 2u);
+    EXPECT_TRUE(slave_results[0].report.crashed);
+    EXPECT_FALSE(slave_results[1].report.crashed);
+}
+
+// Lossy slave->master channel faults apply to decoded socket traffic
+// exactly as in-process: dropped messages are recovered by liveness +
+// replication and the result stays bit-identical.
+TEST(SocketRuntime, LossyMasterInboxStaysBitIdentical) {
+    const db::Database database = test_db();
+    const auto queries = test_queries(6);
+    const auto reference = reference_hits(database, queries, 3);
+
+    RuntimeOptions ro;
+    ro.top_k = 3;
+    ro.notify_period_s = 0.01;
+    ro.liveness_timeout_s = 0.3;
+    ro.heartbeat_period_s = 0.05;
+    ro.retry_backoff_s = 0.005;
+    ro.master_link_faults.drop_prob = 0.10;
+    ro.master_link_faults.seed = 4242;
+
+    RemoteMasterOptions mo;
+    mo.runtime = ro;
+    const RunReport report = run_socket(database, queries, mo,
+                                        {cpu_factory(), cpu_factory()});
+    EXPECT_EQ(report.hits, reference);
+    EXPECT_TRUE(report.failed_tasks.empty());
+}
+
+}  // namespace
+}  // namespace swh::runtime
